@@ -1,0 +1,62 @@
+//! Criterion: host overhead of the replacement policies under a Zipf
+//! trace (the bookkeeping cost an energy-aware policy adds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grail_buffer::policy::PolicyKind;
+use grail_buffer::pool::{BufferPool, EnergyModel};
+use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
+use grail_storage::page::PageId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+const ACCESSES: usize = 50_000;
+
+fn trace() -> Vec<PageId> {
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    (0..ACCESSES)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0f64..1.0);
+            PageId::new(0, (u.powf(3.0) * 2048.0) as u32)
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let t = trace();
+    let mut g = c.benchmark_group("buffer_policies");
+    g.throughput(Throughput::Elements(ACCESSES as u64));
+    let kinds: [(&str, PolicyKind); 4] = [
+        ("lru", PolicyKind::Lru),
+        ("clock", PolicyKind::Clock),
+        ("2q", PolicyKind::TwoQ),
+        (
+            "energy",
+            PolicyKind::EnergyAware {
+                residency_watts_per_page: Watts::new(0.001),
+            },
+        ),
+    ];
+    for (name, kind) in kinds {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, t| {
+            b.iter(|| {
+                let mut pool = BufferPool::new(
+                    256,
+                    kind,
+                    EnergyModel {
+                        residency_watts_per_page: Watts::new(0.001),
+                    },
+                );
+                for (i, p) in t.iter().enumerate() {
+                    let now = SimInstant::EPOCH + SimDuration::from_millis(i as u64);
+                    pool.access(black_box(*p), now, Joules::new(1.0));
+                }
+                pool.stats().hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

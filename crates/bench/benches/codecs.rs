@@ -1,0 +1,78 @@
+//! Criterion: real (host) throughput of the compression codecs.
+//!
+//! Simulated CPU charges are calibrated constants; this bench keeps the
+//! *actual* codec implementations honest (a codec whose real decode is
+//! pathologically slow would make the calibration a lie).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grail_storage::compress::{self, lzb, Encoding};
+use std::hint::black_box;
+
+fn datasets() -> Vec<(&'static str, Vec<i64>)> {
+    let n = 100_000;
+    vec![
+        ("runs", (0..n).map(|i| i / 1000).collect()),
+        ("low_card", (0..n).map(|i| i % 7).collect()),
+        (
+            "small_range",
+            (0..n).map(|i| (i * 2_654_435_761i64) % 100_000).collect(),
+        ),
+        (
+            "sorted_wide",
+            (0..n).map(|i| 1_000_000_000_000 + i * 17).collect(),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for (name, data) in datasets() {
+        g.throughput(Throughput::Bytes((data.len() * 8) as u64));
+        for enc in Encoding::ALL {
+            g.bench_with_input(BenchmarkId::new(enc.name(), name), &data, |b, data| {
+                b.iter(|| compress::encode(black_box(data), enc))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    for (name, data) in datasets() {
+        g.throughput(Throughput::Bytes((data.len() * 8) as u64));
+        for enc in Encoding::ALL {
+            let encoded = compress::encode(&data, enc);
+            g.bench_with_input(
+                BenchmarkId::new(enc.name(), name),
+                &encoded,
+                |b, encoded| b.iter(|| compress::decode(black_box(encoded), enc).expect("valid")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_lzb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzb");
+    let page: Vec<u8> = (0..500u32)
+        .flat_map(|i| {
+            let mut v = b"ORDERKEY=".to_vec();
+            v.extend_from_slice(&i.to_le_bytes());
+            v.extend_from_slice(b";STATUS=OPEN;PRIO=1-URGENT;");
+            v
+        })
+        .collect();
+    g.throughput(Throughput::Bytes(page.len() as u64));
+    g.bench_function("compress_page", |b| {
+        b.iter(|| lzb::compress(black_box(&page)))
+    });
+    let packed = lzb::compress(&page);
+    g.bench_function("decompress_page", |b| {
+        b.iter(|| lzb::decompress(black_box(&packed)).expect("valid"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_lzb);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion: host throughput of the physical operators over real data.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grail_core::db::LOGICAL_TARGET;
+use grail_query::batch::Table;
+use grail_query::exec::{run_collect, ExecContext, Operator};
+use grail_query::expr::Expr;
+use grail_query::ops::sort::{SortOrder, SortSpec};
+use grail_query::ops::{
+    AggFunc, AggSpec, ColumnarScan, Filter, HashAggregate, HashJoin, Sort, StoredTable,
+};
+use grail_query::schema::{ColumnType, Schema};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 100_000;
+
+fn stored() -> Arc<StoredTable> {
+    let schema = Schema::new(vec![
+        ("k", ColumnType::Id),
+        ("g", ColumnType::Code),
+        ("v", ColumnType::Int),
+    ]);
+    let table = Arc::new(Table::new(
+        "t",
+        schema,
+        vec![
+            (0..ROWS as i64).collect(),
+            (0..ROWS as i64).map(|i| i % 16).collect(),
+            (0..ROWS as i64).map(|i| (i * 37) % 10_000).collect(),
+        ],
+    ));
+    Arc::new(StoredTable::columnar_auto(table, LOGICAL_TARGET))
+}
+
+fn drain(mut op: Box<dyn Operator>) -> usize {
+    let mut ctx = ExecContext::calibrated();
+    let out = run_collect(op.as_mut(), &mut ctx).expect("operator runs");
+    out.iter().map(|b| b.len()).sum()
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let s = stored();
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(ROWS as u64));
+
+    g.bench_function("columnar_scan", |b| {
+        b.iter(|| {
+            drain(Box::new(ColumnarScan::new(
+                black_box(s.clone()),
+                vec![0, 1, 2],
+            )))
+        })
+    });
+
+    g.bench_function("filter", |b| {
+        b.iter(|| {
+            drain(Box::new(Filter::new(
+                Box::new(ColumnarScan::new(s.clone(), vec![0, 1, 2])),
+                Expr::lt(Expr::Col(2), Expr::Lit(5000)),
+            )))
+        })
+    });
+
+    g.bench_function("hash_aggregate", |b| {
+        b.iter(|| {
+            drain(Box::new(HashAggregate::new(
+                Box::new(ColumnarScan::new(s.clone(), vec![1, 2])),
+                vec![0],
+                vec![
+                    AggSpec::new(AggFunc::Sum, 1, "sum"),
+                    AggSpec::new(AggFunc::Count, 0, "cnt"),
+                ],
+            )))
+        })
+    });
+
+    g.bench_function("sort", |b| {
+        b.iter(|| {
+            drain(Box::new(Sort::new(
+                Box::new(ColumnarScan::new(s.clone(), vec![2, 0])),
+                SortSpec {
+                    keys: vec![(0, SortOrder::Asc)],
+                    memory_grant: u64::MAX,
+                    spill_target: LOGICAL_TARGET,
+                },
+            )))
+        })
+    });
+
+    g.bench_function("hash_join_fk", |b| {
+        b.iter(|| {
+            let dim = ColumnarScan::new(s.clone(), vec![1]);
+            let fact = ColumnarScan::new(s.clone(), vec![1, 2]);
+            drain(Box::new(HashJoin::new(
+                Box::new(HashAggregate::new(
+                    Box::new(dim),
+                    vec![0],
+                    vec![AggSpec::new(AggFunc::Count, 0, "c")],
+                )),
+                Box::new(fact),
+                0,
+                0,
+            )))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

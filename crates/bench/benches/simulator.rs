@@ -1,0 +1,77 @@
+//! Criterion: simulator event throughput — how many device reservations
+//! and whole FIG1-style runs the host executes per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
+use grail_core::profile::HardwareProfile;
+use grail_power::components::{CpuPowerProfile, DiskPowerProfile};
+use grail_power::units::{Bytes, Cycles, Hertz, SimInstant};
+use grail_sim::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile};
+use grail_sim::raid::RaidLevel;
+use grail_sim::sim::Simulation;
+use grail_sim::StorageTarget;
+use grail_workload::tpch::TpchScale;
+use std::hint::black_box;
+
+fn bench_reservations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    const OPS: u64 = 10_000;
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("array_reservations", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let cpu = sim.add_cpu(
+                CpuPerfProfile {
+                    cores: 8,
+                    freq: Hertz::ghz(2.0),
+                },
+                CpuPowerProfile::opteron_socket(),
+            );
+            let disks = sim.add_disks(
+                16,
+                DiskPerfProfile::scsi_15k(),
+                DiskPowerProfile::scsi_15k(),
+            );
+            let arr = sim.make_array(RaidLevel::Raid5, disks).expect("geometry");
+            let mut t = SimInstant::EPOCH;
+            for i in 0..OPS {
+                let r = sim
+                    .read(
+                        StorageTarget::Array(arr),
+                        t,
+                        Bytes::kib(64 + (i % 64)),
+                        AccessPattern::Sequential,
+                    )
+                    .expect("read");
+                sim.compute(cpu, t, Cycles::new(1_000_000)).expect("cpu");
+                t = r.end;
+            }
+            black_box(sim.finish(t).total_energy())
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("fig1_one_config", |b| {
+        b.iter(|| {
+            let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(66));
+            db.load_tpch(TpchScale { orders_rows: 2000 });
+            black_box(db.run_throughput_test(
+                4,
+                2,
+                ExecPolicy {
+                    compression: CompressionMode::Plain,
+                    dop: 4,
+                },
+                1000.0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reservations, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Export plot-ready CSV series for the paper's figures from
+//! `experiments.jsonl` (run the `fig1_*`/`fig2_*` binaries first).
+//!
+//! Produces `figures/fig1_time.csv`, `figures/fig1_efficiency.csv`
+//! (the two series of the paper's Figure 1) and `figures/fig2_bars.csv`
+//! (Figure 2's grouped bars).
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+fn records(path: &Path) -> Vec<Value> {
+    let Ok(text) = fs::read_to_string(path) else {
+        eprintln!("no {path:?}; run the fig1/fig2 binaries first");
+        std::process::exit(1);
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("valid JSONL"))
+        .collect()
+}
+
+fn main() {
+    let recs = records(Path::new("experiments.jsonl"));
+    fs::create_dir_all("figures").expect("create figures/");
+
+    // Figure 1: time and efficiency vs disks (last record per config).
+    let mut fig1: Vec<(u32, f64, f64)> = Vec::new();
+    for r in &recs {
+        if r["experiment"] == "FIG1" {
+            let config = r["config"].as_str().expect("config");
+            let disks: u32 = config
+                .strip_prefix("disks=")
+                .expect("disks config")
+                .parse()
+                .expect("disk count");
+            let row = (
+                disks,
+                r["elapsed_secs"].as_f64().expect("elapsed"),
+                r["efficiency"].as_f64().expect("efficiency"),
+            );
+            if let Some(existing) = fig1.iter_mut().find(|(d, _, _)| *d == disks) {
+                *existing = row;
+            } else {
+                fig1.push(row);
+            }
+        }
+    }
+    fig1.sort_by_key(|(d, _, _)| *d);
+    let mut time_csv = String::from("disks,time_s\n");
+    let mut ee_csv = String::from("disks,efficiency_work_per_joule\n");
+    for (d, t, e) in &fig1 {
+        time_csv.push_str(&format!("{d},{t}\n"));
+        ee_csv.push_str(&format!("{d},{e}\n"));
+    }
+    fs::write("figures/fig1_time.csv", &time_csv).expect("write");
+    fs::write("figures/fig1_efficiency.csv", &ee_csv).expect("write");
+
+    // Figure 2: grouped bars (total time, CPU time) + energy labels.
+    let mut fig2_csv = String::from("config,total_s,cpu_s,energy_j\n");
+    let mut fig2_rows = 0;
+    for r in &recs {
+        if r["experiment"] == "FIG2" {
+            let cpu = r["extra"]["cpu_busy_secs"].as_f64().unwrap_or(0.0);
+            fig2_csv.push_str(&format!(
+                "{},{},{cpu},{}\n",
+                r["config"].as_str().expect("config"),
+                r["elapsed_secs"].as_f64().expect("elapsed"),
+                r["energy_j"].as_f64().expect("energy"),
+            ));
+            fig2_rows += 1;
+        }
+    }
+    fs::write("figures/fig2_bars.csv", &fig2_csv).expect("write");
+
+    println!(
+        "wrote figures/fig1_time.csv ({} points), figures/fig1_efficiency.csv, figures/fig2_bars.csv ({fig2_rows} bars)",
+        fig1.len()
+    );
+    if fig1.is_empty() || fig2_rows == 0 {
+        eprintln!("warning: missing FIG1 or FIG2 records — run those binaries first");
+    }
+}

@@ -1,0 +1,92 @@
+//! EXT-JS — a JouleSort-style benchmark (\[RSR+07\], Sec. 2.3): records
+//! sorted per Joule across hardware classes.
+//!
+//! Expected shape (the JouleSort paper's own finding): a balanced
+//! low-power machine (our flash scanner) beats a brawny server on
+//! records/Joule even though the server finishes sooner, because the
+//! server's idle floor burns through the whole run.
+
+use grail_bench::{print_header, print_row, ExperimentRecord};
+use grail_core::profile::HardwareProfile;
+use grail_query::exec::{run_collect, ExecContext};
+use grail_query::ops::sort::{SortOrder, SortSpec};
+use grail_query::ops::{ColumnarScan, Sort, StoredTable};
+use grail_sim::driver::run_streams;
+use grail_workload::joulesort::{records, score, RECORD_BYTES};
+use std::path::Path;
+use std::sync::Arc;
+
+const RECORDS: u64 = 100_000;
+/// Stretch measured demands to a 100 M-record (≈10 GB) JouleSort class.
+const STRETCH: f64 = 1000.0;
+
+fn run(profile: HardwareProfile, grant: u64, dop: u32) -> (f64, f64, u64) {
+    let table = records(RECORDS, 3);
+    let (mut sim, cpu, targets) = profile.build();
+    let stored = Arc::new(StoredTable::columnar_plain(
+        table,
+        grail_core::db::LOGICAL_TARGET,
+    ));
+    let all: Vec<usize> = (0..stored.table.schema.arity()).collect();
+    let mut sort = Sort::new(
+        Box::new(ColumnarScan::new(stored, all)),
+        SortSpec {
+            keys: vec![(0, SortOrder::Asc)],
+            memory_grant: grant,
+            spill_target: grail_core::db::LOGICAL_TARGET,
+        },
+    );
+    let mut ctx = ExecContext::calibrated();
+    let out = run_collect(&mut sort, &mut ctx).expect("sort runs");
+    let rows: usize = out.iter().map(|b| b.len()).sum();
+    assert_eq!(rows as u64, RECORDS);
+    // Scale demands and stripe across the profile's devices.
+    let tallies: Vec<_> = ctx
+        .finish()
+        .iter()
+        .map(|t| grail_workload::mix::scale_tally(t, STRETCH))
+        .collect();
+    let job = grail_workload::mix::job_from_tallies(&tallies, dop);
+    let job = grail_core::db::stripe_job(&job, &targets);
+    let drive = run_streams(&mut sim, cpu, &[vec![job]]).expect("drive");
+    let rep = sim.finish(drive.makespan);
+    (
+        rep.elapsed.as_secs_f64(),
+        rep.total_energy().joules(),
+        (RECORDS as f64 * STRETCH) as u64,
+    )
+}
+
+fn main() {
+    print_header(
+        "EXT-JS",
+        "JouleSort-style: records sorted per Joule, server vs flash box",
+    );
+    let out = Path::new("experiments.jsonl");
+    let total_bytes = (RECORDS as f64 * STRETCH) as u64 * RECORD_BYTES;
+    println!(
+        "sorting {:.1} GB of {}-byte records (external sort, 1 GiB grant)",
+        total_bytes as f64 / 1e9,
+        RECORD_BYTES
+    );
+    for (label, profile, dop) in [
+        ("dl785_36disks", HardwareProfile::server_dl785(36), 32u32),
+        ("flash_scanner", HardwareProfile::flash_scanner(), 1),
+    ] {
+        let (t, e, n) = run(profile, 1 << 30, dop);
+        let rec = ExperimentRecord::new(
+            "EXT-JS",
+            label,
+            t,
+            e,
+            n as f64,
+            serde_json::json!({"records_per_joule": score(n, e)}),
+        );
+        print_row(&rec);
+        println!("    JouleSort score: {:.0} records/J", score(n, e));
+        rec.append_to(out).expect("append");
+    }
+    println!();
+    println!("expected shape ([RSR+07]): the balanced low-power box wins records/Joule;");
+    println!("the brawny server wins wall-clock. Efficiency != performance, again.");
+}

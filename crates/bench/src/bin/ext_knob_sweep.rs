@@ -1,0 +1,74 @@
+//! EXT-KNOB — Sec. 4.1's knob table: sweep the DBA-visible knobs
+//! (parallelism, memory grant, compression, DVFS point) over a
+//! scan-and-sort workload and report the best setting per objective.
+
+use grail_bench::{print_header, ExperimentRecord};
+use grail_optimizer::advisor::{advise, evaluate, KnobWorkload};
+use grail_optimizer::cost::HardwareDesc;
+use grail_optimizer::knobs::{sweep, KnobGrid};
+use grail_optimizer::objective::Objective;
+use grail_power::dvfs::DvfsModel;
+use std::path::Path;
+
+fn main() {
+    print_header(
+        "EXT-KNOB",
+        "Sec. 4.1 knob sweep: best setting per objective",
+    );
+    let out = Path::new("experiments.jsonl");
+    let grid = KnobGrid::small();
+    let workload = KnobWorkload::scan_sort_default();
+    let dvfs = DvfsModel::opteron_like();
+
+    for (hw_name, hw) in [
+        ("flash_scanner", HardwareDesc::fig2_flash_scanner()),
+        ("dl785_66", HardwareDesc::dl785(66)),
+    ] {
+        println!();
+        println!("hardware: {hw_name} ({} grid points)", grid.len());
+        println!(
+            "{:<12} {:>5} {:>10} {:>12} {:>7} {:>10} {:>12}",
+            "objective", "dop", "grant", "compressed", "pstate", "time (s)", "energy (J)"
+        );
+        for obj in [Objective::MinTime, Objective::MinEnergy, Objective::MinEdp] {
+            let a = advise(&grid, &workload, hw, &dvfs, obj);
+            println!(
+                "{:<12} {:>5} {:>10} {:>12} {:>7} {:>10.2} {:>12.1}",
+                obj.name(),
+                a.config.dop,
+                format!("{}M", a.config.memory_grant >> 20),
+                a.config.compression,
+                a.config.pstate,
+                a.cost.elapsed_secs,
+                a.cost.energy_j
+            );
+            ExperimentRecord::new(
+                "EXT-KNOB",
+                &format!("{hw_name}:{}", obj.name()),
+                a.cost.elapsed_secs,
+                a.cost.energy_j,
+                workload.scan_values,
+                serde_json::json!({
+                    "dop": a.config.dop,
+                    "grant": a.config.memory_grant,
+                    "compression": a.config.compression,
+                    "pstate": a.config.pstate,
+                }),
+            )
+            .append_to(out)
+            .expect("append");
+        }
+        // How much the energy setting saves vs the time setting.
+        let t = advise(&grid, &workload, hw, &dvfs, Objective::MinTime);
+        let e = advise(&grid, &workload, hw, &dvfs, Objective::MinEnergy);
+        let worst = sweep(&grid)
+            .into_iter()
+            .map(|c| evaluate(c, &workload, hw, &dvfs).energy_j)
+            .fold(f64::MIN, f64::max);
+        println!(
+            "  energy setting saves {:.1}% vs time setting, {:.1}% vs the worst knob point",
+            100.0 * (1.0 - e.cost.energy_j / t.cost.energy_j),
+            100.0 * (1.0 - e.cost.energy_j / worst)
+        );
+    }
+}

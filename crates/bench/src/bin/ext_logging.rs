@@ -1,0 +1,130 @@
+//! EXT-LOG — Sec. 5.2's logging direction: "increase the batching
+//! factor (and increase response time) to avoid frequent commits on
+//! stable storage", and "migrate certain data … to operate directly on
+//! stable storage" (a flash log device).
+//!
+//! An OLTP-ish commit stream (2 000 commits/s, 300-byte records) runs
+//! through the WAL under per-commit vs group-commit policies, on a 15K
+//! disk log and on a flash log.
+
+use grail_bench::{print_header, ExperimentRecord};
+use grail_power::components::{DiskPowerProfile, SsdPowerProfile};
+use grail_power::units::{Bytes, SimDuration, SimInstant};
+use grail_sim::perf::{AccessPattern, DiskPerfProfile, SsdPerfProfile};
+use grail_sim::sim::Simulation;
+use grail_sim::StorageTarget;
+use grail_storage::wal::{schedule, FlushPolicy};
+use std::path::Path;
+
+const COMMITS: u64 = 20_000;
+const RATE_HZ: u64 = 2_000;
+const RECORD: u64 = 300;
+
+fn commit_stream() -> Vec<(SimInstant, Bytes)> {
+    (0..COMMITS)
+        .map(|i| {
+            (
+                SimInstant::EPOCH + SimDuration::from_micros(i * 1_000_000 / RATE_HZ),
+                Bytes::new(RECORD),
+            )
+        })
+        .collect()
+}
+
+/// Run a WAL schedule against a log device; returns (energy J, device
+/// busy s, end-to-end makespan s).
+fn run_on_device(policy: FlushPolicy, flash: bool) -> (f64, f64, f64) {
+    let commits = commit_stream();
+    let plan = schedule(&commits, policy);
+    let mut sim = Simulation::new();
+    let target = if flash {
+        StorageTarget::Ssd(sim.add_ssd(SsdPerfProfile::fig2_flash(), SsdPowerProfile::enterprise()))
+    } else {
+        StorageTarget::Disk(sim.add_disk(DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k()))
+    };
+    let mut end = SimInstant::EPOCH;
+    for f in &plan.forces {
+        let r = sim
+            .write(
+                target,
+                f.at.max(end),
+                f.bytes,
+                AccessPattern::Random { ios: 1 },
+            )
+            .expect("log write");
+        end = r.end;
+    }
+    let busy = match target {
+        StorageTarget::Disk(d) => sim.disk_stats(d).expect("disk").busy,
+        StorageTarget::Ssd(s) => sim.ssd_stats(s).expect("ssd").busy,
+        _ => unreachable!(),
+    };
+    let rep = sim.finish(end);
+    (
+        rep.total_energy().joules(),
+        busy.as_secs_f64(),
+        rep.elapsed.as_secs_f64(),
+    )
+}
+
+fn main() {
+    print_header("EXT-LOG", "group-commit batching factor × log device");
+    let out = Path::new("experiments.jsonl");
+    let commits = commit_stream();
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "policy/device", "forces", "added lat", "busy (s)", "energy (J)", "J per commit"
+    );
+    let policies: Vec<(String, FlushPolicy)> = vec![
+        ("per_commit".to_string(), FlushPolicy::PerCommit),
+        (
+            "group_8".to_string(),
+            FlushPolicy::GroupCommit {
+                max_batch: 8,
+                max_wait: SimDuration::from_millis(10),
+            },
+        ),
+        (
+            "group_64".to_string(),
+            FlushPolicy::GroupCommit {
+                max_batch: 64,
+                max_wait: SimDuration::from_millis(50),
+            },
+        ),
+    ];
+    for flash in [false, true] {
+        let device = if flash { "flash" } else { "disk15k" };
+        for (name, policy) in &policies {
+            let plan = schedule(&commits, *policy);
+            let (energy, busy, makespan) = run_on_device(*policy, flash);
+            let per_commit = energy / COMMITS as f64;
+            println!(
+                "{:<28} {:>8} {:>11.1}ms {:>12.2} {:>12.1} {:>14.4}",
+                format!("{name}@{device}"),
+                plan.force_count(),
+                plan.mean_added_latency(&commits).as_secs_f64() * 1000.0,
+                busy,
+                energy,
+                per_commit
+            );
+            ExperimentRecord::new(
+                "EXT-LOG",
+                &format!("{name}@{device}"),
+                makespan,
+                energy,
+                COMMITS as f64,
+                serde_json::json!({
+                    "forces": plan.force_count(),
+                    "added_latency_ms": plan.mean_added_latency(&commits).as_secs_f64() * 1000.0,
+                    "device_busy_s": busy,
+                }),
+            )
+            .append_to(out)
+            .expect("append");
+        }
+    }
+    println!();
+    println!("shape: per-commit on disk cannot even sustain the rate (each force costs a");
+    println!("rotation); batching collapses forces 8-64x; flash removes the positioning tax");
+    println!("— the Sec. 5.2 prediction that new storage moves the logging design point.");
+}

@@ -1,0 +1,96 @@
+//! FIG1 — Figure 1 of the paper: time and energy efficiency of the
+//! TPC-H-like throughput test vs number of disks {36, 66, 108, 204}.
+//!
+//! Expected shape (paper): time falls as spindles are added; energy
+//! efficiency peaks at 66 disks — "the most efficient point offers a 14%
+//! increase in efficiency for a 45% drop in performance" relative to the
+//! 204-disk maximum-performance point — and the disk subsystem draws
+//! more than half the system power.
+
+use grail_bench::{print_header, print_row, ExperimentRecord};
+use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
+use grail_core::profile::HardwareProfile;
+use grail_workload::tpch::TpchScale;
+use std::path::Path;
+
+fn main() {
+    let disks = [36usize, 66, 108, 204];
+    // Queries at the audited 300 GB class: demands measured at toy
+    // scale (10 K orders) and stretched 30 000× (≈ SF 200). The audited
+    // system's page compression achieved only ~1.17× (300 GB → 256 GB),
+    // which our Plain columnar layout approximates; our column codecs
+    // compress 4×+ and would shift the mix away from the audited
+    // machine's disk-bound regime.
+    let stretch = 30_000.0;
+    let streams = 8;
+    let queries_per_stream = 4;
+    let policy = ExecPolicy {
+        compression: CompressionMode::Plain,
+        dop: 4,
+    };
+
+    print_header(
+        "FIG1",
+        "TPC-H throughput test: time & energy efficiency vs #disks",
+    );
+    let out = Path::new("experiments.jsonl");
+    let mut rows = Vec::new();
+    for d in disks {
+        let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(d));
+        db.load_tpch(TpchScale::toy());
+        let r = db.run_throughput_test(streams, queries_per_stream, policy, stretch);
+        let rec = ExperimentRecord::new(
+            "FIG1",
+            &format!("disks={d}"),
+            r.elapsed.as_secs_f64(),
+            r.energy.joules(),
+            r.work,
+            serde_json::json!({
+                "disk_share": r.disk_share(),
+                "avg_power_w": r.avg_power().get(),
+            }),
+        );
+        print_row(&rec);
+        rec.append_to(out).expect("append experiments.jsonl");
+        rows.push((d, rec));
+    }
+
+    // The paper's headline numbers.
+    let ee = |d: usize| {
+        rows.iter()
+            .find(|(n, _)| *n == d)
+            .map(|(_, r)| r.efficiency)
+            .expect("swept")
+    };
+    let t = |d: usize| {
+        rows.iter()
+            .find(|(n, _)| *n == d)
+            .map(|(_, r)| r.elapsed_secs)
+            .expect("swept")
+    };
+    let peak = rows
+        .iter()
+        .max_by(|a, b| a.1.efficiency.partial_cmp(&b.1.efficiency).expect("finite"))
+        .expect("non-empty")
+        .0;
+    println!();
+    println!("efficiency peak:        {peak} disks (paper: 66)");
+    println!(
+        "EE(66)/EE(204):         {:.3} (paper: ~1.14)",
+        ee(66) / ee(204)
+    );
+    println!(
+        "perf(66)/perf(204):     {:.3} (paper: ~0.55)",
+        t(204) / t(66)
+    );
+    let share = rows
+        .iter()
+        .find(|(n, _)| *n == 66)
+        .and_then(|(_, r)| r.extra.get("disk_share"))
+        .and_then(|v| v.as_f64())
+        .expect("recorded");
+    println!(
+        "disk power share @66:   {:.1}% (paper: >50%)",
+        share * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! FIG2 — Figure 2 of the paper: a relational scan of ORDERS projecting
+//! 5 of 7 columns, uncompressed vs compressed, on one 90 W CPU and
+//! three flash drives totalling 5 W.
+//!
+//! Expected shape (paper): uncompressed is disk-bound (10 s total,
+//! 3.2 s CPU, 338 J); compressed trades CPU for bandwidth and becomes
+//! CPU-bound (5.5 s total, 5.1 s CPU) — ~2× faster yet ~44% **more**
+//! energy (487 J), because the CPU is 18× the power of the flash.
+
+use grail_bench::{print_header, print_row, ExperimentRecord};
+use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy, ScanSpec};
+use grail_core::profile::HardwareProfile;
+use grail_workload::tpch::TpchScale;
+use std::path::Path;
+
+fn main() {
+    // Stretch toy ORDERS (10 K rows) to Fig. 2's ~150 M-row table
+    // (300 GB scale factor): the 5-column projection is then ~6 GB.
+    let stretch = 15_000.0;
+    let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+    db.load_tpch(TpchScale::toy());
+
+    print_header(
+        "FIG2",
+        "ORDERS 5/7-column scan, uncompressed vs compressed (1 CPU @90W, 3 SSDs @5W)",
+    );
+    let out = Path::new("experiments.jsonl");
+    let mut results = Vec::new();
+    for (label, mode) in [
+        ("uncompressed", CompressionMode::Plain),
+        ("compressed", CompressionMode::Fig2),
+    ] {
+        let r = db.run_scan(
+            &ScanSpec::fig2(),
+            ExecPolicy {
+                compression: mode,
+                dop: 1,
+            },
+            stretch,
+        );
+        let rec = ExperimentRecord::new(
+            "FIG2",
+            label,
+            r.elapsed.as_secs_f64(),
+            r.energy.joules(),
+            r.work,
+            serde_json::json!({
+                "cpu_secs": r.cpu_busy.as_secs_f64() * stretch.max(1.0) / stretch,
+                "cpu_busy_secs": r.cpu_busy.as_secs_f64(),
+                "avg_power_w": r.avg_power().get(),
+            }),
+        );
+        print_row(&rec);
+        rec.append_to(out).expect("append experiments.jsonl");
+        results.push((label, r));
+    }
+
+    let (_, unc) = &results[0];
+    let (_, cmp) = &results[1];
+    println!();
+    println!(
+        "uncompressed: total {:.2}s  CPU {:.2}s  E {:.0}J   (paper: 10s / 3.2s / 338J)",
+        unc.elapsed.as_secs_f64(),
+        unc.cpu_busy.as_secs_f64(),
+        unc.energy.joules()
+    );
+    println!(
+        "compressed:   total {:.2}s  CPU {:.2}s  E {:.0}J   (paper: 5.5s / 5.1s / 487J)",
+        cmp.elapsed.as_secs_f64(),
+        cmp.cpu_busy.as_secs_f64(),
+        cmp.energy.joules()
+    );
+    println!(
+        "speedup {:.2}x (paper ~1.8x); energy ratio {:.2}x (paper ~1.44x)",
+        unc.elapsed.as_secs_f64() / cmp.elapsed.as_secs_f64(),
+        cmp.energy.joules() / unc.energy.joules()
+    );
+    println!(
+        "=> the faster plan burns more Joules: optimizing for performance != optimizing for energy"
+    );
+}

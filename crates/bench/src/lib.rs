@@ -1,0 +1,13 @@
+//! # grail-bench — the experiment harness
+//!
+//! One binary per figure/table of the paper (see DESIGN.md §3 for the
+//! index), plus Criterion micro-benches. The library part holds shared
+//! reporting helpers so every binary prints comparable rows and appends
+//! machine-readable JSON records.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod record;
+
+pub use record::{print_header, print_row, ExperimentRecord};

@@ -1,0 +1,100 @@
+//! Shared reporting for the experiment binaries: aligned console rows
+//! plus machine-readable JSON records appended to `experiments.jsonl`.
+
+use serde::Serialize;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment result row, serialized to JSONL for EXPERIMENTS.md
+/// tooling.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id from DESIGN.md §3 (e.g. "FIG1").
+    pub experiment: String,
+    /// The swept configuration ("disks=66", "compressed", …).
+    pub config: String,
+    /// Elapsed simulated seconds.
+    pub elapsed_secs: f64,
+    /// Total energy in Joules.
+    pub energy_j: f64,
+    /// Work completed (experiment-defined units).
+    pub work: f64,
+    /// Energy efficiency (work per Joule).
+    pub efficiency: f64,
+    /// Free-form extras (component shares, knob values, …).
+    pub extra: serde_json::Value,
+}
+
+impl ExperimentRecord {
+    /// Build a record, deriving efficiency.
+    pub fn new(
+        experiment: &str,
+        config: &str,
+        elapsed_secs: f64,
+        energy_j: f64,
+        work: f64,
+        extra: serde_json::Value,
+    ) -> Self {
+        ExperimentRecord {
+            experiment: experiment.to_string(),
+            config: config.to_string(),
+            elapsed_secs,
+            energy_j,
+            work,
+            efficiency: if energy_j > 0.0 { work / energy_j } else { 0.0 },
+            extra,
+        }
+    }
+
+    /// Append this record to `path` as one JSON line.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{}", serde_json::to_string(self).expect("serializable"))
+    }
+}
+
+/// Print an experiment header.
+pub fn print_header(experiment: &str, description: &str) {
+    println!("== {experiment}: {description}");
+    println!(
+        "{:<26} {:>12} {:>14} {:>12} {:>14}",
+        "config", "time (s)", "energy (J)", "work", "EE (work/J)"
+    );
+}
+
+/// Print one aligned result row.
+pub fn print_row(r: &ExperimentRecord) {
+    println!(
+        "{:<26} {:>12.3} {:>14.1} {:>12.0} {:>14.6e}",
+        r.config, r.elapsed_secs, r.energy_j, r.work, r.efficiency
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_derives_efficiency() {
+        let r = ExperimentRecord::new("T", "c", 2.0, 200.0, 100.0, serde_json::json!({}));
+        assert!((r.efficiency - 0.5).abs() < 1e-12);
+        let z = ExperimentRecord::new("T", "c", 2.0, 0.0, 100.0, serde_json::json!({}));
+        assert_eq!(z.efficiency, 0.0);
+    }
+
+    #[test]
+    fn append_writes_jsonl() {
+        let dir = std::env::temp_dir().join("grail_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let r = ExperimentRecord::new("FIGX", "cfg", 1.0, 10.0, 5.0, serde_json::json!({"k": 1}));
+        r.append_to(&path).unwrap();
+        r.append_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"experiment\":\"FIGX\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: pool capacity/pin invariants hold under arbitrary
+//! traces, for every policy.
+
+use grail_buffer::policy::PolicyKind;
+use grail_buffer::pool::{Access, BufferPool, EnergyModel};
+use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
+use grail_storage::page::PageId;
+use proptest::prelude::*;
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::TwoQ,
+        PolicyKind::EnergyAware {
+            residency_watts_per_page: Watts::new(0.001),
+        },
+    ]
+}
+
+fn model() -> EnergyModel {
+    EnergyModel {
+        residency_watts_per_page: Watts::new(0.001),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy never exceeds capacity; hits+misses+bypasses equals the
+    /// trace length; evictions ≤ misses.
+    #[test]
+    fn pool_invariants(
+        cap in 1usize..32,
+        trace in proptest::collection::vec(0u32..64, 1..300),
+    ) {
+        for kind in policies() {
+            let mut pool = BufferPool::new(cap, kind, model());
+            for (i, p) in trace.iter().enumerate() {
+                let now = SimInstant::EPOCH + SimDuration::from_millis(i as u64);
+                pool.access(PageId::new(0, *p), now, Joules::new(0.5));
+                prop_assert!(pool.occupancy() <= cap, "{}", pool.policy_name());
+            }
+            let name = pool.policy_name();
+            let s = pool.stats();
+            prop_assert_eq!(
+                s.hits + s.misses + s.bypasses,
+                trace.len() as u64,
+                "{}", name
+            );
+            prop_assert!(s.evictions <= s.misses, "{}", name);
+        }
+    }
+
+    /// A page accessed twice in a row is always a hit the second time
+    /// (no policy evicts the page it just admitted when capacity ≥ 1 and
+    /// nothing else intervenes).
+    #[test]
+    fn immediate_reaccess_hits(cap in 1usize..8, page in 0u32..16) {
+        for kind in policies() {
+            let mut pool = BufferPool::new(cap, kind, model());
+            pool.access(PageId::new(0, page), SimInstant::EPOCH, Joules::ZERO);
+            let a = pool.access(
+                PageId::new(0, page),
+                SimInstant::EPOCH + SimDuration::from_millis(1),
+                Joules::ZERO,
+            );
+            prop_assert_eq!(a, Access::Hit, "{}", pool.policy_name());
+        }
+    }
+
+    /// Pinned pages survive arbitrary pressure.
+    #[test]
+    fn pins_always_respected(
+        cap in 2usize..16,
+        trace in proptest::collection::vec(1u32..64, 1..200),
+    ) {
+        for kind in policies() {
+            let mut pool = BufferPool::new(cap, kind, model());
+            let hot = PageId::new(9, 0);
+            pool.access(hot, SimInstant::EPOCH, Joules::ZERO);
+            prop_assert!(pool.pin(hot));
+            for (i, p) in trace.iter().enumerate() {
+                let now = SimInstant::EPOCH + SimDuration::from_millis(1 + i as u64);
+                pool.access(PageId::new(0, *p), now, Joules::ZERO);
+                prop_assert!(pool.contains(hot), "{}", pool.policy_name());
+            }
+        }
+    }
+
+    /// Energy accounting: residency equals occupancy-integral; refetch
+    /// equals misses × cost, for a constant-cost trace.
+    #[test]
+    fn energy_accounting_exact(trace in proptest::collection::vec(0u32..8, 1..100)) {
+        let cost = 2.0;
+        let mut pool = BufferPool::new(4, PolicyKind::Lru, model());
+        let mut expected_residency = 0.0;
+        let mut prev_occ = 0usize;
+        for (i, p) in trace.iter().enumerate() {
+            let now = SimInstant::EPOCH + SimDuration::from_secs(i as u64);
+            if i > 0 {
+                expected_residency += prev_occ as f64 * 0.001;
+            }
+            pool.access(PageId::new(0, *p), now, Joules::new(cost));
+            prev_occ = pool.occupancy();
+        }
+        let s = pool.stats();
+        prop_assert!((s.refetch_energy.joules() - s.misses as f64 * cost).abs() < 1e-9);
+        prop_assert!(
+            (s.residency_energy.joules() - expected_residency).abs() < 1e-9,
+            "got {} expected {}", s.residency_energy.joules(), expected_residency
+        );
+    }
+}

@@ -1,0 +1,482 @@
+//! The [`EnergyAwareDb`] facade: load data, run work, read the meter.
+
+use crate::profile::HardwareProfile;
+use crate::report::EnergyReport;
+use grail_power::units::{Bytes, SimDuration};
+use grail_query::colscan;
+use grail_query::cost_charge::CostCharge;
+use grail_query::exec::{run_collect, ExecContext};
+use grail_query::expr::Expr;
+use grail_sim::driver::{run_streams, IoDemand, JobSpec};
+use grail_sim::DiskId;
+use grail_sim::StorageTarget;
+use grail_workload::mix::{closed_mix, job_from_tallies, scale_tally};
+use grail_workload::queries::{QueryTemplate, StoredCatalog};
+use grail_workload::tpch::{self, TpchScale, TpchTables, ORDERS_FIG2_PROJECTION};
+
+/// How tables are physically stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionMode {
+    /// Columnar, uncompressed.
+    Plain,
+    /// Columnar, heuristically chosen codecs.
+    Auto,
+    /// The conservative Fig. 2 codec set (~1.8–2× on ORDERS).
+    Fig2,
+}
+
+/// Execution policy: the knobs a run is performed under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecPolicy {
+    /// Physical storage mode.
+    pub compression: CompressionMode,
+    /// Per-query degree of parallelism.
+    pub dop: u32,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            compression: CompressionMode::Plain,
+            dop: 1,
+        }
+    }
+}
+
+/// A projection scan request over ORDERS.
+#[derive(Debug, Clone)]
+pub struct ScanSpec {
+    /// Column indices to project.
+    pub projection: Vec<usize>,
+    /// Optional predicate.
+    pub predicate: Option<Expr>,
+}
+
+impl ScanSpec {
+    /// The first `k` ORDERS columns (Fig. 2 uses 5 of 7).
+    pub fn orders_projection(k: usize) -> Self {
+        ScanSpec {
+            projection: (0..k.min(7)).collect(),
+            predicate: None,
+        }
+    }
+
+    /// Fig. 2's exact projection.
+    pub fn fig2() -> Self {
+        ScanSpec {
+            projection: ORDERS_FIG2_PROJECTION.to_vec(),
+            predicate: None,
+        }
+    }
+}
+
+/// The logical storage target tables are bound to before a run maps
+/// them onto a concrete profile's devices. Any job built against it
+/// must pass through [`stripe_job`] before dispatch.
+pub const LOGICAL_TARGET: StorageTarget = StorageTarget::Disk(DiskId(u32::MAX));
+
+/// Split every IO demand of `job` evenly across `targets` (column files
+/// striped over the drives / the RAID array).
+pub fn stripe_job(job: &JobSpec, targets: &[StorageTarget]) -> JobSpec {
+    let n = targets.len().max(1) as u64;
+    JobSpec {
+        arrival: job.arrival,
+        phases: job
+            .phases
+            .iter()
+            .map(|p| {
+                let mut io = Vec::with_capacity(p.io.len() * targets.len());
+                for d in &p.io {
+                    let per = d.bytes.get() / n;
+                    let rem = d.bytes.get() - per * n;
+                    for (i, t) in targets.iter().enumerate() {
+                        let share = if i == 0 { per + rem } else { per };
+                        if share > 0 {
+                            io.push(IoDemand {
+                                target: *t,
+                                bytes: Bytes::new(share),
+                                access: d.access,
+                                op: d.op,
+                            });
+                        }
+                    }
+                }
+                grail_sim::driver::PhaseSpec {
+                    cpu: p.cpu,
+                    dop: p.dop,
+                    io,
+                    overlap: p.overlap,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The energy-aware database: a hardware profile plus loaded tables.
+#[derive(Debug)]
+pub struct EnergyAwareDb {
+    profile: HardwareProfile,
+    tables: Option<TpchTables>,
+    charge: CostCharge,
+}
+
+impl EnergyAwareDb {
+    /// A database on `profile` with nothing loaded.
+    pub fn new(profile: HardwareProfile) -> Self {
+        EnergyAwareDb {
+            profile,
+            tables: None,
+            charge: CostCharge::default_calibrated(),
+        }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+
+    /// Generate and load TPC-H-like tables at `scale` (seed 42).
+    pub fn load_tpch(&mut self, scale: TpchScale) {
+        self.load_tpch_seeded(scale, 42);
+    }
+
+    /// Generate and load with an explicit seed.
+    pub fn load_tpch_seeded(&mut self, scale: TpchScale, seed: u64) {
+        self.tables = Some(tpch::generate(scale, seed));
+    }
+
+    /// The loaded tables.
+    ///
+    /// # Panics
+    /// Panics if nothing is loaded.
+    pub fn tables(&self) -> &TpchTables {
+        self.tables.as_ref().expect("load_tpch first")
+    }
+
+    fn catalog(&self, mode: CompressionMode) -> StoredCatalog {
+        let tables = self.tables();
+        match mode {
+            CompressionMode::Plain => StoredCatalog::plain(tables, LOGICAL_TARGET),
+            CompressionMode::Auto => StoredCatalog::compressed(tables, LOGICAL_TARGET),
+            CompressionMode::Fig2 => StoredCatalog::fig2(tables, LOGICAL_TARGET),
+        }
+    }
+
+    /// Run a projection scan of ORDERS (the Fig. 2 experiment) and
+    /// return the metered outcome. `scale_to` stretches the measured
+    /// demands to a larger ORDERS row count without materializing it
+    /// (1.0 = run at the loaded size).
+    pub fn run_scan(&self, spec: &ScanSpec, policy: ExecPolicy, scale_to: f64) -> EnergyReport {
+        let catalog = self.catalog(policy.compression);
+        let run = colscan::scan_job(
+            catalog.orders.clone(),
+            &spec.projection,
+            spec.predicate.clone(),
+            self.charge,
+            policy.dop,
+        )
+        .expect("scan over validated projection");
+        let (mut sim, cpu, targets) = self.profile.build();
+        let mut job = run.job.clone();
+        if (scale_to - 1.0).abs() > 1e-9 {
+            for p in &mut job.phases {
+                p.cpu =
+                    grail_power::units::Cycles::new((p.cpu.get() as f64 * scale_to).round() as u64);
+                for d in &mut p.io {
+                    d.bytes = Bytes::new((d.bytes.get() as f64 * scale_to).round() as u64);
+                }
+            }
+        }
+        let job = stripe_job(&job, &targets);
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("valid targets");
+        let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
+        let report = sim.finish(out.makespan);
+        EnergyReport {
+            profile: self.profile.name,
+            label: format!(
+                "scan[{} cols, {:?}]",
+                spec.projection.len(),
+                policy.compression
+            ),
+            elapsed: report.elapsed,
+            energy: report.total_energy(),
+            work: (run.rows as f64 * scale_to).max(0.0),
+            cpu_busy,
+            ledger: report.ledger,
+        }
+    }
+
+    /// Measure one template's real demands at the loaded scale,
+    /// stretched by `scale_to`, as a dispatchable job plus its result
+    /// row count.
+    fn template_job(
+        &self,
+        template: QueryTemplate,
+        catalog: &StoredCatalog,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> (JobSpec, usize) {
+        let mut plan = template.plan(catalog);
+        let mut ctx = ExecContext::new(self.charge);
+        let out = run_collect(plan.as_mut(), &mut ctx).expect("templates execute");
+        let rows = out.iter().map(|b| b.len()).sum();
+        let tallies: Vec<_> = ctx
+            .finish()
+            .iter()
+            .map(|tally| scale_tally(tally, scale_to))
+            .collect();
+        (job_from_tallies(&tallies, policy.dop), rows)
+    }
+
+    /// Run one query template by itself and meter it.
+    pub fn run_template(
+        &self,
+        template: QueryTemplate,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> EnergyReport {
+        let catalog = self.catalog(policy.compression);
+        let (job, rows) = self.template_job(template, &catalog, policy, scale_to);
+        let (mut sim, cpu, targets) = self.profile.build();
+        let job = stripe_job(&job, &targets);
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("valid job");
+        let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
+        let report = sim.finish(out.makespan);
+        EnergyReport {
+            profile: self.profile.name,
+            label: template.name().to_string(),
+            elapsed: report.elapsed,
+            energy: report.total_energy(),
+            work: rows as f64,
+            cpu_busy,
+            ledger: report.ledger,
+        }
+    }
+
+    /// Run the Fig. 1 throughput test: `streams` concurrent clients,
+    /// each issuing `queries_per_stream` queries round-robin over the
+    /// four templates, with per-query demands measured at the loaded
+    /// scale and stretched by `scale_to`.
+    pub fn run_throughput_test(
+        &self,
+        streams: usize,
+        queries_per_stream: usize,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> EnergyReport {
+        let catalog = self.catalog(policy.compression);
+        // Measure each template's real demands once.
+        let prototypes: Vec<JobSpec> = QueryTemplate::MIX
+            .iter()
+            .map(|t| self.template_job(*t, &catalog, policy, scale_to).0)
+            .collect();
+        let (mut sim, cpu, targets) = self.profile.build();
+        let striped: Vec<JobSpec> = prototypes.iter().map(|j| stripe_job(j, &targets)).collect();
+        let mix = closed_mix(&striped, streams, queries_per_stream);
+        let out = run_streams(&mut sim, cpu, &mix).expect("valid mix");
+        let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
+        let report = sim.finish(out.makespan);
+        EnergyReport {
+            profile: self.profile.name,
+            label: format!("throughput[{streams}x{queries_per_stream}]"),
+            elapsed: report.elapsed,
+            energy: report.total_energy(),
+            work: out.results.len() as f64,
+            cpu_busy,
+            ledger: report.ledger,
+        }
+    }
+
+    /// Ask the knob advisor (Sec. 4.1) for the best configuration of
+    /// this machine for a scan-and-sort workload under `objective`.
+    pub fn advise_knobs(
+        &self,
+        workload: &grail_optimizer::advisor::KnobWorkload,
+        objective: grail_optimizer::objective::Objective,
+    ) -> grail_optimizer::advisor::Advice {
+        grail_optimizer::advisor::advise(
+            &grail_optimizer::knobs::KnobGrid::small(),
+            workload,
+            self.profile.hardware_desc(),
+            &grail_power::dvfs::DvfsModel::opteron_like(),
+            objective,
+        )
+    }
+
+    /// Idle the machine for `d` and meter it (the baseline burn the
+    /// paper's Sec. 2.4 calls out: classic servers draw most of their
+    /// peak power doing nothing).
+    pub fn run_idle(&self, d: SimDuration) -> EnergyReport {
+        let (sim, _, _) = self.profile.build();
+        let report = sim.finish(grail_power::units::SimInstant::EPOCH + d);
+        EnergyReport {
+            profile: self.profile.name,
+            label: "idle".to_string(),
+            elapsed: report.elapsed,
+            energy: report.total_energy(),
+            work: 0.0,
+            cpu_busy: SimDuration::ZERO,
+            ledger: report.ledger,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(profile: HardwareProfile) -> EnergyAwareDb {
+        let mut db = EnergyAwareDb::new(profile);
+        db.load_tpch(TpchScale::toy());
+        db
+    }
+
+    #[test]
+    fn fig2_shape_compressed_faster_but_hungrier() {
+        let db = db(HardwareProfile::flash_scanner());
+        // Stretch toy ORDERS (10 K rows) to Fig. 2's ~150 M rows.
+        let stretch = 15_000.0;
+        let plain = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), stretch);
+        let packed = db.run_scan(
+            &ScanSpec::fig2(),
+            ExecPolicy {
+                compression: CompressionMode::Fig2,
+                dop: 1,
+            },
+            stretch,
+        );
+        assert!(
+            packed.elapsed < plain.elapsed,
+            "compressed is faster: {} vs {}",
+            packed.elapsed,
+            plain.elapsed
+        );
+        assert!(
+            packed.energy > plain.energy,
+            "compressed costs more energy: {} vs {}",
+            packed.energy,
+            plain.energy
+        );
+    }
+
+    #[test]
+    fn fig2_absolute_band() {
+        // At the full stretch the uncompressed scan should land near the
+        // paper's 10 s / 338 J and the compressed near 5.5 s / 487 J
+        // (shape contract: ±25%).
+        let db = db(HardwareProfile::flash_scanner());
+        let stretch = 15_000.0;
+        let plain = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), stretch);
+        let t = plain.elapsed.as_secs_f64();
+        let e = plain.energy.joules();
+        assert!((7.5..12.5).contains(&t), "uncompressed time {t}");
+        assert!((250.0..430.0).contains(&e), "uncompressed energy {e}");
+        let packed = db.run_scan(
+            &ScanSpec::fig2(),
+            ExecPolicy {
+                compression: CompressionMode::Fig2,
+                dop: 1,
+            },
+            stretch,
+        );
+        let t2 = packed.elapsed.as_secs_f64();
+        let e2 = packed.energy.joules();
+        assert!(t2 < t * 0.75, "speedup: {t2} vs {t}");
+        assert!(e2 > e * 1.1, "energy up: {e2} vs {e}");
+    }
+
+    #[test]
+    fn throughput_test_runs_and_counts_queries() {
+        let db = db(HardwareProfile::server_dl785(36));
+        let r = db.run_throughput_test(4, 2, ExecPolicy::default(), 1.0);
+        assert_eq!(r.work, 8.0);
+        assert!(r.elapsed > SimDuration::ZERO);
+        assert!(r.disk_share() > 0.0);
+    }
+
+    #[test]
+    fn more_disks_faster_throughput() {
+        let mk = |d: usize| {
+            let db = db(HardwareProfile::server_dl785(d));
+            db.run_throughput_test(8, 2, ExecPolicy::default(), 30.0)
+        };
+        let slow = mk(36);
+        let fast = mk(204);
+        assert!(fast.elapsed < slow.elapsed);
+        assert!(fast.avg_power().get() > slow.avg_power().get());
+    }
+
+    #[test]
+    fn run_template_meters_single_queries() {
+        let db = db(HardwareProfile::server_dl785(36));
+        for t in QueryTemplate::MIX {
+            let r = db.run_template(t, ExecPolicy::default(), 100.0);
+            assert!(r.work > 0.0, "{} returned rows", t.name());
+            assert!(r.elapsed > SimDuration::ZERO);
+            assert!(r.energy.joules() > 0.0);
+            assert_eq!(r.label, t.name());
+        }
+        // The scan-heavy template costs more energy than the tiny join
+        // at the same stretch.
+        let q1 = db.run_template(QueryTemplate::PricingSummary, ExecPolicy::default(), 100.0);
+        let q3 = db.run_template(QueryTemplate::SegmentRevenue, ExecPolicy::default(), 100.0);
+        assert!(q1.energy.joules() > q3.energy.joules());
+    }
+
+    #[test]
+    fn advise_knobs_through_the_facade() {
+        use grail_optimizer::advisor::KnobWorkload;
+        use grail_optimizer::objective::Objective;
+        let db = db(HardwareProfile::flash_scanner());
+        let w = KnobWorkload::scan_sort_default();
+        let t = db.advise_knobs(&w, Objective::MinTime);
+        let e = db.advise_knobs(&w, Objective::MinEnergy);
+        assert!(e.cost.energy_j <= t.cost.energy_j);
+        assert!(t.cost.elapsed_secs <= e.cost.elapsed_secs);
+    }
+
+    #[test]
+    fn predicate_scans_through_the_facade() {
+        use grail_query::expr::Expr;
+        let db = db(HardwareProfile::flash_scanner());
+        let all = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+        let some = db.run_scan(
+            &ScanSpec {
+                projection: ScanSpec::fig2().projection,
+                // o_orderstatus = 2 ('P') is the rare status (~2%).
+                predicate: Some(Expr::eq(Expr::Col(2), Expr::Lit(2))),
+            },
+            ExecPolicy::default(),
+            1.0,
+        );
+        assert!(some.work < all.work * 0.1, "{} vs {}", some.work, all.work);
+        assert!(some.work > 0.0);
+        // Same bytes off the device; the predicate filters after read.
+        let io = |r: &crate::report::EnergyReport| {
+            r.ledger
+                .kind_total(grail_power::ledger::ComponentKind::Ssd)
+                .joules()
+        };
+        assert!((io(&all) - io(&some)).abs() < io(&all) * 0.2);
+    }
+
+    #[test]
+    fn idle_run_matches_profile_floor() {
+        let db = db(HardwareProfile::server_dl785(66));
+        let r = db.run_idle(SimDuration::from_secs(100));
+        let expect = (941.0 + 66.0 * 15.0) * 100.0;
+        assert!(
+            (r.energy.joules() - expect).abs() < expect * 0.01,
+            "{} vs {expect}",
+            r.energy.joules()
+        );
+        assert_eq!(r.work, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load_tpch")]
+    fn unloaded_db_panics() {
+        let db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+        let _ = db.tables();
+    }
+}

@@ -1,0 +1,119 @@
+//! Energy reports: what the power meter plus stopwatch would have said,
+//! with per-component resolution the meter never had.
+
+use grail_power::ledger::{ComponentKind, EnergyLedger};
+use grail_power::units::{EnergyEfficiency, Joules, SimDuration, Watts};
+use serde::Serialize;
+
+/// The outcome of one measured run.
+#[derive(Debug, Clone, Serialize)]
+pub struct EnergyReport {
+    /// Profile the run executed on.
+    pub profile: &'static str,
+    /// What ran (free-form label).
+    pub label: String,
+    /// Simulated elapsed time.
+    pub elapsed: SimDuration,
+    /// Total energy.
+    pub energy: Joules,
+    /// Units of work completed (queries, rows, records — caller
+    /// defined).
+    pub work: f64,
+    /// CPU busy time summed over cores.
+    pub cpu_busy: SimDuration,
+    /// The full per-component ledger.
+    pub ledger: EnergyLedger,
+}
+
+impl EnergyReport {
+    /// Average power over the run.
+    pub fn avg_power(&self) -> Watts {
+        self.energy.avg_power_over(self.elapsed)
+    }
+
+    /// Energy efficiency (work per Joule) — the paper's Sec. 2.1 metric.
+    pub fn efficiency(&self) -> EnergyEfficiency {
+        EnergyEfficiency::from_work_energy(self.work, self.energy)
+    }
+
+    /// Performance as work per second.
+    pub fn perf(&self) -> f64 {
+        let t = self.elapsed.as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.work / t
+        }
+    }
+
+    /// Share of energy consumed by the disk subsystem.
+    pub fn disk_share(&self) -> f64 {
+        self.ledger.kind_share(ComponentKind::Disk)
+    }
+
+    /// Share of energy consumed by CPUs.
+    pub fn cpu_share(&self) -> f64 {
+        self.ledger.kind_share(ComponentKind::Cpu)
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<24} {:>9.3}s {:>12.1}J {:>9.1}W  EE={:.4e}/J",
+            self.label,
+            self.elapsed.as_secs_f64(),
+            self.energy.joules(),
+            self.avg_power().get(),
+            self.efficiency().work_per_joule(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grail_power::ledger::ComponentId;
+    use grail_power::units::SimInstant;
+
+    fn report() -> EnergyReport {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(ComponentId::new(ComponentKind::Disk, 0), Joules::new(60.0));
+        ledger.charge(ComponentId::new(ComponentKind::Cpu, 0), Joules::new(40.0));
+        ledger.cover(SimInstant::EPOCH, SimInstant::from_secs_f64(10.0));
+        EnergyReport {
+            profile: "test",
+            label: "scan".to_string(),
+            elapsed: SimDuration::from_secs(10),
+            energy: Joules::new(100.0),
+            work: 50.0,
+            cpu_busy: SimDuration::from_secs(4),
+            ledger,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.avg_power().get() - 10.0).abs() < 1e-12);
+        assert!((r.efficiency().work_per_joule() - 0.5).abs() < 1e-12);
+        assert!((r.perf() - 5.0).abs() < 1e-12);
+        assert!((r.disk_share() - 0.6).abs() < 1e-12);
+        assert!((r.cpu_share() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_contains_the_numbers() {
+        let s = report().summary();
+        assert!(s.contains("scan"));
+        assert!(s.contains("10.000s"));
+        assert!(s.contains("100.0J"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = report();
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("\"energy\""));
+        assert!(j.contains("\"ledger\""));
+    }
+}

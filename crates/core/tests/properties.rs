@@ -1,0 +1,66 @@
+//! Property tests for the facade: report consistency and monotonicity
+//! across arbitrary profiles and workload intensities.
+
+use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy, ScanSpec};
+use grail_core::profile::HardwareProfile;
+use grail_workload::tpch::TpchScale;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The report's totals equal its ledger; elapsed and energy are
+    /// positive; efficiency = work/energy.
+    #[test]
+    fn report_internally_consistent(stretch in 1.0f64..20_000.0, cols in 1usize..7) {
+        let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+        db.load_tpch(TpchScale { orders_rows: 2000 });
+        let r = db.run_scan(&ScanSpec::orders_projection(cols), ExecPolicy::default(), stretch);
+        prop_assert!(r.elapsed.as_secs_f64() > 0.0);
+        prop_assert!((r.energy.joules() - r.ledger.total().joules()).abs() < 1e-6);
+        let ee = r.efficiency().work_per_joule();
+        prop_assert!((ee - r.work / r.energy.joules()).abs() < 1e-9 * ee.max(1.0));
+        prop_assert!(r.cpu_busy <= r.elapsed);
+    }
+
+    /// More data never takes less time or less energy (monotone in
+    /// stretch).
+    #[test]
+    fn scan_monotone_in_stretch(a in 1.0f64..5_000.0, mult in 1.1f64..10.0) {
+        let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+        db.load_tpch(TpchScale { orders_rows: 2000 });
+        let small = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), a);
+        let big = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), a * mult);
+        prop_assert!(big.elapsed >= small.elapsed);
+        prop_assert!(big.energy.joules() >= small.energy.joules() - 1e-9);
+    }
+
+    /// Compression never changes the row count, only time/energy.
+    #[test]
+    fn compression_preserves_work(seed in 0u64..100) {
+        let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+        db.load_tpch_seeded(TpchScale { orders_rows: 1500 }, seed);
+        let modes = [CompressionMode::Plain, CompressionMode::Auto, CompressionMode::Fig2];
+        let works: Vec<f64> = modes
+            .iter()
+            .map(|m| {
+                db.run_scan(
+                    &ScanSpec::fig2(),
+                    ExecPolicy { compression: *m, dop: 1 },
+                    1.0,
+                )
+                .work
+            })
+            .collect();
+        prop_assert!(works.windows(2).all(|w| w[0] == w[1]), "{works:?}");
+    }
+
+    /// Throughput-test reports count every submitted query once.
+    #[test]
+    fn throughput_counts_queries(streams in 1usize..6, qps in 1usize..5) {
+        let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(36));
+        db.load_tpch(TpchScale { orders_rows: 1000 });
+        let r = db.run_throughput_test(streams, qps, ExecPolicy::default(), 10.0);
+        prop_assert_eq!(r.work, (streams * qps) as f64);
+    }
+}

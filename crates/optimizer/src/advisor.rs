@@ -1,0 +1,265 @@
+//! The knob advisor: score every [`KnobConfig`] against a workload and
+//! return the best setting per objective — Sec. 4.1's "the same way many
+//! of those knobs have been tuned to date to increase performance, we
+//! expect DBAs to use them to improve energy efficiency", automated.
+//!
+//! Knob semantics in the cost model:
+//!
+//! * `dop` — CPU work spreads over `dop` cores: busy *time* divides by
+//!   `dop`, busy *energy* is unchanged (same core-seconds at per-core
+//!   power).
+//! * `memory_grant` — bounds the sort's in-memory run size (small
+//!   grants spill).
+//! * `compression` — swaps stored bytes for decode cycles.
+//! * `pstate` — rescales clock and active power via a [`DvfsModel`].
+
+use crate::cost::{CostModel, HardwareDesc, PlanCost};
+use crate::knobs::{sweep, KnobConfig, KnobGrid};
+use crate::objective::Objective;
+use grail_power::dvfs::DvfsModel;
+use grail_power::units::Watts;
+use serde::Serialize;
+
+/// The workload a knob setting is scored against: a projection scan
+/// feeding a sort (the shape of every template in the Fig. 1 mix).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KnobWorkload {
+    /// Values the scan decodes.
+    pub scan_values: f64,
+    /// Bytes the scan moves when stored plain.
+    pub scan_bytes_plain: f64,
+    /// Stored-size ratio achieved when compression is on.
+    pub compression_ratio: f64,
+    /// Extra decode cycles per value when compression is on.
+    pub decode_cpv: f64,
+    /// Rows entering the sort.
+    pub sort_rows: f64,
+    /// Sort row arity.
+    pub sort_arity: f64,
+}
+
+impl KnobWorkload {
+    /// A Fig. 2-flavoured scan-and-sort workload.
+    pub fn scan_sort_default() -> Self {
+        KnobWorkload {
+            scan_values: 750.0e6,
+            scan_bytes_plain: 6.0e9,
+            compression_ratio: 1.9,
+            decode_cpv: 5.8,
+            sort_rows: 15.0e6,
+            sort_arity: 5.0,
+        }
+    }
+}
+
+/// Apply a knob configuration to the hardware description.
+fn configure(hw: HardwareDesc, cfg: KnobConfig, dvfs: &DvfsModel) -> HardwareDesc {
+    let mut hw = hw;
+    // DVFS rescales the clock and the active draw; idle stays.
+    let p = cfg.pstate.min(dvfs.len().saturating_sub(1));
+    let freq_scale = dvfs.pstates[p].freq.get() / dvfs.pstates[0].freq.get();
+    let power_scale = dvfs.active_power(p).get() / dvfs.active_power(0).get();
+    hw.cpu_hz *= freq_scale;
+    hw.cpu_active = Watts::new(hw.cpu_active.get() * power_scale);
+    // Parallelism: time ÷ dop, busy energy unchanged.
+    let dop = cfg.dop.max(1) as f64;
+    hw.cpu_hz *= dop;
+    hw.cpu_active = Watts::new(hw.cpu_active.get() * dop);
+    hw
+}
+
+/// Cost of `workload` under `cfg`.
+pub fn evaluate(
+    cfg: KnobConfig,
+    workload: &KnobWorkload,
+    hw: HardwareDesc,
+    dvfs: &DvfsModel,
+) -> PlanCost {
+    let model = CostModel::new(configure(hw, cfg, dvfs));
+    let (bytes, decode) = if cfg.compression {
+        (
+            workload.scan_bytes_plain / workload.compression_ratio.max(1.0),
+            workload.decode_cpv,
+        )
+    } else {
+        (workload.scan_bytes_plain, 0.0)
+    };
+    let scan = model.scan(workload.scan_values, bytes, decode);
+    let sort = model.sort(workload.sort_rows, workload.sort_arity, cfg.memory_grant);
+    scan.then(&sort)
+}
+
+/// The advisor's verdict: best configuration and its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Advice {
+    /// The winning configuration.
+    pub config: KnobConfig,
+    /// Its estimated cost.
+    pub cost: PlanCost,
+}
+
+/// Sweep `grid` and return the best configuration under `objective`.
+///
+/// # Panics
+/// Panics on an empty grid.
+pub fn advise(
+    grid: &KnobGrid,
+    workload: &KnobWorkload,
+    hw: HardwareDesc,
+    dvfs: &DvfsModel,
+    objective: Objective,
+) -> Advice {
+    assert!(!grid.is_empty(), "empty knob grid");
+    sweep(grid)
+        .into_iter()
+        .map(|config| Advice {
+            config,
+            cost: evaluate(config, workload, hw, dvfs),
+        })
+        .min_by(|a, b| {
+            objective
+                .score(&a.cost)
+                .partial_cmp(&objective.score(&b.cost))
+                .expect("finite scores")
+        })
+        .expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KnobGrid, KnobWorkload, HardwareDesc, DvfsModel) {
+        (
+            KnobGrid::small(),
+            KnobWorkload::scan_sort_default(),
+            HardwareDesc::fig2_flash_scanner(),
+            DvfsModel::opteron_like(),
+        )
+    }
+
+    #[test]
+    fn advice_comes_from_the_grid() {
+        let (grid, w, hw, dvfs) = setup();
+        for obj in [Objective::MinTime, Objective::MinEnergy, Objective::MinEdp] {
+            let a = advise(&grid, &w, hw, &dvfs, obj);
+            assert!(grid.dops.contains(&a.config.dop));
+            assert!(grid.grants.contains(&a.config.memory_grant));
+            assert!(grid.pstates.contains(&a.config.pstate));
+            assert!(a.cost.elapsed_secs > 0.0 && a.cost.energy_j > 0.0);
+            // The advice is never beaten by any grid point under its
+            // own objective.
+            for cfg in sweep(&grid) {
+                let c = evaluate(cfg, &w, hw, &dvfs);
+                assert!(obj.score(&a.cost) <= obj.score(&c) * (1.0 + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn time_and_energy_disagree_on_knobs() {
+        let (grid, w, hw, dvfs) = setup();
+        let t = advise(&grid, &w, hw, &dvfs, Objective::MinTime);
+        let e = advise(&grid, &w, hw, &dvfs, Objective::MinEnergy);
+        assert_ne!(t.config, e.config, "objectives must pick different knobs");
+        // Each wins its own metric.
+        assert!(t.cost.elapsed_secs <= e.cost.elapsed_secs);
+        assert!(e.cost.energy_j <= t.cost.energy_j);
+        // On the flash scanner: time wants compression + top clock;
+        // energy wants plain + a lower p-state.
+        assert!(t.config.compression);
+        assert!(!e.config.compression);
+        assert!(e.config.pstate >= t.config.pstate);
+    }
+
+    #[test]
+    fn dop_divides_time_not_energy() {
+        let (_, w, hw, dvfs) = setup();
+        let slow = evaluate(
+            KnobConfig {
+                dop: 1,
+                memory_grant: 4 << 30,
+                compression: false,
+                pstate: 0,
+            },
+            &w,
+            hw,
+            &dvfs,
+        );
+        let fast = evaluate(
+            KnobConfig {
+                dop: 8,
+                memory_grant: 4 << 30,
+                compression: false,
+                pstate: 0,
+            },
+            &w,
+            hw,
+            &dvfs,
+        );
+        assert!(fast.cpu_secs < slow.cpu_secs / 4.0);
+        // Busy energy identical up to idle-tail differences: compare
+        // within 10% (the scan is IO-bound, so elapsed shifts little).
+        let ratio = fast.energy_j / slow.energy_j;
+        assert!((0.9..1.1).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn small_grant_spills() {
+        let (_, w, hw, dvfs) = setup();
+        let big = evaluate(
+            KnobConfig {
+                dop: 1,
+                memory_grant: 4 << 30,
+                compression: false,
+                pstate: 0,
+            },
+            &w,
+            hw,
+            &dvfs,
+        );
+        let tiny = evaluate(
+            KnobConfig {
+                dop: 1,
+                memory_grant: 16 << 20,
+                compression: false,
+                pstate: 0,
+            },
+            &w,
+            hw,
+            &dvfs,
+        );
+        assert!(tiny.io_secs > big.io_secs, "spill adds IO");
+        assert!(tiny.elapsed_secs > big.elapsed_secs);
+    }
+
+    #[test]
+    fn lower_pstate_stretches_and_saves_active_power() {
+        let (_, w, hw, dvfs) = setup();
+        let p0 = evaluate(
+            KnobConfig {
+                dop: 1,
+                memory_grant: 4 << 30,
+                compression: true,
+                pstate: 0,
+            },
+            &w,
+            hw,
+            &dvfs,
+        );
+        let p4 = evaluate(
+            KnobConfig {
+                dop: 1,
+                memory_grant: 4 << 30,
+                compression: true,
+                pstate: 4,
+            },
+            &w,
+            hw,
+            &dvfs,
+        );
+        assert!(p4.cpu_secs > p0.cpu_secs);
+        // Voltage scaling: fewer Joules per cycle.
+        assert!(p4.energy_j < p0.energy_j);
+    }
+}

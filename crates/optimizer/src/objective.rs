@@ -1,0 +1,117 @@
+//! Optimization objectives.
+//!
+//! The paper's thesis in one type: the same plan space scored by time,
+//! by energy, by energy-delay product, or by a tunable blend. MinTime is
+//! the classic optimizer; MinEnergy is what Sec. 4.1 asks for.
+
+use crate::cost::PlanCost;
+use serde::Serialize;
+
+/// A plan-scoring objective (lower is better).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Objective {
+    /// Minimize elapsed time (the classic optimizer).
+    MinTime,
+    /// Minimize energy.
+    MinEnergy,
+    /// Minimize energy × delay (balances both).
+    MinEdp,
+    /// Minimize `w·time_norm + (1-w)·energy_norm` with caller-chosen
+    /// normalizers.
+    Weighted {
+        /// Weight on time in `[0, 1]`.
+        time_weight: f64,
+        /// Seconds that count as "1" of time.
+        time_norm: f64,
+        /// Joules that count as "1" of energy.
+        energy_norm: f64,
+    },
+}
+
+impl Objective {
+    /// The plan's score (lower is better).
+    pub fn score(&self, c: &PlanCost) -> f64 {
+        match self {
+            Objective::MinTime => c.elapsed_secs,
+            Objective::MinEnergy => c.energy_j,
+            Objective::MinEdp => c.energy_j * c.elapsed_secs,
+            Objective::Weighted {
+                time_weight,
+                time_norm,
+                energy_norm,
+            } => {
+                let w = time_weight.clamp(0.0, 1.0);
+                w * c.elapsed_secs / time_norm.max(1e-12)
+                    + (1.0 - w) * c.energy_j / energy_norm.max(1e-12)
+            }
+        }
+    }
+
+    /// True if `a` beats `b` under this objective.
+    pub fn better(&self, a: &PlanCost, b: &PlanCost) -> bool {
+        self.score(a) < self.score(b)
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::MinTime => "min_time",
+            Objective::MinEnergy => "min_energy",
+            Objective::MinEdp => "min_edp",
+            Objective::Weighted { .. } => "weighted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(t: f64, e: f64) -> PlanCost {
+        PlanCost {
+            cpu_secs: t,
+            io_secs: 0.0,
+            elapsed_secs: t,
+            energy_j: e,
+            memory_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn objectives_disagree_by_design() {
+        // Fig. 2's two options: fast-and-hungry vs slow-and-frugal.
+        let compressed = cost(5.5, 487.0);
+        let uncompressed = cost(10.0, 338.0);
+        assert!(Objective::MinTime.better(&compressed, &uncompressed));
+        assert!(Objective::MinEnergy.better(&uncompressed, &compressed));
+        // EDP: 487×5.5 = 2679 vs 338×10 = 3380 — compressed wins EDP.
+        assert!(Objective::MinEdp.better(&compressed, &uncompressed));
+    }
+
+    #[test]
+    fn weighted_interpolates() {
+        let a = cost(1.0, 100.0);
+        let b = cost(2.0, 50.0);
+        let time_heavy = Objective::Weighted {
+            time_weight: 0.99,
+            time_norm: 1.0,
+            energy_norm: 100.0,
+        };
+        let energy_heavy = Objective::Weighted {
+            time_weight: 0.01,
+            time_norm: 1.0,
+            energy_norm: 100.0,
+        };
+        assert!(time_heavy.better(&a, &b));
+        assert!(energy_heavy.better(&b, &a));
+    }
+
+    #[test]
+    fn scores_are_monotone_in_their_dimension() {
+        let worse = cost(3.0, 300.0);
+        let better = cost(2.0, 200.0);
+        for o in [Objective::MinTime, Objective::MinEnergy, Objective::MinEdp] {
+            assert!(o.better(&better, &worse), "{}", o.name());
+        }
+    }
+}

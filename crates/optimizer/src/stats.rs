@@ -1,0 +1,214 @@
+//! Catalog statistics for cardinality estimation.
+
+use grail_query::batch::Table;
+use grail_query::expr::Expr;
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ColumnStats {
+    /// Distinct values.
+    pub distinct: u64,
+    /// Minimum value.
+    pub min: i64,
+    /// Maximum value.
+    pub max: i64,
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect exact statistics from an in-memory table (an ANALYZE).
+    pub fn analyze(table: &Table) -> Self {
+        let rows = table.row_count() as u64;
+        let columns = table
+            .columns
+            .iter()
+            .map(|col| {
+                let mut distinct = HashSet::new();
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                for v in col {
+                    distinct.insert(*v);
+                    min = min.min(*v);
+                    max = max.max(*v);
+                }
+                ColumnStats {
+                    distinct: distinct.len() as u64,
+                    min: if col.is_empty() { 0 } else { min },
+                    max: if col.is_empty() { 0 } else { max },
+                }
+            })
+            .collect();
+        TableStats { rows, columns }
+    }
+
+    /// Selectivity estimate for `predicate` over this table, refining
+    /// the expression's defaults with column ranges and cardinalities
+    /// where the shape allows (`col op literal`).
+    pub fn selectivity(&self, predicate: &Expr) -> f64 {
+        match predicate {
+            Expr::Eq(l, r) => match (l.as_ref(), r.as_ref()) {
+                (Expr::Col(c), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(c)) => {
+                    match self.columns.get(*c) {
+                        Some(s) if s.distinct > 0 => 1.0 / s.distinct as f64,
+                        _ => predicate.default_selectivity(),
+                    }
+                }
+                _ => predicate.default_selectivity(),
+            },
+            Expr::Lt(l, r) | Expr::Le(l, r) => self.range_fraction(l, r, false),
+            Expr::Gt(l, r) => self.range_fraction(r, l, true),
+            Expr::And(l, r) => self.selectivity(l) * self.selectivity(r),
+            Expr::Or(l, r) => {
+                let (a, b) = (self.selectivity(l), self.selectivity(r));
+                (a + b - a * b).min(1.0)
+            }
+            Expr::Not(e) => 1.0 - self.selectivity(e),
+            _ => predicate.default_selectivity(),
+        }
+    }
+
+    /// Fraction of a column's range below a literal (for `col < lit`
+    /// style predicates; `flipped` marks the `lit < col` reading).
+    fn range_fraction(&self, l: &Expr, r: &Expr, flipped: bool) -> f64 {
+        let (col, lit) = match (l, r) {
+            (Expr::Col(c), Expr::Lit(v)) => (*c, *v),
+            (Expr::Lit(v), Expr::Col(c)) => {
+                // lit < col ≡ col > lit.
+                return self
+                    .columns
+                    .get(*c)
+                    .map(|s| 1.0 - fraction_below(s, *v))
+                    .unwrap_or(0.3);
+            }
+            _ => return 0.3,
+        };
+        let Some(s) = self.columns.get(col) else {
+            return 0.3;
+        };
+        if flipped {
+            1.0 - fraction_below(s, lit)
+        } else {
+            fraction_below(s, lit)
+        }
+    }
+
+    /// Estimated output rows of `predicate` over this table.
+    pub fn estimate_rows(&self, predicate: &Expr) -> u64 {
+        (self.rows as f64 * self.selectivity(predicate)).round() as u64
+    }
+
+    /// Join cardinality estimate: `|L|·|R| / max(d_L, d_R)` on the key
+    /// columns.
+    pub fn join_rows(left: &TableStats, lcol: usize, right: &TableStats, rcol: usize) -> u64 {
+        let dl = left
+            .columns
+            .get(lcol)
+            .map(|c| c.distinct)
+            .unwrap_or(1)
+            .max(1);
+        let dr = right
+            .columns
+            .get(rcol)
+            .map(|c| c.distinct)
+            .unwrap_or(1)
+            .max(1);
+        ((left.rows as f64 * right.rows as f64) / dl.max(dr) as f64).round() as u64
+    }
+}
+
+fn fraction_below(s: &ColumnStats, lit: i64) -> f64 {
+    if s.max <= s.min {
+        return if lit >= s.max { 1.0 } else { 0.0 };
+    }
+    ((lit as f64 - s.min as f64) / (s.max as f64 - s.min as f64)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grail_query::schema::{ColumnType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![("k", ColumnType::Id), ("flag", ColumnType::Code)]);
+        Table::new(
+            "t",
+            schema,
+            vec![(0..1000).collect(), (0..1000).map(|i| i % 4).collect()],
+        )
+    }
+
+    #[test]
+    fn analyze_exact() {
+        let s = TableStats::analyze(&table());
+        assert_eq!(s.rows, 1000);
+        assert_eq!(s.columns[0].distinct, 1000);
+        assert_eq!(s.columns[1].distinct, 4);
+        assert_eq!(s.columns[0].min, 0);
+        assert_eq!(s.columns[0].max, 999);
+    }
+
+    #[test]
+    fn equality_selectivity_uses_cardinality() {
+        let s = TableStats::analyze(&table());
+        let p = Expr::eq(Expr::Col(1), Expr::Lit(2));
+        assert!((s.selectivity(&p) - 0.25).abs() < 1e-12);
+        assert_eq!(s.estimate_rows(&p), 250);
+    }
+
+    #[test]
+    fn range_selectivity_uses_min_max() {
+        let s = TableStats::analyze(&table());
+        let p = Expr::lt(Expr::Col(0), Expr::Lit(250));
+        let sel = s.selectivity(&p);
+        assert!((sel - 0.25).abs() < 0.01, "{sel}");
+        let g = Expr::gt(Expr::Col(0), Expr::Lit(750));
+        assert!((s.selectivity(&g) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn composition() {
+        let s = TableStats::analyze(&table());
+        let p = Expr::and(
+            Expr::eq(Expr::Col(1), Expr::Lit(0)),
+            Expr::lt(Expr::Col(0), Expr::Lit(500)),
+        );
+        assert!((s.selectivity(&p) - 0.125).abs() < 0.01);
+        let n = Expr::Not(Box::new(Expr::eq(Expr::Col(1), Expr::Lit(0))));
+        assert!((s.selectivity(&n) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_cardinality() {
+        let dim = TableStats::analyze(&table()); // k distinct 1000
+        let fact = TableStats {
+            rows: 100_000,
+            columns: vec![ColumnStats {
+                distinct: 1000,
+                min: 0,
+                max: 999,
+            }],
+        };
+        // FK join: |fact| rows survive.
+        assert_eq!(TableStats::join_rows(&fact, 0, &dim, 0), 100_000);
+    }
+
+    #[test]
+    fn degenerate_columns() {
+        let schema = Schema::new(vec![("c", ColumnType::Int)]);
+        let t = Table::new("t", schema, vec![vec![5; 10]]);
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.columns[0].distinct, 1);
+        let p = Expr::lt(Expr::Col(0), Expr::Lit(7));
+        assert!((s.selectivity(&p) - 1.0).abs() < 1e-9);
+    }
+}

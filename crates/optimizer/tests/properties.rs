@@ -1,0 +1,143 @@
+//! Property tests: the enumerator is never worse than naive plans under
+//! its own cost model, and cost composition is well-behaved.
+
+use grail_optimizer::cost::{CostModel, HardwareDesc, PlanCost};
+use grail_optimizer::enumerate::{best_plan, JoinAlgo, Relation};
+use grail_optimizer::objective::Objective;
+use proptest::prelude::*;
+
+fn rel(i: usize, rows: f64) -> Relation {
+    Relation {
+        name: format!("r{i}"),
+        rows,
+        arity: 4.0,
+        stored_bytes: rows * 32.0,
+        decode_cpv: 0.0,
+    }
+}
+
+/// Cost a fixed left-deep plan shape under the model (reference for
+/// optimality checks).
+fn cost_left_deep(
+    order: &[usize],
+    algos: &[JoinAlgo],
+    rels: &[Relation],
+    sel: f64,
+    m: &CostModel,
+) -> PlanCost {
+    let mut cost = m.scan(
+        rels[order[0]].rows * rels[order[0]].arity,
+        rels[order[0]].stored_bytes,
+        0.0,
+    );
+    let mut rows = rels[order[0]].rows;
+    for (k, &idx) in order.iter().skip(1).enumerate() {
+        let right = &rels[idx];
+        let scan = m.scan(right.rows * right.arity, right.stored_bytes, 0.0);
+        let join = match algos[k] {
+            JoinAlgo::Hash => m.hash_join(rows, 4.0, right.rows),
+            JoinAlgo::NestedLoop => m.nl_join(rows, right.rows),
+        };
+        cost = cost.then(&scan).then(&join);
+        rows = (rows * right.rows * sel).max(1.0);
+    }
+    cost
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for pos in 0..=p.len() {
+            let mut q = p.clone();
+            q.insert(pos, n - 1);
+            out.push(q);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The DP's plan never loses (under its own model and objective) to
+    /// any left-deep plan we can construct by brute force, for 2–3
+    /// relations in a clique.
+    #[test]
+    fn dp_beats_all_left_deep_plans(
+        sizes in proptest::collection::vec(100.0f64..1_000_000.0, 2..4),
+        sel_exp in 1.0f64..6.0,
+    ) {
+        let sel = 10f64.powf(-sel_exp);
+        let rels: Vec<Relation> = sizes.iter().enumerate().map(|(i, s)| rel(i, *s)).collect();
+        let m = CostModel::new(HardwareDesc::dl785(66));
+        let sel_fn = |i: usize, j: usize| (i != j).then_some(sel);
+        for obj in [Objective::MinTime, Objective::MinEnergy, Objective::MinEdp] {
+            let chosen = best_plan(&rels, &sel_fn, &m, obj);
+            let algo_space: Vec<Vec<JoinAlgo>> = match rels.len() {
+                2 => vec![vec![JoinAlgo::Hash], vec![JoinAlgo::NestedLoop]],
+                _ => {
+                    let a = [JoinAlgo::Hash, JoinAlgo::NestedLoop];
+                    a.iter().flat_map(|x| a.iter().map(move |y| vec![*x, *y])).collect()
+                }
+            };
+            for order in permutations(rels.len()) {
+                for algos in &algo_space {
+                    let reference = cost_left_deep(&order, algos, &rels, sel, &m);
+                    prop_assert!(
+                        obj.score(&chosen.cost) <= obj.score(&reference) * (1.0 + 1e-9),
+                        "{}: chosen {} vs reference {} for order {:?}",
+                        obj.name(), obj.score(&chosen.cost), obj.score(&reference), order
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cost composition: `then` is associative and monotone.
+    #[test]
+    fn cost_then_is_associative(
+        a in (0.0f64..100.0, 0.0f64..100.0),
+        b in (0.0f64..100.0, 0.0f64..100.0),
+        c in (0.0f64..100.0, 0.0f64..100.0),
+    ) {
+        let m = CostModel::new(HardwareDesc::dl785(36));
+        let pa = m.phase(a.0 * 1e9, a.1 * 1e9, 0);
+        let pb = m.phase(b.0 * 1e9, b.1 * 1e9, 0);
+        let pc = m.phase(c.0 * 1e9, c.1 * 1e9, 0);
+        let left = pa.then(&pb).then(&pc);
+        let right = pa.then(&pb.then(&pc));
+        prop_assert!((left.elapsed_secs - right.elapsed_secs).abs() < 1e-9);
+        prop_assert!((left.energy_j - right.energy_j).abs() < 1e-6 * left.energy_j.max(1.0));
+        // Monotone: adding a phase never reduces time or energy.
+        prop_assert!(left.elapsed_secs >= pa.elapsed_secs);
+        prop_assert!(left.energy_j >= pa.energy_j - 1e-9);
+    }
+
+    /// Objectives agree on dominated plans: if a plan is worse in both
+    /// time and energy, every objective rejects it.
+    #[test]
+    fn dominated_plans_rejected_by_all_objectives(
+        t in 0.1f64..100.0, e in 0.1f64..100_000.0,
+        dt in 0.01f64..10.0, de in 0.01f64..10_000.0,
+    ) {
+        let good = PlanCost { cpu_secs: t, io_secs: 0.0, elapsed_secs: t, energy_j: e, memory_bytes: 0 };
+        let bad = PlanCost { cpu_secs: t + dt, io_secs: 0.0, elapsed_secs: t + dt, energy_j: e + de, memory_bytes: 0 };
+        for obj in [Objective::MinTime, Objective::MinEnergy, Objective::MinEdp] {
+            prop_assert!(obj.better(&good, &bad), "{}", obj.name());
+        }
+    }
+
+    /// The scan cost is monotone in bytes and in decode cost.
+    #[test]
+    fn scan_cost_monotone(values in 1.0f64..1e9, bytes in 1.0f64..1e10, extra in 0.1f64..20.0) {
+        let m = CostModel::new(HardwareDesc::fig2_flash_scanner());
+        let base = m.scan(values, bytes, 0.0);
+        let more_bytes = m.scan(values, bytes * 2.0, 0.0);
+        let more_decode = m.scan(values, bytes, extra);
+        prop_assert!(more_bytes.io_secs > base.io_secs);
+        prop_assert!(more_decode.cpu_secs > base.cpu_secs);
+    }
+}

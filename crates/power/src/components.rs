@@ -1,0 +1,497 @@
+//! Concrete component power profiles, calibrated to the hardware classes
+//! of the paper's two experiments.
+//!
+//! Each profile is plain data plus a constructor for the matching
+//! [`PowerStateMachine`]. Numbers come from the paper where it gives them
+//! (90 W CPU, 5 W for three flash drives, ~15 W per 15K SCSI spindle) and
+//! from era-typical datasheets elsewhere; every figure is a named field so
+//! experiments can recalibrate without touching model code.
+
+use crate::state::{PowerState, PowerStateId, PowerStateMachine, Transition};
+use crate::units::{Joules, SimDuration, SimInstant, Watts};
+use serde::{Deserialize, Serialize};
+
+/// State ids shared by all disk-like machines built here.
+pub mod disk_states {
+    use super::PowerStateId;
+    /// Seeking/transferring.
+    pub const ACTIVE: PowerStateId = PowerStateId(0);
+    /// Spinning, no I/O.
+    pub const IDLE: PowerStateId = PowerStateId(1);
+    /// Spun down.
+    pub const STANDBY: PowerStateId = PowerStateId(2);
+}
+
+/// State ids for simple active/idle machines (CPU core, SSD, DRAM rank).
+pub mod duo_states {
+    use super::PowerStateId;
+    /// Doing work.
+    pub const ACTIVE: PowerStateId = PowerStateId(0);
+    /// Not doing work.
+    pub const IDLE: PowerStateId = PowerStateId(1);
+}
+
+// ---------------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------------
+
+/// Power profile of one rotating disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskPowerProfile {
+    /// Power while seeking/transferring.
+    pub active: Watts,
+    /// Power while spinning idle.
+    pub idle: Watts,
+    /// Power while spun down.
+    pub standby: Watts,
+    /// Spin-down latency.
+    pub spin_down_latency: SimDuration,
+    /// Spin-down energy.
+    pub spin_down_energy: Joules,
+    /// Spin-up latency.
+    pub spin_up_latency: SimDuration,
+    /// Spin-up energy (motor surge).
+    pub spin_up_energy: Joules,
+}
+
+impl DiskPowerProfile {
+    /// A 15K RPM 73 GB SCSI drive of the Fig. 1 era (HP/Seagate class):
+    /// the paper's configuration used 36–204 of these. Idle ≈ active for
+    /// such drives — the spindle dominates — which is exactly why the
+    /// paper treats "each additional disk" as a constant power adder.
+    pub fn scsi_15k() -> Self {
+        DiskPowerProfile {
+            active: Watts::new(15.0),
+            idle: Watts::new(12.5),
+            standby: Watts::new(2.5),
+            spin_down_latency: SimDuration::from_secs(1),
+            spin_down_energy: Joules::new(8.0),
+            spin_up_latency: SimDuration::from_secs(6),
+            spin_up_energy: Joules::new(140.0),
+        }
+    }
+
+    /// A 7.2K nearline SATA drive: lower power, slower, cheaper to park.
+    pub fn nearline_7k2() -> Self {
+        DiskPowerProfile {
+            active: Watts::new(11.0),
+            idle: Watts::new(8.0),
+            standby: Watts::new(1.5),
+            spin_down_latency: SimDuration::from_secs(1),
+            spin_down_energy: Joules::new(6.0),
+            spin_up_latency: SimDuration::from_secs(8),
+            spin_up_energy: Joules::new(110.0),
+        }
+    }
+
+    /// Build the three-state machine for one drive, starting spinning
+    /// idle.
+    pub fn machine(&self, start: SimInstant) -> PowerStateMachine {
+        let states = vec![
+            PowerState {
+                name: "active",
+                power: self.active,
+            },
+            PowerState {
+                name: "idle",
+                power: self.idle,
+            },
+            PowerState {
+                name: "standby",
+                power: self.standby,
+            },
+        ];
+        let z = SimDuration::ZERO;
+        let transitions = vec![
+            Transition {
+                from: disk_states::ACTIVE,
+                to: disk_states::IDLE,
+                latency: z,
+                energy: Joules::ZERO,
+            },
+            Transition {
+                from: disk_states::IDLE,
+                to: disk_states::ACTIVE,
+                latency: z,
+                energy: Joules::ZERO,
+            },
+            Transition {
+                from: disk_states::IDLE,
+                to: disk_states::STANDBY,
+                latency: self.spin_down_latency,
+                energy: self.spin_down_energy,
+            },
+            Transition {
+                from: disk_states::STANDBY,
+                to: disk_states::IDLE,
+                latency: self.spin_up_latency,
+                energy: self.spin_up_energy,
+            },
+        ];
+        PowerStateMachine::new(states, transitions, disk_states::IDLE, start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SSD
+// ---------------------------------------------------------------------------
+
+/// Power profile of one solid-state drive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdPowerProfile {
+    /// Power while transferring.
+    pub active: Watts,
+    /// Power while idle.
+    pub idle: Watts,
+}
+
+impl SsdPowerProfile {
+    /// One of the three flash drives of Fig. 2: the paper charges the
+    /// trio 5 W *for the full query duration*, i.e. ~1.667 W each with
+    /// no active/idle distinction.
+    pub fn fig2_flash() -> Self {
+        SsdPowerProfile {
+            active: Watts::new(5.0 / 3.0),
+            idle: Watts::new(5.0 / 3.0),
+        }
+    }
+
+    /// A more modern enterprise SSD with a real active/idle split.
+    pub fn enterprise() -> Self {
+        SsdPowerProfile {
+            active: Watts::new(6.0),
+            idle: Watts::new(1.2),
+        }
+    }
+
+    /// Build the two-state machine for one SSD, starting idle.
+    pub fn machine(&self, start: SimInstant) -> PowerStateMachine {
+        PowerStateMachine::active_idle(self.active, self.idle, start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPU
+// ---------------------------------------------------------------------------
+
+/// Power profile of a CPU socket: a shared uncore floor plus per-core
+/// active/idle draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerProfile {
+    /// Per-core power while executing.
+    pub core_active: Watts,
+    /// Per-core power while halted.
+    pub core_idle: Watts,
+    /// Socket-wide floor (uncore, caches, memory controller).
+    pub uncore: Watts,
+    /// Cores per socket.
+    pub cores: u32,
+}
+
+impl CpuPowerProfile {
+    /// The Fig. 2 accounting: "the CPU has a power consumption of 90
+    /// Watts … assuming that an idle CPU does not consume any power".
+    /// One core, 90 W active, 0 W idle, no uncore.
+    pub fn fig2_cpu() -> Self {
+        CpuPowerProfile {
+            core_active: Watts::new(90.0),
+            core_idle: Watts::ZERO,
+            uncore: Watts::ZERO,
+            cores: 1,
+        }
+    }
+
+    /// A quad-core Opteron socket of the Fig. 1 server (8 of these):
+    /// ~95 W TDP ≈ 18 W/core active + 4 W/core idle + 15 W uncore.
+    pub fn opteron_socket() -> Self {
+        CpuPowerProfile {
+            core_active: Watts::new(18.0),
+            core_idle: Watts::new(4.0),
+            uncore: Watts::new(15.0),
+            cores: 4,
+        }
+    }
+
+    /// Socket power with `busy` of the socket's cores executing.
+    ///
+    /// # Panics
+    /// Panics if `busy` exceeds the core count.
+    pub fn socket_power(&self, busy: u32) -> Watts {
+        assert!(busy <= self.cores, "busy cores {busy} > {}", self.cores);
+        let idle = self.cores - busy;
+        self.uncore + self.core_active * busy as f64 + self.core_idle * idle as f64
+    }
+
+    /// Build one core's two-state machine, starting idle. The uncore
+    /// floor is charged separately (it exists whether or not cores work).
+    pub fn core_machine(&self, start: SimInstant) -> PowerStateMachine {
+        PowerStateMachine::active_idle(self.core_active, self.core_idle, start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRAM
+// ---------------------------------------------------------------------------
+
+/// Power profile of one DRAM rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramPowerProfile {
+    /// Power while the rank is being accessed.
+    pub active: Watts,
+    /// Power while idle but instantly accessible (precharge standby).
+    pub idle: Watts,
+    /// Power in self-refresh (contents retained, access requires wake).
+    pub self_refresh: Watts,
+    /// Latency to leave self-refresh.
+    pub wake_latency: SimDuration,
+    /// Rank capacity in GiB (for per-GiB reasoning in the buffer manager).
+    pub capacity_gib: u32,
+}
+
+impl DramPowerProfile {
+    /// A DDR2-era 8 GiB rank of the Fig. 1 server's 64 GiB.
+    pub fn ddr2_8gib() -> Self {
+        DramPowerProfile {
+            active: Watts::new(7.0),
+            idle: Watts::new(4.0),
+            self_refresh: Watts::new(0.8),
+            wake_latency: SimDuration::from_micros(10),
+            capacity_gib: 8,
+        }
+    }
+
+    /// Build the rank's three-state machine, starting idle.
+    pub fn machine(&self, start: SimInstant) -> PowerStateMachine {
+        let states = vec![
+            PowerState {
+                name: "active",
+                power: self.active,
+            },
+            PowerState {
+                name: "idle",
+                power: self.idle,
+            },
+            PowerState {
+                name: "self_refresh",
+                power: self.self_refresh,
+            },
+        ];
+        let z = SimDuration::ZERO;
+        let transitions = vec![
+            Transition {
+                from: PowerStateId(0),
+                to: PowerStateId(1),
+                latency: z,
+                energy: Joules::ZERO,
+            },
+            Transition {
+                from: PowerStateId(1),
+                to: PowerStateId(0),
+                latency: z,
+                energy: Joules::ZERO,
+            },
+            Transition {
+                from: PowerStateId(1),
+                to: PowerStateId(2),
+                latency: z,
+                energy: Joules::ZERO,
+            },
+            Transition {
+                from: PowerStateId(2),
+                to: PowerStateId(1),
+                latency: self.wake_latency,
+                energy: Joules::ZERO,
+            },
+        ];
+        PowerStateMachine::new(states, transitions, PowerStateId(1), start)
+    }
+
+    /// Joules to keep one page of `page_bytes` resident in this rank for
+    /// `d` — the "keeping a page in RAM will require energy, proportional
+    /// to the time the page is cached" cost of Sec. 4.3.
+    pub fn residency_energy(&self, page_bytes: u64, d: SimDuration) -> Joules {
+        let bytes = self.capacity_gib as f64 * 1024.0 * 1024.0 * 1024.0;
+        let per_byte = self.idle.get() / bytes;
+        Joules::new(per_byte * page_bytes as f64 * d.as_secs_f64())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PSU and base
+// ---------------------------------------------------------------------------
+
+/// A power-supply model: wall power exceeds DC power by the conversion
+/// loss, and \[PBS+03\]'s cooling tax adds 0.5–1 W per served Watt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsuModel {
+    /// Conversion efficiency in (0, 1].
+    pub efficiency: f64,
+    /// Additional cooling power per Watt delivered (0.5–1.0 in
+    /// \[PBS+03\]).
+    pub cooling_per_watt: f64,
+}
+
+impl PsuModel {
+    /// A decent 2008 server supply: 85% efficient, 0.5 W/W cooling.
+    pub fn typical_2008() -> Self {
+        PsuModel {
+            efficiency: 0.85,
+            cooling_per_watt: 0.5,
+        }
+    }
+
+    /// An ideal supply (for experiments that want DC-side numbers only).
+    pub fn ideal() -> Self {
+        PsuModel {
+            efficiency: 1.0,
+            cooling_per_watt: 0.0,
+        }
+    }
+
+    /// Wall power required to deliver `dc` to components.
+    pub fn wall_power(&self, dc: Watts) -> Watts {
+        assert!(
+            self.efficiency > 0.0 && self.efficiency <= 1.0,
+            "efficiency out of range"
+        );
+        Watts::new(dc.get() / self.efficiency)
+    }
+
+    /// Wall power plus the data-center cooling tax.
+    pub fn facility_power(&self, dc: Watts) -> Watts {
+        let wall = self.wall_power(dc);
+        wall + wall * self.cooling_per_watt
+    }
+}
+
+/// A constant base draw (fans, chassis, board) that is on whenever the
+/// server is on — the reason classic servers have a tiny dynamic range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BasePowerProfile {
+    /// The constant draw.
+    pub power: Watts,
+}
+
+impl BasePowerProfile {
+    /// A fixed base draw of `w` Watts.
+    pub fn constant(w: Watts) -> Self {
+        BasePowerProfile { power: w }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_machine_wiring() {
+        let p = DiskPowerProfile::scsi_15k();
+        let mut m = p.machine(SimInstant::EPOCH);
+        assert_eq!(m.current(), disk_states::IDLE);
+        // idle -> active is instant and free.
+        let done = m
+            .set_state(
+                SimInstant::EPOCH + SimDuration::from_secs(1),
+                disk_states::ACTIVE,
+            )
+            .unwrap();
+        assert_eq!(done, SimInstant::EPOCH + SimDuration::from_secs(1));
+        // active -> standby is undeclared (must pass through idle).
+        assert!(m
+            .set_state(
+                SimInstant::EPOCH + SimDuration::from_secs(2),
+                disk_states::STANDBY
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn disk_spin_round_trip_energy() {
+        let p = DiskPowerProfile::scsi_15k();
+        let mut m = p.machine(SimInstant::EPOCH);
+        let t = |s: u64| SimInstant::EPOCH + SimDuration::from_secs(s);
+        m.set_state(t(0), disk_states::STANDBY).unwrap(); // 1 s, 8 J
+        m.set_state(t(100), disk_states::IDLE).unwrap(); // 6 s, 140 J
+        let s = m.finish(t(106)).unwrap();
+        // 8 + 140 transition J + 99 s standby at 2.5 W.
+        let expect = 8.0 + 140.0 + 99.0 * 2.5;
+        assert!((s.total_energy.joules() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig2_flash_draws_five_watts_total() {
+        let p = SsdPowerProfile::fig2_flash();
+        let total = p.active + p.active + p.active;
+        assert!((total.get() - 5.0).abs() < 1e-9);
+        // Idle equals active: the paper charges flash for wall time.
+        assert_eq!(p.active, p.idle);
+    }
+
+    #[test]
+    fn fig2_cpu_energy_matches_paper() {
+        let p = CpuPowerProfile::fig2_cpu();
+        let mut core = p.core_machine(SimInstant::EPOCH);
+        core.set_state(SimInstant::EPOCH, duo_states::ACTIVE)
+            .unwrap();
+        let busy_end = SimInstant::EPOCH + SimDuration::from_secs_f64(3.2);
+        core.set_state(busy_end, duo_states::IDLE).unwrap();
+        let s = core
+            .finish(SimInstant::EPOCH + SimDuration::from_secs(10))
+            .unwrap();
+        // 90 W × 3.2 s = 288 J, and nothing while idle.
+        assert!((s.total_energy.joules() - 288.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn socket_power_composition() {
+        let p = CpuPowerProfile::opteron_socket();
+        assert!((p.socket_power(0).get() - (15.0 + 16.0)).abs() < 1e-9);
+        assert!((p.socket_power(4).get() - (15.0 + 72.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy cores")]
+    fn socket_power_rejects_overcount() {
+        let _ = CpuPowerProfile::opteron_socket().socket_power(5);
+    }
+
+    #[test]
+    fn dram_residency_energy_scales() {
+        let p = DramPowerProfile::ddr2_8gib();
+        let one_page = p.residency_energy(8192, SimDuration::from_secs(100));
+        let two_pages = p.residency_energy(16384, SimDuration::from_secs(100));
+        let twice_long = p.residency_energy(8192, SimDuration::from_secs(200));
+        assert!((two_pages.joules() - 2.0 * one_page.joules()).abs() < 1e-12);
+        assert!((twice_long.joules() - 2.0 * one_page.joules()).abs() < 1e-12);
+        // Whole rank for 1 s = idle power.
+        let whole = p.residency_energy(8u64 << 30, SimDuration::from_secs(1));
+        assert!((whole.joules() - p.idle.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psu_wall_and_facility() {
+        let psu = PsuModel::typical_2008();
+        let wall = psu.wall_power(Watts::new(850.0));
+        assert!((wall.get() - 1000.0).abs() < 1e-9);
+        let fac = psu.facility_power(Watts::new(850.0));
+        assert!((fac.get() - 1500.0).abs() < 1e-9);
+        assert_eq!(PsuModel::ideal().wall_power(Watts::new(100.0)).get(), 100.0);
+    }
+
+    #[test]
+    fn dram_machine_self_refresh_wake_has_latency() {
+        let p = DramPowerProfile::ddr2_8gib();
+        let mut m = p.machine(SimInstant::EPOCH);
+        m.set_state(SimInstant::EPOCH, PowerStateId(2)).unwrap();
+        let woke = m
+            .set_state(
+                SimInstant::EPOCH + SimDuration::from_secs(1),
+                PowerStateId(1),
+            )
+            .unwrap();
+        assert_eq!(
+            woke,
+            SimInstant::EPOCH + SimDuration::from_secs(1) + p.wake_latency
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Dynamic voltage and frequency scaling (DVFS): the one real power knob
+//! the paper credits CPUs with (Sec. 2.3/2.4), "a good first step but far
+//! from ideal".
+//!
+//! The model follows the standard CMOS first-order form: dynamic power
+//! `P_dyn ∝ C·V²·f`, plus a static (leakage + uncore) floor that does not
+//! scale. Because voltage must rise with frequency, halving frequency
+//! saves *more* than half the dynamic power — but the static floor keeps
+//! burning while work stretches out, which is why "race to idle" can beat
+//! "slow and steady" and vice versa depending on the floor.
+
+use crate::units::{Cycles, Hertz, Joules, SimDuration, Watts};
+use serde::Serialize;
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PState {
+    /// Name ("P0", "P1", …).
+    pub name: &'static str,
+    /// Clock frequency at this point.
+    pub freq: Hertz,
+    /// Core voltage at this point (relative units are fine; only ratios
+    /// matter).
+    pub voltage: f64,
+}
+
+/// A DVFS-capable CPU's power model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DvfsModel {
+    /// Operating points, fastest first. Must be non-empty.
+    pub pstates: Vec<PState>,
+    /// Dynamic power at the *fastest* p-state, used to derive the CMOS
+    /// constant.
+    pub dynamic_at_p0: Watts,
+    /// Static floor (leakage, uncore) paid whenever the CPU is powered,
+    /// regardless of p-state.
+    pub static_power: Watts,
+    /// Power when idle (clock-gated), including the floor.
+    pub idle_power: Watts,
+}
+
+impl DvfsModel {
+    /// A model shaped like the paper-era Opterons: 2.3 GHz P0 down to
+    /// 1.15 GHz, ~75 W dynamic at P0, 15 W static floor, 10 W idle.
+    pub fn opteron_like() -> Self {
+        DvfsModel {
+            pstates: vec![
+                PState {
+                    name: "P0",
+                    freq: Hertz::ghz(2.3),
+                    voltage: 1.20,
+                },
+                PState {
+                    name: "P1",
+                    freq: Hertz::ghz(2.0),
+                    voltage: 1.15,
+                },
+                PState {
+                    name: "P2",
+                    freq: Hertz::ghz(1.7),
+                    voltage: 1.10,
+                },
+                PState {
+                    name: "P3",
+                    freq: Hertz::ghz(1.4),
+                    voltage: 1.05,
+                },
+                PState {
+                    name: "P4",
+                    freq: Hertz::ghz(1.15),
+                    voltage: 1.00,
+                },
+            ],
+            dynamic_at_p0: Watts::new(75.0),
+            static_power: Watts::new(15.0),
+            idle_power: Watts::new(10.0),
+        }
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.pstates.len()
+    }
+
+    /// True if the model has no operating points (invalid but checkable).
+    pub fn is_empty(&self) -> bool {
+        self.pstates.is_empty()
+    }
+
+    /// Active power at p-state `i`: static floor plus `C·V²·f` dynamic
+    /// power scaled from the P0 calibration point.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn active_power(&self, i: usize) -> Watts {
+        let p0 = &self.pstates[0];
+        let p = &self.pstates[i];
+        let scale =
+            (p.voltage * p.voltage * p.freq.get()) / (p0.voltage * p0.voltage * p0.freq.get());
+        self.static_power + self.dynamic_at_p0 * scale
+    }
+
+    /// Time to execute `work` at p-state `i`.
+    pub fn exec_time(&self, work: Cycles, i: usize) -> SimDuration {
+        work.time_at(self.pstates[i].freq)
+    }
+
+    /// Energy to execute `work` at p-state `i` (busy power × busy time;
+    /// no idle tail).
+    pub fn exec_energy(&self, work: Cycles, i: usize) -> Joules {
+        self.active_power(i) * self.exec_time(work, i)
+    }
+
+    /// Energy to execute `work` at p-state `i` and then idle until
+    /// `deadline` (total window energy). Returns `None` if the work does
+    /// not fit in the window at that speed.
+    pub fn window_energy(&self, work: Cycles, i: usize, deadline: SimDuration) -> Option<Joules> {
+        let busy = self.exec_time(work, i);
+        if busy > deadline {
+            return None;
+        }
+        let idle = deadline - busy;
+        Some(self.exec_energy(work, i) + self.idle_power * idle)
+    }
+
+    /// The p-state minimizing total window energy for `work` within
+    /// `deadline` — the "race-to-idle vs slow-and-steady" decision.
+    /// Returns `(index, energy)`; `None` if no p-state meets the deadline.
+    pub fn best_pstate(&self, work: Cycles, deadline: SimDuration) -> Option<(usize, Joules)> {
+        let mut best: Option<(usize, Joules)> = None;
+        for i in 0..self.pstates.len() {
+            if let Some(e) = self.window_energy(work, i, deadline) {
+                match best {
+                    Some((_, be)) if be <= e => {}
+                    _ => best = Some((i, e)),
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p0_power_is_calibration_point() {
+        let m = DvfsModel::opteron_like();
+        assert!((m.active_power(0).get() - 90.0).abs() < 1e-9); // 15 + 75
+    }
+
+    #[test]
+    fn lower_pstates_draw_less_power_but_run_longer() {
+        let m = DvfsModel::opteron_like();
+        let w = Cycles::new(2_300_000_000); // 1 s at P0
+        for i in 1..m.len() {
+            assert!(m.active_power(i).get() < m.active_power(i - 1).get());
+            assert!(m.exec_time(w, i) > m.exec_time(w, i - 1));
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_saves_energy_per_cycle() {
+        // With a zero static floor, busy energy strictly drops at lower
+        // voltage-frequency points: fewer Joules per cycle.
+        let mut m = DvfsModel::opteron_like();
+        m.static_power = Watts::ZERO;
+        m.idle_power = Watts::ZERO;
+        let w = Cycles::new(10_000_000_000);
+        for i in 1..m.len() {
+            assert!(
+                m.exec_energy(w, i).joules() < m.exec_energy(w, i - 1).joules(),
+                "pstate {i} should use less busy energy than {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn high_static_floor_favors_race_to_idle() {
+        // With a huge floor and a "deep idle" that is cheap, finishing
+        // fast and idling wins.
+        let m = DvfsModel {
+            pstates: DvfsModel::opteron_like().pstates,
+            dynamic_at_p0: Watts::new(20.0),
+            static_power: Watts::new(70.0),
+            idle_power: Watts::new(5.0),
+        };
+        let w = Cycles::new(2_300_000_000); // 1 s at P0
+        let deadline = SimDuration::from_secs(4);
+        let (best, _) = m.best_pstate(w, deadline).unwrap();
+        assert_eq!(best, 0, "race to idle should win with a big static floor");
+    }
+
+    #[test]
+    fn low_floor_favors_slow_and_steady() {
+        let m = DvfsModel {
+            pstates: DvfsModel::opteron_like().pstates,
+            dynamic_at_p0: Watts::new(75.0),
+            static_power: Watts::ZERO,
+            idle_power: Watts::ZERO,
+        };
+        let w = Cycles::new(2_300_000_000);
+        let deadline = SimDuration::from_secs(4);
+        let (best, _) = m.best_pstate(w, deadline).unwrap();
+        assert_eq!(
+            best,
+            m.len() - 1,
+            "with no floor, the slowest p-state that fits wins"
+        );
+    }
+
+    #[test]
+    fn deadline_too_tight_is_none() {
+        let m = DvfsModel::opteron_like();
+        let w = Cycles::new(23_000_000_000); // 10 s at P0
+        assert!(m.best_pstate(w, SimDuration::from_secs(5)).is_none());
+        // And window_energy refuses per-pstate too.
+        assert!(m.window_energy(w, 0, SimDuration::from_secs(5)).is_none());
+    }
+
+    #[test]
+    fn window_energy_includes_idle_tail() {
+        let m = DvfsModel::opteron_like();
+        let w = Cycles::new(2_300_000_000); // 1 s at P0
+        let e = m.window_energy(w, 0, SimDuration::from_secs(3)).unwrap();
+        let expect = m.exec_energy(w, 0) + m.idle_power * SimDuration::from_secs(2);
+        assert!((e.joules() - expect.joules()).abs() < 1e-9);
+    }
+}

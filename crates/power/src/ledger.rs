@@ -1,0 +1,356 @@
+//! The energy ledger: exact, per-component energy accounting.
+//!
+//! Every simulated component settles its consumed Joules here. The ledger
+//! is the software stand-in for the wall-socket power meter of the paper's
+//! experiments, but with per-component resolution — which is exactly what
+//! the paper laments real meters cannot give ("most of this past work has
+//! been application and database agnostic").
+
+use crate::units::{EnergyEfficiency, Joules, SimDuration, SimInstant, Watts};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Coarse component category, used for power-breakdown reports (e.g. the
+/// paper's ">50% of system power is the disk subsystem" claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// Processor packages/cores.
+    Cpu,
+    /// Rotating disks.
+    Disk,
+    /// Solid-state drives.
+    Ssd,
+    /// Main memory.
+    Dram,
+    /// Network interfaces.
+    Nic,
+    /// Chassis, fans, power-supply losses, motherboard — the constant
+    /// floor.
+    Base,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Cpu => "cpu",
+            ComponentKind::Disk => "disk",
+            ComponentKind::Ssd => "ssd",
+            ComponentKind::Dram => "dram",
+            ComponentKind::Nic => "nic",
+            ComponentKind::Base => "base",
+            ComponentKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identity of one physical component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComponentId {
+    /// The component's category.
+    pub kind: ComponentKind,
+    /// Instance number within the category (disk 0, disk 1, …).
+    pub index: u32,
+}
+
+impl ComponentId {
+    /// A component id.
+    pub const fn new(kind: ComponentKind, index: u32) -> Self {
+        ComponentId { kind, index }
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind, self.index)
+    }
+}
+
+/// Share of one component category in a breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Category.
+    pub kind: ComponentKind,
+    /// Energy the category consumed.
+    pub energy: Joules,
+    /// Fraction of the ledger total in [0, 1].
+    pub share: f64,
+}
+
+/// Exact per-component energy accounting over a simulation window.
+///
+/// Iteration order (and therefore report order and serialization) is
+/// deterministic: components sort by `(kind, index)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    #[serde(with = "entries_as_pairs")]
+    entries: BTreeMap<ComponentId, Joules>,
+    total: Joules,
+    window_start: Option<SimInstant>,
+    window_end: Option<SimInstant>,
+}
+
+/// JSON object keys must be strings; serialize the component map as a
+/// list of `(component, joules)` pairs instead.
+mod entries_as_pairs {
+    use super::{ComponentId, Joules};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<ComponentId, Joules>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(&ComponentId, &Joules)> = map.iter().collect();
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<ComponentId, Joules>, D::Error> {
+        let pairs: Vec<(ComponentId, Joules)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Credit `energy` to `component`.
+    pub fn charge(&mut self, component: ComponentId, energy: Joules) {
+        *self.entries.entry(component).or_insert(Joules::ZERO) += energy;
+        self.total += energy;
+    }
+
+    /// Credit `power × duration` to `component`.
+    pub fn charge_interval(&mut self, component: ComponentId, power: Watts, d: SimDuration) {
+        self.charge(component, power * d);
+    }
+
+    /// Extend the covered time window to include `[start, end]`.
+    pub fn cover(&mut self, start: SimInstant, end: SimInstant) {
+        self.window_start = Some(match self.window_start {
+            Some(s) => s.min(start),
+            None => start,
+        });
+        self.window_end = Some(match self.window_end {
+            Some(e) => e.max(end),
+            None => end,
+        });
+    }
+
+    /// Total energy across all components.
+    #[inline]
+    pub fn total(&self) -> Joules {
+        self.total
+    }
+
+    /// The covered simulated window, if [`EnergyLedger::cover`] was called.
+    pub fn window(&self) -> Option<(SimInstant, SimInstant)> {
+        Some((self.window_start?, self.window_end?))
+    }
+
+    /// The window's length, or zero if uncovered.
+    pub fn elapsed(&self) -> SimDuration {
+        match self.window() {
+            Some((s, e)) => e.saturating_duration_since(s),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Average total power over the covered window.
+    pub fn avg_power(&self) -> Watts {
+        self.total.avg_power_over(self.elapsed())
+    }
+
+    /// Energy consumed by one component.
+    pub fn component(&self, id: ComponentId) -> Joules {
+        self.entries.get(&id).copied().unwrap_or(Joules::ZERO)
+    }
+
+    /// Energy consumed by all components of `kind`.
+    pub fn kind_total(&self, kind: ComponentKind) -> Joules {
+        self.entries
+            .iter()
+            .filter(|(id, _)| id.kind == kind)
+            .map(|(_, e)| *e)
+            .sum()
+    }
+
+    /// Fraction of total energy consumed by `kind` (0 if ledger empty).
+    pub fn kind_share(&self, kind: ComponentKind) -> f64 {
+        if self.total.joules() <= 0.0 {
+            0.0
+        } else {
+            self.kind_total(kind).joules() / self.total.joules()
+        }
+    }
+
+    /// Per-category breakdown, sorted by category, with shares.
+    pub fn breakdown(&self) -> Vec<BreakdownRow> {
+        let mut by_kind: BTreeMap<ComponentKind, Joules> = BTreeMap::new();
+        for (id, e) in &self.entries {
+            *by_kind.entry(id.kind).or_insert(Joules::ZERO) += *e;
+        }
+        by_kind
+            .into_iter()
+            .map(|(kind, energy)| BreakdownRow {
+                kind,
+                energy,
+                share: if self.total.joules() > 0.0 {
+                    energy.joules() / self.total.joules()
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    /// All `(component, energy)` entries in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, Joules)> + '_ {
+        self.entries.iter().map(|(id, e)| (*id, *e))
+    }
+
+    /// Number of distinct components charged.
+    pub fn component_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fold another ledger into this one (component-wise sum, union
+    /// window).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (id, e) in other.iter() {
+            self.charge(id, e);
+        }
+        if let Some((s, e)) = other.window() {
+            self.cover(s, e);
+        }
+    }
+
+    /// Energy efficiency for `work` units of work against this ledger's
+    /// total energy.
+    pub fn efficiency(&self, work: f64) -> EnergyEfficiency {
+        EnergyEfficiency::from_work_energy(work, self.total)
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total {} over {} (avg {})",
+            self.total,
+            self.elapsed(),
+            self.avg_power()
+        )?;
+        for row in self.breakdown() {
+            writeln!(
+                f,
+                "  {:<6} {:>12}  {:>5.1}%",
+                row.kind.to_string(),
+                row.energy.to_string(),
+                row.share * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DISK0: ComponentId = ComponentId::new(ComponentKind::Disk, 0);
+    const DISK1: ComponentId = ComponentId::new(ComponentKind::Disk, 1);
+    const CPU0: ComponentId = ComponentId::new(ComponentKind::Cpu, 0);
+
+    #[test]
+    fn charge_and_totals() {
+        let mut l = EnergyLedger::new();
+        l.charge(DISK0, Joules::new(10.0));
+        l.charge(DISK1, Joules::new(20.0));
+        l.charge(CPU0, Joules::new(70.0));
+        assert!((l.total().joules() - 100.0).abs() < 1e-12);
+        assert!((l.kind_total(ComponentKind::Disk).joules() - 30.0).abs() < 1e-12);
+        assert!((l.kind_share(ComponentKind::Disk) - 0.3).abs() < 1e-12);
+        assert_eq!(l.component_count(), 3);
+        assert_eq!(
+            l.component(ComponentId::new(ComponentKind::Nic, 0)),
+            Joules::ZERO
+        );
+    }
+
+    #[test]
+    fn charge_interval_is_watts_times_time() {
+        let mut l = EnergyLedger::new();
+        l.charge_interval(CPU0, Watts::new(90.0), SimDuration::from_secs_f64(3.2));
+        assert!((l.total().joules() - 288.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let mut l = EnergyLedger::new();
+        l.charge(DISK0, Joules::new(55.0));
+        l.charge(CPU0, Joules::new(30.0));
+        l.charge(ComponentId::new(ComponentKind::Base, 0), Joules::new(15.0));
+        let rows = l.breakdown();
+        let sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Deterministic category order: Cpu < Disk < ... (enum order).
+        assert_eq!(rows[0].kind, ComponentKind::Cpu);
+        assert_eq!(rows[1].kind, ComponentKind::Disk);
+    }
+
+    #[test]
+    fn window_and_avg_power() {
+        let mut l = EnergyLedger::new();
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_secs(10);
+        l.cover(t0, t1);
+        l.charge(DISK0, Joules::new(50.0));
+        assert_eq!(l.elapsed(), SimDuration::from_secs(10));
+        assert!((l.avg_power().get() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_and_extends() {
+        let mut a = EnergyLedger::new();
+        a.charge(DISK0, Joules::new(1.0));
+        a.cover(SimInstant::EPOCH, SimInstant::from_nanos(5));
+        let mut b = EnergyLedger::new();
+        b.charge(DISK0, Joules::new(2.0));
+        b.charge(CPU0, Joules::new(3.0));
+        b.cover(SimInstant::from_nanos(3), SimInstant::from_nanos(9));
+        a.merge(&b);
+        assert!((a.component(DISK0).joules() - 3.0).abs() < 1e-12);
+        assert!((a.total().joules() - 6.0).abs() < 1e-12);
+        assert_eq!(
+            a.window(),
+            Some((SimInstant::EPOCH, SimInstant::from_nanos(9)))
+        );
+    }
+
+    #[test]
+    fn empty_ledger_is_harmless() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.total(), Joules::ZERO);
+        assert_eq!(l.avg_power(), Watts::ZERO);
+        assert_eq!(l.kind_share(ComponentKind::Disk), 0.0);
+        assert!(l.breakdown().is_empty());
+        assert_eq!(l.window(), None);
+    }
+
+    #[test]
+    fn efficiency_from_ledger() {
+        let mut l = EnergyLedger::new();
+        l.charge(CPU0, Joules::new(200.0));
+        let ee = l.efficiency(100.0);
+        assert!((ee.work_per_joule() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! # grail-power — power and energy models
+//!
+//! The substrate every other GRAIL crate builds on: dimensioned units,
+//! power-state machines with transition costs, per-component power models
+//! calibrated to the hardware classes of Harizopoulos et al. (CIDR 2009),
+//! an exact interval-based **energy ledger**, energy-proportionality
+//! metrics in the sense of Barroso & Hölzle, and a DVFS model.
+//!
+//! ## Design rules
+//!
+//! * **No raw `f64` power math across module boundaries.** [`units`]
+//!   defines newtypes ([`units::Watts`], [`units::Joules`],
+//!   [`units::SimDuration`], …) and implements only dimensionally sound
+//!   arithmetic (`Watts * SimDuration = Joules`, `Joules / SimDuration =
+//!   Watts`, …).
+//! * **Closed-form integration.** Components report *intervals* spent in a
+//!   power state; the [`ledger::EnergyLedger`] integrates `P·Δt` exactly.
+//!   There is no sampling and no wall-clock dependence, so energy results
+//!   are deterministic and unit-testable to float epsilon.
+//! * **Transitions are first-class.** Real devices pay latency *and*
+//!   energy to change power states (disk spin-up being the canonical
+//!   example, Sec. 4.2 of the paper); [`state::PowerStateMachine`] refuses
+//!   undeclared transitions and charges declared ones.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod components;
+pub mod dvfs;
+pub mod error;
+pub mod ledger;
+pub mod proportionality;
+pub mod state;
+pub mod tco;
+pub mod units;
+
+pub use error::PowerError;
+pub use ledger::{ComponentId, ComponentKind, EnergyLedger};
+pub use state::{PowerState, PowerStateId, PowerStateMachine, Transition};
+pub use units::{Bytes, Cycles, EnergyEfficiency, Hertz, Joules, SimDuration, SimInstant, Watts};

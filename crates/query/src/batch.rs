@@ -1,0 +1,203 @@
+//! Column-major batches and in-memory tables.
+
+use crate::schema::Schema;
+use crate::value::Datum;
+use std::sync::Arc;
+
+/// Rows per batch produced by operators.
+pub const BATCH_ROWS: usize = 4096;
+
+/// A column-major batch of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<Datum>>,
+}
+
+impl Batch {
+    /// A batch from columns (all equal length, matching the schema's
+    /// arity).
+    ///
+    /// # Panics
+    /// Panics on arity or length mismatch — producer bugs.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Vec<Datum>>) -> Self {
+        assert_eq!(schema.arity(), columns.len(), "batch arity mismatch");
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(c.len(), first.len(), "ragged batch columns");
+            }
+        }
+        Batch { schema, columns }
+    }
+
+    /// An empty batch of `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let arity = schema.arity();
+        Batch {
+            schema,
+            columns: vec![Vec::new(); arity],
+        }
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// True if the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &[Datum] {
+        &self.columns[i]
+    }
+
+    /// One row, materialized.
+    pub fn row(&self, r: usize) -> Vec<Datum> {
+        self.columns.iter().map(|c| c[r]).collect()
+    }
+
+    /// Keep only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(mask)
+                    .filter(|(_, m)| **m)
+                    .map(|(v, _)| *v)
+                    .collect()
+            })
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+        }
+    }
+
+    /// Project columns by index (with the matching projected schema).
+    pub fn project(&self, columns: &[usize]) -> Batch {
+        let schema = self.schema.project(columns);
+        let cols = columns
+            .iter()
+            .filter_map(|i| self.columns.get(*i).cloned())
+            .collect();
+        Batch::new(schema, cols)
+    }
+}
+
+/// An in-memory table: the decoded, queryable form of generated data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Schema.
+    pub schema: Arc<Schema>,
+    /// Column-major data.
+    pub columns: Vec<Vec<Datum>>,
+}
+
+impl Table {
+    /// A table from columns.
+    ///
+    /// # Panics
+    /// Panics on arity/length mismatches.
+    pub fn new(name: &str, schema: Arc<Schema>, columns: Vec<Vec<Datum>>) -> Self {
+        assert_eq!(schema.arity(), columns.len(), "table arity mismatch");
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(c.len(), first.len(), "ragged table columns");
+            }
+        }
+        Table {
+            name: name.to_string(),
+            schema,
+            columns,
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Raw (uncompressed) bytes of the whole table at 8 bytes per datum.
+    pub fn raw_bytes(&self) -> u64 {
+        (self.row_count() * self.schema.arity() * 8) as u64
+    }
+
+    /// Slice rows `[from, to)` of selected columns into a batch.
+    pub fn slice(&self, columns: &[usize], from: usize, to: usize) -> Batch {
+        let schema = self.schema.project(columns);
+        let cols = columns
+            .iter()
+            .map(|i| self.columns[*i][from..to].to_vec())
+            .collect();
+        Batch::new(schema, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3], vec![10, 20, 30]]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.column(1), &[10, 20, 30]);
+        assert_eq!(b.row(2), vec![3, 30]);
+        assert!(Batch::empty(schema()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_rejected() {
+        let _ = Batch::new(schema(), vec![vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        let _ = Batch::new(schema(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+        let f = b.filter(&[true, false, true, false]);
+        assert_eq!(f.column(0), &[1, 3]);
+        assert_eq!(f.column(1), &[5, 7]);
+    }
+
+    #[test]
+    fn project_columns() {
+        let b = Batch::new(schema(), vec![vec![1, 2], vec![3, 4]]);
+        let p = b.project(&[1]);
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(p.column(0), &[3, 4]);
+    }
+
+    #[test]
+    fn table_slices() {
+        let t = Table::new("t", schema(), vec![(0..10).collect(), (10..20).collect()]);
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(t.raw_bytes(), 160);
+        let s = t.slice(&[1], 2, 5);
+        assert_eq!(s.column(0), &[12, 13, 14]);
+    }
+}

@@ -1,0 +1,282 @@
+//! The pull-based executor and its resource-charging context.
+//!
+//! Operators do real work and charge it here. Charges accumulate into
+//! the current *phase*; blocking operators (hash build, sort, full
+//! aggregation) close phases. A finished context converts into a
+//! [`grail_sim::driver::JobSpec`]: within a phase CPU and IO overlap
+//! (pipelining), across phases they serialize — exactly the overlap
+//! model of the paper's Fig. 2 discussion.
+
+use crate::batch::Batch;
+use crate::cost_charge::{cycles, CostCharge};
+use grail_power::units::{Bytes, Cycles};
+use grail_sim::driver::{IoDemand, IoOp, JobSpec, PhaseSpec};
+use grail_sim::perf::AccessPattern;
+use grail_sim::StorageTarget;
+use grail_storage::error::StorageError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A column index outside the input schema.
+    UnknownColumn(usize),
+    /// Join/sort key arity problems and similar shape errors.
+    Shape(&'static str),
+    /// An underlying storage (decode) failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownColumn(i) => write!(f, "unknown column {i}"),
+            QueryError::Shape(s) => write!(f, "shape error: {s}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// One IO demand recorded by an operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadDemand {
+    /// The device holding the bytes.
+    pub target: StorageTarget,
+    /// Bytes moved.
+    pub bytes: Bytes,
+    /// Access pattern.
+    pub access: AccessPattern,
+    /// Read or write (spills write).
+    pub op: IoOp,
+}
+
+/// Accumulated demands of one pipeline phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tally {
+    /// CPU work.
+    pub cpu: Cycles,
+    /// IO demands.
+    pub reads: Vec<ReadDemand>,
+}
+
+impl Tally {
+    /// Total bytes across demands.
+    pub fn io_bytes(&self) -> Bytes {
+        self.reads.iter().map(|r| r.bytes).sum()
+    }
+
+    /// True if nothing was charged.
+    pub fn is_empty(&self) -> bool {
+        self.cpu == Cycles::ZERO && self.reads.is_empty()
+    }
+}
+
+/// The execution context: cost constants plus phase-structured charges.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// The cycles-per-unit calibration.
+    pub charge: CostCharge,
+    phases: Vec<Tally>,
+    current: Tally,
+}
+
+impl ExecContext {
+    /// A context with the given calibration.
+    pub fn new(charge: CostCharge) -> Self {
+        ExecContext {
+            charge,
+            phases: Vec::new(),
+            current: Tally::default(),
+        }
+    }
+
+    /// A context with the default calibration.
+    pub fn calibrated() -> Self {
+        ExecContext::new(CostCharge::default_calibrated())
+    }
+
+    /// Charge `count` fractional cycles of CPU work.
+    pub fn charge_cpu(&mut self, count: f64) {
+        self.current.cpu += cycles(count);
+    }
+
+    /// Charge a read.
+    pub fn charge_read(&mut self, target: StorageTarget, bytes: Bytes, access: AccessPattern) {
+        self.current.reads.push(ReadDemand {
+            target,
+            bytes,
+            access,
+            op: IoOp::Read,
+        });
+    }
+
+    /// Charge a write (spill).
+    pub fn charge_write(&mut self, target: StorageTarget, bytes: Bytes, access: AccessPattern) {
+        self.current.reads.push(ReadDemand {
+            target,
+            bytes,
+            access,
+            op: IoOp::Write,
+        });
+    }
+
+    /// Close the current phase (blocking operator boundary). Empty
+    /// phases are dropped.
+    pub fn phase_break(&mut self) {
+        if !self.current.is_empty() {
+            self.phases.push(std::mem::take(&mut self.current));
+        }
+    }
+
+    /// Total CPU across closed and current phases.
+    pub fn total_cpu(&self) -> Cycles {
+        self.phases.iter().map(|p| p.cpu).sum::<Cycles>() + self.current.cpu
+    }
+
+    /// Total IO bytes across closed and current phases.
+    pub fn total_io_bytes(&self) -> Bytes {
+        self.phases.iter().map(|p| p.io_bytes()).sum::<Bytes>() + self.current.io_bytes()
+    }
+
+    /// Finish: close the last phase and return all phases.
+    pub fn finish(mut self) -> Vec<Tally> {
+        self.phase_break();
+        self.phases
+    }
+
+    /// Convert the charges into a simulator job: one overlapped
+    /// [`PhaseSpec`] per phase, CPU split over `dop` cores.
+    pub fn into_job(self, dop: u32) -> JobSpec {
+        let phases = self
+            .finish()
+            .into_iter()
+            .map(|t| PhaseSpec {
+                cpu: t.cpu,
+                dop,
+                io: t
+                    .reads
+                    .into_iter()
+                    .map(|r| IoDemand {
+                        target: r.target,
+                        bytes: r.bytes,
+                        access: r.access,
+                        op: r.op,
+                    })
+                    .collect(),
+                overlap: true,
+            })
+            .collect();
+        JobSpec::immediate(phases)
+    }
+}
+
+/// A physical operator: pull batches, charging the context as real work
+/// happens.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> Arc<crate::schema::Schema>;
+    /// Produce the next batch, or `None` at end of stream.
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError>;
+}
+
+/// Drain an operator, collecting every batch.
+pub fn run_collect(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<Vec<Batch>, QueryError> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next(ctx)? {
+        if !b.is_empty() {
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+/// Count total rows across batches.
+pub fn total_rows(batches: &[Batch]) -> usize {
+    batches.iter().map(|b| b.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grail_sim::DiskId;
+
+    #[test]
+    fn phases_split_at_breaks() {
+        let mut ctx = ExecContext::calibrated();
+        ctx.charge_cpu(100.0);
+        ctx.charge_read(
+            StorageTarget::Disk(DiskId(0)),
+            Bytes::mib(1),
+            AccessPattern::Sequential,
+        );
+        ctx.phase_break();
+        ctx.charge_cpu(50.0);
+        let phases = ctx.finish();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].cpu, Cycles::new(100));
+        assert_eq!(phases[0].io_bytes(), Bytes::mib(1));
+        assert_eq!(phases[1].cpu, Cycles::new(50));
+        assert!(phases[1].reads.is_empty());
+    }
+
+    #[test]
+    fn empty_phases_dropped() {
+        let mut ctx = ExecContext::calibrated();
+        ctx.phase_break();
+        ctx.phase_break();
+        ctx.charge_cpu(1.0);
+        assert_eq!(ctx.finish().len(), 1);
+    }
+
+    #[test]
+    fn totals_span_phases() {
+        let mut ctx = ExecContext::calibrated();
+        ctx.charge_cpu(10.0);
+        ctx.phase_break();
+        ctx.charge_cpu(5.0);
+        ctx.charge_read(
+            StorageTarget::Disk(DiskId(0)),
+            Bytes::new(100),
+            AccessPattern::Sequential,
+        );
+        assert_eq!(ctx.total_cpu(), Cycles::new(15));
+        assert_eq!(ctx.total_io_bytes(), Bytes::new(100));
+    }
+
+    #[test]
+    fn job_conversion_preserves_structure() {
+        let mut ctx = ExecContext::calibrated();
+        ctx.charge_read(
+            StorageTarget::Disk(DiskId(0)),
+            Bytes::mib(2),
+            AccessPattern::Sequential,
+        );
+        ctx.charge_cpu(1000.0);
+        ctx.phase_break();
+        ctx.charge_cpu(500.0);
+        let job = ctx.into_job(4);
+        assert_eq!(job.phases.len(), 2);
+        assert_eq!(job.phases[0].dop, 4);
+        assert!(job.phases[0].overlap);
+        assert_eq!(job.phases[0].io.len(), 1);
+        assert_eq!(job.phases[1].cpu, Cycles::new(500));
+    }
+
+    #[test]
+    fn fractional_cpu_rounds_per_charge() {
+        let mut ctx = ExecContext::calibrated();
+        ctx.charge_cpu(0.4);
+        ctx.charge_cpu(0.4);
+        // Each charge rounds up independently (cheap, monotone).
+        assert_eq!(ctx.total_cpu(), Cycles::new(2));
+    }
+}

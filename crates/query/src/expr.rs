@@ -1,0 +1,214 @@
+//! Expressions over batches: arithmetic, comparisons, boolean logic.
+//!
+//! Expressions evaluate column-at-a-time over a [`Batch`]; predicates
+//! produce a selection mask. [`Expr::cost_terms`] counts the evaluation
+//! terms so the executor can charge CPU work proportional to real
+//! evaluation effort.
+
+use crate::batch::Batch;
+use crate::value::Datum;
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by index.
+    Col(usize),
+    /// Literal datum.
+    Lit(Datum),
+    /// Arithmetic.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Comparison: equal.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Comparison: less-than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Comparison: less-or-equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Comparison: greater-than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Logical and.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `left = right`.
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::Eq(Box::new(l), Box::new(r))
+    }
+
+    /// `left < right`.
+    pub fn lt(l: Expr, r: Expr) -> Expr {
+        Expr::Lt(Box::new(l), Box::new(r))
+    }
+
+    /// `left <= right`.
+    pub fn le(l: Expr, r: Expr) -> Expr {
+        Expr::Le(Box::new(l), Box::new(r))
+    }
+
+    /// `left > right`.
+    pub fn gt(l: Expr, r: Expr) -> Expr {
+        Expr::Gt(Box::new(l), Box::new(r))
+    }
+
+    /// `left AND right`.
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        Expr::And(Box::new(l), Box::new(r))
+    }
+
+    /// `left OR right`.
+    pub fn or(l: Expr, r: Expr) -> Expr {
+        Expr::Or(Box::new(l), Box::new(r))
+    }
+
+    /// Evaluate to one datum per row (booleans as 0/1).
+    pub fn eval(&self, batch: &Batch) -> Vec<Datum> {
+        let n = batch.len();
+        match self {
+            Expr::Col(i) => batch.column(*i).to_vec(),
+            Expr::Lit(v) => vec![*v; n],
+            Expr::Add(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| a.wrapping_add(b)),
+            Expr::Sub(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| a.wrapping_sub(b)),
+            Expr::Mul(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| a.wrapping_mul(b)),
+            Expr::Eq(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| (a == b) as Datum),
+            Expr::Lt(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| (a < b) as Datum),
+            Expr::Le(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| (a <= b) as Datum),
+            Expr::Gt(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| (a > b) as Datum),
+            Expr::And(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| {
+                (a != 0 && b != 0) as Datum
+            }),
+            Expr::Or(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| {
+                (a != 0 || b != 0) as Datum
+            }),
+            Expr::Not(e) => e
+                .eval(batch)
+                .into_iter()
+                .map(|v| (v == 0) as Datum)
+                .collect(),
+        }
+    }
+
+    /// Evaluate as a selection mask.
+    pub fn eval_mask(&self, batch: &Batch) -> Vec<bool> {
+        self.eval(batch).into_iter().map(|v| v != 0).collect()
+    }
+
+    /// Number of evaluation terms (nodes), for CPU charging.
+    pub fn cost_terms(&self) -> u64 {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => 1,
+            Expr::Add(l, r)
+            | Expr::Sub(l, r)
+            | Expr::Mul(l, r)
+            | Expr::Eq(l, r)
+            | Expr::Lt(l, r)
+            | Expr::Le(l, r)
+            | Expr::Gt(l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r) => 1 + l.cost_terms() + r.cost_terms(),
+            Expr::Not(e) => 1 + e.cost_terms(),
+        }
+    }
+
+    /// Estimated selectivity of this expression as a predicate, by the
+    /// textbook defaults (equality 0.1, range 0.3, and/or composition).
+    /// The optimizer refines these with statistics when available.
+    pub fn default_selectivity(&self) -> f64 {
+        match self {
+            Expr::Eq(..) => 0.1,
+            Expr::Lt(..) | Expr::Le(..) | Expr::Gt(..) => 0.3,
+            Expr::And(l, r) => l.default_selectivity() * r.default_selectivity(),
+            Expr::Or(l, r) => {
+                let (a, b) = (l.default_selectivity(), r.default_selectivity());
+                (a + b - a * b).min(1.0)
+            }
+            Expr::Not(e) => 1.0 - e.default_selectivity(),
+            _ => 1.0,
+        }
+    }
+}
+
+fn zip(a: Vec<Datum>, b: Vec<Datum>, f: impl Fn(Datum, Datum) -> Datum) -> Vec<Datum> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    fn batch() -> Batch {
+        let s = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        Batch::new(s, vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]])
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Add(Box::new(Expr::Col(0)), Box::new(Expr::Col(1)));
+        assert_eq!(e.eval(&batch()), vec![11, 22, 33, 44]);
+        let m = Expr::Mul(Box::new(Expr::Col(0)), Box::new(Expr::Lit(3)));
+        assert_eq!(m.eval(&batch()), vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn comparisons_and_mask() {
+        let e = Expr::gt(Expr::Col(1), Expr::Lit(20));
+        assert_eq!(e.eval_mask(&batch()), vec![false, false, true, true]);
+        let e2 = Expr::and(
+            Expr::gt(Expr::Col(1), Expr::Lit(10)),
+            Expr::lt(Expr::Col(0), Expr::Lit(4)),
+        );
+        assert_eq!(e2.eval_mask(&batch()), vec![false, true, true, false]);
+        let e3 = Expr::or(
+            Expr::eq(Expr::Col(0), Expr::Lit(1)),
+            Expr::eq(Expr::Col(0), Expr::Lit(4)),
+        );
+        assert_eq!(e3.eval_mask(&batch()), vec![true, false, false, true]);
+        let e4 = Expr::Not(Box::new(Expr::eq(Expr::Col(0), Expr::Lit(1))));
+        assert_eq!(e4.eval_mask(&batch()), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn le_boundary() {
+        let e = Expr::le(Expr::Col(0), Expr::Lit(2));
+        assert_eq!(e.eval_mask(&batch()), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let s = Schema::new(vec![("a", ColumnType::Int)]);
+        let b = Batch::new(s, vec![vec![i64::MAX]]);
+        let e = Expr::Add(Box::new(Expr::Col(0)), Box::new(Expr::Lit(1)));
+        assert_eq!(e.eval(&b), vec![i64::MIN]);
+    }
+
+    #[test]
+    fn cost_terms_count_nodes() {
+        let e = Expr::and(
+            Expr::gt(Expr::Col(1), Expr::Lit(10)),
+            Expr::lt(Expr::Col(0), Expr::Lit(4)),
+        );
+        assert_eq!(e.cost_terms(), 7);
+    }
+
+    #[test]
+    fn selectivity_composition() {
+        let e = Expr::and(
+            Expr::eq(Expr::Col(0), Expr::Lit(1)),
+            Expr::gt(Expr::Col(1), Expr::Lit(2)),
+        );
+        assert!((e.default_selectivity() - 0.03).abs() < 1e-12);
+        let o = Expr::or(
+            Expr::eq(Expr::Col(0), Expr::Lit(1)),
+            Expr::eq(Expr::Col(1), Expr::Lit(2)),
+        );
+        assert!((o.default_selectivity() - 0.19).abs() < 1e-12);
+    }
+}

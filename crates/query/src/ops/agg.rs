@@ -1,0 +1,277 @@
+//! Hash aggregation with grouping.
+
+use crate::batch::Batch;
+use crate::exec::{ExecContext, Operator, QueryError};
+use crate::schema::{ColumnType, Schema};
+use crate::value::Datum;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Count rows.
+    Count,
+    /// Sum of a column.
+    Sum,
+    /// Minimum of a column.
+    Min,
+    /// Maximum of a column.
+    Max,
+    /// Average of a column (integer division of sum by count).
+    Avg,
+}
+
+/// One aggregate: a function over an input column, with an output name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column (ignored for `Count`).
+    pub column: usize,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Shorthand constructor.
+    pub fn new(func: AggFunc, column: usize, name: &str) -> Self {
+        AggSpec {
+            func,
+            column,
+            name: name.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    count: i64,
+    sum: i64,
+    min: i64,
+    max: i64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+
+    fn update(&mut self, v: Datum) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn finish(&self, f: AggFunc) -> Datum {
+        match f {
+            AggFunc::Count => self.count,
+            AggFunc::Sum => self.sum,
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.sum / self.count
+                }
+            }
+        }
+    }
+}
+
+/// Group-by hash aggregation (BTree-backed for deterministic output
+/// order).
+pub struct HashAggregate {
+    input: Box<dyn Operator>,
+    group_by: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    schema: Arc<Schema>,
+    result: Option<Batch>,
+    emitted: bool,
+}
+
+impl HashAggregate {
+    /// Aggregate `input` grouped by `group_by` columns.
+    pub fn new(input: Box<dyn Operator>, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        let in_schema = input.schema();
+        let mut fields: Vec<(String, ColumnType)> = group_by
+            .iter()
+            .filter_map(|i| in_schema.fields().get(*i))
+            .map(|f| (f.name.clone(), f.ty))
+            .collect();
+        for a in &aggs {
+            fields.push((a.name.clone(), ColumnType::Int));
+        }
+        let schema = Schema::new(fields.iter().map(|(n, t)| (n.as_str(), *t)).collect());
+        HashAggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+            result: None,
+            emitted: false,
+        }
+    }
+
+    fn ensure_aggregated(&mut self, ctx: &mut ExecContext) -> Result<(), QueryError> {
+        if self.result.is_some() {
+            return Ok(());
+        }
+        let in_arity = self.input.schema().arity();
+        for g in &self.group_by {
+            if *g >= in_arity {
+                return Err(QueryError::UnknownColumn(*g));
+            }
+        }
+        for a in &self.aggs {
+            if a.func != AggFunc::Count && a.column >= in_arity {
+                return Err(QueryError::UnknownColumn(a.column));
+            }
+        }
+        let mut groups: BTreeMap<Vec<Datum>, Vec<AggState>> = BTreeMap::new();
+        let mut rows = 0f64;
+        while let Some(batch) = self.input.next(ctx)? {
+            rows += batch.len() as f64;
+            for r in 0..batch.len() {
+                let key: Vec<Datum> = self.group_by.iter().map(|c| batch.column(*c)[r]).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| vec![AggState::new(); self.aggs.len()]);
+                for (s, a) in states.iter_mut().zip(&self.aggs) {
+                    let v = if a.func == AggFunc::Count {
+                        0
+                    } else {
+                        batch.column(a.column)[r]
+                    };
+                    s.update(v);
+                }
+            }
+        }
+        ctx.charge_cpu(
+            ctx.charge.agg_cycles_per_row * rows
+                + ctx.charge.agg_cycles_per_group * groups.len() as f64,
+        );
+        ctx.phase_break();
+        let arity = self.schema.arity();
+        let mut cols: Vec<Vec<Datum>> = vec![Vec::with_capacity(groups.len()); arity];
+        for (key, states) in groups {
+            for (c, k) in key.iter().enumerate() {
+                cols[c].push(*k);
+            }
+            for (i, (s, a)) in states.iter().zip(&self.aggs).enumerate() {
+                cols[self.group_by.len() + i].push(s.finish(a.func));
+            }
+        }
+        self.result = Some(Batch::new(self.schema.clone(), cols));
+        Ok(())
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        self.ensure_aggregated(ctx)?;
+        if self.emitted {
+            return Ok(None);
+        }
+        self.emitted = true;
+        Ok(self.result.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Table;
+    use crate::exec::run_collect;
+    use crate::ops::scan::{ColumnarScan, StoredTable};
+    use grail_sim::{DiskId, StorageTarget};
+
+    fn scan_of(cols: Vec<(&str, Vec<i64>)>) -> Box<dyn Operator> {
+        let schema = Schema::new(cols.iter().map(|(n, _)| (*n, ColumnType::Int)).collect());
+        let data = cols.into_iter().map(|(_, c)| c).collect();
+        let table = Arc::new(Table::new("t", schema, data));
+        let stored = Arc::new(StoredTable::columnar_plain(
+            table,
+            StorageTarget::Disk(DiskId(0)),
+        ));
+        let all: Vec<usize> = (0..stored.table.schema.arity()).collect();
+        Box::new(ColumnarScan::new(stored, all))
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let input = scan_of(vec![
+            ("g", vec![1, 2, 1, 2, 1]),
+            ("v", vec![10, 20, 30, 40, 50]),
+        ]);
+        let mut agg = HashAggregate::new(
+            input,
+            vec![0],
+            vec![
+                AggSpec::new(AggFunc::Count, 0, "cnt"),
+                AggSpec::new(AggFunc::Sum, 1, "sum"),
+                AggSpec::new(AggFunc::Min, 1, "min"),
+                AggSpec::new(AggFunc::Max, 1, "max"),
+                AggSpec::new(AggFunc::Avg, 1, "avg"),
+            ],
+        );
+        let mut ctx = ExecContext::calibrated();
+        let out = run_collect(&mut agg, &mut ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        let b = &out[0];
+        assert_eq!(b.len(), 2);
+        // Group 1: rows (10, 30, 50).
+        assert_eq!(b.row(0), vec![1, 3, 90, 10, 50, 30]);
+        // Group 2: rows (20, 40).
+        assert_eq!(b.row(1), vec![2, 2, 60, 20, 40, 30]);
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let input = scan_of(vec![("v", vec![5, 7, 9])]);
+        let mut agg = HashAggregate::new(input, vec![], vec![AggSpec::new(AggFunc::Sum, 0, "s")]);
+        let mut ctx = ExecContext::calibrated();
+        let out = run_collect(&mut agg, &mut ctx).unwrap();
+        assert_eq!(out[0].row(0), vec![21]);
+    }
+
+    #[test]
+    fn deterministic_group_order() {
+        let input = scan_of(vec![("g", vec![9, 3, 7, 3, 9])]);
+        let mut agg =
+            HashAggregate::new(input, vec![0], vec![AggSpec::new(AggFunc::Count, 0, "c")]);
+        let mut ctx = ExecContext::calibrated();
+        let out = run_collect(&mut agg, &mut ctx).unwrap();
+        assert_eq!(out[0].column(0), &[3, 7, 9], "BTree order");
+    }
+
+    #[test]
+    fn bad_columns_error() {
+        let input = scan_of(vec![("v", vec![1])]);
+        let mut agg =
+            HashAggregate::new(input, vec![4], vec![AggSpec::new(AggFunc::Count, 0, "c")]);
+        let mut ctx = ExecContext::calibrated();
+        assert!(run_collect(&mut agg, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let input = scan_of(vec![("g", vec![])]);
+        let mut agg =
+            HashAggregate::new(input, vec![0], vec![AggSpec::new(AggFunc::Count, 0, "c")]);
+        let mut ctx = ExecContext::calibrated();
+        let out = run_collect(&mut agg, &mut ctx).unwrap();
+        assert!(out.is_empty() || out[0].is_empty());
+    }
+}

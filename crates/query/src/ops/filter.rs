@@ -1,0 +1,111 @@
+//! Streaming selection.
+
+use crate::batch::Batch;
+use crate::exec::{ExecContext, Operator, QueryError};
+use crate::expr::Expr;
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// Keep rows satisfying a predicate.
+pub struct Filter {
+    input: Box<dyn Operator>,
+    predicate: Expr,
+    terms: u64,
+}
+
+impl Filter {
+    /// Filter `input` by `predicate`.
+    pub fn new(input: Box<dyn Operator>, predicate: Expr) -> Self {
+        let terms = predicate.cost_terms();
+        Filter {
+            input,
+            predicate,
+            terms,
+        }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        loop {
+            let Some(batch) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            ctx.charge_cpu(
+                ctx.charge.expr_cycles_per_term * self.terms as f64 * batch.len() as f64,
+            );
+            let mask = self.predicate.eval_mask(&batch);
+            let out = batch.filter(&mask);
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+            // Fully filtered batch: keep pulling.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Table;
+    use crate::exec::{run_collect, total_rows};
+    use crate::ops::scan::{ColumnarScan, StoredTable};
+    use crate::schema::ColumnType;
+    use grail_sim::{DiskId, StorageTarget};
+
+    fn scan() -> Box<dyn Operator> {
+        let schema = Schema::new(vec![("k", ColumnType::Id), ("v", ColumnType::Int)]);
+        let table = Arc::new(Table::new(
+            "t",
+            schema,
+            vec![(0..1000).collect(), (0..1000).map(|i| i % 10).collect()],
+        ));
+        let stored = Arc::new(StoredTable::columnar_plain(
+            table,
+            StorageTarget::Disk(DiskId(0)),
+        ));
+        Box::new(ColumnarScan::new(stored, vec![0, 1]))
+    }
+
+    #[test]
+    fn filters_rows_exactly() {
+        let mut f = Filter::new(scan(), Expr::eq(Expr::Col(1), Expr::Lit(3)));
+        let mut ctx = ExecContext::calibrated();
+        let batches = run_collect(&mut f, &mut ctx).unwrap();
+        assert_eq!(total_rows(&batches), 100);
+        for b in &batches {
+            assert!(b.column(1).iter().all(|v| *v == 3));
+        }
+    }
+
+    #[test]
+    fn empty_result_is_clean() {
+        let mut f = Filter::new(scan(), Expr::eq(Expr::Col(1), Expr::Lit(99)));
+        let mut ctx = ExecContext::calibrated();
+        let batches = run_collect(&mut f, &mut ctx).unwrap();
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn cpu_charged_per_term_and_row() {
+        let pred = Expr::eq(Expr::Col(1), Expr::Lit(3)); // 3 terms
+        let mut f = Filter::new(scan(), pred);
+        let mut base = ExecContext::calibrated();
+        let mut s = scan();
+        run_collect(s.as_mut(), &mut base).unwrap();
+        let scan_cpu = base.total_cpu().get();
+        let mut ctx = ExecContext::calibrated();
+        run_collect(&mut f, &mut ctx).unwrap();
+        let filtered_cpu = ctx.total_cpu().get();
+        let expected_extra = (3.0 * ctx.charge.expr_cycles_per_term * 1000.0) as u64;
+        let extra = filtered_cpu - scan_cpu;
+        assert!(
+            extra.abs_diff(expected_extra) <= 2,
+            "extra={extra} expected≈{expected_extra}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Hash equi-join: blocking build, streaming probe.
+//!
+//! The paper's Sec. 4.1 example operator: fast, but it "relies on using a
+//! large chunk of memory", which is power-expensive — the optimizer may
+//! flip to nested-loop under an energy objective. The build side closes a
+//! pipeline phase (its IO+CPU cannot overlap the probe's).
+
+use crate::batch::{Batch, BATCH_ROWS};
+use crate::exec::{ExecContext, Operator, QueryError};
+use crate::schema::Schema;
+use crate::value::Datum;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Inner hash equi-join on one key column per side.
+pub struct HashJoin {
+    build: Box<dyn Operator>,
+    probe: Box<dyn Operator>,
+    build_key: usize,
+    probe_key: usize,
+    schema: Arc<Schema>,
+    table: Option<HashMap<Datum, Vec<Vec<Datum>>>>,
+    /// Rows matched but not yet emitted.
+    pending: Vec<Vec<Datum>>,
+}
+
+impl HashJoin {
+    /// Join `build ⋈ probe` on `build.build_key = probe.probe_key`.
+    /// Output schema is build columns followed by probe columns.
+    pub fn new(
+        build: Box<dyn Operator>,
+        probe: Box<dyn Operator>,
+        build_key: usize,
+        probe_key: usize,
+    ) -> Self {
+        let schema = build.schema().join(&probe.schema());
+        HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            schema,
+            table: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Estimated bytes of hash-table memory the build side occupies
+    /// (used by the optimizer's memory-power model).
+    pub fn build_memory_bytes(rows: u64, arity: u64) -> u64 {
+        // Row payload + bucket/pointer overhead ≈ 2×.
+        rows * arity * 8 * 2
+    }
+
+    fn ensure_built(&mut self, ctx: &mut ExecContext) -> Result<(), QueryError> {
+        if self.table.is_some() {
+            return Ok(());
+        }
+        let key = self.build_key;
+        let mut table: HashMap<Datum, Vec<Vec<Datum>>> = HashMap::new();
+        let mut rows = 0f64;
+        while let Some(batch) = self.build.next(ctx)? {
+            if key >= batch.schema().arity() {
+                return Err(QueryError::UnknownColumn(key));
+            }
+            for r in 0..batch.len() {
+                let row = batch.row(r);
+                table.entry(row[key]).or_default().push(row);
+                rows += 1.0;
+            }
+        }
+        ctx.charge_cpu(ctx.charge.hash_build_cycles_per_row * rows);
+        // The build is a pipeline breaker.
+        ctx.phase_break();
+        self.table = Some(table);
+        Ok(())
+    }
+
+    fn emit_pending(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let take = self.pending.len().min(BATCH_ROWS);
+        let rows: Vec<Vec<Datum>> = self.pending.drain(..take).collect();
+        Some(rows_to_batch(self.schema.clone(), rows))
+    }
+}
+
+fn rows_to_batch(schema: Arc<Schema>, rows: Vec<Vec<Datum>>) -> Batch {
+    let arity = schema.arity();
+    let mut cols = vec![Vec::with_capacity(rows.len()); arity];
+    for row in rows {
+        for (c, v) in row.into_iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    Batch::new(schema, cols)
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        self.ensure_built(ctx)?;
+        loop {
+            if let Some(b) = self.emit_pending() {
+                return Ok(Some(b));
+            }
+            let Some(batch) = self.probe.next(ctx)? else {
+                return Ok(self.emit_pending());
+            };
+            if self.probe_key >= batch.schema().arity() {
+                return Err(QueryError::UnknownColumn(self.probe_key));
+            }
+            ctx.charge_cpu(ctx.charge.hash_probe_cycles_per_row * batch.len() as f64);
+            let table = self.table.as_ref().expect("built above");
+            for r in 0..batch.len() {
+                let probe_row = batch.row(r);
+                if let Some(matches) = table.get(&probe_row[self.probe_key]) {
+                    for m in matches {
+                        let mut out = m.clone();
+                        out.extend_from_slice(&probe_row);
+                        self.pending.push(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Table;
+    use crate::exec::{run_collect, total_rows};
+    use crate::ops::scan::{ColumnarScan, StoredTable};
+    use crate::schema::ColumnType;
+    use grail_sim::{DiskId, StorageTarget};
+
+    fn scan_of(name: &str, cols: Vec<(&str, Vec<i64>)>) -> Box<dyn Operator> {
+        let schema = Schema::new(cols.iter().map(|(n, _)| (*n, ColumnType::Int)).collect());
+        let data = cols.into_iter().map(|(_, c)| c).collect();
+        let table = Arc::new(Table::new(name, schema, data));
+        let stored = Arc::new(StoredTable::columnar_plain(
+            table,
+            StorageTarget::Disk(DiskId(0)),
+        ));
+        let all: Vec<usize> = (0..stored.table.schema.arity()).collect();
+        Box::new(ColumnarScan::new(stored, all))
+    }
+
+    #[test]
+    fn joins_matching_keys() {
+        let build = scan_of(
+            "dim",
+            vec![("k", vec![1, 2, 3]), ("name", vec![10, 20, 30])],
+        );
+        let probe = scan_of(
+            "fact",
+            vec![("fk", vec![2, 2, 3, 9]), ("amt", vec![200, 201, 300, 900])],
+        );
+        let mut j = HashJoin::new(build, probe, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        let batches = run_collect(&mut j, &mut ctx).unwrap();
+        assert_eq!(total_rows(&batches), 3);
+        let b = &batches[0];
+        assert_eq!(b.schema().arity(), 4);
+        // Row for fk=3: [3, 30, 3, 300].
+        let found = (0..b.len()).any(|r| b.row(r) == vec![3, 30, 3, 300]);
+        assert!(found);
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply() {
+        let build = scan_of("dim", vec![("k", vec![1, 1]), ("v", vec![7, 8])]);
+        let probe = scan_of("fact", vec![("fk", vec![1, 1, 1])]);
+        let mut j = HashJoin::new(build, probe, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        let batches = run_collect(&mut j, &mut ctx).unwrap();
+        assert_eq!(total_rows(&batches), 6);
+    }
+
+    #[test]
+    fn no_matches_empty_output() {
+        let build = scan_of("dim", vec![("k", vec![1])]);
+        let probe = scan_of("fact", vec![("fk", vec![2, 3])]);
+        let mut j = HashJoin::new(build, probe, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        assert!(run_collect(&mut j, &mut ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn build_closes_a_phase() {
+        let build = scan_of("dim", vec![("k", vec![1, 2])]);
+        let probe = scan_of("fact", vec![("fk", vec![1, 2, 2])]);
+        let mut j = HashJoin::new(build, probe, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        run_collect(&mut j, &mut ctx).unwrap();
+        let phases = ctx.finish();
+        assert_eq!(phases.len(), 2, "build phase + probe phase");
+        // Phase 1 carries the build scan's IO; phase 2 the probe's.
+        assert!(!phases[0].reads.is_empty());
+        assert!(!phases[1].reads.is_empty());
+    }
+
+    #[test]
+    fn bad_key_column_errors() {
+        let build = scan_of("dim", vec![("k", vec![1])]);
+        let probe = scan_of("fact", vec![("fk", vec![1])]);
+        let mut j = HashJoin::new(build, probe, 5, 0);
+        let mut ctx = ExecContext::calibrated();
+        assert!(matches!(
+            run_collect(&mut j, &mut ctx),
+            Err(QueryError::UnknownColumn(5))
+        ));
+    }
+
+    #[test]
+    fn memory_estimate_scales() {
+        assert_eq!(HashJoin::build_memory_bytes(100, 4), 100 * 4 * 8 * 2);
+    }
+}

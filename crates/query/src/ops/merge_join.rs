@@ -1,0 +1,200 @@
+//! Merge join over key-sorted inputs.
+//!
+//! Cheap in both memory and CPU when sort order comes for free — the
+//! third option an energy-aware optimizer weighs against hash and
+//! nested-loop joins.
+
+use crate::batch::{Batch, BATCH_ROWS};
+use crate::exec::{ExecContext, Operator, QueryError};
+use crate::schema::Schema;
+use crate::value::Datum;
+use std::sync::Arc;
+
+/// Inner merge equi-join on one key column per side; inputs must be
+/// sorted ascending on their keys (verified as rows stream through).
+pub struct MergeJoin {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    left_key: usize,
+    right_key: usize,
+    schema: Arc<Schema>,
+    done: bool,
+    out_rows: Option<std::vec::IntoIter<Vec<Datum>>>,
+}
+
+impl MergeJoin {
+    /// Join sorted `left ⋈ right` on the given key columns.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        left_key: usize,
+        right_key: usize,
+    ) -> Self {
+        let schema = left.schema().join(&right.schema());
+        MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            schema,
+            done: false,
+            out_rows: None,
+        }
+    }
+
+    fn drain(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<Vec<Vec<Datum>>, QueryError> {
+        let mut rows = Vec::new();
+        while let Some(b) = op.next(ctx)? {
+            for r in 0..b.len() {
+                rows.push(b.row(r));
+            }
+        }
+        Ok(rows)
+    }
+
+    fn ensure_joined(&mut self, ctx: &mut ExecContext) -> Result<(), QueryError> {
+        if self.out_rows.is_some() || self.done {
+            return Ok(());
+        }
+        let lk = self.left_key;
+        let rk = self.right_key;
+        if lk >= self.left.schema().arity() {
+            return Err(QueryError::UnknownColumn(lk));
+        }
+        if rk >= self.right.schema().arity() {
+            return Err(QueryError::UnknownColumn(rk));
+        }
+        let left = Self::drain(self.left.as_mut(), ctx)?;
+        let right = Self::drain(self.right.as_mut(), ctx)?;
+        for w in left.windows(2) {
+            if w[0][lk] > w[1][lk] {
+                return Err(QueryError::Shape("merge join left input not sorted"));
+            }
+        }
+        for w in right.windows(2) {
+            if w[0][rk] > w[1][rk] {
+                return Err(QueryError::Shape("merge join right input not sorted"));
+            }
+        }
+        ctx.charge_cpu(ctx.charge.merge_cycles_per_row * (left.len() + right.len()) as f64);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            let a = left[i][lk];
+            let b = right[j][rk];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Emit the cross product of the equal-key groups.
+                    let i_end = left[i..].iter().take_while(|r| r[lk] == a).count() + i;
+                    let j_end = right[j..].iter().take_while(|r| r[rk] == b).count() + j;
+                    for lrow in &left[i..i_end] {
+                        for rrow in &right[j..j_end] {
+                            let mut row = lrow.clone();
+                            row.extend_from_slice(rrow);
+                            out.push(row);
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        ctx.phase_break();
+        self.out_rows = Some(out.into_iter());
+        Ok(())
+    }
+}
+
+impl Operator for MergeJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        self.ensure_joined(ctx)?;
+        let Some(rows) = self.out_rows.as_mut() else {
+            return Ok(None);
+        };
+        let chunk: Vec<Vec<Datum>> = rows.take(BATCH_ROWS).collect();
+        if chunk.is_empty() {
+            self.done = true;
+            self.out_rows = None;
+            return Ok(None);
+        }
+        let arity = self.schema.arity();
+        let mut cols = vec![Vec::with_capacity(chunk.len()); arity];
+        for row in chunk {
+            for (c, v) in row.into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        Ok(Some(Batch::new(self.schema.clone(), cols)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Table;
+    use crate::exec::{run_collect, total_rows};
+    use crate::ops::scan::{ColumnarScan, StoredTable};
+    use crate::schema::ColumnType;
+    use grail_sim::{DiskId, StorageTarget};
+
+    fn scan_of(cols: Vec<(&str, Vec<i64>)>) -> Box<dyn Operator> {
+        let schema = Schema::new(cols.iter().map(|(n, _)| (*n, ColumnType::Int)).collect());
+        let data = cols.into_iter().map(|(_, c)| c).collect();
+        let table = Arc::new(Table::new("t", schema, data));
+        let stored = Arc::new(StoredTable::columnar_plain(
+            table,
+            StorageTarget::Disk(DiskId(0)),
+        ));
+        let all: Vec<usize> = (0..stored.table.schema.arity()).collect();
+        Box::new(ColumnarScan::new(stored, all))
+    }
+
+    #[test]
+    fn joins_sorted_inputs() {
+        let left = scan_of(vec![("k", vec![1, 2, 4]), ("x", vec![10, 20, 40])]);
+        let right = scan_of(vec![("k", vec![2, 3, 4]), ("y", vec![200, 300, 400])]);
+        let mut j = MergeJoin::new(left, right, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        let out = run_collect(&mut j, &mut ctx).unwrap();
+        assert_eq!(total_rows(&out), 2);
+        assert_eq!(out[0].row(0), vec![2, 20, 2, 200]);
+        assert_eq!(out[0].row(1), vec![4, 40, 4, 400]);
+    }
+
+    #[test]
+    fn duplicate_keys_cross_product() {
+        let left = scan_of(vec![("k", vec![5, 5])]);
+        let right = scan_of(vec![("k", vec![5, 5, 5])]);
+        let mut j = MergeJoin::new(left, right, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        let out = run_collect(&mut j, &mut ctx).unwrap();
+        assert_eq!(total_rows(&out), 6);
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let left = scan_of(vec![("k", vec![3, 1])]);
+        let right = scan_of(vec![("k", vec![1])]);
+        let mut j = MergeJoin::new(left, right, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        assert!(matches!(
+            run_collect(&mut j, &mut ctx),
+            Err(QueryError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn disjoint_keys_empty() {
+        let left = scan_of(vec![("k", vec![1, 3, 5])]);
+        let right = scan_of(vec![("k", vec![2, 4, 6])]);
+        let mut j = MergeJoin::new(left, right, 0, 0);
+        let mut ctx = ExecContext::calibrated();
+        assert!(run_collect(&mut j, &mut ctx).unwrap().is_empty());
+    }
+}

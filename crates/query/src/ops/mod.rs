@@ -1,0 +1,25 @@
+//! Physical operators.
+//!
+//! Every operator executes its textbook algorithm on real data *and*
+//! charges the [`crate::exec::ExecContext`] for the work, so correctness
+//! is unit-testable while time/energy stay simulator-derived.
+
+pub mod agg;
+pub mod filter;
+pub mod hash_join;
+pub mod index;
+pub mod merge_join;
+pub mod nl_join;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+pub use agg::{AggFunc, AggSpec, HashAggregate};
+pub use filter::Filter;
+pub use hash_join::HashJoin;
+pub use index::{IndexNlJoin, IndexRangeScan, IndexedTable};
+pub use merge_join::MergeJoin;
+pub use nl_join::NestedLoopJoin;
+pub use project::Project;
+pub use scan::{ColumnarScan, RowScan, StoredTable};
+pub use sort::{Sort, SortSpec};

@@ -1,0 +1,173 @@
+//! Admission policies: when an arriving query is actually dispatched.
+//!
+//! Sec. 4.2 expects "workload management policies that encourage
+//! identifiable periods of low and high activity — perhaps batching
+//! requests at the cost of increased latency". [`BatchWindow`] is that
+//! policy; [`AdmissionPolicy::Immediate`] is the baseline.
+
+use grail_power::units::{SimDuration, SimInstant};
+use serde::Serialize;
+
+/// An admission policy mapping arrivals to dispatch times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum AdmissionPolicy {
+    /// Dispatch on arrival.
+    Immediate,
+    /// Hold arrivals and release them in batches.
+    Batched(BatchWindow),
+}
+
+/// Batching configuration: the first arrival opens a window; everything
+/// arriving within it is released together when it closes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BatchWindow {
+    /// Window length.
+    pub window: SimDuration,
+}
+
+/// The dispatch schedule an admission policy produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOutcome {
+    /// Dispatch instant per arrival (same order as input).
+    pub dispatches: Vec<SimInstant>,
+    /// Number of release points (batches).
+    pub batches: usize,
+}
+
+impl AdmissionOutcome {
+    /// Added latency per query (dispatch − arrival).
+    pub fn added_latency(&self, arrivals: &[SimInstant]) -> Vec<SimDuration> {
+        self.dispatches
+            .iter()
+            .zip(arrivals)
+            .map(|(d, a)| d.saturating_duration_since(*a))
+            .collect()
+    }
+
+    /// Mean added latency in seconds.
+    pub fn mean_added_latency_secs(&self, arrivals: &[SimInstant]) -> f64 {
+        if arrivals.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .added_latency(arrivals)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum();
+        total / arrivals.len() as f64
+    }
+}
+
+impl AdmissionPolicy {
+    /// Apply the policy to sorted `arrivals`.
+    ///
+    /// # Panics
+    /// Panics if arrivals are not sorted ascending.
+    pub fn schedule(&self, arrivals: &[SimInstant]) -> AdmissionOutcome {
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
+        match self {
+            AdmissionPolicy::Immediate => AdmissionOutcome {
+                dispatches: arrivals.to_vec(),
+                batches: arrivals.len(),
+            },
+            AdmissionPolicy::Batched(bw) => {
+                let mut dispatches = Vec::with_capacity(arrivals.len());
+                let mut batches = 0usize;
+                let mut i = 0usize;
+                while i < arrivals.len() {
+                    let release = arrivals[i] + bw.window;
+                    let mut j = i;
+                    while j < arrivals.len() && arrivals[j] <= release {
+                        dispatches.push(release);
+                        j += 1;
+                    }
+                    batches += 1;
+                    i = j;
+                }
+                AdmissionOutcome {
+                    dispatches,
+                    batches,
+                }
+            }
+        }
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Immediate => "immediate",
+            AdmissionPolicy::Batched(_) => "batched",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimInstant {
+        SimInstant::from_secs_f64(s)
+    }
+
+    #[test]
+    fn immediate_is_identity() {
+        let arrivals = vec![at(1.0), at(2.0), at(5.0)];
+        let out = AdmissionPolicy::Immediate.schedule(&arrivals);
+        assert_eq!(out.dispatches, arrivals);
+        assert_eq!(out.batches, 3);
+        assert_eq!(out.mean_added_latency_secs(&arrivals), 0.0);
+    }
+
+    #[test]
+    fn batching_groups_within_windows() {
+        let arrivals = vec![at(0.0), at(1.0), at(2.0), at(10.0), at(11.0)];
+        let out = AdmissionPolicy::Batched(BatchWindow {
+            window: SimDuration::from_secs(3),
+        })
+        .schedule(&arrivals);
+        // First window opens at 0, closes at 3: takes 0,1,2.
+        // Second opens at 10, closes at 13: takes 10,11.
+        assert_eq!(out.batches, 2);
+        assert_eq!(
+            out.dispatches,
+            vec![at(3.0); 3]
+                .into_iter()
+                .chain(vec![at(13.0); 2])
+                .collect::<Vec<_>>()
+        );
+        // Added latency: 3,2,1,3,2 → mean 2.2.
+        assert!((out.mean_added_latency_secs(&arrivals) - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batching_never_dispatches_before_arrival() {
+        let arrivals: Vec<SimInstant> = (0..50).map(|i| at(i as f64 * 0.7)).collect();
+        let out = AdmissionPolicy::Batched(BatchWindow {
+            window: SimDuration::from_secs(2),
+        })
+        .schedule(&arrivals);
+        for (d, a) in out.dispatches.iter().zip(&arrivals) {
+            assert!(d >= a);
+        }
+        assert!(out.batches < arrivals.len(), "batching must coalesce");
+    }
+
+    #[test]
+    fn empty_arrivals() {
+        let out = AdmissionPolicy::Batched(BatchWindow {
+            window: SimDuration::from_secs(1),
+        })
+        .schedule(&[]);
+        assert!(out.dispatches.is_empty());
+        assert_eq!(out.batches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_rejected() {
+        let _ = AdmissionPolicy::Immediate.schedule(&[at(2.0), at(1.0)]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Cluster-level consolidation: the \[TWM+08\] idea the paper endorses —
+//! "using virtual machine migration and turning off servers to effect
+//! energy-proportionality" over a heterogeneous fleet (Sec. 2.4).
+//!
+//! Machines have linear power curves and different peak efficiencies
+//! (the technology-refresh heterogeneity the paper notes). A placement
+//! policy maps an aggregate demand onto the fleet; consolidation packs
+//! the most efficient machines full and powers the rest off, making the
+//! *cluster* energy-proportional even though no single machine is.
+
+use grail_power::units::Watts;
+use serde::Serialize;
+use std::fmt;
+
+/// One machine in the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Machine {
+    /// Name for reports.
+    pub name: String,
+    /// Peak throughput, work/s.
+    pub capacity: f64,
+    /// Power at zero load (while on).
+    pub idle: Watts,
+    /// Power at full load.
+    pub peak: Watts,
+}
+
+impl Machine {
+    /// A machine description.
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity or idle above peak.
+    pub fn new(name: &str, capacity: f64, idle: Watts, peak: Watts) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(idle.get() <= peak.get(), "idle above peak");
+        Machine {
+            name: name.to_string(),
+            capacity,
+            idle,
+            peak,
+        }
+    }
+
+    /// Power at `load` work/s (clamped to capacity).
+    pub fn power_at(&self, load: f64) -> Watts {
+        let u = (load / self.capacity).clamp(0.0, 1.0);
+        Watts::new(self.idle.get() + (self.peak.get() - self.idle.get()) * u)
+    }
+
+    /// Work per Joule at full load.
+    pub fn peak_efficiency(&self) -> f64 {
+        self.capacity / self.peak.get()
+    }
+}
+
+/// How demand is spread over the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PlacementPolicy {
+    /// Load-balance across every machine, all powered (the classic
+    /// availability-first layout).
+    Spread,
+    /// Fill the most (peak-)efficient machines to capacity first; power
+    /// off machines that receive nothing.
+    Consolidate,
+}
+
+/// A computed placement.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Placement {
+    /// Work/s assigned per machine (fleet order).
+    pub loads: Vec<f64>,
+    /// Whether each machine stays powered.
+    pub powered: Vec<bool>,
+}
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Aggregate demand exceeds fleet capacity.
+    Overloaded,
+    /// The fleet is empty.
+    EmptyFleet,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Overloaded => f.write_str("demand exceeds fleet capacity"),
+            ClusterError::EmptyFleet => f.write_str("empty fleet"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Place `demand` work/s on `fleet` under `policy`.
+pub fn place(
+    fleet: &[Machine],
+    demand: f64,
+    policy: PlacementPolicy,
+) -> Result<Placement, ClusterError> {
+    if fleet.is_empty() {
+        return Err(ClusterError::EmptyFleet);
+    }
+    let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+    if demand > total * (1.0 + 1e-9) {
+        return Err(ClusterError::Overloaded);
+    }
+    let demand = demand.max(0.0);
+    match policy {
+        PlacementPolicy::Spread => {
+            let loads = fleet.iter().map(|m| demand * m.capacity / total).collect();
+            Ok(Placement {
+                loads,
+                powered: vec![true; fleet.len()],
+            })
+        }
+        PlacementPolicy::Consolidate => {
+            // Most peak-efficient machines first; ties broken by fleet
+            // order for determinism.
+            let mut order: Vec<usize> = (0..fleet.len()).collect();
+            order.sort_by(|a, b| {
+                fleet[*b]
+                    .peak_efficiency()
+                    .partial_cmp(&fleet[*a].peak_efficiency())
+                    .expect("finite efficiencies")
+                    .then(a.cmp(b))
+            });
+            let mut loads = vec![0.0; fleet.len()];
+            let mut powered = vec![false; fleet.len()];
+            let mut rest = demand;
+            for i in order {
+                if rest <= 0.0 {
+                    break;
+                }
+                let take = rest.min(fleet[i].capacity);
+                loads[i] = take;
+                powered[i] = true;
+                rest -= take;
+            }
+            Ok(Placement { loads, powered })
+        }
+    }
+}
+
+impl Placement {
+    /// Total fleet power under this placement (off machines draw
+    /// nothing).
+    pub fn power(&self, fleet: &[Machine]) -> Watts {
+        fleet
+            .iter()
+            .zip(&self.loads)
+            .zip(&self.powered)
+            .map(
+                |((m, load), on)| {
+                    if *on {
+                        m.power_at(*load)
+                    } else {
+                        Watts::ZERO
+                    }
+                },
+            )
+            .sum()
+    }
+
+    /// Cluster energy efficiency (work/s per Watt = work/Joule).
+    pub fn efficiency(&self, fleet: &[Machine]) -> f64 {
+        let p = self.power(fleet).get();
+        let served: f64 = self.loads.iter().sum();
+        if p <= 0.0 {
+            0.0
+        } else {
+            served / p
+        }
+    }
+
+    /// Number of powered machines.
+    pub fn powered_count(&self) -> usize {
+        self.powered.iter().filter(|p| **p).count()
+    }
+}
+
+/// A mixed-generation fleet for experiments: two old brawny boxes, two
+/// newer mid-range, two efficient recent ones (the refresh-cycle
+/// heterogeneity of Sec. 2.4).
+pub fn refresh_cycle_fleet() -> Vec<Machine> {
+    vec![
+        Machine::new("old-a", 1000.0, Watts::new(300.0), Watts::new(400.0)),
+        Machine::new("old-b", 1000.0, Watts::new(300.0), Watts::new(400.0)),
+        Machine::new("mid-a", 1500.0, Watts::new(250.0), Watts::new(380.0)),
+        Machine::new("mid-b", 1500.0, Watts::new(250.0), Watts::new(380.0)),
+        Machine::new("new-a", 2000.0, Watts::new(180.0), Watts::new(350.0)),
+        Machine::new("new-b", 2000.0, Watts::new(180.0), Watts::new(350.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidation_beats_spread_at_partial_load() {
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        for frac in [0.1, 0.25, 0.5, 0.75] {
+            let demand = total * frac;
+            let spread = place(&fleet, demand, PlacementPolicy::Spread).expect("fits");
+            let packed = place(&fleet, demand, PlacementPolicy::Consolidate).expect("fits");
+            assert!(
+                packed.power(&fleet).get() < spread.power(&fleet).get(),
+                "at {frac}: {} vs {}",
+                packed.power(&fleet),
+                spread.power(&fleet)
+            );
+            assert!(packed.efficiency(&fleet) > spread.efficiency(&fleet));
+        }
+    }
+
+    #[test]
+    fn policies_converge_at_full_load() {
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let spread = place(&fleet, total, PlacementPolicy::Spread).expect("fits");
+        let packed = place(&fleet, total, PlacementPolicy::Consolidate).expect("fits");
+        assert!((spread.power(&fleet).get() - packed.power(&fleet).get()).abs() < 1e-6);
+        assert_eq!(packed.powered_count(), fleet.len());
+    }
+
+    #[test]
+    fn consolidation_fills_efficient_machines_first() {
+        let fleet = refresh_cycle_fleet();
+        // Demand exactly the two new machines' capacity.
+        let p = place(&fleet, 4000.0, PlacementPolicy::Consolidate).expect("fits");
+        assert_eq!(p.powered_count(), 2);
+        assert!(p.powered[4] && p.powered[5], "new machines power on first");
+        assert_eq!(p.loads[4], 2000.0);
+        assert_eq!(p.loads[5], 2000.0);
+    }
+
+    #[test]
+    fn demand_conserved() {
+        let fleet = refresh_cycle_fleet();
+        for policy in [PlacementPolicy::Spread, PlacementPolicy::Consolidate] {
+            let p = place(&fleet, 3123.0, policy).expect("fits");
+            let served: f64 = p.loads.iter().sum();
+            assert!((served - 3123.0).abs() < 1e-6);
+            // No machine over capacity.
+            for (m, l) in fleet.iter().zip(&p.loads) {
+                assert!(*l <= m.capacity + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_proportionality_emerges_from_consolidation() {
+        // EE at 25% load under consolidation stays near peak EE; under
+        // spread it collapses — the cluster-level [BH07] curve.
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let full = place(&fleet, total, PlacementPolicy::Consolidate).expect("fits");
+        let quarter_packed =
+            place(&fleet, total * 0.25, PlacementPolicy::Consolidate).expect("fits");
+        let quarter_spread = place(&fleet, total * 0.25, PlacementPolicy::Spread).expect("fits");
+        let peak_ee = full.efficiency(&fleet);
+        assert!(quarter_packed.efficiency(&fleet) > 0.85 * peak_ee);
+        assert!(quarter_spread.efficiency(&fleet) < 0.60 * peak_ee);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            place(&[], 1.0, PlacementPolicy::Spread).unwrap_err(),
+            ClusterError::EmptyFleet
+        );
+        let fleet = refresh_cycle_fleet();
+        assert_eq!(
+            place(&fleet, 1e9, PlacementPolicy::Consolidate).unwrap_err(),
+            ClusterError::Overloaded
+        );
+        // Zero demand consolidation powers nothing.
+        let p = place(&fleet, 0.0, PlacementPolicy::Consolidate).expect("fits");
+        assert_eq!(p.powered_count(), 0);
+        assert_eq!(p.power(&fleet), Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle above peak")]
+    fn bad_machine_rejected() {
+        let _ = Machine::new("x", 1.0, Watts::new(10.0), Watts::new(5.0));
+    }
+}

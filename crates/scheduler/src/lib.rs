@@ -1,0 +1,30 @@
+//! # grail-scheduler — resource-use consolidation
+//!
+//! Sec. 4.2: "shift computations and relocate data to consolidate
+//! resource use both in time and space, to facilitate powering down
+//! individual hardware components", accepting latency for idle-period
+//! length. This crate supplies the policies:
+//!
+//! * [`admission`] — immediate vs windowed-batch admission of arriving
+//!   queries (the "batching requests at the cost of increased latency"
+//!   trade).
+//! * [`governor`] — device idle governors: never-park, fixed-timeout,
+//!   and the clairvoyant oracle (knows the next arrival), each deciding
+//!   spin-downs against the device's break-even gap.
+//! * [`sharing`] — scan sharing: queries arriving within a window attach
+//!   to an in-flight scan instead of re-reading.
+//! * [`cluster`] — fleet-level consolidation (\[TWM+08\]): pack load onto
+//!   the most efficient machines and power off the rest, making the
+//!   cluster energy-proportional even when no machine is.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod admission;
+pub mod cluster;
+pub mod governor;
+pub mod sharing;
+
+pub use admission::{AdmissionPolicy, BatchWindow};
+pub use cluster::{Machine, Placement, PlacementPolicy};
+pub use governor::{IdleGovernor, OracleGovernor, TimeoutGovernor};

@@ -1,0 +1,155 @@
+//! Scan sharing: attach queries to in-flight scans.
+//!
+//! Sec. 5.2: "techniques that enable and encourage work sharing across
+//! queries will become increasingly attractive". The circular-scan
+//! model: a full table scan takes `duration`; a query arriving while a
+//! scan is in flight attaches mid-stream, reads to the end, and the scan
+//! wraps around to serve its missed prefix. Each attached query still
+//! finishes `duration` after it arrived (no latency penalty), but the
+//! device performs one continuous pass instead of N separate ones.
+
+use grail_power::units::{SimDuration, SimInstant};
+use serde::Serialize;
+
+/// The outcome of sharing a set of scan queries.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SharingOutcome {
+    /// Per-query completion times (same order as arrivals).
+    pub completions: Vec<SimInstant>,
+    /// Number of physical scan passes started.
+    pub physical_scans: usize,
+    /// Total device-busy seconds with sharing.
+    pub shared_busy_secs: f64,
+    /// Total device-busy seconds without sharing (N independent scans).
+    pub solo_busy_secs: f64,
+}
+
+impl SharingOutcome {
+    /// Fraction of device time saved by sharing, clamped to `[0, 1]`
+    /// (float accumulation over many groups can otherwise dip a few
+    /// ULPs below zero on savings-free schedules).
+    pub fn savings(&self) -> f64 {
+        if self.solo_busy_secs <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.shared_busy_secs / self.solo_busy_secs).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Share full-table scans of `duration` across sorted `arrivals`.
+///
+/// A scan group stays open while new queries keep arriving before the
+/// group's current *device* end; the device end extends to cover each
+/// attacher's wrap-around. A query arriving after the device has gone
+/// idle starts a new physical scan.
+///
+/// # Panics
+/// Panics if arrivals are unsorted.
+pub fn share_scans(arrivals: &[SimInstant], duration: SimDuration) -> SharingOutcome {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    let mut completions = Vec::with_capacity(arrivals.len());
+    let mut physical = 0usize;
+    let mut shared_busy = 0.0f64;
+    let mut group_device_end: Option<SimInstant> = None;
+    let mut group_device_start = SimInstant::EPOCH;
+
+    for &a in arrivals {
+        let completion = a + duration;
+        match group_device_end {
+            Some(end) if a < end => {
+                // Attach: extend the pass to cover this query's wrap.
+                group_device_end = Some(end.max(completion));
+            }
+            _ => {
+                // Close the previous group.
+                if let Some(end) = group_device_end {
+                    shared_busy += end.duration_since(group_device_start).as_secs_f64();
+                }
+                physical += 1;
+                group_device_start = a;
+                group_device_end = Some(completion);
+            }
+        }
+        completions.push(completion);
+    }
+    if let Some(end) = group_device_end {
+        shared_busy += end.duration_since(group_device_start).as_secs_f64();
+    }
+    SharingOutcome {
+        completions,
+        physical_scans: physical,
+        shared_busy_secs: shared_busy,
+        solo_busy_secs: arrivals.len() as f64 * duration.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimInstant {
+        SimInstant::from_secs_f64(s)
+    }
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn simultaneous_queries_share_one_pass() {
+        let out = share_scans(&[at(0.0), at(0.0), at(0.0)], secs(10.0));
+        assert_eq!(out.physical_scans, 1);
+        assert_eq!(out.shared_busy_secs, 10.0);
+        assert_eq!(out.solo_busy_secs, 30.0);
+        assert!((out.savings() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(out.completions.iter().all(|c| *c == at(10.0)));
+    }
+
+    #[test]
+    fn mid_scan_attacher_wraps() {
+        let out = share_scans(&[at(0.0), at(4.0)], secs(10.0));
+        assert_eq!(out.physical_scans, 1);
+        // Device busy 0..14 (wraps for the second query's prefix).
+        assert_eq!(out.shared_busy_secs, 14.0);
+        assert_eq!(out.completions, vec![at(10.0), at(14.0)]);
+        assert!((out.savings() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_queries_do_not_share() {
+        let out = share_scans(&[at(0.0), at(100.0)], secs(10.0));
+        assert_eq!(out.physical_scans, 2);
+        assert_eq!(out.shared_busy_secs, 20.0);
+        assert_eq!(out.savings(), 0.0);
+    }
+
+    #[test]
+    fn latency_never_worse_than_solo() {
+        let arrivals: Vec<SimInstant> = (0..20).map(|i| at(i as f64 * 1.7)).collect();
+        let out = share_scans(&arrivals, secs(5.0));
+        for (c, a) in out.completions.iter().zip(&arrivals) {
+            assert_eq!(c.duration_since(*a), secs(5.0));
+        }
+        assert!(out.shared_busy_secs <= out.solo_busy_secs);
+    }
+
+    #[test]
+    fn chained_attachers_extend_one_group() {
+        // Each arrival lands inside the (extended) pass of the previous.
+        let out = share_scans(&[at(0.0), at(8.0), at(16.0), at(24.0)], secs(10.0));
+        assert_eq!(out.physical_scans, 1);
+        assert_eq!(out.shared_busy_secs, 34.0);
+        assert!(out.savings() > 0.0);
+    }
+
+    #[test]
+    fn empty() {
+        let out = share_scans(&[], secs(10.0));
+        assert_eq!(out.physical_scans, 0);
+        assert_eq!(out.savings(), 0.0);
+    }
+}

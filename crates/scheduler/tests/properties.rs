@@ -1,0 +1,91 @@
+//! Property tests for the consolidation policies.
+
+use grail_power::units::{SimDuration, SimInstant};
+use grail_scheduler::admission::{AdmissionPolicy, BatchWindow};
+use grail_scheduler::cluster::{place, refresh_cycle_fleet, PlacementPolicy};
+use grail_scheduler::governor::{gap_energy, IdleGovernor, OracleGovernor, ParkCosts};
+use grail_scheduler::sharing::share_scans;
+use proptest::prelude::*;
+
+fn sorted_arrivals() -> impl Strategy<Value = Vec<SimInstant>> {
+    proptest::collection::vec(0u64..1_000_000, 0..60).prop_map(|mut ms| {
+        ms.sort_unstable();
+        ms.into_iter()
+            .map(|m| SimInstant::EPOCH + SimDuration::from_millis(m))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Batched admission never dispatches before arrival, preserves
+    /// order and count, and never produces more batches than arrivals.
+    #[test]
+    fn admission_invariants(arrivals in sorted_arrivals(), window_ms in 1u64..120_000) {
+        let policy = AdmissionPolicy::Batched(BatchWindow {
+            window: SimDuration::from_millis(window_ms),
+        });
+        let out = policy.schedule(&arrivals);
+        prop_assert_eq!(out.dispatches.len(), arrivals.len());
+        prop_assert!(out.batches <= arrivals.len().max(1));
+        for (d, a) in out.dispatches.iter().zip(&arrivals) {
+            prop_assert!(d >= a);
+            // Bounded delay: within one window.
+            prop_assert!(
+                d.saturating_duration_since(*a) <= SimDuration::from_millis(window_ms)
+            );
+        }
+        // Dispatches are nondecreasing.
+        prop_assert!(out.dispatches.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The oracle governor never loses to staying idle, on any gap.
+    #[test]
+    fn oracle_never_loses(gap_ms in 1u64..10_000_000) {
+        let costs = ParkCosts::scsi_15k();
+        let start = SimInstant::EPOCH;
+        let end = start + SimDuration::from_millis(gap_ms);
+        let plan = OracleGovernor.plan_gap(start, end, &costs);
+        let with = gap_energy(plan.as_ref(), start, end, &costs);
+        let without = gap_energy(None, start, end, &costs);
+        prop_assert!(with.joules() <= without.joules() + 1e-9,
+            "gap {gap_ms}ms: {with} vs {without}");
+    }
+
+    /// Scan sharing: per-query latency always equals the solo latency,
+    /// device busy time never exceeds solo, and savings ∈ [0, 1).
+    #[test]
+    fn sharing_invariants(arrivals in sorted_arrivals(), dur_ms in 1u64..60_000) {
+        let dur = SimDuration::from_millis(dur_ms);
+        let out = share_scans(&arrivals, dur);
+        prop_assert_eq!(out.completions.len(), arrivals.len());
+        for (c, a) in out.completions.iter().zip(&arrivals) {
+            prop_assert_eq!(c.saturating_duration_since(*a), dur);
+        }
+        prop_assert!(out.shared_busy_secs <= out.solo_busy_secs + 1e-9);
+        prop_assert!(out.physical_scans <= arrivals.len());
+        let s = out.savings();
+        prop_assert!((0.0..1.0).contains(&s) || arrivals.is_empty());
+    }
+
+    /// Cluster placement: demand conserved, capacities respected, and
+    /// consolidation never draws more power than spread.
+    #[test]
+    fn cluster_invariants(frac in 0.0f64..1.0) {
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let demand = total * frac;
+        let spread = place(&fleet, demand, PlacementPolicy::Spread).expect("fits");
+        let packed = place(&fleet, demand, PlacementPolicy::Consolidate).expect("fits");
+        for p in [&spread, &packed] {
+            let served: f64 = p.loads.iter().sum();
+            prop_assert!((served - demand).abs() < 1e-6);
+            for (m, l) in fleet.iter().zip(&p.loads) {
+                prop_assert!(*l <= m.capacity + 1e-9);
+                prop_assert!(*l >= 0.0);
+            }
+        }
+        prop_assert!(
+            packed.power(&fleet).get() <= spread.power(&fleet).get() + 1e-9
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The CPU pool: identical cores as FCFS servers, with per-core
+//! active/idle power and a shared uncore floor.
+//!
+//! Fig. 2 charges "90 W while the CPU computes, nothing while it idles";
+//! Fig. 1's server has 32 Opteron cores whose saturation is what bends
+//! the performance curve flat as disks are added.
+
+use crate::disk::DeviceStats;
+use crate::perf::CpuPerfProfile;
+use crate::sim::Reservation;
+use grail_power::components::{duo_states, CpuPowerProfile};
+use grail_power::state::PowerStateMachine;
+use grail_power::units::{Cycles, Joules, SimDuration, SimInstant, Watts};
+
+/// One simulated CPU pool.
+#[derive(Debug, Clone)]
+pub struct CpuDevice {
+    perf: CpuPerfProfile,
+    power: CpuPowerProfile,
+    cores: Vec<CoreState>,
+    last_issue: SimInstant,
+    stats: DeviceStats,
+}
+
+#[derive(Debug, Clone)]
+struct CoreState {
+    machine: PowerStateMachine,
+    next_free: SimInstant,
+}
+
+impl CpuDevice {
+    /// A pool of `perf.cores` cores, all idle at `start`.
+    ///
+    /// The *total* core count comes from `perf`; `power` describes one
+    /// socket's per-core draw and per-socket uncore (scaled by how many
+    /// sockets `perf.cores` implies).
+    pub fn new(perf: CpuPerfProfile, power: CpuPowerProfile, start: SimInstant) -> Self {
+        let cores = (0..perf.cores)
+            .map(|_| CoreState {
+                machine: power.core_machine(start),
+                next_free: start,
+            })
+            .collect();
+        CpuDevice {
+            perf,
+            power,
+            cores,
+            last_issue: start,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Number of cores in the pool.
+    pub fn core_count(&self) -> u32 {
+        self.perf.cores
+    }
+
+    /// Clock frequency.
+    pub fn freq(&self) -> grail_power::units::Hertz {
+        self.perf.freq
+    }
+
+    /// Execute `work` on one core, FCFS (earliest-free core wins, ties to
+    /// the lowest index). Issue times must be nondecreasing.
+    pub fn compute(&mut self, at: SimInstant, work: Cycles) -> Reservation {
+        self.compute_parallel(at, work, 1)
+    }
+
+    /// Execute `work` split evenly over `dop` cores (capped at the pool
+    /// size). Each shard is scheduled FCFS independently; the reservation
+    /// spans from the earliest shard start to the latest shard end.
+    pub fn compute_parallel(&mut self, at: SimInstant, work: Cycles, dop: u32) -> Reservation {
+        debug_assert!(
+            at >= self.last_issue,
+            "out-of-order issue to cpu: {at} after {}",
+            self.last_issue
+        );
+        self.last_issue = at;
+        let dop = dop.clamp(1, self.perf.cores) as u64;
+        let shard = Cycles::new(work.get().div_ceil(dop));
+        let dur = self.perf.core_time(shard);
+        let mut first_start = SimInstant::MAX;
+        let mut last_end = SimInstant::EPOCH;
+        for _ in 0..dop {
+            let (idx, _) = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (c.next_free, *i))
+                .expect("pool is non-empty");
+            let core = &mut self.cores[idx];
+            let start = at.max(core.next_free);
+            let end = start + dur;
+            core.machine
+                .set_state(start, duo_states::ACTIVE)
+                .expect("idle->active");
+            core.machine
+                .set_state(end, duo_states::IDLE)
+                .expect("active->idle");
+            core.next_free = end;
+            first_start = first_start.min(start);
+            last_end = last_end.max(end);
+            self.stats.busy += dur;
+        }
+        self.stats.requests += 1;
+        Reservation {
+            start: first_start,
+            end: last_end,
+        }
+    }
+
+    /// The earliest instant any core is free.
+    pub fn next_free(&self) -> SimInstant {
+        self.cores
+            .iter()
+            .map(|c| c.next_free)
+            .min()
+            .unwrap_or(SimInstant::EPOCH)
+    }
+
+    /// The instant all queued work completes.
+    pub fn all_free(&self) -> SimInstant {
+        self.cores
+            .iter()
+            .map(|c| c.next_free)
+            .max()
+            .unwrap_or(SimInstant::EPOCH)
+    }
+
+    /// Statistics so far (`busy` sums over cores: 2 cores × 1 s = 2 s).
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Aggregate core utilization over `elapsed` (1.0 = all cores busy).
+    pub fn pool_utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() || self.cores.is_empty() {
+            return 0.0;
+        }
+        (self.stats.busy.as_secs_f64() / (elapsed.as_secs_f64() * self.cores.len() as f64))
+            .clamp(0.0, 1.0)
+    }
+
+    /// The uncore floor for the whole pool, in Watts.
+    pub fn uncore_power(&self) -> Watts {
+        if self.power.cores == 0 {
+            return Watts::ZERO;
+        }
+        let sockets = (self.perf.cores as f64 / self.power.cores as f64).ceil();
+        self.power.uncore * sockets
+    }
+
+    /// Finalize at `end`: total energy = per-core machines + uncore floor
+    /// over the whole span.
+    pub fn finish(self, end: SimInstant) -> Joules {
+        let end = end.max(self.all_free());
+        let span = end.duration_since(SimInstant::EPOCH);
+        let uncore = self.uncore_power() * span;
+        let cores: Joules = self
+            .cores
+            .into_iter()
+            .map(|c| c.machine.finish(end).expect("monotone finish").total_energy)
+            .sum();
+        cores + uncore
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs_f64(s)
+    }
+
+    fn fig2_cpu() -> CpuDevice {
+        CpuDevice::new(
+            CpuPerfProfile::fig2_single(),
+            CpuPowerProfile::fig2_cpu(),
+            SimInstant::EPOCH,
+        )
+    }
+
+    #[test]
+    fn fig2_cpu_busy_energy_only() {
+        let mut c = fig2_cpu();
+        // 3.2 s of work at 2.3 GHz.
+        let work = Cycles::new((3.2 * 2.3e9) as u64);
+        let r = c.compute(at(0.0), work);
+        assert!((r.end.as_secs_f64() - 3.2).abs() < 1e-6);
+        let e = c.finish(at(10.0));
+        // 90 W × 3.2 s = 288 J; idle draws nothing.
+        assert!((e.joules() - 288.0).abs() < 1e-3, "{e}");
+    }
+
+    #[test]
+    fn single_core_serializes() {
+        let mut c = fig2_cpu();
+        let w = Cycles::new(2_300_000_000); // 1 s
+        let r1 = c.compute(at(0.0), w);
+        let r2 = c.compute(at(0.0), w);
+        assert_eq!(r2.start, r1.end);
+    }
+
+    #[test]
+    fn multicore_runs_in_parallel() {
+        let mut c = CpuDevice::new(
+            CpuPerfProfile::dl785(),
+            CpuPowerProfile::opteron_socket(),
+            SimInstant::EPOCH,
+        );
+        let w = Cycles::new(2_300_000_000); // 1 s on one core
+        let r1 = c.compute(at(0.0), w);
+        let r2 = c.compute(at(0.0), w);
+        // Different cores: both start at 0.
+        assert_eq!(r1.start, r2.start);
+        assert_eq!(r1.end, r2.end);
+    }
+
+    #[test]
+    fn parallel_split_shortens_span() {
+        let mut c = CpuDevice::new(
+            CpuPerfProfile::dl785(),
+            CpuPowerProfile::opteron_socket(),
+            SimInstant::EPOCH,
+        );
+        let w = Cycles::new(4 * 2_300_000_000); // 4 core-seconds
+        let r = c.compute_parallel(at(0.0), w, 4);
+        assert!((r.end.duration_since(r.start).as_secs_f64() - 1.0).abs() < 1e-6);
+        // busy accumulates 4 core-seconds.
+        assert!((c.stats().busy.as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dop_clamped_to_pool() {
+        let mut c = fig2_cpu();
+        let w = Cycles::new(2_300_000_000);
+        let r = c.compute_parallel(at(0.0), w, 64);
+        assert!((r.end.duration_since(r.start).as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uncore_scales_with_sockets() {
+        let c = CpuDevice::new(
+            CpuPerfProfile::dl785(),           // 32 cores
+            CpuPowerProfile::opteron_socket(), // 4 cores/socket, 15 W uncore
+            SimInstant::EPOCH,
+        );
+        assert!((c.uncore_power().get() - 8.0 * 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_utilization() {
+        let mut c = CpuDevice::new(
+            CpuPerfProfile {
+                cores: 2,
+                freq: grail_power::units::Hertz::ghz(1.0),
+            },
+            CpuPowerProfile::fig2_cpu(),
+            SimInstant::EPOCH,
+        );
+        c.compute(at(0.0), Cycles::new(1_000_000_000)); // 1 s on one of 2 cores
+        let u = c.pool_utilization(SimDuration::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,419 @@
+//! The multi-stream job driver: runs concurrent query streams against a
+//! [`Simulation`] in global time order.
+//!
+//! The TPC-H "throughput test" of Fig. 1 "issues a mixture of TPC-H
+//! queries simultaneously from multiple clients"; this driver is that
+//! harness. A *job* (one query) is a sequence of *phases*; each phase
+//! demands CPU work and IO volume, either overlapped (pipelined scan) or
+//! sequential (blocking build then probe). Phases from all streams are
+//! dispatched through one deterministic event queue, so device issue
+//! order is globally nondecreasing — the invariant the FCFS calendars
+//! require.
+
+use crate::error::SimError;
+use crate::event::EventQueue;
+use crate::ids::{CpuId, StorageTarget};
+use crate::perf::AccessPattern;
+use crate::sim::Simulation;
+use grail_power::units::{Bytes, Cycles, SimDuration, SimInstant};
+
+/// Whether an IO demand reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Read from the target.
+    Read,
+    /// Write to the target.
+    Write,
+}
+
+/// One IO demand within a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoDemand {
+    /// Where the bytes live.
+    pub target: StorageTarget,
+    /// How many bytes move.
+    pub bytes: Bytes,
+    /// Access pattern.
+    pub access: AccessPattern,
+    /// Read or write.
+    pub op: IoOp,
+}
+
+impl IoDemand {
+    /// A sequential read demand.
+    pub fn seq_read(target: StorageTarget, bytes: Bytes) -> Self {
+        IoDemand {
+            target,
+            bytes,
+            access: AccessPattern::Sequential,
+            op: IoOp::Read,
+        }
+    }
+}
+
+/// One phase of a job: CPU work plus IO demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// CPU work for the phase.
+    pub cpu: Cycles,
+    /// Degree of parallelism for the CPU work.
+    pub dop: u32,
+    /// IO demands issued by the phase.
+    pub io: Vec<IoDemand>,
+    /// If true, CPU and IO overlap (phase ends at the max of both); if
+    /// false, IO completes first and CPU starts afterwards.
+    pub overlap: bool,
+}
+
+impl PhaseSpec {
+    /// A pipelined phase: CPU and IO overlap.
+    pub fn overlapped(cpu: Cycles, dop: u32, io: Vec<IoDemand>) -> Self {
+        PhaseSpec {
+            cpu,
+            dop,
+            io,
+            overlap: true,
+        }
+    }
+
+    /// A blocking phase: IO first, then CPU.
+    pub fn io_then_cpu(cpu: Cycles, dop: u32, io: Vec<IoDemand>) -> Self {
+        PhaseSpec {
+            cpu,
+            dop,
+            io,
+            overlap: false,
+        }
+    }
+
+    /// A pure-CPU phase.
+    pub fn cpu_only(cpu: Cycles, dop: u32) -> Self {
+        PhaseSpec {
+            cpu,
+            dop,
+            io: Vec::new(),
+            overlap: true,
+        }
+    }
+}
+
+/// One job (query): an arrival time and a phase list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Earliest dispatch time (the stream may be busy later than this).
+    pub arrival: SimInstant,
+    /// The job's phases, executed in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl JobSpec {
+    /// A job available immediately.
+    pub fn immediate(phases: Vec<PhaseSpec>) -> Self {
+        JobSpec {
+            arrival: SimInstant::EPOCH,
+            phases,
+        }
+    }
+}
+
+/// Completion record of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResult {
+    /// Which stream ran it.
+    pub stream: usize,
+    /// Index within the stream.
+    pub index: usize,
+    /// Dispatch time.
+    pub start: SimInstant,
+    /// Completion time.
+    pub end: SimInstant,
+}
+
+impl JobResult {
+    /// Dispatch-to-completion latency.
+    pub fn latency(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// Outcome of a full driver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveOutcome {
+    /// Every job's completion record, in completion order.
+    pub results: Vec<JobResult>,
+    /// Latest completion across all streams.
+    pub makespan: SimInstant,
+}
+
+/// An executable step (phases are pre-split so every issue happens at a
+/// queue pop, keeping device issue times globally nondecreasing).
+#[derive(Debug, Clone)]
+struct Step {
+    cpu: Cycles,
+    dop: u32,
+    io: Vec<IoDemand>,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    jobs: Vec<Vec<Step>>,
+    arrivals: Vec<SimInstant>,
+    job_idx: usize,
+    step_idx: usize,
+    job_start: SimInstant,
+}
+
+fn compile(job: &JobSpec) -> Vec<Step> {
+    let mut steps = Vec::with_capacity(job.phases.len() * 2);
+    for p in &job.phases {
+        if p.overlap || p.io.is_empty() || p.cpu == Cycles::ZERO {
+            steps.push(Step {
+                cpu: p.cpu,
+                dop: p.dop,
+                io: p.io.clone(),
+            });
+        } else {
+            steps.push(Step {
+                cpu: Cycles::ZERO,
+                dop: 1,
+                io: p.io.clone(),
+            });
+            steps.push(Step {
+                cpu: p.cpu,
+                dop: p.dop,
+                io: Vec::new(),
+            });
+        }
+    }
+    steps
+}
+
+/// Run `streams` of jobs concurrently on `sim`, using `cpu` for all CPU
+/// work. Returns per-job results and the makespan.
+pub fn run_streams(
+    sim: &mut Simulation,
+    cpu: CpuId,
+    streams: &[Vec<JobSpec>],
+) -> Result<DriveOutcome, SimError> {
+    let mut states: Vec<StreamState> = streams
+        .iter()
+        .map(|jobs| StreamState {
+            jobs: jobs.iter().map(compile).collect(),
+            arrivals: jobs.iter().map(|j| j.arrival).collect(),
+            job_idx: 0,
+            step_idx: 0,
+            job_start: SimInstant::EPOCH,
+        })
+        .collect();
+
+    let mut q: EventQueue<usize> = EventQueue::new();
+    for (i, st) in states.iter().enumerate() {
+        if !st.jobs.is_empty() {
+            q.push(st.arrivals[0], i);
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut makespan = SimInstant::EPOCH;
+
+    while let Some((t, stream)) = q.pop() {
+        let st = &mut states[stream];
+        if st.step_idx == 0 {
+            st.job_start = t;
+        }
+        // Skip empty jobs outright.
+        while st.job_idx < st.jobs.len() && st.jobs[st.job_idx].is_empty() {
+            results.push(JobResult {
+                stream,
+                index: st.job_idx,
+                start: t,
+                end: t,
+            });
+            st.job_idx += 1;
+            st.step_idx = 0;
+            st.job_start = t;
+        }
+        if st.job_idx >= st.jobs.len() {
+            continue;
+        }
+        let step = st.jobs[st.job_idx][st.step_idx].clone();
+        let mut step_end = t;
+        for d in &step.io {
+            let r = match d.op {
+                IoOp::Read => sim.read(d.target, t, d.bytes, d.access)?,
+                IoOp::Write => sim.write(d.target, t, d.bytes, d.access)?,
+            };
+            step_end = step_end.max(r.end);
+        }
+        if step.cpu > Cycles::ZERO {
+            let r = sim.compute_parallel(cpu, t, step.cpu, step.dop)?;
+            step_end = step_end.max(r.end);
+        }
+        st.step_idx += 1;
+        if st.step_idx >= st.jobs[st.job_idx].len() {
+            // Job complete.
+            results.push(JobResult {
+                stream,
+                index: st.job_idx,
+                start: st.job_start,
+                end: step_end,
+            });
+            makespan = makespan.max(step_end);
+            st.job_idx += 1;
+            st.step_idx = 0;
+            if st.job_idx < st.jobs.len() {
+                let next = step_end.max(st.arrivals[st.job_idx]);
+                q.push(next, stream);
+            }
+        } else {
+            q.push(step_end, stream);
+        }
+    }
+
+    Ok(DriveOutcome { results, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
+    use crate::raid::RaidLevel;
+    use grail_power::components::{CpuPowerProfile, DiskPowerProfile, SsdPowerProfile};
+    use grail_power::units::Hertz;
+
+    fn server(cores: u32, disks: usize) -> (Simulation, CpuId, StorageTarget) {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_cpu(
+            CpuPerfProfile {
+                cores,
+                freq: Hertz::ghz(1.0),
+            },
+            CpuPowerProfile::opteron_socket(),
+        );
+        let ids = sim.add_disks(
+            disks,
+            DiskPerfProfile::scsi_15k(),
+            DiskPowerProfile::scsi_15k(),
+        );
+        let arr = sim.make_array(RaidLevel::Raid0, ids).unwrap();
+        (sim, cpu, StorageTarget::Array(arr))
+    }
+
+    fn scan_job(target: StorageTarget, mib: u64, cpu_secs: f64) -> JobSpec {
+        JobSpec::immediate(vec![PhaseSpec::overlapped(
+            Cycles::new((cpu_secs * 1e9) as u64),
+            1,
+            vec![IoDemand::seq_read(target, Bytes::mib(mib))],
+        )])
+    }
+
+    #[test]
+    fn single_stream_overlap_semantics() {
+        let (mut sim, cpu, target) = server(1, 1);
+        // 90 MiB read ≈ 1.05 s; CPU 0.2 s → overlapped total ≈ 1.05 s.
+        let out = run_streams(&mut sim, cpu, &[vec![scan_job(target, 90, 0.2)]]).unwrap();
+        let t = out.makespan.as_secs_f64();
+        assert!(t > 1.0 && t < 1.2, "{t}");
+    }
+
+    #[test]
+    fn io_then_cpu_is_sum_not_max() {
+        let (mut sim, cpu, target) = server(1, 1);
+        let job = JobSpec::immediate(vec![PhaseSpec::io_then_cpu(
+            Cycles::new(1_000_000_000), // 1 s at 1 GHz
+            1,
+            vec![IoDemand::seq_read(target, Bytes::mib(90))],
+        )]);
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).unwrap();
+        let t = out.makespan.as_secs_f64();
+        assert!(t > 2.0 && t < 2.2, "{t}");
+    }
+
+    #[test]
+    fn concurrent_streams_contend_for_one_disk() {
+        let (mut sim, cpu, target) = server(4, 1);
+        let streams: Vec<_> = (0..4).map(|_| vec![scan_job(target, 90, 0.0)]).collect();
+        let out = run_streams(&mut sim, cpu, &streams).unwrap();
+        // One disk serializes 4 × ~1.05 s reads.
+        let t = out.makespan.as_secs_f64();
+        assert!(t > 4.0, "{t}");
+        assert_eq!(out.results.len(), 4);
+    }
+
+    #[test]
+    fn more_disks_shorten_throughput_test() {
+        let run = |n| {
+            let (mut sim, cpu, target) = server(8, n);
+            let streams: Vec<_> = (0..8)
+                .map(|_| vec![scan_job(target, 900, 0.5), scan_job(target, 900, 0.5)])
+                .collect();
+            run_streams(&mut sim, cpu, &streams).unwrap().makespan
+        };
+        let t2 = run(2);
+        let t8 = run(8);
+        assert!(t8 < t2, "more spindles must finish the mix sooner");
+    }
+
+    #[test]
+    fn arrivals_respected() {
+        let (mut sim, cpu, target) = server(1, 1);
+        let mut late = scan_job(target, 9, 0.0);
+        late.arrival = SimInstant::EPOCH + SimDuration::from_secs(100);
+        let out = run_streams(&mut sim, cpu, &[vec![late]]).unwrap();
+        assert!(out.results[0].start >= SimInstant::EPOCH + SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn stream_jobs_are_sequential() {
+        let (mut sim, cpu, target) = server(4, 4);
+        let out = run_streams(
+            &mut sim,
+            cpu,
+            &[vec![scan_job(target, 90, 0.1), scan_job(target, 90, 0.1)]],
+        )
+        .unwrap();
+        let first = out.results.iter().find(|r| r.index == 0).unwrap();
+        let second = out.results.iter().find(|r| r.index == 1).unwrap();
+        assert!(second.start >= first.end);
+    }
+
+    #[test]
+    fn empty_and_trivial_jobs() {
+        let (mut sim, cpu, _) = server(1, 1);
+        let out = run_streams(&mut sim, cpu, &[vec![JobSpec::immediate(vec![])], vec![]]).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut sim, cpu, target) = server(4, 3);
+            let streams: Vec<_> = (0..5)
+                .map(|i| {
+                    vec![
+                        scan_job(target, 50 + i * 10, 0.05 * i as f64),
+                        scan_job(target, 30, 0.1),
+                    ]
+                })
+                .collect();
+            let out = run_streams(&mut sim, cpu, &streams).unwrap();
+            let rep = sim.finish(out.makespan);
+            (out, rep.ledger)
+        };
+        let (o1, l1) = run();
+        let (o2, l2) = run();
+        assert_eq!(o1, o2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn ssd_targets_work_too() {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_cpu(CpuPerfProfile::fig2_single(), CpuPowerProfile::fig2_cpu());
+        let ssd = sim.add_ssd(SsdPerfProfile::fig2_flash(), SsdPowerProfile::fig2_flash());
+        let job = scan_job(StorageTarget::Ssd(ssd), 200, 0.1);
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).unwrap();
+        assert!(out.makespan.as_secs_f64() > 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device id that does not exist in this simulation.
+    UnknownDevice(String),
+    /// An array was declared over zero disks, or RAID-5 over fewer than
+    /// three.
+    BadArrayGeometry {
+        /// Number of member disks supplied.
+        disks: usize,
+        /// Minimum required for the level.
+        min: usize,
+    },
+    /// A request was issued at a time earlier than a previous request to
+    /// the same device (callers must issue in time order).
+    OutOfOrderIssue {
+        /// The offending device, printed.
+        device: String,
+    },
+    /// The simulation was already finished.
+    Finished,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            SimError::BadArrayGeometry { disks, min } => {
+                write!(f, "bad array geometry: {disks} disks (minimum {min})")
+            }
+            SimError::OutOfOrderIssue { device } => {
+                write!(f, "out-of-order issue to {device}")
+            }
+            SimError::Finished => f.write_str("simulation already finished"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

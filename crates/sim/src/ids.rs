@@ -1,0 +1,34 @@
+//! Typed device identifiers.
+//!
+//! Each device class gets its own id newtype so a disk id cannot be
+//! handed to the CPU pool by accident; [`StorageTarget`] is the one
+//! polymorphic handle IO callers use.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one rotating disk within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskId(pub u32);
+
+/// Identifier of one SSD within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SsdId(pub u32);
+
+/// Identifier of one CPU pool within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpuId(pub u32);
+
+/// Identifier of one RAID array within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+/// Where an IO demand is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageTarget {
+    /// A single rotating disk.
+    Disk(DiskId),
+    /// A single SSD.
+    Ssd(SsdId),
+    /// A RAID array of disks.
+    Array(ArrayId),
+}

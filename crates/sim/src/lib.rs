@@ -1,0 +1,54 @@
+//! # grail-sim — deterministic discrete-event hardware simulation
+//!
+//! The stand-in for the paper's testbeds: an HP ProLiant DL785 with up to
+//! 204 SCSI spindles behind RAID (Fig. 1), and a one-CPU, three-flash-SSD
+//! scan box (Fig. 2). Queries cannot be timed on 2008 hardware, so GRAIL
+//! executes real operators over real data while *charging* their resource
+//! demands here; the simulator turns demands into a timeline and, via
+//! [`grail_power`], into Joules.
+//!
+//! ## Model
+//!
+//! Devices are FCFS servers with a **reservation calendar**: a request
+//! issued at time `t` starts at `max(t, device_free)` and occupies the
+//! device for its modeled service time. Power-state machines track
+//! busy/idle (and spun-down) intervals exactly, so energy needs no
+//! sampling. Requests must be issued in nondecreasing time order per
+//! device — the [`driver`] guarantees this by dispatching phase
+//! completions through a priority queue; single-stream callers are
+//! trivially ordered.
+//!
+//! The model is exact for FCFS single-resource queues, which matches the
+//! level of the paper's own analysis (service times × device power). It
+//! deliberately has **no wall-clock or host dependence**: identical inputs
+//! produce identical ledgers.
+//!
+//! ## Layout
+//!
+//! * [`perf`] — device service-time profiles (15K SCSI, flash SSD, CPU).
+//! * [`disk`], [`ssd`], [`cpu`] — the device implementations.
+//! * [`raid`] — RAID-0/RAID-5 striping over disk sets.
+//! * [`sim`] — the [`sim::Simulation`] container and [`sim::SimReport`].
+//! * [`driver`] — multi-stream job driver (phases of CPU + IO demands).
+//! * [`event`] — deterministic priority event queue.
+//! * [`trace`] — binned power/utilization time series.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cpu;
+pub mod disk;
+pub mod driver;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod perf;
+pub mod raid;
+pub mod sim;
+pub mod ssd;
+pub mod trace;
+
+pub use error::SimError;
+pub use ids::{ArrayId, CpuId, DiskId, SsdId, StorageTarget};
+pub use perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
+pub use sim::{Reservation, SimReport, Simulation};

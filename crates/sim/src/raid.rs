@@ -1,0 +1,156 @@
+//! RAID striping over disk sets.
+//!
+//! Fig. 1's database is "striped across all disks in a RAID 5
+//! configuration"; repartitioning it across fewer spindles is the
+//! experiment's (coarse) power knob.
+
+use crate::error::SimError;
+use crate::ids::DiskId;
+use grail_power::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// RAID level of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaidLevel {
+    /// Striping, no redundancy.
+    Raid0,
+    /// Striping with distributed parity (one disk's worth).
+    Raid5,
+}
+
+/// A striped array over a set of member disks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RaidSpec {
+    /// RAID level.
+    pub level: RaidLevel,
+    /// Member disks, in stripe order.
+    pub disks: Vec<DiskId>,
+}
+
+impl RaidSpec {
+    /// Validate and build an array spec.
+    pub fn new(level: RaidLevel, disks: Vec<DiskId>) -> Result<Self, SimError> {
+        let min = match level {
+            RaidLevel::Raid0 => 1,
+            RaidLevel::Raid5 => 3,
+        };
+        if disks.len() < min {
+            return Err(SimError::BadArrayGeometry {
+                disks: disks.len(),
+                min,
+            });
+        }
+        Ok(RaidSpec { level, disks })
+    }
+
+    /// Number of member disks.
+    pub fn width(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Number of data-bearing disks for reads (RAID-5 loses one disk's
+    /// worth to parity).
+    pub fn data_width(&self) -> usize {
+        match self.level {
+            RaidLevel::Raid0 => self.disks.len(),
+            RaidLevel::Raid5 => self.disks.len() - 1,
+        }
+    }
+
+    /// Per-disk byte share for a large read of `bytes`: the transfer is
+    /// spread over all spindles, each moving `bytes / data_width` of
+    /// useful data (RAID-5 spindles interleave parity they skip).
+    ///
+    /// Returns one entry per member disk. The first disk absorbs the
+    /// remainder so shares always sum to at least `bytes`.
+    pub fn read_shares(&self, bytes: Bytes) -> Vec<(DiskId, Bytes)> {
+        let n = self.data_width() as u64;
+        let per = bytes.get() / n;
+        let rem = bytes.get() - per * n;
+        self.disks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let share = if i == 0 { per + rem } else { per };
+                (*d, Bytes::new(share))
+            })
+            .collect()
+    }
+
+    /// Per-disk byte share for a large (full-stripe) write of `bytes`.
+    /// RAID-5 writes `bytes · n/(n-1)` in total (data + parity), spread
+    /// over all `n` spindles.
+    pub fn write_shares(&self, bytes: Bytes) -> Vec<(DiskId, Bytes)> {
+        match self.level {
+            RaidLevel::Raid0 => self.read_shares(bytes),
+            RaidLevel::Raid5 => {
+                let n = self.disks.len() as u64;
+                let total = bytes.get() * n / (n - 1);
+                let per = total / n;
+                let rem = total - per * n;
+                self.disks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| {
+                        let share = if i == 0 { per + rem } else { per };
+                        (*d, Bytes::new(share))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<DiskId> {
+        (0..n).map(DiskId).collect()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(RaidSpec::new(RaidLevel::Raid5, ids(2)).is_err());
+        assert!(RaidSpec::new(RaidLevel::Raid5, ids(3)).is_ok());
+        assert!(RaidSpec::new(RaidLevel::Raid0, ids(0)).is_err());
+        assert!(RaidSpec::new(RaidLevel::Raid0, ids(1)).is_ok());
+    }
+
+    #[test]
+    fn raid0_read_split_even() {
+        let a = RaidSpec::new(RaidLevel::Raid0, ids(4)).unwrap();
+        let shares = a.read_shares(Bytes::new(4000));
+        assert_eq!(shares.len(), 4);
+        assert!(shares.iter().all(|(_, b)| b.get() == 1000));
+    }
+
+    #[test]
+    fn raid5_read_uses_all_spindles_minus_parity_share() {
+        let a = RaidSpec::new(RaidLevel::Raid5, ids(5)).unwrap();
+        let shares = a.read_shares(Bytes::new(4000));
+        assert_eq!(shares.len(), 5);
+        // data_width = 4, so each spindle moves 1000 useful bytes.
+        assert!(shares.iter().all(|(_, b)| b.get() == 1000));
+        let total: u64 = shares.iter().map(|(_, b)| b.get()).sum();
+        assert!(total >= 4000);
+    }
+
+    #[test]
+    fn raid5_write_parity_overhead() {
+        let a = RaidSpec::new(RaidLevel::Raid5, ids(5)).unwrap();
+        let shares = a.write_shares(Bytes::new(4000));
+        let total: u64 = shares.iter().map(|(_, b)| b.get()).sum();
+        // 4000 × 5/4 = 5000 bytes actually written.
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn remainder_goes_to_first_disk() {
+        let a = RaidSpec::new(RaidLevel::Raid0, ids(3)).unwrap();
+        let shares = a.read_shares(Bytes::new(10));
+        assert_eq!(shares[0].1.get(), 4);
+        assert_eq!(shares[1].1.get(), 3);
+        assert_eq!(shares[2].1.get(), 3);
+    }
+}

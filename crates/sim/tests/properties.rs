@@ -1,0 +1,224 @@
+//! Property-based tests for the simulator's scheduling and energy
+//! invariants.
+
+use grail_power::components::{CpuPowerProfile, DiskPowerProfile, SsdPowerProfile};
+use grail_power::units::{Bytes, Cycles, Hertz, SimDuration, SimInstant};
+use grail_sim::driver::{run_streams, IoDemand, JobSpec, PhaseSpec};
+use grail_sim::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
+use grail_sim::raid::RaidLevel;
+use grail_sim::sim::Simulation;
+use grail_sim::StorageTarget;
+use proptest::prelude::*;
+
+fn server(disks: usize) -> (Simulation, grail_sim::CpuId, StorageTarget) {
+    let mut sim = Simulation::new();
+    let cpu = sim.add_cpu(
+        CpuPerfProfile {
+            cores: 4,
+            freq: Hertz::ghz(1.0),
+        },
+        CpuPowerProfile::opteron_socket(),
+    );
+    let ids = sim.add_disks(
+        disks,
+        DiskPerfProfile::scsi_15k(),
+        DiskPowerProfile::scsi_15k(),
+    );
+    let arr = sim.make_array(RaidLevel::Raid0, ids).unwrap();
+    (sim, cpu, StorageTarget::Array(arr))
+}
+
+fn job_strategy(target: StorageTarget) -> impl Strategy<Value = JobSpec> {
+    (
+        0u64..200,           // arrival ms
+        1u64..64,            // MiB
+        0u64..500_000_000,   // cycles
+        proptest::bool::ANY, // overlap
+    )
+        .prop_map(move |(arr_ms, mib, cycles, overlap)| {
+            let phase = if overlap {
+                PhaseSpec::overlapped(
+                    Cycles::new(cycles),
+                    1,
+                    vec![IoDemand::seq_read(target, Bytes::mib(mib))],
+                )
+            } else {
+                PhaseSpec::io_then_cpu(
+                    Cycles::new(cycles),
+                    1,
+                    vec![IoDemand::seq_read(target, Bytes::mib(mib))],
+                )
+            };
+            JobSpec {
+                arrival: SimInstant::EPOCH + SimDuration::from_millis(arr_ms),
+                phases: vec![phase],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted job completes exactly once, no job ends before it
+    /// starts, and jobs within a stream are sequential.
+    #[test]
+    fn driver_completeness_and_order(
+        jobs_per_stream in proptest::collection::vec(1usize..4, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let (mut sim, cpu, target) = server(3);
+        let mut streams = Vec::new();
+        let mut total = 0;
+        for (s, &n) in jobs_per_stream.iter().enumerate() {
+            let mut jobs = Vec::new();
+            for j in 0..n {
+                let mib = 1 + ((seed + s as u64 * 7 + j as u64 * 13) % 32);
+                jobs.push(JobSpec::immediate(vec![PhaseSpec::overlapped(
+                    Cycles::new((seed % 97) * 1_000_000),
+                    1,
+                    vec![IoDemand::seq_read(target, Bytes::mib(mib))],
+                )]));
+                total += 1;
+            }
+            streams.push(jobs);
+        }
+        let out = run_streams(&mut sim, cpu, &streams).unwrap();
+        prop_assert_eq!(out.results.len(), total);
+        for r in &out.results {
+            prop_assert!(r.end >= r.start);
+        }
+        for s in 0..streams.len() {
+            let mut ends: Vec<_> = out.results.iter().filter(|r| r.stream == s).collect();
+            ends.sort_by_key(|r| r.index);
+            for w in ends.windows(2) {
+                prop_assert!(w[1].start >= w[0].end, "stream jobs must be sequential");
+            }
+        }
+    }
+
+    /// Identical inputs produce identical ledgers and outcomes (bitwise).
+    #[test]
+    fn determinism(jobs in proptest::collection::vec(job_strategy(StorageTarget::Disk(grail_sim::DiskId(0))), 1..10)) {
+        let run = |jobs: &[JobSpec]| {
+            let (mut sim, cpu, _) = server(2);
+            let streams = vec![jobs.to_vec()];
+            let out = run_streams(&mut sim, cpu, &streams).unwrap();
+            let rep = sim.finish(out.makespan);
+            (out, rep.ledger)
+        };
+        let (o1, l1) = run(&jobs);
+        let (o2, l2) = run(&jobs);
+        prop_assert_eq!(o1, o2);
+        prop_assert_eq!(l1, l2);
+    }
+
+    /// Total energy is bounded below by the all-idle floor and above by
+    /// the all-active ceiling for the same span.
+    #[test]
+    fn energy_bounds(mibs in proptest::collection::vec(1u64..128, 1..10)) {
+        let (mut sim, cpu, target) = server(2);
+        let jobs: Vec<JobSpec> = mibs
+            .iter()
+            .map(|m| {
+                JobSpec::immediate(vec![PhaseSpec::overlapped(
+                    Cycles::new(10_000_000),
+                    1,
+                    vec![IoDemand::seq_read(target, Bytes::mib(*m))],
+                )])
+            })
+            .collect();
+        let out = run_streams(&mut sim, cpu, &[jobs]).unwrap();
+        let rep = sim.finish(out.makespan);
+        let span = rep.elapsed.as_secs_f64();
+        // Floor: everything idle the whole time (disks 12.5 W, cores
+        // 4 W + uncore 15 W).
+        let floor = span * (2.0 * 12.5 + 4.0 * 4.0 + 15.0);
+        // Ceiling: everything active the whole time.
+        let ceil = span * (2.0 * 15.0 + 4.0 * 18.0 + 15.0);
+        let e = rep.total_energy().joules();
+        prop_assert!(e >= floor - 1e-6, "e={e} floor={floor}");
+        prop_assert!(e <= ceil + 1e-6, "e={e} ceil={ceil}");
+    }
+
+    /// A single FCFS device never finishes earlier when the same demand
+    /// set is split into more requests.
+    #[test]
+    fn ssd_work_conservation(chunks in proptest::collection::vec(1u64..64, 1..12)) {
+        let total: u64 = chunks.iter().sum();
+        let serve_all_at_once = {
+            let mut sim = Simulation::new();
+            let ssd = sim.add_ssd(SsdPerfProfile::fig2_flash(), SsdPowerProfile::fig2_flash());
+            let r = sim
+                .read(StorageTarget::Ssd(ssd), SimInstant::EPOCH, Bytes::mib(total), AccessPattern::Sequential)
+                .unwrap();
+            r.end
+        };
+        let serve_chunked = {
+            let mut sim = Simulation::new();
+            let ssd = sim.add_ssd(SsdPerfProfile::fig2_flash(), SsdPowerProfile::fig2_flash());
+            let mut end = SimInstant::EPOCH;
+            for c in &chunks {
+                let r = sim
+                    .read(StorageTarget::Ssd(ssd), SimInstant::EPOCH, Bytes::mib(*c), AccessPattern::Sequential)
+                    .unwrap();
+                end = end.max(r.end);
+            }
+            end
+        };
+        // Chunking adds per-request latency, never removes transfer time.
+        prop_assert!(serve_chunked >= serve_all_at_once);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adding spindles never slows an array read, even past the fabric
+    /// knee (aggregate bandwidth is monotone).
+    #[test]
+    fn fabric_keeps_arrays_monotone(n1 in 3usize..200, extra in 1usize..100, mib in 64u64..4096) {
+        use grail_sim::perf::FabricModel;
+        let run = |n: usize| {
+            let mut sim = Simulation::new();
+            sim.set_fabric(FabricModel::dl785_sas());
+            let ids = sim.add_disks(n, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+            let arr = sim.make_array(RaidLevel::Raid0, ids).unwrap();
+            sim.read(
+                StorageTarget::Array(arr),
+                SimInstant::EPOCH,
+                Bytes::mib(mib),
+                AccessPattern::Sequential,
+            )
+            .unwrap()
+            .end
+        };
+        let slow = run(n1);
+        let fast = run(n1 + extra);
+        // Rounding of per-disk shares can shift ends by a few µs; allow
+        // a tiny epsilon.
+        prop_assert!(
+            fast.as_secs_f64() <= slow.as_secs_f64() + 1e-4,
+            "{n1}+{extra} disks: {} vs {}", fast, slow
+        );
+    }
+
+    /// Disk energy over a fixed horizon is bounded by idle-floor and
+    /// active-ceiling regardless of the request pattern.
+    #[test]
+    fn single_disk_energy_bounds(chunks in proptest::collection::vec(1u64..64, 1..20)) {
+        let mut sim = Simulation::new();
+        let d = sim.add_disk(DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+        let mut end = SimInstant::EPOCH;
+        for c in &chunks {
+            let r = sim
+                .read(StorageTarget::Disk(d), end, Bytes::mib(*c), AccessPattern::Sequential)
+                .unwrap();
+            end = r.end;
+        }
+        let rep = sim.finish(end);
+        let span = rep.elapsed.as_secs_f64();
+        let e = rep.total_energy().joules();
+        prop_assert!(e >= span * 12.5 - 1e-6);
+        prop_assert!(e <= span * 15.0 + 1e-6);
+    }
+}

@@ -1,0 +1,166 @@
+//! Frame-of-reference bit-packing: subtract the column minimum, pack the
+//! residuals at the minimal fixed width.
+//!
+//! Layout: `[count: u32][min: i64][width: u8][packed bits…]`, bits filled
+//! little-endian within a `u64` carry.
+
+use super::varint::{read_i64, read_u32, write_i64, write_u32};
+use crate::error::StorageError;
+
+/// Bits needed for the residual range of `values` (0 for constant
+/// columns).
+fn width_for(values: &[i64]) -> (i64, u8) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
+    let range = (max as i128 - min as i128) as u128;
+    let width = (128 - range.leading_zeros()) as u8;
+    (min, width.min(64))
+}
+
+/// Encode `values` with frame-of-reference bit-packing.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    let (min, width) = width_for(values);
+    let mut out = Vec::with_capacity(16 + (values.len() * width as usize).div_ceil(8));
+    write_u32(&mut out, values.len() as u32);
+    write_i64(&mut out, min);
+    out.push(width);
+    if width == 0 {
+        return out;
+    }
+    let mut carry: u64 = 0;
+    let mut bits: u32 = 0;
+    for v in values {
+        let residual = (*v as i128 - min as i128) as u128;
+        let mut rem_bits = width as u32;
+        let mut rem = residual as u64; // width ≤ 64 ⇒ residual fits u64
+        while rem_bits > 0 {
+            let take = (64 - bits).min(rem_bits);
+            carry |= (rem & mask(take)) << bits;
+            bits += take;
+            rem = if take == 64 { 0 } else { rem >> take };
+            rem_bits -= take;
+            if bits == 64 {
+                out.extend_from_slice(&carry.to_le_bytes());
+                carry = 0;
+                bits = 0;
+            }
+        }
+    }
+    if bits > 0 {
+        out.extend_from_slice(&carry.to_le_bytes());
+    }
+    out
+}
+
+/// Decode bit-packed `bytes`.
+pub fn decode(bytes: &[u8]) -> Result<Vec<i64>, StorageError> {
+    let mut pos = 0;
+    let count = read_u32(bytes, &mut pos)? as usize;
+    let min = read_i64(bytes, &mut pos)?;
+    let width = *bytes
+        .get(pos)
+        .ok_or(StorageError::CorruptSegment("bitpack width truncated"))? as u32;
+    pos += 1;
+    if width == 0 {
+        return Ok(vec![min; count]);
+    }
+    if width > 64 {
+        return Err(StorageError::CorruptSegment("bitpack width > 64"));
+    }
+    let words: Vec<u64> = bytes[pos..]
+        .chunks(8)
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(b)
+        })
+        .collect();
+    let needed_bits = count as u64 * width as u64;
+    if (words.len() as u64) * 64 < needed_bits {
+        return Err(StorageError::CorruptSegment("bitpack data truncated"));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut word_idx = 0usize;
+    let mut bit = 0u32;
+    for _ in 0..count {
+        let mut v: u64 = 0;
+        let mut got = 0u32;
+        while got < width {
+            let take = (64 - bit).min(width - got);
+            let chunk = (words[word_idx] >> bit) & mask(take);
+            v |= chunk << got;
+            got += take;
+            bit += take;
+            if bit == 64 {
+                bit = 0;
+                word_idx += 1;
+            }
+        }
+        out.push((min as i128 + v as i128) as i64);
+    }
+    Ok(out)
+}
+
+#[inline]
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small_range() {
+        let vals: Vec<i64> = (0..10_000).map(|i| 100 + (i * 37) % 250).collect();
+        let enc = encode(&vals);
+        // 8-bit residuals: ~10 KB vs 80 KB plain.
+        assert!(enc.len() < 11_000, "{}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn constant_column_is_header_only() {
+        let vals = vec![42i64; 100_000];
+        let enc = encode(&vals);
+        assert_eq!(enc.len(), 13);
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trip_negative_frame() {
+        let vals: Vec<i64> = (-500..500).collect();
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trip_full_width() {
+        let vals = vec![i64::MIN, i64::MAX, 0, -1, 1];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trip_awkward_widths() {
+        // Exercise widths that straddle word boundaries (e.g. 33 bits).
+        let vals: Vec<i64> = (0..1000).map(|i| (i as i64) * 8_589_934_592).collect();
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let vals: Vec<i64> = (0..100).collect();
+        let mut enc = encode(&vals);
+        enc.truncate(enc.len() - 8);
+        assert!(decode(&enc).is_err());
+        assert!(decode(&[0, 0]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Delta encoding: first value verbatim, then zigzag-varint deltas.
+//!
+//! The codec for keys and timestamps — near-sorted columns whose deltas
+//! are tiny even when the absolute values are wide.
+
+use super::varint::{
+    read_i64, read_u32, read_varint, unzigzag, write_i64, write_u32, write_varint, zigzag,
+};
+use crate::error::StorageError;
+
+/// Encode `values` as deltas.
+pub fn encode(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + values.len() * 2);
+    write_u32(&mut out, values.len() as u32);
+    if values.is_empty() {
+        return out;
+    }
+    write_i64(&mut out, values[0]);
+    let mut prev = values[0];
+    for v in &values[1..] {
+        write_varint(&mut out, zigzag(v.wrapping_sub(prev)));
+        prev = *v;
+    }
+    out
+}
+
+/// Decode delta-encoded `bytes`.
+pub fn decode(bytes: &[u8]) -> Result<Vec<i64>, StorageError> {
+    let mut pos = 0;
+    let count = read_u32(bytes, &mut pos)? as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut prev = read_i64(bytes, &mut pos)?;
+    out.push(prev);
+    for _ in 1..count {
+        let d = unzigzag(read_varint(bytes, &mut pos)?);
+        prev = prev.wrapping_add(d);
+        out.push(prev);
+    }
+    if pos != bytes.len() {
+        return Err(StorageError::CorruptSegment("delta trailing bytes"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_sorted_keys() {
+        let vals: Vec<i64> = (0..100_000).map(|i| 1_000_000_000_000 + i * 4).collect();
+        let enc = encode(&vals);
+        // Deltas of 4 cost one byte each.
+        assert!(enc.len() < 110_000, "{}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trip_unsorted() {
+        let vals: Vec<i64> = (0..1000)
+            .map(|i| ((i * 2_654_435_761u64) as i64).wrapping_mul(31))
+            .collect();
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn wrapping_extremes() {
+        let vals = vec![i64::MAX, i64::MIN, 0, i64::MIN, i64::MAX];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<i64>::new());
+        assert_eq!(decode(&encode(&[7])).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = encode(&[1, 2, 3]);
+        enc.push(0);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let enc = encode(&[1, 2, 3, 4, 5]);
+        assert!(decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

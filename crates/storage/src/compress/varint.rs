@@ -1,0 +1,137 @@
+//! LEB128 varints and zigzag mapping, shared by the integer codecs.
+
+use crate::error::StorageError;
+
+/// Map a signed value to an unsigned one with small magnitudes staying
+/// small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Append `v` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint starting at `*pos`, advancing it.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, StorageError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or(StorageError::CorruptSegment("varint truncated"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StorageError::CorruptSegment("varint too long"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Append a `u32` little-endian.
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` little-endian at `*pos`, advancing it.
+pub fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, StorageError> {
+    let end = *pos + 4;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or(StorageError::CorruptSegment("u32 truncated"))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(slice.try_into().expect("len 4")))
+}
+
+/// Append an `i64` little-endian.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read an `i64` little-endian at `*pos`, advancing it.
+pub fn read_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, StorageError> {
+    let end = *pos + 8;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or(StorageError::CorruptSegment("i64 truncated"))?;
+    *pos = end;
+    Ok(i64::from_le_bytes(slice.try_into().expect("len 8")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 42, -1000] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX, 300];
+        for v in values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn varint_overlong_detected() {
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn fixed_width_round_trips() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 77);
+        write_i64(&mut buf, -12345);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos).unwrap(), 77);
+        assert_eq!(read_i64(&buf, &mut pos).unwrap(), -12345);
+        assert!(read_u32(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Storage errors.
+
+use std::fmt;
+
+/// Errors raised by storage formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A segment's bytes do not decode under its declared encoding.
+    CorruptSegment(&'static str),
+    /// A value does not fit the declared width.
+    WidthOverflow {
+        /// The offending value.
+        value: i64,
+        /// Declared bit width.
+        width: u8,
+    },
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Expected column count.
+        expected: usize,
+        /// Provided column count.
+        got: usize,
+    },
+    /// A page has no room for another tuple.
+    PageFull,
+    /// Partitioning was asked for zero partitions or zero disks.
+    EmptyPartitioning,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::CorruptSegment(what) => write!(f, "corrupt segment: {what}"),
+            StorageError::WidthOverflow { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            StorageError::PageFull => f.write_str("page full"),
+            StorageError::EmptyPartitioning => f.write_str("empty partitioning"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

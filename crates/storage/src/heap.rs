@@ -1,0 +1,157 @@
+//! Slotted row pages and heap files: the classic N-ary storage model.
+//!
+//! Rows are fixed-width tuples of `i64` attributes (GRAIL normalizes all
+//! scalar types to 64-bit codes at the storage boundary). Row layout
+//! reads *every* attribute off the device even when a query projects a
+//! few — the bandwidth tax Fig. 2's column scanner avoids.
+
+use crate::error::StorageError;
+use crate::page::PAGE_SIZE;
+
+/// A heap file: fixed-arity rows packed into fixed-size pages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapFile {
+    arity: usize,
+    rows_per_page: usize,
+    rows: Vec<i64>, // row-major, arity-strided
+}
+
+impl HeapFile {
+    /// An empty heap of `arity` columns.
+    ///
+    /// # Panics
+    /// Panics if `arity` is zero or a single row exceeds one page.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "heap needs at least one column");
+        let row_bytes = arity * 8;
+        assert!(row_bytes <= PAGE_SIZE, "row wider than a page");
+        HeapFile {
+            arity,
+            rows_per_page: PAGE_SIZE / row_bytes,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The number of columns per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Append one tuple.
+    pub fn append(&mut self, tuple: &[i64]) -> Result<(), StorageError> {
+        if tuple.len() != self.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                got: tuple.len(),
+            });
+        }
+        self.rows.extend_from_slice(tuple);
+        Ok(())
+    }
+
+    /// Number of rows stored.
+    pub fn row_count(&self) -> usize {
+        self.rows.len() / self.arity
+    }
+
+    /// Number of pages the heap occupies.
+    pub fn page_count(&self) -> usize {
+        self.row_count().div_ceil(self.rows_per_page)
+    }
+
+    /// Total bytes a full scan reads (page-granular).
+    pub fn scan_bytes(&self) -> u64 {
+        (self.page_count() * PAGE_SIZE) as u64
+    }
+
+    /// The `i`th row.
+    pub fn row(&self, i: usize) -> Option<&[i64]> {
+        let start = i.checked_mul(self.arity)?;
+        self.rows.get(start..start + self.arity)
+    }
+
+    /// Iterate all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[i64]> {
+        self.rows.chunks_exact(self.arity)
+    }
+
+    /// Extract one column as a vector (the conversion a row→column
+    /// reorganization performs).
+    pub fn column(&self, col: usize) -> Result<Vec<i64>, StorageError> {
+        if col >= self.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                got: col + 1,
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .skip(col)
+            .step_by(self.arity)
+            .copied()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut h = HeapFile::new(3);
+        h.append(&[1, 2, 3]).unwrap();
+        h.append(&[4, 5, 6]).unwrap();
+        assert_eq!(h.row_count(), 2);
+        assert_eq!(h.row(0), Some(&[1i64, 2, 3][..]));
+        assert_eq!(h.row(1), Some(&[4i64, 5, 6][..]));
+        assert_eq!(h.row(2), None);
+        let rows: Vec<_> = h.iter().collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut h = HeapFile::new(2);
+        assert!(matches!(
+            h.append(&[1, 2, 3]),
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+        assert!(h.column(5).is_err());
+    }
+
+    #[test]
+    fn paging_math() {
+        let mut h = HeapFile::new(8); // 64-byte rows, 1024 rows/page
+        assert_eq!(h.page_count(), 0);
+        for i in 0..1024 {
+            h.append(&[i; 8]).unwrap();
+        }
+        assert_eq!(h.page_count(), 1);
+        h.append(&[0; 8]).unwrap();
+        assert_eq!(h.page_count(), 2);
+        assert_eq!(h.scan_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut h = HeapFile::new(2);
+        for i in 0..10 {
+            h.append(&[i, i * 10]).unwrap();
+        }
+        assert_eq!(
+            h.column(1).unwrap(),
+            (0..10).map(|i| i * 10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_arity_rejected() {
+        let _ = HeapFile::new(0);
+    }
+}

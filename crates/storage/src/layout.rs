@@ -1,0 +1,150 @@
+//! Scan-volume math for physical layouts.
+//!
+//! The question Fig. 2 asks the storage layer: *how many bytes cross the
+//! device for this projection, under this layout, with this compression?*
+//! [`ScanVolume`] answers it for row and column layouts, which is the
+//! input both the optimizer's IO cost model and the figure harness use.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical layout of a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TableLayout {
+    /// N-ary row storage: scans read every column.
+    Row,
+    /// Column storage: scans read only projected columns.
+    Columnar,
+}
+
+/// Per-column physical description: raw width and achieved compression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnPhys {
+    /// Uncompressed width per value, bytes.
+    pub raw_width: u32,
+    /// Compression ratio (raw/compressed); 1.0 means uncompressed.
+    pub ratio: f64,
+}
+
+impl ColumnPhys {
+    /// An uncompressed column of `raw_width` bytes per value.
+    pub fn plain(raw_width: u32) -> Self {
+        ColumnPhys {
+            raw_width,
+            ratio: 1.0,
+        }
+    }
+
+    /// Stored bytes per value.
+    pub fn stored_width(&self) -> f64 {
+        self.raw_width as f64 / self.ratio.max(1e-9)
+    }
+}
+
+/// The scan volume calculator for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanVolume {
+    /// Row count.
+    pub rows: u64,
+    /// Every column's physical description, in schema order.
+    pub columns: Vec<ColumnPhys>,
+    /// The table's layout.
+    pub layout: TableLayout,
+}
+
+impl ScanVolume {
+    /// Bytes read off the device to scan the projection `projected`
+    /// (column indices). Row layout always reads the full row width;
+    /// columnar reads only the projected columns' stored bytes.
+    pub fn scan_bytes(&self, projected: &[usize]) -> u64 {
+        match self.layout {
+            TableLayout::Row => {
+                let row_width: f64 = self.columns.iter().map(|c| c.stored_width()).sum();
+                (row_width * self.rows as f64).ceil() as u64
+            }
+            TableLayout::Columnar => {
+                let width: f64 = projected
+                    .iter()
+                    .filter_map(|i| self.columns.get(*i))
+                    .map(|c| c.stored_width())
+                    .sum();
+                (width * self.rows as f64).ceil() as u64
+            }
+        }
+    }
+
+    /// Bytes of *decoded* data the projection produces (what the CPU
+    /// touches after decompression).
+    pub fn decoded_bytes(&self, projected: &[usize]) -> u64 {
+        let width: u64 = match self.layout {
+            TableLayout::Row => self.columns.iter().map(|c| c.raw_width as u64).sum(),
+            TableLayout::Columnar => projected
+                .iter()
+                .filter_map(|i| self.columns.get(*i))
+                .map(|c| c.raw_width as u64)
+                .sum(),
+        };
+        width * self.rows
+    }
+
+    /// The table's total stored footprint.
+    pub fn footprint(&self) -> u64 {
+        let width: f64 = self.columns.iter().map(|c| c.stored_width()).sum();
+        (width * self.rows as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ORDERS-like: 7 columns, 8 bytes each raw.
+    fn orders(layout: TableLayout, ratio: f64) -> ScanVolume {
+        ScanVolume {
+            rows: 1000,
+            columns: (0..7)
+                .map(|_| ColumnPhys {
+                    raw_width: 8,
+                    ratio,
+                })
+                .collect(),
+            layout,
+        }
+    }
+
+    #[test]
+    fn columnar_projection_reads_less() {
+        let row = orders(TableLayout::Row, 1.0);
+        let col = orders(TableLayout::Columnar, 1.0);
+        let projected = [0, 1, 2, 3, 4]; // 5 of 7, as in Fig. 2
+        assert_eq!(row.scan_bytes(&projected), 7 * 8 * 1000);
+        assert_eq!(col.scan_bytes(&projected), 5 * 8 * 1000);
+    }
+
+    #[test]
+    fn compression_shrinks_scan_not_decoded() {
+        let col = orders(TableLayout::Columnar, 2.0);
+        let projected = [0, 1, 2, 3, 4];
+        assert_eq!(col.scan_bytes(&projected), 5 * 4 * 1000);
+        assert_eq!(col.decoded_bytes(&projected), 5 * 8 * 1000);
+    }
+
+    #[test]
+    fn row_layout_ignores_projection() {
+        let row = orders(TableLayout::Row, 1.0);
+        assert_eq!(row.scan_bytes(&[0]), row.scan_bytes(&[0, 1, 2, 3, 4, 5, 6]));
+        // But decoded bytes still count the full row.
+        assert_eq!(row.decoded_bytes(&[0]), 7 * 8 * 1000);
+    }
+
+    #[test]
+    fn footprint_sums_all_columns() {
+        let col = orders(TableLayout::Columnar, 2.0);
+        assert_eq!(col.footprint(), 7 * 4 * 1000);
+    }
+
+    #[test]
+    fn out_of_range_projection_ignored() {
+        let col = orders(TableLayout::Columnar, 1.0);
+        assert_eq!(col.scan_bytes(&[99]), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Pages: the unit of IO, buffering, and energy accounting.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default page size (64 KiB — large pages suit scan-heavy DSS work).
+pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// Identity of a page: a file (table/partition) and an index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId {
+    /// Owning file id.
+    pub file: u32,
+    /// Page index within the file.
+    pub index: u32,
+}
+
+impl PageId {
+    /// A page id.
+    pub const fn new(file: u32, index: u32) -> Self {
+        PageId { file, index }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.index)
+    }
+}
+
+/// An immutable page image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// The page's identity.
+    pub id: PageId,
+    /// The page's bytes (cheaply cloneable).
+    pub data: Bytes,
+}
+
+impl Page {
+    /// Wrap raw bytes as a page.
+    pub fn new(id: PageId, data: impl Into<Bytes>) -> Self {
+        Page {
+            id,
+            data: data.into(),
+        }
+    }
+
+    /// The page's size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the page holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_ordering_is_file_major() {
+        let a = PageId::new(0, 999);
+        let b = PageId::new(1, 0);
+        assert!(a < b);
+        assert_eq!(format!("{}", PageId::new(3, 14)), "3:14");
+    }
+
+    #[test]
+    fn page_wraps_bytes_cheaply() {
+        let p = Page::new(PageId::new(0, 0), vec![7u8; 128]);
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(p.len(), 128);
+        assert!(!p.is_empty());
+        assert!(Page::new(PageId::new(0, 1), Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Write-ahead logging with a tunable group-commit batching factor.
+//!
+//! Sec. 5.2: logging consumes a large share of an OLTP system's work
+//! (\[HAM+08\]: ~15% of executed code), and "it may make sense to
+//! increase the batching factor (and increase response time) to avoid
+//! frequent commits on stable storage". the [`schedule`] function implements the
+//! mechanism: transactions append records; a [`FlushPolicy`] decides
+//! when the buffer forces to the log device. Per-commit flushing pays
+//! one device force per transaction; group commit amortizes the force
+//! across the batch at the price of held latency.
+
+use grail_power::units::{Bytes, SimDuration, SimInstant};
+use serde::Serialize;
+
+/// When the log buffer forces to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FlushPolicy {
+    /// Force on every commit (classic durability-first).
+    PerCommit,
+    /// Force when `max_batch` commits are pending or the oldest has
+    /// waited `max_wait`, whichever first.
+    GroupCommit {
+        /// Commits per force.
+        max_batch: u32,
+        /// Latency bound on the oldest pending commit.
+        max_wait: SimDuration,
+    },
+}
+
+/// One forced write to the log device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LogForce {
+    /// When the force is issued.
+    pub at: SimInstant,
+    /// Bytes written (records + one page header per force).
+    pub bytes: Bytes,
+    /// Commits made durable by this force.
+    pub commits: u32,
+}
+
+/// Outcome of running a commit stream through the buffer.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WalSchedule {
+    /// Every force, in time order.
+    pub forces: Vec<LogForce>,
+    /// Per-transaction commit-acknowledged times (input order).
+    pub ack_times: Vec<SimInstant>,
+}
+
+impl WalSchedule {
+    /// Total bytes forced.
+    pub fn total_bytes(&self) -> Bytes {
+        self.forces.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Number of device forces.
+    pub fn force_count(&self) -> usize {
+        self.forces.len()
+    }
+
+    /// Mean added commit latency versus instant acknowledgement.
+    pub fn mean_added_latency(&self, commits: &[(SimInstant, Bytes)]) -> SimDuration {
+        if commits.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self
+            .ack_times
+            .iter()
+            .zip(commits)
+            .map(|(ack, (at, _))| ack.saturating_duration_since(*at).as_nanos())
+            .sum();
+        SimDuration::from_nanos(total / commits.len() as u64)
+    }
+}
+
+/// Per-force overhead (sector/page header and padding to the device's
+/// write granularity).
+pub const FORCE_OVERHEAD: Bytes = Bytes::new(4096);
+
+/// The log buffer: schedules forces for a stream of commit requests.
+///
+/// `commits` are `(time, record_bytes)` pairs in nondecreasing time
+/// order. The returned schedule is what a caller charges to the
+/// simulator's log device (one sequential write per force).
+///
+/// # Panics
+/// Panics if commits are unsorted.
+pub fn schedule(commits: &[(SimInstant, Bytes)], policy: FlushPolicy) -> WalSchedule {
+    assert!(
+        commits.windows(2).all(|w| w[0].0 <= w[1].0),
+        "commits must be time-ordered"
+    );
+    match policy {
+        FlushPolicy::PerCommit => {
+            let forces = commits
+                .iter()
+                .map(|(at, bytes)| LogForce {
+                    at: *at,
+                    bytes: *bytes + FORCE_OVERHEAD,
+                    commits: 1,
+                })
+                .collect::<Vec<_>>();
+            let ack_times = commits.iter().map(|(at, _)| *at).collect();
+            WalSchedule { forces, ack_times }
+        }
+        FlushPolicy::GroupCommit {
+            max_batch,
+            max_wait,
+        } => {
+            let max_batch = max_batch.max(1);
+            let mut forces = Vec::new();
+            let mut ack_times = vec![SimInstant::EPOCH; commits.len()];
+            let mut batch_start = 0usize;
+            let mut i = 0usize;
+            while batch_start < commits.len() {
+                let deadline = commits[batch_start].0 + max_wait;
+                // Extend the batch while within size and deadline.
+                let mut end = batch_start;
+                while end < commits.len()
+                    && (end - batch_start) < max_batch as usize
+                    && commits[end].0 <= deadline
+                {
+                    end += 1;
+                }
+                // Force at the earlier of the deadline and the arrival
+                // that filled the batch.
+                let force_at = if end - batch_start >= max_batch as usize {
+                    commits[end - 1].0
+                } else {
+                    deadline
+                };
+                let bytes: Bytes = commits[batch_start..end]
+                    .iter()
+                    .map(|(_, b)| *b)
+                    .sum::<Bytes>()
+                    + FORCE_OVERHEAD;
+                forces.push(LogForce {
+                    at: force_at,
+                    bytes,
+                    commits: (end - batch_start) as u32,
+                });
+                for slot in ack_times.iter_mut().take(end).skip(batch_start) {
+                    *slot = force_at;
+                }
+                batch_start = end;
+                i += 1;
+                debug_assert!(i <= commits.len(), "progress");
+            }
+            WalSchedule { forces, ack_times }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_millis(ms)
+    }
+
+    fn commits(n: u64, gap_ms: u64, bytes: u64) -> Vec<(SimInstant, Bytes)> {
+        (0..n)
+            .map(|i| (at(i * gap_ms), Bytes::new(bytes)))
+            .collect()
+    }
+
+    #[test]
+    fn per_commit_forces_every_transaction() {
+        let c = commits(10, 5, 200);
+        let s = schedule(&c, FlushPolicy::PerCommit);
+        assert_eq!(s.force_count(), 10);
+        assert_eq!(s.total_bytes(), Bytes::new(10 * (200 + 4096)));
+        assert_eq!(s.mean_added_latency(&c), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn group_commit_amortizes_forces() {
+        let c = commits(10, 5, 200);
+        let s = schedule(
+            &c,
+            FlushPolicy::GroupCommit {
+                max_batch: 5,
+                max_wait: SimDuration::from_millis(100),
+            },
+        );
+        assert_eq!(s.force_count(), 2);
+        assert_eq!(s.forces[0].commits, 5);
+        // Bytes: 10 records + 2 headers vs 10 headers.
+        assert_eq!(s.total_bytes(), Bytes::new(10 * 200 + 2 * 4096));
+        assert!(s.mean_added_latency(&c) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deadline_bounds_latency() {
+        // Sparse commits: the wait bound forces singleton batches.
+        let c = commits(5, 1000, 100);
+        let s = schedule(
+            &c,
+            FlushPolicy::GroupCommit {
+                max_batch: 100,
+                max_wait: SimDuration::from_millis(10),
+            },
+        );
+        assert_eq!(s.force_count(), 5);
+        for (ack, (arrive, _)) in s.ack_times.iter().zip(&c) {
+            assert_eq!(
+                ack.saturating_duration_since(*arrive),
+                SimDuration::from_millis(10)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_fills_before_deadline() {
+        // Burst of 8 commits at t=0; batch of 4 forces immediately on
+        // the 4th commit, twice.
+        let c: Vec<_> = (0..8).map(|_| (at(0), Bytes::new(100))).collect();
+        let s = schedule(
+            &c,
+            FlushPolicy::GroupCommit {
+                max_batch: 4,
+                max_wait: SimDuration::from_secs(1),
+            },
+        );
+        assert_eq!(s.force_count(), 2);
+        assert!(s.forces.iter().all(|f| f.commits == 4 && f.at == at(0)));
+    }
+
+    #[test]
+    fn acks_cover_every_commit_exactly_once() {
+        let c = commits(137, 3, 50);
+        let s = schedule(
+            &c,
+            FlushPolicy::GroupCommit {
+                max_batch: 10,
+                max_wait: SimDuration::from_millis(20),
+            },
+        );
+        assert_eq!(s.ack_times.len(), c.len());
+        let covered: u32 = s.forces.iter().map(|f| f.commits).sum();
+        assert_eq!(covered as usize, c.len());
+        // Acks never precede arrivals.
+        for (ack, (arrive, _)) in s.ack_times.iter().zip(&c) {
+            assert!(ack >= arrive);
+        }
+        // Forces are time-ordered.
+        assert!(s.forces.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = schedule(&[], FlushPolicy::PerCommit);
+        assert_eq!(s.force_count(), 0);
+        assert_eq!(s.total_bytes(), Bytes::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unsorted_rejected() {
+        let c = vec![(at(5), Bytes::new(1)), (at(1), Bytes::new(1))];
+        let _ = schedule(&c, FlushPolicy::PerCommit);
+    }
+}

@@ -1,0 +1,81 @@
+//! JouleSort-style records (\[RSR+07\]): the benchmark the paper cites as
+//! the first energy-efficiency benchmark for data management tasks.
+//!
+//! Canonical JouleSort sorts 100-byte records with 10-byte keys and
+//! scores *records sorted per Joule*. GRAIL's engine is i64-coded, so a
+//! record is one key datum plus 11 payload datums (96 bytes ≈ the
+//! canonical 100).
+
+use grail_query::batch::Table;
+use grail_query::schema::{ColumnType, Schema};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
+
+/// Payload columns per record (key + 11 × 8 B = 96 B/record).
+pub const PAYLOAD_COLUMNS: usize = 11;
+
+/// Bytes per record in this representation.
+pub const RECORD_BYTES: u64 = (1 + PAYLOAD_COLUMNS as u64) * 8;
+
+/// Generate `n` records from `seed`.
+pub fn records(n: u64, seed: u64) -> Arc<Table> {
+    let mut fields = vec![("key", ColumnType::Id)];
+    let names: Vec<String> = (0..PAYLOAD_COLUMNS).map(|i| format!("p{i}")).collect();
+    for name in &names {
+        fields.push((name.as_str(), ColumnType::Int));
+    }
+    let schema = Schema::new(fields);
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<i64>> = (0..=PAYLOAD_COLUMNS)
+        .map(|_| Vec::with_capacity(n as usize))
+        .collect();
+    for _ in 0..n {
+        cols[0].push(rng.random::<i64>());
+        for c in cols.iter_mut().skip(1) {
+            c.push(rng.random::<i64>());
+        }
+    }
+    Arc::new(Table::new("joulesort", schema, cols))
+}
+
+/// The JouleSort score: records sorted per Joule.
+pub fn score(records_sorted: u64, joules: f64) -> f64 {
+    if joules <= 0.0 {
+        0.0
+    } else {
+        records_sorted as f64 / joules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_shape() {
+        let t = records(1000, 1);
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.schema.arity(), 1 + PAYLOAD_COLUMNS);
+        assert_eq!(t.raw_bytes(), 1000 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(records(500, 7).columns, records(500, 7).columns);
+        assert_ne!(records(500, 7).columns, records(500, 8).columns);
+    }
+
+    #[test]
+    fn keys_look_uniform() {
+        let t = records(10_000, 3);
+        let negatives = t.columns[0].iter().filter(|v| **v < 0).count();
+        assert!((4000..6000).contains(&negatives), "{negatives}");
+    }
+
+    #[test]
+    fn score_math() {
+        assert_eq!(score(1000, 10.0), 100.0);
+        assert_eq!(score(1000, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for workload generation: determinism, domains, and
+//! referential integrity at arbitrary scales/seeds.
+
+use grail_power::units::{Bytes, Cycles};
+use grail_query::exec::{ReadDemand, Tally};
+use grail_sim::driver::IoOp;
+use grail_sim::perf::AccessPattern;
+use grail_sim::{DiskId, StorageTarget};
+use grail_workload::joulesort;
+use grail_workload::mix::{arrival_gaps, poisson_arrivals, scale_tally};
+use grail_workload::tpch::{generate, TpchScale, DATE_DAYS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is bit-deterministic in (scale, seed) and all column
+    /// domains hold.
+    #[test]
+    fn tpch_generation_sound(orders in 16u64..3000, seed in 0u64..1_000_000) {
+        let scale = TpchScale { orders_rows: orders };
+        let a = generate(scale, seed);
+        let b = generate(scale, seed);
+        prop_assert_eq!(&a.orders.columns, &b.orders.columns);
+        prop_assert_eq!(&a.lineitem.columns, &b.lineitem.columns);
+        prop_assert_eq!(a.orders.row_count() as u64, orders);
+        prop_assert_eq!(a.lineitem.row_count(), a.orders.row_count() * 4);
+        // Domains.
+        let customers = scale.customer_rows() as i64;
+        for r in 0..a.orders.row_count() {
+            prop_assert!((0..customers).contains(&a.orders.columns[1][r]));
+            prop_assert!((0..3).contains(&a.orders.columns[2][r]));
+            prop_assert!((0..DATE_DAYS).contains(&a.orders.columns[4][r]));
+        }
+        // Lineitem FKs resolve into parts/suppliers.
+        let parts = scale.part_rows() as i64;
+        let supps = scale.supplier_rows() as i64;
+        for r in 0..a.lineitem.row_count() {
+            prop_assert!(a.lineitem.columns[1][r] < parts);
+            prop_assert!(a.lineitem.columns[2][r] < supps);
+        }
+    }
+
+    /// Poisson arrivals are strictly increasing, deterministic, and
+    /// their empirical rate converges.
+    #[test]
+    fn poisson_sound(rate_centi in 1u64..500, seed in 0u64..1000) {
+        let rate = rate_centi as f64 / 100.0;
+        let n = 2000;
+        let a = poisson_arrivals(rate, n, seed);
+        prop_assert_eq!(&a, &poisson_arrivals(rate, n, seed));
+        prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let gaps = arrival_gaps(&a);
+        prop_assert_eq!(gaps.len(), n - 1);
+        let mean_gap: f64 = gaps.iter().map(|g| g.as_secs_f64()).sum::<f64>() / gaps.len() as f64;
+        let expect = 1.0 / rate;
+        prop_assert!((mean_gap - expect).abs() < expect * 0.15, "{mean_gap} vs {expect}");
+    }
+
+    /// Tally scaling is linear and exact up to rounding.
+    #[test]
+    fn tally_scaling_linear(cpu in 0u64..1_000_000_000, bytes in 0u64..1_000_000_000, factor in 1.0f64..100_000.0) {
+        let t = Tally {
+            cpu: Cycles::new(cpu),
+            reads: vec![ReadDemand {
+                target: StorageTarget::Disk(DiskId(0)),
+                bytes: Bytes::new(bytes),
+                access: AccessPattern::Sequential,
+                op: IoOp::Read,
+            }],
+        };
+        let s = scale_tally(&t, factor);
+        let expect_cpu = (cpu as f64 * factor).round();
+        prop_assert!((s.cpu.get() as f64 - expect_cpu).abs() <= 1.0);
+        let expect_bytes = (bytes as f64 * factor).round();
+        prop_assert!((s.reads[0].bytes.get() as f64 - expect_bytes).abs() <= 1.0);
+    }
+
+    /// JouleSort records: deterministic, right shape, near-uniform keys.
+    #[test]
+    fn joulesort_records_sound(n in 1u64..20_000, seed in 0u64..1000) {
+        let t = joulesort::records(n, seed);
+        prop_assert_eq!(t.row_count() as u64, n);
+        prop_assert_eq!(t.raw_bytes(), n * joulesort::RECORD_BYTES);
+        prop_assert_eq!(&t.columns, &joulesort::records(n, seed).columns);
+    }
+}

@@ -1,0 +1,90 @@
+//! Capacity planning with energy on the balance sheet — Secs. 2.4 and
+//! 5.3 as a procurement exercise.
+//!
+//! Given a fleet of mixed-generation machines and a daily load profile,
+//! compare spread vs consolidate operation, then price the Fig. 1
+//! scale-up vs scale-out options over a deployment lifetime.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use grail::power::tco::TcoModel;
+use grail::power::units::Watts;
+use grail::scheduler::cluster::{place, refresh_cycle_fleet, PlacementPolicy};
+
+fn main() {
+    // --- Fleet operation over a daily load profile -------------------
+    let fleet = refresh_cycle_fleet();
+    let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+    // A bursty business day: fraction of peak per 3-hour block.
+    let day_profile = [0.10, 0.15, 0.45, 0.70, 0.65, 0.50, 0.30, 0.15];
+    let mut spread_kwh = 0.0;
+    let mut packed_kwh = 0.0;
+    println!(
+        "daily operation ({} machines, {:.0} work/s peak):",
+        fleet.len(),
+        total
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>16}",
+        "block", "load", "spread (W)", "consolidated (W)"
+    );
+    for (i, frac) in day_profile.iter().enumerate() {
+        let demand = total * frac;
+        let spread = place(&fleet, demand, PlacementPolicy::Spread).expect("fits");
+        let packed = place(&fleet, demand, PlacementPolicy::Consolidate).expect("fits");
+        println!(
+            "{:>7}h {:>7.0}% {:>14.0} {:>11.0} ({} on)",
+            i * 3,
+            frac * 100.0,
+            spread.power(&fleet).get(),
+            packed.power(&fleet).get(),
+            packed.powered_count()
+        );
+        spread_kwh += spread.power(&fleet).get() * 3.0 / 1000.0;
+        packed_kwh += packed.power(&fleet).get() * 3.0 / 1000.0;
+    }
+    println!(
+        "daily energy: spread {spread_kwh:.1} kWh vs consolidated {packed_kwh:.1} kWh ({:.0}% saved)",
+        100.0 * (1.0 - packed_kwh / spread_kwh)
+    );
+
+    // --- Pricing the Fig. 1 expansion decision -----------------------
+    let m = TcoModel::circa_2008();
+    println!();
+    println!(
+        "lifetime pricing ({:.0}¢/kWh, {:.1} W/W cooling, {:.0}y):",
+        m.usd_per_kwh * 100.0,
+        m.cooling_per_watt,
+        m.lifetime_years
+    );
+    let chassis = 8000.0;
+    let disk = 250.0;
+    let options = [
+        ("1 node × 66 disks", chassis + 66.0 * disk, 2018.0, 1.0),
+        ("1 node × 204 disks", chassis + 204.0 * disk, 4161.0, 1.83),
+        (
+            "2 nodes × 66 disks",
+            2.0 * (chassis + 66.0 * disk),
+            2.0 * 2018.0,
+            2.0,
+        ),
+    ];
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "option", "perf (×)", "hw ($)", "energy ($)", "total ($)"
+    );
+    for (name, hw, watts, perf) in options {
+        let c = m.evaluate(hw, Watts::new(watts));
+        println!(
+            "{:<22} {:>10.2} {:>12.0} {:>12.0} {:>10.0}",
+            name,
+            perf,
+            c.hardware_usd,
+            c.energy_usd,
+            c.total_usd()
+        );
+    }
+    println!();
+    println!("the 204-disk scale-up buys 1.83x performance for 72 extra spindles riding a");
+    println!("saturated fabric; two 66-disk nodes deliver 2.0x for less money and less power.");
+}

@@ -1,0 +1,60 @@
+//! # GRAIL — energy-aware data management
+//!
+//! GRAIL reproduces, as a working system, the research agenda of
+//! *"Energy Efficiency: The New Holy Grail of Data Management Systems
+//! Research"* (Harizopoulos, Meza, Shah, Ranganathan — CIDR 2009): a
+//! relational engine in which physical design, buffer management, query
+//! optimization and scheduling can all be driven by an **energy objective**
+//! instead of (or alongside) a performance objective, measured against a
+//! deterministic hardware power/performance simulator.
+//!
+//! This crate is a thin facade that re-exports the workspace:
+//!
+//! * [`power`] — units, power-state machines, component power models, the
+//!   energy ledger ([`grail_power`]).
+//! * [`sim`] — the discrete-event hardware simulator ([`grail_sim`]).
+//! * [`storage`] — pages, columnar segments, compression, partitioning
+//!   ([`grail_storage`]).
+//! * [`buffer`] — the energy-aware buffer manager ([`grail_buffer`]).
+//! * [`workload`] — TPC-H-like generation and query mixes
+//!   ([`grail_workload`]).
+//! * [`query`] — the relational executor and column scanner
+//!   ([`grail_query`]).
+//! * [`optimizer`] — the dual time/energy cost model and plan selection
+//!   ([`grail_optimizer`]).
+//! * [`scheduler`] — consolidation, batching, and idle governors
+//!   ([`grail_scheduler`]).
+//! * [`core`] — the [`grail_core::EnergyAwareDb`] facade and hardware
+//!   profiles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grail::prelude::*;
+//!
+//! // Fig. 2's machine: one 90 W CPU, three 5 W-total flash drives.
+//! let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+//! db.load_tpch(TpchScale::toy());
+//! // Scan 5 of ORDERS' 7 columns at the loaded size.
+//! let report = db.run_scan(&ScanSpec::orders_projection(5), ExecPolicy::default(), 1.0);
+//! assert!(report.energy.joules() > 0.0);
+//! println!("{} J over {}", report.energy.joules(), report.elapsed);
+//! ```
+
+pub use grail_buffer as buffer;
+pub use grail_core as core;
+pub use grail_optimizer as optimizer;
+pub use grail_power as power;
+pub use grail_query as query;
+pub use grail_scheduler as scheduler;
+pub use grail_sim as sim;
+pub use grail_storage as storage;
+pub use grail_workload as workload;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use grail_core::{
+        EnergyAwareDb, EnergyReport, ExecPolicy, HardwareProfile, ScanSpec, TpchScale,
+    };
+    pub use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
+}

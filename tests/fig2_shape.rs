@@ -1,0 +1,84 @@
+//! Integration: the Fig. 2 reproduction contract (DESIGN.md §3).
+//!
+//! The compressed scan must be ~2× faster yet use substantially more
+//! energy than the uncompressed scan on the 90 W-CPU/5 W-flash machine,
+//! with the uncompressed run disk-bound and the compressed run
+//! CPU-heavy — and the absolute numbers must sit in the paper's bands.
+
+use grail::core::db::{CompressionMode, EnergyAwareDb, ExecPolicy, ScanSpec};
+use grail::core::profile::HardwareProfile;
+use grail::core::report::EnergyReport;
+use grail::workload::tpch::TpchScale;
+
+const STRETCH: f64 = 15_000.0;
+
+fn run(mode: CompressionMode) -> EnergyReport {
+    let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+    db.load_tpch(TpchScale::toy());
+    db.run_scan(
+        &ScanSpec::fig2(),
+        ExecPolicy {
+            compression: mode,
+            dop: 1,
+        },
+        STRETCH,
+    )
+}
+
+#[test]
+fn uncompressed_matches_paper_point() {
+    let r = run(CompressionMode::Plain);
+    let t = r.elapsed.as_secs_f64();
+    let cpu = r.cpu_busy.as_secs_f64();
+    let e = r.energy.joules();
+    assert!((9.0..11.0).contains(&t), "total {t} (paper 10s)");
+    assert!((2.8..3.7).contains(&cpu), "cpu {cpu} (paper 3.2s)");
+    assert!((300.0..380.0).contains(&e), "energy {e} (paper 338J)");
+}
+
+#[test]
+fn compressed_matches_paper_point() {
+    let r = run(CompressionMode::Fig2);
+    let t = r.elapsed.as_secs_f64();
+    let cpu = r.cpu_busy.as_secs_f64();
+    let e = r.energy.joules();
+    assert!((4.5..6.5).contains(&t), "total {t} (paper 5.5s)");
+    assert!((4.3..5.8).contains(&cpu), "cpu {cpu} (paper 5.1s)");
+    assert!((420.0..560.0).contains(&e), "energy {e} (paper 487J)");
+}
+
+#[test]
+fn the_headline_divergence() {
+    let unc = run(CompressionMode::Plain);
+    let cmp = run(CompressionMode::Fig2);
+    let speedup = unc.elapsed.as_secs_f64() / cmp.elapsed.as_secs_f64();
+    let energy_ratio = cmp.energy.joules() / unc.energy.joules();
+    assert!(
+        (1.6..2.2).contains(&speedup),
+        "speedup {speedup} (paper ~1.8x)"
+    );
+    assert!(
+        (1.25..1.65).contains(&energy_ratio),
+        "energy ratio {energy_ratio} (paper ~1.44x)"
+    );
+}
+
+#[test]
+fn boundedness_flips_as_the_paper_describes() {
+    let unc = run(CompressionMode::Plain);
+    // Uncompressed: disk-bound — CPU well under elapsed.
+    assert!(unc.cpu_busy.as_secs_f64() < 0.5 * unc.elapsed.as_secs_f64());
+    let cmp = run(CompressionMode::Fig2);
+    // Compressed: CPU nearly saturates the run.
+    assert!(cmp.cpu_busy.as_secs_f64() > 0.85 * cmp.elapsed.as_secs_f64());
+}
+
+#[test]
+fn same_rows_either_way() {
+    let unc = run(CompressionMode::Plain);
+    let cmp = run(CompressionMode::Fig2);
+    assert_eq!(
+        unc.work, cmp.work,
+        "physical design must not change answers"
+    );
+}
