@@ -8,8 +8,11 @@ use grail_query::cost_charge::CostCharge;
 use grail_query::exec::{run_collect, ExecContext};
 use grail_query::expr::Expr;
 use grail_sim::driver::{run_streams, IoDemand, JobSpec};
+use grail_sim::ids::CpuId;
+use grail_sim::sim::Simulation;
 use grail_sim::DiskId;
 use grail_sim::StorageTarget;
+use grail_sim::{FaultConfig, FaultPlan};
 use grail_workload::mix::{closed_mix, job_from_tallies, scale_tally};
 use grail_workload::queries::{QueryTemplate, StoredCatalog};
 use grail_workload::tpch::{self, TpchScale, TpchTables, ORDERS_FIG2_PROJECTION};
@@ -118,6 +121,7 @@ pub struct EnergyAwareDb {
     profile: HardwareProfile,
     tables: Option<TpchTables>,
     charge: CostCharge,
+    fault: Option<(FaultConfig, u64)>,
 }
 
 impl EnergyAwareDb {
@@ -127,12 +131,42 @@ impl EnergyAwareDb {
             profile,
             tables: None,
             charge: CostCharge::default_calibrated(),
+            fault: None,
         }
     }
 
     /// The active profile.
     pub fn profile(&self) -> &HardwareProfile {
         &self.profile
+    }
+
+    /// Inject faults into every subsequent run: each run builds a fresh
+    /// [`FaultPlan`] from `cfg` and `seed`, so repeated runs are
+    /// bit-identical, and retry/recovery costs land on the report's
+    /// `recovery` and `retries` fields. A zero-rate config is
+    /// indistinguishable from no profile at all.
+    pub fn set_fault_profile(&mut self, cfg: FaultConfig, seed: u64) {
+        self.fault = Some((cfg, seed));
+    }
+
+    /// Remove the fault profile; runs are fault-free again.
+    pub fn clear_fault_profile(&mut self) {
+        self.fault = None;
+    }
+
+    /// The active fault profile, if any.
+    pub fn fault_profile(&self) -> Option<(FaultConfig, u64)> {
+        self.fault
+    }
+
+    /// Build the profile's simulation, arming the fault plan when one is
+    /// configured.
+    fn build_sim(&self) -> (Simulation, CpuId, Vec<StorageTarget>) {
+        let (mut sim, cpu, targets) = self.profile.build();
+        if let Some((cfg, seed)) = self.fault {
+            sim.set_fault_plan(FaultPlan::new(cfg, seed));
+        }
+        (sim, cpu, targets)
     }
 
     /// Generate and load TPC-H-like tables at `scale` (seed 42).
@@ -176,7 +210,7 @@ impl EnergyAwareDb {
             policy.dop,
         )
         .expect("scan over validated projection");
-        let (mut sim, cpu, targets) = self.profile.build();
+        let (mut sim, cpu, targets) = self.build_sim();
         let mut job = run.job.clone();
         if (scale_to - 1.0).abs() > 1e-9 {
             for p in &mut job.phases {
@@ -188,7 +222,7 @@ impl EnergyAwareDb {
             }
         }
         let job = stripe_job(&job, &targets);
-        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("valid targets");
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("scan survives fault profile");
         let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
         let report = sim.finish(out.makespan);
         EnergyReport {
@@ -202,6 +236,8 @@ impl EnergyAwareDb {
             energy: report.total_energy(),
             work: (run.rows as f64 * scale_to).max(0.0),
             cpu_busy,
+            recovery: report.recovery_energy(),
+            retries: out.total_retries,
             ledger: report.ledger,
         }
     }
@@ -237,9 +273,9 @@ impl EnergyAwareDb {
     ) -> EnergyReport {
         let catalog = self.catalog(policy.compression);
         let (job, rows) = self.template_job(template, &catalog, policy, scale_to);
-        let (mut sim, cpu, targets) = self.profile.build();
+        let (mut sim, cpu, targets) = self.build_sim();
         let job = stripe_job(&job, &targets);
-        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("valid job");
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("query survives fault profile");
         let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
         let report = sim.finish(out.makespan);
         EnergyReport {
@@ -249,6 +285,8 @@ impl EnergyAwareDb {
             energy: report.total_energy(),
             work: rows as f64,
             cpu_busy,
+            recovery: report.recovery_energy(),
+            retries: out.total_retries,
             ledger: report.ledger,
         }
     }
@@ -270,10 +308,10 @@ impl EnergyAwareDb {
             .iter()
             .map(|t| self.template_job(*t, &catalog, policy, scale_to).0)
             .collect();
-        let (mut sim, cpu, targets) = self.profile.build();
+        let (mut sim, cpu, targets) = self.build_sim();
         let striped: Vec<JobSpec> = prototypes.iter().map(|j| stripe_job(j, &targets)).collect();
         let mix = closed_mix(&striped, streams, queries_per_stream);
-        let out = run_streams(&mut sim, cpu, &mix).expect("valid mix");
+        let out = run_streams(&mut sim, cpu, &mix).expect("mix survives fault profile");
         let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
         let report = sim.finish(out.makespan);
         EnergyReport {
@@ -283,6 +321,8 @@ impl EnergyAwareDb {
             energy: report.total_energy(),
             work: out.results.len() as f64,
             cpu_busy,
+            recovery: report.recovery_energy(),
+            retries: out.total_retries,
             ledger: report.ledger,
         }
     }
@@ -307,7 +347,7 @@ impl EnergyAwareDb {
     /// paper's Sec. 2.4 calls out: classic servers draw most of their
     /// peak power doing nothing).
     pub fn run_idle(&self, d: SimDuration) -> EnergyReport {
-        let (sim, _, _) = self.profile.build();
+        let (sim, _, _) = self.build_sim();
         let report = sim.finish(grail_power::units::SimInstant::EPOCH + d);
         EnergyReport {
             profile: self.profile.name,
@@ -316,6 +356,8 @@ impl EnergyAwareDb {
             energy: report.total_energy(),
             work: 0.0,
             cpu_busy: SimDuration::ZERO,
+            recovery: report.recovery_energy(),
+            retries: 0,
             ledger: report.ledger,
         }
     }
@@ -478,5 +520,49 @@ mod tests {
     fn unloaded_db_panics() {
         let db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
         let _ = db.tables();
+    }
+
+    #[test]
+    fn zero_rate_fault_profile_changes_nothing() {
+        let mut db = db(HardwareProfile::flash_scanner());
+        let clean = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+        db.set_fault_profile(FaultConfig::NONE, 123);
+        let armed = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+        assert_eq!(clean.energy, armed.energy);
+        assert_eq!(clean.elapsed, armed.elapsed);
+        assert_eq!(armed.retries, 0);
+        assert_eq!(armed.recovery, grail_power::units::Joules::ZERO);
+        assert_eq!(armed.recovery_share(), 0.0);
+    }
+
+    #[test]
+    fn fault_profile_surfaces_retry_and_recovery_costs() {
+        let mut db = db(HardwareProfile::flash_scanner());
+        let clean = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+        assert_eq!(clean.retries, 0);
+        let cfg = FaultConfig {
+            transient_per_io: 0.35,
+            ..FaultConfig::NONE
+        };
+        // Some seed in a small window must produce at least one fault;
+        // for any fixed seed the outcome is deterministic.
+        let mut hit = false;
+        for seed in 0..10 {
+            db.set_fault_profile(cfg, seed);
+            let r = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+            assert_eq!(db.fault_profile(), Some((cfg, seed)));
+            if r.retries > 0 {
+                assert!(r.recovery.joules() > 0.0, "retries must bill recovery");
+                assert!(r.recovery_share() > 0.0);
+                assert!(r.energy.joules() > clean.energy.joules());
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "a 35% transient rate must fault within 10 seeds");
+        db.clear_fault_profile();
+        let back = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.energy, clean.energy);
     }
 }

@@ -21,6 +21,12 @@ pub struct EnergyReport {
     pub work: f64,
     /// CPU busy time summed over cores.
     pub cpu_busy: SimDuration,
+    /// Energy spent on fault recovery: retried work, degraded-mode
+    /// reconstruction, rebuilds, spin-up surges lost to faults. Zero
+    /// when no fault profile is active.
+    pub recovery: Joules,
+    /// IO retries performed across the run.
+    pub retries: u64,
     /// The full per-component ledger.
     pub ledger: EnergyLedger,
 }
@@ -56,6 +62,12 @@ impl EnergyReport {
         self.ledger.kind_share(ComponentKind::Cpu)
     }
 
+    /// Share of energy spent recovering from faults — the overhead the
+    /// wall-socket meter hides inside "useful" work.
+    pub fn recovery_share(&self) -> f64 {
+        self.ledger.kind_share(ComponentKind::Recovery)
+    }
+
     /// One human-readable summary line.
     pub fn summary(&self) -> String {
         format!(
@@ -87,6 +99,8 @@ mod tests {
             energy: Joules::new(100.0),
             work: 50.0,
             cpu_busy: SimDuration::from_secs(4),
+            recovery: Joules::ZERO,
+            retries: 0,
             ledger,
         }
     }
@@ -99,6 +113,18 @@ mod tests {
         assert!((r.perf() - 5.0).abs() < 1e-12);
         assert!((r.disk_share() - 0.6).abs() < 1e-12);
         assert!((r.cpu_share() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_share_reads_the_ledger() {
+        let mut r = report();
+        assert_eq!(r.recovery_share(), 0.0);
+        r.ledger.charge(
+            ComponentId::new(ComponentKind::Recovery, 0),
+            Joules::new(25.0),
+        );
+        // 25 of 125 J on the ledger is recovery.
+        assert!((r.recovery_share() - 0.2).abs() < 1e-12);
     }
 
     #[test]

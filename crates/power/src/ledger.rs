@@ -28,6 +28,12 @@ pub enum ComponentKind {
     /// Chassis, fans, power-supply losses, motherboard — the constant
     /// floor.
     Base,
+    /// Failure-handling work: RAID rebuilds, degraded-mode
+    /// reconstruction, retried IO, failed spin-ups. Energy here is
+    /// *re-attributed* from the physical component that performed the
+    /// work (see [`EnergyLedger::transfer`]), so the ledger total still
+    /// matches the wall socket.
+    Recovery,
     /// Anything else.
     Other,
 }
@@ -41,6 +47,7 @@ impl fmt::Display for ComponentKind {
             ComponentKind::Dram => "dram",
             ComponentKind::Nic => "nic",
             ComponentKind::Base => "base",
+            ComponentKind::Recovery => "recovery",
             ComponentKind::Other => "other",
         };
         f.write_str(s)
@@ -222,6 +229,24 @@ impl EnergyLedger {
         self.entries.len()
     }
 
+    /// Re-attribute up to `energy` from `from` to `to`, clamped to
+    /// `from`'s current balance (never drives a component negative).
+    /// The ledger total is unchanged — this moves Joules between
+    /// categories, it does not create them. Returns the amount moved.
+    ///
+    /// Used to carve failure-handling work (rebuild IO, retried
+    /// requests) out of the physical component that performed it and
+    /// into [`ComponentKind::Recovery`].
+    pub fn transfer(&mut self, from: ComponentId, to: ComponentId, energy: Joules) -> Joules {
+        let avail = self.component(from);
+        let moved = Joules::new(energy.joules().min(avail.joules()).max(0.0));
+        if moved.joules() > 0.0 {
+            self.entries.insert(from, avail - moved);
+            *self.entries.entry(to).or_insert(Joules::ZERO) += moved;
+        }
+        moved
+    }
+
     /// Fold another ledger into this one (component-wise sum, union
     /// window).
     pub fn merge(&mut self, other: &EnergyLedger) {
@@ -334,6 +359,32 @@ mod tests {
             a.window(),
             Some((SimInstant::EPOCH, SimInstant::from_nanos(9)))
         );
+    }
+
+    #[test]
+    fn transfer_moves_without_changing_total() {
+        let mut l = EnergyLedger::new();
+        l.charge(DISK0, Joules::new(100.0));
+        let rec = ComponentId::new(ComponentKind::Recovery, 0);
+        let moved = l.transfer(DISK0, rec, Joules::new(30.0));
+        assert!((moved.joules() - 30.0).abs() < 1e-12);
+        assert!((l.component(DISK0).joules() - 70.0).abs() < 1e-12);
+        assert!((l.component(rec).joules() - 30.0).abs() < 1e-12);
+        assert!((l.total().joules() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_clamps_to_balance() {
+        let mut l = EnergyLedger::new();
+        l.charge(DISK0, Joules::new(10.0));
+        let rec = ComponentId::new(ComponentKind::Recovery, 0);
+        let moved = l.transfer(DISK0, rec, Joules::new(50.0));
+        assert!((moved.joules() - 10.0).abs() < 1e-12);
+        assert!(l.component(DISK0).joules().abs() < 1e-12);
+        // Transfer from an uncharged component moves nothing.
+        let moved = l.transfer(CPU0, rec, Joules::new(5.0));
+        assert_eq!(moved, Joules::ZERO);
+        assert!((l.total().joules() - 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the most efficient machines full and powers the rest off, making the
 //! *cluster* energy-proportional even though no single machine is.
 
-use grail_power::units::Watts;
+use grail_power::units::{Joules, SimDuration, Watts};
 use serde::Serialize;
 use std::fmt;
 
@@ -23,13 +23,21 @@ pub struct Machine {
     pub idle: Watts,
     /// Power at full load.
     pub peak: Watts,
+    /// Cold-boot latency when a powered-off machine is brought back.
+    pub boot_latency: SimDuration,
+    /// Energy burned by one cold boot (drawn before any work is served).
+    pub boot_energy: Joules,
 }
+
+/// Default cold-boot latency: two minutes of POST + OS + service start.
+const DEFAULT_BOOT_LATENCY: SimDuration = SimDuration::from_secs(120);
 
 impl Machine {
     /// A machine description.
     ///
     /// # Panics
-    /// Panics on non-positive capacity or idle above peak.
+    /// Panics on non-positive capacity or idle above peak. Use
+    /// [`Machine::try_new`] for a non-panicking variant.
     pub fn new(name: &str, capacity: f64, idle: Watts, peak: Watts) -> Self {
         assert!(capacity > 0.0, "capacity must be positive");
         assert!(idle.get() <= peak.get(), "idle above peak");
@@ -38,7 +46,46 @@ impl Machine {
             capacity,
             idle,
             peak,
+            boot_latency: DEFAULT_BOOT_LATENCY,
+            boot_energy: peak * DEFAULT_BOOT_LATENCY,
         }
+    }
+
+    /// A machine description, rejecting bad geometry instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// [`ClusterError::BadMachine`] on non-positive (or non-finite)
+    /// capacity, idle above peak, or negative power.
+    pub fn try_new(
+        name: &str,
+        capacity: f64,
+        idle: Watts,
+        peak: Watts,
+    ) -> Result<Self, ClusterError> {
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(ClusterError::BadMachine(format!(
+                "{name}: capacity must be positive, got {capacity}"
+            )));
+        }
+        if idle.get() < 0.0 || !idle.get().is_finite() || !peak.get().is_finite() {
+            return Err(ClusterError::BadMachine(format!(
+                "{name}: power draws must be finite and non-negative"
+            )));
+        }
+        if idle.get() > peak.get() {
+            return Err(ClusterError::BadMachine(format!(
+                "{name}: idle {idle} above peak {peak}"
+            )));
+        }
+        Ok(Machine::new(name, capacity, idle, peak))
+    }
+
+    /// Override the cold-boot cost (builder style).
+    pub fn with_boot(mut self, latency: SimDuration, energy: Joules) -> Self {
+        self.boot_latency = latency;
+        self.boot_energy = energy;
+        self
     }
 
     /// Power at `load` work/s (clamped to capacity).
@@ -75,11 +122,16 @@ pub struct Placement {
 
 /// Placement failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ClusterError {
     /// Aggregate demand exceeds fleet capacity.
     Overloaded,
     /// The fleet is empty.
     EmptyFleet,
+    /// A machine description is invalid (bad capacity or power curve).
+    BadMachine(String),
+    /// A machine index is out of range for the fleet.
+    UnknownMachine(usize),
 }
 
 impl fmt::Display for ClusterError {
@@ -87,6 +139,8 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::Overloaded => f.write_str("demand exceeds fleet capacity"),
             ClusterError::EmptyFleet => f.write_str("empty fleet"),
+            ClusterError::BadMachine(why) => write!(f, "bad machine: {why}"),
+            ClusterError::UnknownMachine(i) => write!(f, "unknown machine index {i}"),
         }
     }
 }
@@ -178,6 +232,93 @@ impl Placement {
     pub fn powered_count(&self) -> usize {
         self.powered.iter().filter(|p| **p).count()
     }
+}
+
+/// The outcome of failing a machine out of a running placement.
+///
+/// Consolidation's dark side: the paper's Sec. 2.4 powers servers off to
+/// approximate energy-proportionality, but a machine failure then forces
+/// displaced load onto boxes that must first *boot* — paying a latency
+/// and an energy surge that a spread (availability-first) layout never
+/// sees. This struct makes that recovery cost explicit so experiments
+/// can put it on the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Failover {
+    /// The new placement over the full fleet; the failed machine carries
+    /// zero load and is not powered.
+    pub placement: Placement,
+    /// Indices of machines that had to be powered on (cold-booted) to
+    /// absorb the displaced load.
+    pub booted: Vec<usize>,
+    /// Total cold-boot energy across `booted`.
+    pub boot_energy: Joules,
+    /// Worst-case boot latency — how long displaced work waits before
+    /// full capacity is back.
+    pub boot_latency: SimDuration,
+    /// Work/s that had to move off the failed machine.
+    pub displaced: f64,
+}
+
+/// Re-place a running placement after machine `failed` dies.
+///
+/// The total demand (the sum of `before.loads`) is re-placed on the
+/// surviving machines under `policy`. Machines that were powered off in
+/// `before` but receive load now must cold-boot; their boot energy and
+/// the worst-case boot latency are reported so callers can charge them
+/// to a recovery ledger.
+///
+/// # Errors
+/// [`ClusterError::UnknownMachine`] if `failed` is out of range,
+/// [`ClusterError::EmptyFleet`] for a one-machine fleet, and
+/// [`ClusterError::Overloaded`] if the survivors cannot absorb the
+/// demand.
+pub fn fail_over(
+    fleet: &[Machine],
+    before: &Placement,
+    failed: usize,
+    policy: PlacementPolicy,
+) -> Result<Failover, ClusterError> {
+    if failed >= fleet.len() {
+        return Err(ClusterError::UnknownMachine(failed));
+    }
+    let demand: f64 = before.loads.iter().sum();
+    let displaced = before.loads.get(failed).copied().unwrap_or(0.0);
+    // Place on the survivor sub-fleet, then map back to full-fleet
+    // indices (the failed slot keeps zero load and stays dark).
+    let survivors: Vec<Machine> = fleet
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != failed)
+        .map(|(_, m)| m.clone())
+        .collect();
+    let sub = place(&survivors, demand, policy)?;
+    let mut loads = vec![0.0; fleet.len()];
+    let mut powered = vec![false; fleet.len()];
+    let mut booted = Vec::new();
+    let mut boot_energy = Joules::ZERO;
+    let mut boot_latency = SimDuration::ZERO;
+    let mut sub_idx = 0;
+    for i in 0..fleet.len() {
+        if i == failed {
+            continue;
+        }
+        loads[i] = sub.loads[sub_idx];
+        powered[i] = sub.powered[sub_idx];
+        sub_idx += 1;
+        let was_on = before.powered.get(i).copied().unwrap_or(false);
+        if powered[i] && !was_on {
+            booted.push(i);
+            boot_energy += fleet[i].boot_energy;
+            boot_latency = boot_latency.max(fleet[i].boot_latency);
+        }
+    }
+    Ok(Failover {
+        placement: Placement { loads, powered },
+        booted,
+        boot_energy,
+        boot_latency,
+        displaced,
+    })
 }
 
 /// A mixed-generation fleet for experiments: two old brawny boxes, two
@@ -287,5 +428,101 @@ mod tests {
     #[should_panic(expected = "idle above peak")]
     fn bad_machine_rejected() {
         let _ = Machine::new("x", 1.0, Watts::new(10.0), Watts::new(5.0));
+    }
+
+    #[test]
+    fn try_new_rejects_without_panicking() {
+        assert!(matches!(
+            Machine::try_new("x", 0.0, Watts::new(1.0), Watts::new(2.0)),
+            Err(ClusterError::BadMachine(_))
+        ));
+        assert!(matches!(
+            Machine::try_new("x", f64::NAN, Watts::new(1.0), Watts::new(2.0)),
+            Err(ClusterError::BadMachine(_))
+        ));
+        assert!(matches!(
+            Machine::try_new("x", 1.0, Watts::new(10.0), Watts::new(5.0)),
+            Err(ClusterError::BadMachine(_))
+        ));
+        assert!(matches!(
+            Machine::try_new("x", 1.0, Watts::new(-1.0), Watts::new(5.0)),
+            Err(ClusterError::BadMachine(_))
+        ));
+        let ok = Machine::try_new("x", 1.0, Watts::new(1.0), Watts::new(2.0)).expect("valid");
+        assert_eq!(ok, Machine::new("x", 1.0, Watts::new(1.0), Watts::new(2.0)));
+    }
+
+    #[test]
+    fn failover_boots_dark_machines_and_reports_their_cost() {
+        let fleet = refresh_cycle_fleet();
+        // Consolidated at 4000 work/s: only the two new machines run.
+        let before = place(&fleet, 4000.0, PlacementPolicy::Consolidate).expect("fits");
+        assert_eq!(before.powered_count(), 2);
+        // Kill new-a (index 4): its 2000 work/s must land somewhere that
+        // was powered off, paying a cold boot.
+        let fo = fail_over(&fleet, &before, 4, PlacementPolicy::Consolidate).expect("survivable");
+        assert!((fo.displaced - 2000.0).abs() < 1e-9);
+        assert!(!fo.placement.powered[4]);
+        assert_eq!(fo.placement.loads[4], 0.0);
+        let served: f64 = fo.placement.loads.iter().sum();
+        assert!((served - 4000.0).abs() < 1e-6, "demand conserved: {served}");
+        assert!(!fo.booted.is_empty(), "someone had to cold-boot");
+        assert!(!fo.booted.contains(&4));
+        assert!(fo.boot_energy.joules() > 0.0);
+        assert!(fo.boot_latency > SimDuration::ZERO);
+        // Booted machines were dark before and carry load now.
+        for &i in &fo.booted {
+            assert!(!before.powered[i]);
+            assert!(fo.placement.powered[i]);
+        }
+    }
+
+    #[test]
+    fn failover_under_spread_boots_nothing() {
+        let fleet = refresh_cycle_fleet();
+        let before = place(&fleet, 4000.0, PlacementPolicy::Spread).expect("fits");
+        let fo = fail_over(&fleet, &before, 0, PlacementPolicy::Spread).expect("survivable");
+        // Everyone was already on — availability-first pays no boot.
+        assert!(fo.booted.is_empty());
+        assert_eq!(fo.boot_energy, Joules::ZERO);
+        assert_eq!(fo.boot_latency, SimDuration::ZERO);
+        assert_eq!(fo.placement.loads[0], 0.0);
+        let served: f64 = fo.placement.loads.iter().sum();
+        assert!((served - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failover_errors() {
+        let fleet = refresh_cycle_fleet();
+        let before = place(&fleet, 4000.0, PlacementPolicy::Consolidate).expect("fits");
+        assert_eq!(
+            fail_over(&fleet, &before, 99, PlacementPolicy::Consolidate).unwrap_err(),
+            ClusterError::UnknownMachine(99)
+        );
+        // Survivors cannot absorb near-total demand after losing 2000.
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let full = place(&fleet, total, PlacementPolicy::Consolidate).expect("fits");
+        assert_eq!(
+            fail_over(&fleet, &full, 5, PlacementPolicy::Consolidate).unwrap_err(),
+            ClusterError::Overloaded
+        );
+        // A one-machine fleet has no survivors.
+        let solo = vec![Machine::new("only", 10.0, Watts::new(1.0), Watts::new(2.0))];
+        let p = place(&solo, 5.0, PlacementPolicy::Spread).expect("fits");
+        assert_eq!(
+            fail_over(&solo, &p, 0, PlacementPolicy::Spread).unwrap_err(),
+            ClusterError::EmptyFleet
+        );
+    }
+
+    #[test]
+    fn with_boot_overrides_default_cost() {
+        let m = Machine::new("x", 1.0, Watts::new(1.0), Watts::new(2.0))
+            .with_boot(SimDuration::from_secs(30), Joules::new(500.0));
+        assert_eq!(m.boot_latency, SimDuration::from_secs(30));
+        assert_eq!(m.boot_energy, Joules::new(500.0));
+        // Default: peak power for the default boot window.
+        let d = Machine::new("x", 1.0, Watts::new(1.0), Watts::new(2.0));
+        assert!((d.boot_energy.joules() - 2.0 * 120.0).abs() < 1e-9);
     }
 }

@@ -15,7 +15,9 @@
 //!   to an in-flight scan instead of re-reading.
 //! * [`cluster`] — fleet-level consolidation (\[TWM+08\]): pack load onto
 //!   the most efficient machines and power off the rest, making the
-//!   cluster energy-proportional even when no machine is.
+//!   cluster energy-proportional even when no machine is; includes
+//!   machine-failure re-placement ([`cluster::fail_over`]) that charges
+//!   cold-boot energy when displaced load lands on dark machines.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -26,5 +28,5 @@ pub mod governor;
 pub mod sharing;
 
 pub use admission::{AdmissionPolicy, BatchWindow};
-pub use cluster::{Machine, Placement, PlacementPolicy};
+pub use cluster::{fail_over, ClusterError, Failover, Machine, Placement, PlacementPolicy};
 pub use governor::{IdleGovernor, OracleGovernor, TimeoutGovernor};

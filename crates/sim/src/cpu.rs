@@ -141,6 +141,11 @@ impl CpuDevice {
             .clamp(0.0, 1.0)
     }
 
+    /// Per-core power while executing.
+    pub fn core_active_power(&self) -> Watts {
+        self.power.core_active
+    }
+
     /// The uncore floor for the whole pool, in Watts.
     pub fn uncore_power(&self) -> Watts {
         if self.power.cores == 0 {

@@ -9,7 +9,7 @@ use crate::perf::{AccessPattern, DiskPerfProfile};
 use crate::sim::Reservation;
 use grail_power::components::{disk_states, DiskPowerProfile};
 use grail_power::state::PowerStateMachine;
-use grail_power::units::{Bytes, Joules, SimDuration, SimInstant};
+use grail_power::units::{Bytes, Joules, SimDuration, SimInstant, Watts};
 
 /// Aggregate statistics of one device.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -145,6 +145,21 @@ impl DiskDevice {
     /// Statistics so far.
     pub fn stats(&self) -> DeviceStats {
         self.stats
+    }
+
+    /// Power drawn while seeking/transferring.
+    pub fn active_power(&self) -> Watts {
+        self.machine
+            .state_power(disk_states::ACTIVE)
+            .expect("active state is declared")
+    }
+
+    /// Latency and surge energy of one spin-up attempt.
+    pub fn spin_up_cost(&self) -> (SimDuration, Joules) {
+        self.machine
+            .transition(disk_states::STANDBY, disk_states::IDLE)
+            .map(|t| (t.latency, t.energy))
+            .unwrap_or((SimDuration::ZERO, Joules::ZERO))
     }
 
     /// Energy-saving helper: the idle-gap length beyond which parking and

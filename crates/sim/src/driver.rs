@@ -15,7 +15,7 @@ use crate::event::EventQueue;
 use crate::ids::{CpuId, StorageTarget};
 use crate::perf::AccessPattern;
 use crate::sim::Simulation;
-use grail_power::units::{Bytes, Cycles, SimDuration, SimInstant};
+use grail_power::units::{Bytes, Cycles, Joules, SimDuration, SimInstant};
 
 /// Whether an IO demand reads or writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +127,12 @@ pub struct JobResult {
     pub start: SimInstant,
     /// Completion time.
     pub end: SimInstant,
+    /// IO attempts that failed retryably and were reissued for this job.
+    pub retries: u32,
+    /// Energy wasted by this job's failed attempts (spin-up surges,
+    /// service time that delivered nothing) — already re-attributed to
+    /// the `Recovery` ledger category, reported here per job.
+    pub retry_energy: Joules,
 }
 
 impl JobResult {
@@ -143,6 +149,56 @@ pub struct DriveOutcome {
     pub results: Vec<JobResult>,
     /// Latest completion across all streams.
     pub makespan: SimInstant,
+    /// Total retried IO attempts across every job.
+    pub total_retries: u64,
+}
+
+/// How the driver reacts to retryable IO faults
+/// ([`SimError::TransientIo`], [`SimError::LatentSector`]): reissue the
+/// failed demand after an exponential backoff, give up after a budget of
+/// consecutive failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failures of one IO demand before the run errors with
+    /// [`SimError::RetriesExhausted`]. Zero means fail on first fault.
+    pub max_retries: u32,
+    /// Backoff after the first failure; doubles (times `multiplier`)
+    /// per consecutive failure.
+    pub base_backoff: SimDuration,
+    /// Backoff growth factor per consecutive failure.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: SimDuration::from_millis(10),
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that surfaces the first fault instead of retrying.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: SimDuration::ZERO,
+            multiplier: 1,
+        }
+    }
+
+    /// The backoff delay before attempt number `attempt` (1-based count
+    /// of consecutive failures so far): `base · multiplier^(attempt-1)`,
+    /// exponent capped to keep the arithmetic finite.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            return SimDuration::ZERO;
+        }
+        let exp = (attempt - 1).min(16);
+        self.base_backoff * (self.multiplier as u64).saturating_pow(exp)
+    }
 }
 
 /// An executable step (phases are pre-split so every issue happens at a
@@ -161,6 +217,18 @@ struct StreamState {
     job_idx: usize,
     step_idx: usize,
     job_start: SimInstant,
+    /// Next IO demand of the current step still to issue (resume point
+    /// after a retryable fault).
+    io_idx: usize,
+    /// Completion high-water mark of the current step's already-served
+    /// demands (survives across retry re-entries).
+    step_end_acc: SimInstant,
+    /// Consecutive failures of the IO demand at `io_idx`.
+    attempts: u32,
+    /// Retries accumulated by the current job.
+    job_retries: u32,
+    /// Energy wasted by the current job's failed attempts.
+    job_retry_energy: Joules,
 }
 
 fn compile(job: &JobSpec) -> Vec<Step> {
@@ -189,11 +257,28 @@ fn compile(job: &JobSpec) -> Vec<Step> {
 }
 
 /// Run `streams` of jobs concurrently on `sim`, using `cpu` for all CPU
-/// work. Returns per-job results and the makespan.
+/// work and the default [`RetryPolicy`]. Returns per-job results and the
+/// makespan.
 pub fn run_streams(
     sim: &mut Simulation,
     cpu: CpuId,
     streams: &[Vec<JobSpec>],
+) -> Result<DriveOutcome, SimError> {
+    run_streams_with(sim, cpu, streams, &RetryPolicy::default())
+}
+
+/// [`run_streams`] with an explicit retry policy.
+///
+/// Retryable faults ([`SimError::TransientIo`], [`SimError::LatentSector`])
+/// re-enqueue the stream at `max(now, fault's retry_until) + backoff` and
+/// reissue the failed demand; already-served demands of the step are not
+/// repeated. Non-retryable errors, and the `max_retries`-th consecutive
+/// failure of one demand, abort the run.
+pub fn run_streams_with(
+    sim: &mut Simulation,
+    cpu: CpuId,
+    streams: &[Vec<JobSpec>],
+    policy: &RetryPolicy,
 ) -> Result<DriveOutcome, SimError> {
     let mut states: Vec<StreamState> = streams
         .iter()
@@ -203,6 +288,11 @@ pub fn run_streams(
             job_idx: 0,
             step_idx: 0,
             job_start: SimInstant::EPOCH,
+            io_idx: 0,
+            step_end_acc: SimInstant::EPOCH,
+            attempts: 0,
+            job_retries: 0,
+            job_retry_energy: Joules::ZERO,
         })
         .collect();
 
@@ -215,10 +305,11 @@ pub fn run_streams(
 
     let mut results = Vec::new();
     let mut makespan = SimInstant::EPOCH;
+    let mut total_retries: u64 = 0;
 
     while let Some((t, stream)) = q.pop() {
         let st = &mut states[stream];
-        if st.step_idx == 0 {
+        if st.step_idx == 0 && st.io_idx == 0 && st.attempts == 0 {
             st.job_start = t;
         }
         // Skip empty jobs outright.
@@ -228,6 +319,8 @@ pub fn run_streams(
                 index: st.job_idx,
                 start: t,
                 end: t,
+                retries: 0,
+                retry_energy: Joules::ZERO,
             });
             st.job_idx += 1;
             st.step_idx = 0;
@@ -237,14 +330,50 @@ pub fn run_streams(
             continue;
         }
         let step = st.jobs[st.job_idx][st.step_idx].clone();
-        let mut step_end = t;
-        for d in &step.io {
-            let r = match d.op {
-                IoOp::Read => sim.read(d.target, t, d.bytes, d.access)?,
-                IoOp::Write => sim.write(d.target, t, d.bytes, d.access)?,
-            };
-            step_end = step_end.max(r.end);
+        if st.io_idx == 0 && st.attempts == 0 {
+            st.step_end_acc = t;
         }
+        let mut step_end = st.step_end_acc.max(t);
+        // Issue the step's IO, resuming after any demand already served
+        // before a retryable fault.
+        let mut reissue_at: Option<SimInstant> = None;
+        while st.io_idx < step.io.len() {
+            let d = &step.io[st.io_idx];
+            let r = match d.op {
+                IoOp::Read => sim.read(d.target, t, d.bytes, d.access),
+                IoOp::Write => sim.write(d.target, t, d.bytes, d.access),
+            };
+            match r {
+                Ok(res) => {
+                    step_end = step_end.max(res.end);
+                    st.io_idx += 1;
+                    st.attempts = 0;
+                }
+                Err(e) if e.is_retryable() => {
+                    st.attempts += 1;
+                    st.job_retries += 1;
+                    st.job_retry_energy += sim.drain_retry_energy();
+                    total_retries += 1;
+                    if st.attempts > policy.max_retries {
+                        return Err(SimError::RetriesExhausted {
+                            stream,
+                            job: st.job_idx,
+                            attempts: st.attempts,
+                        });
+                    }
+                    let until = e.retry_until().unwrap_or(t).max(t);
+                    reissue_at = Some(until + policy.backoff(st.attempts));
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(when) = reissue_at {
+            st.step_end_acc = step_end;
+            q.push(when, stream);
+            continue;
+        }
+        st.io_idx = 0;
         if step.cpu > Cycles::ZERO {
             let r = sim.compute_parallel(cpu, t, step.cpu, step.dop)?;
             step_end = step_end.max(r.end);
@@ -257,10 +386,14 @@ pub fn run_streams(
                 index: st.job_idx,
                 start: st.job_start,
                 end: step_end,
+                retries: st.job_retries,
+                retry_energy: st.job_retry_energy,
             });
             makespan = makespan.max(step_end);
             st.job_idx += 1;
             st.step_idx = 0;
+            st.job_retries = 0;
+            st.job_retry_energy = Joules::ZERO;
             if st.job_idx < st.jobs.len() {
                 let next = step_end.max(st.arrivals[st.job_idx]);
                 q.push(next, stream);
@@ -270,7 +403,11 @@ pub fn run_streams(
         }
     }
 
-    Ok(DriveOutcome { results, makespan })
+    Ok(DriveOutcome {
+        results,
+        makespan,
+        total_retries,
+    })
 }
 
 #[cfg(test)]
@@ -405,6 +542,146 @@ mod tests {
         let (o2, l2) = run();
         assert_eq!(o1, o2);
         assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), SimDuration::ZERO);
+        assert_eq!(p.backoff(1), SimDuration::from_millis(10));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(20));
+        assert_eq!(p.backoff(4), SimDuration::from_millis(80));
+        // Deep attempts cap the exponent instead of overflowing.
+        assert_eq!(p.backoff(40), p.backoff(17));
+    }
+
+    #[test]
+    fn transient_spin_up_fault_is_retried_and_charged_to_job() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        // A RAID-5 array with one parked member and spin_up_kill = 1:
+        // the first attempt kills the member (retryable), the retry
+        // serves degraded and succeeds.
+        let mut sim = Simulation::new();
+        let cpu = sim.add_cpu(
+            CpuPerfProfile {
+                cores: 4,
+                freq: Hertz::ghz(1.0),
+            },
+            CpuPowerProfile::opteron_socket(),
+        );
+        let ids = sim.add_disks(5, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+        let arr = sim.make_array(RaidLevel::Raid5, ids.clone()).unwrap();
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig {
+                spin_up_kill: 1.0,
+                ..FaultConfig::NONE
+            },
+            1,
+        ));
+        sim.park_disk(ids[0], SimInstant::EPOCH).unwrap();
+        let job = scan_job(StorageTarget::Array(arr), 90, 0.1);
+        let out = run_streams(&mut sim, cpu, &[vec![job]]).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].retries, 1);
+        assert_eq!(out.total_retries, 1);
+        // The wasted spin-up surge is attributed to the job.
+        assert!(out.results[0].retry_energy.joules() >= 140.0);
+        let rep = sim.finish(out.makespan);
+        assert!(rep.recovery_energy().joules() >= 140.0);
+        assert_eq!(rep.faults.degraded_reads, 1);
+    }
+
+    #[test]
+    fn retries_exhausted_surfaces_as_error() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        // A single parked disk with spin_up_fault = 1: every attempt
+        // fails transiently and the disk never wakes.
+        let mut sim = Simulation::new();
+        let cpu = sim.add_cpu(
+            CpuPerfProfile {
+                cores: 1,
+                freq: Hertz::ghz(1.0),
+            },
+            CpuPowerProfile::opteron_socket(),
+        );
+        let d = sim.add_disk(DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig {
+                spin_up_fault: 1.0,
+                ..FaultConfig::NONE
+            },
+            1,
+        ));
+        sim.park_disk(d, SimInstant::EPOCH).unwrap();
+        let job = scan_job(StorageTarget::Disk(d), 9, 0.0);
+        let err = run_streams_with(
+            &mut sim,
+            cpu,
+            &[vec![job]],
+            &RetryPolicy {
+                max_retries: 3,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::RetriesExhausted {
+                    stream: 0,
+                    job: 0,
+                    attempts: 4
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn faulty_run_results_match_fault_free_job_set() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        // Retry/backoff must never lose or duplicate a job: same job set,
+        // with and without faults, completes the same (stream, index) set.
+        let build = || {
+            let (mut sim, cpu, target) = server(4, 5);
+            let streams: Vec<_> = (0..4)
+                .map(|i| {
+                    vec![
+                        scan_job(target, 50 + i * 10, 0.05),
+                        scan_job(target, 30, 0.02),
+                    ]
+                })
+                .collect();
+            (sim, cpu, streams)
+        };
+        let (mut clean_sim, cpu, streams) = build();
+        let clean = run_streams(&mut clean_sim, cpu, &streams).unwrap();
+        let (mut faulty_sim, cpu, streams) = build();
+        faulty_sim.set_fault_plan(FaultPlan::new(
+            FaultConfig {
+                transient_per_io: 0.2,
+                latent_per_read: 0.1,
+                ..FaultConfig::NONE
+            },
+            77,
+        ));
+        let faulty = run_streams_with(
+            &mut faulty_sim,
+            cpu,
+            &streams,
+            &RetryPolicy {
+                max_retries: 64,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap();
+        let key = |o: &DriveOutcome| {
+            let mut v: Vec<_> = o.results.iter().map(|r| (r.stream, r.index)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&clean), key(&faulty));
+        assert!(faulty.makespan >= clean.makespan);
     }
 
     #[test]

@@ -2,8 +2,14 @@
 
 use std::fmt;
 
+use grail_power::units::SimInstant;
+
 /// Errors raised by the simulator.
+///
+/// Marked `#[non_exhaustive]`: fault injection grows this enum over time,
+/// so downstream matches must carry a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A device id that does not exist in this simulation.
     UnknownDevice(String),
@@ -23,6 +29,64 @@ pub enum SimError {
     },
     /// The simulation was already finished.
     Finished,
+    /// An injected transient IO error: the request burned service time and
+    /// energy but delivered nothing. Retry no earlier than `until`.
+    TransientIo {
+        /// The faulting device, printed.
+        device: String,
+        /// Earliest instant at which a retry may be issued.
+        until: SimInstant,
+    },
+    /// An injected latent-sector error on a read: the medium returned an
+    /// unrecoverable sector, the attempt's time and energy are wasted.
+    /// Retry no earlier than `until` (the array can reconstruct around it).
+    LatentSector {
+        /// The faulting device, printed.
+        device: String,
+        /// Earliest instant at which a retry may be issued.
+        until: SimInstant,
+    },
+    /// The device has failed entirely (whole-disk failure or SSD
+    /// wear-out) and cannot serve requests until rebuilt/replaced.
+    DeviceFailed {
+        /// The failed device, printed.
+        device: String,
+    },
+    /// The driver's retry policy gave up on a job after `attempts` tries.
+    RetriesExhausted {
+        /// Stream the job belonged to.
+        stream: usize,
+        /// Index of the job within its stream.
+        job: usize,
+        /// Number of attempts made (including the first).
+        attempts: u32,
+    },
+    /// A rebuild was requested on an array with no failed member.
+    NothingToRebuild {
+        /// The array, printed.
+        array: String,
+    },
+}
+
+impl SimError {
+    /// True when the error is transient and the same request may succeed
+    /// if reissued (after [`SimError::retry_until`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SimError::TransientIo { .. } | SimError::LatentSector { .. }
+        )
+    }
+
+    /// Earliest instant a retry may be issued, for retryable errors.
+    pub fn retry_until(&self) -> Option<SimInstant> {
+        match self {
+            SimError::TransientIo { until, .. } | SimError::LatentSector { until, .. } => {
+                Some(*until)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +100,28 @@ impl fmt::Display for SimError {
                 write!(f, "out-of-order issue to {device}")
             }
             SimError::Finished => f.write_str("simulation already finished"),
+            SimError::TransientIo { device, until } => write!(
+                f,
+                "transient IO error on {device}; retry after {:.6}s",
+                until.as_secs_f64()
+            ),
+            SimError::LatentSector { device, until } => write!(
+                f,
+                "latent sector error on {device}; retry after {:.6}s",
+                until.as_secs_f64()
+            ),
+            SimError::DeviceFailed { device } => write!(f, "device {device} has failed"),
+            SimError::RetriesExhausted {
+                stream,
+                job,
+                attempts,
+            } => write!(
+                f,
+                "stream {stream} job {job}: retries exhausted after {attempts} attempts"
+            ),
+            SimError::NothingToRebuild { array } => {
+                write!(f, "array {array} has no failed member to rebuild")
+            }
         }
     }
 }

@@ -1,0 +1,462 @@
+//! Seeded, deterministic fault injection.
+//!
+//! The paper's energy/performance trade-offs are measured on a machine
+//! where nothing ever fails — yet its Sec. 4.2 consolidation story spins
+//! disks and whole servers down aggressively, and every spin-up is a
+//! mechanical stress event. This module makes failure a first-class,
+//! *deterministic* input: a [`FaultPlan`] owns one ChaCha-seeded stream
+//! per device and decides, at simulated timestamps, whether an IO suffers
+//! a transient error, hits a latent sector, or kills the device outright.
+//! Identical seed + identical request history ⇒ bit-identical faults, so
+//! fault runs stay as reproducible as fault-free ones.
+//!
+//! The plan is strictly opt-in: a `Simulation` without a plan (or with a
+//! zero-rate [`FaultConfig`]) behaves byte-identically to the pre-fault
+//! simulator — zero-probability draws never consume randomness.
+
+use crate::ids::{DiskId, SsdId};
+use grail_power::units::{SimDuration, SimInstant};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// What kind of fault an injection draw produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A transient IO error: the attempt's time and energy are wasted,
+    /// an immediate retry may succeed.
+    TransientIo,
+    /// A latent sector error on a read: unrecoverable from this device,
+    /// but redundancy (RAID) can reconstruct around it.
+    LatentSector,
+    /// The whole disk failed (mechanically, or killed by a spin-up).
+    DiskFailure,
+    /// The SSD wore out (write endurance exhausted).
+    SsdWearOut,
+}
+
+/// Fault rates and lifetimes. All fields default to "never fails".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that any single disk IO suffers a transient error.
+    pub transient_per_io: f64,
+    /// Probability that a disk read hits a latent sector error.
+    pub latent_per_read: f64,
+    /// Mean time to whole-disk failure (exponentially distributed per
+    /// disk), or `None` for immortal disks.
+    pub disk_mttf: Option<SimDuration>,
+    /// Mean time to SSD wear-out, or `None` for immortal SSDs.
+    pub ssd_wearout_mttf: Option<SimDuration>,
+    /// Probability that a spin-up attempt faults transiently (the disk
+    /// stays parked, the surge energy is wasted).
+    pub spin_up_fault: f64,
+    /// Probability that a spin-up attempt kills the disk outright —
+    /// the mechanical-stress cost of aggressive park policies.
+    pub spin_up_kill: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub const NONE: FaultConfig = FaultConfig {
+        transient_per_io: 0.0,
+        latent_per_read: 0.0,
+        disk_mttf: None,
+        ssd_wearout_mttf: None,
+        spin_up_fault: 0.0,
+        spin_up_kill: 0.0,
+    };
+
+    /// True when every rate is zero and every lifetime infinite.
+    pub fn is_zero(&self) -> bool {
+        self.transient_per_io <= 0.0
+            && self.latent_per_read <= 0.0
+            && self.disk_mttf.is_none()
+            && self.ssd_wearout_mttf.is_none()
+            && self.spin_up_fault <= 0.0
+            && self.spin_up_kill <= 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::NONE
+    }
+}
+
+/// Counters of every injected fault and recovery action, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transient IO errors injected.
+    pub transient: u64,
+    /// Latent sector errors injected.
+    pub latent: u64,
+    /// Whole-disk failures (MTTF expiry or spin-up kill), first detection.
+    pub disk_failures: u64,
+    /// SSD wear-outs, first detection.
+    pub ssd_failures: u64,
+    /// Spin-up attempts that faulted transiently.
+    pub spin_up_faults: u64,
+    /// Degraded-mode array reads served (reconstruct-from-parity).
+    pub degraded_reads: u64,
+    /// Completed rebuilds of failed disks.
+    pub rebuilds: u64,
+}
+
+impl FaultStats {
+    /// Total fault events of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.transient + self.latent + self.disk_failures + self.ssd_failures + self.spin_up_faults
+    }
+}
+
+/// Per-device fault state: an independent RNG stream plus a sampled
+/// lifetime.
+#[derive(Debug, Clone)]
+struct DeviceFaults {
+    rng: ChaCha12Rng,
+    /// Instant the device fails entirely, if its lifetime is finite.
+    fail_at: Option<SimInstant>,
+    /// Whether the failure has been observed (counted) yet.
+    noted: bool,
+}
+
+/// The seeded fault schedule for one simulation run.
+///
+/// Every device gets its own ChaCha stream derived from `(seed, device
+/// class, device index)` via splitmix64, so draws for one device never
+/// perturb another's and device creation order is irrelevant.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    seed: u64,
+    disks: Vec<DeviceFaults>,
+    ssds: Vec<DeviceFaults>,
+    stats: FaultStats,
+}
+
+const DISK_SALT: u64 = 0xD15C_FA17;
+const SSD_SALT: u64 = 0x55D0_FA17;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn device_seed(seed: u64, salt: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(salt ^ splitmix64(index)))
+}
+
+/// Draw a Bernoulli with probability `p` without consuming randomness
+/// when the outcome is forced — a zero-rate plan must leave every stream
+/// untouched.
+fn bernoulli(rng: &mut ChaCha12Rng, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    rng.random::<f64>() < p
+}
+
+/// An exponential sample with the given mean (the standard `-ln(u)·mean`
+/// inverse transform, `u` bounded away from 0).
+fn exp_sample(rng: &mut ChaCha12Rng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
+}
+
+impl FaultPlan {
+    /// A plan with the given rates, driven by `seed`.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultPlan {
+            cfg,
+            seed,
+            disks: Vec::new(),
+            ssds: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The driving seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn disk_slot(&mut self, d: DiskId) -> &mut DeviceFaults {
+        let idx = d.0 as usize;
+        while self.disks.len() <= idx {
+            let i = self.disks.len() as u64;
+            let mut rng = ChaCha12Rng::seed_from_u64(device_seed(self.seed, DISK_SALT, i));
+            let fail_at = self
+                .cfg
+                .disk_mttf
+                .map(|mttf| SimInstant::EPOCH + exp_sample(&mut rng, mttf));
+            self.disks.push(DeviceFaults {
+                rng,
+                fail_at,
+                noted: false,
+            });
+        }
+        &mut self.disks[idx]
+    }
+
+    fn ssd_slot(&mut self, s: SsdId) -> &mut DeviceFaults {
+        let idx = s.0 as usize;
+        while self.ssds.len() <= idx {
+            let i = self.ssds.len() as u64;
+            let mut rng = ChaCha12Rng::seed_from_u64(device_seed(self.seed, SSD_SALT, i));
+            let fail_at = self
+                .cfg
+                .ssd_wearout_mttf
+                .map(|mttf| SimInstant::EPOCH + exp_sample(&mut rng, mttf));
+            self.ssds.push(DeviceFaults {
+                rng,
+                fail_at,
+                noted: false,
+            });
+        }
+        &mut self.ssds[idx]
+    }
+
+    /// Whether disk `d` has failed by instant `at`. The first positive
+    /// answer per failure is counted in [`FaultStats::disk_failures`].
+    pub fn disk_failed(&mut self, d: DiskId, at: SimInstant) -> bool {
+        let slot = self.disk_slot(d);
+        let failed = slot.fail_at.is_some_and(|f| at >= f);
+        if failed && !slot.noted {
+            slot.noted = true;
+            self.stats.disk_failures += 1;
+        }
+        failed
+    }
+
+    /// Whether SSD `s` has worn out by instant `at`.
+    pub fn ssd_failed(&mut self, s: SsdId, at: SimInstant) -> bool {
+        let slot = self.ssd_slot(s);
+        let failed = slot.fail_at.is_some_and(|f| at >= f);
+        if failed && !slot.noted {
+            slot.noted = true;
+            self.stats.ssd_failures += 1;
+        }
+        failed
+    }
+
+    /// Draw the fault outcome for one disk IO. Latent sector errors only
+    /// strike reads.
+    pub fn draw_disk_io(&mut self, d: DiskId, is_read: bool) -> Option<FaultKind> {
+        let transient = self.cfg.transient_per_io;
+        let latent = self.cfg.latent_per_read;
+        let slot = self.disk_slot(d);
+        if bernoulli(&mut slot.rng, transient) {
+            self.stats.transient += 1;
+            return Some(FaultKind::TransientIo);
+        }
+        if is_read && bernoulli(&mut slot.rng, latent) {
+            self.stats.latent += 1;
+            return Some(FaultKind::LatentSector);
+        }
+        None
+    }
+
+    /// Draw the fault outcome for one SSD IO (transient only).
+    pub fn draw_ssd_io(&mut self, s: SsdId) -> Option<FaultKind> {
+        let transient = self.cfg.transient_per_io;
+        let slot = self.ssd_slot(s);
+        if bernoulli(&mut slot.rng, transient) {
+            self.stats.transient += 1;
+            return Some(FaultKind::TransientIo);
+        }
+        None
+    }
+
+    /// Draw the outcome of a spin-up attempt at `at`: the kill draw comes
+    /// first (a kill marks the disk failed as of `at`), then the
+    /// transient-fault draw.
+    pub fn draw_spin_up(&mut self, d: DiskId, at: SimInstant) -> Option<FaultKind> {
+        let kill = self.cfg.spin_up_kill;
+        let fault = self.cfg.spin_up_fault;
+        let slot = self.disk_slot(d);
+        if bernoulli(&mut slot.rng, kill) {
+            slot.fail_at = Some(at);
+            slot.noted = true;
+            self.stats.disk_failures += 1;
+            return Some(FaultKind::DiskFailure);
+        }
+        if bernoulli(&mut slot.rng, fault) {
+            self.stats.spin_up_faults += 1;
+            return Some(FaultKind::TransientIo);
+        }
+        None
+    }
+
+    /// Record one degraded-mode (reconstruct-from-parity) array read.
+    pub fn note_degraded_read(&mut self) {
+        self.stats.degraded_reads += 1;
+    }
+
+    /// Mark disk `d` rebuilt (replaced) at `at`: it is healthy again and
+    /// its next failure time is resampled from the configured MTTF.
+    pub fn mark_rebuilt(&mut self, d: DiskId, at: SimInstant) {
+        let mttf = self.cfg.disk_mttf;
+        let slot = self.disk_slot(d);
+        slot.fail_at = mttf.map(|m| at + exp_sample(&mut slot.rng, m));
+        slot.noted = false;
+        self.stats.rebuilds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn zero_config_never_faults_and_never_consumes_rng() {
+        let mut p = FaultPlan::new(FaultConfig::NONE, 42);
+        for i in 0..4 {
+            assert!(!p.disk_failed(DiskId(i), at(1e9)));
+            assert_eq!(p.draw_disk_io(DiskId(i), true), None);
+            assert_eq!(p.draw_spin_up(DiskId(i), at(0.0)), None);
+            assert!(!p.ssd_failed(SsdId(i), at(1e9)));
+            assert_eq!(p.draw_ssd_io(SsdId(i)), None);
+        }
+        assert_eq!(p.stats(), FaultStats::default());
+        // The streams were never advanced: a fresh plan's first real draw
+        // matches this plan's.
+        let mut q = FaultPlan::new(
+            FaultConfig {
+                transient_per_io: 0.5,
+                ..FaultConfig::NONE
+            },
+            42,
+        );
+        let mut p = FaultPlan { cfg: q.cfg, ..p };
+        for i in 0..4 {
+            assert_eq!(
+                p.draw_disk_io(DiskId(i), true),
+                q.draw_disk_io(DiskId(i), true)
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let cfg = FaultConfig {
+            transient_per_io: 0.2,
+            latent_per_read: 0.1,
+            disk_mttf: Some(SimDuration::from_secs(10_000)),
+            spin_up_fault: 0.1,
+            spin_up_kill: 0.05,
+            ..FaultConfig::NONE
+        };
+        let run = || {
+            let mut p = FaultPlan::new(cfg, 7);
+            let mut out = Vec::new();
+            for step in 0..200u32 {
+                let d = DiskId(step % 3);
+                out.push((
+                    p.disk_failed(d, at(step as f64)),
+                    p.draw_disk_io(d, step % 2 == 0),
+                    p.draw_spin_up(d, at(step as f64)),
+                ));
+            }
+            (out, p.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = FaultConfig {
+            transient_per_io: 0.3,
+            ..FaultConfig::NONE
+        };
+        let draw = |seed| {
+            let mut p = FaultPlan::new(cfg, seed);
+            (0..64)
+                .map(|_| p.draw_disk_io(DiskId(0), true).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn device_streams_are_independent() {
+        let cfg = FaultConfig {
+            transient_per_io: 0.3,
+            ..FaultConfig::NONE
+        };
+        // Draws for disk 1 must be unaffected by how often disk 0 draws.
+        let mut a = FaultPlan::new(cfg, 9);
+        for _ in 0..50 {
+            a.draw_disk_io(DiskId(0), true);
+        }
+        let seq_a: Vec<_> = (0..32).map(|_| a.draw_disk_io(DiskId(1), true)).collect();
+        let mut b = FaultPlan::new(cfg, 9);
+        let seq_b: Vec<_> = (0..32).map(|_| b.draw_disk_io(DiskId(1), true)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn spin_up_kill_marks_failed() {
+        let cfg = FaultConfig {
+            spin_up_kill: 1.0,
+            ..FaultConfig::NONE
+        };
+        let mut p = FaultPlan::new(cfg, 3);
+        assert!(!p.disk_failed(DiskId(0), at(5.0)));
+        assert_eq!(
+            p.draw_spin_up(DiskId(0), at(5.0)),
+            Some(FaultKind::DiskFailure)
+        );
+        assert!(p.disk_failed(DiskId(0), at(5.0)));
+        assert_eq!(p.stats().disk_failures, 1);
+        // Rebuild resurrects it (no MTTF configured → immortal again).
+        p.mark_rebuilt(DiskId(0), at(100.0));
+        assert!(!p.disk_failed(DiskId(0), at(1e6)));
+        assert_eq!(p.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn mttf_failure_is_eventual_and_counted_once() {
+        let cfg = FaultConfig {
+            disk_mttf: Some(SimDuration::from_secs(100)),
+            ..FaultConfig::NONE
+        };
+        let mut p = FaultPlan::new(cfg, 11);
+        // An exponential lifetime is finite: far future is always failed.
+        assert!(p.disk_failed(DiskId(0), at(1e12)));
+        assert!(p.disk_failed(DiskId(0), at(1e12)));
+        assert_eq!(p.stats().disk_failures, 1);
+    }
+
+    #[test]
+    fn latent_only_on_reads() {
+        let cfg = FaultConfig {
+            latent_per_read: 1.0,
+            ..FaultConfig::NONE
+        };
+        let mut p = FaultPlan::new(cfg, 5);
+        assert_eq!(p.draw_disk_io(DiskId(0), false), None);
+        assert_eq!(
+            p.draw_disk_io(DiskId(0), true),
+            Some(FaultKind::LatentSector)
+        );
+    }
+}

@@ -27,9 +27,12 @@
 //!
 //! * [`perf`] — device service-time profiles (15K SCSI, flash SSD, CPU).
 //! * [`disk`], [`ssd`], [`cpu`] — the device implementations.
-//! * [`raid`] — RAID-0/RAID-5 striping over disk sets.
+//! * [`raid`] — RAID-0/RAID-5 striping over disk sets, including
+//!   degraded-mode (reconstruct-from-parity) share math.
+//! * [`fault`] — seeded, deterministic fault injection ([`fault::FaultPlan`]).
 //! * [`sim`] — the [`sim::Simulation`] container and [`sim::SimReport`].
-//! * [`driver`] — multi-stream job driver (phases of CPU + IO demands).
+//! * [`driver`] — multi-stream job driver (phases of CPU + IO demands)
+//!   with retry/backoff over transient faults.
 //! * [`event`] — deterministic priority event queue.
 //! * [`trace`] — binned power/utilization time series.
 
@@ -41,6 +44,7 @@ pub mod disk;
 pub mod driver;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod perf;
 pub mod raid;
@@ -49,6 +53,7 @@ pub mod ssd;
 pub mod trace;
 
 pub use error::SimError;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
 pub use ids::{ArrayId, CpuId, DiskId, SsdId, StorageTarget};
 pub use perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
 pub use sim::{Reservation, SimReport, Simulation};

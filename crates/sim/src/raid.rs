@@ -77,6 +77,76 @@ impl RaidSpec {
             .collect()
     }
 
+    /// Per-disk byte share for a degraded RAID-5 read of `bytes` with the
+    /// member at `failed_idx` missing.
+    ///
+    /// Every stripe unit that lived on the failed disk must be
+    /// reconstructed by reading the corresponding unit from *all* `n-1`
+    /// survivors and XOR-ing, so each survivor moves its healthy share
+    /// `bytes/(n-1)` inflated by `n/(n-1)` — the reconstruction tax. The
+    /// first survivor absorbs the rounding remainder so shares always sum
+    /// to at least the reconstruction volume.
+    ///
+    /// Returns one entry per *surviving* member disk (the failed disk
+    /// serves nothing). Errors if the level has no redundancy or
+    /// `failed_idx` is out of range.
+    pub fn degraded_read_shares(
+        &self,
+        bytes: Bytes,
+        failed_idx: usize,
+    ) -> Result<Vec<(DiskId, Bytes)>, SimError> {
+        if self.level != RaidLevel::Raid5 {
+            return Err(SimError::BadArrayGeometry {
+                disks: self.disks.len(),
+                min: 3,
+            });
+        }
+        let Some(failed) = self.disks.get(failed_idx) else {
+            return Err(SimError::UnknownDevice(format!(
+                "member index {failed_idx}"
+            )));
+        };
+        let failed = *failed;
+        let n = self.disks.len() as u64;
+        // Healthy per-survivor share inflated by n/(n-1): total volume
+        // moved is bytes · n/(n-1) over n-1 survivors.
+        let total = bytes.get() * n / (n - 1);
+        let survivors = n - 1;
+        let per = total / survivors;
+        let rem = total - per * survivors;
+        let mut first = true;
+        Ok(self
+            .disks
+            .iter()
+            .filter(|d| **d != failed)
+            .map(|d| {
+                let share = if first {
+                    first = false;
+                    per + rem
+                } else {
+                    per
+                };
+                (*d, Bytes::new(share))
+            })
+            .collect())
+    }
+
+    /// Per-disk byte share for a degraded RAID-5 full-stripe write of
+    /// `bytes` with the member at `failed_idx` missing: the survivors
+    /// absorb the same `n/(n-1)` parity volume as a healthy write, spread
+    /// over one fewer spindle.
+    pub fn degraded_write_shares(
+        &self,
+        bytes: Bytes,
+        failed_idx: usize,
+    ) -> Result<Vec<(DiskId, Bytes)>, SimError> {
+        // Same total volume and survivor set as a degraded read: a
+        // healthy RAID-5 full-stripe write moves bytes · n/(n-1), and in
+        // degraded mode the failed member's units are simply dropped
+        // while parity for them must still be computed from the rest.
+        self.degraded_read_shares(bytes, failed_idx)
+    }
+
     /// Per-disk byte share for a large (full-stripe) write of `bytes`.
     /// RAID-5 writes `bytes · n/(n-1)` in total (data + parity), spread
     /// over all `n` spindles.
@@ -143,6 +213,44 @@ mod tests {
         let total: u64 = shares.iter().map(|(_, b)| b.get()).sum();
         // 4000 × 5/4 = 5000 bytes actually written.
         assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn degraded_read_excludes_failed_and_inflates_survivors() {
+        let a = RaidSpec::new(RaidLevel::Raid5, ids(5)).unwrap();
+        let shares = a.degraded_read_shares(Bytes::new(4000), 2).unwrap();
+        assert_eq!(shares.len(), 4);
+        assert!(shares.iter().all(|(d, _)| *d != DiskId(2)));
+        // Total volume = 4000 × 5/4 = 5000 over 4 survivors.
+        let total: u64 = shares.iter().map(|(_, b)| b.get()).sum();
+        assert_eq!(total, 5000);
+        // Each survivor moves more than its healthy 1000-byte share.
+        assert!(shares.iter().all(|(_, b)| b.get() >= 1250));
+    }
+
+    #[test]
+    fn degraded_read_rejects_raid0_and_bad_index() {
+        let r0 = RaidSpec::new(RaidLevel::Raid0, ids(4)).unwrap();
+        assert!(r0.degraded_read_shares(Bytes::new(100), 0).is_err());
+        let r5 = RaidSpec::new(RaidLevel::Raid5, ids(4)).unwrap();
+        assert!(r5.degraded_read_shares(Bytes::new(100), 9).is_err());
+    }
+
+    #[test]
+    fn degraded_write_matches_healthy_total_volume() {
+        let a = RaidSpec::new(RaidLevel::Raid5, ids(5)).unwrap();
+        let healthy: u64 = a
+            .write_shares(Bytes::new(4000))
+            .iter()
+            .map(|(_, b)| b.get())
+            .sum();
+        let degraded: u64 = a
+            .degraded_write_shares(Bytes::new(4000), 0)
+            .unwrap()
+            .iter()
+            .map(|(_, b)| b.get())
+            .sum();
+        assert_eq!(healthy, degraded);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::cpu::CpuDevice;
 use crate::disk::{DeviceStats, DiskDevice};
 use crate::error::SimError;
+use crate::fault::{FaultKind, FaultPlan, FaultStats};
 use crate::ids::{ArrayId, CpuId, DiskId, SsdId, StorageTarget};
 use crate::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, FabricModel, SsdPerfProfile};
 use crate::raid::{RaidLevel, RaidSpec};
@@ -36,6 +37,17 @@ impl Reservation {
     }
 }
 
+/// A pending re-attribution (or direct charge) of recovery energy,
+/// settled against the ledger at [`Simulation::finish`].
+#[derive(Debug, Clone, Copy)]
+struct RecoveryCharge {
+    /// The component whose settled energy the charge is carved out of,
+    /// or `None` for energy no device machine captured (e.g. the surge
+    /// of a failed spin-up attempt).
+    from: Option<ComponentId>,
+    energy: Joules,
+}
+
 /// One simulated machine: CPU pools, disks, SSDs, arrays, and a constant
 /// base draw.
 #[derive(Debug, Clone)]
@@ -46,6 +58,9 @@ pub struct Simulation {
     arrays: Vec<RaidSpec>,
     base_power: Watts,
     fabric: FabricModel,
+    fault_plan: Option<FaultPlan>,
+    recovery: Vec<RecoveryCharge>,
+    retry_pending: Joules,
 }
 
 impl Default for Simulation {
@@ -57,6 +72,9 @@ impl Default for Simulation {
             arrays: Vec::new(),
             base_power: Watts::ZERO,
             fabric: FabricModel::unconstrained(),
+            fault_plan: None,
+            recovery: Vec::new(),
+            retry_pending: Joules::ZERO,
         }
     }
 }
@@ -76,6 +94,144 @@ impl Simulation {
     /// Set the storage-fabric scaling model applied to array IO.
     pub fn set_fabric(&mut self, fabric: FabricModel) {
         self.fabric = fabric;
+    }
+
+    /// Install a seeded fault plan. Strictly opt-in: without one (or with
+    /// a zero-rate config) the simulator behaves exactly as before.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Fault counters so far (all zero without a plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_plan
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// Energy wasted by failed attempts since the last drain. Drivers
+    /// call this after catching a retryable error to attribute retry
+    /// energy to the job that paid it.
+    pub fn drain_retry_energy(&mut self) -> Joules {
+        let e = self.retry_pending;
+        self.retry_pending = Joules::ZERO;
+        e
+    }
+
+    /// Members of array `id` that have failed by `at` (empty without a
+    /// fault plan).
+    pub fn failed_array_disks(
+        &mut self,
+        id: ArrayId,
+        at: SimInstant,
+    ) -> Result<Vec<DiskId>, SimError> {
+        let spec = self.array(id)?.clone();
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return Ok(Vec::new());
+        };
+        Ok(spec
+            .disks
+            .iter()
+            .copied()
+            .filter(|d| plan.disk_failed(*d, at))
+            .collect())
+    }
+
+    /// Rebuild every failed member of array `id`, starting at `at`.
+    ///
+    /// Each surviving member streams one sequential read of `disk_bytes`
+    /// (its share of the array's contents), the replacement disk absorbs
+    /// a sequential write of the same volume, and `cpu` — when given —
+    /// pays the parity-XOR work (~0.25 cycles per byte per survivor
+    /// stream). Every Joule of it is charged to the `Recovery` category
+    /// at [`Simulation::finish`], and the rebuilt disks' next failure
+    /// times are resampled from the plan's MTTF.
+    ///
+    /// Spin-up fault draws are suppressed during the rebuild (it is the
+    /// recovery path itself). Errors with [`SimError::NothingToRebuild`]
+    /// if no member has failed.
+    pub fn rebuild_array(
+        &mut self,
+        id: ArrayId,
+        at: SimInstant,
+        disk_bytes: Bytes,
+        cpu: Option<CpuId>,
+    ) -> Result<Reservation, SimError> {
+        let spec = self.array(id)?.clone();
+        let failed: Vec<DiskId> = {
+            let Some(plan) = self.fault_plan.as_mut() else {
+                return Err(SimError::NothingToRebuild {
+                    array: format!("{id:?}"),
+                });
+            };
+            spec.disks
+                .iter()
+                .copied()
+                .filter(|d| plan.disk_failed(*d, at))
+                .collect()
+        };
+        if failed.is_empty() {
+            return Err(SimError::NothingToRebuild {
+                array: format!("{id:?}"),
+            });
+        }
+        let survivors: Vec<DiskId> = spec
+            .disks
+            .iter()
+            .copied()
+            .filter(|d| !failed.contains(d))
+            .collect();
+        let mut span: Option<Reservation> = None;
+        let mut merge = |span: &mut Option<Reservation>, r: Reservation| {
+            *span = Some(match span.take() {
+                Some(acc) => acc.span(r),
+                None => r,
+            });
+        };
+        // Survivors stream their full contents once: a single XOR pass
+        // reconstructs every missing unit.
+        for d in survivors.iter().chain(failed.iter()) {
+            let idx = d.0 as usize;
+            let dev = self
+                .disks
+                .get_mut(idx)
+                .ok_or_else(|| SimError::UnknownDevice(format!("{d:?}")))?;
+            let r = dev.serve(at, disk_bytes, AccessPattern::Sequential);
+            let e = self.disks[idx].active_power() * r.duration();
+            self.recovery.push(RecoveryCharge {
+                from: Some(ComponentId::new(ComponentKind::Disk, d.0)),
+                energy: e,
+            });
+            merge(&mut span, r);
+        }
+        if let Some(cid) = cpu {
+            let cycles =
+                Cycles::new((disk_bytes.get() as f64 * 0.25 * survivors.len() as f64) as u64);
+            let c = self
+                .cpus
+                .get_mut(cid.0 as usize)
+                .ok_or_else(|| SimError::UnknownDevice(format!("{cid:?}")))?;
+            let r = c.compute_parallel(at, cycles, 1);
+            let e = self.cpus[cid.0 as usize].core_active_power() * r.duration();
+            self.recovery.push(RecoveryCharge {
+                from: Some(ComponentId::new(ComponentKind::Cpu, cid.0)),
+                energy: e,
+            });
+            merge(&mut span, r);
+        }
+        let done = span.expect("arrays are non-empty");
+        if let Some(plan) = self.fault_plan.as_mut() {
+            for d in &failed {
+                plan.mark_rebuilt(*d, done.end);
+            }
+        }
+        Ok(done)
     }
 
     /// Add one rotating disk.
@@ -149,7 +305,13 @@ impl Simulation {
     /// Read `bytes` from `target` at `at`.
     ///
     /// Array reads fan out to every member disk (each moving its stripe
-    /// share) and complete when the slowest member does.
+    /// share) and complete when the slowest member does. With a fault
+    /// plan installed, reads may fail with retryable
+    /// ([`SimError::TransientIo`], [`SimError::LatentSector`]) or
+    /// permanent ([`SimError::DeviceFailed`]) errors; a RAID-5 array with
+    /// exactly one failed member serves reads degraded, reconstructing
+    /// from parity at the cost of extra survivor IO charged to the
+    /// `Recovery` energy category.
     pub fn read(
         &mut self,
         target: StorageTarget,
@@ -158,41 +320,9 @@ impl Simulation {
         access: AccessPattern,
     ) -> Result<Reservation, SimError> {
         match target {
-            StorageTarget::Disk(id) => {
-                let d = self
-                    .disks
-                    .get_mut(id.0 as usize)
-                    .ok_or_else(|| SimError::UnknownDevice(format!("{id:?}")))?;
-                Ok(d.serve(at, bytes, access))
-            }
-            StorageTarget::Ssd(id) => {
-                let s = self
-                    .ssds
-                    .get_mut(id.0 as usize)
-                    .ok_or_else(|| SimError::UnknownDevice(format!("{id:?}")))?;
-                Ok(s.serve(at, bytes, access))
-            }
-            StorageTarget::Array(id) => {
-                let spec = self.array(id)?;
-                let factor = self.fabric.factor(spec.width() as u32);
-                let shares = spec.read_shares(bytes);
-                let per_disk_access = self.split_access(access, shares.len() as u32);
-                let mut res: Option<Reservation> = None;
-                for (disk, share) in shares {
-                    // Fabric contention stretches each member's transfer.
-                    let effective = Bytes::new((share.get() as f64 / factor).round() as u64);
-                    let d = self
-                        .disks
-                        .get_mut(disk.0 as usize)
-                        .expect("validated at make_array");
-                    let r = d.serve(at, effective, per_disk_access);
-                    res = Some(match res {
-                        Some(acc) => acc.span(r),
-                        None => r,
-                    });
-                }
-                Ok(res.expect("arrays are non-empty"))
-            }
+            StorageTarget::Disk(id) => self.disk_io(id, at, bytes, access, true),
+            StorageTarget::Ssd(id) => self.ssd_io(id, at, bytes, access),
+            StorageTarget::Array(id) => self.array_io(id, at, bytes, access, true),
         }
     }
 
@@ -205,37 +335,294 @@ impl Simulation {
         access: AccessPattern,
     ) -> Result<Reservation, SimError> {
         match target {
-            StorageTarget::Array(id) => {
-                let spec = self.array(id)?;
-                // RAID-5 small writes pay read-modify-write: four IOs
-                // (read data, read parity, write data, write parity) per
-                // logical write. Full-stripe (sequential) writes avoid it.
-                let access = match (spec.level, access) {
-                    (RaidLevel::Raid5, AccessPattern::Random { ios }) => {
-                        AccessPattern::Random { ios: ios * 4 }
+            StorageTarget::Disk(id) => self.disk_io(id, at, bytes, access, false),
+            StorageTarget::Ssd(id) => self.ssd_io(id, at, bytes, access),
+            StorageTarget::Array(id) => self.array_io(id, at, bytes, access, false),
+        }
+    }
+
+    /// Serve one single-disk IO, applying fault draws when a plan is
+    /// installed.
+    fn disk_io(
+        &mut self,
+        id: DiskId,
+        at: SimInstant,
+        bytes: Bytes,
+        access: AccessPattern,
+        is_read: bool,
+    ) -> Result<Reservation, SimError> {
+        let idx = id.0 as usize;
+        if idx >= self.disks.len() {
+            return Err(SimError::UnknownDevice(format!("{id:?}")));
+        }
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.disk_failed(id, at) {
+                return Err(SimError::DeviceFailed {
+                    device: format!("{id:?}"),
+                });
+            }
+            if self.disks[idx].is_parked() {
+                match plan.draw_spin_up(id, at) {
+                    None => {}
+                    Some(kind) => {
+                        // The failed attempt still burned the motor surge;
+                        // no device machine captured it, so charge it to
+                        // Recovery directly.
+                        let (lat, surge) = self.disks[idx].spin_up_cost();
+                        self.recovery.push(RecoveryCharge {
+                            from: None,
+                            energy: surge,
+                        });
+                        self.retry_pending += surge;
+                        return Err(if kind == FaultKind::DiskFailure {
+                            SimError::DeviceFailed {
+                                device: format!("{id:?}"),
+                            }
+                        } else {
+                            SimError::TransientIo {
+                                device: format!("{id:?}"),
+                                until: at + lat,
+                            }
+                        });
                     }
-                    (_, a) => a,
-                };
-                let factor = self.fabric.factor(spec.width() as u32);
-                let shares = spec.write_shares(bytes);
-                let per_disk_access = self.split_access(access, shares.len() as u32);
-                let mut res: Option<Reservation> = None;
-                for (disk, share) in shares {
-                    let effective = Bytes::new((share.get() as f64 / factor).round() as u64);
-                    let d = self
-                        .disks
-                        .get_mut(disk.0 as usize)
-                        .expect("validated at make_array");
-                    let r = d.serve(at, effective, per_disk_access);
-                    res = Some(match res {
-                        Some(acc) => acc.span(r),
-                        None => r,
+                }
+            }
+        }
+        let r = self.disks[idx].serve(at, bytes, access);
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if let Some(kind) = plan.draw_disk_io(id, is_read) {
+                let wasted = self.disks[idx].active_power() * r.duration();
+                self.recovery.push(RecoveryCharge {
+                    from: Some(ComponentId::new(ComponentKind::Disk, id.0)),
+                    energy: wasted,
+                });
+                self.retry_pending += wasted;
+                let device = format!("{id:?}");
+                return Err(match kind {
+                    FaultKind::LatentSector => SimError::LatentSector {
+                        device,
+                        until: r.end,
+                    },
+                    _ => SimError::TransientIo {
+                        device,
+                        until: r.end,
+                    },
+                });
+            }
+        }
+        Ok(r)
+    }
+
+    /// Serve one SSD IO, applying fault draws when a plan is installed.
+    fn ssd_io(
+        &mut self,
+        id: SsdId,
+        at: SimInstant,
+        bytes: Bytes,
+        access: AccessPattern,
+    ) -> Result<Reservation, SimError> {
+        let idx = id.0 as usize;
+        if idx >= self.ssds.len() {
+            return Err(SimError::UnknownDevice(format!("{id:?}")));
+        }
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.ssd_failed(id, at) {
+                return Err(SimError::DeviceFailed {
+                    device: format!("{id:?}"),
+                });
+            }
+        }
+        let r = self.ssds[idx].serve(at, bytes, access);
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.draw_ssd_io(id).is_some() {
+                let wasted = self.ssds[idx].active_power() * r.duration();
+                self.recovery.push(RecoveryCharge {
+                    from: Some(ComponentId::new(ComponentKind::Ssd, id.0)),
+                    energy: wasted,
+                });
+                self.retry_pending += wasted;
+                return Err(SimError::TransientIo {
+                    device: format!("{id:?}"),
+                    until: r.end,
+                });
+            }
+        }
+        Ok(r)
+    }
+
+    /// Serve one array IO (read or write), handling degraded RAID-5 mode
+    /// and fault draws on every member.
+    fn array_io(
+        &mut self,
+        id: ArrayId,
+        at: SimInstant,
+        bytes: Bytes,
+        access: AccessPattern,
+        is_read: bool,
+    ) -> Result<Reservation, SimError> {
+        let spec = self.array(id)?.clone();
+        // RAID-5 small writes pay read-modify-write: four IOs (read data,
+        // read parity, write data, write parity) per logical write.
+        // Full-stripe (sequential) writes avoid it.
+        let access = if is_read {
+            access
+        } else {
+            match (spec.level, access) {
+                (RaidLevel::Raid5, AccessPattern::Random { ios }) => {
+                    AccessPattern::Random { ios: ios * 4 }
+                }
+                (_, a) => a,
+            }
+        };
+        let factor = self.fabric.factor(spec.width() as u32);
+
+        // Fault pre-pass: collect failed members, then draw spin-up
+        // outcomes for any parked survivor the access would wake.
+        let mut degraded: Option<usize> = None;
+        if let Some(plan) = self.fault_plan.as_mut() {
+            let mut failed: Vec<usize> = Vec::new();
+            for (i, d) in spec.disks.iter().enumerate() {
+                if plan.disk_failed(*d, at) {
+                    failed.push(i);
+                }
+            }
+            let mut spin_err: Option<SimError> = None;
+            for (i, d) in spec.disks.iter().enumerate() {
+                if failed.contains(&i) {
+                    continue;
+                }
+                let parked = self
+                    .disks
+                    .get(d.0 as usize)
+                    .map(|x| x.is_parked())
+                    .unwrap_or(false);
+                if !parked {
+                    continue;
+                }
+                if let Some(kind) = plan.draw_spin_up(*d, at) {
+                    let (lat, surge) = self.disks[d.0 as usize].spin_up_cost();
+                    self.recovery.push(RecoveryCharge {
+                        from: None,
+                        energy: surge,
+                    });
+                    self.retry_pending += surge;
+                    if kind == FaultKind::DiskFailure {
+                        failed.push(i);
+                    }
+                    if spin_err.is_none() {
+                        spin_err = Some(SimError::TransientIo {
+                            device: format!("{d:?}"),
+                            until: at + lat,
+                        });
+                    }
+                }
+            }
+            if let Some(e) = spin_err {
+                // The attempt fails retryably; a retry sees the updated
+                // failure set (and may go degraded, or find the array
+                // dead).
+                return Err(e);
+            }
+            match (spec.level, failed.len()) {
+                (_, 0) => {}
+                (RaidLevel::Raid5, 1) => degraded = Some(failed[0]),
+                _ => {
+                    return Err(SimError::DeviceFailed {
+                        device: format!("{id:?}"),
+                    })
+                }
+            }
+        }
+
+        let shares = match degraded {
+            None => {
+                if is_read {
+                    spec.read_shares(bytes)
+                } else {
+                    spec.write_shares(bytes)
+                }
+            }
+            Some(f) => {
+                if is_read {
+                    if let Some(plan) = self.fault_plan.as_mut() {
+                        plan.note_degraded_read();
+                    }
+                    spec.degraded_read_shares(bytes, f)?
+                } else {
+                    spec.degraded_write_shares(bytes, f)?
+                }
+            }
+        };
+        let per_disk_access = self.split_access(access, shares.len() as u32);
+        let mut served: Vec<(DiskId, Reservation)> = Vec::with_capacity(shares.len());
+        let mut res: Option<Reservation> = None;
+        for (disk, share) in shares {
+            // Fabric contention stretches each member's transfer.
+            let effective = Bytes::new((share.get() as f64 / factor).round() as u64);
+            let d = self
+                .disks
+                .get_mut(disk.0 as usize)
+                .expect("validated at make_array");
+            let r = d.serve(at, effective, per_disk_access);
+            served.push((disk, r));
+            res = Some(match res {
+                Some(acc) => acc.span(r),
+                None => r,
+            });
+        }
+        let res = res.expect("arrays are non-empty");
+
+        if let Some(plan) = self.fault_plan.as_mut() {
+            // Draw for every member (streams advance uniformly); the
+            // first fault fails the whole attempt.
+            let mut fault: Option<(DiskId, FaultKind)> = None;
+            for (disk, _) in &served {
+                if let Some(k) = plan.draw_disk_io(*disk, is_read) {
+                    if fault.is_none() {
+                        fault = Some((*disk, k));
+                    }
+                }
+            }
+            if let Some((disk, kind)) = fault {
+                // Every member's service time was wasted: its energy is
+                // recovery work, attributed to the retry.
+                for (d, r) in &served {
+                    let wasted = self.disks[d.0 as usize].active_power() * r.duration();
+                    self.recovery.push(RecoveryCharge {
+                        from: Some(ComponentId::new(ComponentKind::Disk, d.0)),
+                        energy: wasted,
+                    });
+                    self.retry_pending += wasted;
+                }
+                let device = format!("{disk:?}");
+                return Err(match kind {
+                    FaultKind::LatentSector => SimError::LatentSector {
+                        device,
+                        until: res.end,
+                    },
+                    _ => SimError::TransientIo {
+                        device,
+                        until: res.end,
+                    },
+                });
+            }
+            // Successful degraded access: the reconstruction tax — the
+            // extra 1/n of each survivor's transfer — is recovery work.
+            if degraded.is_some() {
+                let w = spec.width() as f64;
+                for (d, r) in &served {
+                    let extra = Joules::new(
+                        self.disks[d.0 as usize].active_power().get() * r.duration().as_secs_f64()
+                            / w,
+                    );
+                    self.recovery.push(RecoveryCharge {
+                        from: Some(ComponentId::new(ComponentKind::Disk, d.0)),
+                        energy: extra,
                     });
                 }
-                Ok(res.expect("arrays are non-empty"))
             }
-            other => self.read(other, at, bytes, access),
         }
+        Ok(res)
     }
 
     /// Distribute a request's positioning cost across `n` members.
@@ -379,6 +766,24 @@ impl Simulation {
                 self.base_power * span,
             );
         }
+        // Recovery settlement: wasted attempts, degraded-read overhead and
+        // rebuild work move from their source components to the Recovery
+        // category (the ledger total — the wall socket — is unchanged);
+        // surge energy no device machine captured is charged directly.
+        let recovery_id = ComponentId::new(ComponentKind::Recovery, 0);
+        for c in &self.recovery {
+            match c.from {
+                Some(src) => {
+                    ledger.transfer(src, recovery_id, c.energy);
+                }
+                None => ledger.charge(recovery_id, c.energy),
+            }
+        }
+        let faults = self
+            .fault_plan
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
         SimReport {
             ledger,
             end,
@@ -386,6 +791,7 @@ impl Simulation {
             disk_stats,
             ssd_stats,
             cpu_stats,
+            faults,
         }
     }
 }
@@ -405,6 +811,8 @@ pub struct SimReport {
     pub ssd_stats: Vec<DeviceStats>,
     /// Per-CPU-pool statistics (indexed by [`CpuId`]).
     pub cpu_stats: Vec<DeviceStats>,
+    /// Injected-fault counters (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -421,6 +829,13 @@ impl SimReport {
     /// Fraction of energy spent in the disk subsystem.
     pub fn disk_share(&self) -> f64 {
         self.ledger.kind_share(ComponentKind::Disk)
+    }
+
+    /// Energy attributed to failure recovery: wasted retry attempts,
+    /// degraded-read reconstruction overhead, rebuild IO/CPU, and failed
+    /// spin-up surges.
+    pub fn recovery_energy(&self) -> Joules {
+        self.ledger.kind_total(ComponentKind::Recovery)
     }
 }
 
@@ -593,6 +1008,204 @@ mod tests {
             .unwrap();
         let ratio = sw.duration().as_secs_f64() / sr.duration().as_secs_f64();
         assert!((ratio - 1.0).abs() < 0.05, "{ratio}");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_byte_identical_to_no_plan() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let run = |plan: Option<FaultPlan>| {
+            let (mut sim, cpu, arr) = small_server();
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            for i in 0..10 {
+                let t = at(i as f64 * 0.5);
+                sim.read(
+                    StorageTarget::Array(arr),
+                    t,
+                    Bytes::mib(20 + i),
+                    AccessPattern::Sequential,
+                )
+                .unwrap();
+                sim.compute(cpu, t, Cycles::new(10_000_000 * (i + 1)))
+                    .unwrap();
+            }
+            let h = sim.horizon();
+            sim.finish(h)
+        };
+        let bare = run(None);
+        let zeroed = run(Some(FaultPlan::new(FaultConfig::NONE, 99)));
+        assert_eq!(bare.ledger, zeroed.ledger);
+        assert_eq!(bare.end, zeroed.end);
+        assert_eq!(zeroed.faults, crate::fault::FaultStats::default());
+        assert_eq!(zeroed.recovery_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn spin_up_kill_degrades_raid5_and_charges_recovery() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = Simulation::new();
+        let disks = sim.add_disks(5, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+        let arr = sim.make_array(RaidLevel::Raid5, disks.clone()).unwrap();
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig {
+                spin_up_kill: 1.0,
+                ..FaultConfig::NONE
+            },
+            1,
+        ));
+        sim.park_disk(disks[0], at(0.0)).unwrap();
+        // The access wakes the parked member; spin_up_kill=1 kills it.
+        let err = sim
+            .read(
+                StorageTarget::Array(arr),
+                at(10.0),
+                Bytes::mib(40),
+                AccessPattern::Sequential,
+            )
+            .unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        let until = err.retry_until().unwrap();
+        // The retry finds the member failed and serves degraded.
+        let r = sim
+            .read(
+                StorageTarget::Array(arr),
+                until,
+                Bytes::mib(40),
+                AccessPattern::Sequential,
+            )
+            .unwrap();
+        assert_eq!(sim.failed_array_disks(arr, r.end).unwrap(), vec![disks[0]]);
+        let stats = sim.fault_stats();
+        assert_eq!(stats.disk_failures, 1);
+        assert_eq!(stats.degraded_reads, 1);
+        let rep = sim.finish(r.end);
+        // At least the wasted 140 J spin-up surge plus reconstruction
+        // overhead lands in Recovery.
+        assert!(rep.recovery_energy().joules() >= 140.0);
+    }
+
+    #[test]
+    fn rebuild_restores_array_and_bills_recovery() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = Simulation::new();
+        let disks = sim.add_disks(5, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+        let cpu = sim.add_cpu(
+            CpuPerfProfile {
+                cores: 4,
+                freq: grail_power::units::Hertz::ghz(2.0),
+            },
+            CpuPowerProfile::opteron_socket(),
+        );
+        let arr = sim.make_array(RaidLevel::Raid5, disks.clone()).unwrap();
+        // Nothing failed yet: rebuild refuses.
+        assert!(sim
+            .rebuild_array(arr, at(0.0), Bytes::mib(100), None)
+            .is_err());
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig {
+                spin_up_kill: 1.0,
+                ..FaultConfig::NONE
+            },
+            2,
+        ));
+        sim.park_disk(disks[2], at(0.0)).unwrap();
+        let err = sim
+            .read(
+                StorageTarget::Array(arr),
+                at(10.0),
+                Bytes::mib(40),
+                AccessPattern::Sequential,
+            )
+            .unwrap_err();
+        let t = err.retry_until().unwrap();
+        let reb = sim
+            .rebuild_array(arr, t, Bytes::mib(200), Some(cpu))
+            .unwrap();
+        assert_eq!(sim.fault_stats().rebuilds, 1);
+        // Healthy again: the next read is not degraded.
+        let before = sim.fault_stats().degraded_reads;
+        sim.read(
+            StorageTarget::Array(arr),
+            reb.end,
+            Bytes::mib(40),
+            AccessPattern::Sequential,
+        )
+        .unwrap();
+        assert_eq!(sim.fault_stats().degraded_reads, before);
+        let rep = sim.finish(reb.end);
+        assert!(rep.recovery_energy().joules() > 140.0);
+        assert_eq!(rep.faults.rebuilds, 1);
+    }
+
+    #[test]
+    fn transient_fault_wastes_energy_and_reports_retry_cost() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = Simulation::new();
+        let d = sim.add_disk(DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig {
+                transient_per_io: 1.0,
+                ..FaultConfig::NONE
+            },
+            3,
+        ));
+        let err = sim
+            .read(
+                StorageTarget::Disk(d),
+                at(0.0),
+                Bytes::mib(90),
+                AccessPattern::Sequential,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::TransientIo { .. }));
+        let wasted = sim.drain_retry_energy();
+        assert!(wasted.joules() > 0.0, "{wasted}");
+        assert_eq!(sim.drain_retry_energy(), Joules::ZERO);
+        let rep = sim.finish(sim.horizon());
+        // The wasted service energy was re-attributed, not double-billed.
+        assert!((rep.recovery_energy().joules() - wasted.joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let run = || {
+            let mut sim = Simulation::new();
+            let disks = sim.add_disks(5, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
+            let arr = sim.make_array(RaidLevel::Raid5, disks).unwrap();
+            sim.set_fault_plan(FaultPlan::new(
+                FaultConfig {
+                    transient_per_io: 0.1,
+                    latent_per_read: 0.05,
+                    ..FaultConfig::NONE
+                },
+                1234,
+            ));
+            let mut t = at(0.0);
+            let mut outcomes = Vec::new();
+            for i in 0..40u64 {
+                let r = sim.read(
+                    StorageTarget::Array(arr),
+                    t,
+                    Bytes::mib(10 + i),
+                    AccessPattern::Sequential,
+                );
+                t = match &r {
+                    Ok(res) => res.end,
+                    Err(e) => e.retry_until().unwrap_or(t) + SimDuration::from_millis(1),
+                };
+                outcomes.push(r);
+            }
+            let stats = sim.fault_stats();
+            let rep = sim.finish(t);
+            (outcomes, stats, rep.ledger)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::perf::{AccessPattern, SsdPerfProfile};
 use crate::sim::Reservation;
 use grail_power::components::{duo_states, SsdPowerProfile};
 use grail_power::state::PowerStateMachine;
-use grail_power::units::{Bytes, Joules, SimInstant};
+use grail_power::units::{Bytes, Joules, SimInstant, Watts};
 
 /// One simulated SSD.
 #[derive(Debug, Clone)]
@@ -57,6 +57,13 @@ impl SsdDevice {
         self.stats.bytes += bytes;
         self.stats.requests += 1;
         Reservation { start, end }
+    }
+
+    /// Power drawn while transferring.
+    pub fn active_power(&self) -> Watts {
+        self.machine
+            .state_power(duo_states::ACTIVE)
+            .expect("active state is declared")
     }
 
     /// The instant the SSD becomes free.

@@ -2,12 +2,13 @@
 //! invariants.
 
 use grail_power::components::{CpuPowerProfile, DiskPowerProfile, SsdPowerProfile};
+use grail_power::ledger::ComponentKind;
 use grail_power::units::{Bytes, Cycles, Hertz, SimDuration, SimInstant};
-use grail_sim::driver::{run_streams, IoDemand, JobSpec, PhaseSpec};
+use grail_sim::driver::{run_streams, run_streams_with, IoDemand, JobSpec, PhaseSpec, RetryPolicy};
 use grail_sim::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
 use grail_sim::raid::RaidLevel;
 use grail_sim::sim::Simulation;
-use grail_sim::StorageTarget;
+use grail_sim::{FaultConfig, FaultPlan, StorageTarget};
 use proptest::prelude::*;
 
 fn server(disks: usize) -> (Simulation, grail_sim::CpuId, StorageTarget) {
@@ -220,5 +221,163 @@ proptest! {
         let e = rep.total_energy().joules();
         prop_assert!(e >= span * 12.5 - 1e-6);
         prop_assert!(e <= span * 15.0 + 1e-6);
+    }
+}
+
+fn raid5_server(disks: usize) -> (Simulation, Vec<grail_sim::DiskId>, StorageTarget) {
+    let mut sim = Simulation::new();
+    let ids = sim.add_disks(
+        disks,
+        DiskPerfProfile::scsi_15k(),
+        DiskPowerProfile::scsi_15k(),
+    );
+    let arr = sim.make_array(RaidLevel::Raid5, ids.clone()).unwrap();
+    (sim, ids, StorageTarget::Array(arr))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed + same fault config ⇒ bit-identical outcome, ledger
+    /// (including the Recovery category), and fault counters. And the
+    /// Recovery category is charged exactly when retries happened.
+    #[test]
+    fn fault_runs_are_bit_identical(
+        seed in proptest::num::u64::ANY,
+        transient in 0.0f64..0.25,
+        latent in 0.0f64..0.15,
+        sizes in proptest::collection::vec((1u64..32, 0u64..100_000_000u64), 1..6),
+    ) {
+        let cfg = FaultConfig {
+            transient_per_io: transient,
+            latent_per_read: latent,
+            ..FaultConfig::NONE
+        };
+        let policy = RetryPolicy {
+            max_retries: 10_000,
+            base_backoff: SimDuration::from_millis(1),
+            multiplier: 2,
+        };
+        let run = || {
+            let (mut sim, cpu, target) = server(3);
+            sim.set_fault_plan(FaultPlan::new(cfg, seed));
+            let jobs: Vec<JobSpec> = sizes
+                .iter()
+                .map(|&(mib, cycles)| {
+                    JobSpec::immediate(vec![PhaseSpec::overlapped(
+                        Cycles::new(cycles),
+                        1,
+                        vec![IoDemand::seq_read(target, Bytes::mib(mib))],
+                    )])
+                })
+                .collect();
+            let out = run_streams_with(&mut sim, cpu, &[jobs], &policy).unwrap();
+            let faults = sim.fault_stats();
+            let rep = sim.finish(out.makespan);
+            (out, rep.ledger, faults)
+        };
+        let (o1, l1, f1) = run();
+        let (o2, l2, f2) = run();
+        prop_assert_eq!(&o1, &o2);
+        prop_assert_eq!(&l1, &l2);
+        prop_assert_eq!(f1, f2);
+        let recovery = l1.kind_total(ComponentKind::Recovery).joules();
+        if o1.total_retries > 0 {
+            prop_assert!(recovery > 0.0, "retries must bill recovery energy");
+        } else {
+            prop_assert_eq!(recovery, 0.0);
+        }
+    }
+
+    /// Losing one RAID-5 member never loses service: the read still
+    /// completes, takes at least as long as on a healthy group, and the
+    /// reconstruction overhead lands on the Recovery ledger.
+    #[test]
+    fn degraded_raid5_read_survives_and_bills_recovery(
+        n in 4usize..9,
+        mib in 8u64..257,
+    ) {
+        let healthy_dur = {
+            let (mut sim, _ids, target) = raid5_server(n);
+            let r = sim
+                .read(target, SimInstant::EPOCH, Bytes::mib(mib), AccessPattern::Sequential)
+                .unwrap();
+            r.end.duration_since(r.start)
+        };
+        let (mut sim, ids, target) = raid5_server(n);
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig { spin_up_kill: 1.0, ..FaultConfig::NONE },
+            42,
+        ));
+        // Park one member; the demand spin-up kills it.
+        sim.park_disk(ids[0], SimInstant::EPOCH).unwrap();
+        let err = sim
+            .read(target, SimInstant::EPOCH, Bytes::mib(mib), AccessPattern::Sequential)
+            .unwrap_err();
+        prop_assert!(err.is_retryable());
+        let retry_at = err.retry_until().unwrap() + SimDuration::from_millis(1);
+        let r = sim
+            .read(target, retry_at, Bytes::mib(mib), AccessPattern::Sequential)
+            .unwrap();
+        let degraded_dur = r.end.duration_since(r.start);
+        prop_assert!(
+            degraded_dur >= healthy_dur,
+            "degraded {degraded_dur} vs healthy {healthy_dur}"
+        );
+        let rep = sim.finish(r.end);
+        prop_assert_eq!(rep.faults.disk_failures, 1);
+        prop_assert_eq!(rep.faults.degraded_reads, 1);
+        prop_assert!(rep.recovery_energy().joules() > 0.0);
+        prop_assert!(rep.total_energy().joules() >= rep.recovery_energy().joules());
+    }
+
+    /// Retries never lose or duplicate a job: under transient faults,
+    /// every submitted job completes exactly once and streams stay
+    /// sequential.
+    #[test]
+    fn retries_never_lose_or_duplicate_jobs(
+        jobs_per_stream in proptest::collection::vec(1usize..4, 1..4),
+        seed in 0u64..1000,
+    ) {
+        let (mut sim, cpu, target) = server(3);
+        sim.set_fault_plan(FaultPlan::new(
+            FaultConfig { transient_per_io: 0.15, latent_per_read: 0.05, ..FaultConfig::NONE },
+            seed,
+        ));
+        let mut streams = Vec::new();
+        let mut expected = Vec::new();
+        for (s, &n) in jobs_per_stream.iter().enumerate() {
+            let mut jobs = Vec::new();
+            for j in 0..n {
+                let mib = 1 + ((seed + s as u64 * 7 + j as u64 * 13) % 32);
+                jobs.push(JobSpec::immediate(vec![PhaseSpec::overlapped(
+                    Cycles::new((seed % 97) * 1_000_000),
+                    1,
+                    vec![IoDemand::seq_read(target, Bytes::mib(mib))],
+                )]));
+                expected.push((s, j));
+            }
+            streams.push(jobs);
+        }
+        let policy = RetryPolicy {
+            max_retries: 10_000,
+            base_backoff: SimDuration::from_millis(1),
+            multiplier: 2,
+        };
+        let out = run_streams_with(&mut sim, cpu, &streams, &policy).unwrap();
+        let mut got: Vec<(usize, usize)> =
+            out.results.iter().map(|r| (r.stream, r.index)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+        for r in &out.results {
+            prop_assert!(r.end >= r.start);
+        }
+        for s in 0..streams.len() {
+            let mut ends: Vec<_> = out.results.iter().filter(|r| r.stream == s).collect();
+            ends.sort_by_key(|r| r.index);
+            for w in ends.windows(2) {
+                prop_assert!(w[1].start >= w[0].end, "stream jobs must be sequential");
+            }
+        }
     }
 }

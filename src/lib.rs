@@ -57,4 +57,5 @@ pub mod prelude {
         EnergyAwareDb, EnergyReport, ExecPolicy, HardwareProfile, ScanSpec, TpchScale,
     };
     pub use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
+    pub use grail_sim::{FaultConfig, FaultStats};
 }
