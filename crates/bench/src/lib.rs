@@ -5,6 +5,7 @@
 //! reporting helpers so every binary prints comparable rows and appends
 //! machine-readable JSON records.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

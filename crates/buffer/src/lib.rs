@@ -17,6 +17,7 @@
 //!   ranks so empty ranks can drop to self-refresh (Sec. 4.2's
 //!   space-consolidation idea applied to memory).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

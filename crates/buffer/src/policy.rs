@@ -19,7 +19,7 @@
 
 use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
 use grail_storage::page::PageId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Metadata the pool passes to policies on every touch.
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +84,7 @@ impl PolicyKind {
 #[derive(Debug, Default)]
 pub struct Lru {
     stamp: u64,
-    last_used: HashMap<PageId, u64>,
+    last_used: BTreeMap<PageId, u64>,
 }
 
 impl ReplacementPolicy for Lru {
@@ -122,7 +122,7 @@ impl ReplacementPolicy for Lru {
 #[derive(Debug, Default)]
 pub struct Clock {
     ring: Vec<PageId>,
-    referenced: HashMap<PageId, bool>,
+    referenced: BTreeMap<PageId, bool>,
     hand: usize,
 }
 
@@ -187,12 +187,12 @@ impl ReplacementPolicy for Clock {
 pub struct TwoQ {
     probation: VecDeque<PageId>,
     protected: Lru,
-    in_probation: HashMap<PageId, ()>,
+    in_probation: BTreeSet<PageId>,
 }
 
 impl ReplacementPolicy for TwoQ {
     fn on_hit(&mut self, t: Touch) {
-        if self.in_probation.remove(&t.page).is_some() {
+        if self.in_probation.remove(&t.page) {
             self.probation.retain(|p| *p != t.page);
             self.protected.on_insert(t);
         } else {
@@ -202,11 +202,11 @@ impl ReplacementPolicy for TwoQ {
 
     fn on_insert(&mut self, t: Touch) {
         self.probation.push_back(t.page);
-        self.in_probation.insert(t.page, ());
+        self.in_probation.insert(t.page);
     }
 
     fn on_remove(&mut self, page: PageId) {
-        if self.in_probation.remove(&page).is_some() {
+        if self.in_probation.remove(&page) {
             self.probation.retain(|p| *p != page);
         } else {
             self.protected.on_remove(page);
@@ -241,7 +241,7 @@ struct PageEnergyState {
 #[derive(Debug)]
 pub struct EnergyAware {
     residency: Watts,
-    pages: HashMap<PageId, PageEnergyState>,
+    pages: BTreeMap<PageId, PageEnergyState>,
     now: SimInstant,
 }
 
@@ -250,7 +250,7 @@ impl EnergyAware {
     pub fn new(residency: Watts) -> Self {
         EnergyAware {
             residency,
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             now: SimInstant::EPOCH,
         }
     }

@@ -8,7 +8,7 @@
 use crate::policy::{PolicyKind, ReplacementPolicy, Touch};
 use grail_power::units::{Joules, SimInstant, Watts};
 use grail_storage::page::PageId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Energy coefficients of the pool's memory.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,7 +87,7 @@ struct Frame {
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    frames: HashMap<PageId, Frame>,
+    frames: BTreeMap<PageId, Frame>,
     policy: Box<dyn ReplacementPolicy>,
     energy: EnergyModel,
     stats: PoolStats,
@@ -104,7 +104,7 @@ impl BufferPool {
         assert!(capacity > 0, "pool needs at least one frame");
         BufferPool {
             capacity,
-            frames: HashMap::with_capacity(capacity),
+            frames: BTreeMap::new(),
             policy: policy.build(),
             energy,
             stats: PoolStats::default(),

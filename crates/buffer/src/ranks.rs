@@ -8,14 +8,14 @@
 
 use grail_power::units::{Joules, SimDuration, Watts};
 use grail_storage::page::PageId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A placement of pages onto fixed-capacity DRAM ranks.
 #[derive(Debug, Clone)]
 pub struct RankPlacement {
     rank_capacity: usize,
     ranks: Vec<Vec<PageId>>,
-    location: HashMap<PageId, usize>,
+    location: BTreeMap<PageId, usize>,
 }
 
 impl RankPlacement {
@@ -28,7 +28,7 @@ impl RankPlacement {
         RankPlacement {
             rank_capacity,
             ranks: vec![Vec::new(); ranks],
-            location: HashMap::new(),
+            location: BTreeMap::new(),
         }
     }
 

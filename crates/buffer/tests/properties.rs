@@ -88,6 +88,36 @@ proptest! {
         }
     }
 
+    /// Determinism: two identical runs evict identical page sequences,
+    /// for every policy. This is what the BTreeMap conversion buys — a
+    /// hash-ordered victim scan would make eviction (and thus refetch
+    /// energy) vary run to run.
+    #[test]
+    fn identical_runs_evict_identical_sequences(
+        cap in 1usize..16,
+        trace in proptest::collection::vec((0u32..64, 0.0f64..4.0), 1..300),
+    ) {
+        for kind in policies() {
+            let run = || {
+                let mut pool = BufferPool::new(cap, kind, model());
+                let mut evicted = Vec::new();
+                for (i, (p, cost)) in trace.iter().enumerate() {
+                    let now = SimInstant::EPOCH + SimDuration::from_millis(i as u64);
+                    if let Access::Miss { evicted: Some(v) } =
+                        pool.access(PageId::new(0, *p), now, Joules::new(*cost))
+                    {
+                        evicted.push(v);
+                    }
+                }
+                (evicted, pool.stats())
+            };
+            let (seq_a, stats_a) = run();
+            let (seq_b, stats_b) = run();
+            prop_assert_eq!(&seq_a, &seq_b, "eviction order diverged under {:?}", kind);
+            prop_assert_eq!(stats_a, stats_b);
+        }
+    }
+
     /// Energy accounting: residency equals occupancy-integral; refetch
     /// equals misses × cost, for a constant-cost trace.
     #[test]

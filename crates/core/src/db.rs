@@ -12,7 +12,7 @@ use grail_sim::ids::CpuId;
 use grail_sim::sim::Simulation;
 use grail_sim::DiskId;
 use grail_sim::StorageTarget;
-use grail_sim::{FaultConfig, FaultPlan};
+use grail_sim::{FaultConfig, FaultPlan, SimError};
 use grail_workload::mix::{closed_mix, job_from_tallies, scale_tally};
 use grail_workload::queries::{QueryTemplate, StoredCatalog};
 use grail_workload::tpch::{self, TpchScale, TpchTables, ORDERS_FIG2_PROJECTION};
@@ -179,29 +179,52 @@ impl EnergyAwareDb {
         self.tables = Some(tpch::generate(scale, seed));
     }
 
+    /// The loaded tables, or [`SimError::NotLoaded`].
+    pub fn try_tables(&self) -> Result<&TpchTables, SimError> {
+        self.tables.as_ref().ok_or(SimError::NotLoaded)
+    }
+
     /// The loaded tables.
     ///
     /// # Panics
-    /// Panics if nothing is loaded.
+    /// Panics if nothing is loaded; [`Self::try_tables`] is the fallible
+    /// form.
     pub fn tables(&self) -> &TpchTables {
-        self.tables.as_ref().expect("load_tpch first")
+        // grail-lint: allow(error-hygiene, documented panicking facade over try_tables)
+        self.try_tables().expect("load_tpch first")
     }
 
-    fn catalog(&self, mode: CompressionMode) -> StoredCatalog {
-        let tables = self.tables();
-        match mode {
+    fn try_catalog(&self, mode: CompressionMode) -> Result<StoredCatalog, SimError> {
+        let tables = self.try_tables()?;
+        Ok(match mode {
             CompressionMode::Plain => StoredCatalog::plain(tables, LOGICAL_TARGET),
             CompressionMode::Auto => StoredCatalog::compressed(tables, LOGICAL_TARGET),
             CompressionMode::Fig2 => StoredCatalog::fig2(tables, LOGICAL_TARGET),
-        }
+        })
     }
 
     /// Run a projection scan of ORDERS (the Fig. 2 experiment) and
     /// return the metered outcome. `scale_to` stretches the measured
     /// demands to a larger ORDERS row count without materializing it
     /// (1.0 = run at the loaded size).
+    ///
+    /// # Panics
+    /// Panics when nothing is loaded, the projection is invalid, or the
+    /// fault profile exhausts retries; [`Self::try_run_scan`] is the
+    /// fallible form.
     pub fn run_scan(&self, spec: &ScanSpec, policy: ExecPolicy, scale_to: f64) -> EnergyReport {
-        let catalog = self.catalog(policy.compression);
+        self.try_run_scan(spec, policy, scale_to)
+            .expect("scan runs on a loaded db") // grail-lint: allow(error-hygiene, documented panicking facade over try_run_scan)
+    }
+
+    /// Fallible form of [`Self::run_scan`].
+    pub fn try_run_scan(
+        &self,
+        spec: &ScanSpec,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> Result<EnergyReport, SimError> {
+        let catalog = self.try_catalog(policy.compression)?;
         let run = colscan::scan_job(
             catalog.orders.clone(),
             &spec.projection,
@@ -209,7 +232,9 @@ impl EnergyAwareDb {
             self.charge,
             policy.dop,
         )
-        .expect("scan over validated projection");
+        .map_err(|e| SimError::Plan {
+            reason: e.to_string(),
+        })?;
         let (mut sim, cpu, targets) = self.build_sim();
         let mut job = run.job.clone();
         if (scale_to - 1.0).abs() > 1e-9 {
@@ -222,10 +247,10 @@ impl EnergyAwareDb {
             }
         }
         let job = stripe_job(&job, &targets);
-        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("scan survives fault profile");
-        let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
+        let out = run_streams(&mut sim, cpu, &[vec![job]])?;
+        let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
-        EnergyReport {
+        Ok(EnergyReport {
             profile: self.profile.name,
             label: format!(
                 "scan[{} cols, {:?}]",
@@ -239,7 +264,7 @@ impl EnergyAwareDb {
             recovery: report.recovery_energy(),
             retries: out.total_retries,
             ledger: report.ledger,
-        }
+        })
     }
 
     /// Measure one template's real demands at the loaded scale,
@@ -251,34 +276,51 @@ impl EnergyAwareDb {
         catalog: &StoredCatalog,
         policy: ExecPolicy,
         scale_to: f64,
-    ) -> (JobSpec, usize) {
+    ) -> Result<(JobSpec, usize), SimError> {
         let mut plan = template.plan(catalog);
         let mut ctx = ExecContext::new(self.charge);
-        let out = run_collect(plan.as_mut(), &mut ctx).expect("templates execute");
+        let out = run_collect(plan.as_mut(), &mut ctx).map_err(|e| SimError::Plan {
+            reason: e.to_string(),
+        })?;
         let rows = out.iter().map(|b| b.len()).sum();
         let tallies: Vec<_> = ctx
             .finish()
             .iter()
             .map(|tally| scale_tally(tally, scale_to))
             .collect();
-        (job_from_tallies(&tallies, policy.dop), rows)
+        Ok((job_from_tallies(&tallies, policy.dop), rows))
     }
 
     /// Run one query template by itself and meter it.
+    ///
+    /// # Panics
+    /// Panics when nothing is loaded or the template fails to execute;
+    /// [`Self::try_run_template`] is the fallible form.
     pub fn run_template(
         &self,
         template: QueryTemplate,
         policy: ExecPolicy,
         scale_to: f64,
     ) -> EnergyReport {
-        let catalog = self.catalog(policy.compression);
-        let (job, rows) = self.template_job(template, &catalog, policy, scale_to);
+        self.try_run_template(template, policy, scale_to)
+            .expect("template runs on a loaded db") // grail-lint: allow(error-hygiene, documented panicking facade over try_run_template)
+    }
+
+    /// Fallible form of [`Self::run_template`].
+    pub fn try_run_template(
+        &self,
+        template: QueryTemplate,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> Result<EnergyReport, SimError> {
+        let catalog = self.try_catalog(policy.compression)?;
+        let (job, rows) = self.template_job(template, &catalog, policy, scale_to)?;
         let (mut sim, cpu, targets) = self.build_sim();
         let job = stripe_job(&job, &targets);
-        let out = run_streams(&mut sim, cpu, &[vec![job]]).expect("query survives fault profile");
-        let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
+        let out = run_streams(&mut sim, cpu, &[vec![job]])?;
+        let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
-        EnergyReport {
+        Ok(EnergyReport {
             profile: self.profile.name,
             label: template.name().to_string(),
             elapsed: report.elapsed,
@@ -288,13 +330,17 @@ impl EnergyAwareDb {
             recovery: report.recovery_energy(),
             retries: out.total_retries,
             ledger: report.ledger,
-        }
+        })
     }
 
     /// Run the Fig. 1 throughput test: `streams` concurrent clients,
     /// each issuing `queries_per_stream` queries round-robin over the
     /// four templates, with per-query demands measured at the loaded
     /// scale and stretched by `scale_to`.
+    ///
+    /// # Panics
+    /// Panics when nothing is loaded or a template fails to execute;
+    /// [`Self::try_run_throughput_test`] is the fallible form.
     pub fn run_throughput_test(
         &self,
         streams: usize,
@@ -302,19 +348,31 @@ impl EnergyAwareDb {
         policy: ExecPolicy,
         scale_to: f64,
     ) -> EnergyReport {
-        let catalog = self.catalog(policy.compression);
+        self.try_run_throughput_test(streams, queries_per_stream, policy, scale_to)
+            .expect("throughput test runs on a loaded db") // grail-lint: allow(error-hygiene, documented panicking facade over try_run_throughput_test)
+    }
+
+    /// Fallible form of [`Self::run_throughput_test`].
+    pub fn try_run_throughput_test(
+        &self,
+        streams: usize,
+        queries_per_stream: usize,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> Result<EnergyReport, SimError> {
+        let catalog = self.try_catalog(policy.compression)?;
         // Measure each template's real demands once.
         let prototypes: Vec<JobSpec> = QueryTemplate::MIX
             .iter()
-            .map(|t| self.template_job(*t, &catalog, policy, scale_to).0)
-            .collect();
+            .map(|t| Ok(self.template_job(*t, &catalog, policy, scale_to)?.0))
+            .collect::<Result<_, SimError>>()?;
         let (mut sim, cpu, targets) = self.build_sim();
         let striped: Vec<JobSpec> = prototypes.iter().map(|j| stripe_job(j, &targets)).collect();
         let mix = closed_mix(&striped, streams, queries_per_stream);
-        let out = run_streams(&mut sim, cpu, &mix).expect("mix survives fault profile");
-        let cpu_busy = sim.cpu(cpu).expect("cpu exists").stats().busy;
+        let out = run_streams(&mut sim, cpu, &mix)?;
+        let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
-        EnergyReport {
+        Ok(EnergyReport {
             profile: self.profile.name,
             label: format!("throughput[{streams}x{queries_per_stream}]"),
             elapsed: report.elapsed,
@@ -324,7 +382,7 @@ impl EnergyAwareDb {
             recovery: report.recovery_energy(),
             retries: out.total_retries,
             ledger: report.ledger,
-        }
+        })
     }
 
     /// Ask the knob advisor (Sec. 4.1) for the best configuration of
@@ -520,6 +578,39 @@ mod tests {
     fn unloaded_db_panics() {
         let db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
         let _ = db.tables();
+    }
+
+    #[test]
+    fn unloaded_db_errors_through_try_api() {
+        let db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
+        assert!(matches!(db.try_tables(), Err(SimError::NotLoaded)));
+        assert!(matches!(
+            db.try_run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0),
+            Err(SimError::NotLoaded)
+        ));
+        assert!(matches!(
+            db.try_run_template(QueryTemplate::PricingSummary, ExecPolicy::default(), 1.0),
+            Err(SimError::NotLoaded)
+        ));
+        assert!(matches!(
+            db.try_run_throughput_test(1, 1, ExecPolicy::default(), 1.0),
+            Err(SimError::NotLoaded)
+        ));
+        assert_eq!(
+            SimError::NotLoaded.to_string(),
+            "no tables loaded; call load_tpch first"
+        );
+    }
+
+    #[test]
+    fn try_scan_succeeds_and_matches_panicking_facade() {
+        let db = db(HardwareProfile::flash_scanner());
+        let a = db
+            .try_run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0)
+            .expect("loaded db scans");
+        let b = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.elapsed, b.elapsed);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! * [`report`] — [`report::EnergyReport`]: time, Joules, per-component
 //!   breakdown, energy efficiency.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -114,7 +114,7 @@ impl HardwareProfile {
             let ids = sim.add_disks(self.disks, self.disk_perf, self.disk_power);
             let arr = sim
                 .make_array(self.raid, ids)
-                .expect("profile disk counts satisfy RAID minimums");
+                .expect("profile disk counts satisfy RAID minimums"); // grail-lint: allow(error-hygiene, profile disk counts satisfy RAID minimums by construction)
             vec![StorageTarget::Array(arr)]
         } else {
             sim.add_ssds(self.ssds.max(1), self.ssd_perf, self.ssd_power)

@@ -1,0 +1,198 @@
+//! `grail-lint` — the GRAIL workspace invariant checker.
+//!
+//! A zero-dependency static-analysis pass that audits the source tree
+//! for the properties the energy-accounting results depend on:
+//! deterministic replay (no wall clock, no hash-order iteration),
+//! ledger conservation (all energy movement through the audited
+//! `EnergyLedger` API), error hygiene (no panicking escape hatches in
+//! simulator library code), and float hygiene (no `==` on raw
+//! energy/time `f64`s).
+//!
+//! The crate deliberately depends on nothing but `std`: it must build
+//! instantly, run first in CI, and never be hostage to the crates it
+//! audits. Rules operate on *stripped* source (comments and string
+//! contents blanked by [`scan`]), so prose and fixtures cannot trigger
+//! them, and every rule can be silenced locally with a
+//! `// grail-lint: allow(rule-id, reason)` pragma — the reason is
+//! mandatory and its absence is itself an error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, rendered rustc-style:
+/// `file:line: error[rule-id]: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id (see [`rules::RULES`]).
+    pub rule: &'static str,
+    /// Human explanation and suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in the workspace, which decides rule scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Ships in a library or binary target (`src/`).
+    Library,
+    /// Integration tests, benches, examples — looser rules.
+    TestLike,
+}
+
+/// A file's identity as seen by the rules.
+#[derive(Debug, Clone)]
+pub struct FileInfo<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: &'a str,
+    /// Owning crate name (directory under `crates/`, or `grail` for the
+    /// workspace-root package).
+    pub crate_name: &'a str,
+    /// Library or test-like.
+    pub kind: FileKind,
+}
+
+/// Classify a workspace-relative path into crate name and kind.
+/// Returns `None` for files the linter does not audit.
+pub fn classify(rel: &str) -> Option<(String, FileKind)> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, sub) = match parts.as_slice() {
+        ["crates", name, rest @ ..] if !rest.is_empty() => (*name, rest),
+        [rest @ ..] if !rest.is_empty() => ("grail", rest),
+        _ => return None,
+    };
+    let kind = match sub.first() {
+        Some(&"src") => FileKind::Library,
+        Some(&"tests") | Some(&"benches") | Some(&"examples") => FileKind::TestLike,
+        _ => return None,
+    };
+    Some((crate_name.to_string(), kind))
+}
+
+/// Lint one file's source text under its workspace-relative path.
+pub fn check_source(rel: &str, source: &str) -> Vec<Diagnostic> {
+    let Some((crate_name, kind)) = classify(rel) else {
+        return Vec::new();
+    };
+    let info = FileInfo {
+        rel,
+        crate_name: &crate_name,
+        kind,
+    };
+    let scanned = scan::scan(source);
+    rules::check(&info, &scanned)
+}
+
+/// Lint every audited `.rs` file under the workspace `root`.
+///
+/// The walk is sorted and skips `target/`, `.git/` and other hidden
+/// directories, so output order is stable across runs and machines.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in &files {
+        let source =
+            fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        out.extend(check_source(rel, &source));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel: String = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                if classify(&rel).is_some() {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_paths_to_crates_and_kinds() {
+        assert_eq!(
+            classify("crates/sim/src/cpu.rs"),
+            Some(("sim".to_string(), FileKind::Library))
+        );
+        assert_eq!(
+            classify("crates/power/tests/properties.rs"),
+            Some(("power".to_string(), FileKind::TestLike))
+        );
+        assert_eq!(
+            classify("crates/bench/benches/scan.rs"),
+            Some(("bench".to_string(), FileKind::TestLike))
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            Some(("grail".to_string(), FileKind::Library))
+        );
+        assert_eq!(classify("crates/sim/Cargo.toml"), None);
+        assert_eq!(classify("README.md"), None);
+    }
+
+    #[test]
+    fn diagnostic_renders_rustc_style() {
+        let d = Diagnostic {
+            file: "crates/sim/src/cpu.rs".to_string(),
+            line: 42,
+            rule: "error-hygiene",
+            message: "no".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/sim/src/cpu.rs:42: error[error-hygiene]: no"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The `grail-lint` binary: lint the workspace, print rustc-style
+//! diagnostics, exit nonzero on any violation.
+//!
+//! Usage: `grail-lint [WORKSPACE_ROOT]` (defaults to the current
+//! directory, or the workspace root when run via
+//! `cargo run -p grail-lint`). `grail-lint --list-rules` prints the
+//! rule table.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in grail_lint::rules::RULES {
+            println!("{:<14} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        // Under `cargo run` the manifest dir is crates/lint; walk up to
+        // the workspace root. Outside cargo, lint the cwd.
+        None => match env::var("CARGO_MANIFEST_DIR") {
+            Ok(dir) => PathBuf::from(dir)
+                .ancestors()
+                .nth(2)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(".")),
+            Err(_) => PathBuf::from("."),
+        },
+    };
+    match grail_lint::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!(
+                "grail-lint: workspace clean ({} rules)",
+                grail_lint::rules::RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("grail-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("grail-lint: cannot walk {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

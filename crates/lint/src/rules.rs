@@ -1,0 +1,689 @@
+//! The rule engine: every GRAIL workspace invariant, as a textual check
+//! over stripped source.
+//!
+//! Each rule protects one of the guarantees the energy-accounting
+//! argument rests on (see `DESIGN.md` § Invariants):
+//!
+//! * [`WALL_CLOCK`] — deterministic replay: simulated crates must never
+//!   read the host clock or an entropy-seeded RNG.
+//! * [`HASH_ORDER`] — deterministic reports: no `HashMap`/`HashSet` in
+//!   library code, since their iteration order can leak into ledgers,
+//!   `EnergyReport`s and `experiments.jsonl`.
+//! * [`LEDGER_MUT`] — conservation: component totals move only through
+//!   `EnergyLedger`'s audited API (`charge`/`transfer`), never by
+//!   foreign impls or struct literals.
+//! * [`ERROR_HYGIENE`] — no panicking escape hatches in simulator-facing
+//!   library code; failures route through `SimError`.
+//! * [`FLOAT_EQ`] — no `==`/`!=` on raw energy/time floats; replay
+//!   equality is asserted on whole values or bit patterns, tolerance
+//!   comparisons elsewhere.
+//! * [`UNSAFE_FORBID`] — every library crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! * [`PRAGMA`] — suppression pragmas themselves must be well-formed and
+//!   carry a reason (not suppressible).
+
+use crate::scan::{is_ident_char, PragmaScope, ScannedFile};
+use crate::{Diagnostic, FileInfo, FileKind};
+
+/// Determinism: no wall-clock or entropy sources in simulated crates.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Determinism: no hash-ordered collections in library code.
+pub const HASH_ORDER: &str = "hash-order";
+/// Conservation: the ledger mutates only through its audited API.
+pub const LEDGER_MUT: &str = "ledger-mut";
+/// No `unwrap`/`expect`/`panic!` in simulator-facing library code.
+pub const ERROR_HYGIENE: &str = "error-hygiene";
+/// No float equality on energy/time quantities.
+pub const FLOAT_EQ: &str = "float-eq";
+/// Library crate roots must forbid `unsafe`.
+pub const UNSAFE_FORBID: &str = "unsafe-forbid";
+/// Pragma hygiene (malformed or unknown suppressions).
+pub const PRAGMA: &str = "pragma";
+
+/// A rule's identity and one-line summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id used in diagnostics and pragmas.
+    pub id: &'static str,
+    /// What the rule protects.
+    pub summary: &'static str,
+}
+
+/// Every shipped rule.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: WALL_CLOCK,
+        summary: "no host clock / entropy RNG in sim, power, scheduler, core (replay determinism)",
+    },
+    Rule {
+        id: HASH_ORDER,
+        summary: "no HashMap/HashSet in library code; use BTreeMap/BTreeSet or sorted iteration",
+    },
+    Rule {
+        id: LEDGER_MUT,
+        summary: "EnergyLedger totals move only through its audited API in power/src/ledger.rs",
+    },
+    Rule {
+        id: ERROR_HYGIENE,
+        summary: "no unwrap/expect/panic in sim, power, core, scheduler library code; use SimError",
+    },
+    Rule {
+        id: FLOAT_EQ,
+        summary: "no ==/!= on raw energy/time floats (.joules(), .as_secs_f64(), ...)",
+    },
+    Rule {
+        id: UNSAFE_FORBID,
+        summary: "library crate roots must carry #![forbid(unsafe_code)]",
+    },
+    Rule {
+        id: PRAGMA,
+        summary: "grail-lint pragmas must be well-formed and carry a reason (not suppressible)",
+    },
+];
+
+/// Crates whose code (tests included) must stay wall-clock-free.
+const DETERMINISTIC_CRATES: &[&str] = &["sim", "power", "scheduler", "core"];
+/// Crates whose library code must route failures through `SimError`.
+const ERROR_HYGIENE_CRATES: &[&str] = &["sim", "power", "core", "scheduler"];
+/// The one file allowed to touch `EnergyLedger` internals.
+const LEDGER_FILE: &str = "crates/power/src/ledger.rs";
+
+/// Run every rule over one scanned file and apply suppressions.
+pub fn check(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    wall_clock(info, f, &mut raw);
+    hash_order(info, f, &mut raw);
+    ledger_mut(info, f, &mut raw);
+    error_hygiene(info, f, &mut raw);
+    float_eq(info, f, &mut raw);
+    unsafe_forbid(info, f, &mut raw);
+
+    let mut out: Vec<Diagnostic> = raw.into_iter().filter(|d| !suppressed(d, f)).collect();
+
+    // Pragma hygiene is itself a rule — and not a suppressible one.
+    for e in &f.pragma_errors {
+        out.push(Diagnostic {
+            file: info.rel.to_string(),
+            line: e.at,
+            rule: PRAGMA,
+            message: e.message.clone(),
+        });
+    }
+    for p in &f.pragmas {
+        if !RULES.iter().any(|r| r.id == p.rule) {
+            out.push(Diagnostic {
+                file: info.rel.to_string(),
+                line: p.at,
+                rule: PRAGMA,
+                message: format!("pragma suppresses unknown rule `{}`", p.rule),
+            });
+        } else if p.rule == PRAGMA {
+            out.push(Diagnostic {
+                file: info.rel.to_string(),
+                line: p.at,
+                rule: PRAGMA,
+                message: "the `pragma` rule cannot be suppressed".to_string(),
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    out
+}
+
+fn suppressed(d: &Diagnostic, f: &ScannedFile) -> bool {
+    f.pragmas.iter().any(|p| {
+        p.rule == d.rule
+            && match p.scope {
+                PragmaScope::File => true,
+                PragmaScope::Line(l) => l == d.line,
+            }
+    })
+}
+
+/// True when `pat` occurs in `line` on identifier boundaries: when the
+/// pattern starts (ends) with an identifier character, the preceding
+/// (following) character must not be one, so `Instant::now` does not
+/// match inside `SimInstant::nowhere`.
+pub fn has_token(line: &str, pat: &str) -> bool {
+    !token_positions(line, pat).is_empty()
+}
+
+/// Byte offsets of every boundary-respecting occurrence of `pat`.
+fn token_positions(line: &str, pat: &str) -> Vec<usize> {
+    let first_ident = pat.chars().next().is_some_and(is_ident_char);
+    let last_ident = pat.chars().last().is_some_and(is_ident_char);
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = line[from..].find(pat) {
+        let start = from + off;
+        let end = start + pat.len();
+        let pre_ok = !first_ident || !line[..start].chars().next_back().is_some_and(is_ident_char);
+        let post_ok = !last_ident || !line[end..].chars().next().is_some_and(is_ident_char);
+        if pre_ok && post_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+fn push(out: &mut Vec<Diagnostic>, info: &FileInfo, line: usize, rule: &'static str, msg: String) {
+    out.push(Diagnostic {
+        file: info.rel.to_string(),
+        line,
+        rule,
+        message: msg,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+const WALL_CLOCK_PATTERNS: &[&str] = &[
+    "Instant::now",
+    "std::time::Instant",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "rand::rng",
+    "rand::random",
+    "OsRng",
+    "getrandom",
+];
+
+fn wall_clock(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !DETERMINISTIC_CRATES.contains(&info.crate_name) {
+        return;
+    }
+    // Tests included: replay-equality tests are only trustworthy if they
+    // are themselves clock-free.
+    for (i, code) in f.code.iter().enumerate() {
+        for pat in WALL_CLOCK_PATTERNS {
+            if has_token(code, pat) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    WALL_CLOCK,
+                    format!(
+                        "`{pat}` is a nondeterministic time/randomness source; use the \
+                         simulation clock (SimInstant) or a seeded RNG"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hash-order
+// ---------------------------------------------------------------------------
+
+fn hash_order(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if info.kind != FileKind::Library {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        for pat in ["HashMap", "HashSet"] {
+            if has_token(code, pat) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    HASH_ORDER,
+                    format!(
+                        "`{pat}` iteration order is nondeterministic and can leak into the \
+                         ledger, EnergyReports or experiments.jsonl; use BTreeMap/BTreeSet \
+                         or sort before iterating"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ledger-mut
+// ---------------------------------------------------------------------------
+
+fn ledger_mut(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if info.rel == LEDGER_FILE {
+        // Inside the sanctioned file: the accounting fields must stay
+        // private, or the audited-API guarantee is void.
+        for (i, code) in f.code.iter().enumerate() {
+            let t = code.trim_start();
+            let is_field = |name: &str| {
+                (t.starts_with("pub ") || t.starts_with("pub("))
+                    && !t.contains("fn ")
+                    && has_token(t, name)
+                    && t.contains(&format!("{name}:"))
+            };
+            if is_field("entries") || is_field("total") {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    LEDGER_MUT,
+                    "EnergyLedger accounting fields must stay private; expose behavior \
+                     through audited methods instead"
+                        .to_string(),
+                );
+            }
+        }
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if has_token(code, "impl EnergyLedger") {
+            push(
+                out,
+                info,
+                i + 1,
+                LEDGER_MUT,
+                "foreign `impl EnergyLedger` could bypass conservation; extend \
+                 crates/power/src/ledger.rs instead"
+                    .to_string(),
+            );
+        }
+        // `EnergyLedger {` in expression position is a struct literal;
+        // skip type positions (`-> EnergyLedger {`, `impl .. for ..`).
+        let literal = token_positions(code, "EnergyLedger {")
+            .into_iter()
+            .any(|pos| {
+                let pre = code[..pos].trim_end();
+                !(pre.ends_with("->")
+                    || pre.ends_with("impl")
+                    || pre.ends_with("for")
+                    || pre.ends_with("dyn")
+                    || pre.ends_with(':'))
+            });
+        if literal {
+            push(
+                out,
+                info,
+                i + 1,
+                LEDGER_MUT,
+                "constructing EnergyLedger by struct literal bypasses accounting; use \
+                 EnergyLedger::new() and charge()/transfer()"
+                    .to_string(),
+            );
+        }
+        for pat in [".charge(-", ".charge_interval(-", ".transfer(-"] {
+            if code.contains(pat) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    LEDGER_MUT,
+                    "negative amounts would destroy Joules; ledger movements must be \
+                     non-negative (use transfer to re-attribute)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// error-hygiene
+// ---------------------------------------------------------------------------
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+fn error_hygiene(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if info.kind != FileKind::Library || !ERROR_HYGIENE_CRATES.contains(&info.crate_name) {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if code.contains(pat) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    ERROR_HYGIENE,
+                    format!(
+                        "`{pat}` panics in library code; route the failure through SimError \
+                         (or justify the invariant with an allow pragma)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-eq
+// ---------------------------------------------------------------------------
+
+/// Accessors that expose raw `f64` energy/time quantities.
+const FLOAT_ACCESSORS: &[&str] = &[
+    ".joules()",
+    ".as_secs_f64()",
+    ".work_per_joule()",
+    ".avg_watts()",
+];
+
+fn float_eq(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if info.kind != FileKind::Library {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        for (pos, op) in equality_ops(code) {
+            let left = operand_before(code, pos);
+            let right = operand_after(code, pos + op.len());
+            let floaty = |s: &str| {
+                let s = s.trim_start_matches(['(', '!']);
+                FLOAT_ACCESSORS.iter().any(|a| s.ends_with(a))
+            };
+            if floaty(&left) || floaty(&right) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    FLOAT_EQ,
+                    format!(
+                        "float equality `{}` on an energy/time quantity; compare with a \
+                         tolerance, or on bit patterns (`.to_bits()`) for replay identity",
+                        op
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Byte positions of standalone `==` / `!=` operators.
+fn equality_ops(code: &str) -> Vec<(usize, &'static str)> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < b.len() {
+        if b[i] == b'=' && b[i + 1] == b'=' {
+            let pre = if i == 0 { b' ' } else { b[i - 1] };
+            let post = if i + 2 < b.len() { b[i + 2] } else { b' ' };
+            if !matches!(
+                pre,
+                b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+            ) && post != b'='
+            {
+                out.push((i, "=="));
+            }
+            i += 2;
+        } else if b[i] == b'!' && b[i + 1] == b'=' && (i + 2 >= b.len() || b[i + 2] != b'=') {
+            out.push((i, "!="));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn operand_before(code: &str, op_start: usize) -> String {
+    let s = code[..op_start].trim_end();
+    let start = s
+        .rfind(|c: char| !(is_ident_char(c) || matches!(c, '.' | '(' | ')' | ':')))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    s[start..].to_string()
+}
+
+fn operand_after(code: &str, op_end: usize) -> String {
+    let s = code[op_end..].trim_start();
+    let end = s
+        .find(|c: char| !(is_ident_char(c) || matches!(c, '.' | '(' | ')' | ':')))
+        .unwrap_or(s.len());
+    s[..end].to_string()
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-forbid
+// ---------------------------------------------------------------------------
+
+fn unsafe_forbid(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    let is_lib_root = info.rel == "src/lib.rs"
+        || (info.rel.starts_with("crates/") && info.rel.ends_with("/src/lib.rs"));
+    if !is_lib_root {
+        return;
+    }
+    let has = f.code.iter().any(|l| l.contains("#![forbid(unsafe_code)]"));
+    if !has {
+        push(
+            out,
+            info,
+            1,
+            UNSAFE_FORBID,
+            "library crate root must carry `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check_source;
+
+    fn rules_at(rel: &str, src: &str) -> Vec<(usize, String)> {
+        check_source(rel, src)
+            .into_iter()
+            .map(|d| (d.line, d.rule.to_string()))
+            .collect()
+    }
+
+    const LIB_OK: &str = "#![forbid(unsafe_code)]\n";
+
+    // -- wall-clock ---------------------------------------------------------
+
+    #[test]
+    fn wall_clock_triggers_on_host_time_and_entropy() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }\n\
+                   fn g() { let r = rand::rng(); }\n";
+        let got = rules_at("crates/sim/src/x.rs", bad);
+        assert!(got.contains(&(1, "wall-clock".into())), "{got:?}");
+        assert!(got.contains(&(2, "wall-clock".into())), "{got:?}");
+    }
+
+    #[test]
+    fn wall_clock_passes_sim_clock_and_out_of_scope_crates() {
+        // SimInstant and seeded RNGs are the sanctioned sources.
+        let ok = "fn f(now: SimInstant) { let rng = ChaCha8Rng::seed_from_u64(7); }\n";
+        assert!(rules_at("crates/sim/src/x.rs", ok).is_empty());
+        // The same host-clock call outside the deterministic crates is
+        // not this rule's business.
+        let elsewhere = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(rules_at("crates/storage/src/x.rs", elsewhere).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_not_fooled_by_comments_or_identifiers() {
+        let ok = "// SystemTime would be wrong here\n\
+                  fn f() { let s = \"SystemTime\"; let x = MySystemTimeLike; }\n";
+        // `MySystemTimeLike` shares a substring but not a token.
+        assert!(rules_at("crates/power/src/x.rs", ok).is_empty());
+    }
+
+    // -- hash-order ---------------------------------------------------------
+
+    #[test]
+    fn hash_order_triggers_in_library_code() {
+        let bad = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }\n";
+        let got = rules_at("crates/buffer/src/x.rs", bad);
+        assert_eq!(
+            got,
+            vec![(1, "hash-order".into()), (2, "hash-order".into())]
+        );
+    }
+
+    #[test]
+    fn hash_order_passes_btree_tests_and_pragmas() {
+        let ok = "use std::collections::BTreeMap;\n";
+        assert!(rules_at("crates/buffer/src/x.rs", ok).is_empty());
+        // Test modules may hash freely.
+        let test_mod =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(rules_at("crates/buffer/src/x.rs", test_mod).is_empty());
+        // A pragma with a reason suppresses; the reason is mandatory.
+        let allowed = "// grail-lint: allow(hash-order, lookup-only, never iterated)\n\
+                       use std::collections::HashMap;\n";
+        assert!(rules_at("crates/query/src/x.rs", allowed).is_empty());
+    }
+
+    // -- ledger-mut ---------------------------------------------------------
+
+    #[test]
+    fn ledger_mut_triggers_on_foreign_impls_and_literals() {
+        let bad = "impl EnergyLedger { fn sneak(&mut self) {} }\n\
+                   fn f() { let l = EnergyLedger { entries: x, total: y }; }\n\
+                   fn g(l: &mut EnergyLedger) { l.charge(-1.0); }\n";
+        let got = rules_at("crates/sim/src/x.rs", bad);
+        assert!(got.contains(&(1, "ledger-mut".into())), "{got:?}");
+        assert!(got.contains(&(2, "ledger-mut".into())), "{got:?}");
+        assert!(got.contains(&(3, "ledger-mut".into())), "{got:?}");
+    }
+
+    #[test]
+    fn ledger_mut_passes_audited_use_and_flags_pub_fields_at_home() {
+        let ok = "fn f(l: &mut EnergyLedger) { l.charge(id, e); l.transfer(a, b, e); }\n\
+                  fn mk() -> EnergyLedger { EnergyLedger::new() }\n";
+        assert!(rules_at("crates/sim/src/x.rs", ok).is_empty());
+        // In ledger.rs itself the fields must stay private.
+        let home_bad = "pub struct EnergyLedger {\n    pub entries: BTreeMap<ComponentId, Joules>,\n    total: Joules,\n}\n";
+        let got = rules_at("crates/power/src/ledger.rs", home_bad);
+        assert_eq!(got, vec![(2, "ledger-mut".into())]);
+        let home_ok = "pub struct EnergyLedger {\n    entries: BTreeMap<ComponentId, Joules>,\n    total: Joules,\n}\npub fn total(&self) {}\n";
+        assert!(rules_at("crates/power/src/ledger.rs", home_ok).is_empty());
+    }
+
+    // -- error-hygiene ------------------------------------------------------
+
+    #[test]
+    fn error_hygiene_triggers_on_panicky_library_code() {
+        let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"set\") }\n\
+                   fn h() { panic!(\"no\"); }\n";
+        let got = rules_at("crates/core/src/x.rs", bad);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert!(got.iter().all(|(_, r)| r == "error-hygiene"));
+    }
+
+    #[test]
+    fn error_hygiene_passes_results_tests_and_other_crates() {
+        let ok = "fn f(x: Option<u32>) -> Result<u32, SimError> {\n\
+                      x.ok_or(SimError::Finished)\n\
+                  }\n\
+                  fn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(rules_at("crates/sim/src/x.rs", ok).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(rules_at("crates/sim/src/x.rs", in_tests).is_empty());
+        // Integration tests and non-simulator crates are out of scope.
+        assert!(rules_at("crates/sim/tests/x.rs", "fn t() { None::<u32>.unwrap(); }").is_empty());
+        assert!(rules_at("crates/query/src/x.rs", "fn f() { None::<u32>.unwrap(); }").is_empty());
+    }
+
+    // -- float-eq -----------------------------------------------------------
+
+    #[test]
+    fn float_eq_triggers_on_energy_equality() {
+        let bad = "fn f(a: Joules, b: Joules) -> bool { a.joules() == b.joules() }\n\
+                   fn g(d: SimDuration) -> bool { d.as_secs_f64() != 0.0 }\n";
+        let got = rules_at("crates/power/src/x.rs", bad);
+        assert_eq!(got, vec![(1, "float-eq".into()), (2, "float-eq".into())]);
+    }
+
+    #[test]
+    fn float_eq_passes_tolerances_bits_and_unrelated_equality() {
+        let ok = "fn f(a: Joules, b: Joules) -> bool { (a.joules() - b.joules()).abs() < 1e-9 }\n\
+                  fn g(a: Joules, b: Joules) -> bool { a.joules().to_bits() == b.joules().to_bits() }\n\
+                  fn h(i: usize) -> bool { i == 0 }\n\
+                  fn k(a: Joules) -> bool { a.joules() > 0.0 && 1 == 1 }\n";
+        assert!(rules_at("crates/power/src/x.rs", ok).is_empty());
+    }
+
+    // -- unsafe-forbid ------------------------------------------------------
+
+    #[test]
+    fn unsafe_forbid_triggers_on_missing_attribute() {
+        let got = rules_at("crates/sim/src/lib.rs", "pub mod x;\n");
+        assert_eq!(got, vec![(1, "unsafe-forbid".into())]);
+        assert_eq!(
+            rules_at("src/lib.rs", "pub use grail_core as core;\n"),
+            vec![(1, "unsafe-forbid".into())]
+        );
+    }
+
+    #[test]
+    fn unsafe_forbid_passes_attributed_roots_and_non_roots() {
+        assert!(rules_at("crates/sim/src/lib.rs", LIB_OK).is_empty());
+        // Non-root files don't need the attribute.
+        assert!(rules_at("crates/sim/src/cpu.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    // -- pragmas ------------------------------------------------------------
+
+    #[test]
+    fn pragma_without_reason_is_an_error() {
+        let src = "// grail-lint: allow(hash-order)\nuse std::collections::HashMap;\n";
+        let got = rules_at("crates/buffer/src/x.rs", src);
+        // The missing reason is an error AND the suppression is void.
+        assert!(got.contains(&(1, "pragma".into())), "{got:?}");
+        assert!(got.contains(&(2, "hash-order".into())), "{got:?}");
+    }
+
+    #[test]
+    fn pragma_unknown_rule_is_an_error() {
+        let src = "// grail-lint: allow(no-such-rule, because)\nfn f() {}\n";
+        let got = rules_at("crates/buffer/src/x.rs", src);
+        assert_eq!(got, vec![(1, "pragma".into())]);
+    }
+
+    #[test]
+    fn pragma_scopes_line_trailing_and_file() {
+        // Trailing pragma covers its own line only.
+        let trailing = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // grail-lint: allow(error-hygiene, fixture)\n\
+                        fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let got = rules_at("crates/sim/src/x.rs", trailing);
+        assert_eq!(got, vec![(2, "error-hygiene".into())]);
+        // File-scope pragma covers everything.
+        let file = "// grail-lint: allow-file(error-hygiene, fixture file)\n\
+                    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(rules_at("crates/sim/src/x.rs", file).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger_rules() {
+        let src = "fn f() -> &'static str { \".unwrap() HashMap SystemTime panic!\" }\n\
+                   // .unwrap() HashMap SystemTime panic! EnergyLedger {\n\
+                   /* .unwrap()\n   HashMap */\n\
+                   fn g() -> char { 'a' }\n";
+        assert!(rules_at("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "fn f() -> &'static str { r#\"x.unwrap() == y.joules()\"# }\n";
+        assert!(rules_at("crates/sim/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Source scanning: comment/string stripping, suppression pragmas, and
+//! `#[cfg(test)]` region detection.
+//!
+//! The scanner turns raw Rust source into per-line *code text* in which
+//! comments and string-literal contents have been blanked out, so rules
+//! match real code tokens and never fire on doc prose or fixture
+//! strings. While stripping, it collects `// grail-lint:` suppression
+//! pragmas and marks the line ranges covered by `#[cfg(test)]` items.
+
+/// Scope of a suppression pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaScope {
+    /// Suppresses diagnostics on one 1-based line.
+    Line(usize),
+    /// Suppresses the rule for the whole file.
+    File,
+}
+
+/// A parsed `// grail-lint: allow(rule-id, reason)` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// What the pragma covers.
+    pub scope: PragmaScope,
+    /// 1-based line of the pragma comment itself.
+    pub at: usize,
+}
+
+/// A pragma the scanner could not accept (missing reason, bad syntax).
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// 1-based line of the offending comment.
+    pub at: usize,
+    /// Why it was rejected.
+    pub message: String,
+}
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Per-line code text, comments and string contents blanked.
+    pub code: Vec<String>,
+    /// `in_test[i]` is true when line `i+1` sits inside a
+    /// `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Well-formed suppression pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas (always reported as errors).
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl ScannedFile {
+    /// True when the 1-based `line` is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Marker every pragma comment must start with (after `//`).
+pub const PRAGMA_TAG: &str = "grail-lint:";
+
+struct RawPragma {
+    rule: String,
+    reason: String,
+    file_scope: bool,
+    at: usize,
+    /// True when the pragma comment shares its line with code, in which
+    /// case it covers that line; otherwise it covers the next code line.
+    trailing: bool,
+}
+
+/// Strip `source` and collect pragmas and test regions.
+pub fn scan(source: &str) -> ScannedFile {
+    let (code, comments) = strip(source);
+    let in_test = mark_test_regions(&code);
+    let mut pragmas = Vec::new();
+    let mut pragma_errors = Vec::new();
+    for (line_idx, text) in comments {
+        let at = line_idx + 1;
+        let trailing = !code[line_idx].trim().is_empty();
+        parse_pragma_comment(&text, at, trailing, &mut pragmas, &mut pragma_errors);
+    }
+    let pragmas = pragmas
+        .into_iter()
+        .filter_map(|p| {
+            if p.file_scope {
+                return Some(Pragma {
+                    rule: p.rule,
+                    reason: p.reason,
+                    scope: PragmaScope::File,
+                    at: p.at,
+                });
+            }
+            let target = if p.trailing {
+                Some(p.at)
+            } else {
+                // A pragma on its own line covers the next line that
+                // carries code.
+                (p.at..code.len()).find_map(|i| {
+                    if code[i].trim().is_empty() {
+                        None
+                    } else {
+                        Some(i + 1)
+                    }
+                })
+            };
+            match target {
+                Some(line) => Some(Pragma {
+                    rule: p.rule,
+                    reason: p.reason,
+                    scope: PragmaScope::Line(line),
+                    at: p.at,
+                }),
+                None => {
+                    pragma_errors.push(PragmaError {
+                        at: p.at,
+                        message: "pragma has no following code line to cover".to_string(),
+                    });
+                    None
+                }
+            }
+        })
+        .collect();
+    ScannedFile {
+        code,
+        in_test,
+        pragmas,
+        pragma_errors,
+    }
+}
+
+/// Blank comments and string contents, preserving line structure.
+/// Returns the per-line code text plus every `//` comment's text keyed
+/// by 0-based line index.
+fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let n = chars.len();
+    let at = |i: usize| if i < n { chars[i] } else { '\0' };
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            out.push('\n');
+            line += 1;
+            i += 1;
+        } else if c == '/' && at(i + 1) == '/' {
+            // Line comment: capture text, blank it from the code.
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            comments.push((line, text));
+        } else if c == '/' && at(i + 1) == '*' {
+            // Block comment, possibly nested; newlines preserved.
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        out.push('\n');
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        } else if is_raw_string_start(&chars, i) {
+            i = skip_raw_string(&chars, i, &mut out, &mut line);
+        } else if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        out.push('\n');
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+        } else if c == '\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            if at(i + 1) == '\\' {
+                // Escaped char literal: skip to the closing quote.
+                i += 2;
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                out.push('\'');
+                out.push('\'');
+                i += 1;
+            } else if at(i + 2) == '\'' && at(i + 1) != '\'' {
+                out.push('\'');
+                out.push('\'');
+                i += 3;
+            } else {
+                // Lifetime: keep the tick, let the identifier follow.
+                out.push('\'');
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    let code = out.split('\n').map(|l| l.to_string()).collect();
+    (code, comments)
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // r"..." , r#"..."# , br"..." , b"..." is plain; only the r-forms
+    // are raw. Require a non-identifier char before `r` so identifiers
+    // ending in `r` don't trigger.
+    let n = chars.len();
+    let mut j = i;
+    if j < n && chars[j] == 'b' {
+        j += 1;
+    }
+    if j >= n || chars[j] != 'r' {
+        return false;
+    }
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return false;
+    }
+    let mut k = j + 1;
+    while k < n && chars[k] == '#' {
+        k += 1;
+    }
+    k < n && chars[k] == '"'
+}
+
+fn skip_raw_string(chars: &[char], mut i: usize, out: &mut String, line: &mut usize) -> usize {
+    let n = chars.len();
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    i += 1; // past `r`
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    out.push('"');
+    i += 1; // past opening quote
+    while i < n {
+        if chars[i] == '"' {
+            let mut m = 0usize;
+            while m < hashes && i + 1 + m < n && chars[i + 1 + m] == '#' {
+                m += 1;
+            }
+            if m == hashes {
+                out.push('"');
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            if chars[i] == '\n' {
+                out.push('\n');
+                *line += 1;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// True for characters that can appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn parse_pragma_comment(
+    text: &str,
+    at: usize,
+    trailing: bool,
+    pragmas: &mut Vec<RawPragma>,
+    errors: &mut Vec<PragmaError>,
+) {
+    // The tag must open the comment (`// grail-lint: ...`); comments
+    // merely *mentioning* the syntax mid-sentence are prose, not pragmas.
+    let head = text.trim_start_matches(['/', '!']).trim_start();
+    if !head.starts_with(PRAGMA_TAG) {
+        return;
+    }
+    let body = &head[PRAGMA_TAG.len()..];
+    let mut found = false;
+    let mut rest = body;
+    loop {
+        let (kw, file_scope) = match (rest.find("allow-file("), rest.find("allow(")) {
+            (Some(a), Some(b)) if a < b => (a, true),
+            (Some(a), None) => (a, true),
+            (_, Some(b)) => (b, false),
+            (None, None) => break,
+        };
+        let open = kw
+            + if file_scope {
+                "allow-file(".len()
+            } else {
+                "allow(".len()
+            };
+        let Some(close) = matching_paren(rest, open) else {
+            errors.push(PragmaError {
+                at,
+                message: "unclosed `allow(...)` pragma".to_string(),
+            });
+            return;
+        };
+        let inner = &rest[open..close];
+        match inner.split_once(',') {
+            Some((rule, reason)) if !reason.trim().is_empty() => {
+                pragmas.push(RawPragma {
+                    rule: rule.trim().to_string(),
+                    reason: reason.trim().to_string(),
+                    file_scope,
+                    at,
+                    trailing,
+                });
+            }
+            _ => {
+                errors.push(PragmaError {
+                    at,
+                    message: format!(
+                        "pragma `allow({})` needs a reason: `allow(rule-id, why this is sound)`",
+                        inner.trim()
+                    ),
+                });
+            }
+        }
+        found = true;
+        rest = &rest[close..];
+    }
+    if !found {
+        errors.push(PragmaError {
+            at,
+            message: "unrecognized grail-lint pragma; expected `allow(rule-id, reason)` or \
+                      `allow-file(rule-id, reason)`"
+                .to_string(),
+        });
+    }
+}
+
+/// Index just past the `(`'s matching `)`, given `open` pointing at the
+/// first char inside the parens.
+fn matching_paren(s: &str, open: usize) -> Option<usize> {
+    let mut depth = 1usize;
+    for (off, c) in s[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Mark the line spans of `#[cfg(test)]` items (typically the trailing
+/// `mod tests { ... }`).
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let len = code.len();
+    let mut out = vec![false; len];
+    let mut i = 0usize;
+    while i < len {
+        if out[i] || !code[i].contains("cfg(test)") {
+            i += 1;
+            continue;
+        }
+        // Find the annotated item: skip further attribute-only lines.
+        let after_attr = code[i]
+            .find("cfg(test)")
+            .and_then(|p| code[i][p..].find(']').map(|q| p + q + 1))
+            .unwrap_or(0);
+        let mut j = if code[i][after_attr..].trim().is_empty() {
+            i + 1
+        } else {
+            i
+        };
+        while j < len && code[j].trim().is_empty() {
+            j += 1;
+        }
+        while j < len && code[j].trim_start().starts_with("#[") {
+            j += 1;
+        }
+        if j >= len {
+            for slot in out.iter_mut().skip(i) {
+                *slot = true;
+            }
+            break;
+        }
+        // Walk to the end of the item: matching brace block, or the
+        // terminating `;` for brace-less items.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut k = j;
+        while k < len {
+            let mut done = false;
+            for c in code[k].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            done = true;
+                        }
+                    }
+                    ';' if !opened => done = true,
+                    _ => {}
+                }
+            }
+            if done {
+                break;
+            }
+            k += 1;
+        }
+        let end = k.min(len - 1);
+        for slot in out.iter_mut().take(end + 1).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    out
+}

@@ -1,0 +1,76 @@
+//! Tier-1 regression gate: the whole workspace must pass grail-lint.
+//!
+//! Runs the engine over the repository so `cargo test -q` fails the
+//! moment a nondeterminism, conservation, or hygiene violation lands —
+//! the same check CI's `lint` job runs via the binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let diags = grail_lint::check_workspace(root).expect("workspace sources are readable");
+    assert!(
+        diags.is_empty(),
+        "grail-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_is_exercised_by_the_engine() {
+    // The registry and the diagnostics agree on rule ids: a trigger
+    // fixture per family produces a diagnostic carrying a known id.
+    let cases = [
+        (
+            "crates/sim/src/fixture.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+            "wall-clock",
+        ),
+        (
+            "crates/buffer/src/fixture.rs",
+            "use std::collections::HashMap;\n",
+            "hash-order",
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            "impl EnergyLedger { fn sneak(&mut self) {} }\n",
+            "ledger-mut",
+        ),
+        (
+            "crates/core/src/fixture.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            "error-hygiene",
+        ),
+        (
+            "crates/power/src/fixture.rs",
+            "fn f(a: Joules, b: Joules) -> bool { a.joules() == b.joules() }\n",
+            "float-eq",
+        ),
+        ("crates/sim/src/lib.rs", "pub mod x;\n", "unsafe-forbid"),
+        (
+            "crates/sim/src/fixture.rs",
+            "// grail-lint: allow(hash-order)\nfn f() {}\n",
+            "pragma",
+        ),
+    ];
+    for (rel, src, want) in cases {
+        let diags = grail_lint::check_source(rel, src);
+        assert!(
+            diags.iter().any(|d| d.rule == want),
+            "fixture for `{want}` produced {diags:?}"
+        );
+        assert!(
+            grail_lint::rules::RULES.iter().any(|r| r.id == want),
+            "`{want}` missing from the registry"
+        );
+    }
+}

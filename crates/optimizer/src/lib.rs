@@ -17,6 +17,7 @@
 //!   memory grant, compression on/off, DVFS point) exposed as a swept
 //!   configuration space.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -3,7 +3,7 @@
 use grail_query::batch::Table;
 use grail_query::expr::Expr;
 use serde::Serialize;
-use std::collections::HashSet;
+use std::collections::HashSet; // grail-lint: allow(hash-order, distinct counting only; nothing iterates the set)
 
 /// Per-column statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -33,6 +33,7 @@ impl TableStats {
             .columns
             .iter()
             .map(|col| {
+                // grail-lint: allow(hash-order, only .len() is read; insertion order never observed)
                 let mut distinct = HashSet::new();
                 let mut min = i64::MAX;
                 let mut max = i64::MIN;

@@ -129,10 +129,30 @@ impl EnergyLedger {
         EnergyLedger::default()
     }
 
+    /// Debug-only conservation audit: the wall-socket total must equal
+    /// the sum over component entries, up to float accumulation order.
+    /// Compiled out of release builds (the entry sum is O(components)).
+    #[cfg(debug_assertions)]
+    fn assert_conserved(&self, op: &str) {
+        let sum: f64 = self.entries.values().map(|e| e.joules()).sum();
+        let total = self.total.joules();
+        let tol = 1e-9_f64.max(total.abs() * 1e-9);
+        debug_assert!(
+            (sum - total).abs() <= tol,
+            "ledger conservation violated after {op}: components sum to {sum} J but \
+             total is {total} J"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn assert_conserved(&self, _op: &str) {}
+
     /// Credit `energy` to `component`.
     pub fn charge(&mut self, component: ComponentId, energy: Joules) {
         *self.entries.entry(component).or_insert(Joules::ZERO) += energy;
         self.total += energy;
+        self.assert_conserved("charge");
     }
 
     /// Credit `power × duration` to `component`.
@@ -238,12 +258,21 @@ impl EnergyLedger {
     /// requests) out of the physical component that performed it and
     /// into [`ComponentKind::Recovery`].
     pub fn transfer(&mut self, from: ComponentId, to: ComponentId, energy: Joules) -> Joules {
+        #[cfg(debug_assertions)]
+        let total_before = self.total.joules().to_bits();
         let avail = self.component(from);
         let moved = Joules::new(energy.joules().min(avail.joules()).max(0.0));
         if moved.joules() > 0.0 {
             self.entries.insert(from, avail - moved);
             *self.entries.entry(to).or_insert(Joules::ZERO) += moved;
         }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.total.joules().to_bits(),
+            total_before,
+            "transfer must leave the wall-socket total bit-identical"
+        );
+        self.assert_conserved("transfer");
         moved
     }
 

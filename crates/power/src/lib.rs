@@ -22,6 +22,7 @@
 //!   example, Sec. 4.2 of the paper); [`state::PowerStateMachine`] refuses
 //!   undeclared transitions and charges declared ones.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

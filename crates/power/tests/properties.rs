@@ -121,6 +121,40 @@ proptest! {
         prop_assert!((time_sum - span).abs() <= 1e-6 * span.max(1.0), "time_sum={time_sum} span={span}");
     }
 
+    /// Conservation under arbitrary charge/transfer interleavings: the
+    /// wall-socket total always equals the sum over component entries,
+    /// and a transfer leaves the total bit-identical. (Debug builds also
+    /// check this inside the ledger after every mutation.)
+    #[test]
+    fn ledger_conserves_under_random_charges_and_transfers(
+        ops in proptest::collection::vec((0u8..2, 0u32..4, 0u32..4, 0.0f64..1e6), 1..40)
+    ) {
+        let mut l = EnergyLedger::new();
+        for (op, a, b, j) in ops {
+            let from = ComponentId::new(ComponentKind::Disk, a);
+            let to = ComponentId::new(ComponentKind::Recovery, b);
+            if op == 0 {
+                l.charge(from, Joules::new(j));
+            } else {
+                let before = l.total().joules().to_bits();
+                let moved = l.transfer(from, to, Joules::new(j));
+                prop_assert_eq!(
+                    l.total().joules().to_bits(),
+                    before,
+                    "transfer changed the total"
+                );
+                prop_assert!(moved.joules() <= j + 1e-12);
+                prop_assert!(l.component(from).joules() >= -1e-12);
+            }
+            let sum: f64 = l.iter().map(|(_, e)| e.joules()).sum();
+            let total = l.total().joules();
+            prop_assert!(
+                (sum - total).abs() <= 1e-9f64.max(total * 1e-9),
+                "sum={} total={}", sum, total
+            );
+        }
+    }
+
     /// Break-even gap really is break-even: below it parking loses,
     /// sufficiently above it parking wins.
     #[test]

@@ -17,6 +17,7 @@
 //! * [`cost_charge`] — the calibrated cycles-per-value constants shared
 //!   by the executor and the optimizer's cost model.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -5,6 +5,8 @@
 //! flip to nested-loop under an energy objective. The build side closes a
 //! pipeline phase (its IO+CPU cannot overlap the probe's).
 
+// grail-lint: allow-file(hash-order, build table is probed per-row and never iterated; output order follows the probe stream)
+
 use crate::batch::{Batch, BATCH_ROWS};
 use crate::exec::{ExecContext, Operator, QueryError};
 use crate::schema::Schema;

@@ -177,7 +177,7 @@ pub fn place(
                 fleet[*b]
                     .peak_efficiency()
                     .partial_cmp(&fleet[*a].peak_efficiency())
-                    .expect("finite efficiencies")
+                    .expect("finite efficiencies") // grail-lint: allow(error-hygiene, peak_efficiency is finite for all power models)
                     .then(a.cmp(b))
             });
             let mut loads = vec![0.0; fleet.len()];

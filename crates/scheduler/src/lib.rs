@@ -19,6 +19,7 @@
 //!   machine-failure re-placement ([`cluster::fail_over`]) that charges
 //!   cold-boot energy when displaced load lands on dark machines.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

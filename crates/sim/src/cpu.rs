@@ -87,16 +87,16 @@ impl CpuDevice {
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, c)| (c.next_free, *i))
-                .expect("pool is non-empty");
+                .expect("pool is non-empty"); // grail-lint: allow(error-hygiene, core pool is sized nonzero at construction)
             let core = &mut self.cores[idx];
             let start = at.max(core.next_free);
             let end = start + dur;
             core.machine
                 .set_state(start, duo_states::ACTIVE)
-                .expect("idle->active");
+                .expect("idle->active"); // grail-lint: allow(error-hygiene, idle/active transition is declared in the duo state machine)
             core.machine
                 .set_state(end, duo_states::IDLE)
-                .expect("active->idle");
+                .expect("active->idle"); // grail-lint: allow(error-hygiene, idle/active transition is declared in the duo state machine)
             core.next_free = end;
             first_start = first_start.min(start);
             last_end = last_end.max(end);
@@ -164,7 +164,7 @@ impl CpuDevice {
         let cores: Joules = self
             .cores
             .into_iter()
-            .map(|c| c.machine.finish(end).expect("monotone finish").total_energy)
+            .map(|c| c.machine.finish(end).expect("monotone finish").total_energy) // grail-lint: allow(error-hygiene, per-core event times are monotone by construction)
             .sum();
         cores + uncore
     }

@@ -66,6 +66,15 @@ pub enum SimError {
         /// The array, printed.
         array: String,
     },
+    /// An operation needed loaded tables, but nothing has been loaded
+    /// (call `load_tpch` first).
+    NotLoaded,
+    /// Query planning or demand measurement failed before anything was
+    /// dispatched to the simulator.
+    Plan {
+        /// The planner/executor error, printed.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -122,6 +131,8 @@ impl fmt::Display for SimError {
             SimError::NothingToRebuild { array } => {
                 write!(f, "array {array} has no failed member to rebuild")
             }
+            SimError::NotLoaded => f.write_str("no tables loaded; call load_tpch first"),
+            SimError::Plan { reason } => write!(f, "query planning failed: {reason}"),
         }
     }
 }

@@ -36,6 +36,7 @@
 //! * [`event`] — deterministic priority event queue.
 //! * [`trace`] — binned power/utilization time series.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

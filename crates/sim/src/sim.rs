@@ -225,7 +225,7 @@ impl Simulation {
             });
             merge(&mut span, r);
         }
-        let done = span.expect("arrays are non-empty");
+        let done = span.expect("arrays are non-empty"); // grail-lint: allow(error-hygiene, make_array rejects empty arrays)
         if let Some(plan) = self.fault_plan.as_mut() {
             for d in &failed {
                 plan.mark_rebuilt(*d, done.end);
@@ -562,7 +562,7 @@ impl Simulation {
             let d = self
                 .disks
                 .get_mut(disk.0 as usize)
-                .expect("validated at make_array");
+                .expect("validated at make_array"); // grail-lint: allow(error-hygiene, disk ids were validated at make_array)
             let r = d.serve(at, effective, per_disk_access);
             served.push((disk, r));
             res = Some(match res {
@@ -570,7 +570,7 @@ impl Simulation {
                 None => r,
             });
         }
-        let res = res.expect("arrays are non-empty");
+        let res = res.expect("arrays are non-empty"); // grail-lint: allow(error-hygiene, make_array rejects empty arrays)
 
         if let Some(plan) = self.fault_plan.as_mut() {
             // Draw for every member (streams advance uniformly); the

@@ -8,12 +8,13 @@
 use super::varint::{read_i64, read_u32, write_i64, write_u32};
 use super::{bitpack, Encoding};
 use crate::error::StorageError;
-use std::collections::HashMap;
+use std::collections::HashMap; // grail-lint: allow(hash-order, per-value lookups only; dict order is first-appearance)
 
 /// Encode `values` with a dictionary.
 pub fn encode(values: &[i64]) -> Vec<u8> {
     let mut dict: Vec<i64> = Vec::new();
     let mut codes: Vec<i64> = Vec::with_capacity(values.len());
+    // grail-lint: allow(hash-order, lookup-only code assignment; emitted dict follows input order)
     let mut index: HashMap<i64, u32> = HashMap::new();
     for v in values {
         let code = *index.entry(*v).or_insert_with(|| {

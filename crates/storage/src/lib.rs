@@ -26,6 +26,7 @@
 //! bytes and disk *slots* (plain indices); binding slots to simulated
 //! devices happens in `grail-core`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

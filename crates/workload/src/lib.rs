@@ -19,6 +19,7 @@
 //!   records with 10-byte keys, for the records-sorted-per-Joule
 //!   benchmark.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -41,6 +41,8 @@
 //! println!("{} J over {}", report.energy.joules(), report.elapsed);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use grail_buffer as buffer;
 pub use grail_core as core;
 pub use grail_optimizer as optimizer;
