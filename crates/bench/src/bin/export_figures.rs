@@ -5,6 +5,7 @@
 //! (the two series of the paper's Figure 1) and `figures/fig2_bars.csv`
 //! (Figure 2's grouped bars).
 
+use grail_bench::{cell_f64, Csv};
 use serde_json::Value;
 use std::fs;
 use std::path::Path;
@@ -47,31 +48,30 @@ fn main() {
         }
     }
     fig1.sort_by_key(|(d, _, _)| *d);
-    let mut time_csv = String::from("disks,time_s\n");
-    let mut ee_csv = String::from("disks,efficiency_work_per_joule\n");
+    let mut time_csv = Csv::new(&["disks", "time_s"]);
+    let mut ee_csv = Csv::new(&["disks", "efficiency_work_per_joule"]);
     for (d, t, e) in &fig1 {
-        time_csv.push_str(&format!("{d},{t}\n"));
-        ee_csv.push_str(&format!("{d},{e}\n"));
+        time_csv.row(&[d.to_string(), cell_f64(*t)]);
+        ee_csv.row(&[d.to_string(), cell_f64(*e)]);
     }
-    fs::write("figures/fig1_time.csv", &time_csv).expect("write");
-    fs::write("figures/fig1_efficiency.csv", &ee_csv).expect("write");
+    fs::write("figures/fig1_time.csv", time_csv.finish()).expect("write");
+    fs::write("figures/fig1_efficiency.csv", ee_csv.finish()).expect("write");
 
     // Figure 2: grouped bars (total time, CPU time) + energy labels.
-    let mut fig2_csv = String::from("config,total_s,cpu_s,energy_j\n");
-    let mut fig2_rows = 0;
+    let mut fig2_csv = Csv::new(&["config", "total_s", "cpu_s", "energy_j"]);
     for r in &recs {
         if r["experiment"] == "FIG2" {
             let cpu = r["extra"]["cpu_busy_secs"].as_f64().unwrap_or(0.0);
-            fig2_csv.push_str(&format!(
-                "{},{},{cpu},{}\n",
-                r["config"].as_str().expect("config"),
-                r["elapsed_secs"].as_f64().expect("elapsed"),
-                r["energy_j"].as_f64().expect("energy"),
-            ));
-            fig2_rows += 1;
+            fig2_csv.row(&[
+                r["config"].as_str().expect("config").to_string(),
+                cell_f64(r["elapsed_secs"].as_f64().expect("elapsed")),
+                cell_f64(cpu),
+                cell_f64(r["energy_j"].as_f64().expect("energy")),
+            ]);
         }
     }
-    fs::write("figures/fig2_bars.csv", &fig2_csv).expect("write");
+    let fig2_rows = fig2_csv.rows();
+    fs::write("figures/fig2_bars.csv", fig2_csv.finish()).expect("write");
 
     println!(
         "wrote figures/fig1_time.csv ({} points), figures/fig1_efficiency.csv, figures/fig2_bars.csv ({fig2_rows} bars)",

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod csv;
 pub mod record;
 
+pub use csv::{cell_f64, Csv};
 pub use record::{print_header, print_row, ExperimentRecord};

@@ -56,7 +56,9 @@ impl ExperimentRecord {
 
 /// Print an experiment header.
 pub fn print_header(experiment: &str, description: &str) {
+    // grail-lint: allow(print-hygiene, console reporting helper called only from the experiment binaries)
     println!("== {experiment}: {description}");
+    // grail-lint: allow(print-hygiene, console reporting helper called only from the experiment binaries)
     println!(
         "{:<26} {:>12} {:>14} {:>12} {:>14}",
         "config", "time (s)", "energy (J)", "work", "EE (work/J)"
@@ -65,6 +67,7 @@ pub fn print_header(experiment: &str, description: &str) {
 
 /// Print one aligned result row.
 pub fn print_row(r: &ExperimentRecord) {
+    // grail-lint: allow(print-hygiene, console reporting helper called only from the experiment binaries)
     println!(
         "{:<26} {:>12.3} {:>14.1} {:>12.0} {:>14.6e}",
         r.config, r.elapsed_secs, r.energy_j, r.work, r.efficiency

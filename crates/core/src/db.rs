@@ -5,14 +5,17 @@ use crate::report::EnergyReport;
 use grail_power::units::{Bytes, SimDuration};
 use grail_query::colscan;
 use grail_query::cost_charge::CostCharge;
-use grail_query::exec::{run_collect, ExecContext};
+use grail_query::exec::{run_collect, ExecContext, OpTally};
 use grail_query::expr::Expr;
 use grail_sim::driver::{run_streams, IoDemand, JobSpec};
 use grail_sim::ids::CpuId;
 use grail_sim::sim::Simulation;
+use grail_sim::AttributionTable;
 use grail_sim::DiskId;
+use grail_sim::OperatorShare;
 use grail_sim::StorageTarget;
 use grail_sim::{FaultConfig, FaultPlan, SimError};
+use grail_trace::{Category, Recorder, TraceEvent, TraceSink, TraceTime, Tracer, Track};
 use grail_workload::mix::{closed_mix, job_from_tallies, scale_tally};
 use grail_workload::queries::{QueryTemplate, StoredCatalog};
 use grail_workload::tpch::{self, TpchScale, TpchTables, ORDERS_FIG2_PROJECTION};
@@ -71,6 +74,22 @@ impl ScanSpec {
             predicate: None,
         }
     }
+}
+
+/// Default event capacity for traced runs: plenty for the small
+/// configurations `trace_dump` captures; bigger runs evict oldest
+/// events deterministically and report the drop count.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// A metered run plus its flight-recorder capture.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The metered outcome; `report.attribution` is populated.
+    pub report: EnergyReport,
+    /// The recorder holding the run's events and metrics, ready for
+    /// [`grail_trace::export::to_jsonl`] or
+    /// [`grail_trace::export::to_chrome`].
+    pub trace: Recorder,
 }
 
 /// The logical storage target tables are bound to before a run maps
@@ -224,6 +243,33 @@ impl EnergyAwareDb {
         policy: ExecPolicy,
         scale_to: f64,
     ) -> Result<EnergyReport, SimError> {
+        self.scan_inner(spec, policy, scale_to, false)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Self::try_run_scan`] with the flight recorder on: every device
+    /// reservation, power transition, and ledger movement becomes a
+    /// trace event, and the report carries a per-query attribution
+    /// table. Tracing observes the same simulation — the physics (time,
+    /// Joules) are identical to the untraced run.
+    pub fn try_run_scan_traced(
+        &self,
+        spec: &ScanSpec,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> Result<TracedRun, SimError> {
+        let (report, trace) = self.scan_inner(spec, policy, scale_to, true)?;
+        let trace = trace.expect("traced run carries a recorder"); // grail-lint: allow(error-hygiene, scan_inner(traced=true) always installs a tracer)
+        Ok(TracedRun { report, trace })
+    }
+
+    fn scan_inner(
+        &self,
+        spec: &ScanSpec,
+        policy: ExecPolicy,
+        scale_to: f64,
+        traced: bool,
+    ) -> Result<(EnergyReport, Option<Recorder>), SimError> {
         let catalog = self.try_catalog(policy.compression)?;
         let run = colscan::scan_job(
             catalog.orders.clone(),
@@ -236,6 +282,10 @@ impl EnergyAwareDb {
             reason: e.to_string(),
         })?;
         let (mut sim, cpu, targets) = self.build_sim();
+        if traced {
+            sim.set_tracer(Tracer::on(Recorder::new(DEFAULT_TRACE_CAPACITY)));
+            sim.enable_attribution();
+        }
         let mut job = run.job.clone();
         if (scale_to - 1.0).abs() > 1e-9 {
             for p in &mut job.phases {
@@ -250,45 +300,56 @@ impl EnergyAwareDb {
         let out = run_streams(&mut sim, cpu, &[vec![job]])?;
         let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
-        Ok(EnergyReport {
-            profile: self.profile.name,
-            label: format!(
-                "scan[{} cols, {:?}]",
-                spec.projection.len(),
-                policy.compression
-            ),
-            elapsed: report.elapsed,
-            energy: report.total_energy(),
-            work: (run.rows as f64 * scale_to).max(0.0),
-            cpu_busy,
-            recovery: report.recovery_energy(),
-            retries: out.total_retries,
-            ledger: report.ledger,
-        })
+        let energy = report.total_energy();
+        let recovery = report.recovery_energy();
+        let mut attribution = report.attribution;
+        let mut trace = report.trace;
+        // The single scan job is every query; template 0 describes it.
+        attach_operator_detail(trace.as_mut(), attribution.as_mut(), &[run.ops], |_, _| 0);
+        Ok((
+            EnergyReport {
+                profile: self.profile.name,
+                label: format!(
+                    "scan[{} cols, {:?}]",
+                    spec.projection.len(),
+                    policy.compression
+                ),
+                elapsed: report.elapsed,
+                energy,
+                work: (run.rows as f64 * scale_to).max(0.0),
+                cpu_busy,
+                recovery,
+                retries: out.total_retries,
+                ledger: report.ledger,
+                attribution,
+            },
+            trace,
+        ))
     }
 
     /// Measure one template's real demands at the loaded scale,
     /// stretched by `scale_to`, as a dispatchable job plus its result
-    /// row count.
+    /// row count and per-operator tallies.
     fn template_job(
         &self,
         template: QueryTemplate,
         catalog: &StoredCatalog,
         policy: ExecPolicy,
         scale_to: f64,
-    ) -> Result<(JobSpec, usize), SimError> {
+    ) -> Result<(JobSpec, usize, Vec<OpTally>), SimError> {
         let mut plan = template.plan(catalog);
         let mut ctx = ExecContext::new(self.charge);
         let out = run_collect(plan.as_mut(), &mut ctx).map_err(|e| SimError::Plan {
             reason: e.to_string(),
         })?;
         let rows = out.iter().map(|b| b.len()).sum();
+        let ops = ctx.take_op_tallies();
         let tallies: Vec<_> = ctx
             .finish()
             .iter()
             .map(|tally| scale_tally(tally, scale_to))
             .collect();
-        Ok((job_from_tallies(&tallies, policy.dop), rows))
+        Ok((job_from_tallies(&tallies, policy.dop), rows, ops))
     }
 
     /// Run one query template by itself and meter it.
@@ -314,7 +375,7 @@ impl EnergyAwareDb {
         scale_to: f64,
     ) -> Result<EnergyReport, SimError> {
         let catalog = self.try_catalog(policy.compression)?;
-        let (job, rows) = self.template_job(template, &catalog, policy, scale_to)?;
+        let (job, rows, _ops) = self.template_job(template, &catalog, policy, scale_to)?;
         let (mut sim, cpu, targets) = self.build_sim();
         let job = stripe_job(&job, &targets);
         let out = run_streams(&mut sim, cpu, &[vec![job]])?;
@@ -330,6 +391,7 @@ impl EnergyAwareDb {
             recovery: report.recovery_energy(),
             retries: out.total_retries,
             ledger: report.ledger,
+            attribution: None,
         })
     }
 
@@ -360,29 +422,84 @@ impl EnergyAwareDb {
         policy: ExecPolicy,
         scale_to: f64,
     ) -> Result<EnergyReport, SimError> {
+        self.throughput_inner(streams, queries_per_stream, policy, scale_to, false)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Self::try_run_throughput_test`] with the flight recorder on.
+    /// The report gains a per-query attribution table (rows sum to the
+    /// ledger total) with per-operator demand detail, and the recorder
+    /// holds the full event/metric capture.
+    pub fn try_run_throughput_test_traced(
+        &self,
+        streams: usize,
+        queries_per_stream: usize,
+        policy: ExecPolicy,
+        scale_to: f64,
+    ) -> Result<TracedRun, SimError> {
+        let (report, trace) =
+            self.throughput_inner(streams, queries_per_stream, policy, scale_to, true)?;
+        let trace = trace.expect("traced run carries a recorder"); // grail-lint: allow(error-hygiene, throughput_inner(traced=true) always installs a tracer)
+        Ok(TracedRun { report, trace })
+    }
+
+    fn throughput_inner(
+        &self,
+        streams: usize,
+        queries_per_stream: usize,
+        policy: ExecPolicy,
+        scale_to: f64,
+        traced: bool,
+    ) -> Result<(EnergyReport, Option<Recorder>), SimError> {
         let catalog = self.try_catalog(policy.compression)?;
         // Measure each template's real demands once.
+        let mut template_ops: Vec<Vec<OpTally>> = Vec::with_capacity(QueryTemplate::MIX.len());
         let prototypes: Vec<JobSpec> = QueryTemplate::MIX
             .iter()
-            .map(|t| Ok(self.template_job(*t, &catalog, policy, scale_to)?.0))
+            .map(|t| {
+                let (job, _rows, ops) = self.template_job(*t, &catalog, policy, scale_to)?;
+                template_ops.push(ops);
+                Ok(job)
+            })
             .collect::<Result<_, SimError>>()?;
         let (mut sim, cpu, targets) = self.build_sim();
+        if traced {
+            sim.set_tracer(Tracer::on(Recorder::new(DEFAULT_TRACE_CAPACITY)));
+            sim.enable_attribution();
+        }
         let striped: Vec<JobSpec> = prototypes.iter().map(|j| stripe_job(j, &targets)).collect();
         let mix = closed_mix(&striped, streams, queries_per_stream);
         let out = run_streams(&mut sim, cpu, &mix)?;
         let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
-        Ok(EnergyReport {
-            profile: self.profile.name,
-            label: format!("throughput[{streams}x{queries_per_stream}]"),
-            elapsed: report.elapsed,
-            energy: report.total_energy(),
-            work: out.results.len() as f64,
-            cpu_busy,
-            recovery: report.recovery_energy(),
-            retries: out.total_retries,
-            ledger: report.ledger,
-        })
+        let energy = report.total_energy();
+        let recovery = report.recovery_energy();
+        let mut attribution = report.attribution;
+        let mut trace = report.trace;
+        // closed_mix deals template (s + q) % MIX.len() to stream s's
+        // q-th query; use the same formula to attach operator detail.
+        let n = prototypes.len();
+        attach_operator_detail(
+            trace.as_mut(),
+            attribution.as_mut(),
+            &template_ops,
+            |s, q| (s as usize + q as usize) % n,
+        );
+        Ok((
+            EnergyReport {
+                profile: self.profile.name,
+                label: format!("throughput[{streams}x{queries_per_stream}]"),
+                elapsed: report.elapsed,
+                energy,
+                work: out.results.len() as f64,
+                cpu_busy,
+                recovery,
+                retries: out.total_retries,
+                ledger: report.ledger,
+                attribution,
+            },
+            trace,
+        ))
     }
 
     /// Ask the knob advisor (Sec. 4.1) for the best configuration of
@@ -417,6 +534,64 @@ impl EnergyAwareDb {
             recovery: report.recovery_energy(),
             retries: 0,
             ledger: report.ledger,
+            attribution: None,
+        }
+    }
+}
+
+/// Attach per-operator demand detail to a traced run's outputs.
+///
+/// `per_template[k]` holds the operator tallies measured for prototype
+/// `k`; `template_of(stream, index)` maps a query back to its template
+/// (the same formula the mix builder used). Attribution rows gain
+/// [`OperatorShare`] breakdowns, and the recorder gains one
+/// [`Category::Query`] span per operator on [`Track::Exec`] in
+/// pseudo-time (1 CPU cycle = 1 ns), so Perfetto shows relative operator
+/// weight without pretending the executor ran on the simulated clock.
+fn attach_operator_detail(
+    trace: Option<&mut Recorder>,
+    attribution: Option<&mut AttributionTable>,
+    per_template: &[Vec<OpTally>],
+    template_of: impl Fn(u32, u32) -> usize,
+) {
+    if let Some(table) = attribution {
+        for row in &mut table.rows {
+            if let (Some(s), Some(q)) = (row.stream, row.index) {
+                let Some(tallies) = per_template.get(template_of(s, q)) else {
+                    continue;
+                };
+                row.operators = tallies
+                    .iter()
+                    .map(|t| OperatorShare {
+                        name: t.name.to_string(),
+                        calls: t.calls,
+                        cpu_cycles: t.cpu.get(),
+                        io_bytes: t.io_bytes.get(),
+                    })
+                    .collect();
+            }
+        }
+    }
+    if let Some(rec) = trace {
+        for (k, tallies) in per_template.iter().enumerate() {
+            let mut cursor = 0u64;
+            for t in tallies {
+                let dur = t.cpu.get().max(1);
+                rec.record(
+                    TraceEvent::span(
+                        TraceTime::from_nanos(cursor),
+                        dur,
+                        Category::Query,
+                        t.name,
+                        Track::Exec,
+                    )
+                    .arg("template", k as u64)
+                    .arg("calls", t.calls)
+                    .arg("cpu_cycles", t.cpu.get())
+                    .arg("io_bytes", t.io_bytes.get()),
+                );
+                cursor += dur;
+            }
         }
     }
 }
@@ -655,5 +830,73 @@ mod tests {
         let back = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0);
         assert_eq!(back.retries, 0);
         assert_eq!(back.energy, clean.energy);
+    }
+
+    #[test]
+    fn traced_scan_attributes_energy_without_changing_physics() {
+        let db = db(HardwareProfile::flash_scanner());
+        let plain = db
+            .try_run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 1.0)
+            .expect("loaded db scans");
+        let traced = db
+            .try_run_scan_traced(&ScanSpec::fig2(), ExecPolicy::default(), 1.0)
+            .expect("loaded db scans");
+        // Tracing must not perturb the physics.
+        assert_eq!(traced.report.energy, plain.energy);
+        assert_eq!(traced.report.elapsed, plain.elapsed);
+        assert!(plain.attribution.is_none());
+        // The recorder saw the run.
+        assert!(!traced.trace.is_empty());
+        assert!(traced.trace.events().any(|e| e.name == "sim.finish"));
+        assert!(traced.trace.events().any(|e| e.name == "scan"));
+        // Attribution rows sum to the wall-socket total, and the single
+        // scan query carries operator detail.
+        let table = traced.report.attribution.as_ref().expect("traced");
+        let total = traced.report.ledger.total().joules();
+        assert!((table.sum().joules() - total).abs() <= total * 1e-9 + 1e-9);
+        let q = table.query(0, 0).expect("the scan is s0.q0");
+        assert!(q.energy.joules() > 0.0);
+        assert_eq!(q.operators.len(), 1);
+        assert_eq!(q.operators[0].name, "scan");
+        assert!(q.operators[0].io_bytes > 0);
+    }
+
+    #[test]
+    fn traced_throughput_attributes_every_query() {
+        let db = db(HardwareProfile::server_dl785(36));
+        let plain = db
+            .try_run_throughput_test(2, 2, ExecPolicy::default(), 1.0)
+            .expect("loaded db runs");
+        let traced = db
+            .try_run_throughput_test_traced(2, 2, ExecPolicy::default(), 1.0)
+            .expect("loaded db runs");
+        assert_eq!(traced.report.energy, plain.energy);
+        assert_eq!(traced.report.elapsed, plain.elapsed);
+        let table = traced.report.attribution.as_ref().expect("traced");
+        // 2 streams x 2 queries + residual.
+        assert_eq!(table.rows.len(), 5);
+        let total = traced.report.ledger.total().joules();
+        assert!((table.sum().joules() - total).abs() <= total * 1e-9 + 1e-9);
+        // Every query row carries its template's operator breakdown.
+        for s in 0..2u32 {
+            for q in 0..2u32 {
+                let row = table.query(s, q).expect("query row present");
+                assert!(row.energy.joules() > 0.0, "{} burned energy", row.label);
+                assert!(!row.operators.is_empty(), "{} has operators", row.label);
+            }
+        }
+        // Round-robin dealing: s0.q0 and s1.q1 share template 0's
+        // operator set; s0.q1 and s1.q0 share template 1's.
+        let ops = |s: u32, q: u32| -> Vec<String> {
+            table
+                .query(s, q)
+                .unwrap()
+                .operators
+                .iter()
+                .map(|o| o.name.clone())
+                .collect()
+        };
+        assert_eq!(ops(0, 0), ops(1, 1));
+        assert_eq!(ops(0, 1), ops(1, 0));
     }
 }

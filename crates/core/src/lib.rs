@@ -22,7 +22,7 @@ pub mod db;
 pub mod profile;
 pub mod report;
 
-pub use db::{EnergyAwareDb, ExecPolicy, ScanSpec};
+pub use db::{EnergyAwareDb, ExecPolicy, ScanSpec, TracedRun, DEFAULT_TRACE_CAPACITY};
 pub use grail_workload::TpchScale;
 pub use profile::HardwareProfile;
 pub use report::EnergyReport;

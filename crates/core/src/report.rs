@@ -3,6 +3,7 @@
 
 use grail_power::ledger::{ComponentKind, EnergyLedger};
 use grail_power::units::{EnergyEfficiency, Joules, SimDuration, Watts};
+use grail_sim::AttributionTable;
 use serde::Serialize;
 
 /// The outcome of one measured run.
@@ -29,6 +30,11 @@ pub struct EnergyReport {
     pub retries: u64,
     /// The full per-component ledger.
     pub ledger: EnergyLedger,
+    /// Per-query energy attribution (traced runs only): rows sum to the
+    /// ledger's wall-socket total, with a residual row for idle/base
+    /// draw no query caused.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub attribution: Option<AttributionTable>,
 }
 
 impl EnergyReport {
@@ -102,6 +108,7 @@ mod tests {
             recovery: Joules::ZERO,
             retries: 0,
             ledger,
+            attribution: None,
         }
     }
 

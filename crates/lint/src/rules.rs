@@ -17,6 +17,9 @@
 //! * [`FLOAT_EQ`] — no `==`/`!=` on raw energy/time floats; replay
 //!   equality is asserted on whole values or bit patterns, tolerance
 //!   comparisons elsewhere.
+//! * [`PRINT_HYGIENE`] — no `println!`/`eprintln!` in library crates;
+//!   diagnostics flow through `grail-trace` events or returned errors,
+//!   and only binary targets own stdout.
 //! * [`UNSAFE_FORBID`] — every library crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //! * [`PRAGMA`] — suppression pragmas themselves must be well-formed and
@@ -35,6 +38,8 @@ pub const LEDGER_MUT: &str = "ledger-mut";
 pub const ERROR_HYGIENE: &str = "error-hygiene";
 /// No float equality on energy/time quantities.
 pub const FLOAT_EQ: &str = "float-eq";
+/// No console printing from library code; use grail-trace or errors.
+pub const PRINT_HYGIENE: &str = "print-hygiene";
 /// Library crate roots must forbid `unsafe`.
 pub const UNSAFE_FORBID: &str = "unsafe-forbid";
 /// Pragma hygiene (malformed or unknown suppressions).
@@ -72,6 +77,10 @@ pub const RULES: &[Rule] = &[
         summary: "no ==/!= on raw energy/time floats (.joules(), .as_secs_f64(), ...)",
     },
     Rule {
+        id: PRINT_HYGIENE,
+        summary: "no println!/eprintln! in library code outside tests; trace or return errors",
+    },
+    Rule {
         id: UNSAFE_FORBID,
         summary: "library crate roots must carry #![forbid(unsafe_code)]",
     },
@@ -96,6 +105,7 @@ pub fn check(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     ledger_mut(info, f, &mut raw);
     error_hygiene(info, f, &mut raw);
     float_eq(info, f, &mut raw);
+    print_hygiene(info, f, &mut raw);
     unsafe_forbid(info, f, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw.into_iter().filter(|d| !suppressed(d, f)).collect();
@@ -460,6 +470,42 @@ fn operand_after(code: &str, op_end: usize) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// print-hygiene
+// ---------------------------------------------------------------------------
+
+/// True for files that compile into a binary target, which rightfully
+/// owns stdout: `src/main.rs` and anything under `src/bin/`.
+fn is_binary_target(rel: &str) -> bool {
+    rel == "src/main.rs" || rel.ends_with("/src/main.rs") || rel.contains("/src/bin/")
+}
+
+fn print_hygiene(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if info.kind != FileKind::Library || is_binary_target(info.rel) {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        for pat in ["println!", "eprintln!"] {
+            if has_token(code, pat) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    PRINT_HYGIENE,
+                    format!(
+                        "`{pat}` in library code writes to the console behind the caller's \
+                         back; emit a grail-trace event, return the data, or move the \
+                         printing into a binary target"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // unsafe-forbid
 // ---------------------------------------------------------------------------
 
@@ -619,6 +665,36 @@ mod tests {
                   fn h(i: usize) -> bool { i == 0 }\n\
                   fn k(a: Joules) -> bool { a.joules() > 0.0 && 1 == 1 }\n";
         assert!(rules_at("crates/power/src/x.rs", ok).is_empty());
+    }
+
+    // -- print-hygiene ------------------------------------------------------
+
+    #[test]
+    fn print_hygiene_triggers_in_library_code() {
+        let bad = "fn f() { println!(\"{}\", 1); }\nfn g() { eprintln!(\"oops\"); }\n";
+        let got = rules_at("crates/query/src/x.rs", bad);
+        assert_eq!(
+            got,
+            vec![(1, "print-hygiene".into()), (2, "print-hygiene".into())]
+        );
+    }
+
+    #[test]
+    fn print_hygiene_passes_binaries_tests_and_pragmas() {
+        let printing = "fn main() { println!(\"hello\"); }\n";
+        // Binary targets own stdout.
+        assert!(rules_at("crates/bench/src/bin/fig1.rs", printing).is_empty());
+        assert!(rules_at("crates/lint/src/main.rs", printing).is_empty());
+        // Test modules and test-like files may print freely.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(rules_at("crates/query/src/x.rs", in_tests).is_empty());
+        assert!(rules_at("crates/query/tests/x.rs", printing).is_empty());
+        // A pragma with a reason suppresses.
+        let allowed = "fn f() { println!(\"row\"); } // grail-lint: allow(print-hygiene, console reporting helper for the bench binaries)\n";
+        assert!(rules_at("crates/bench/src/record.rs", allowed).is_empty());
+        // write!/writeln! to a caller-supplied sink are fine.
+        let ok = "fn f(w: &mut impl Write) { writeln!(w, \"x\").ok(); }\n";
+        assert!(rules_at("crates/query/src/x.rs", ok).is_empty());
     }
 
     // -- unsafe-forbid ------------------------------------------------------

@@ -87,6 +87,31 @@ pub struct BreakdownRow {
     pub share: f64,
 }
 
+/// One audited ledger movement, recorded when journaling is enabled
+/// (see [`EnergyLedger::enable_journal`]). The journal is how the
+/// trace layer observes *every* charge and transfer without the ledger
+/// taking a dependency on it: the simulator drains the journal into
+/// trace events at settlement time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LedgerOp {
+    /// `energy` was credited to `component`.
+    Charge {
+        /// Charged component.
+        component: ComponentId,
+        /// Amount credited.
+        energy: Joules,
+    },
+    /// `moved` Joules were re-attributed `from → to` (total unchanged).
+    Transfer {
+        /// Source component.
+        from: ComponentId,
+        /// Destination component.
+        to: ComponentId,
+        /// Amount actually moved after clamping.
+        moved: Joules,
+    },
+}
+
 /// Exact per-component energy accounting over a simulation window.
 ///
 /// Iteration order (and therefore report order and serialization) is
@@ -98,6 +123,12 @@ pub struct EnergyLedger {
     total: Joules,
     window_start: Option<SimInstant>,
     window_end: Option<SimInstant>,
+    // Not part of the accounting state: excluded from serialization so
+    // a journaled ledger round-trips to the same JSON as an untraced
+    // one. (It *does* participate in `PartialEq`; determinism tests
+    // compare ledgers in matching journal modes.)
+    #[serde(skip)]
+    journal: Option<Vec<LedgerOp>>,
 }
 
 /// JSON object keys must be strings; serialize the component map as a
@@ -148,10 +179,27 @@ impl EnergyLedger {
     #[inline]
     fn assert_conserved(&self, _op: &str) {}
 
+    /// Start journaling every subsequent [`charge`](Self::charge) and
+    /// [`transfer`](Self::transfer) (see [`LedgerOp`]). Idempotent.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded journal, turning journaling off. Returns an
+    /// empty `Vec` when journaling was never enabled.
+    pub fn take_journal(&mut self) -> Vec<LedgerOp> {
+        self.journal.take().unwrap_or_default()
+    }
+
     /// Credit `energy` to `component`.
     pub fn charge(&mut self, component: ComponentId, energy: Joules) {
         *self.entries.entry(component).or_insert(Joules::ZERO) += energy;
         self.total += energy;
+        if let Some(journal) = &mut self.journal {
+            journal.push(LedgerOp::Charge { component, energy });
+        }
         self.assert_conserved("charge");
     }
 
@@ -265,6 +313,9 @@ impl EnergyLedger {
         if moved.joules() > 0.0 {
             self.entries.insert(from, avail - moved);
             *self.entries.entry(to).or_insert(Joules::ZERO) += moved;
+            if let Some(journal) = &mut self.journal {
+                journal.push(LedgerOp::Transfer { from, to, moved });
+            }
         }
         #[cfg(debug_assertions)]
         debug_assert_eq!(
@@ -424,6 +475,38 @@ mod tests {
         assert_eq!(l.kind_share(ComponentKind::Disk), 0.0);
         assert!(l.breakdown().is_empty());
         assert_eq!(l.window(), None);
+    }
+
+    #[test]
+    fn journal_records_charges_and_transfers_in_order() {
+        let mut l = EnergyLedger::new();
+        l.charge(DISK0, Joules::new(5.0)); // before enable: not journaled
+        l.enable_journal();
+        l.enable_journal(); // idempotent
+        l.charge(CPU0, Joules::new(2.0));
+        let rec = ComponentId::new(ComponentKind::Recovery, 0);
+        l.transfer(DISK0, rec, Joules::new(1.0));
+        l.transfer(CPU0, rec, Joules::new(0.0)); // no-op move: not journaled
+        let ops = l.take_journal();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(
+            ops[0],
+            LedgerOp::Charge {
+                component: CPU0,
+                energy: Joules::new(2.0)
+            }
+        );
+        assert_eq!(
+            ops[1],
+            LedgerOp::Transfer {
+                from: DISK0,
+                to: rec,
+                moved: Joules::new(1.0)
+            }
+        );
+        // Journaling off again after take; totals were unaffected.
+        assert!(l.take_journal().is_empty());
+        assert!((l.total().joules() - 7.0).abs() < 1e-12);
     }
 
     #[test]

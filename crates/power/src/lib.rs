@@ -36,6 +36,6 @@ pub mod tco;
 pub mod units;
 
 pub use error::PowerError;
-pub use ledger::{ComponentId, ComponentKind, EnergyLedger};
+pub use ledger::{ComponentId, ComponentKind, EnergyLedger, LedgerOp};
 pub use state::{PowerState, PowerStateId, PowerStateMachine, Transition};
 pub use units::{Bytes, Cycles, EnergyEfficiency, Hertz, Joules, SimDuration, SimInstant, Watts};

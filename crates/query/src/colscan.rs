@@ -7,7 +7,7 @@
 //! hardware profile it is studying; Fig. 2 uses one 90 W CPU and three
 //! 5 W-total flash drives.
 
-use crate::exec::{run_collect, ExecContext, QueryError};
+use crate::exec::{run_collect, ExecContext, OpTally, QueryError};
 use crate::expr::Expr;
 use crate::ops::filter::Filter;
 use crate::ops::scan::{ColumnarScan, StoredTable};
@@ -29,6 +29,8 @@ pub struct ScanRun {
     pub cpu: Cycles,
     /// Total device bytes read.
     pub io_bytes: Bytes,
+    /// Per-operator demand tallies (scan, and filter when predicated).
+    pub ops: Vec<OpTally>,
 }
 
 /// Execute a projection scan (optionally filtered) and package it as a
@@ -50,11 +52,13 @@ pub fn scan_job(
     let rows = batches.iter().map(|b| b.len()).sum();
     let cpu = ctx.total_cpu();
     let io_bytes = ctx.total_io_bytes();
+    let ops = ctx.take_op_tallies();
     Ok(ScanRun {
         rows,
         job: ctx.into_job(dop),
         cpu,
         io_bytes,
+        ops,
     })
 }
 
@@ -129,5 +133,12 @@ mod tests {
         assert!(some.rows < all.rows);
         assert!(some.cpu > all.cpu);
         assert_eq!(some.io_bytes, all.io_bytes, "predicate does not change IO");
+        // Operator tallies name who asked for the work.
+        let names: Vec<&str> = all.ops.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["scan"]);
+        let names: Vec<&str> = some.ops.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["filter", "scan"]);
+        let scan_tally = some.ops.iter().find(|t| t.name == "scan").unwrap();
+        assert_eq!(scan_tally.io_bytes, some.io_bytes);
     }
 }

@@ -80,6 +80,21 @@ impl Tally {
     }
 }
 
+/// Demands charged while one named operator was current: which operator
+/// asked for the cycles and bytes a query consumed. Informational — the
+/// phase tallies remain the single source the simulator bills from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTally {
+    /// Operator name (`"scan"`, `"hash_join"`, …).
+    pub name: &'static str,
+    /// `next()` invocations observed.
+    pub calls: u64,
+    /// CPU charged while this operator was current.
+    pub cpu: Cycles,
+    /// IO bytes charged while this operator was current.
+    pub io_bytes: Bytes,
+}
+
 /// The execution context: cost constants plus phase-structured charges.
 #[derive(Debug)]
 pub struct ExecContext {
@@ -87,6 +102,8 @@ pub struct ExecContext {
     pub charge: CostCharge,
     phases: Vec<Tally>,
     current: Tally,
+    op_tallies: Vec<OpTally>,
+    current_op: Option<usize>,
 }
 
 impl ExecContext {
@@ -96,6 +113,8 @@ impl ExecContext {
             charge,
             phases: Vec::new(),
             current: Tally::default(),
+            op_tallies: Vec::new(),
+            current_op: None,
         }
     }
 
@@ -104,29 +123,74 @@ impl ExecContext {
         ExecContext::new(CostCharge::default_calibrated())
     }
 
+    /// Enter operator `name` for one `next()` call, returning the
+    /// previously-current operator for [`end_op`](Self::end_op). Charges
+    /// made until then are tallied against `name`; nesting restores the
+    /// parent, so a child pulling through `next()` bills its own work to
+    /// itself and the parent's residue to the parent.
+    pub fn begin_op(&mut self, name: &'static str) -> Option<usize> {
+        let idx = match self.op_tallies.iter().position(|t| t.name == name) {
+            Some(i) => i,
+            None => {
+                self.op_tallies.push(OpTally {
+                    name,
+                    calls: 0,
+                    cpu: Cycles::ZERO,
+                    io_bytes: Bytes::ZERO,
+                });
+                self.op_tallies.len() - 1
+            }
+        };
+        self.op_tallies[idx].calls += 1;
+        self.current_op.replace(idx)
+    }
+
+    /// Leave the current operator, restoring `prev` from
+    /// [`begin_op`](Self::begin_op).
+    pub fn end_op(&mut self, prev: Option<usize>) {
+        self.current_op = prev;
+    }
+
+    /// Per-operator demand tallies, in first-seen order.
+    pub fn op_tallies(&self) -> &[OpTally] {
+        &self.op_tallies
+    }
+
+    /// Take the operator tallies (call before a consuming
+    /// [`into_job`](Self::into_job)).
+    pub fn take_op_tallies(&mut self) -> Vec<OpTally> {
+        std::mem::take(&mut self.op_tallies)
+    }
+
     /// Charge `count` fractional cycles of CPU work.
     pub fn charge_cpu(&mut self, count: f64) {
-        self.current.cpu += cycles(count);
+        let c = cycles(count);
+        self.current.cpu += c;
+        if let Some(i) = self.current_op {
+            self.op_tallies[i].cpu += c;
+        }
+    }
+
+    fn charge_io(&mut self, target: StorageTarget, bytes: Bytes, access: AccessPattern, op: IoOp) {
+        self.current.reads.push(ReadDemand {
+            target,
+            bytes,
+            access,
+            op,
+        });
+        if let Some(i) = self.current_op {
+            self.op_tallies[i].io_bytes += bytes;
+        }
     }
 
     /// Charge a read.
     pub fn charge_read(&mut self, target: StorageTarget, bytes: Bytes, access: AccessPattern) {
-        self.current.reads.push(ReadDemand {
-            target,
-            bytes,
-            access,
-            op: IoOp::Read,
-        });
+        self.charge_io(target, bytes, access, IoOp::Read);
     }
 
     /// Charge a write (spill).
     pub fn charge_write(&mut self, target: StorageTarget, bytes: Bytes, access: AccessPattern) {
-        self.current.reads.push(ReadDemand {
-            target,
-            bytes,
-            access,
-            op: IoOp::Write,
-        });
+        self.charge_io(target, bytes, access, IoOp::Write);
     }
 
     /// Close the current phase (blocking operator boundary). Empty
@@ -269,6 +333,40 @@ mod tests {
         assert!(job.phases[0].overlap);
         assert_eq!(job.phases[0].io.len(), 1);
         assert_eq!(job.phases[1].cpu, Cycles::new(500));
+    }
+
+    #[test]
+    fn op_tallies_attribute_charges_to_current_operator() {
+        let mut ctx = ExecContext::calibrated();
+        let outer = ctx.begin_op("filter");
+        ctx.charge_cpu(10.0);
+        // A child pull: scan's work bills to scan, then filter resumes.
+        let inner = ctx.begin_op("scan");
+        ctx.charge_cpu(100.0);
+        ctx.charge_read(
+            StorageTarget::Disk(DiskId(0)),
+            Bytes::new(4096),
+            AccessPattern::Sequential,
+        );
+        ctx.end_op(inner);
+        ctx.charge_cpu(5.0);
+        ctx.end_op(outer);
+        // Untracked charge outside any operator.
+        ctx.charge_cpu(1.0);
+        let tallies = ctx.op_tallies();
+        assert_eq!(tallies.len(), 2);
+        assert_eq!(tallies[0].name, "filter");
+        assert_eq!(tallies[0].calls, 1);
+        assert_eq!(tallies[0].cpu, Cycles::new(15));
+        assert_eq!(tallies[0].io_bytes, Bytes::ZERO);
+        assert_eq!(tallies[1].name, "scan");
+        assert_eq!(tallies[1].cpu, Cycles::new(100));
+        assert_eq!(tallies[1].io_bytes, Bytes::new(4096));
+        // Phase totals are unaffected by operator tracking.
+        assert_eq!(ctx.total_cpu(), Cycles::new(116));
+        let taken = ctx.take_op_tallies();
+        assert_eq!(taken.len(), 2);
+        assert!(ctx.op_tallies().is_empty());
     }
 
     #[test]

@@ -180,12 +180,17 @@ impl Operator for HashAggregate {
     }
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
-        self.ensure_aggregated(ctx)?;
-        if self.emitted {
-            return Ok(None);
-        }
-        self.emitted = true;
-        Ok(self.result.take())
+        let op = ctx.begin_op("agg");
+        let out = (|| {
+            self.ensure_aggregated(ctx)?;
+            if self.emitted {
+                return Ok(None);
+            }
+            self.emitted = true;
+            Ok(self.result.take())
+        })();
+        ctx.end_op(op);
+        out
     }
 }
 

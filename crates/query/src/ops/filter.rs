@@ -25,12 +25,8 @@ impl Filter {
     }
 }
 
-impl Operator for Filter {
-    fn schema(&self) -> Arc<Schema> {
-        self.input.schema()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl Filter {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         loop {
             let Some(batch) = self.input.next(ctx)? else {
                 return Ok(None);
@@ -45,6 +41,19 @@ impl Operator for Filter {
             }
             // Fully filtered batch: keep pulling.
         }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("filter");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

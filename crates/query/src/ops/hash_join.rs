@@ -99,12 +99,8 @@ fn rows_to_batch(schema: Arc<Schema>, rows: Vec<Vec<Datum>>) -> Batch {
     Batch::new(schema, cols)
 }
 
-impl Operator for HashJoin {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl HashJoin {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         self.ensure_built(ctx)?;
         loop {
             if let Some(b) = self.emit_pending() {
@@ -129,6 +125,19 @@ impl Operator for HashJoin {
                 }
             }
         }
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("hash_join");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

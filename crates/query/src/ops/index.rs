@@ -143,12 +143,8 @@ impl IndexRangeScan {
     }
 }
 
-impl Operator for IndexRangeScan {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl IndexRangeScan {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         self.ensure(ctx)?;
         let rows = self.rows.as_ref().expect("ensured");
         if self.cursor >= rows.len() {
@@ -158,6 +154,19 @@ impl Operator for IndexRangeScan {
         let batch = rows_to_batch(self.schema.clone(), &rows[self.cursor..end]);
         self.cursor = end;
         Ok(Some(batch))
+    }
+}
+
+impl Operator for IndexRangeScan {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("index_scan");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 
@@ -195,12 +204,8 @@ impl IndexNlJoin {
     }
 }
 
-impl Operator for IndexNlJoin {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl IndexNlJoin {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         loop {
             if !self.pending.is_empty() {
                 let take = self.pending.len().min(BATCH_ROWS);
@@ -237,6 +242,19 @@ impl Operator for IndexNlJoin {
             }
             self.pending = matched_rows;
         }
+    }
+}
+
+impl Operator for IndexNlJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("index_nl_join");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

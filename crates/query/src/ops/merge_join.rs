@@ -107,12 +107,8 @@ impl MergeJoin {
     }
 }
 
-impl Operator for MergeJoin {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl MergeJoin {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         self.ensure_joined(ctx)?;
         let Some(rows) = self.out_rows.as_mut() else {
             return Ok(None);
@@ -131,6 +127,19 @@ impl Operator for MergeJoin {
             }
         }
         Ok(Some(Batch::new(self.schema.clone(), cols)))
+    }
+}
+
+impl Operator for MergeJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("merge_join");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

@@ -54,12 +54,8 @@ impl NestedLoopJoin {
     }
 }
 
-impl Operator for NestedLoopJoin {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl NestedLoopJoin {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         self.ensure_inner(ctx)?;
         loop {
             if !self.pending.is_empty() {
@@ -86,6 +82,19 @@ impl Operator for NestedLoopJoin {
                 }
             }
         }
+    }
+}
+
+impl Operator for NestedLoopJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("nl_join");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

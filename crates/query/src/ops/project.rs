@@ -29,18 +29,27 @@ impl Project {
     }
 }
 
-impl Operator for Project {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl Project {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         let Some(batch) = self.input.next(ctx)? else {
             return Ok(None);
         };
         ctx.charge_cpu(ctx.charge.expr_cycles_per_term * self.terms as f64 * batch.len() as f64);
         let cols = self.exprs.iter().map(|e| e.eval(&batch)).collect();
         Ok(Some(Batch::new(self.schema.clone(), cols)))
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("project");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

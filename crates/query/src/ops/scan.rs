@@ -176,12 +176,8 @@ impl ColumnarScan {
     }
 }
 
-impl Operator for ColumnarScan {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl ColumnarScan {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         self.ensure_decoded(ctx)?;
         let cols = self.decoded.as_ref().expect("decoded above");
         let total = cols.first().map(|c| c.len()).unwrap_or(0);
@@ -192,6 +188,19 @@ impl Operator for ColumnarScan {
         let batch_cols = cols.iter().map(|c| c[self.cursor..end].to_vec()).collect();
         self.cursor = end;
         Ok(Some(Batch::new(self.schema.clone(), batch_cols)))
+    }
+}
+
+impl Operator for ColumnarScan {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("scan");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 
@@ -219,12 +228,8 @@ impl RowScan {
     }
 }
 
-impl Operator for RowScan {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl RowScan {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         if !self.charged {
             self.charged = true;
             let all: Vec<usize> = (0..self.stored.table.schema.arity()).collect();
@@ -244,6 +249,19 @@ impl Operator for RowScan {
         let batch = self.stored.table.slice(&self.projection, self.cursor, end);
         self.cursor = end;
         Ok(Some(batch))
+    }
+}
+
+impl Operator for RowScan {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("row_scan");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

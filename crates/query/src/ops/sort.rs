@@ -128,12 +128,8 @@ impl Sort {
     }
 }
 
-impl Operator for Sort {
-    fn schema(&self) -> Arc<Schema> {
-        self.schema.clone()
-    }
-
-    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+impl Sort {
+    fn next_inner(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
         self.ensure_sorted(ctx)?;
         let rows = self.sorted.as_ref().expect("sorted above");
         if self.cursor >= rows.len() {
@@ -150,6 +146,19 @@ impl Operator for Sort {
         }
         self.cursor = end;
         Ok(Some(Batch::new(self.schema.clone(), cols)))
+    }
+}
+
+impl Operator for Sort {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        let op = ctx.begin_op("sort");
+        let out = self.next_inner(ctx);
+        ctx.end_op(op);
+        out
     }
 }
 

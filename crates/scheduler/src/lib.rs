@@ -18,6 +18,8 @@
 //!   cluster energy-proportional even when no machine is; includes
 //!   machine-failure re-placement ([`cluster::fail_over`]) that charges
 //!   cold-boot energy when displaced load lands on dark machines.
+//! * [`observe`] — bridges scheduler decisions into `grail-trace`
+//!   events for callers that carry a tracer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@
 pub mod admission;
 pub mod cluster;
 pub mod governor;
+pub mod observe;
 pub mod sharing;
 
 pub use admission::{AdmissionPolicy, BatchWindow};

@@ -1,0 +1,183 @@
+//! Per-query energy attribution.
+//!
+//! The ledger answers *which component* burned the Joules; attribution
+//! answers *which query*. While a tagged query is being served (see
+//! [`Simulation::set_query_tag`](crate::sim::Simulation::set_query_tag)),
+//! the simulator accumulates the **active** energy of every reservation
+//! it causes — device service time × active power, plus any energy a
+//! failed attempt wasted. Everything no query caused (idle draw, base
+//! power, power-state transitions, background rebuilds) lands in a
+//! single residual row, so the table's rows sum to the ledger's
+//! wall-socket total *by construction*, closing the loop with the
+//! conservation invariant.
+
+use grail_power::units::Joules;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The label of the residual row holding energy not caused by any
+/// tagged query (idle, base, transitions, background recovery).
+pub const UNATTRIBUTED: &str = "unattributed";
+
+/// Demand one operator contributed within a query (informational: the
+/// row's energy is *not* subdivided, so operator rows cannot
+/// double-count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorShare {
+    /// Operator name (`"scan"`, `"hash_join"`, …).
+    pub name: String,
+    /// `next()` invocations.
+    pub calls: u64,
+    /// CPU cycles the operator charged.
+    pub cpu_cycles: u64,
+    /// Bytes of IO the operator charged.
+    pub io_bytes: u64,
+}
+
+/// One attribution row: a query (or the residual) and its energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributionRow {
+    /// Display label: `"s2.q7"` for stream 2's 8th query, or
+    /// [`UNATTRIBUTED`].
+    pub label: String,
+    /// Client stream, `None` for the residual row.
+    pub stream: Option<u32>,
+    /// Query index within the stream, `None` for the residual row.
+    pub index: Option<u32>,
+    /// Energy attributed to this row.
+    pub energy: Joules,
+    /// Fraction of the ledger total in [0, 1] (0 for an empty ledger;
+    /// the residual may carry a slightly negative share from float
+    /// accumulation).
+    pub share: f64,
+    /// Optional per-operator demand breakdown (filled by the query
+    /// layer when operator tallies are known).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub operators: Vec<OperatorShare>,
+}
+
+/// Per-query energy attribution whose rows sum to the wall-socket
+/// ledger total (within f64 accumulation tolerance).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AttributionTable {
+    /// Query rows in `(stream, index)` order, then the residual row.
+    pub rows: Vec<AttributionRow>,
+}
+
+impl AttributionTable {
+    /// Sum of every row's energy — equals the ledger total the table
+    /// was built against, up to float accumulation.
+    pub fn sum(&self) -> Joules {
+        self.rows.iter().map(|r| r.energy).sum()
+    }
+
+    /// Energy attributed to actual queries (everything but the
+    /// residual).
+    pub fn attributed(&self) -> Joules {
+        self.rows
+            .iter()
+            .filter(|r| r.stream.is_some())
+            .map(|r| r.energy)
+            .sum()
+    }
+
+    /// The residual row, if present.
+    pub fn residual(&self) -> Option<&AttributionRow> {
+        self.rows.iter().find(|r| r.stream.is_none())
+    }
+
+    /// The row for `(stream, index)`, if present.
+    pub fn query(&self, stream: u32, index: u32) -> Option<&AttributionRow> {
+        self.rows
+            .iter()
+            .find(|r| r.stream == Some(stream) && r.index == Some(index))
+    }
+}
+
+/// The in-flight accumulator the simulator carries while attribution is
+/// enabled. Keys sort deterministically.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AttributionAcc {
+    by_query: BTreeMap<(u32, u32), f64>,
+}
+
+impl AttributionAcc {
+    /// Add active energy to a query's bucket.
+    pub(crate) fn add(&mut self, tag: (u32, u32), energy: Joules) {
+        *self.by_query.entry(tag).or_insert(0.0) += energy.joules();
+    }
+
+    /// Settle against the final ledger total: query rows in key order,
+    /// then the residual making the rows sum to `total` by
+    /// construction.
+    pub(crate) fn into_table(self, total: Joules) -> AttributionTable {
+        let t = total.joules();
+        let share = |e: f64| if t > 0.0 { e / t } else { 0.0 };
+        let mut rows: Vec<AttributionRow> = self
+            .by_query
+            .iter()
+            .map(|(&(stream, index), &e)| AttributionRow {
+                label: format!("s{stream}.q{index}"),
+                stream: Some(stream),
+                index: Some(index),
+                energy: Joules::new(e),
+                share: share(e),
+                operators: Vec::new(),
+            })
+            .collect();
+        let attributed: f64 = self.by_query.values().sum();
+        let residual = t - attributed;
+        rows.push(AttributionRow {
+            label: UNATTRIBUTED.to_string(),
+            stream: None,
+            index: None,
+            energy: Joules::new(residual),
+            share: share(residual),
+            operators: Vec::new(),
+        });
+        AttributionTable { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_total_by_construction() {
+        let mut acc = AttributionAcc::default();
+        acc.add((0, 0), Joules::new(10.0));
+        acc.add((0, 0), Joules::new(5.0));
+        acc.add((1, 3), Joules::new(25.0));
+        let table = acc.into_table(Joules::new(100.0));
+        assert_eq!(table.rows.len(), 3);
+        assert!((table.sum().joules() - 100.0).abs() < 1e-9);
+        assert!((table.attributed().joules() - 40.0).abs() < 1e-9);
+        let res = table.residual().unwrap();
+        assert_eq!(res.label, UNATTRIBUTED);
+        assert!((res.energy.joules() - 60.0).abs() < 1e-9);
+        let q = table.query(0, 0).unwrap();
+        assert_eq!(q.label, "s0.q0");
+        assert!((q.energy.joules() - 15.0).abs() < 1e-9);
+        assert!((q.share - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_in_stream_index_order() {
+        let mut acc = AttributionAcc::default();
+        acc.add((2, 0), Joules::new(1.0));
+        acc.add((0, 1), Joules::new(1.0));
+        acc.add((0, 0), Joules::new(1.0));
+        let table = acc.into_table(Joules::new(3.0));
+        let labels: Vec<&str> = table.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["s0.q0", "s0.q1", "s2.q0", "unattributed"]);
+    }
+
+    #[test]
+    fn empty_total_yields_zero_shares() {
+        let table = AttributionAcc::default().into_table(Joules::ZERO);
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].share, 0.0);
+        assert_eq!(table.sum(), Joules::ZERO);
+    }
+}

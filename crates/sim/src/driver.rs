@@ -16,6 +16,8 @@ use crate::ids::{CpuId, StorageTarget};
 use crate::perf::AccessPattern;
 use crate::sim::Simulation;
 use grail_power::units::{Bytes, Cycles, Joules, SimDuration, SimInstant};
+use grail_trace::metrics::COUNT_BUCKETS;
+use grail_trace::{Category, TraceEvent, TraceTime, Track};
 
 /// Whether an IO demand reads or writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,6 +310,8 @@ pub fn run_streams_with(
     let mut total_retries: u64 = 0;
 
     while let Some((t, stream)) = q.pop() {
+        sim.tracer_mut()
+            .observe("driver.queue_depth", COUNT_BUCKETS, q.len() as f64);
         let st = &mut states[stream];
         if st.step_idx == 0 && st.io_idx == 0 && st.attempts == 0 {
             st.job_start = t;
@@ -334,6 +338,8 @@ pub fn run_streams_with(
             st.step_end_acc = t;
         }
         let mut step_end = st.step_end_acc.max(t);
+        // Attribute every reservation this step issues to the query.
+        sim.set_query_tag(stream as u32, st.job_idx as u32);
         // Issue the step's IO, resuming after any demand already served
         // before a retryable fault.
         let mut reissue_at: Option<SimInstant> = None;
@@ -352,8 +358,22 @@ pub fn run_streams_with(
                 Err(e) if e.is_retryable() => {
                     st.attempts += 1;
                     st.job_retries += 1;
-                    st.job_retry_energy += sim.drain_retry_energy();
+                    let wasted = sim.drain_retry_energy();
+                    st.job_retry_energy += wasted;
                     total_retries += 1;
+                    let (attempt, job_idx) = (st.attempts, st.job_idx);
+                    sim.tracer_mut().count("io.retries", 1);
+                    sim.tracer_mut().emit(Category::Query, || {
+                        TraceEvent::instant(
+                            TraceTime::from_nanos(t.as_nanos()),
+                            Category::Query,
+                            "retry",
+                            Track::Stream(stream as u32),
+                        )
+                        .arg("job", job_idx as u64)
+                        .arg("attempt", attempt as u64)
+                        .arg("wasted_j", wasted.joules())
+                    });
                     if st.attempts > policy.max_retries {
                         return Err(SimError::RetriesExhausted {
                             stream,
@@ -370,6 +390,7 @@ pub fn run_streams_with(
         }
         if let Some(when) = reissue_at {
             st.step_end_acc = step_end;
+            sim.clear_query_tag();
             q.push(when, stream);
             continue;
         }
@@ -378,6 +399,7 @@ pub fn run_streams_with(
             let r = sim.compute_parallel(cpu, t, step.cpu, step.dop)?;
             step_end = step_end.max(r.end);
         }
+        sim.clear_query_tag();
         st.step_idx += 1;
         if st.step_idx >= st.jobs[st.job_idx].len() {
             // Job complete.
@@ -388,6 +410,19 @@ pub fn run_streams_with(
                 end: step_end,
                 retries: st.job_retries,
                 retry_energy: st.job_retry_energy,
+            });
+            let (job_idx, job_start, retries) = (st.job_idx, st.job_start, st.job_retries);
+            sim.tracer_mut().count("driver.jobs", 1);
+            sim.tracer_mut().emit(Category::Query, || {
+                TraceEvent::span(
+                    TraceTime::from_nanos(job_start.as_nanos()),
+                    step_end.saturating_duration_since(job_start).as_nanos(),
+                    Category::Query,
+                    "job",
+                    Track::Stream(stream as u32),
+                )
+                .arg("job", job_idx as u64)
+                .arg("retries", retries as u64)
             });
             makespan = makespan.max(step_end);
             st.job_idx += 1;
@@ -682,6 +717,33 @@ mod tests {
         };
         assert_eq!(key(&clean), key(&faulty));
         assert!(faulty.makespan >= clean.makespan);
+    }
+
+    #[test]
+    fn traced_run_emits_job_spans_and_attribution() {
+        use grail_trace::{Recorder, Tracer};
+        let (mut sim, cpu, target) = server(4, 3);
+        sim.set_tracer(Tracer::on(Recorder::new(8192)));
+        sim.enable_attribution();
+        let streams: Vec<_> = (0..2)
+            .map(|_| vec![scan_job(target, 50, 0.05), scan_job(target, 30, 0.02)])
+            .collect();
+        let out = run_streams(&mut sim, cpu, &streams).unwrap();
+        let rep = sim.finish(out.makespan);
+        let rec = rep.trace.as_ref().unwrap();
+        let jobs = rec.events().filter(|e| e.name == "job").count();
+        assert_eq!(jobs, out.results.len());
+        assert_eq!(rec.metrics().counter("driver.jobs"), 4);
+        assert!(rec.metrics().histogram("driver.queue_depth").is_some());
+        let table = rep.attribution.as_ref().unwrap();
+        // One row per (stream, index) plus the residual.
+        assert_eq!(table.rows.len(), 5);
+        let total = rep.ledger.total().joules();
+        assert!((table.sum().joules() - total).abs() <= 1e-9_f64.max(total * 1e-9));
+        for r in &out.results {
+            let row = table.query(r.stream as u32, r.index as u32).unwrap();
+            assert!(row.energy.joules() > 0.0, "{}", row.label);
+        }
     }
 
     #[test]

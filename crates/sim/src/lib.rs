@@ -35,11 +35,20 @@
 //!   with retry/backoff over transient faults.
 //! * [`event`] — deterministic priority event queue.
 //! * [`trace`] — binned power/utilization time series.
+//! * [`attr`] — per-query energy attribution tables whose rows sum to
+//!   the ledger's wall-socket total.
+//!
+//! The simulator is instrumented with `grail-trace`: install a tracer
+//! via [`sim::Simulation::set_tracer`] and every device reservation,
+//! power transition, fault, and ledger movement becomes a structured
+//! event in [`sim::SimReport::trace`]. With no tracer (the default),
+//! every instrumentation site is a single branch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod attr;
 pub mod cpu;
 pub mod disk;
 pub mod driver;
@@ -53,6 +62,7 @@ pub mod sim;
 pub mod ssd;
 pub mod trace;
 
+pub use attr::{AttributionRow, AttributionTable, OperatorShare};
 pub use error::SimError;
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
 pub use ids::{ArrayId, CpuId, DiskId, SsdId, StorageTarget};

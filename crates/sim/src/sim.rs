@@ -1,6 +1,7 @@
 //! The [`Simulation`] container: devices, arrays, base power, and the
 //! final energy reckoning.
 
+use crate::attr::{AttributionAcc, AttributionTable};
 use crate::cpu::CpuDevice;
 use crate::disk::{DeviceStats, DiskDevice};
 use crate::error::SimError;
@@ -10,8 +11,17 @@ use crate::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, FabricModel, S
 use crate::raid::{RaidLevel, RaidSpec};
 use crate::ssd::SsdDevice;
 use grail_power::components::{CpuPowerProfile, DiskPowerProfile, SsdPowerProfile};
-use grail_power::ledger::{ComponentId, ComponentKind, EnergyLedger};
+use grail_power::ledger::{ComponentId, ComponentKind, EnergyLedger, LedgerOp};
 use grail_power::units::{Bytes, Cycles, Joules, SimDuration, SimInstant, Watts};
+use grail_trace::metrics::SECONDS_BUCKETS;
+use grail_trace::{Category, Recorder, TraceEvent, TraceTime, Tracer, Track};
+
+/// Convert a simulated instant into a trace timestamp. The trace layer
+/// carries bare simulated nanoseconds so it can stay dependency-free.
+#[inline]
+fn tt(at: SimInstant) -> TraceTime {
+    TraceTime::from_nanos(at.as_nanos())
+}
 
 /// The interval a request occupies its device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +71,9 @@ pub struct Simulation {
     fault_plan: Option<FaultPlan>,
     recovery: Vec<RecoveryCharge>,
     retry_pending: Joules,
+    tracer: Tracer,
+    attribution: Option<AttributionAcc>,
+    query_tag: Option<(u32, u32)>,
 }
 
 impl Default for Simulation {
@@ -75,6 +88,9 @@ impl Default for Simulation {
             fault_plan: None,
             recovery: Vec::new(),
             retry_pending: Joules::ZERO,
+            tracer: Tracer::off(),
+            attribution: None,
+            query_tag: None,
         }
     }
 }
@@ -94,6 +110,52 @@ impl Simulation {
     /// Set the storage-fabric scaling model applied to array IO.
     pub fn set_fabric(&mut self, fabric: FabricModel) {
         self.fabric = fabric;
+    }
+
+    /// Install a tracer. The default is [`Tracer::off`], which keeps
+    /// every instrumentation site a single branch with no allocation.
+    /// The recorder (events + metrics) comes back in
+    /// [`SimReport::trace`] after [`Simulation::finish`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer handle (for drivers that emit their own events or
+    /// metrics into the same recorder).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Turn on per-query energy attribution: active energy of every
+    /// reservation issued while a query tag is set (see
+    /// [`Simulation::set_query_tag`]) accumulates per query, and
+    /// [`Simulation::finish`] settles the table into
+    /// [`SimReport::attribution`].
+    pub fn enable_attribution(&mut self) {
+        if self.attribution.is_none() {
+            self.attribution = Some(AttributionAcc::default());
+        }
+    }
+
+    /// Tag subsequent reservations as caused by query `index` of client
+    /// `stream`. No-op unless attribution is enabled.
+    pub fn set_query_tag(&mut self, stream: u32, index: u32) {
+        if self.attribution.is_some() {
+            self.query_tag = Some((stream, index));
+        }
+    }
+
+    /// Clear the query tag: subsequent energy is unattributed.
+    pub fn clear_query_tag(&mut self) {
+        self.query_tag = None;
+    }
+
+    /// Accumulate active energy against the current query tag.
+    #[inline]
+    fn attribute(&mut self, energy: Joules) {
+        if let (Some(acc), Some(tag)) = (self.attribution.as_mut(), self.query_tag) {
+            acc.add(tag, energy);
+        }
     }
 
     /// Install a seeded fault plan. Strictly opt-in: without one (or with
@@ -226,6 +288,19 @@ impl Simulation {
             merge(&mut span, r);
         }
         let done = span.expect("arrays are non-empty"); // grail-lint: allow(error-hygiene, make_array rejects empty arrays)
+        self.tracer.count("fault.rebuilds", 1);
+        self.tracer.emit(Category::Fault, || {
+            TraceEvent::span(
+                tt(at),
+                done.end.saturating_duration_since(at).as_nanos(),
+                Category::Fault,
+                "recovery.rebuild",
+                Track::Main,
+            )
+            .arg("array", id.0 as u64)
+            .arg("failed", failed.len() as u64)
+            .arg("bytes_per_disk", disk_bytes.get())
+        });
         if let Some(plan) = self.fault_plan.as_mut() {
             for d in &failed {
                 plan.mark_rebuilt(*d, done.end);
@@ -374,6 +449,28 @@ impl Simulation {
                             energy: surge,
                         });
                         self.retry_pending += surge;
+                        self.attribute(surge);
+                        self.tracer.count("fault.spin_up_failures", 1);
+                        self.tracer.emit(Category::Fault, || {
+                            TraceEvent::instant(
+                                tt(at),
+                                Category::Fault,
+                                "fault.spin_up",
+                                Track::Device {
+                                    kind: "disk",
+                                    index: id.0,
+                                },
+                            )
+                            .arg("surge_j", surge.joules())
+                            .arg(
+                                "kind",
+                                if kind == FaultKind::DiskFailure {
+                                    "disk_failure"
+                                } else {
+                                    "transient"
+                                },
+                            )
+                        });
                         return Err(if kind == FaultKind::DiskFailure {
                             SimError::DeviceFailed {
                                 device: format!("{id:?}"),
@@ -397,6 +494,20 @@ impl Simulation {
                     energy: wasted,
                 });
                 self.retry_pending += wasted;
+                self.attribute(wasted);
+                self.tracer.count("fault.io_faults", 1);
+                self.tracer.emit(Category::Fault, || {
+                    TraceEvent::instant(
+                        tt(r.end),
+                        Category::Fault,
+                        "fault.disk_io",
+                        Track::Device {
+                            kind: "disk",
+                            index: id.0,
+                        },
+                    )
+                    .arg("wasted_j", wasted.joules())
+                });
                 let device = format!("{id:?}");
                 return Err(match kind {
                     FaultKind::LatentSector => SimError::LatentSector {
@@ -410,6 +521,28 @@ impl Simulation {
                 });
             }
         }
+        let active = self.disks[idx].active_power() * r.duration();
+        self.attribute(active);
+        self.tracer.count("io.requests", 1);
+        self.tracer.observe(
+            "io.disk_service_secs",
+            SECONDS_BUCKETS,
+            r.duration().as_secs_f64(),
+        );
+        self.tracer.emit(Category::Io, || {
+            TraceEvent::span(
+                tt(r.start),
+                r.duration().as_nanos(),
+                Category::Io,
+                if is_read { "disk_read" } else { "disk_write" },
+                Track::Device {
+                    kind: "disk",
+                    index: id.0,
+                },
+            )
+            .arg("bytes", bytes.get())
+            .arg("active_j", active.joules())
+        });
         Ok(r)
     }
 
@@ -441,12 +574,48 @@ impl Simulation {
                     energy: wasted,
                 });
                 self.retry_pending += wasted;
+                self.attribute(wasted);
+                self.tracer.count("fault.io_faults", 1);
+                self.tracer.emit(Category::Fault, || {
+                    TraceEvent::instant(
+                        tt(r.end),
+                        Category::Fault,
+                        "fault.ssd_io",
+                        Track::Device {
+                            kind: "ssd",
+                            index: id.0,
+                        },
+                    )
+                    .arg("wasted_j", wasted.joules())
+                });
                 return Err(SimError::TransientIo {
                     device: format!("{id:?}"),
                     until: r.end,
                 });
             }
         }
+        let active = self.ssds[idx].active_power() * r.duration();
+        self.attribute(active);
+        self.tracer.count("io.requests", 1);
+        self.tracer.observe(
+            "io.ssd_service_secs",
+            SECONDS_BUCKETS,
+            r.duration().as_secs_f64(),
+        );
+        self.tracer.emit(Category::Io, || {
+            TraceEvent::span(
+                tt(r.start),
+                r.duration().as_nanos(),
+                Category::Io,
+                "ssd_io",
+                Track::Device {
+                    kind: "ssd",
+                    index: id.0,
+                },
+            )
+            .arg("bytes", bytes.get())
+            .arg("active_j", active.joules())
+        });
         Ok(r)
     }
 
@@ -487,6 +656,8 @@ impl Simulation {
                 }
             }
             let mut spin_err: Option<SimError> = None;
+            let mut surge_total = Joules::ZERO;
+            let mut spin_faults = 0u64;
             for (i, d) in spec.disks.iter().enumerate() {
                 if failed.contains(&i) {
                     continue;
@@ -506,6 +677,8 @@ impl Simulation {
                         energy: surge,
                     });
                     self.retry_pending += surge;
+                    surge_total += surge;
+                    spin_faults += 1;
                     if kind == FaultKind::DiskFailure {
                         failed.push(i);
                     }
@@ -516,6 +689,16 @@ impl Simulation {
                         });
                     }
                 }
+            }
+            if spin_faults > 0 {
+                self.attribute(surge_total);
+                self.tracer.count("fault.spin_up_failures", spin_faults);
+                self.tracer.emit(Category::Fault, || {
+                    TraceEvent::instant(tt(at), Category::Fault, "fault.spin_up", Track::Main)
+                        .arg("array", id.0 as u64)
+                        .arg("members", spin_faults)
+                        .arg("surge_j", surge_total.joules())
+                });
             }
             if let Some(e) = spin_err {
                 // The attempt fails retryably; a retry sees the updated
@@ -586,6 +769,7 @@ impl Simulation {
             if let Some((disk, kind)) = fault {
                 // Every member's service time was wasted: its energy is
                 // recovery work, attributed to the retry.
+                let mut wasted_total = Joules::ZERO;
                 for (d, r) in &served {
                     let wasted = self.disks[d.0 as usize].active_power() * r.duration();
                     self.recovery.push(RecoveryCharge {
@@ -593,7 +777,17 @@ impl Simulation {
                         energy: wasted,
                     });
                     self.retry_pending += wasted;
+                    wasted_total += wasted;
                 }
+                self.attribute(wasted_total);
+                self.tracer.count("fault.io_faults", 1);
+                self.tracer.emit(Category::Fault, || {
+                    TraceEvent::instant(tt(res.end), Category::Fault, "fault.array_io", {
+                        Track::Main
+                    })
+                    .arg("array", id.0 as u64)
+                    .arg("wasted_j", wasted_total.joules())
+                });
                 let device = format!("{disk:?}");
                 return Err(match kind {
                     FaultKind::LatentSector => SimError::LatentSector {
@@ -620,8 +814,61 @@ impl Simulation {
                         energy: extra,
                     });
                 }
+                self.tracer.count("fault.degraded_accesses", 1);
+                self.tracer.emit(Category::Fault, || {
+                    TraceEvent::instant(
+                        tt(res.start),
+                        Category::Fault,
+                        "recovery.degraded_access",
+                        Track::Main,
+                    )
+                    .arg("array", id.0 as u64)
+                });
             }
         }
+        let mut active = Joules::ZERO;
+        for (d, r) in &served {
+            let e = self.disks[d.0 as usize].active_power() * r.duration();
+            active += e;
+            self.tracer.emit(Category::Io, || {
+                TraceEvent::span(
+                    tt(r.start),
+                    r.duration().as_nanos(),
+                    Category::Io,
+                    if is_read {
+                        "array_member_read"
+                    } else {
+                        "array_member_write"
+                    },
+                    Track::Device {
+                        kind: "disk",
+                        index: d.0,
+                    },
+                )
+                .arg("active_j", e.joules())
+            });
+        }
+        self.attribute(active);
+        self.tracer.count("io.requests", 1);
+        self.tracer.observe(
+            "io.disk_service_secs",
+            SECONDS_BUCKETS,
+            res.duration().as_secs_f64(),
+        );
+        self.tracer.emit(Category::Io, || {
+            TraceEvent::span(
+                tt(res.start),
+                res.duration().as_nanos(),
+                Category::Io,
+                if is_read { "array_read" } else { "array_write" },
+                Track::Main,
+            )
+            .arg("array", id.0 as u64)
+            .arg("bytes", bytes.get())
+            .arg("members", served.len() as u64)
+            .arg("degraded", u64::from(degraded.is_some()))
+            .arg("active_j", active.joules())
+        });
         Ok(res)
     }
 
@@ -657,7 +904,28 @@ impl Simulation {
             .cpus
             .get_mut(cpu.0 as usize)
             .ok_or_else(|| SimError::UnknownDevice(format!("{cpu:?}")))?;
-        Ok(c.compute_parallel(at, work, dop))
+        let r = c.compute_parallel(at, work, dop);
+        // Exact active busy-time across cores: total cycles at the core
+        // frequency, regardless of how the work was split.
+        let active = c.core_active_power() * work.time_at(c.freq());
+        self.attribute(active);
+        self.tracer.count("cpu.requests", 1);
+        self.tracer.emit(Category::Io, || {
+            TraceEvent::span(
+                tt(r.start),
+                r.duration().as_nanos(),
+                Category::Io,
+                "compute",
+                Track::Device {
+                    kind: "cpu",
+                    index: cpu.0,
+                },
+            )
+            .arg("cycles", work.get())
+            .arg("dop", dop as u64)
+            .arg("active_j", active.joules())
+        });
+        Ok(r)
     }
 
     /// The CPU pool behind `id`.
@@ -673,7 +941,21 @@ impl Simulation {
             .disks
             .get_mut(id.0 as usize)
             .ok_or_else(|| SimError::UnknownDevice(format!("{id:?}")))?;
-        Ok(d.park(at))
+        let done = d.park(at);
+        self.tracer.count("power.parks", 1);
+        self.tracer.emit(Category::Power, || {
+            TraceEvent::span(
+                tt(at),
+                done.saturating_duration_since(at).as_nanos(),
+                Category::Power,
+                "disk_park",
+                Track::Device {
+                    kind: "disk",
+                    index: id.0,
+                },
+            )
+        });
+        Ok(done)
     }
 
     /// Spin one disk back up; returns when it is ready.
@@ -682,7 +964,21 @@ impl Simulation {
             .disks
             .get_mut(id.0 as usize)
             .ok_or_else(|| SimError::UnknownDevice(format!("{id:?}")))?;
-        Ok(d.unpark(at))
+        let done = d.unpark(at);
+        self.tracer.count("power.unparks", 1);
+        self.tracer.emit(Category::Power, || {
+            TraceEvent::span(
+                tt(at),
+                done.saturating_duration_since(at).as_nanos(),
+                Category::Power,
+                "disk_unpark",
+                Track::Device {
+                    kind: "disk",
+                    index: id.0,
+                },
+            )
+        });
+        Ok(done)
     }
 
     /// Whether a disk is spun down.
@@ -737,10 +1033,18 @@ impl Simulation {
 
     /// Finalize every device at `end` (or the natural horizon, whichever
     /// is later) and settle the energy ledger.
-    pub fn finish(self, end: SimInstant) -> SimReport {
+    ///
+    /// When a tracer is installed, settlement journals every ledger
+    /// movement into `Ledger`-category events (timestamped at `end`,
+    /// where the charges actually happen), settles the attribution
+    /// table, and hands the recorder back in [`SimReport::trace`].
+    pub fn finish(mut self, end: SimInstant) -> SimReport {
         let end = end.max(self.horizon());
         let span = end.duration_since(SimInstant::EPOCH);
         let mut ledger = EnergyLedger::new();
+        if self.tracer.is_on() {
+            ledger.enable_journal();
+        }
         ledger.cover(SimInstant::EPOCH, end);
         let mut disk_stats = Vec::with_capacity(self.disks.len());
         for (i, d) in self.disks.into_iter().enumerate() {
@@ -784,6 +1088,31 @@ impl Simulation {
             .as_ref()
             .map(|p| p.stats())
             .unwrap_or_default();
+        for op in ledger.take_journal() {
+            self.tracer.emit(Category::Ledger, || match op {
+                LedgerOp::Charge { component, energy } => {
+                    TraceEvent::instant(tt(end), Category::Ledger, "ledger.charge", Track::Main)
+                        .arg("component", component.to_string())
+                        .arg("joules", energy.joules())
+                }
+                LedgerOp::Transfer { from, to, moved } => {
+                    TraceEvent::instant(tt(end), Category::Ledger, "ledger.transfer", Track::Main)
+                        .arg("from", from.to_string())
+                        .arg("to", to.to_string())
+                        .arg("joules", moved.joules())
+                }
+            });
+        }
+        self.tracer.emit(Category::Sim, || {
+            TraceEvent::instant(tt(end), Category::Sim, "sim.finish", Track::Main)
+                .arg("total_j", ledger.total().joules())
+                .arg("elapsed_s", span.as_secs_f64())
+        });
+        let attribution = self
+            .attribution
+            .take()
+            .map(|acc| acc.into_table(ledger.total()));
+        let trace = self.tracer.take();
         SimReport {
             ledger,
             end,
@@ -792,6 +1121,8 @@ impl Simulation {
             ssd_stats,
             cpu_stats,
             faults,
+            attribution,
+            trace,
         }
     }
 }
@@ -813,6 +1144,13 @@ pub struct SimReport {
     pub cpu_stats: Vec<DeviceStats>,
     /// Injected-fault counters (all zero without a fault plan).
     pub faults: FaultStats,
+    /// Per-query energy attribution, when enabled via
+    /// [`Simulation::enable_attribution`]. Rows sum to
+    /// `ledger.total()`.
+    pub attribution: Option<AttributionTable>,
+    /// The event recorder handed back from the tracer, when one was
+    /// installed via [`Simulation::set_tracer`].
+    pub trace: Option<Recorder>,
 }
 
 impl SimReport {
@@ -1206,6 +1544,57 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn tracing_records_events_and_attribution_sums_to_total() {
+        let run = |traced: bool| {
+            let (mut sim, cpu, arr) = small_server();
+            if traced {
+                sim.set_tracer(Tracer::on(Recorder::new(4096)));
+                sim.enable_attribution();
+            }
+            for q in 0..4u32 {
+                sim.set_query_tag(0, q);
+                let t = at(q as f64 * 0.5);
+                sim.read(
+                    StorageTarget::Array(arr),
+                    t,
+                    Bytes::mib(30),
+                    AccessPattern::Sequential,
+                )
+                .unwrap();
+                sim.compute(cpu, t, Cycles::new(100_000_000)).unwrap();
+                sim.clear_query_tag();
+            }
+            let h = sim.horizon();
+            sim.finish(h)
+        };
+        let bare = run(false);
+        assert!(bare.trace.is_none());
+        assert!(bare.attribution.is_none());
+        let traced = run(true);
+        // Tracing must not perturb the physics: same ledger, same end.
+        assert_eq!(bare.ledger, traced.ledger);
+        assert_eq!(bare.end, traced.end);
+        let rec = traced.trace.as_ref().unwrap();
+        assert!(rec.events().any(|e| e.name == "array_read"));
+        assert!(rec.events().any(|e| e.name == "compute"));
+        assert!(rec.events().any(|e| e.name == "ledger.charge"));
+        assert!(rec.events().any(|e| e.name == "sim.finish"));
+        assert_eq!(rec.metrics().counter("io.requests"), 4);
+        assert_eq!(rec.metrics().counter("cpu.requests"), 4);
+        let table = traced.attribution.as_ref().unwrap();
+        assert_eq!(table.rows.len(), 5); // 4 queries + residual
+        let total = traced.ledger.total().joules();
+        assert!((table.sum().joules() - total).abs() <= 1e-9_f64.max(total * 1e-9));
+        assert!(table.attributed().joules() > 0.0);
+        // Identical traced runs export byte-identical JSONL.
+        let again = run(true);
+        assert_eq!(
+            grail_trace::to_jsonl(rec),
+            grail_trace::to_jsonl(again.trace.as_ref().unwrap())
+        );
     }
 
     #[test]

@@ -87,6 +87,24 @@ impl BinnedSeries {
     pub fn is_empty(&self) -> bool {
         self.bins.is_empty()
     }
+
+    /// Render the average-power series as a two-column CSV with the
+    /// given headers: bin-start seconds, then average Watts. Output is
+    /// deterministic (Rust's shortest-roundtrip float formatting), so
+    /// `figures/` files regenerate byte-identically.
+    pub fn to_csv(&self, time_header: &str, value_header: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{time_header},{value_header}\n");
+        for (t, w) in self.power_series() {
+            let _ = writeln!(
+                out,
+                "{},{}",
+                t.duration_since(SimInstant::EPOCH).as_secs_f64(),
+                w.get()
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +143,19 @@ mod tests {
         s.add_interval(at(6.0), at(5.0), Watts::new(10.0)); // backwards
         s.add_interval(at(0.0), at(1.0), Watts::ZERO); // zero power
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn csv_export_is_deterministic_and_headed() {
+        let mut s = BinnedSeries::new(SimDuration::from_secs(1));
+        s.add_interval(at(0.0), at(2.0), Watts::new(10.0));
+        let csv = s.to_csv("t_s", "avg_w");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,avg_w");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "0,10");
+        assert_eq!(lines[2], "1,10");
+        assert_eq!(csv, s.to_csv("t_s", "avg_w"));
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The event model: simulated timestamps, categories, tracks, and the
+//! [`TraceEvent`] record itself.
+
+use std::fmt;
+
+/// A point in **simulated** time, in nanoseconds since the start of the
+/// run.
+///
+/// This is deliberately a bare newtype rather than a re-export of
+/// `grail_power::units::SimInstant`: the trace crate sits below every
+/// other workspace crate and depends on nothing, so callers convert at
+/// the boundary (`TraceTime::from_nanos(instant.as_nanos())`). It can
+/// never hold a wall-clock reading — there is no constructor that reads
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceTime(u64);
+
+impl TraceTime {
+    /// The start of the run.
+    pub const ZERO: TraceTime = TraceTime(0);
+
+    /// From a simulated-nanosecond count.
+    pub const fn from_nanos(ns: u64) -> Self {
+        TraceTime(ns)
+    }
+
+    /// Simulated nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Simulated microseconds, fractional — the unit Chrome trace JSON
+    /// expects in its `ts` field.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for TraceTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// Event category, used both for filtering at record time (the
+/// [`Recorder`](crate::recorder::Recorder) holds a category bitmask)
+/// and for grouping in exported traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Simulation lifecycle: run start/finish, horizon.
+    Sim,
+    /// Device reservations: disk/SSD/array IO, CPU compute.
+    Io,
+    /// Power-state transitions: park/unpark, spin-up/-down.
+    Power,
+    /// Energy-ledger movements: every `charge` and `transfer`.
+    Ledger,
+    /// Query execution: jobs, phases, operators, retries.
+    Query,
+    /// Scheduler decisions: admission batching, placement, fail-over.
+    Scheduler,
+    /// Fault injection and recovery.
+    Fault,
+}
+
+impl Category {
+    /// Every category enabled.
+    pub const ALL: u32 = (1 << 7) - 1;
+
+    /// This category's bit in a filter mask.
+    pub const fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Stable lowercase name used in exported traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Category::Sim => "sim",
+            Category::Io => "io",
+            Category::Power => "power",
+            Category::Ledger => "ledger",
+            Category::Query => "query",
+            Category::Scheduler => "scheduler",
+            Category::Fault => "fault",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The lane an event is drawn on in a trace viewer. Tracks map to
+/// Perfetto threads; their `Ord` (variant order, then fields) fixes the
+/// thread-id assignment deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// The simulation driver / control plane.
+    Main,
+    /// One hardware device, e.g. `disk[3]`.
+    Device {
+        /// Lowercase component kind: `"disk"`, `"ssd"`, `"cpu"`.
+        kind: &'static str,
+        /// Device index within its kind.
+        index: u32,
+    },
+    /// One closed-loop client stream.
+    Stream(u32),
+    /// Query-executor operator lane (pseudo-time; see DESIGN.md).
+    Exec,
+}
+
+impl Track {
+    /// Stable human label, used as the Perfetto thread name.
+    pub fn label(&self) -> String {
+        match self {
+            Track::Main => "main".to_string(),
+            Track::Device { kind, index } => format!("{kind}[{index}]"),
+            Track::Stream(s) => format!("stream[{s}]"),
+            Track::Exec => "exec".to_string(),
+        }
+    }
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (bytes, counts, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (Joules, Watts, seconds).
+    F64(f64),
+    /// Short label (component ids, policy names).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One recorded event: an instant (`dur == None`) or a span
+/// (`dur == Some(nanoseconds)`).
+///
+/// Args are an ordered `Vec`, not a map: insertion order is the export
+/// order, which keeps output byte-stable without sorting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event start, in simulated time.
+    pub at: TraceTime,
+    /// Span duration in simulated nanoseconds; `None` for instants.
+    pub dur: Option<u64>,
+    /// Filter/grouping category.
+    pub cat: Category,
+    /// Stable event name (static so recording never allocates for it).
+    pub name: &'static str,
+    /// Display lane.
+    pub track: Track,
+    /// Ordered key/value details.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// A zero-duration point event.
+    pub fn instant(at: TraceTime, cat: Category, name: &'static str, track: Track) -> Self {
+        TraceEvent {
+            at,
+            dur: None,
+            cat,
+            name,
+            track,
+            args: Vec::new(),
+        }
+    }
+
+    /// A span covering `[at, at + dur_nanos]` of simulated time.
+    pub fn span(
+        at: TraceTime,
+        dur_nanos: u64,
+        cat: Category,
+        name: &'static str,
+        track: Track,
+    ) -> Self {
+        TraceEvent {
+            at,
+            dur: Some(dur_nanos),
+            cat,
+            name,
+            track,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach an argument (builder style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_time_round_trips_nanos() {
+        let t = TraceTime::from_nanos(1_500_000);
+        assert_eq!(t.as_nanos(), 1_500_000);
+        assert!((t.as_micros_f64() - 1_500.0).abs() < 1e-12);
+        assert_eq!(t.to_string(), "1500000ns");
+        assert!(TraceTime::ZERO < t);
+    }
+
+    #[test]
+    fn category_bits_are_distinct_and_covered_by_all() {
+        let cats = [
+            Category::Sim,
+            Category::Io,
+            Category::Power,
+            Category::Ledger,
+            Category::Query,
+            Category::Scheduler,
+            Category::Fault,
+        ];
+        let mut seen = 0u32;
+        for c in cats {
+            assert_eq!(seen & c.bit(), 0, "{c} bit overlaps");
+            seen |= c.bit();
+            assert_ne!(Category::ALL & c.bit(), 0, "{c} not in ALL");
+        }
+        assert_eq!(seen, Category::ALL);
+    }
+
+    #[test]
+    fn track_labels_and_order_are_stable() {
+        assert_eq!(Track::Main.label(), "main");
+        assert_eq!(
+            Track::Device {
+                kind: "disk",
+                index: 3
+            }
+            .label(),
+            "disk[3]"
+        );
+        assert_eq!(Track::Stream(2).label(), "stream[2]");
+        assert_eq!(Track::Exec.label(), "exec");
+        let mut tracks = vec![
+            Track::Exec,
+            Track::Stream(1),
+            Track::Main,
+            Track::Device {
+                kind: "cpu",
+                index: 0,
+            },
+        ];
+        tracks.sort();
+        assert_eq!(tracks[0], Track::Main);
+        assert_eq!(tracks.last(), Some(&Track::Exec));
+    }
+
+    #[test]
+    fn event_builder_attaches_args_in_order() {
+        let ev = TraceEvent::span(TraceTime::from_nanos(10), 90, Category::Io, "disk_io", {
+            Track::Device {
+                kind: "disk",
+                index: 0,
+            }
+        })
+        .arg("bytes", 4096u64)
+        .arg("joules", 0.25f64)
+        .arg("op", "read");
+        assert_eq!(ev.dur, Some(90));
+        assert_eq!(ev.args.len(), 3);
+        assert_eq!(ev.args[0], ("bytes", ArgValue::U64(4096)));
+        assert_eq!(ev.args[2], ("op", ArgValue::Str("read".to_string())));
+    }
+}

@@ -1,0 +1,54 @@
+//! `grail-trace` — a deterministic structured-event flight recorder.
+//!
+//! The paper's thesis is that energy must become a *first-class
+//! observable* of a database system. Aggregate numbers (`EnergyReport`,
+//! binned power series) say *how many* Joules a run cost; this crate
+//! records *where inside the run* they went: every device reservation,
+//! power-state transition, ledger movement, query phase, scheduler
+//! decision and injected fault becomes a timestamped [`TraceEvent`]
+//! that can be replayed, diffed, and rendered in Perfetto.
+//!
+//! ## Determinism contract
+//!
+//! * Events are keyed on **simulated time only** ([`TraceTime`], a
+//!   nanosecond count converted from the simulator's `SimInstant`).
+//!   Nothing in this crate reads a wall clock, an environment variable,
+//!   or any other ambient state.
+//! * All containers iterate in insertion or key order (`Vec`,
+//!   `BTreeMap`); there are no hash maps, so export output is a pure
+//!   function of the recorded events.
+//! * The exporters ([`export`]) hand-roll their JSON with a fixed field
+//!   order and Rust's deterministic shortest-roundtrip `f64` formatting,
+//!   so *identical runs produce byte-identical trace files* — a
+//!   property CI asserts on every push.
+//!
+//! ## Zero cost when off
+//!
+//! Instrumented code holds a [`Tracer`], which is a newtype over
+//! `Option<Box<Recorder>>`. A disabled tracer is a single `None` check:
+//! [`Tracer::emit`] takes the event as a closure that is never invoked
+//! (and therefore never allocates) unless the tracer is live *and* the
+//! event's category passes the recorder's filter mask.
+//!
+//! ## Layout
+//!
+//! * [`event`] — [`TraceTime`], [`Category`], [`Track`], [`TraceEvent`].
+//! * [`recorder`] — [`TraceSink`], the ring-buffered [`Recorder`], and
+//!   the zero-cost [`Tracer`] handle.
+//! * [`metrics`] — deterministic monotone [`Counter`s](metrics::Metrics)
+//!   and fixed-bucket [`Histogram`]s.
+//! * [`export`] — JSONL and Chrome trace-event (Perfetto) writers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{ArgValue, Category, TraceEvent, TraceTime, Track};
+pub use export::{to_chrome, to_jsonl};
+pub use metrics::{Histogram, Metrics};
+pub use recorder::{Recorder, TraceSink, Tracer};

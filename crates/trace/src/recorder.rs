@@ -1,0 +1,268 @@
+//! The [`TraceSink`] trait, the ring-buffered [`Recorder`], and the
+//! zero-cost [`Tracer`] handle that instrumented code holds.
+
+use crate::event::{Category, TraceEvent};
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+
+/// Anything that can accept trace events. The simulator is generic over
+/// this only at the edges; hot paths go through [`Tracer`] so the
+/// disabled case stays a single branch.
+pub trait TraceSink {
+    /// Accept one event. Implementations may drop it (filtering,
+    /// capacity) but must do so deterministically.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// A bounded, category-filtered event buffer plus metrics registry.
+///
+/// The buffer is a ring: when full, the **oldest** event is evicted and
+/// counted in [`Recorder::dropped`]. Eviction depends only on the event
+/// sequence, so a full buffer is still deterministic.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    capacity: usize,
+    mask: u32,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    metrics: Metrics,
+}
+
+impl Recorder {
+    /// Recorder keeping at most `capacity` events, all categories
+    /// enabled. A zero capacity records nothing (but still counts
+    /// drops and accumulates metrics).
+    pub fn new(capacity: usize) -> Self {
+        Recorder::with_categories(capacity, Category::ALL)
+    }
+
+    /// Recorder with an explicit category bitmask (OR of
+    /// [`Category::bit`] values).
+    pub fn with_categories(capacity: usize, mask: u32) -> Self {
+        Recorder {
+            capacity,
+            mask,
+            events: VecDeque::new(),
+            dropped: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Is `cat` enabled by this recorder's filter mask?
+    #[inline]
+    pub fn enabled(&self, cat: Category) -> bool {
+        self.mask & cat.bit() != 0
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, event: TraceEvent) {
+        if !self.enabled(event.cat) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+            if self.capacity == 0 {
+                return;
+            }
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The handle instrumented code holds: either off (`None`, the
+/// default) or a live boxed [`Recorder`].
+///
+/// Everything here is `#[inline]` and guarded by the option check, so a
+/// disabled tracer costs one branch per call site and never allocates:
+/// [`Tracer::emit`] takes the event as a closure that is only invoked
+/// when the tracer is live and the category passes the filter.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Box<Recorder>>);
+
+impl Tracer {
+    /// A disabled tracer (the default state of every simulation).
+    pub fn off() -> Self {
+        Tracer(None)
+    }
+
+    /// A live tracer wrapping `recorder`.
+    pub fn on(recorder: Recorder) -> Self {
+        Tracer(Some(Box::new(recorder)))
+    }
+
+    /// Is the tracer live at all?
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Is the tracer live *and* `cat` enabled?
+    #[inline]
+    pub fn enabled(&self, cat: Category) -> bool {
+        match &self.0 {
+            Some(r) => r.enabled(cat),
+            None => false,
+        }
+    }
+
+    /// Record the event built by `make` if `cat` is enabled. `make` is
+    /// not called otherwise, so a disabled tracer performs no work and
+    /// no allocation.
+    #[inline]
+    pub fn emit(&mut self, cat: Category, make: impl FnOnce() -> TraceEvent) {
+        if let Some(r) = &mut self.0 {
+            if r.enabled(cat) {
+                r.record(make());
+            }
+        }
+    }
+
+    /// Bump a monotone counter (no-op when off).
+    #[inline]
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        if let Some(r) = &mut self.0 {
+            r.metrics_mut().add(name, delta);
+        }
+    }
+
+    /// Record a histogram observation (no-op when off).
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
+        if let Some(r) = &mut self.0 {
+            r.metrics_mut().observe(name, bounds, value);
+        }
+    }
+
+    /// Borrow the live recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.0.as_deref()
+    }
+
+    /// Mutably borrow the live recorder, if any.
+    pub fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.0.as_deref_mut()
+    }
+
+    /// Take the recorder out, leaving the tracer off.
+    pub fn take(&mut self) -> Option<Recorder> {
+        self.0.take().map(|b| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceTime, Track};
+    use crate::metrics::COUNT_BUCKETS;
+
+    fn ev(ns: u64, cat: Category, name: &'static str) -> TraceEvent {
+        TraceEvent::instant(TraceTime::from_nanos(ns), cat, name, Track::Main)
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let mut r = Recorder::new(2);
+        r.record(ev(1, Category::Io, "a"));
+        r.record(ev(2, Category::Io, "b"));
+        r.record(ev(3, Category::Io, "c"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let names: Vec<_> = r.events().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn category_mask_filters_at_record_time() {
+        let mask = Category::Io.bit() | Category::Fault.bit();
+        let mut r = Recorder::with_categories(16, mask);
+        assert!(r.enabled(Category::Io));
+        assert!(!r.enabled(Category::Ledger));
+        r.record(ev(1, Category::Io, "kept"));
+        r.record(ev(2, Category::Ledger, "filtered"));
+        r.record(ev(3, Category::Fault, "kept_too"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn tracer_off_is_inert_and_never_invokes_closure() {
+        let mut t = Tracer::off();
+        assert!(!t.is_on());
+        assert!(!t.enabled(Category::Io));
+        let mut called = false;
+        t.emit(Category::Io, || {
+            called = true;
+            ev(1, Category::Io, "x")
+        });
+        assert!(!called);
+        t.count("c", 1);
+        t.observe("h", COUNT_BUCKETS, 1.0);
+        assert!(t.take().is_none());
+    }
+
+    #[test]
+    fn tracer_on_records_and_skips_masked_categories() {
+        let mut t = Tracer::on(Recorder::with_categories(16, Category::Io.bit()));
+        let mut built = 0;
+        t.emit(Category::Io, || {
+            built += 1;
+            ev(1, Category::Io, "io")
+        });
+        t.emit(Category::Ledger, || {
+            built += 1;
+            ev(2, Category::Ledger, "skip")
+        });
+        assert_eq!(built, 1, "masked category must not build the event");
+        t.count("io.requests", 3);
+        t.observe("depth", COUNT_BUCKETS, 2.0);
+        let r = t.take().unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.metrics().counter("io.requests"), 3);
+        assert_eq!(r.metrics().histogram("depth").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let mut r = Recorder::new(0);
+        r.record(ev(1, Category::Io, "a"));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+}

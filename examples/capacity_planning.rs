@@ -9,9 +9,9 @@
 
 use grail::power::tco::TcoModel;
 use grail::power::units::Watts;
-use grail::scheduler::cluster::{place, refresh_cycle_fleet, PlacementPolicy};
+use grail::scheduler::cluster::{place, refresh_cycle_fleet, ClusterError, PlacementPolicy};
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     // --- Fleet operation over a daily load profile -------------------
     let fleet = refresh_cycle_fleet();
     let total: f64 = fleet.iter().map(|m| m.capacity).sum();
@@ -30,8 +30,8 @@ fn main() {
     );
     for (i, frac) in day_profile.iter().enumerate() {
         let demand = total * frac;
-        let spread = place(&fleet, demand, PlacementPolicy::Spread).expect("fits");
-        let packed = place(&fleet, demand, PlacementPolicy::Consolidate).expect("fits");
+        let spread = place(&fleet, demand, PlacementPolicy::Spread)?;
+        let packed = place(&fleet, demand, PlacementPolicy::Consolidate)?;
         println!(
             "{:>7}h {:>7.0}% {:>14.0} {:>11.0} ({} on)",
             i * 3,
@@ -87,4 +87,5 @@ fn main() {
     println!();
     println!("the 204-disk scale-up buys 1.83x performance for 72 extra spindles riding a");
     println!("saturated fabric; two 66-disk nodes deliver 2.0x for less money and less power.");
+    Ok(())
 }

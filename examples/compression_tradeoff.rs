@@ -10,9 +10,10 @@
 use grail::core::db::{CompressionMode, EnergyAwareDb, ExecPolicy, ScanSpec};
 use grail::core::profile::HardwareProfile;
 use grail::core::report::EnergyReport;
+use grail::sim::SimError;
 use grail::workload::tpch::TpchScale;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
     db.load_tpch(TpchScale::toy());
     let stretch = 15_000.0;
@@ -28,14 +29,14 @@ fn main() {
         "physical design", "time (s)", "cpu (s)", "energy (J)", "EE (rows/J)"
     );
     for (label, mode) in modes {
-        let r = db.run_scan(
+        let r = db.try_run_scan(
             &ScanSpec::fig2(),
             ExecPolicy {
                 compression: mode,
                 dop: 1,
             },
             stretch,
-        );
+        )?;
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>12.1} {:>14.3e}",
             label,
@@ -74,4 +75,5 @@ fn main() {
         results[0].1.elapsed.as_secs_f64() / by_time.1.elapsed.as_secs_f64(),
         100.0 * (by_time.1.energy.joules() / results[0].1.energy.joules() - 1.0)
     );
+    Ok(())
 }

@@ -16,10 +16,13 @@ use grail::scheduler::governor::{
 use grail::sim::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile};
 use grail::sim::raid::RaidLevel;
 use grail::sim::sim::Simulation;
-use grail::sim::StorageTarget;
+use grail::sim::{SimError, StorageTarget};
 use grail::workload::mix::poisson_arrivals;
 
-fn episode(admission: AdmissionPolicy, governor: &dyn IdleGovernor) -> (f64, f64, u64) {
+fn episode(
+    admission: AdmissionPolicy,
+    governor: &dyn IdleGovernor,
+) -> Result<(f64, f64, u64), SimError> {
     let arrivals = poisson_arrivals(1.0 / 45.0, 30, 99);
     let schedule = admission.schedule(&arrivals);
     let costs = ParkCosts::scsi_15k();
@@ -32,9 +35,7 @@ fn episode(admission: AdmissionPolicy, governor: &dyn IdleGovernor) -> (f64, f64
         CpuPowerProfile::opteron_socket(),
     );
     let disks = sim.add_disks(2, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k());
-    let arr = sim
-        .make_array(RaidLevel::Raid0, disks.clone())
-        .expect("geometry");
+    let arr = sim.make_array(RaidLevel::Raid0, disks.clone())?;
     let mut prev_end = SimInstant::EPOCH;
     let mut parks = 0;
     let mut latency = 0.0;
@@ -43,36 +44,32 @@ fn episode(admission: AdmissionPolicy, governor: &dyn IdleGovernor) -> (f64, f64
         if start > prev_end {
             if let Some(plan) = governor.plan_gap(prev_end, start, &costs) {
                 for d in &disks {
-                    sim.park_disk(*d, plan.park_at).expect("disk");
+                    sim.park_disk(*d, plan.park_at)?;
                 }
                 parks += 1;
                 if let Some(wake) = plan.unpark_at {
                     for d in &disks {
-                        sim.unpark_disk(*d, wake).expect("disk");
+                        sim.unpark_disk(*d, wake)?;
                     }
                 }
             }
         }
-        let io = sim
-            .read(
-                StorageTarget::Array(arr),
-                start,
-                Bytes::mib(256),
-                AccessPattern::Sequential,
-            )
-            .expect("read");
-        let c = sim
-            .compute(cpu, start, Cycles::new(200_000_000))
-            .expect("cpu");
+        let io = sim.read(
+            StorageTarget::Array(arr),
+            start,
+            Bytes::mib(256),
+            AccessPattern::Sequential,
+        )?;
+        let c = sim.compute(cpu, start, Cycles::new(200_000_000))?;
         let end = io.end.max(c.end);
         latency += end.duration_since(arrivals[i]).as_secs_f64();
         prev_end = end;
     }
     let rep = sim.finish(prev_end);
-    (rep.total_energy().joules(), latency / 30.0, parks)
+    Ok((rep.total_energy().joules(), latency / 30.0, parks))
 }
 
-fn main() {
+fn main() -> Result<(), SimError> {
     println!(
         "{:<26} {:>12} {:>14} {:>10}",
         "policy", "energy (J)", "mean lat (s)", "parks"
@@ -99,7 +96,7 @@ fn main() {
     let mut baseline = None;
     for (an, ap) in &admissions {
         for (gn, g) in &governors {
-            let (e, lat, parks) = episode(*ap, g.as_ref());
+            let (e, lat, parks) = episode(*ap, g.as_ref())?;
             let base = *baseline.get_or_insert(e);
             println!(
                 "{:<26} {:>12.0} {:>14.1} {:>10}   ({:>5.1}% of baseline energy)",
@@ -114,4 +111,5 @@ fn main() {
     println!();
     println!("the Sec. 4.2 playbook: a timeout governor recovers most of the oracle's savings;");
     println!("batching widens the gaps (cheaper still) if the workload can absorb the latency.");
+    Ok(())
 }

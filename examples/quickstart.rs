@@ -4,8 +4,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use grail::prelude::*;
+use grail::sim::SimError;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // The paper's Fig. 2 hardware: one 90 W CPU, three flash drives
     // drawing 5 W total.
     let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
@@ -15,7 +16,7 @@ fn main() {
 
     // Scan 5 of ORDERS' 7 columns, stretched to the paper's 150 M-row
     // table so the numbers are recognizable.
-    let report = db.run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 15_000.0);
+    let report = db.try_run_scan(&ScanSpec::fig2(), ExecPolicy::default(), 15_000.0)?;
 
     println!("{}", report.summary());
     println!();
@@ -37,4 +38,5 @@ fn main() {
             "disk"
         }
     );
+    Ok(())
 }

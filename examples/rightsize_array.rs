@@ -8,9 +8,10 @@
 
 use grail::core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
 use grail::core::profile::HardwareProfile;
+use grail::sim::SimError;
 use grail::workload::tpch::TpchScale;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let policy = ExecPolicy {
         compression: CompressionMode::Plain,
         dop: 4,
@@ -26,7 +27,7 @@ fn main() {
     for d in candidates {
         let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(d));
         db.load_tpch(TpchScale::toy());
-        let r = db.run_throughput_test(8, 4, policy, stretch);
+        let r = db.try_run_throughput_test(8, 4, policy, stretch)?;
         println!(
             "{:>6} {:>12.1} {:>14.0} {:>12.0} {:>16.4e}",
             d,
@@ -71,4 +72,5 @@ fn main() {
         100.0 * (greenest.1.elapsed.as_secs_f64() / fastest.1.elapsed.as_secs_f64() - 1.0),
     );
     println!("EDP referee suggests {} disks.", edp.0);
+    Ok(())
 }

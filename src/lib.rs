@@ -10,6 +10,8 @@
 //!
 //! This crate is a thin facade that re-exports the workspace:
 //!
+//! * [`trace`] — the deterministic energy flight recorder: structured
+//!   events, metrics, JSONL/Perfetto export ([`grail_trace`]).
 //! * [`power`] — units, power-state machines, component power models, the
 //!   energy ledger ([`grail_power`]).
 //! * [`sim`] — the discrete-event hardware simulator ([`grail_sim`]).
@@ -51,13 +53,15 @@ pub use grail_query as query;
 pub use grail_scheduler as scheduler;
 pub use grail_sim as sim;
 pub use grail_storage as storage;
+pub use grail_trace as trace;
 pub use grail_workload as workload;
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use grail_core::{
-        EnergyAwareDb, EnergyReport, ExecPolicy, HardwareProfile, ScanSpec, TpchScale,
+        EnergyAwareDb, EnergyReport, ExecPolicy, HardwareProfile, ScanSpec, TpchScale, TracedRun,
     };
     pub use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
-    pub use grail_sim::{FaultConfig, FaultStats};
+    pub use grail_sim::{AttributionTable, FaultConfig, FaultStats};
+    pub use grail_trace::{Category, Recorder, Tracer};
 }

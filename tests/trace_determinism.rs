@@ -1,0 +1,105 @@
+//! Trace determinism and attribution-conservation properties.
+//!
+//! The flight recorder's contract: a trace is a pure function of the
+//! simulated run, so identical seed + fault plan ⇒ byte-identical JSONL
+//! export, and the attribution table's rows always sum to the ledger's
+//! wall-socket total (the PR-2 conservation invariant, per query).
+
+use grail::core::db::{CompressionMode, EnergyAwareDb, ExecPolicy, ScanSpec, TracedRun};
+use grail::prelude::*;
+use grail::trace::{to_chrome, to_jsonl};
+use proptest::prelude::*;
+
+fn loaded_db(profile: HardwareProfile) -> EnergyAwareDb {
+    let mut db = EnergyAwareDb::new(profile);
+    db.load_tpch(TpchScale::toy());
+    db
+}
+
+fn traced_scan(db: &EnergyAwareDb) -> TracedRun {
+    db.try_run_scan_traced(&ScanSpec::fig2(), ExecPolicy::default(), 100.0)
+        .expect("loaded db scans")
+}
+
+/// |table sum − ledger total| within f64 accumulation tolerance.
+fn assert_attribution_conserves(run: &TracedRun) {
+    let table = run.report.attribution.as_ref().expect("traced");
+    let total = run.report.ledger.total().joules();
+    let sum = table.sum().joules();
+    assert!(
+        (sum - total).abs() <= total.abs() * 1e-9 + 1e-9,
+        "attribution sum {sum} != ledger total {total}"
+    );
+}
+
+#[test]
+fn identical_runs_export_byte_identical_jsonl() {
+    let db = loaded_db(HardwareProfile::flash_scanner());
+    let a = traced_scan(&db);
+    let b = traced_scan(&db);
+    let ja = to_jsonl(&a.trace);
+    let jb = to_jsonl(&b.trace);
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "same run must export byte-identical JSONL");
+    assert_eq!(to_chrome(&a.trace), to_chrome(&b.trace));
+}
+
+#[test]
+fn throughput_trace_is_deterministic_and_conserving() {
+    let db = loaded_db(HardwareProfile::server_dl785(36));
+    let run = || {
+        db.try_run_throughput_test_traced(2, 2, ExecPolicy::default(), 10.0)
+            .expect("loaded db runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(to_jsonl(&a.trace), to_jsonl(&b.trace));
+    assert_attribution_conserves(&a);
+    // Attributed energy is real: every query row is positive.
+    let table = a.report.attribution.as_ref().expect("traced");
+    assert!(table
+        .rows
+        .iter()
+        .filter(|r| r.stream.is_some())
+        .all(|r| r.energy.joules() > 0.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical seed and fault plan ⇒ byte-identical JSONL, across a
+    /// sweep of fault seeds and rates; and the attribution rows sum to
+    /// the ledger total whether or not faults fired.
+    #[test]
+    fn seeded_fault_runs_are_byte_identical(
+        seed in 0u64..500,
+        transient_millis in 0u32..400,
+    ) {
+        let cfg = FaultConfig {
+            transient_per_io: transient_millis as f64 / 1000.0,
+            ..FaultConfig::NONE
+        };
+        let run = || {
+            let mut db = loaded_db(HardwareProfile::flash_scanner());
+            db.set_fault_profile(cfg, seed);
+            db.try_run_scan_traced(&ScanSpec::fig2(), ExecPolicy::default(), 100.0)
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(to_jsonl(&a.trace), to_jsonl(&b.trace));
+                prop_assert_eq!(to_chrome(&a.trace), to_chrome(&b.trace));
+                assert_attribution_conserves(&a);
+                prop_assert_eq!(a.report.energy, b.report.energy);
+                prop_assert_eq!(a.report.retries, b.report.retries);
+            }
+            // A hostile fault rate may exhaust retries — deterministically.
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea.to_string(), eb.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "identical runs diverged: {:?} vs {:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}
