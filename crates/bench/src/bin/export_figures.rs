@@ -7,6 +7,7 @@
 
 use grail_bench::{cell_f64, Csv};
 use serde_json::Value;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
@@ -26,7 +27,9 @@ fn main() {
     fs::create_dir_all("figures").expect("create figures/");
 
     // Figure 1: time and efficiency vs disks (last record per config).
-    let mut fig1: Vec<(u32, f64, f64)> = Vec::new();
+    // Keyed by disk count, so repeated sweeps overwrite in O(log n)
+    // and the map iterates already sorted.
+    let mut fig1: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
     for r in &recs {
         if r["experiment"] == "FIG1" {
             let config = r["config"].as_str().expect("config");
@@ -35,22 +38,18 @@ fn main() {
                 .expect("disks config")
                 .parse()
                 .expect("disk count");
-            let row = (
+            fig1.insert(
                 disks,
-                r["elapsed_secs"].as_f64().expect("elapsed"),
-                r["efficiency"].as_f64().expect("efficiency"),
+                (
+                    r["elapsed_secs"].as_f64().expect("elapsed"),
+                    r["efficiency"].as_f64().expect("efficiency"),
+                ),
             );
-            if let Some(existing) = fig1.iter_mut().find(|(d, _, _)| *d == disks) {
-                *existing = row;
-            } else {
-                fig1.push(row);
-            }
         }
     }
-    fig1.sort_by_key(|(d, _, _)| *d);
     let mut time_csv = Csv::new(&["disks", "time_s"]);
     let mut ee_csv = Csv::new(&["disks", "efficiency_work_per_joule"]);
-    for (d, t, e) in &fig1 {
+    for (d, (t, e)) in &fig1 {
         time_csv.row(&[d.to_string(), cell_f64(*t)]);
         ee_csv.row(&[d.to_string(), cell_f64(*e)]);
     }

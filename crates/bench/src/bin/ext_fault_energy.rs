@@ -14,199 +14,42 @@
 //! EXT-SCHED; at a wear-out level where spin-ups can kill a disk, the
 //! rebuild energy overwhelms the idle savings and never-park becomes
 //! the energy-optimal policy.
+//!
+//! The 3×3 grid runs through `grail_par` (`--threads N`/`--sequential`);
+//! the point simulation lives in `grail_bench::points::fault_point` and
+//! reporting happens serially in level-major order, so output is
+//! identical in every mode.
 
-use grail_bench::{print_header, print_row, ExperimentRecord};
-use grail_power::components::{CpuPowerProfile, DiskPowerProfile};
-use grail_power::units::{Bytes, Cycles, Hertz, SimDuration, SimInstant};
-use grail_scheduler::governor::{
-    IdleGovernor, NeverPark, OracleGovernor, ParkCosts, TimeoutGovernor,
-};
-use grail_sim::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile};
-use grail_sim::sim::Simulation;
-use grail_sim::{FaultConfig, FaultPlan, SimError, StorageTarget};
-use grail_workload::mix::poisson_arrivals;
+use grail_bench::points::{fault_detail_line, fault_point, FAULT_GOVERNORS, FAULT_LEVELS};
+use grail_bench::{print_header, print_row};
+use grail_par::Runner;
 use std::path::Path;
 
-const N_DISKS: usize = 5;
-const JOBS: usize = 40;
-const FAULT_SEED: u64 = 1009;
-/// Bytes re-silvered per member on a rebuild (the occupied slice of
-/// each spindle, not the raw capacity).
-const REBUILD_BYTES: Bytes = Bytes::gib(32);
-const MAX_ATTEMPTS: u32 = 64;
-
-struct Outcome {
-    energy_j: f64,
-    recovery_j: f64,
-    mean_latency_s: f64,
-    parks: u64,
-    retries: u64,
-    rebuilds: u64,
-    makespan_s: f64,
-}
-
-fn run(cfg: FaultConfig, governor: &dyn IdleGovernor) -> Outcome {
-    let arrivals = poisson_arrivals(1.0 / 50.0, JOBS, 7);
-    let costs = ParkCosts::scsi_15k();
-
-    let mut sim = Simulation::new();
-    if !cfg.is_zero() {
-        sim.set_fault_plan(FaultPlan::new(cfg, FAULT_SEED));
-    }
-    let cpu = sim.add_cpu(
-        CpuPerfProfile {
-            cores: 4,
-            freq: Hertz::ghz(2.3),
-        },
-        CpuPowerProfile::opteron_socket(),
-    );
-    let disks: Vec<_> = (0..N_DISKS)
-        .map(|_| sim.add_disk(DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k()))
-        .collect();
-    let arr = sim
-        .make_array(grail_sim::raid::RaidLevel::Raid5, disks.clone())
-        .expect("geometry ok");
-
-    let mut prev_end = SimInstant::EPOCH;
-    let mut parks = 0u64;
-    let mut retries = 0u64;
-    let mut rebuilds = 0u64;
-    let mut total_latency = 0.0f64;
-    for (i, &arrival) in arrivals.iter().enumerate() {
-        let start = arrival.max(prev_end);
-        // Govern the idle gap [prev_end, start). Wake on demand: the
-        // spin-up happens at issue time, where faults can strike it.
-        if start > prev_end {
-            if let Some(plan) = governor.plan_gap(prev_end, start, &costs) {
-                for d in &disks {
-                    sim.park_disk(*d, plan.park_at).expect("disk exists");
-                }
-                parks += 1;
-            }
-        }
-        // One scan query: 400 MB off the array overlapping light CPU,
-        // retried through transient faults, rebuilding on disk loss.
-        let mut t = start;
-        let mut attempts = 0u32;
-        let io = loop {
-            attempts += 1;
-            assert!(attempts <= MAX_ATTEMPTS, "job {i} stuck retrying");
-            match sim.read(
-                StorageTarget::Array(arr),
-                t,
-                Bytes::mib(400),
-                AccessPattern::Sequential,
-            ) {
-                Ok(r) => break r,
-                Err(e) if e.is_retryable() => {
-                    retries += 1;
-                    t = e.retry_until().unwrap_or(t).max(t) + SimDuration::from_millis(100);
-                }
-                Err(SimError::DeviceFailed { .. }) => {
-                    // The group lost too many members for degraded
-                    // service: rebuild before retrying.
-                    let rb = sim
-                        .rebuild_array(arr, t, REBUILD_BYTES, Some(cpu))
-                        .expect("failed members to rebuild");
-                    rebuilds += 1;
-                    retries += 1;
-                    t = rb.end;
-                }
-                Err(e) => panic!("unexpected sim error: {e}"),
-            }
-        };
-        let c = sim.compute(cpu, t, Cycles::new(500_000_000)).expect("cpu");
-        let mut end = io.end.max(c.end);
-        // A member lost mid-stream (degraded service kept the data
-        // available) is re-silvered before the next arrival.
-        let failed = sim.failed_array_disks(arr, end).expect("array exists");
-        if !failed.is_empty() {
-            let rb = sim
-                .rebuild_array(arr, end, REBUILD_BYTES, Some(cpu))
-                .expect("rebuild degraded group");
-            rebuilds += 1;
-            end = rb.end;
-        }
-        total_latency += end.duration_since(arrival).as_secs_f64();
-        prev_end = end;
-    }
-    let report = sim.finish(prev_end);
-    Outcome {
-        energy_j: report.total_energy().joules(),
-        recovery_j: report.recovery_energy().joules(),
-        mean_latency_s: total_latency / JOBS as f64,
-        parks,
-        retries,
-        rebuilds,
-        makespan_s: report.elapsed.as_secs_f64(),
-    }
-}
-
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let runner = Runner::from_cli_args(&mut args);
+
     print_header(
         "EXT-FAULT",
         "spin-down governors vs seeded faults on a RAID-5 box",
     );
     let out = Path::new("experiments.jsonl");
-    let levels: [(&str, FaultConfig); 3] = [
-        ("none", FaultConfig::NONE),
-        (
-            "transient",
-            FaultConfig {
-                transient_per_io: 0.01,
-                latent_per_read: 0.002,
-                spin_up_fault: 0.05,
-                ..FaultConfig::NONE
-            },
-        ),
-        (
-            "wearing",
-            FaultConfig {
-                transient_per_io: 0.01,
-                latent_per_read: 0.002,
-                spin_up_fault: 0.05,
-                spin_up_kill: 0.05,
-                ..FaultConfig::NONE
-            },
-        ),
-    ];
-    let governors: [(&str, Box<dyn IdleGovernor>); 3] = [
-        ("never", Box::new(NeverPark)),
-        (
-            "timeout10s",
-            Box::new(TimeoutGovernor {
-                timeout: SimDuration::from_secs(10),
-            }),
-        ),
-        ("oracle", Box::new(OracleGovernor)),
-    ];
-    for (lname, cfg) in &levels {
+    let grid: Vec<(&str, &str)> = FAULT_LEVELS
+        .iter()
+        .flat_map(|l| FAULT_GOVERNORS.iter().map(move |g| (*l, *g)))
+        .collect();
+    let recs = runner.run(&grid, |_, (level, governor)| fault_point(level, governor));
+
+    let mut rows = grid.iter().zip(&recs);
+    for lname in FAULT_LEVELS {
         let mut best: Option<(&str, f64)> = None;
-        for (gname, governor) in &governors {
-            let o = run(*cfg, governor.as_ref());
-            if best.map_or(true, |(_, e)| o.energy_j < e) {
-                best = Some((gname, o.energy_j));
+        for gname in FAULT_GOVERNORS {
+            let (_, rec) = rows.next().expect("grid covers every cell");
+            if best.map_or(true, |(_, e)| rec.energy_j < e) {
+                best = Some((gname, rec.energy_j));
             }
-            let rec = ExperimentRecord::new(
-                "EXT-FAULT",
-                &format!("{lname}+{gname}"),
-                o.makespan_s,
-                o.energy_j,
-                JOBS as f64,
-                serde_json::json!({
-                    "recovery_j": o.recovery_j,
-                    "recovery_share": if o.energy_j > 0.0 { o.recovery_j / o.energy_j } else { 0.0 },
-                    "mean_latency_s": o.mean_latency_s,
-                    "parks": o.parks,
-                    "retries": o.retries,
-                    "rebuilds": o.rebuilds,
-                }),
-            );
-            print_row(&rec);
-            println!(
-                "    recovery {:>10.1}J   retries {:>3}   rebuilds {:>2}   spin-downs {:>3}   latency {:>7.1}s",
-                o.recovery_j, o.retries, o.rebuilds, o.parks, o.mean_latency_s
-            );
+            print_row(rec);
+            println!("{}", fault_detail_line(rec));
             rec.append_to(out).expect("append");
         }
         let (gname, energy) = best.expect("three governors ran");

@@ -6,50 +6,28 @@
 //! increase in efficiency for a 45% drop in performance" relative to the
 //! 204-disk maximum-performance point — and the disk subsystem draws
 //! more than half the system power.
+//!
+//! Sweep points run through `grail_par` (`--threads N`/`--sequential`);
+//! reporting happens serially in input order, so output is identical in
+//! every mode.
 
-use grail_bench::{print_header, print_row, ExperimentRecord};
-use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
-use grail_core::profile::HardwareProfile;
-use grail_workload::tpch::TpchScale;
+use grail_bench::points::{fig1_point, FIG1_DISKS};
+use grail_bench::{print_header, print_row};
+use grail_par::Runner;
 use std::path::Path;
 
 fn main() {
-    let disks = [36usize, 66, 108, 204];
-    // Queries at the audited 300 GB class: demands measured at toy
-    // scale (10 K orders) and stretched 30 000× (≈ SF 200). The audited
-    // system's page compression achieved only ~1.17× (300 GB → 256 GB),
-    // which our Plain columnar layout approximates; our column codecs
-    // compress 4×+ and would shift the mix away from the audited
-    // machine's disk-bound regime.
-    let stretch = 30_000.0;
-    let streams = 8;
-    let queries_per_stream = 4;
-    let policy = ExecPolicy {
-        compression: CompressionMode::Plain,
-        dop: 4,
-    };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let runner = Runner::from_cli_args(&mut args);
 
     print_header(
         "FIG1",
         "TPC-H throughput test: time & energy efficiency vs #disks",
     );
+    let recs = runner.run(&FIG1_DISKS, |_, d| fig1_point(*d));
     let out = Path::new("experiments.jsonl");
     let mut rows = Vec::new();
-    for d in disks {
-        let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(d));
-        db.load_tpch(TpchScale::toy());
-        let r = db.run_throughput_test(streams, queries_per_stream, policy, stretch);
-        let rec = ExperimentRecord::new(
-            "FIG1",
-            &format!("disks={d}"),
-            r.elapsed.as_secs_f64(),
-            r.energy.joules(),
-            r.work,
-            serde_json::json!({
-                "disk_share": r.disk_share(),
-                "avg_power_w": r.avg_power().get(),
-            }),
-        );
+    for (d, rec) in FIG1_DISKS.into_iter().zip(recs) {
         print_row(&rec);
         rec.append_to(out).expect("append experiments.jsonl");
         rows.push((d, rec));

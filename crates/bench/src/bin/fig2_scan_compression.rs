@@ -6,74 +6,51 @@
 //! 3.2 s CPU, 338 J); compressed trades CPU for bandwidth and becomes
 //! CPU-bound (5.5 s total, 5.1 s CPU) — ~2× faster yet ~44% **more**
 //! energy (487 J), because the CPU is 18× the power of the flash.
+//!
+//! Both bars run through `grail_par` (`--threads N`/`--sequential`);
+//! reporting happens serially in input order, so output is identical in
+//! every mode.
 
-use grail_bench::{print_header, print_row, ExperimentRecord};
-use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy, ScanSpec};
-use grail_core::profile::HardwareProfile;
-use grail_workload::tpch::TpchScale;
+use grail_bench::points::{fig2_point, FIG2_MODES};
+use grail_bench::{print_header, print_row};
+use grail_par::Runner;
 use std::path::Path;
 
 fn main() {
-    // Stretch toy ORDERS (10 K rows) to Fig. 2's ~150 M-row table
-    // (300 GB scale factor): the 5-column projection is then ~6 GB.
-    let stretch = 15_000.0;
-    let mut db = EnergyAwareDb::new(HardwareProfile::flash_scanner());
-    db.load_tpch(TpchScale::toy());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let runner = Runner::from_cli_args(&mut args);
 
     print_header(
         "FIG2",
         "ORDERS 5/7-column scan, uncompressed vs compressed (1 CPU @90W, 3 SSDs @5W)",
     );
+    let recs = runner.run(&FIG2_MODES, |_, (label, mode)| fig2_point(label, *mode));
     let out = Path::new("experiments.jsonl");
-    let mut results = Vec::new();
-    for (label, mode) in [
-        ("uncompressed", CompressionMode::Plain),
-        ("compressed", CompressionMode::Fig2),
-    ] {
-        let r = db.run_scan(
-            &ScanSpec::fig2(),
-            ExecPolicy {
-                compression: mode,
-                dop: 1,
-            },
-            stretch,
-        );
-        let rec = ExperimentRecord::new(
-            "FIG2",
-            label,
-            r.elapsed.as_secs_f64(),
-            r.energy.joules(),
-            r.work,
-            serde_json::json!({
-                "cpu_secs": r.cpu_busy.as_secs_f64() * stretch.max(1.0) / stretch,
-                "cpu_busy_secs": r.cpu_busy.as_secs_f64(),
-                "avg_power_w": r.avg_power().get(),
-            }),
-        );
-        print_row(&rec);
+    for rec in &recs {
+        print_row(rec);
         rec.append_to(out).expect("append experiments.jsonl");
-        results.push((label, r));
     }
 
-    let (_, unc) = &results[0];
-    let (_, cmp) = &results[1];
+    let cpu_busy =
+        |r: &grail_bench::ExperimentRecord| r.extra["cpu_busy_secs"].as_f64().expect("recorded");
+    let (unc, cmp) = (&recs[0], &recs[1]);
     println!();
     println!(
         "uncompressed: total {:.2}s  CPU {:.2}s  E {:.0}J   (paper: 10s / 3.2s / 338J)",
-        unc.elapsed.as_secs_f64(),
-        unc.cpu_busy.as_secs_f64(),
-        unc.energy.joules()
+        unc.elapsed_secs,
+        cpu_busy(unc),
+        unc.energy_j
     );
     println!(
         "compressed:   total {:.2}s  CPU {:.2}s  E {:.0}J   (paper: 5.5s / 5.1s / 487J)",
-        cmp.elapsed.as_secs_f64(),
-        cmp.cpu_busy.as_secs_f64(),
-        cmp.energy.joules()
+        cmp.elapsed_secs,
+        cpu_busy(cmp),
+        cmp.energy_j
     );
     println!(
         "speedup {:.2}x (paper ~1.8x); energy ratio {:.2}x (paper ~1.44x)",
-        unc.elapsed.as_secs_f64() / cmp.elapsed.as_secs_f64(),
-        cmp.energy.joules() / unc.energy.joules()
+        unc.elapsed_secs / cmp.elapsed_secs,
+        cmp.energy_j / unc.energy_j
     );
     println!(
         "=> the faster plan burns more Joules: optimizing for performance != optimizing for energy"

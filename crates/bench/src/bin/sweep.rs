@@ -1,0 +1,233 @@
+//! `sweep` — the consolidated paper-reproduction benchmark.
+//!
+//! Runs the experiment suites end-to-end twice — once sequentially,
+//! once through the `grail_par` fan-out — asserts the serialized
+//! records are **byte-identical** across modes, and writes a
+//! wall-clock ledger to `BENCH_sweep.json` (format documented in
+//! EXPERIMENTS.md):
+//!
+//! ```json
+//! {"bench":"fig1_sweep","wall_ms":…,"sim_points":4,
+//!  "speedup_vs_sequential":…,"threads":…}
+//! ```
+//!
+//! Benches:
+//! * `fig1_sweep` — the 4-point Figure 1 disk sweep (timing only),
+//! * `full_repro` — every point of the reproduction (FIG1 + FIG2 +
+//!   EXT-FAULT, 15 simulations); its records are appended once to
+//!   `experiments.jsonl`, so a single `sweep` invocation leaves the
+//!   same JSONL state as running the three figure binaries in order.
+//!
+//! Wall-clock numbers are the median of `--repeats` runs (default 3).
+//! `--threads N`/`--sequential` select the parallel mode under test;
+//! the sequential baseline always runs. Timing uses the host clock and
+//! is the one deliberately non-deterministic output — everything
+//! simulation-derived stays exact.
+
+use grail_bench::points::{
+    fault_point, fig1_point, fig2_point, FAULT_GOVERNORS, FAULT_LEVELS, FIG1_DISKS, FIG2_MODES,
+};
+use grail_bench::ExperimentRecord;
+use grail_core::db::CompressionMode;
+use grail_par::Runner;
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// One simulation of a bench suite.
+#[derive(Clone, Copy)]
+enum Point {
+    Fig1(usize),
+    Fig2(&'static str, CompressionMode),
+    Fault(&'static str, &'static str),
+}
+
+impl Point {
+    fn eval(&self) -> ExperimentRecord {
+        match self {
+            Point::Fig1(d) => fig1_point(*d),
+            Point::Fig2(label, mode) => fig2_point(label, *mode),
+            Point::Fault(level, governor) => fault_point(level, governor),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Point::Fig1(d) => format!("FIG1 disks={d}"),
+            Point::Fig2(label, _) => format!("FIG2 {label}"),
+            Point::Fault(level, governor) => format!("EXT-FAULT {level}+{governor}"),
+        }
+    }
+}
+
+fn fig1_points() -> Vec<Point> {
+    FIG1_DISKS.into_iter().map(Point::Fig1).collect()
+}
+
+fn full_repro_points() -> Vec<Point> {
+    let mut pts = fig1_points();
+    pts.extend(FIG2_MODES.into_iter().map(|(l, m)| Point::Fig2(l, m)));
+    pts.extend(
+        FAULT_LEVELS
+            .iter()
+            .flat_map(|l| FAULT_GOVERNORS.iter().map(move |g| Point::Fault(l, g))),
+    );
+    pts
+}
+
+/// One ledger line of `BENCH_sweep.json`.
+#[derive(Serialize)]
+struct LedgerRecord {
+    bench: String,
+    wall_ms: f64,
+    sim_points: usize,
+    speedup_vs_sequential: f64,
+    threads: usize,
+}
+
+/// Records rendered exactly as `ExperimentRecord::append_to` writes
+/// them — the byte-identity contract is on this serialization.
+fn render(recs: &[ExperimentRecord]) -> String {
+    let mut out = String::new();
+    for r in recs {
+        out.push_str(&serde_json::to_string(r).expect("serializable"));
+        out.push('\n');
+    }
+    out
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+struct Pass {
+    /// Serialized records of the final repeat (identical across
+    /// repeats, asserted).
+    bytes: String,
+    records: Vec<ExperimentRecord>,
+    /// Median total wall-clock over the repeats, milliseconds.
+    wall_ms: f64,
+    /// Median per-point wall-clock, milliseconds, in input order.
+    point_ms: Vec<f64>,
+}
+
+fn run_pass(runner: &Runner, points: &[Point], repeats: usize) -> Pass {
+    let mut totals = Vec::with_capacity(repeats);
+    let mut per_point: Vec<Vec<f64>> = vec![Vec::with_capacity(repeats); points.len()];
+    let mut bytes: Option<String> = None;
+    let mut records = Vec::new();
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let out = runner.run(points, |_, p| {
+            let p0 = Instant::now();
+            let rec = p.eval();
+            (rec, p0.elapsed().as_secs_f64() * 1e3)
+        });
+        totals.push(t0.elapsed().as_secs_f64() * 1e3);
+        for (i, (_, ms)) in out.iter().enumerate() {
+            per_point[i].push(*ms);
+        }
+        records = out.into_iter().map(|(r, _)| r).collect();
+        let rendered = render(&records);
+        if let Some(prev) = &bytes {
+            assert_eq!(prev, &rendered, "repeat runs must serialize identically");
+        }
+        bytes = Some(rendered);
+    }
+    Pass {
+        bytes: bytes.expect("at least one repeat"),
+        records,
+        wall_ms: median(totals),
+        point_ms: per_point.into_iter().map(median).collect(),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let runner = Runner::from_cli_args(&mut args);
+    let mut repeats = 3usize;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--repeats" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--repeats requires a value"));
+                repeats = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--repeats expects a positive integer, got {v:?}"));
+                assert!(repeats >= 1, "--repeats expects a positive integer, got 0");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let benches: [(&str, Vec<Point>, bool); 2] = [
+        ("fig1_sweep", fig1_points(), false),
+        ("full_repro", full_repro_points(), true),
+    ];
+    let mut ledger = Vec::new();
+    for (name, points, append) in benches {
+        println!(
+            "== SWEEP {name}: {} points, threads={}, repeats={repeats}",
+            points.len(),
+            runner.threads()
+        );
+        let seq = run_pass(&Runner::sequential(), &points, repeats);
+        let par = run_pass(&runner, &points, repeats);
+        assert_eq!(
+            seq.bytes, par.bytes,
+            "parallel pass must be byte-identical to the sequential baseline"
+        );
+
+        println!("{:<32} {:>12} {:>12}", "point", "seq (ms)", "par (ms)");
+        for (i, p) in points.iter().enumerate() {
+            println!(
+                "{:<32} {:>12.1} {:>12.1}",
+                p.label(),
+                seq.point_ms[i],
+                par.point_ms[i]
+            );
+        }
+        let speedup = seq.wall_ms / par.wall_ms;
+        println!(
+            "{:<32} {:>12.1} {:>12.1}   speedup {speedup:.2}x   [records byte-identical]",
+            "total (median)", seq.wall_ms, par.wall_ms
+        );
+        println!();
+
+        if append {
+            let out = Path::new("experiments.jsonl");
+            for rec in &par.records {
+                rec.append_to(out).expect("append experiments.jsonl");
+            }
+            println!(
+                "appended {} records to experiments.jsonl",
+                par.records.len()
+            );
+        }
+        ledger.push(LedgerRecord {
+            bench: name.to_string(),
+            wall_ms: par.wall_ms,
+            sim_points: points.len(),
+            speedup_vs_sequential: speedup,
+            threads: runner.threads(),
+        });
+    }
+
+    let mut body = String::from("[\n");
+    for (i, rec) in ledger.iter().enumerate() {
+        body.push_str("  ");
+        body.push_str(&serde_json::to_string(rec).expect("serializable"));
+        body.push_str(if i + 1 < ledger.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("]\n");
+    std::fs::write("BENCH_sweep.json", &body).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json ({} benches)", ledger.len());
+}

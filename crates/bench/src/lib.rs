@@ -10,6 +10,7 @@
 #![warn(clippy::all)]
 
 pub mod csv;
+pub mod points;
 pub mod record;
 
 pub use csv::{cell_f64, Csv};

@@ -885,8 +885,10 @@ mod tests {
                 assert!(!row.operators.is_empty(), "{} has operators", row.label);
             }
         }
-        // Round-robin dealing: s0.q0 and s1.q1 share template 0's
-        // operator set; s0.q1 and s1.q0 share template 1's.
+        // Round-robin dealing hands template (s + q) % 4 to stream s's
+        // q-th query: s0.q1 and s1.q0 share template 1's operator set,
+        // while s0.q0 (template 0, single-scan) and s1.q1 (template 2,
+        // a join) must differ.
         let ops = |s: u32, q: u32| -> Vec<String> {
             table
                 .query(s, q)
@@ -896,7 +898,7 @@ mod tests {
                 .map(|o| o.name.clone())
                 .collect()
         };
-        assert_eq!(ops(0, 0), ops(1, 1));
         assert_eq!(ops(0, 1), ops(1, 0));
+        assert_ne!(ops(0, 0), ops(1, 1));
     }
 }

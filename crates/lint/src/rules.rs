@@ -20,6 +20,10 @@
 //! * [`PRINT_HYGIENE`] — no `println!`/`eprintln!` in library crates;
 //!   diagnostics flow through `grail-trace` events or returned errors,
 //!   and only binary targets own stdout.
+//! * [`THREAD_CONFINE`] — threads and locks live only in `grail-par`;
+//!   everywhere else, parallelism goes through `grail_par::Runner`,
+//!   whose index-ordered merge is what keeps fan-out byte-identical
+//!   to sequential runs.
 //! * [`UNSAFE_FORBID`] — every library crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //! * [`PRAGMA`] — suppression pragmas themselves must be well-formed and
@@ -40,6 +44,8 @@ pub const ERROR_HYGIENE: &str = "error-hygiene";
 pub const FLOAT_EQ: &str = "float-eq";
 /// No console printing from library code; use grail-trace or errors.
 pub const PRINT_HYGIENE: &str = "print-hygiene";
+/// Threads and locks are confined to grail-par; use its Runner.
+pub const THREAD_CONFINE: &str = "thread-confine";
 /// Library crate roots must forbid `unsafe`.
 pub const UNSAFE_FORBID: &str = "unsafe-forbid";
 /// Pragma hygiene (malformed or unknown suppressions).
@@ -81,6 +87,10 @@ pub const RULES: &[Rule] = &[
         summary: "no println!/eprintln! in library code outside tests; trace or return errors",
     },
     Rule {
+        id: THREAD_CONFINE,
+        summary: "no std::thread / Mutex / locks outside crates/par; fan out via grail_par::Runner",
+    },
+    Rule {
         id: UNSAFE_FORBID,
         summary: "library crate roots must carry #![forbid(unsafe_code)]",
     },
@@ -106,6 +116,7 @@ pub fn check(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     error_hygiene(info, f, &mut raw);
     float_eq(info, f, &mut raw);
     print_hygiene(info, f, &mut raw);
+    thread_confine(info, f, &mut raw);
     unsafe_forbid(info, f, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw.into_iter().filter(|d| !suppressed(d, f)).collect();
@@ -506,6 +517,52 @@ fn print_hygiene(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// thread-confine
+// ---------------------------------------------------------------------------
+
+/// The one crate allowed to spawn threads and hold locks.
+const THREAD_CRATE: &str = "par";
+
+const THREAD_PATTERNS: &[&str] = &[
+    "std::thread",
+    "thread::spawn",
+    "thread::scope",
+    "thread::Builder",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "mpsc::channel",
+    "mpsc::sync_channel",
+    "rayon",
+    "crossbeam",
+];
+
+fn thread_confine(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    // Tests included: a test that spawns its own threads can observe —
+    // and start depending on — a nondeterministic completion order.
+    if info.crate_name == THREAD_CRATE {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        for pat in THREAD_PATTERNS {
+            if has_token(code, pat) {
+                push(
+                    out,
+                    info,
+                    i + 1,
+                    THREAD_CONFINE,
+                    format!(
+                        "`{pat}` outside crates/par: scheduling must never reach observable \
+                         state; fan independent work through grail_par::Runner, which merges \
+                         in input order"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // unsafe-forbid
 // ---------------------------------------------------------------------------
 
@@ -695,6 +752,37 @@ mod tests {
         // write!/writeln! to a caller-supplied sink are fine.
         let ok = "fn f(w: &mut impl Write) { writeln!(w, \"x\").ok(); }\n";
         assert!(rules_at("crates/query/src/x.rs", ok).is_empty());
+    }
+
+    // -- thread-confine -----------------------------------------------------
+
+    #[test]
+    fn thread_confine_triggers_outside_par() {
+        let bad = "fn f() { std::thread::spawn(|| {}); }\n\
+                   fn g() { let m = std::sync::Mutex::new(0); }\n\
+                   fn h() { let l: RwLock<u32>; }\n";
+        let got = rules_at("crates/sim/src/x.rs", bad);
+        assert!(got.contains(&(1, "thread-confine".into())), "{got:?}");
+        assert!(got.contains(&(2, "thread-confine".into())), "{got:?}");
+        assert!(got.contains(&(3, "thread-confine".into())), "{got:?}");
+        // Tests are not exempt: thread use there can start encoding
+        // scheduling-dependent expectations.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(rules_at("crates/query/src/x.rs", in_tests).contains(&(3, "thread-confine".into())));
+    }
+
+    #[test]
+    fn thread_confine_passes_par_crate_and_lookalikes() {
+        let threads = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n\
+                       fn g() { let m = std::sync::Mutex::new(0); }\n";
+        assert!(rules_at("crates/par/src/x.rs", threads).is_empty());
+        assert!(rules_at("crates/par/tests/determinism.rs", threads).is_empty());
+        // Identifier lookalikes don't match on token boundaries.
+        let ok = "fn f() { let x = MutexGuardLike; single_threaded(); }\n";
+        assert!(rules_at("crates/sim/src/x.rs", ok).is_empty());
+        // A reasoned pragma can authorize an exception.
+        let allowed = "fn f() { std::thread::sleep(d); } // grail-lint: allow(thread-confine, host-side stall in a bench harness, no shared state)\n";
+        assert!(rules_at("crates/bench/src/x.rs", allowed).is_empty());
     }
 
     // -- unsafe-forbid ------------------------------------------------------

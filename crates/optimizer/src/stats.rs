@@ -37,7 +37,7 @@ impl TableStats {
                 let mut distinct = HashSet::new();
                 let mut min = i64::MAX;
                 let mut max = i64::MIN;
-                for v in col {
+                for v in col.iter() {
                     distinct.insert(*v);
                     min = min.min(*v);
                     max = max.max(*v);

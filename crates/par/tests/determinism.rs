@@ -1,0 +1,90 @@
+//! Property tests: the parallel runner is observationally equivalent
+//! to a sequential map, for any thread count, input size, and
+//! per-point workload skew.
+//!
+//! The point function here deliberately mimics an experiment point:
+//! it derives a deterministic pseudo-random state from the config,
+//! does a variable amount of work (so threads finish out of order),
+//! and renders a JSONL-style record string — the byte-identity the
+//! bench binaries rely on is asserted at this level too.
+
+use grail_par::Runner;
+use proptest::prelude::*;
+
+/// splitmix64: cheap deterministic scramble, used both to derive
+/// per-point "results" and to skew per-point cost.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fake experiment point: variable-cost deterministic compute that
+/// ends in a serialized record line.
+fn point(idx: usize, seed: &u64) -> String {
+    let mut acc = mix(*seed ^ idx as u64);
+    // Skew the work: some points are ~100x costlier than others, so a
+    // pool's completion order scrambles thoroughly.
+    let rounds = 10 + (acc % 1000);
+    for _ in 0..rounds {
+        acc = mix(acc);
+    }
+    format!("{{\"point\":{idx},\"seed\":{seed},\"digest\":{acc}}}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any thread count produces the same Vec as the sequential runner.
+    #[test]
+    fn thread_count_is_unobservable(
+        len in 0usize..40,
+        base in 0u64..u64::MAX / 2,
+    ) {
+        let configs: Vec<u64> = (0..len as u64).map(|i| base.wrapping_add(i * 7919)).collect();
+        let seq = Runner::sequential().run(&configs, point);
+        for threads in [1usize, 2, 8] {
+            let par = Runner::with_threads(threads).run(&configs, point);
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+
+    /// Joining records into a JSONL body is byte-identical across
+    /// modes — the exact artifact contract the bench binaries ship.
+    #[test]
+    fn jsonl_bytes_identical(
+        len in 1usize..30,
+        base in 0u64..1_000_000u64,
+    ) {
+        let configs: Vec<u64> = (0..len as u64).map(|i| base + i).collect();
+        let render = |r: &Runner| {
+            let mut body = String::new();
+            for line in r.run(&configs, point) {
+                body.push_str(&line);
+                body.push('\n');
+            }
+            body
+        };
+        let seq = render(&Runner::sequential());
+        prop_assert_eq!(render(&Runner::with_threads(2)), seq.clone());
+        prop_assert_eq!(render(&Runner::with_threads(8)), seq);
+    }
+
+    /// Aggregates over results (a ledger's totals) are mode-invariant.
+    #[test]
+    fn ledger_totals_identical(
+        len in 0usize..50,
+        base in 0u64..1_000_000u64,
+    ) {
+        let configs: Vec<u64> = (0..len as u64).map(|i| base ^ (i << 8)).collect();
+        let digest = |r: &Runner| -> u64 {
+            r.run(&configs, |i, s| mix(*s ^ i as u64))
+                .into_iter()
+                .fold(0u64, |a, v| mix(a ^ v))
+        };
+        let seq = digest(&Runner::sequential());
+        prop_assert_eq!(digest(&Runner::with_threads(2)), seq);
+        prop_assert_eq!(digest(&Runner::with_threads(8)), seq);
+    }
+}

@@ -1,4 +1,12 @@
 //! Column-major batches and in-memory tables.
+//!
+//! A [`Batch`] is a *view*: it shares immutable backing columns through
+//! [`Arc`] and narrows them with a `[offset, offset + rows)` window plus
+//! an optional selection vector. Scans hand out windows over the decoded
+//! table without copying; filters compose selections without touching
+//! column data; projections re-label shared columns. Only operators that
+//! genuinely compute new values (expressions, aggregates, joins, sorts)
+//! materialize fresh columns — see DESIGN.md §10 for the contract.
 
 use crate::schema::Schema;
 use crate::value::Datum;
@@ -7,16 +15,24 @@ use std::sync::Arc;
 /// Rows per batch produced by operators.
 pub const BATCH_ROWS: usize = 4096;
 
-/// A column-major batch of rows.
-#[derive(Debug, Clone, PartialEq)]
+/// A column-major batch of rows, sharing immutable backing columns.
+///
+/// Invariants: every backing column has the same physical length; with
+/// no selection the logical rows are `[offset, offset + rows)`; with a
+/// selection the logical rows are the selected *physical* indices in
+/// order, and `offset`/`rows` are unused (zero).
+#[derive(Debug, Clone)]
 pub struct Batch {
     schema: Arc<Schema>,
-    columns: Vec<Vec<Datum>>,
+    columns: Vec<Arc<Vec<Datum>>>,
+    offset: usize,
+    rows: usize,
+    sel: Option<Arc<Vec<u32>>>,
 }
 
 impl Batch {
-    /// A batch from columns (all equal length, matching the schema's
-    /// arity).
+    /// A dense batch owning freshly materialized columns (all equal
+    /// length, matching the schema's arity).
     ///
     /// # Panics
     /// Panics on arity or length mismatch — producer bugs.
@@ -27,7 +43,43 @@ impl Batch {
                 assert_eq!(c.len(), first.len(), "ragged batch columns");
             }
         }
-        Batch { schema, columns }
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        Batch {
+            schema,
+            columns: columns.into_iter().map(Arc::new).collect(),
+            offset: 0,
+            rows,
+            sel: None,
+        }
+    }
+
+    /// A zero-copy window `[offset, offset + rows)` over shared columns.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch, ragged columns, or a window that
+    /// overruns the backing data.
+    pub fn from_shared(
+        schema: Arc<Schema>,
+        columns: Vec<Arc<Vec<Datum>>>,
+        offset: usize,
+        rows: usize,
+    ) -> Self {
+        assert_eq!(schema.arity(), columns.len(), "batch arity mismatch");
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(c.len(), first.len(), "ragged batch columns");
+            }
+            assert!(offset + rows <= first.len(), "window overruns columns");
+        } else {
+            assert_eq!(rows, 0, "rows in a zero-column batch");
+        }
+        Batch {
+            schema,
+            columns,
+            offset,
+            rows,
+            sel: None,
+        }
     }
 
     /// An empty batch of `schema`.
@@ -35,7 +87,10 @@ impl Batch {
         let arity = schema.arity();
         Batch {
             schema,
-            columns: vec![Vec::new(); arity],
+            columns: vec![Arc::new(Vec::new()); arity],
+            offset: 0,
+            rows: 0,
+            sel: None,
         }
     }
 
@@ -44,66 +99,175 @@ impl Batch {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of logical rows.
     pub fn len(&self) -> usize {
-        self.columns.first().map(|c| c.len()).unwrap_or(0)
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows,
+        }
     }
 
-    /// True if the batch has no rows.
+    /// True if the batch has no logical rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Column `i`.
+    /// True when logical rows are a contiguous window (no selection).
+    pub fn is_dense(&self) -> bool {
+        self.sel.is_none()
+    }
+
+    /// The selection vector, when one is attached (physical indices).
+    pub fn selection(&self) -> Option<&Arc<Vec<u32>>> {
+        self.sel.as_ref()
+    }
+
+    /// Column `i` as a contiguous slice of logical rows.
+    ///
+    /// # Panics
+    /// Panics when a selection vector is attached — selected rows are
+    /// not contiguous; use [`Self::value`], [`Self::gather`], or
+    /// [`Self::to_dense`] instead.
     pub fn column(&self, i: usize) -> &[Datum] {
-        &self.columns[i]
+        assert!(
+            self.sel.is_none(),
+            "column(): batch carries a selection vector; gather or densify first"
+        );
+        &self.columns[i][self.offset..self.offset + self.rows]
     }
 
-    /// One row, materialized.
-    pub fn row(&self, r: usize) -> Vec<Datum> {
-        self.columns.iter().map(|c| c[r]).collect()
+    /// The value at logical row `r` of column `col`.
+    #[inline]
+    pub fn value(&self, col: usize, r: usize) -> Datum {
+        let phys = match &self.sel {
+            Some(s) => s[r] as usize,
+            None => self.offset + r,
+        };
+        self.columns[col][phys]
     }
 
-    /// Keep only rows where `mask` is true.
-    pub fn filter(&self, mask: &[bool]) -> Batch {
-        assert_eq!(mask.len(), self.len(), "mask length mismatch");
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| {
-                c.iter()
-                    .zip(mask)
-                    .filter(|(_, m)| **m)
-                    .map(|(v, _)| *v)
-                    .collect()
-            })
-            .collect();
-        Batch {
-            schema: self.schema.clone(),
-            columns,
+    /// Column `i` of logical rows, materialized in order.
+    pub fn gather(&self, i: usize) -> Vec<Datum> {
+        let col = &self.columns[i];
+        match &self.sel {
+            Some(s) => s.iter().map(|p| col[*p as usize]).collect(),
+            None => col[self.offset..self.offset + self.rows].to_vec(),
         }
     }
 
-    /// Project columns by index (with the matching projected schema).
+    /// One logical row, materialized.
+    pub fn row(&self, r: usize) -> Vec<Datum> {
+        (0..self.columns.len()).map(|c| self.value(c, r)).collect()
+    }
+
+    /// Keep only rows where `mask` is true: shares the backing columns
+    /// and composes a new selection vector, copying no column data.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        let sel: Vec<u32> = match &self.sel {
+            Some(s) => s
+                .iter()
+                .zip(mask)
+                .filter(|(_, m)| **m)
+                .map(|(p, _)| *p)
+                .collect(),
+            None => mask
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| **m)
+                .map(|(i, _)| u32::try_from(self.offset + i).expect("batch offset fits u32"))
+                .collect(),
+        };
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            offset: 0,
+            rows: 0,
+            sel: Some(Arc::new(sel)),
+        }
+    }
+
+    /// Project columns by index (with the matching projected schema),
+    /// sharing backing data and any selection. Indices without a
+    /// backing column are skipped, mirroring [`Schema::project`].
     pub fn project(&self, columns: &[usize]) -> Batch {
         let schema = self.schema.project(columns);
-        let cols = columns
+        let cols: Vec<Arc<Vec<Datum>>> = columns
             .iter()
             .filter_map(|i| self.columns.get(*i).cloned())
             .collect();
-        Batch::new(schema, cols)
+        Batch {
+            schema,
+            columns: cols,
+            offset: self.offset,
+            rows: self.rows,
+            sel: self.sel.clone(),
+        }
+    }
+
+    /// Re-label shared columns under a caller-supplied schema (the
+    /// zero-copy path for all-column-reference projections).
+    ///
+    /// # Panics
+    /// Panics when `schema.arity() != columns.len()` or an index is out
+    /// of range.
+    pub fn select_columns(&self, columns: &[usize], schema: Arc<Schema>) -> Batch {
+        assert_eq!(schema.arity(), columns.len(), "batch arity mismatch");
+        let cols: Vec<Arc<Vec<Datum>>> = columns.iter().map(|i| self.columns[*i].clone()).collect();
+        Batch {
+            schema,
+            columns: cols,
+            offset: self.offset,
+            rows: self.rows,
+            sel: self.sel.clone(),
+        }
+    }
+
+    /// Materialize the logical rows as a full-width dense batch. A
+    /// batch that already covers its whole backing densely is returned
+    /// as a cheap shared clone.
+    pub fn to_dense(&self) -> Batch {
+        let full = self.sel.is_none()
+            && self.offset == 0
+            && self.columns.first().map(|c| c.len()).unwrap_or(0) == self.rows;
+        if full {
+            return self.clone();
+        }
+        let cols: Vec<Arc<Vec<Datum>>> = (0..self.columns.len())
+            .map(|i| Arc::new(self.gather(i)))
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns: cols,
+            offset: 0,
+            rows: self.len(),
+            sel: None,
+        }
+    }
+}
+
+impl PartialEq for Batch {
+    /// Logical equality: same schema and the same values row-by-row,
+    /// regardless of windowing or selection representation.
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.len() != other.len() {
+            return false;
+        }
+        (0..self.columns.len())
+            .all(|c| (0..self.len()).all(|r| self.value(c, r) == other.value(c, r)))
     }
 }
 
 /// An in-memory table: the decoded, queryable form of generated data.
+/// Columns are [`Arc`]-shared so scans window them without copying.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table name.
     pub name: String,
     /// Schema.
     pub schema: Arc<Schema>,
-    /// Column-major data.
-    pub columns: Vec<Vec<Datum>>,
+    /// Column-major data, shared immutably with scans.
+    pub columns: Vec<Arc<Vec<Datum>>>,
 }
 
 impl Table {
@@ -121,7 +285,7 @@ impl Table {
         Table {
             name: name.to_string(),
             schema,
-            columns,
+            columns: columns.into_iter().map(Arc::new).collect(),
         }
     }
 
@@ -135,14 +299,12 @@ impl Table {
         (self.row_count() * self.schema.arity() * 8) as u64
     }
 
-    /// Slice rows `[from, to)` of selected columns into a batch.
+    /// Slice rows `[from, to)` of selected columns into a zero-copy
+    /// window batch.
     pub fn slice(&self, columns: &[usize], from: usize, to: usize) -> Batch {
         let schema = self.schema.project(columns);
-        let cols = columns
-            .iter()
-            .map(|i| self.columns[*i][from..to].to_vec())
-            .collect();
-        Batch::new(schema, cols)
+        let cols: Vec<Arc<Vec<Datum>>> = columns.iter().map(|i| self.columns[*i].clone()).collect();
+        Batch::from_shared(schema, cols, from, to - from)
     }
 }
 
@@ -180,8 +342,44 @@ mod tests {
     fn filter_by_mask() {
         let b = Batch::new(schema(), vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
         let f = b.filter(&[true, false, true, false]);
-        assert_eq!(f.column(0), &[1, 3]);
-        assert_eq!(f.column(1), &[5, 7]);
+        assert_eq!(f.gather(0), &[1, 3]);
+        assert_eq!(f.gather(1), &[5, 7]);
+    }
+
+    #[test]
+    fn filter_shares_backing_columns() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+        let f = b.filter(&[true, false, true, false]);
+        // No column data was copied: the filtered view aliases the input.
+        assert!(Arc::ptr_eq(&b.columns[0], &f.columns[0]));
+        assert!(Arc::ptr_eq(&b.columns[1], &f.columns[1]));
+        assert_eq!(f.selection().unwrap().as_slice(), &[0, 2]);
+    }
+
+    #[test]
+    fn filter_composes_selections() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3, 4, 5], vec![0; 5]]);
+        let f1 = b.filter(&[true, true, false, true, true]); // 1 2 4 5
+        let f2 = f1.filter(&[false, true, true, false]); // 2 4
+        assert_eq!(f2.gather(0), &[2, 4]);
+        assert_eq!(f2.selection().unwrap().as_slice(), &[1, 3]);
+        assert!(Arc::ptr_eq(&b.columns[0], &f2.columns[0]));
+    }
+
+    #[test]
+    fn windowed_batch_is_logical() {
+        let cols = vec![
+            Arc::new((0..10).collect::<Vec<i64>>()),
+            Arc::new(vec![7; 10]),
+        ];
+        let b = Batch::from_shared(schema(), cols, 3, 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.column(0), &[3, 4, 5, 6]);
+        assert_eq!(b.row(0), vec![3, 7]);
+        let f = b.filter(&[false, true, false, true]);
+        assert_eq!(f.gather(0), &[4, 6]);
+        // Selection indices are physical (window offset included).
+        assert_eq!(f.selection().unwrap().as_slice(), &[4, 6]);
     }
 
     #[test]
@@ -190,6 +388,39 @@ mod tests {
         let p = b.project(&[1]);
         assert_eq!(p.schema().arity(), 1);
         assert_eq!(p.column(0), &[3, 4]);
+        assert!(Arc::ptr_eq(&b.columns[1], &p.columns[0]));
+    }
+
+    #[test]
+    fn project_preserves_selection() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let f = b.filter(&[true, false, true]);
+        let p = f.project(&[1]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.gather(0), &[4, 6]);
+    }
+
+    #[test]
+    fn to_dense_materializes_logical_rows() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+        let f = b.filter(&[false, true, true, false]);
+        let d = f.to_dense();
+        assert!(d.is_dense());
+        assert_eq!(d.column(0), &[2, 3]);
+        assert_eq!(d.column(1), &[6, 7]);
+        assert_eq!(d, f, "densify preserves logical content");
+        // A full dense batch densifies by sharing, not copying.
+        let d2 = b.to_dense();
+        assert!(Arc::ptr_eq(&b.columns[0], &d2.columns[0]));
+    }
+
+    #[test]
+    fn logical_equality_ignores_representation() {
+        let b = Batch::new(schema(), vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+        let filtered = b.filter(&[true, false, true, false]);
+        let dense = Batch::new(schema(), vec![vec![1, 3], vec![5, 7]]);
+        assert_eq!(filtered, dense);
+        assert_ne!(filtered, b);
     }
 
     #[test]
@@ -199,5 +430,7 @@ mod tests {
         assert_eq!(t.raw_bytes(), 160);
         let s = t.slice(&[1], 2, 5);
         assert_eq!(s.column(0), &[12, 13, 14]);
+        // Slices share the table's backing columns.
+        assert!(Arc::ptr_eq(&t.columns[1], &s.columns[0]));
     }
 }

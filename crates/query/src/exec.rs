@@ -257,7 +257,10 @@ pub fn run_collect(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<Vec<B
     let mut out = Vec::new();
     while let Some(b) = op.next(ctx)? {
         if !b.is_empty() {
-            out.push(b);
+            // Collected results are densified so callers see plain
+            // contiguous columns; interior operator chains still pass
+            // selection-carrying views between each other.
+            out.push(b.to_dense());
         }
     }
     Ok(out)

@@ -72,7 +72,7 @@ impl Expr {
     pub fn eval(&self, batch: &Batch) -> Vec<Datum> {
         let n = batch.len();
         match self {
-            Expr::Col(i) => batch.column(*i).to_vec(),
+            Expr::Col(i) => batch.gather(*i),
             Expr::Lit(v) => vec![*v; n],
             Expr::Add(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| a.wrapping_add(b)),
             Expr::Sub(l, r) => zip(l.eval(batch), r.eval(batch), |a, b| a.wrapping_sub(b)),

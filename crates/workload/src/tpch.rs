@@ -310,7 +310,7 @@ mod tests {
     fn status_skew_matches_tpch_shape() {
         let t = generate(TpchScale::toy(), 11);
         let mut counts = [0u32; 3];
-        for v in &t.orders.columns[2] {
+        for v in t.orders.columns[2].iter() {
             counts[*v as usize] += 1;
         }
         assert!(counts[2] < counts[0] / 10, "P status is rare: {counts:?}");

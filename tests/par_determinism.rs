@@ -1,0 +1,42 @@
+//! End-to-end determinism: a real simulation sweep fanned across
+//! worker threads is bit-identical to the sequential run.
+//!
+//! The unit in crates/par proves the runner preserves order for pure
+//! functions; this test closes the loop with the actual workload — a
+//! small Figure-1-style throughput sweep over full `EnergyAwareDb`
+//! worlds — comparing every result down to the f64 bit pattern.
+
+use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
+use grail_core::profile::HardwareProfile;
+use grail_par::Runner;
+use grail_workload::tpch::TpchScale;
+
+/// One sweep point rendered to exact bits: any divergence in simulated
+/// time, energy, or work across execution modes shows up here.
+fn point(disks: usize) -> String {
+    let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(disks));
+    db.load_tpch(TpchScale::toy());
+    let policy = ExecPolicy {
+        compression: CompressionMode::Plain,
+        dop: 4,
+    };
+    let r = db.run_throughput_test(2, 2, policy, 1_000.0);
+    format!(
+        "disks={} elapsed={:016x} energy={:016x} work={:016x}",
+        disks,
+        r.elapsed.as_secs_f64().to_bits(),
+        r.energy.joules().to_bits(),
+        r.work.to_bits(),
+    )
+}
+
+#[test]
+fn parallel_simulation_sweep_is_bit_identical() {
+    let disks = [12usize, 24, 36];
+    let seq = Runner::sequential().run(&disks, |_, d| point(*d));
+    assert_eq!(seq.len(), disks.len());
+    for threads in [2usize, 8] {
+        let par = Runner::with_threads(threads).run(&disks, |_, d| point(*d));
+        assert_eq!(par, seq, "threads={threads}");
+    }
+}
