@@ -1,0 +1,787 @@
+//! Module, impl and function recognition plus the intra-workspace call
+//! graph, recovered from the stripped token stream — no external
+//! parser, no syn, just the same blanked source the token rules read.
+//!
+//! [`extract`] walks one scanned file and rebuilds its item skeleton:
+//! `mod` declarations, `use` imports, `impl` blocks (inherent and
+//! trait), and every `fn` with its body span and outgoing calls. The
+//! per-file skeletons assemble into a [`WorkspaceGraph`], which
+//! resolves calls *by name*: a call site `foo(...)` or `x.foo(...)`
+//! gains an edge to every library function named `foo` anywhere in the
+//! workspace. That over-approximation is the right bias for an
+//! invariant checker — a missed edge could hide a violation, while a
+//! spurious one at worst widens a reachability set the rules treat
+//! conservatively (taint may flag a reviewable call site; the
+//! charge-reachability rule becomes *easier* to satisfy, never
+//! spuriously strict).
+//!
+//! Functions defined inside `#[cfg(test)]` regions or test-like files
+//! (`tests/`, `benches/`, `examples/`) are never resolution targets:
+//! library code cannot call them, so edges into them would only
+//! manufacture false paths.
+
+use crate::scan::{is_ident_char, ScannedFile};
+use crate::{FileInfo, FileKind};
+use std::collections::BTreeMap;
+
+/// One outgoing call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Callee name as written (`charge`, `serve`, `next`, …).
+    pub name: String,
+    /// 1-based line of the call site.
+    pub line: usize,
+}
+
+/// One recognized `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Self type when the fn sits in an `impl` block (`DiskDevice`).
+    pub impl_type: Option<String>,
+    /// Trait name when the block is `impl Trait for Type` (`Operator`).
+    pub impl_trait: Option<String>,
+    /// Module path inside the crate (`ops::scan`, `""` for the root).
+    pub module: String,
+    /// Workspace-relative file, `/`-separated.
+    pub file: String,
+    /// Owning crate name.
+    pub crate_name: String,
+    /// Library or test-like file.
+    pub kind: FileKind,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based last line of the body.
+    pub end_line: usize,
+    /// True when the fn sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Outgoing call sites, in source order.
+    pub calls: Vec<Call>,
+}
+
+impl FnDef {
+    /// Display name qualified by the impl self type (`DiskDevice::serve`).
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `use` import (first segment is what the layering rule cares about).
+#[derive(Debug, Clone)]
+pub struct UseRef {
+    /// The imported path, whitespace-normalized (`grail_sim::driver`).
+    pub path: String,
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+}
+
+/// A `mod child;` or `mod child { … }` declaration.
+#[derive(Debug, Clone)]
+pub struct ModDecl {
+    /// Declared module name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// The item skeleton of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileGraph {
+    /// Every recognized `fn` with body span and calls.
+    pub fns: Vec<FnDef>,
+    /// `use` imports.
+    pub uses: Vec<UseRef>,
+    /// `mod` declarations (module-graph edges).
+    pub mods: Vec<ModDecl>,
+}
+
+/// One node of the module graph: a module, the file that hosts it, and
+/// its outgoing edges (child declarations and imports).
+#[derive(Debug, Clone)]
+pub struct ModuleNode {
+    /// `crate::module::path` rendered as `crate_name::module` (the
+    /// crate root is just `crate_name`).
+    pub path: String,
+    /// Hosting file (workspace-relative).
+    pub file: String,
+    /// Declared child modules.
+    pub declares: Vec<String>,
+    /// Imported paths.
+    pub uses: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum CtxKind {
+    Impl {
+        type_: Option<String>,
+        trait_: Option<String>,
+    },
+    Fn {
+        idx: usize,
+    },
+    Mod {
+        name: String,
+    },
+}
+
+#[derive(Debug)]
+struct Ctx {
+    kind: CtxKind,
+    /// Brace depth *before* the block's `{` was consumed; the block
+    /// closes on the `}` that returns the depth to this value.
+    open_depth: usize,
+}
+
+#[derive(Debug)]
+enum Pending {
+    /// Saw `fn name`, waiting for the body `{` or a decl-ending `;`.
+    Fn { name: String, line: usize },
+    /// Saw line-initial `impl`, accumulating the header until `{`.
+    Impl { text: String },
+    /// Saw `mod name`, waiting for `{` (inline) or `;` (child file).
+    Mod { name: String, line: usize },
+    /// Saw `use`, accumulating the path until `;`.
+    Use { text: String, line: usize },
+}
+
+/// Keywords that can never be call names.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "impl", "struct", "enum", "trait", "mod", "use", "pub", "in", "as", "move", "ref", "mut",
+    "where", "unsafe", "dyn", "box", "await", "async", "const", "static", "type", "crate", "super",
+    "self",
+];
+
+/// Words allowed before `fn` on a definition line.
+fn is_fn_qualifier(word: &str) -> bool {
+    word == "pub"
+        || word.starts_with("pub(")
+        || matches!(
+            word,
+            "const" | "async" | "unsafe" | "default" | "extern" | "\"C\""
+        )
+}
+
+/// Module path derived from the file's place in the crate
+/// (`crates/sim/src/disk.rs` → `disk`; crate roots → `""`).
+fn file_module(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let sub = match parts.as_slice() {
+        ["crates", _, rest @ ..] => rest,
+        rest => rest,
+    };
+    let mut comps: Vec<&str> = sub
+        .iter()
+        .skip(1) // src/ tests/ benches/ examples/
+        .copied()
+        .collect();
+    if let Some(last) = comps.last_mut() {
+        *last = last.trim_end_matches(".rs");
+        if matches!(*last, "lib" | "main" | "mod") {
+            comps.pop();
+        }
+    }
+    comps.join("::")
+}
+
+/// Recover the item skeleton of one scanned file.
+pub fn extract(info: &FileInfo, f: &ScannedFile) -> FileGraph {
+    let mut out = FileGraph::default();
+    let base_module = file_module(info.rel);
+    let mut depth = 0usize;
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // Paren/bracket nesting inside a pending header, so `[u8; 4]` in a
+    // signature does not read as the decl-terminating `;`.
+    let mut pending_nest = 0usize;
+
+    for (li, line) in f.code.iter().enumerate() {
+        let lineno = li + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let n = chars.len();
+        let mut i = 0usize;
+        while i < n {
+            let c = chars[i];
+            if let Some(p) = pending.as_mut() {
+                match p {
+                    Pending::Use { text, line } => {
+                        if c == ';' {
+                            let path: String = text.split_whitespace().collect::<Vec<_>>().join("");
+                            out.uses.push(UseRef { path, line: *line });
+                            pending = None;
+                        } else {
+                            text.push(c);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    Pending::Impl { text } => {
+                        if c == '{' {
+                            let (type_, trait_) = parse_impl_header(text);
+                            stack.push(Ctx {
+                                kind: CtxKind::Impl { type_, trait_ },
+                                open_depth: depth,
+                            });
+                            depth += 1;
+                            pending = None;
+                        } else if c == ';' {
+                            pending = None;
+                        } else {
+                            text.push(c);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    Pending::Fn { name, line } => match c {
+                        '(' | '[' => {
+                            pending_nest += 1;
+                            i += 1;
+                            continue;
+                        }
+                        ')' | ']' => {
+                            pending_nest = pending_nest.saturating_sub(1);
+                            i += 1;
+                            continue;
+                        }
+                        '{' => {
+                            let def = FnDef {
+                                name: std::mem::take(name),
+                                impl_type: current_impl_type(&stack),
+                                impl_trait: current_impl_trait(&stack),
+                                module: current_module(&base_module, &stack),
+                                file: info.rel.to_string(),
+                                crate_name: info.crate_name.to_string(),
+                                kind: info.kind,
+                                line: *line,
+                                end_line: *line,
+                                in_test: f.is_test_line(*line),
+                                calls: Vec::new(),
+                            };
+                            out.fns.push(def);
+                            stack.push(Ctx {
+                                kind: CtxKind::Fn {
+                                    idx: out.fns.len() - 1,
+                                },
+                                open_depth: depth,
+                            });
+                            depth += 1;
+                            pending = None;
+                            pending_nest = 0;
+                            i += 1;
+                            continue;
+                        }
+                        ';' if pending_nest == 0 => {
+                            // Trait method declaration: no body, no node.
+                            pending = None;
+                            i += 1;
+                            continue;
+                        }
+                        _ => {
+                            i += 1;
+                            continue;
+                        }
+                    },
+                    Pending::Mod { name, line } => {
+                        if c == '{' {
+                            out.mods.push(ModDecl {
+                                name: name.clone(),
+                                line: *line,
+                            });
+                            stack.push(Ctx {
+                                kind: CtxKind::Mod {
+                                    name: std::mem::take(name),
+                                },
+                                open_depth: depth,
+                            });
+                            depth += 1;
+                            pending = None;
+                        } else if c == ';' {
+                            out.mods.push(ModDecl {
+                                name: std::mem::take(name),
+                                line: *line,
+                            });
+                            pending = None;
+                        } else {
+                            i += 1;
+                            continue;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            if c == '{' {
+                depth += 1;
+                i += 1;
+            } else if c == '}' {
+                depth = depth.saturating_sub(1);
+                if let Some(top) = stack.last() {
+                    if top.open_depth == depth {
+                        if let CtxKind::Fn { idx } = top.kind {
+                            out.fns[idx].end_line = lineno;
+                        }
+                        stack.pop();
+                    }
+                }
+                i += 1;
+            } else if is_ident_start(c) {
+                let start = i;
+                while i < n && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                let line_head: String = chars[..start].iter().collect();
+                let at_item = line_head.trim().is_empty();
+                let after_qualifiers = line_head
+                    .split_whitespace()
+                    .all(|w| w == "pub" || w.starts_with("pub("));
+                match ident.as_str() {
+                    "impl" if at_item => {
+                        pending = Some(Pending::Impl {
+                            text: String::new(),
+                        });
+                    }
+                    "use" if at_item || after_qualifiers => {
+                        pending = Some(Pending::Use {
+                            text: String::new(),
+                            line: lineno,
+                        });
+                    }
+                    "fn" if line_head.split_whitespace().all(is_fn_qualifier) => {
+                        // Next ident is the function name.
+                        let mut j = i;
+                        while j < n && !is_ident_start(chars[j]) {
+                            if matches!(chars[j], '{' | '}' | ';' | '(') {
+                                break;
+                            }
+                            j += 1;
+                        }
+                        let mut k = j;
+                        while k < n && is_ident_char(chars[k]) {
+                            k += 1;
+                        }
+                        if k > j {
+                            pending = Some(Pending::Fn {
+                                name: chars[j..k].iter().collect(),
+                                line: lineno,
+                            });
+                            pending_nest = 0;
+                            i = k;
+                        }
+                    }
+                    "mod" if at_item || after_qualifiers => {
+                        let mut j = i;
+                        while j < n && chars[j] == ' ' {
+                            j += 1;
+                        }
+                        let mut k = j;
+                        while k < n && is_ident_char(chars[k]) {
+                            k += 1;
+                        }
+                        if k > j {
+                            pending = Some(Pending::Mod {
+                                name: chars[j..k].iter().collect(),
+                                line: lineno,
+                            });
+                            i = k;
+                        }
+                    }
+                    _ => {
+                        // Call site: `ident(` not preceded by `!` (macro
+                        // names are not functions) — variant and struct
+                        // constructors are CamelCase and skipped.
+                        let next = chars.get(i).copied().unwrap_or('\0');
+                        let is_call = next == '('
+                            && !ident.chars().next().is_some_and(|c| c.is_uppercase())
+                            && !CALL_KEYWORDS.contains(&ident.as_str());
+                        if is_call {
+                            if let Some(idx) = innermost_fn(&stack) {
+                                out.fns[idx].calls.push(Call {
+                                    name: ident,
+                                    line: lineno,
+                                });
+                            }
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Unclosed blocks at EOF: close every open fn at the last line.
+    for ctx in stack {
+        if let CtxKind::Fn { idx } = ctx.kind {
+            out.fns[idx].end_line = f.code.len();
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn innermost_fn(stack: &[Ctx]) -> Option<usize> {
+    stack.iter().rev().find_map(|c| match c.kind {
+        CtxKind::Fn { idx } => Some(idx),
+        _ => None,
+    })
+}
+
+fn current_impl_type(stack: &[Ctx]) -> Option<String> {
+    stack.iter().rev().find_map(|c| match &c.kind {
+        CtxKind::Impl { type_, .. } => type_.clone(),
+        _ => None,
+    })
+}
+
+fn current_impl_trait(stack: &[Ctx]) -> Option<String> {
+    stack.iter().rev().find_map(|c| match &c.kind {
+        CtxKind::Impl { trait_, .. } => trait_.clone(),
+        _ => None,
+    })
+}
+
+fn current_module(base: &str, stack: &[Ctx]) -> String {
+    let mut parts: Vec<&str> = if base.is_empty() {
+        Vec::new()
+    } else {
+        base.split("::").collect()
+    };
+    for ctx in stack {
+        if let CtxKind::Mod { name } = &ctx.kind {
+            parts.push(name);
+        }
+    }
+    parts.join("::")
+}
+
+/// Parse an impl header (the text between `impl` and `{`) into
+/// `(self_type, trait_name)`: last path segment of each side, generics
+/// and where-clauses ignored.
+fn parse_impl_header(text: &str) -> (Option<String>, Option<String>) {
+    let text = match text.find(" where ") {
+        Some(p) => &text[..p],
+        None => text,
+    };
+    let mut angle = 0usize;
+    let mut seen_any = false;
+    let mut trait_side: Option<String> = None;
+    let mut last: Option<String> = None;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '<' {
+            angle += 1;
+            i += 1;
+        } else if c == '>' {
+            angle = angle.saturating_sub(1);
+            i += 1;
+        } else if angle == 0 && is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            match ident.as_str() {
+                "for" => {
+                    // Everything before `for` named the trait.
+                    trait_side = last.take();
+                }
+                "dyn" | "mut" | "const" | "unsafe" => {}
+                _ => {
+                    last = Some(ident);
+                    seen_any = true;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    if !seen_any {
+        return (None, None);
+    }
+    (last, trait_side)
+}
+
+// ---------------------------------------------------------------------------
+// Workspace graph
+// ---------------------------------------------------------------------------
+
+/// The whole-workspace view: every function, plus a name-resolution
+/// index over the callable (non-test, library) subset.
+#[derive(Debug, Default)]
+pub struct WorkspaceGraph {
+    /// Every recognized function, files in path order, defs in source
+    /// order within a file.
+    pub fns: Vec<FnDef>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl WorkspaceGraph {
+    /// Assemble the graph from per-file skeletons (one `FileGraph` per
+    /// analyzed file, in deterministic file order).
+    pub fn build(files: Vec<FileGraph>) -> Self {
+        let mut fns = Vec::new();
+        for fg in files {
+            fns.extend(fg.fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, d) in fns.iter().enumerate() {
+            // Library code cannot call into test regions, test-like
+            // files, or binary targets (`main.rs`, `src/bin/`) — edges
+            // into them would only manufacture false paths.
+            let binary = d.file == "src/main.rs"
+                || d.file.ends_with("/src/main.rs")
+                || d.file.contains("/src/bin/");
+            if d.in_test || d.kind != FileKind::Library || binary {
+                continue;
+            }
+            by_name.entry(d.name.clone()).or_default().push(i);
+        }
+        WorkspaceGraph { fns, by_name }
+    }
+
+    /// Every callable function named `name`.
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Indices of functions matching a predicate.
+    pub fn find<P: Fn(&FnDef) -> bool>(&self, pred: P) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&i| pred(&self.fns[i]))
+            .collect()
+    }
+
+    /// True when `start` can reach any function in `sinks` through call
+    /// edges plus the supplied `bridges` (extra edges modelling data
+    /// handoffs the call graph cannot see, e.g. demands deposited in an
+    /// `ExecContext` being settled later by `Simulation::finish`).
+    pub fn reaches_any(
+        &self,
+        start: usize,
+        sinks: &std::collections::BTreeSet<usize>,
+        bridges: &BTreeMap<usize, Vec<usize>>,
+    ) -> bool {
+        if sinks.contains(&start) {
+            return true;
+        }
+        let mut seen = vec![false; self.fns.len()];
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(cur) = queue.pop_front() {
+            let push = |next: usize,
+                        seen: &mut Vec<bool>,
+                        queue: &mut std::collections::VecDeque<usize>|
+             -> bool {
+                if sinks.contains(&next) {
+                    return true;
+                }
+                if !seen[next] {
+                    seen[next] = true;
+                    queue.push_back(next);
+                }
+                false
+            };
+            for call in &self.fns[cur].calls {
+                for &next in self.resolve(&call.name) {
+                    if push(next, &mut seen, &mut queue) {
+                        return true;
+                    }
+                }
+            }
+            if let Some(extra) = bridges.get(&cur) {
+                for &next in extra {
+                    if push(next, &mut seen, &mut queue) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The module graph: one node per file-hosted module, with declared
+    /// children and imports as edges.
+    pub fn modules(files: &[(String, String, FileGraph)]) -> Vec<ModuleNode> {
+        files
+            .iter()
+            .map(|(rel, crate_name, fg)| {
+                let m = file_module(rel);
+                let path = if m.is_empty() {
+                    crate_name.clone()
+                } else {
+                    format!("{crate_name}::{m}")
+                };
+                ModuleNode {
+                    path,
+                    file: rel.clone(),
+                    declares: fg.mods.iter().map(|d| d.name.clone()).collect(),
+                    uses: fg.uses.iter().map(|u| u.path.clone()).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use crate::FileInfo;
+
+    fn graph_of(rel: &str, src: &str) -> FileGraph {
+        let (crate_name, kind) = crate::classify(rel).expect("classifiable");
+        let info = FileInfo {
+            rel,
+            crate_name: &crate_name,
+            kind,
+        };
+        extract(&info, &scan(src))
+    }
+
+    #[test]
+    fn recognizes_fns_impls_and_calls() {
+        let src = "\
+impl DiskDevice {
+    pub fn serve(&mut self, at: SimInstant) -> Reservation {
+        self.machine.set_state(at, ACTIVE);
+        helper(at)
+    }
+}
+fn helper(at: SimInstant) -> Reservation {
+    make(at)
+}
+";
+        let g = graph_of("crates/sim/src/disk.rs", src);
+        assert_eq!(g.fns.len(), 2);
+        let serve = &g.fns[0];
+        assert_eq!(serve.name, "serve");
+        assert_eq!(serve.impl_type.as_deref(), Some("DiskDevice"));
+        assert_eq!(serve.impl_trait, None);
+        assert_eq!(serve.line, 2);
+        assert_eq!(serve.end_line, 5);
+        let names: Vec<&str> = serve.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["set_state", "helper"]);
+        assert_eq!(g.fns[1].name, "helper");
+        assert_eq!(g.fns[1].impl_type, None);
+        assert_eq!(g.fns[1].calls[0].name, "make");
+    }
+
+    #[test]
+    fn trait_impls_and_module_paths() {
+        let src = "\
+impl Operator for ColScan {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        ctx.charge_read(t, b, a);
+        Ok(None)
+    }
+}
+mod inner {
+    pub fn nested() {
+        deep();
+    }
+}
+";
+        let g = graph_of("crates/query/src/colscan.rs", src);
+        let next = &g.fns[0];
+        assert_eq!(next.impl_trait.as_deref(), Some("Operator"));
+        assert_eq!(next.impl_type.as_deref(), Some("ColScan"));
+        assert_eq!(next.module, "colscan");
+        let nested = &g.fns[1];
+        assert_eq!(nested.module, "colscan::inner");
+        assert_eq!(g.mods.len(), 1);
+        assert_eq!(g.mods[0].name, "inner");
+    }
+
+    #[test]
+    fn generic_impl_headers_parse() {
+        assert_eq!(
+            parse_impl_header("<'a> fmt::Display for Diagnostic<'a> "),
+            (Some("Diagnostic".to_string()), Some("Display".to_string()))
+        );
+        assert_eq!(
+            parse_impl_header(" EnergyLedger "),
+            (Some("EnergyLedger".to_string()), None)
+        );
+        assert_eq!(
+            parse_impl_header("<C: Sync> Runner<C> "),
+            (Some("Runner".to_string()), None)
+        );
+    }
+
+    #[test]
+    fn macros_and_constructors_are_not_calls() {
+        let src = "\
+fn f() {
+    let v = vec![1, 2];
+    let s = format!(\"{}\", 1);
+    let x = Some(3);
+    let e = SimError::UnknownDevice(msg);
+    real_call(x);
+}
+";
+        let g = graph_of("crates/sim/src/x.rs", src);
+        let names: Vec<&str> = g.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["real_call"]);
+    }
+
+    #[test]
+    fn multiline_signatures_and_array_semicolons() {
+        let src = "\
+pub fn run<C, R, F>(&self, configs: &[C], f: F) -> Vec<R>
+where
+    F: Fn(usize, &C) -> R + Sync,
+{
+    inner(configs)
+}
+fn decl_only(x: [u8; 4]);
+fn after(x: [u8; 4]) -> u8 {
+    x[0]
+}
+";
+        let g = graph_of("crates/sim/src/x.rs", src);
+        let names: Vec<&str> = g.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["run", "after"]);
+        assert_eq!(g.fns[0].calls[0].name, "inner");
+    }
+
+    #[test]
+    fn test_region_fns_are_not_resolution_targets() {
+        let src = "\
+pub fn lib_fn() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let g = graph_of("crates/sim/src/x.rs", src);
+        let wg = WorkspaceGraph::build(vec![g]);
+        assert_eq!(wg.resolve("lib_fn").len(), 1);
+        assert!(wg.resolve("helper").is_empty());
+    }
+
+    #[test]
+    fn use_imports_are_collected() {
+        let src = "\
+use grail_power::units::Joules;
+use std::collections::{BTreeMap, BTreeSet};
+fn f() {}
+";
+        let g = graph_of("crates/sim/src/x.rs", src);
+        assert_eq!(g.uses.len(), 2);
+        assert_eq!(g.uses[0].path, "grail_power::units::Joules");
+        assert_eq!(g.uses[0].line, 1);
+    }
+}

@@ -1,10 +1,15 @@
 //! The `grail-lint` binary: lint the workspace, print rustc-style
-//! diagnostics, exit nonzero on any violation.
+//! diagnostics (or a SARIF 2.1.0 log), exit nonzero on any violation.
 //!
-//! Usage: `grail-lint [WORKSPACE_ROOT]` (defaults to the current
-//! directory, or the workspace root when run via
-//! `cargo run -p grail-lint`). `grail-lint --list-rules` prints the
-//! rule table.
+//! Usage: `grail-lint [OPTIONS] [WORKSPACE_ROOT]` (root defaults to the
+//! current directory, or the workspace root when run via
+//! `cargo run -p grail-lint`).
+//!
+//! * `--format text|sarif` — output format (default `text`). SARIF
+//!   goes to stdout so it can be redirected into an artifact.
+//! * `--threads N` / `--sequential` — fan the per-file stage across N
+//!   threads; output is byte-identical at any thread count.
+//! * `--list-rules` — print the rule table and exit.
 
 #![forbid(unsafe_code)]
 
@@ -13,14 +18,37 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let runner = grail_par::Runner::from_cli_args(&mut args);
     if args.iter().any(|a| a == "--list-rules") {
         for rule in grail_lint::rules::RULES {
-            println!("{:<14} {}", rule.id, rule.summary);
+            println!("{:<20} {}", rule.id, rule.summary);
         }
         return ExitCode::SUCCESS;
     }
-    let root = match args.first() {
+    let mut format = "text".to_string();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--format" {
+            match it.next() {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("grail-lint: --format requires a value (text|sarif)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(f) = a.strip_prefix("--format=") {
+            format = f.to_string();
+        } else {
+            positional.push(a);
+        }
+    }
+    if format != "text" && format != "sarif" {
+        eprintln!("grail-lint: unknown format `{format}` (expected text|sarif)");
+        return ExitCode::FAILURE;
+    }
+    let root = match positional.first() {
         Some(p) => PathBuf::from(p),
         // Under `cargo run` the manifest dir is crates/lint; walk up to
         // the workspace root. Outside cargo, lint the cwd.
@@ -33,24 +61,32 @@ fn main() -> ExitCode {
             Err(_) => PathBuf::from("."),
         },
     };
-    match grail_lint::check_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!(
-                "grail-lint: workspace clean ({} rules)",
-                grail_lint::rules::RULES.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                eprintln!("{d}");
-            }
-            eprintln!("grail-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let diags = match grail_lint::check_workspace_threads(&root, runner.threads()) {
+        Ok(diags) => diags,
         Err(e) => {
             eprintln!("grail-lint: cannot walk {}: {e}", root.display());
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    if format == "sarif" {
+        print!("{}", grail_lint::sarif::to_sarif(&diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if diags.is_empty() {
+        println!(
+            "grail-lint: workspace clean ({} rules)",
+            grail_lint::rules::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!("grail-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
     }
 }

@@ -28,9 +28,32 @@
 //!   `#![forbid(unsafe_code)]`.
 //! * [`PRAGMA`] — suppression pragmas themselves must be well-formed and
 //!   carry a reason (not suppressible).
+//!
+//! On top of the per-file token rules sit the *semantic* rules, which
+//! read the whole-workspace call graph built by [`crate::graph`]:
+//!
+//! * [`CHARGE_REACHABILITY`] — every `Operator` execute path in
+//!   `crates/query` and every device service event in `crates/sim`
+//!   must transitively reach `EnergyLedger::charge`/`transfer`
+//!   (directly, or through a declared demand conduit settled by
+//!   `Simulation::finish`). No simulated work is free.
+//! * [`LAYERING`] — crate dependencies must follow the [`LAYERS`]
+//!   order from DESIGN.md §7; a back-edge (or a sideways edge inside a
+//!   layer) is an architecture regression, whether it appears in a
+//!   `Cargo.toml` or as a `grail_*::` path in library code.
+//! * [`STALE_PRAGMA`] — an `allow` pragma that suppresses zero
+//!   diagnostics under the semantic engine is dead weight that will
+//!   silently mask the next real violation on its line; deleting it is
+//!   always safe, so keeping it is an error (not suppressible).
+//! * The taint layer (see [`crate::taint`]) re-reports [`WALL_CLOCK`]
+//!   and [`HASH_ORDER`] at every sim-reachable call site whose callee
+//!   chain ends in a nondeterminism source, with the full call chain
+//!   in the message.
 
+use crate::graph::WorkspaceGraph;
 use crate::scan::{is_ident_char, PragmaScope, ScannedFile};
 use crate::{Diagnostic, FileInfo, FileKind};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Determinism: no wall-clock or entropy sources in simulated crates.
 pub const WALL_CLOCK: &str = "wall-clock";
@@ -50,6 +73,12 @@ pub const THREAD_CONFINE: &str = "thread-confine";
 pub const UNSAFE_FORBID: &str = "unsafe-forbid";
 /// Pragma hygiene (malformed or unknown suppressions).
 pub const PRAGMA: &str = "pragma";
+/// Conservation: billable execute paths must reach the ledger.
+pub const CHARGE_REACHABILITY: &str = "charge-reachability";
+/// Architecture: crate dependencies follow the layer order, no back-edges.
+pub const LAYERING: &str = "layering";
+/// An allow pragma that suppresses nothing is itself an error.
+pub const STALE_PRAGMA: &str = "stale-pragma";
 
 /// A rule's identity and one-line summary.
 #[derive(Debug, Clone, Copy)]
@@ -98,17 +127,39 @@ pub const RULES: &[Rule] = &[
         id: PRAGMA,
         summary: "grail-lint pragmas must be well-formed and carry a reason (not suppressible)",
     },
+    Rule {
+        id: CHARGE_REACHABILITY,
+        summary: "Operator execute paths and device service events must reach EnergyLedger::charge/transfer",
+    },
+    Rule {
+        id: LAYERING,
+        summary: "crate dependencies must follow the DESIGN layer order; back-edges are regressions",
+    },
+    Rule {
+        id: STALE_PRAGMA,
+        summary: "an allow pragma that suppresses zero diagnostics is dead and must be deleted (not suppressible)",
+    },
 ];
 
-/// Crates whose code (tests included) must stay wall-clock-free.
-const DETERMINISTIC_CRATES: &[&str] = &["sim", "power", "scheduler", "core"];
+/// Rules whose diagnostics a pragma can never silence. Suppressing the
+/// suppression machinery (or a report that a suppression is dead) would
+/// let rot accumulate invisibly.
+pub const UNSUPPRESSABLE: &[&str] = &[PRAGMA, STALE_PRAGMA];
+
+/// Crates whose code (tests included) must stay wall-clock-free. Also
+/// the reporting scope of the taint layer ([`crate::taint`]): these are
+/// the sim-reachable roots.
+pub const DETERMINISTIC_CRATES: &[&str] = &["sim", "power", "scheduler", "core"];
 /// Crates whose library code must route failures through `SimError`.
 const ERROR_HYGIENE_CRATES: &[&str] = &["sim", "power", "core", "scheduler"];
 /// The one file allowed to touch `EnergyLedger` internals.
 const LEDGER_FILE: &str = "crates/power/src/ledger.rs";
 
-/// Run every rule over one scanned file and apply suppressions.
-pub fn check(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
+/// Run every per-file token rule over one scanned file and return the
+/// *raw* (unsuppressed) diagnostics. Suppression is applied later, at
+/// workspace scope, so [`stale_pragmas`] can see which pragmas earned
+/// their keep against the full raw set (token + semantic).
+pub fn check_tokens(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
     wall_clock(info, f, &mut raw);
     hash_order(info, f, &mut raw);
@@ -118,13 +169,32 @@ pub fn check(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     print_hygiene(info, f, &mut raw);
     thread_confine(info, f, &mut raw);
     unsafe_forbid(info, f, &mut raw);
+    raw
+}
 
-    let mut out: Vec<Diagnostic> = raw.into_iter().filter(|d| !suppressed(d, f)).collect();
+/// Does a pragma in `f` cover diagnostic `d`? Unsuppressable rules
+/// never match, whatever the pragma says.
+pub fn suppressed(d: &Diagnostic, f: &ScannedFile) -> bool {
+    if UNSUPPRESSABLE.contains(&d.rule) {
+        return false;
+    }
+    f.pragmas.iter().any(|p| {
+        p.rule == d.rule
+            && match p.scope {
+                PragmaScope::File => true,
+                PragmaScope::Line(l) => l == d.line,
+            }
+    })
+}
 
-    // Pragma hygiene is itself a rule — and not a suppressible one.
+/// Pragma hygiene: malformed pragmas (recorded by the scanner), pragmas
+/// naming unknown rules, and pragmas trying to silence unsuppressable
+/// rules. Not suppressible.
+pub fn pragma_hygiene(rel: &str, f: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     for e in &f.pragma_errors {
         out.push(Diagnostic {
-            file: info.rel.to_string(),
+            file: rel.to_string(),
             line: e.at,
             rule: PRAGMA,
             message: e.message.clone(),
@@ -133,37 +203,72 @@ pub fn check(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     for p in &f.pragmas {
         if !RULES.iter().any(|r| r.id == p.rule) {
             out.push(Diagnostic {
-                file: info.rel.to_string(),
+                file: rel.to_string(),
                 line: p.at,
                 rule: PRAGMA,
                 message: format!("pragma suppresses unknown rule `{}`", p.rule),
             });
-        } else if p.rule == PRAGMA {
+        } else if UNSUPPRESSABLE.contains(&p.rule.as_str()) {
             out.push(Diagnostic {
-                file: info.rel.to_string(),
+                file: rel.to_string(),
                 line: p.at,
                 rule: PRAGMA,
-                message: "the `pragma` rule cannot be suppressed".to_string(),
+                message: format!("the `{}` rule cannot be suppressed", p.rule),
             });
         }
     }
-    out.sort_by(|a, b| {
-        a.file
-            .cmp(&b.file)
-            .then(a.line.cmp(&b.line))
-            .then(a.rule.cmp(b.rule))
-    });
     out
 }
 
-fn suppressed(d: &Diagnostic, f: &ScannedFile) -> bool {
-    f.pragmas.iter().any(|p| {
-        p.rule == d.rule
-            && match p.scope {
-                PragmaScope::File => true,
-                PragmaScope::Line(l) => l == d.line,
-            }
-    })
+/// Flag every well-formed, known-rule pragma in `f` that suppresses
+/// zero diagnostics from the raw set. A pragma that earns nothing is a
+/// trap: it documents a violation that no longer exists and will
+/// silently swallow the next unrelated one on its line. Not
+/// suppressible.
+pub fn stale_pragmas(rel: &str, f: &ScannedFile, raw: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for p in &f.pragmas {
+        // Unknown-rule and unsuppressable-rule pragmas are already
+        // errors under `pragma`; don't double-report them as stale.
+        if !RULES.iter().any(|r| r.id == p.rule) || UNSUPPRESSABLE.contains(&p.rule.as_str()) {
+            continue;
+        }
+        let covers = |line: usize| match p.scope {
+            PragmaScope::File => true,
+            PragmaScope::Line(l) => l == line,
+        };
+        let earns = raw
+            .iter()
+            .any(|d| d.file == rel && d.rule == p.rule && covers(d.line));
+        // A wall-clock/hash-order pragma outside the rules' reporting
+        // scope can still be doing real work: killing a taint seed
+        // (see `crate::taint`). Credit it when a source token sits on
+        // a covered line.
+        let seed_patterns: Option<&[&str]> = match p.rule.as_str() {
+            WALL_CLOCK => Some(WALL_CLOCK_PATTERNS),
+            HASH_ORDER => Some(HASH_ORDER_PATTERNS),
+            _ => None,
+        };
+        let earns_seed = seed_patterns.is_some_and(|pats| {
+            f.code
+                .iter()
+                .enumerate()
+                .any(|(i, code)| covers(i + 1) && pats.iter().any(|pat| has_token(code, pat)))
+        });
+        if !earns && !earns_seed {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: p.at,
+                rule: STALE_PRAGMA,
+                message: format!(
+                    "allow({}) suppresses zero diagnostics; delete the pragma (a dead \
+                     suppression will silently mask the next real violation here)",
+                    p.rule
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// True when `pat` occurs in `line` on identifier boundaries: when the
@@ -206,7 +311,9 @@ fn push(out: &mut Vec<Diagnostic>, info: &FileInfo, line: usize, rule: &'static 
 // wall-clock
 // ---------------------------------------------------------------------------
 
-const WALL_CLOCK_PATTERNS: &[&str] = &[
+/// Tokens that read the host clock or an entropy source. Shared with
+/// the taint layer, which seeds from the same set.
+pub const WALL_CLOCK_PATTERNS: &[&str] = &[
     "Instant::now",
     "std::time::Instant",
     "SystemTime",
@@ -247,6 +354,9 @@ fn wall_clock(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
 // hash-order
 // ---------------------------------------------------------------------------
 
+/// Hash-ordered collection tokens. Shared with the taint layer.
+pub const HASH_ORDER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+
 fn hash_order(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
     if info.kind != FileKind::Library {
         return;
@@ -255,7 +365,7 @@ fn hash_order(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
         if f.is_test_line(i + 1) {
             continue;
         }
-        for pat in ["HashMap", "HashSet"] {
+        for pat in HASH_ORDER_PATTERNS {
             if has_token(code, pat) {
                 push(
                     out,
@@ -584,6 +694,256 @@ fn unsafe_forbid(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// charge-reachability
+// ---------------------------------------------------------------------------
+
+/// Sink methods on `EnergyLedger` — the only places energy is booked.
+const SINK_METHODS: &[&str] = &["charge", "charge_interval", "transfer"];
+
+/// Demand conduits: methods that *record* demand which a later
+/// settlement pass bills. A path ending at a conduit is considered
+/// charged because `Simulation::finish` settles every recorded tally —
+/// and a separate fixed check below keeps *that* promise honest.
+fn is_conduit(d: &crate::graph::FnDef) -> bool {
+    (d.crate_name == "query"
+        && d.impl_type.as_deref() == Some("ExecContext")
+        && matches!(
+            d.name.as_str(),
+            "charge_cpu" | "charge_read" | "charge_write" | "charge_io"
+        ))
+        || (d.crate_name == "power"
+            && d.impl_type.as_deref() == Some("PowerStateMachine")
+            && matches!(d.name.as_str(), "set_state" | "advance_to"))
+}
+
+/// Is this function a billable entry point? Every `Operator::next` in
+/// the query crate (an execute path pulls batches and burns CPU/IO) and
+/// every device service event in the sim crate (serving a request moves
+/// a power state machine).
+fn is_entry(d: &crate::graph::FnDef) -> bool {
+    if d.in_test || d.kind != FileKind::Library {
+        return false;
+    }
+    (d.crate_name == "query" && d.name == "next" && d.impl_trait.as_deref() == Some("Operator"))
+        || (d.crate_name == "sim"
+            && d.impl_type.is_some()
+            && matches!(d.name.as_str(), "serve" | "compute" | "compute_parallel"))
+}
+
+/// Conservation, statically: every billable entry point must reach an
+/// `EnergyLedger` sink through the call graph — directly, or via a
+/// demand conduit that `Simulation::finish` settles. If the workspace
+/// under analysis has no ledger sinks at all (single-file checks,
+/// partial corpora), the rule stays silent: reachability over an absent
+/// ledger proves nothing.
+pub fn charge_reachability(graph: &WorkspaceGraph) -> Vec<Diagnostic> {
+    let sinks: BTreeSet<usize> = graph
+        .find(|d| {
+            d.file == LEDGER_FILE
+                && d.impl_type.as_deref() == Some("EnergyLedger")
+                && SINK_METHODS.contains(&d.name.as_str())
+        })
+        .into_iter()
+        .collect();
+    if sinks.is_empty() {
+        return Vec::new();
+    }
+    let settle = graph.find(|d| {
+        d.crate_name == "sim" && d.impl_type.as_deref() == Some("Simulation") && d.name == "finish"
+    });
+    // Conduit -> settlement bridge edges. Without a settlement function
+    // in scope, conduits bridge straight to the sinks (the conduit
+    // declaration is then taken on faith — better than false alarms on
+    // partial corpora).
+    let bridge_to: Vec<usize> = if settle.is_empty() {
+        sinks.iter().copied().collect()
+    } else {
+        settle.clone()
+    };
+    let mut bridges: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for id in graph.find(is_conduit) {
+        bridges.insert(id, bridge_to.clone());
+    }
+    let mut out = Vec::new();
+    for id in graph.find(is_entry) {
+        if !graph.reaches_any(id, &sinks, &bridges) {
+            let d = &graph.fns[id];
+            let what = if d.crate_name == "query" {
+                "an Operator execute path"
+            } else {
+                "a device service event"
+            };
+            out.push(Diagnostic {
+                file: d.file.clone(),
+                line: d.line,
+                rule: CHARGE_REACHABILITY,
+                message: format!(
+                    "`{}` is {what} that never reaches `EnergyLedger::charge`/`transfer` \
+                     (directly or via a demand conduit); simulated work must never be free",
+                    d.qualified()
+                ),
+            });
+        }
+    }
+    // The settlement function underwrites every conduit bridge above,
+    // so it must itself reach both booking primitives: `charge` for
+    // recorded demand, `transfer` for re-attribution (recovery).
+    for id in settle {
+        let d = &graph.fns[id];
+        for method in ["charge", "transfer"] {
+            let wanted: BTreeSet<usize> = sinks
+                .iter()
+                .copied()
+                .filter(|&s| graph.fns[s].name == method)
+                .collect();
+            if !wanted.is_empty() && !graph.reaches_any(id, &wanted, &BTreeMap::new()) {
+                out.push(Diagnostic {
+                    file: d.file.clone(),
+                    line: d.line,
+                    rule: CHARGE_REACHABILITY,
+                    message: format!(
+                        "`{}` settles the demand conduits but never reaches \
+                         `EnergyLedger::{method}`; the settlement promise is broken",
+                        d.qualified()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+/// The crate layer order from DESIGN.md §7. A crate may depend only on
+/// crates in strictly lower layers; an edge to the same or a higher
+/// layer is a back-edge.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("trace", 0),
+    ("power", 0),
+    ("par", 0),
+    ("lint", 1),
+    ("sim", 1),
+    ("storage", 1),
+    ("buffer", 2),
+    ("scheduler", 2),
+    ("query", 3),
+    ("workload", 4),
+    ("optimizer", 4),
+    ("core", 5),
+    ("bench", 6),
+    ("grail", 6),
+];
+
+fn layer_of(crate_name: &str) -> Option<u32> {
+    LAYERS
+        .iter()
+        .find(|(n, _)| *n == crate_name)
+        .map(|(_, l)| *l)
+}
+
+fn layering_diag(file: &str, line: usize, from: &str, to: &str, via: &str) -> Diagnostic {
+    let (lf, lt) = (layer_of(from).unwrap_or(0), layer_of(to).unwrap_or(0));
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: LAYERING,
+        message: format!(
+            "`{from}` (layer {lf}) must not depend on `{to}` (layer {lt}) {via}; \
+             dependencies point strictly downward in the DESIGN layer order"
+        ),
+    }
+}
+
+/// Source-level layering: any `grail_<crate>` path in non-test library
+/// code is a dependency edge, whether or not Cargo.toml admits it.
+pub fn layering_source(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
+    let Some(from) = layer_of(info.crate_name) else {
+        return Vec::new();
+    };
+    if info.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        let mut rest = code.as_str();
+        let mut base = 0usize;
+        while let Some(off) = rest.find("grail_") {
+            let start = base + off;
+            let pre_ok = !code[..start].chars().next_back().is_some_and(is_ident_char);
+            let tail: String = code[start + "grail_".len()..]
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            base = start + "grail_".len();
+            rest = &code[base..];
+            if !pre_ok || tail.is_empty() || tail == info.crate_name {
+                continue;
+            }
+            let Some(to) = layer_of(&tail) else { continue };
+            if to >= from {
+                out.push(layering_diag(
+                    info.rel,
+                    i + 1,
+                    info.crate_name,
+                    &tail,
+                    "here",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Manifest-level layering: `grail-*` entries in a `[dependencies]`
+/// section of `crates/<name>/Cargo.toml` (or the root manifest). Dev
+/// dependencies are exempt — tests may reach across layers.
+pub fn layering_manifest(rel: &str, source: &str) -> Vec<Diagnostic> {
+    let from = manifest_crate_name(rel);
+    let Some(from_layer) = layer_of(from) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (i, line) in source.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps || !t.starts_with("grail-") {
+            continue;
+        }
+        let dep: String = t["grail-".len()..]
+            .chars()
+            .take_while(|&c| is_ident_char(c) || c == '-')
+            .collect();
+        let Some(to_layer) = layer_of(&dep) else {
+            continue;
+        };
+        if to_layer >= from_layer {
+            out.push(layering_diag(rel, i + 1, from, &dep, "in its manifest"));
+        }
+    }
+    out
+}
+
+/// The crate a manifest belongs to: `crates/<name>/Cargo.toml` names
+/// the member crate, the root `Cargo.toml` names the facade (`grail`).
+fn manifest_crate_name(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("crates"), Some(name), Some("Cargo.toml")) => name,
+        _ => "grail",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::check_source;
@@ -834,6 +1194,252 @@ mod tests {
                     fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
                     fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert!(rules_at("crates/sim/src/x.rs", file).is_empty());
+    }
+
+    #[test]
+    fn stale_pragmas_are_flagged_and_unsuppressable() {
+        // A pragma suppressing nothing is itself an error.
+        let dead = "// grail-lint: allow(hash-order, was needed once)\nfn f() {}\n";
+        let got = rules_at("crates/buffer/src/x.rs", dead);
+        assert_eq!(got, vec![(1, "stale-pragma".into())]);
+        // A pragma that earns its keep is not stale.
+        let live = "// grail-lint: allow(hash-order, lookup only, never iterated)\n\
+                    use std::collections::HashMap;\n";
+        assert!(rules_at("crates/buffer/src/x.rs", live).is_empty());
+        // And stale-pragma itself cannot be suppressed.
+        let meta = "// grail-lint: allow(stale-pragma, trust me)\nfn f() {}\n";
+        let got = rules_at("crates/buffer/src/x.rs", meta);
+        assert_eq!(got, vec![(1, "pragma".into())]);
+    }
+
+    // -- semantic rules -----------------------------------------------------
+
+    use crate::{check_files, SourceFile};
+
+    fn sf(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            source: src.to_string(),
+        }
+    }
+
+    #[test]
+    fn taint_reports_boundary_call_with_full_chain() {
+        let helper = "\
+pub fn jitter() -> u64 {
+    entropy_word()
+}
+pub fn entropy_word() -> u64 {
+    let t = SystemTime::now();
+    0
+}
+";
+        let sim = "pub fn advance() {\n    let j = jitter();\n}\n";
+        let got = check_files(&[
+            sf("crates/storage/src/util.rs", helper),
+            sf("crates/sim/src/drv.rs", sim),
+        ]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let d = &got[0];
+        assert_eq!(
+            (d.file.as_str(), d.line, d.rule),
+            ("crates/sim/src/drv.rs", 2, "wall-clock")
+        );
+        assert!(
+            d.message.contains(
+                "`jitter` → `entropy_word` → `SystemTime` (crates/storage/src/util.rs:5)"
+            ),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn taint_hash_order_crosses_crate_boundaries() {
+        let helper = "pub fn lookup() -> u32 {\n    let m = HashMap::from([(1, 2)]);\n    0\n}\n";
+        let sched = "pub fn pick() -> u32 {\n    lookup()\n}\n";
+        let got = check_files(&[
+            sf("crates/workload/src/h.rs", helper),
+            sf("crates/scheduler/src/s.rs", sched),
+        ]);
+        // The literal token reports in workload (a library crate)...
+        assert!(
+            got.iter()
+                .any(|d| d.file == "crates/workload/src/h.rs" && d.rule == "hash-order"),
+            "{got:?}"
+        );
+        // ...and the taint layer reports the boundary crossing with the chain.
+        assert!(
+            got.iter().any(|d| d.file == "crates/scheduler/src/s.rs"
+                && d.line == 2
+                && d.rule == "hash-order"
+                && d.message.contains("`lookup` → `HashMap`")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn taint_respects_pragmas_at_the_source() {
+        let helper = "pub fn lookup() -> u32 {\n    let m = HashMap::from([(1, 2)]); // grail-lint: allow(hash-order, lookup only, never iterated)\n    0\n}\n";
+        let sched = "pub fn pick() -> u32 {\n    lookup()\n}\n";
+        let got = check_files(&[
+            sf("crates/query/src/h.rs", helper),
+            sf("crates/scheduler/src/s.rs", sched),
+        ]);
+        // The reasoned pragma kills the seed, so nothing crosses.
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn charge_reachability_flags_unbilled_service_paths() {
+        let ledger = "\
+impl EnergyLedger {
+    pub fn charge(&mut self, id: ComponentId, e: Joules) {}
+    pub fn charge_interval(&mut self, id: ComponentId, e: Joules) {}
+    pub fn transfer(&mut self, from: ComponentId, to: ComponentId, e: Joules) {}
+}
+";
+        let good = "\
+impl DiskDevice {
+    pub fn serve(&mut self, at: SimInstant) {
+        self.bill(at);
+    }
+    fn bill(&mut self, at: SimInstant) {
+        self.ledger.charge(id, e);
+    }
+}
+";
+        let bad = "\
+impl SsdDevice {
+    pub fn serve(&mut self, at: SimInstant) {
+        let x = idle_work();
+    }
+}
+fn idle_work() -> u32 {
+    0
+}
+";
+        let got = check_files(&[
+            sf("crates/power/src/ledger.rs", ledger),
+            sf("crates/sim/src/disk.rs", good),
+            sf("crates/sim/src/ssd.rs", bad),
+        ]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let d = &got[0];
+        assert_eq!(
+            (d.file.as_str(), d.line, d.rule),
+            ("crates/sim/src/ssd.rs", 2, "charge-reachability")
+        );
+        assert!(d.message.contains("device service event"), "{}", d.message);
+        assert!(d.message.contains("`SsdDevice::serve`"), "{}", d.message);
+    }
+
+    #[test]
+    fn charge_reachability_accepts_conduit_bridges() {
+        let ledger = "\
+impl EnergyLedger {
+    pub fn charge(&mut self, id: ComponentId, e: Joules) {}
+    pub fn transfer(&mut self, from: ComponentId, to: ComponentId, e: Joules) {}
+}
+";
+        // The operator only deposits demand in the ExecContext; the
+        // settlement function bills it later. The conduit bridge must
+        // connect the two.
+        let ops = "\
+impl Operator for ColScan {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        ctx.charge_read(t, b, a);
+        Ok(None)
+    }
+}
+impl ExecContext {
+    pub fn charge_read(&mut self, t: SimInstant, b: u64, a: u64) {
+        self.reads += b;
+    }
+}
+";
+        let sim = "\
+impl Simulation {
+    pub fn finish(self, end: SimInstant) -> SimReport {
+        self.ledger.charge(id, e);
+        self.ledger.transfer(a, b, e);
+        SimReport {}
+    }
+}
+";
+        let got = check_files(&[
+            sf("crates/power/src/ledger.rs", ledger),
+            sf("crates/query/src/exec.rs", ops),
+            sf("crates/sim/src/sim.rs", sim),
+        ]);
+        assert!(got.is_empty(), "{got:?}");
+        // Break the settlement promise: finish stops transferring.
+        let sim_broken = "\
+impl Simulation {
+    pub fn finish(self, end: SimInstant) -> SimReport {
+        self.ledger.charge(id, e);
+        SimReport {}
+    }
+}
+";
+        let got = check_files(&[
+            sf("crates/power/src/ledger.rs", ledger),
+            sf("crates/query/src/exec.rs", ops),
+            sf("crates/sim/src/sim.rs", sim_broken),
+        ]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "charge-reachability");
+        assert!(
+            got[0].message.contains("EnergyLedger::transfer"),
+            "{}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn charge_reachability_is_silent_without_a_ledger_in_scope() {
+        // Single-file and partial corpora prove nothing about
+        // reachability; the rule must not cry wolf there.
+        let orphan = "impl DiskDevice {\n    pub fn serve(&mut self, at: SimInstant) {}\n}\n";
+        assert!(rules_at("crates/sim/src/disk.rs", orphan).is_empty());
+    }
+
+    #[test]
+    fn layering_flags_back_edges_in_source() {
+        let src = "use grail_core::GrailDb;\nfn f() {}\n";
+        let got = rules_at("crates/power/src/bad.rs", src);
+        assert_eq!(got, vec![(1, "layering".into())]);
+        // Downward edges are fine.
+        let ok = "use grail_power::units::Joules;\nfn f() {}\n";
+        assert!(rules_at("crates/sim/src/good.rs", ok).is_empty());
+        // Tests may reach across layers.
+        let test_src = "use grail_core::GrailDb;\nfn f() {}\n";
+        assert!(rules_at("crates/power/tests/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn layering_flags_back_edges_in_manifests() {
+        let manifest = "\
+[package]
+name = \"grail-power\"
+
+[dependencies]
+grail-core = { path = \"../core\" }
+grail-trace = { path = \"../trace\" }
+
+[dev-dependencies]
+grail-sim = { path = \"../sim\" }
+";
+        let got = super::layering_manifest("crates/power/Cargo.toml", manifest);
+        // grail-core is a back-edge (layer 5 from layer 0); grail-trace
+        // is sideways inside layer 0 (also banned); grail-sim is a dev
+        // dependency and exempt.
+        let lines: Vec<usize> = got.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![5, 6], "{got:?}");
+        assert!(got.iter().all(|d| d.rule == "layering"));
+        // A conforming manifest is clean.
+        let ok = "[dependencies]\ngrail-power = { path = \"../power\" }\n";
+        assert!(super::layering_manifest("crates/sim/Cargo.toml", ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! SARIF 2.1.0 output — hand-rolled, schema-conformant, no serde.
+//!
+//! The linter's diagnostics map directly onto the SARIF result model:
+//! one `run` from one `tool.driver` (grail-lint), the full rule
+//! registry as `reportingDescriptor`s, and one `result` per
+//! [`Diagnostic`] carrying `ruleId`, `ruleIndex`, a `message` and a
+//! physical location (workspace-relative URI + 1-based start line).
+//! Everything the serializer emits is either a literal from this file
+//! or passes through [`escape`], so the output is valid JSON for any
+//! diagnostic content.
+
+use crate::rules::RULES;
+use crate::Diagnostic;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Index of `rule` in the shipped registry (usize::MAX if unknown —
+/// cannot happen for diagnostics the engine produced).
+fn rule_index(rule: &str) -> usize {
+    RULES
+        .iter()
+        .position(|r| r.id == rule)
+        .unwrap_or(usize::MAX)
+}
+
+/// Render diagnostics as a complete SARIF 2.1.0 log, pretty-printed
+/// with two-space indentation and a trailing newline.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"grail-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/grail/grail\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        escape(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": \"{}\",\n", escape(r.id)));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},\n",
+            escape(r.summary)
+        ));
+        out.push_str("              \"defaultConfiguration\": { \"level\": \"error\" }\n");
+        out.push_str(if i + 1 == RULES.len() {
+            "            }\n"
+        } else {
+            "            },\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", escape(d.rule)));
+        out.push_str(&format!(
+            "          \"ruleIndex\": {},\n",
+            rule_index(d.rule)
+        ));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            escape(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+            escape(&d.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            d.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 == diags.len() {
+            "        }\n"
+        } else {
+            "        },\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sarif_log_contains_schema_rules_and_results() {
+        let diags = vec![Diagnostic {
+            file: "crates/sim/src/x.rs".to_string(),
+            line: 7,
+            rule: "wall-clock",
+            message: "`Instant::now` is a \"bad\" idea".to_string(),
+        }];
+        let s = to_sarif(&diags);
+        assert!(s.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"grail-lint\""));
+        assert!(s.contains("\"id\": \"charge-reachability\""));
+        assert!(s.contains("\"ruleId\": \"wall-clock\""));
+        assert!(s.contains("\"startLine\": 7"));
+        // The quote inside the message must arrive escaped.
+        assert!(s.contains("a \\\"bad\\\" idea"));
+        // Balanced braces/brackets — a cheap structural sanity check on
+        // top of the CI-side real JSON parse.
+        let depth = s.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn empty_diagnostics_is_still_a_valid_log() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

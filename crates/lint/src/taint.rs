@@ -1,0 +1,244 @@
+//! Nondeterminism taint analysis over the workspace call graph.
+//!
+//! The token rules catch a literal `Instant::now()` written inside a
+//! deterministic crate. They cannot catch the same call hidden one
+//! hop away: a sim-reachable function calling a helper in another
+//! crate whose body reads the host clock. This pass closes that gap.
+//!
+//! * **Seeds.** Every unsuppressed occurrence of a wall-clock/entropy
+//!   token (the [`crate::rules::WALL_CLOCK`] pattern set) or a
+//!   hash-ordered collection token (`HashMap`/`HashSet`) inside a
+//!   non-test function body marks that function as a taint *source*.
+//!   A reasoned `allow` pragma covering the token's line kills the
+//!   seed — the pragma's justification is taken to cover transitive
+//!   use as well.
+//! * **Propagation.** Taint flows from callee to caller through the
+//!   name-resolved call graph until fixpoint, remembering for every
+//!   tainted function the next hop toward a source so diagnostics can
+//!   print the full chain.
+//! * **Reporting.** A diagnostic is emitted at every call site inside
+//!   the deterministic crates (`sim`, `power`, `scheduler`, `core` —
+//!   the sim-reachable roots) whose callee is tainted and defined
+//!   *outside* those crates: the boundary where nondeterminism enters
+//!   simulated state. Sources inside the deterministic crates stay the
+//!   token rules' business, so the two layers never double-report.
+
+use crate::graph::{FnDef, WorkspaceGraph};
+use crate::rules;
+use crate::scan::PragmaScope;
+use crate::{Diagnostic, FileKind};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A nondeterminism source token found inside a function body.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Which rule the token violates (`wall-clock` or `hash-order`).
+    pub rule: &'static str,
+    /// The offending token (`Instant::now`, `HashMap`, …).
+    pub pattern: &'static str,
+    /// File holding the token.
+    pub file: String,
+    /// 1-based line of the token.
+    pub line: usize,
+}
+
+/// How a function becomes tainted: it holds a source token itself, or
+/// it calls a tainted function (`via` is the callee on the shortest
+/// path toward the source).
+#[derive(Debug, Clone)]
+enum Cause {
+    Direct(Source),
+    Via(usize),
+}
+
+/// Per-rule taint state over the whole graph.
+struct TaintMap {
+    rule: &'static str,
+    cause: BTreeMap<usize, Cause>,
+}
+
+impl TaintMap {
+    /// Render the call chain from tainted function `id` down to the
+    /// source token, e.g.
+    /// `` `helper` → `inner` → `Instant::now` (crates/storage/src/x.rs:7) ``.
+    fn chain(&self, graph: &WorkspaceGraph, mut id: usize) -> String {
+        let mut hops: Vec<String> = Vec::new();
+        loop {
+            hops.push(format!("`{}`", graph.fns[id].qualified()));
+            match &self.cause[&id] {
+                Cause::Direct(src) => {
+                    hops.push(format!("`{}` ({}:{})", src.pattern, src.file, src.line));
+                    break;
+                }
+                Cause::Via(next) => id = *next,
+            }
+        }
+        hops.join(" → ")
+    }
+}
+
+/// Is `line` of `file` suppressed for `rule` by a reasoned pragma?
+fn line_suppressed(f: &crate::scan::ScannedFile, rule: &str, line: usize) -> bool {
+    f.pragmas.iter().any(|p| {
+        p.rule == rule
+            && match p.scope {
+                PragmaScope::File => true,
+                PragmaScope::Line(l) => l == line,
+            }
+    })
+}
+
+/// Collect per-function source tokens for one rule. `patterns` are
+/// matched on identifier boundaries against every non-test line of the
+/// function body; suppressed lines do not seed.
+fn collect_sources(
+    graph: &WorkspaceGraph,
+    files: &BTreeMap<String, &crate::scan::ScannedFile>,
+    rule: &'static str,
+    patterns: &[&'static str],
+) -> BTreeMap<usize, Source> {
+    // Innermost-fn line attribution: narrower spans override wider
+    // ones, so a nested fn owns its own lines.
+    let mut line_owner: BTreeMap<(String, usize), usize> = BTreeMap::new();
+    let mut by_span: Vec<usize> = (0..graph.fns.len()).collect();
+    by_span.sort_by_key(|&i| {
+        let d = &graph.fns[i];
+        std::cmp::Reverse(d.end_line.saturating_sub(d.line))
+    });
+    for i in by_span {
+        let d = &graph.fns[i];
+        for l in d.line..=d.end_line {
+            line_owner.insert((d.file.clone(), l), i);
+        }
+    }
+    let mut out: BTreeMap<usize, Source> = BTreeMap::new();
+    for ((file, line), fn_id) in &line_owner {
+        let d = &graph.fns[*fn_id];
+        if d.in_test {
+            continue;
+        }
+        let Some(scanned) = files.get(file.as_str()) else {
+            continue;
+        };
+        if scanned.is_test_line(*line) || line_suppressed(scanned, rule, *line) {
+            continue;
+        }
+        let Some(code) = scanned.code.get(line - 1) else {
+            continue;
+        };
+        for pat in patterns {
+            if rules::has_token(code, pat) {
+                out.entry(*fn_id).or_insert(Source {
+                    rule,
+                    pattern: pat,
+                    file: file.clone(),
+                    line: *line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Propagate taint from `sources` backward through the call graph
+/// (callers of tainted functions become tainted), breadth-first so the
+/// recorded chains are shortest paths.
+fn propagate(graph: &WorkspaceGraph, sources: BTreeMap<usize, Source>) -> BTreeMap<usize, Cause> {
+    // Reverse adjacency: callee -> callers.
+    let mut callers: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (caller, d) in graph.fns.iter().enumerate() {
+        for call in &d.calls {
+            for &callee in graph.resolve(&call.name) {
+                callers.entry(callee).or_default().push(caller);
+            }
+        }
+    }
+    let mut cause: BTreeMap<usize, Cause> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (id, src) in sources {
+        cause.insert(id, Cause::Direct(src));
+        queue.push_back(id);
+    }
+    while let Some(cur) = queue.pop_front() {
+        if let Some(cs) = callers.get(&cur) {
+            for &caller in cs {
+                if caller != cur {
+                    cause.entry(caller).or_insert_with(|| {
+                        queue.push_back(caller);
+                        Cause::Via(cur)
+                    });
+                }
+            }
+        }
+    }
+    cause
+}
+
+/// Does this call site report under the given rule's scope?
+fn reportable_caller(rule: &str, d: &FnDef) -> bool {
+    if !rules::DETERMINISTIC_CRATES.contains(&d.crate_name.as_str()) {
+        return false;
+    }
+    match rule {
+        // wall-clock audits tests too: replay-equality tests are only
+        // trustworthy if they are themselves clock-free.
+        rules::WALL_CLOCK => true,
+        // hash-order mirrors the token rule: library code outside tests.
+        _ => d.kind == FileKind::Library && !d.in_test,
+    }
+}
+
+/// Run the taint analysis and emit boundary-crossing diagnostics.
+pub fn check(
+    graph: &WorkspaceGraph,
+    files: &BTreeMap<String, &crate::scan::ScannedFile>,
+) -> Vec<Diagnostic> {
+    let configs: [(&'static str, &[&'static str], &str); 2] = [
+        (
+            rules::WALL_CLOCK,
+            rules::WALL_CLOCK_PATTERNS,
+            "a nondeterministic time/randomness source",
+        ),
+        (
+            rules::HASH_ORDER,
+            rules::HASH_ORDER_PATTERNS,
+            "hash-ordered iteration",
+        ),
+    ];
+    let mut out = Vec::new();
+    for (rule, patterns, what) in configs {
+        let taint = TaintMap {
+            rule,
+            cause: propagate(graph, collect_sources(graph, files, rule, patterns)),
+        };
+        for d in graph.fns.iter() {
+            if !reportable_caller(rule, d) {
+                continue;
+            }
+            for call in &d.calls {
+                // The boundary: callee tainted and defined outside the
+                // deterministic crates. Inside them, the literal token
+                // rules already report at the source.
+                let Some(&callee) = graph.resolve(&call.name).iter().find(|&&c| {
+                    !rules::DETERMINISTIC_CRATES.contains(&graph.fns[c].crate_name.as_str())
+                        && taint.cause.contains_key(&c)
+                }) else {
+                    continue;
+                };
+                out.push(Diagnostic {
+                    file: d.file.clone(),
+                    line: call.line,
+                    rule: taint.rule,
+                    message: format!(
+                        "sim-reachable call to `{}` pulls {} into `{}`: {}",
+                        graph.fns[callee].qualified(),
+                        what,
+                        d.qualified(),
+                        taint.chain(graph, callee),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

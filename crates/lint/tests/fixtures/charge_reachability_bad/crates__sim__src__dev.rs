@@ -1,0 +1,8 @@
+impl DiskDevice {
+    pub fn serve(&mut self, at: SimInstant) {
+        let x = idle_work();
+    }
+}
+fn idle_work() -> u32 {
+    0
+}

@@ -1,0 +1,5 @@
+impl PowerStateMachine {
+    pub fn set_state(&mut self, at: SimInstant, next: PowerState) {
+        self.state = next;
+    }
+}

@@ -1,0 +1,11 @@
+impl Operator for ColScan {
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, QueryError> {
+        ctx.charge_read(t, b, a);
+        Ok(None)
+    }
+}
+impl ExecContext {
+    pub fn charge_read(&mut self, t: SimInstant, b: u64, a: u64) {
+        self.reads += b;
+    }
+}

@@ -1,0 +1,12 @@
+impl Simulation {
+    pub fn finish(self, end: SimInstant) -> SimReport {
+        self.ledger.charge(id, e);
+        self.ledger.transfer(a, b, e);
+        SimReport {}
+    }
+}
+impl DiskDevice {
+    pub fn serve(&mut self, at: SimInstant) {
+        self.machine.set_state(at, ACTIVE);
+    }
+}

@@ -1,0 +1,2 @@
+use grail_core::GrailDb;
+fn f() {}

@@ -1,0 +1,2 @@
+use grail_power::units::Joules;
+fn f() {}

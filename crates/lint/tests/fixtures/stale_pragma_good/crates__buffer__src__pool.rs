@@ -1,0 +1,5 @@
+// grail-lint: allow(hash-order, lookup-only map, never iterated)
+use std::collections::HashMap;
+pub fn evict() -> u32 {
+    0
+}

@@ -1,0 +1,4 @@
+pub fn lookup() -> u32 {
+    let m = HashMap::from([(1, 2)]);
+    0
+}

@@ -1,0 +1,3 @@
+pub fn pick() -> u32 {
+    lookup()
+}

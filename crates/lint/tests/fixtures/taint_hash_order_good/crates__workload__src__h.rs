@@ -1,0 +1,4 @@
+pub fn lookup() -> u32 {
+    let m = BTreeMap::from([(1, 2)]);
+    0
+}

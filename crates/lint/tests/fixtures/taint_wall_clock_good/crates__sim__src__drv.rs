@@ -1,0 +1,3 @@
+pub fn advance() {
+    let j = jitter();
+}

@@ -1,0 +1,121 @@
+//! Golden-file tests over the fixture corpus.
+//!
+//! Each directory under `tests/fixtures/` is one synthetic workspace:
+//! filenames encode workspace-relative paths with `__` standing for `/`
+//! (`crates__sim__src__drv.rs` → `crates/sim/src/drv.rs`), `Cargo.toml`
+//! fixtures feed the layering rule, and `expected.txt` holds the
+//! rendered diagnostics the engine must produce — byte for byte, at
+//! any thread count.
+//!
+//! To re-bless after an intentional rule change:
+//! `UPDATE_GOLDEN=1 cargo test -p grail-lint --test golden`, then
+//! review the diff.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .canonicalize()
+        .expect("manifest dir exists")
+        .join("tests/fixtures")
+}
+
+#[test]
+fn fixtures_match_goldens_at_any_thread_count() {
+    let dir = fixtures_dir();
+    let mut cases: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/fixtures exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    cases.sort();
+    assert!(!cases.is_empty(), "fixture corpus is empty");
+
+    for case in cases {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&case)
+            .expect("case dir readable")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        let mut files: Vec<grail_lint::SourceFile> = Vec::new();
+        let mut manifests: Vec<grail_lint::ManifestFile> = Vec::new();
+        for path in &entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("utf-8 fixture name");
+            if name == "expected.txt" {
+                continue;
+            }
+            let rel = name.replace("__", "/");
+            let source = fs::read_to_string(path).expect("fixture readable");
+            if rel.ends_with("Cargo.toml") {
+                manifests.push(grail_lint::ManifestFile { rel, source });
+            } else {
+                files.push(grail_lint::SourceFile { rel, source });
+            }
+        }
+
+        let seq = grail_lint::analyze(&files, &manifests, 1);
+        for threads in [2, 8] {
+            let par = grail_lint::analyze(&files, &manifests, threads);
+            assert_eq!(
+                seq,
+                par,
+                "case {} differs between 1 and {threads} threads",
+                case.display()
+            );
+        }
+        let rendered: String = seq.iter().map(|d| format!("{d}\n")).collect();
+        let golden_path = case.join("expected.txt");
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            fs::write(&golden_path, &rendered).expect("golden writable");
+            continue;
+        }
+        let want = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{} missing; run with UPDATE_GOLDEN=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            want,
+            "case {} diverged from its golden file (UPDATE_GOLDEN=1 re-blesses)",
+            case.display()
+        );
+    }
+}
+
+#[test]
+fn good_and_bad_variants_disagree() {
+    // Structural guarantee on the corpus itself: every `*_bad` case has
+    // a non-empty golden, every `*_good` case an empty one. A rule that
+    // silently stops firing turns its bad golden empty and fails here
+    // even if someone blindly re-blessed.
+    let dir = fixtures_dir();
+    for entry in fs::read_dir(&dir).expect("fixtures readable") {
+        let path = entry.expect("entry").path();
+        if !path.is_dir() {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8")
+            .to_string();
+        let golden = fs::read_to_string(path.join("expected.txt")).unwrap_or_default();
+        if name.ends_with("_bad") {
+            assert!(
+                !golden.trim().is_empty(),
+                "bad fixture `{name}` produces no diagnostics"
+            );
+        } else if name.ends_with("_good") {
+            assert!(
+                golden.trim().is_empty(),
+                "good fixture `{name}` produces diagnostics:\n{golden}"
+            );
+        }
+    }
+}

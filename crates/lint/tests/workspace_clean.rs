@@ -4,15 +4,24 @@
 //! moment a nondeterminism, conservation, or hygiene violation lands —
 //! the same check CI's `lint` job runs via the binary.
 
-use std::path::Path;
+use std::path::PathBuf;
+
+/// The real workspace root, robust to being built through a symlinked
+/// crate directory (canonicalize first, then walk up from crates/lint).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .canonicalize()
+        .expect("manifest dir exists")
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
 
 #[test]
 fn workspace_has_zero_violations() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/lint sits two levels below the workspace root");
-    let diags = grail_lint::check_workspace(root).expect("workspace sources are readable");
+    let root = workspace_root();
+    let diags = grail_lint::check_workspace(&root).expect("workspace sources are readable");
     assert!(
         diags.is_empty(),
         "grail-lint found {} violation(s):\n{}",
@@ -23,6 +32,101 @@ fn workspace_has_zero_violations() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn workspace_output_is_thread_count_invariant() {
+    let root = workspace_root();
+    let seq = grail_lint::check_workspace_threads(&root, 1).expect("readable");
+    let par = grail_lint::check_workspace_threads(&root, 8).expect("readable");
+    assert_eq!(
+        seq, par,
+        "diagnostics must be byte-identical at any thread count"
+    );
+}
+
+#[test]
+fn semantic_rules_are_live_on_this_workspace() {
+    // Guard against the semantic rules passing vacuously: the call
+    // graph must actually contain the entries, sinks and conduits the
+    // charge-reachability rule reasons about, and the layer table must
+    // cover every member crate.
+    let root = workspace_root();
+    let (files, manifests) = grail_lint::workspace_sources(&root).expect("readable");
+    let graphs: Vec<grail_lint::graph::FileGraph> = files
+        .iter()
+        .filter_map(|f| {
+            let (crate_name, kind) = grail_lint::classify(&f.rel)?;
+            let info = grail_lint::FileInfo {
+                rel: &f.rel,
+                crate_name: &crate_name,
+                kind,
+            };
+            Some(grail_lint::graph::extract(
+                &info,
+                &grail_lint::scan::scan(&f.source),
+            ))
+        })
+        .collect();
+    let g = grail_lint::graph::WorkspaceGraph::build(graphs);
+
+    let operators = g.find(|d| {
+        d.crate_name == "query" && d.name == "next" && d.impl_trait.as_deref() == Some("Operator")
+    });
+    assert!(
+        operators.len() >= 3,
+        "expected several Operator::next entries in crates/query, found {}",
+        operators.len()
+    );
+    let services = g.find(|d| {
+        d.crate_name == "sim"
+            && d.impl_type.is_some()
+            && matches!(d.name.as_str(), "serve" | "compute" | "compute_parallel")
+    });
+    assert!(
+        !services.is_empty(),
+        "expected device service events in crates/sim"
+    );
+    for sink in ["charge", "transfer"] {
+        assert!(
+            !g.find(|d| {
+                d.file == "crates/power/src/ledger.rs"
+                    && d.impl_type.as_deref() == Some("EnergyLedger")
+                    && d.name == sink
+            })
+            .is_empty(),
+            "expected EnergyLedger::{sink} sink in the ledger file"
+        );
+    }
+    assert!(
+        !g.find(|d| d.impl_type.as_deref() == Some("ExecContext") && d.name == "charge_read")
+            .is_empty(),
+        "expected the ExecContext demand conduit"
+    );
+    assert!(
+        !g.find(|d| d.impl_type.as_deref() == Some("Simulation") && d.name == "finish")
+            .is_empty(),
+        "expected the Simulation::finish settlement function"
+    );
+
+    // Every member crate's manifest is collected and has a layer.
+    assert!(
+        manifests.iter().any(|m| m.rel == "Cargo.toml"),
+        "root manifest missing"
+    );
+    for m in &manifests {
+        let Some(name) = m
+            .rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.strip_suffix("/Cargo.toml"))
+        else {
+            continue;
+        };
+        assert!(
+            grail_lint::rules::LAYERS.iter().any(|(n, _)| *n == name),
+            "crate `{name}` missing from the layering table"
+        );
+    }
 }
 
 #[test]
@@ -55,11 +159,31 @@ fn every_rule_is_exercised_by_the_engine() {
             "fn f(a: Joules, b: Joules) -> bool { a.joules() == b.joules() }\n",
             "float-eq",
         ),
+        (
+            "crates/query/src/fixture.rs",
+            "fn f() { println!(\"x\"); }\n",
+            "print-hygiene",
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+            "thread-confine",
+        ),
         ("crates/sim/src/lib.rs", "pub mod x;\n", "unsafe-forbid"),
         (
             "crates/sim/src/fixture.rs",
             "// grail-lint: allow(hash-order)\nfn f() {}\n",
             "pragma",
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            "// grail-lint: allow(hash-order, long gone)\nfn f() {}\n",
+            "stale-pragma",
+        ),
+        (
+            "crates/power/src/fixture.rs",
+            "use grail_core::GrailDb;\nfn f() {}\n",
+            "layering",
         ),
     ];
     for (rel, src, want) in cases {
@@ -71,6 +195,39 @@ fn every_rule_is_exercised_by_the_engine() {
         assert!(
             grail_lint::rules::RULES.iter().any(|r| r.id == want),
             "`{want}` missing from the registry"
+        );
+    }
+    // charge-reachability needs a multi-file workspace: a ledger in
+    // scope and a service path that never reaches it.
+    let sf = |rel: &str, src: &str| grail_lint::SourceFile {
+        rel: rel.to_string(),
+        source: src.to_string(),
+    };
+    let diags = grail_lint::check_files(&[
+        sf(
+            "crates/power/src/ledger.rs",
+            "impl EnergyLedger {\n    pub fn charge(&mut self, id: ComponentId, e: Joules) {}\n    pub fn transfer(&mut self, a: ComponentId, b: ComponentId, e: Joules) {}\n}\n",
+        ),
+        sf(
+            "crates/sim/src/dev.rs",
+            "impl DiskDevice {\n    pub fn serve(&mut self, at: SimInstant) {}\n}\n",
+        ),
+    ]);
+    assert!(
+        diags.iter().any(|d| d.rule == "charge-reachability"),
+        "charge-reachability fixture produced {diags:?}"
+    );
+    // Every registered rule appears in at least one fixture above.
+    let exercised: std::collections::BTreeSet<&str> = cases
+        .iter()
+        .map(|(_, _, want)| *want)
+        .chain(["charge-reachability"])
+        .collect();
+    for rule in grail_lint::rules::RULES {
+        assert!(
+            exercised.contains(rule.id),
+            "rule `{}` has no trigger fixture in this test",
+            rule.id
         );
     }
 }
