@@ -14,12 +14,15 @@ use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
 use grail_core::profile::HardwareProfile;
 use grail_power::components::{CpuPowerProfile, DiskPowerProfile};
 use grail_power::units::{Bytes, Cycles, Hertz, SimDuration, SimInstant};
+use grail_scheduler::chaos::{run_chaos, ChaosPolicy, ChaosReport};
+use grail_scheduler::cluster::{chaos_fleet, Machine, PlacementPolicy};
 use grail_scheduler::governor::{
     IdleGovernor, NeverPark, OracleGovernor, ParkCosts, TimeoutGovernor,
 };
 use grail_sim::perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile};
 use grail_sim::sim::Simulation;
-use grail_sim::{FaultConfig, FaultPlan, SimError, StorageTarget};
+use grail_sim::{ChaosConfig, ChaosSchedule, FaultConfig, FaultPlan, SimError, StorageTarget};
+use grail_trace::Tracer;
 use grail_workload::mix::poisson_arrivals;
 use grail_workload::tpch::TpchScale;
 
@@ -276,6 +279,150 @@ pub fn fault_detail_line(rec: &ExperimentRecord) -> String {
     )
 }
 
+// ----------------------------------------------------------- EXT-CHAOS
+
+/// Chaos intensities swept by EXT-CHAOS, in report order.
+pub const CHAOS_LEVELS: [&str; 3] = ["calm", "storm", "hurricane"];
+
+/// Resilience policies swept by EXT-CHAOS (placement × replication), in
+/// report order from most availability-biased to most energy-biased.
+pub const CHAOS_POLICIES: [&str; 4] = [
+    "spread-r1",
+    "consolidate-r3",
+    "consolidate-r2",
+    "consolidate-r1",
+];
+
+/// Seed for the chaos schedules (shared with EXT-FAULT's plan seed).
+pub const CHAOS_SEED: u64 = 1009;
+
+const CHAOS_DOMAINS: u32 = 4;
+const CHAOS_PER_DOMAIN: u32 = 6;
+const CHAOS_DEMAND_FRAC: f64 = 0.25;
+
+/// Horizon of every EXT-CHAOS cell: two simulated days.
+pub const CHAOS_HORIZON: SimDuration = SimDuration::from_secs(2 * 86_400);
+
+/// The seeded chaos intensity behind a sweep name.
+pub fn chaos_config(level: &str) -> ChaosConfig {
+    match level {
+        "calm" => ChaosConfig::NONE,
+        "storm" => ChaosConfig {
+            machine_mtbf: Some(SimDuration::from_secs(86_400)),
+            machine_restart: SimDuration::from_secs(600),
+            domain_mtbf: Some(SimDuration::from_secs(4 * 86_400)),
+            domain_outage: SimDuration::from_secs(1_800),
+            brownout_mtbf: Some(SimDuration::from_secs(86_400)),
+            brownout: SimDuration::from_secs(3_600),
+            brownout_cap_frac: 0.7,
+            surge_mtbf: Some(SimDuration::from_secs(43_200)),
+            surge: SimDuration::from_secs(2_400),
+            surge_factor: 1.5,
+        },
+        "hurricane" => ChaosConfig {
+            machine_mtbf: Some(SimDuration::from_secs(6 * 3_600)),
+            machine_restart: SimDuration::from_secs(900),
+            domain_mtbf: Some(SimDuration::from_secs(86_400)),
+            domain_outage: SimDuration::from_secs(3_600),
+            brownout_mtbf: Some(SimDuration::from_secs(43_200)),
+            brownout: SimDuration::from_secs(7_200),
+            brownout_cap_frac: 0.6,
+            surge_mtbf: Some(SimDuration::from_secs(21_600)),
+            surge: SimDuration::from_secs(3_600),
+            surge_factor: 2.0,
+        },
+        other => panic!("unknown chaos level {other:?}"),
+    }
+}
+
+/// The resilience policy behind a sweep name.
+pub fn chaos_policy(name: &str) -> ChaosPolicy {
+    let (placement, replicas) = match name {
+        "spread-r1" => (PlacementPolicy::Spread, 1),
+        "consolidate-r1" => (PlacementPolicy::Consolidate, 1),
+        "consolidate-r2" => (PlacementPolicy::Consolidate, 2),
+        "consolidate-r3" => (PlacementPolicy::Consolidate, 3),
+        other => panic!("unknown chaos policy {other:?}"),
+    };
+    ChaosPolicy {
+        placement,
+        replicas,
+        ..ChaosPolicy::default()
+    }
+}
+
+/// The fleet and seeded schedule behind an EXT-CHAOS level: a 24-machine
+/// fleet spanning [`CHAOS_DOMAINS`] fault domains and the level's chaos
+/// schedule over [`CHAOS_HORIZON`].
+pub fn chaos_world(level: &str) -> (Vec<Machine>, ChaosSchedule, f64) {
+    let fleet = chaos_fleet(CHAOS_DOMAINS, CHAOS_PER_DOMAIN);
+    let schedule = ChaosSchedule::generate(
+        chaos_config(level),
+        CHAOS_SEED,
+        fleet.len() as u32,
+        CHAOS_DOMAINS,
+        CHAOS_HORIZON,
+    );
+    let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+    (fleet, schedule, total * CHAOS_DEMAND_FRAC)
+}
+
+/// Run one EXT-CHAOS cell and return the raw report (shared by the
+/// record path and tests that inspect the report directly).
+pub fn chaos_report(level: &str, policy_name: &str) -> ChaosReport {
+    let (fleet, schedule, demand) = chaos_world(level);
+    let policy = chaos_policy(policy_name);
+    run_chaos(&fleet, &schedule, demand, &policy, &mut Tracer::off()).expect("chaos point")
+}
+
+/// One cell of the EXT-CHAOS grid: the availability-vs-energy frontier
+/// point for a chaos level × resilience policy.
+pub fn chaos_point(level: &str, policy_name: &str) -> ExperimentRecord {
+    let r = chaos_report(level, policy_name);
+    let energy_j = r.total_energy().joules();
+    ExperimentRecord::new(
+        "EXT-CHAOS",
+        &format!("{level}+{policy_name}"),
+        r.horizon.as_secs_f64(),
+        energy_j,
+        r.served,
+        serde_json::json!({
+            "availability": r.availability(),
+            "recovery_j": r.recovery_energy().joules(),
+            "recovery_share": if energy_j > 0.0 {
+                r.recovery_energy().joules() / energy_j
+            } else {
+                0.0
+            },
+            "shed_frac": if r.offered > 0.0 { r.shed / r.offered } else { 0.0 },
+            "failed": r.failed,
+            "crashes": r.crashes,
+            "domain_outages": r.domain_outages,
+            "breaker_trips": r.breaker_trips,
+            "cold_boots": r.cold_boots,
+            "redispatches": r.redispatches,
+            "degraded_secs": r.redundancy_degraded_secs,
+            "placements": r.placements.len(),
+        }),
+    )
+}
+
+/// The indented resilience-detail console line below an EXT-CHAOS row,
+/// rendered from the record's extras.
+pub fn chaos_detail_line(rec: &ExperimentRecord) -> String {
+    let f = |k: &str| rec.extra[k].as_f64().expect("chaos extra");
+    let u = |k: &str| rec.extra[k].as_u64().expect("chaos extra");
+    format!(
+        "    avail {:>8.5}   recovery {:>10.1}J   shed {:>6.2}%   crashes {:>3}   breaker {:>2}   boots {:>3}",
+        f("availability"),
+        f("recovery_j"),
+        f("shed_frac") * 100.0,
+        u("crashes"),
+        u("breaker_trips"),
+        u("cold_boots"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +446,40 @@ mod tests {
         for g in FAULT_GOVERNORS {
             let _ = fault_governor(g);
         }
+    }
+
+    #[test]
+    fn chaos_grid_names_resolve() {
+        for l in CHAOS_LEVELS {
+            let _ = chaos_config(l);
+        }
+        for p in CHAOS_POLICIES {
+            let _ = chaos_policy(p);
+        }
+    }
+
+    #[test]
+    fn chaos_point_is_reproducible_and_conservative() {
+        let a = chaos_point("storm", "consolidate-r2");
+        let b = chaos_point("storm", "consolidate-r2");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.energy_j > 0.0);
+        let r = chaos_report("storm", "consolidate-r2");
+        assert!(r.conservation_error() <= 1e-6 * r.offered.max(1.0));
+        let line = chaos_detail_line(&a);
+        assert!(line.contains("avail"), "{line}");
+    }
+
+    #[test]
+    fn calm_level_is_eventless_and_fully_available() {
+        let (_, schedule, _) = chaos_world("calm");
+        assert!(schedule.is_empty());
+        let r = chaos_report("calm", "consolidate-r2");
+        assert!((r.availability() - 1.0).abs() < 1e-12);
+        assert_eq!(r.recovery_energy().joules(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,3 @@
+pub fn schedule_storm() {
+    let j = storm_jitter();
+}

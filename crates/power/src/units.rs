@@ -121,6 +121,15 @@ impl SimDuration {
     pub const fn div_u64(self, n: u64) -> SimDuration {
         SimDuration(self.0 / n)
     }
+
+    /// Multiplication by an integer factor that clamps at
+    /// [`SimDuration::MAX`] instead of overflowing — the safe form of
+    /// `dur * n` for factors derived from untrusted exponents (retry
+    /// backoff, breaker quarantines).
+    #[inline]
+    pub const fn saturating_mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
 }
 
 impl Add for SimDuration {

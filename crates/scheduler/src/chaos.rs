@@ -1,0 +1,1209 @@
+//! The cluster chaos engine: drive a fleet through a seeded
+//! [`ChaosSchedule`] and bill what resilience costs.
+//!
+//! PR 1 made *device* failure a first-class deterministic input; this
+//! module does the same for the *fleet*. A [`ChaosSchedule`] (generated
+//! in `grail-sim::fault`) delivers correlated fault-domain outages,
+//! machine crash/restart cycles, brownouts, and demand surges; the
+//! engine responds with the policies the paper's Sec. 2.4 consolidation
+//! story needs to survive them:
+//!
+//! * **Fault-domain-aware placement** — demand is served as `r` replicas
+//!   and no domain ever holds more than one replica's worth of it, so a
+//!   rack loss never takes out every copy.
+//! * **Admission control with SLA-aware shedding** — when surviving
+//!   capacity cannot carry the offered demand, redundancy degrades
+//!   first (fewer replicas), then excess demand is *shed*: recorded in
+//!   the report and the trace, never silently dropped.
+//!   `served + shed + failed == offered` holds exactly.
+//! * **Per-machine circuit breaker** — a machine that flaps (crashes
+//!   repeatedly within the breaker's reset window) is quarantined after
+//!   restart with exponentially growing holdoff before it may rejoin.
+//! * **Hedged re-dispatch** — work stranded in flight on a crashed
+//!   machine is re-issued via the existing [`RetryPolicy`] backoff, with
+//!   a hedge fraction of duplicate issue; the replay energy (and every
+//!   cold boot) is re-attributed to [`ComponentKind::Recovery`], so the
+//!   wall-socket price of resilience is a visible ledger line.
+//!
+//! Everything is a pure function of `(fleet, schedule, demand, policy)`:
+//! same seed ⇒ byte-identical placements, ledger, and trace.
+
+use crate::cluster::{domain_count, ClusterError, Machine, Placement, PlacementPolicy};
+use crate::observe;
+use grail_power::units::{Joules, SimDuration, SimInstant, Watts};
+use grail_power::{ComponentId, ComponentKind, EnergyLedger};
+use grail_sim::driver::RetryPolicy;
+use grail_sim::event::EventQueue;
+use grail_sim::fault::{ChaosEventKind, ChaosSchedule};
+use grail_trace::Tracer;
+use serde::Serialize;
+
+/// The per-machine circuit breaker: how long a flapping machine is
+/// quarantined after each restart before it may take load again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BreakerPolicy {
+    /// Quarantine after the second crash inside the reset window; each
+    /// further crash multiplies it.
+    pub base_quarantine: SimDuration,
+    /// Quarantine growth factor per additional crash.
+    pub multiplier: u32,
+    /// Crashes further apart than this reset the trip counter — the
+    /// machine is considered healthy again.
+    pub reset_window: SimDuration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            base_quarantine: SimDuration::from_secs(300),
+            multiplier: 2,
+            reset_window: SimDuration::from_secs(4 * 3600),
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// Quarantine after the `trips`-th crash inside the reset window:
+    /// zero for the first (an isolated crash rejoins right after
+    /// restart), then `base · multiplier^(trips-2)`, saturating — the
+    /// same overflow discipline as [`RetryPolicy::backoff`].
+    pub fn quarantine(&self, trips: u32) -> SimDuration {
+        if trips <= 1 {
+            return SimDuration::ZERO;
+        }
+        let exp = (trips - 2).min(16);
+        self.base_quarantine
+            .saturating_mul((self.multiplier as u64).saturating_pow(exp))
+    }
+}
+
+/// How the fleet responds to chaos.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChaosPolicy {
+    /// How served demand is packed onto the available machines.
+    pub placement: PlacementPolicy,
+    /// Target replica count: the demand is served `replicas` times, each
+    /// copy in a different fault domain (degraded when fewer live
+    /// domains or less capacity remain).
+    pub replicas: u32,
+    /// The per-machine circuit breaker.
+    pub breaker: BreakerPolicy,
+    /// Backoff schedule for re-dispatching stranded work.
+    pub retry: RetryPolicy,
+    /// How much in-flight work a crash strands: the crashed machine's
+    /// load integrated over this window is lost and must be re-issued.
+    pub inflight_window: SimDuration,
+    /// Fraction of duplicate (hedged) issue on every re-dispatch — the
+    /// tail-taming overcommit, billed to Recovery like the rest.
+    pub hedge_frac: f64,
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        ChaosPolicy {
+            placement: PlacementPolicy::Consolidate,
+            replicas: 2,
+            breaker: BreakerPolicy::default(),
+            retry: RetryPolicy::default(),
+            inflight_window: SimDuration::from_secs(30),
+            hedge_frac: 0.1,
+        }
+    }
+}
+
+/// One placement decision in the run, recorded every time the engine
+/// reacts to an event (and once at the start).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlacementChange {
+    /// When the decision took effect.
+    pub at: SimInstant,
+    /// Work/s assigned per machine (fleet order).
+    pub loads: Vec<f64>,
+    /// Number of powered machines.
+    pub powered: u32,
+    /// Demand rate served from here on (one logical copy).
+    pub served_rate: f64,
+    /// Demand rate shed from here on.
+    pub shed_rate: f64,
+    /// Effective replica count from here on.
+    pub replicas: u32,
+}
+
+/// The full outcome of a chaos run: the energy ledger, the demand
+/// accounting (`served + shed + failed == offered`), event counters, and
+/// the complete placement sequence.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosReport {
+    /// Every Joule the run drew, by component; recovery work sits under
+    /// [`ComponentKind::Recovery`] and still sums into the wall-socket
+    /// total.
+    pub ledger: EnergyLedger,
+    /// The simulated horizon.
+    pub horizon: SimDuration,
+    /// Demand offered over the run, in work units (rate × seconds).
+    pub offered: f64,
+    /// Work served to completion.
+    pub served: f64,
+    /// Work shed by admission control (refused up front, SLA-visible).
+    pub shed: f64,
+    /// Work accepted but lost: stranded by crashes and never
+    /// re-dispatched successfully within the retry budget.
+    pub failed: f64,
+    /// Work stranded in flight by crashes (before re-dispatch).
+    pub stranded: f64,
+    /// Stranded work successfully re-dispatched.
+    pub recovered: f64,
+    /// Machine crash events.
+    pub crashes: u64,
+    /// Machine restart events.
+    pub restarts: u64,
+    /// Fault-domain outage events.
+    pub domain_outages: u64,
+    /// Brownout events.
+    pub brownouts: u64,
+    /// Demand-surge events.
+    pub surges: u64,
+    /// Times the circuit breaker held a restarted machine in quarantine.
+    pub breaker_trips: u64,
+    /// Cold boots billed to Recovery.
+    pub cold_boots: u64,
+    /// Re-dispatch attempts that recovered stranded work.
+    pub redispatches: u64,
+    /// Simulated seconds spent below the target replica count.
+    pub redundancy_degraded_secs: f64,
+    /// Every placement decision, in order.
+    pub placements: Vec<PlacementChange>,
+}
+
+impl ChaosReport {
+    /// Fraction of offered work actually served (1.0 when nothing was
+    /// offered).
+    pub fn availability(&self) -> f64 {
+        if self.offered > 0.0 {
+            self.served / self.offered
+        } else {
+            1.0
+        }
+    }
+
+    /// Energy attributed to resilience: cold boots, hedged re-dispatch.
+    pub fn recovery_energy(&self) -> Joules {
+        self.ledger.kind_total(ComponentKind::Recovery)
+    }
+
+    /// Wall-socket total for the run.
+    pub fn total_energy(&self) -> Joules {
+        self.ledger.total()
+    }
+
+    /// Work per Joule over the run, counting only served work.
+    pub fn efficiency(&self) -> f64 {
+        let e = self.total_energy().joules();
+        if e > 0.0 {
+            self.served / e
+        } else {
+            0.0
+        }
+    }
+
+    /// `|served + shed + failed - offered|` — zero up to float
+    /// association error; tests pin it below 1e-6 of offered.
+    pub fn conservation_error(&self) -> f64 {
+        (self.served + self.shed + self.failed - self.offered).abs()
+    }
+}
+
+/// Runtime events beyond the pre-generated schedule: breaker rejoins and
+/// stranded-work re-dispatch, both scheduled by the engine itself.
+#[derive(Debug, Clone, Copy)]
+enum Runtime {
+    /// A schedule event, by index into [`ChaosSchedule::events`].
+    Chaos(usize),
+    /// A quarantined machine may rejoin.
+    Rejoin(usize),
+    /// Re-dispatch `work` stranded units, on their `attempt`-th try.
+    Redispatch {
+        /// Stranded work units to replay.
+        work: f64,
+        /// 1-based attempt counter, bounded by the retry budget.
+        attempt: u32,
+    },
+}
+
+/// Largest per-domain rate `S` such that serving `S` in each of `r`
+/// replica slots fits the live domains: `Σ_d min(cap_d, S) ≥ r·S`.
+/// `f(S) = Σ_d min(cap_d, S) - r·S` is concave piecewise-linear with
+/// `f(0) = 0`; walk its breakpoints (the sorted domain capacities) and
+/// return the root of the first descending segment.
+fn max_replica_rate(dom_caps: &[f64], r: u32) -> f64 {
+    let r = r as f64;
+    let mut caps: Vec<f64> = dom_caps.iter().copied().filter(|c| *c > 0.0).collect();
+    caps.sort_by(f64::total_cmp);
+    if caps.is_empty() || (caps.len() as f64) < r {
+        return 0.0;
+    }
+    let mut sum_small = 0.0;
+    let mut cnt_big = caps.len() as f64;
+    for &c in &caps {
+        // On [prev, c): f(S) = sum_small + (cnt_big - r)·S.
+        if cnt_big - r < 0.0 {
+            return sum_small / (r - cnt_big);
+        }
+        sum_small += c;
+        cnt_big -= 1.0;
+    }
+    // Every cap binds; beyond the last breakpoint f = sum_small - r·S.
+    sum_small / r
+}
+
+/// The engine's mutable state, split out so event handlers stay small.
+struct Engine<'a> {
+    fleet: &'a [Machine],
+    policy: &'a ChaosPolicy,
+    demand: f64,
+    start: SimInstant,
+    n_domains: usize,
+    // Fleet health.
+    machine_up: Vec<bool>,
+    domain_up: Vec<bool>,
+    quarantined: Vec<bool>,
+    trips: Vec<u32>,
+    last_crash: Vec<Option<SimInstant>>,
+    // Environment.
+    cap_frac: f64,
+    surge: f64,
+    // Current interval.
+    placement: Placement,
+    served_rate: f64,
+    shed_rate: f64,
+    r_eff: u32,
+    // Accumulators.
+    ledger: EnergyLedger,
+    offered: f64,
+    served_integral: f64,
+    shed: f64,
+    failed: f64,
+    stranded: f64,
+    recovered: f64,
+    crashes: u64,
+    restarts: u64,
+    domain_outages: u64,
+    brownouts: u64,
+    surges: u64,
+    breaker_trips: u64,
+    cold_boots: u64,
+    redispatches: u64,
+    redundancy_degraded_secs: f64,
+    placements: Vec<PlacementChange>,
+}
+
+const RECOVERY: ComponentId = ComponentId::new(ComponentKind::Recovery, 0);
+
+impl Engine<'_> {
+    fn machine_component(i: usize) -> ComponentId {
+        ComponentId::new(ComponentKind::Base, i as u32)
+    }
+
+    /// Whether machine `i` may take load right now.
+    fn available(&self, i: usize) -> bool {
+        self.machine_up[i] && self.domain_up[self.fleet[i].domain as usize] && !self.quarantined[i]
+    }
+
+    /// Fraction of machine `i`'s capacity usable under the current
+    /// brownout cap: the load at which its linear power curve hits
+    /// `cap_frac · peak`.
+    fn usable_frac(&self, i: usize) -> f64 {
+        if self.cap_frac >= 1.0 {
+            return 1.0;
+        }
+        let m = &self.fleet[i];
+        let peak = m.peak.get();
+        let idle = m.idle.get();
+        let span = peak - idle;
+        if span <= 0.0 {
+            // Flat power curve: the machine either fits under the cap or
+            // cannot run at all.
+            return if idle <= self.cap_frac * peak {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        ((self.cap_frac * peak - idle) / span).clamp(0.0, 1.0)
+    }
+
+    /// Accrue energy and demand accounting over `[from, to)` under the
+    /// current placement and rates.
+    fn settle(&mut self, from: SimInstant, to: SimInstant) {
+        let dt = to.duration_since(from);
+        if dt.is_zero() {
+            return;
+        }
+        let secs = dt.as_secs_f64();
+        for i in 0..self.fleet.len() {
+            if !self.placement.powered[i] {
+                continue;
+            }
+            let m = &self.fleet[i];
+            let mut p = m.power_at(self.placement.loads[i]);
+            if self.cap_frac < 1.0 {
+                // The brownout physically caps the feeder; loads were
+                // already planned under it, this is belt-and-braces.
+                p = Watts::new(p.get().min(m.peak.get() * self.cap_frac));
+            }
+            self.ledger
+                .charge_interval(Self::machine_component(i), p, dt);
+        }
+        self.offered += self.demand * self.surge * secs;
+        self.served_integral += self.served_rate * secs;
+        self.shed += self.shed_rate * secs;
+        if self.r_eff < self.policy.replicas {
+            self.redundancy_degraded_secs += secs;
+        }
+    }
+
+    /// Re-plan placement and admission for the current fleet health,
+    /// billing cold boots for machines that power on (skipped for the
+    /// initial placement — the fleet starts in steady state).
+    fn recompute(&mut self, at: SimInstant, bill_boots: bool, tracer: &mut Tracer) {
+        let n = self.fleet.len();
+        let eff_cap: Vec<f64> = (0..n)
+            .map(|i| {
+                if self.available(i) {
+                    self.fleet[i].capacity * self.usable_frac(i)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut dom_caps = vec![0.0; self.n_domains];
+        for i in 0..n {
+            dom_caps[self.fleet[i].domain as usize] += eff_cap[i];
+        }
+        let live_domains = dom_caps.iter().filter(|c| **c > 0.0).count() as u32;
+        let demand_eff = self.demand * self.surge;
+        // Graceful degradation order: drop replicas before shedding.
+        // Pick the largest replica count that still serves the full
+        // demand; if even r = 1 cannot, serve what r = 1 allows and shed
+        // the rest.
+        let r_max = self.policy.replicas.min(live_domains).max(1);
+        let mut r_eff = 1u32;
+        let mut served_rate = max_replica_rate(&dom_caps, 1).min(demand_eff);
+        for r in (2..=r_max).rev() {
+            let s = max_replica_rate(&dom_caps, r).min(demand_eff);
+            if s + 1e-9 >= demand_eff {
+                r_eff = r;
+                served_rate = s;
+                break;
+            }
+        }
+        let shed_rate = (demand_eff - served_rate).max(0.0);
+        let placement = self.place_capped(&eff_cap, served_rate, r_eff);
+        if bill_boots {
+            for i in 0..n {
+                if placement.powered[i] && !self.placement.powered[i] {
+                    self.cold_boots += 1;
+                    let boot = self.fleet[i].boot_energy;
+                    self.ledger.charge(Self::machine_component(i), boot);
+                    self.ledger
+                        .transfer(Self::machine_component(i), RECOVERY, boot);
+                    observe::record_chaos_boot(tracer, at, i, boot);
+                }
+            }
+        }
+        self.placement = placement;
+        self.served_rate = served_rate;
+        self.shed_rate = shed_rate;
+        self.r_eff = r_eff;
+        self.placements.push(PlacementChange {
+            at,
+            loads: self.placement.loads.clone(),
+            powered: self.placement.powered_count() as u32,
+            served_rate,
+            shed_rate,
+            replicas: r_eff,
+        });
+        observe::record_chaos_placement(
+            tracer,
+            at,
+            self.placement.powered_count() as u32,
+            served_rate,
+            shed_rate,
+            r_eff,
+        );
+    }
+
+    /// Greedy domain-capped fill: place `served_rate · r_eff` total load
+    /// with at most `served_rate` (one replica's worth) per domain, so
+    /// no single domain loss can take every copy. Feasible by
+    /// construction: `max_replica_rate` guaranteed
+    /// `Σ_d min(cap_d, S) ≥ r·S`.
+    fn place_capped(&self, eff_cap: &[f64], served_rate: f64, r_eff: u32) -> Placement {
+        let n = self.fleet.len();
+        let mut order: Vec<usize> = (0..n).filter(|&i| eff_cap[i] > 0.0).collect();
+        if self.policy.placement == PlacementPolicy::Consolidate {
+            order.sort_by(|&a, &b| {
+                self.fleet[b]
+                    .peak_efficiency()
+                    .total_cmp(&self.fleet[a].peak_efficiency())
+                    .then(a.cmp(&b))
+            });
+        }
+        let mut loads = vec![0.0; n];
+        let mut powered = vec![false; n];
+        if self.policy.placement == PlacementPolicy::Spread {
+            // Availability-first: every healthy machine stays powered.
+            for &i in &order {
+                powered[i] = true;
+            }
+        }
+        let mut dom_used = vec![0.0; self.n_domains];
+        let mut rest = served_rate * r_eff as f64;
+        for &i in &order {
+            if rest <= 1e-12 {
+                break;
+            }
+            let d = self.fleet[i].domain as usize;
+            let room = eff_cap[i].min(served_rate - dom_used[d]);
+            if room <= 0.0 {
+                continue;
+            }
+            let take = rest.min(room);
+            loads[i] = take;
+            powered[i] = true;
+            dom_used[d] += take;
+            rest -= take;
+        }
+        Placement { loads, powered }
+    }
+
+    /// Work stranded in flight on `machines` when they die at `at`.
+    fn stranded_work(&self, at: SimInstant, machines: &[usize]) -> f64 {
+        let elapsed = at.duration_since(self.start).as_secs_f64();
+        let window = self.policy.inflight_window.as_secs_f64().min(elapsed);
+        machines
+            .iter()
+            .map(|&i| self.placement.loads[i])
+            .sum::<f64>()
+            * window
+    }
+
+    /// The most (peak-)efficient currently-available machine, if any —
+    /// where hedged re-dispatch replays stranded work.
+    fn best_available(&self) -> Option<usize> {
+        (0..self.fleet.len())
+            .filter(|&i| self.available(i))
+            .min_by(|&a, &b| {
+                self.fleet[b]
+                    .peak_efficiency()
+                    .total_cmp(&self.fleet[a].peak_efficiency())
+                    .then(a.cmp(&b))
+            })
+    }
+
+    /// Resolve one re-dispatch attempt: replay on a live machine (hedged,
+    /// billed to Recovery), or reschedule, or — past the retry budget —
+    /// account the work as failed.
+    fn redispatch(
+        &mut self,
+        at: SimInstant,
+        work: f64,
+        attempt: u32,
+        queue: &mut EventQueue<Runtime>,
+        tracer: &mut Tracer,
+    ) {
+        if let Some(host) = self.best_available() {
+            self.recovered += work;
+            self.redispatches += 1;
+            let eff = self.fleet[host].peak_efficiency();
+            let replay = if eff > 0.0 {
+                Joules::new(work / eff * (1.0 + self.policy.hedge_frac))
+            } else {
+                Joules::ZERO
+            };
+            self.ledger.charge(Self::machine_component(host), replay);
+            self.ledger
+                .transfer(Self::machine_component(host), RECOVERY, replay);
+            observe::record_chaos_redispatch(tracer, at, work, attempt, true, replay);
+        } else if attempt > self.policy.retry.max_retries {
+            // Out of budget with nowhere to run: the work is lost. It
+            // was counted into the served integral while in flight, so
+            // move it from served to failed.
+            self.failed += work;
+            observe::record_chaos_redispatch(tracer, at, work, attempt, false, Joules::ZERO);
+        } else {
+            let next = attempt + 1;
+            queue.push(
+                at + self.policy.retry.backoff(next),
+                Runtime::Redispatch {
+                    work,
+                    attempt: next,
+                },
+            );
+        }
+    }
+}
+
+/// Drive `fleet` through `schedule` while serving `demand` work/s under
+/// `policy`, returning the full [`ChaosReport`].
+///
+/// Deterministic: the report (ledger, placements, counters) and every
+/// trace event are a pure function of the inputs.
+///
+/// # Errors
+/// [`ClusterError::EmptyFleet`] for an empty fleet,
+/// [`ClusterError::BadMachine`] if any machine fails
+/// [`Machine::validate`], and [`ClusterError::BadSchedule`] when the
+/// schedule's machine/domain shape does not cover the fleet or the
+/// demand/policy parameters are not finite.
+pub fn run_chaos(
+    fleet: &[Machine],
+    schedule: &ChaosSchedule,
+    demand: f64,
+    policy: &ChaosPolicy,
+    tracer: &mut Tracer,
+) -> Result<ChaosReport, ClusterError> {
+    if fleet.is_empty() {
+        return Err(ClusterError::EmptyFleet);
+    }
+    for m in fleet {
+        m.validate()?;
+    }
+    if schedule.machines() as usize != fleet.len() {
+        return Err(ClusterError::BadSchedule(format!(
+            "schedule addresses {} machines, fleet has {}",
+            schedule.machines(),
+            fleet.len()
+        )));
+    }
+    if schedule.domains() < domain_count(fleet) {
+        return Err(ClusterError::BadSchedule(format!(
+            "schedule addresses {} domains, fleet spans {}",
+            schedule.domains(),
+            domain_count(fleet)
+        )));
+    }
+    if !demand.is_finite() || demand < 0.0 {
+        return Err(ClusterError::BadSchedule(format!(
+            "offered demand must be finite and non-negative, got {demand}"
+        )));
+    }
+    if policy.replicas == 0 {
+        return Err(ClusterError::BadSchedule(
+            "replica target must be at least 1".to_string(),
+        ));
+    }
+    if !policy.hedge_frac.is_finite() || policy.hedge_frac < 0.0 {
+        return Err(ClusterError::BadSchedule(format!(
+            "hedge fraction must be finite and non-negative, got {}",
+            policy.hedge_frac
+        )));
+    }
+    let n = fleet.len();
+    let n_domains = schedule.domains() as usize;
+    let start = SimInstant::EPOCH;
+    let end = start + schedule.horizon();
+    let mut eng = Engine {
+        fleet,
+        policy,
+        demand,
+        start,
+        n_domains,
+        machine_up: vec![true; n],
+        domain_up: vec![true; n_domains],
+        quarantined: vec![false; n],
+        trips: vec![0; n],
+        last_crash: vec![None; n],
+        cap_frac: 1.0,
+        surge: 1.0,
+        placement: Placement {
+            loads: vec![0.0; n],
+            powered: vec![false; n],
+        },
+        served_rate: 0.0,
+        shed_rate: 0.0,
+        r_eff: policy.replicas,
+        ledger: EnergyLedger::new(),
+        offered: 0.0,
+        served_integral: 0.0,
+        shed: 0.0,
+        failed: 0.0,
+        stranded: 0.0,
+        recovered: 0.0,
+        crashes: 0,
+        restarts: 0,
+        domain_outages: 0,
+        brownouts: 0,
+        surges: 0,
+        breaker_trips: 0,
+        cold_boots: 0,
+        redispatches: 0,
+        redundancy_degraded_secs: 0.0,
+        placements: Vec::new(),
+    };
+    eng.recompute(start, false, tracer);
+    let mut queue: EventQueue<Runtime> = EventQueue::new();
+    for (idx, ev) in schedule.events().iter().enumerate() {
+        queue.push(ev.at, Runtime::Chaos(idx));
+    }
+    let mut cur = start;
+    // Runtime events the engine scheduled past the horizon (late
+    // rejoins, backed-off re-dispatches) — resolved at the end.
+    let mut overflow: Vec<Runtime> = Vec::new();
+    while let Some((at, rt)) = queue.pop() {
+        if at >= end {
+            overflow.push(rt);
+            continue;
+        }
+        eng.settle(cur, at);
+        cur = at;
+        match rt {
+            Runtime::Chaos(idx) => {
+                let ev = &schedule.events()[idx];
+                observe::record_chaos_event(tracer, ev);
+                match ev.kind {
+                    ChaosEventKind::MachineCrash { machine } => {
+                        let m = machine as usize;
+                        eng.crashes += 1;
+                        eng.trips[m] = match eng.last_crash[m] {
+                            Some(prev)
+                                if at.duration_since(prev) <= policy.breaker.reset_window =>
+                            {
+                                eng.trips[m].saturating_add(1)
+                            }
+                            _ => 1,
+                        };
+                        eng.last_crash[m] = Some(at);
+                        let work = eng.stranded_work(at, &[m]);
+                        eng.machine_up[m] = false;
+                        eng.recompute(at, true, tracer);
+                        if work > 0.0 {
+                            eng.stranded += work;
+                            queue.push(
+                                at + policy.retry.backoff(1),
+                                Runtime::Redispatch { work, attempt: 1 },
+                            );
+                        }
+                    }
+                    ChaosEventKind::MachineUp { machine } => {
+                        let m = machine as usize;
+                        eng.restarts += 1;
+                        let hold = policy.breaker.quarantine(eng.trips[m]);
+                        eng.machine_up[m] = true;
+                        if hold.is_zero() {
+                            eng.recompute(at, true, tracer);
+                        } else {
+                            eng.breaker_trips += 1;
+                            eng.quarantined[m] = true;
+                            observe::record_chaos_breaker(tracer, at, m, eng.trips[m], hold);
+                            queue.push(at + hold, Runtime::Rejoin(m));
+                        }
+                    }
+                    ChaosEventKind::DomainDown { domain } => {
+                        eng.domain_outages += 1;
+                        let members: Vec<usize> =
+                            (0..n).filter(|&i| fleet[i].domain == domain).collect();
+                        let work = eng.stranded_work(at, &members);
+                        eng.domain_up[domain as usize] = false;
+                        eng.recompute(at, true, tracer);
+                        if work > 0.0 {
+                            eng.stranded += work;
+                            queue.push(
+                                at + policy.retry.backoff(1),
+                                Runtime::Redispatch { work, attempt: 1 },
+                            );
+                        }
+                    }
+                    ChaosEventKind::DomainUp { domain } => {
+                        eng.domain_up[domain as usize] = true;
+                        eng.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::BrownoutStart { cap_frac } => {
+                        eng.brownouts += 1;
+                        eng.cap_frac = cap_frac;
+                        eng.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::BrownoutEnd => {
+                        eng.cap_frac = 1.0;
+                        eng.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::SurgeStart { factor } => {
+                        eng.surges += 1;
+                        eng.surge = factor;
+                        eng.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::SurgeEnd => {
+                        eng.surge = 1.0;
+                        eng.recompute(at, true, tracer);
+                    }
+                }
+            }
+            Runtime::Rejoin(m) => {
+                eng.quarantined[m] = false;
+                eng.recompute(at, true, tracer);
+            }
+            Runtime::Redispatch { work, attempt } => {
+                eng.redispatch(at, work, attempt, &mut queue, tracer);
+            }
+        }
+    }
+    eng.settle(cur, end);
+    // Work still bouncing in re-dispatch when the horizon closes gets
+    // one final resolution at the end instant: recovered if anything is
+    // live, failed otherwise. Late rejoins are moot.
+    for rt in overflow {
+        if let Runtime::Redispatch { work, attempt } = rt {
+            if eng.best_available().is_some() {
+                // Resolved exactly like an in-horizon re-dispatch.
+                let mut dummy = EventQueue::new();
+                eng.redispatch(end, work, attempt, &mut dummy, tracer);
+            } else {
+                eng.failed += work;
+                observe::record_chaos_redispatch(tracer, end, work, attempt, false, Joules::ZERO);
+            }
+        }
+    }
+    eng.ledger.cover(start, end);
+    Ok(ChaosReport {
+        ledger: eng.ledger,
+        horizon: schedule.horizon(),
+        offered: eng.offered,
+        served: (eng.served_integral - eng.failed).max(0.0),
+        shed: eng.shed,
+        failed: eng.failed,
+        stranded: eng.stranded,
+        recovered: eng.recovered,
+        crashes: eng.crashes,
+        restarts: eng.restarts,
+        domain_outages: eng.domain_outages,
+        brownouts: eng.brownouts,
+        surges: eng.surges,
+        breaker_trips: eng.breaker_trips,
+        cold_boots: eng.cold_boots,
+        redispatches: eng.redispatches,
+        redundancy_degraded_secs: eng.redundancy_degraded_secs,
+        placements: eng.placements,
+    })
+}
+
+/// The documented availability floor the reference storm must clear —
+/// asserted by `tests/subsystems.rs` and quoted in DESIGN.md §11.
+pub const DOCUMENTED_AVAILABILITY_FLOOR: f64 = 0.90;
+
+/// The reference chaos scenario quoted throughout the docs: a 4-domain,
+/// 24-machine fleet under a two-day storm of crashes, a rack outage,
+/// brownouts and surges, serving 25% of fleet capacity with 2 replicas.
+pub fn reference_storm() -> (Vec<Machine>, ChaosSchedule, f64, ChaosPolicy) {
+    use grail_sim::fault::ChaosConfig;
+    let fleet = crate::cluster::chaos_fleet(4, 6);
+    let horizon = SimDuration::from_secs(2 * 86_400);
+    let cfg = ChaosConfig {
+        machine_mtbf: Some(SimDuration::from_secs(86_400)),
+        machine_restart: SimDuration::from_secs(600),
+        domain_mtbf: Some(SimDuration::from_secs(4 * 86_400)),
+        domain_outage: SimDuration::from_secs(1_800),
+        brownout_mtbf: Some(SimDuration::from_secs(86_400)),
+        brownout: SimDuration::from_secs(3_600),
+        brownout_cap_frac: 0.7,
+        surge_mtbf: Some(SimDuration::from_secs(43_200)),
+        surge: SimDuration::from_secs(2_400),
+        surge_factor: 1.5,
+    };
+    let schedule = ChaosSchedule::generate(cfg, 1009, fleet.len() as u32, 4, horizon);
+    let total_cap: f64 = fleet.iter().map(|m| m.capacity).sum();
+    (fleet, schedule, total_cap * 0.25, ChaosPolicy::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grail_power::units::SimInstant;
+    use grail_sim::fault::ChaosEvent;
+    use grail_trace::{Recorder, Tracer};
+
+    fn at(s: f64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs_f64(s)
+    }
+
+    /// 2 domains × 2 machines, 100 work/s each, 50 W idle / 150 W peak.
+    fn small_fleet() -> Vec<Machine> {
+        (0..4)
+            .map(|i| {
+                Machine::new(&format!("m{i}"), 100.0, Watts::new(50.0), Watts::new(150.0))
+                    .with_boot(SimDuration::from_secs(60), Joules::new(9_000.0))
+                    .with_domain(i / 2)
+            })
+            .collect()
+    }
+
+    fn calm(horizon_s: u64) -> ChaosSchedule {
+        ChaosSchedule::scripted(4, 2, SimDuration::from_secs(horizon_s), vec![])
+    }
+
+    fn check_conservation(r: &ChaosReport) {
+        assert!(
+            r.conservation_error() <= 1e-6 * r.offered.max(1.0),
+            "served {} + shed {} + failed {} != offered {}",
+            r.served,
+            r.shed,
+            r.failed,
+            r.offered
+        );
+    }
+
+    #[test]
+    fn calm_run_serves_everything() {
+        let fleet = small_fleet();
+        let r = run_chaos(
+            &fleet,
+            &calm(1_000),
+            100.0,
+            &ChaosPolicy::default(),
+            &mut Tracer::off(),
+        )
+        .expect("valid");
+        check_conservation(&r);
+        assert!((r.availability() - 1.0).abs() < 1e-12);
+        assert!((r.offered - 100.0 * 1_000.0).abs() < 1e-6);
+        assert!(r.shed < 1e-9);
+        assert_eq!(r.failed, 0.0);
+        assert_eq!(r.cold_boots, 0);
+        assert_eq!(r.recovery_energy(), Joules::ZERO);
+        assert!(r.total_energy().joules() > 0.0);
+        // 2 replicas in 2 domains: both copies placed, one per domain.
+        assert_eq!(r.placements.len(), 1);
+        assert_eq!(r.placements[0].replicas, 2);
+        let placed: f64 = r.placements[0].loads.iter().sum();
+        assert!((placed - 200.0).abs() < 1e-6, "r·S = 2 × 100: {placed}");
+    }
+
+    #[test]
+    fn replicas_never_share_a_domain() {
+        let fleet = small_fleet();
+        let r = run_chaos(
+            &fleet,
+            &calm(100),
+            150.0,
+            &ChaosPolicy::default(),
+            &mut Tracer::off(),
+        )
+        .expect("valid");
+        // 150 served twice = 300 total, capped at 150 per domain.
+        for p in &r.placements {
+            let mut per_dom = [0.0f64; 2];
+            for (i, l) in p.loads.iter().enumerate() {
+                per_dom[fleet[i].domain as usize] += l;
+            }
+            for (d, used) in per_dom.iter().enumerate() {
+                assert!(
+                    *used <= p.served_rate + 1e-9,
+                    "domain {d} holds {used} > one replica's {}",
+                    p.served_rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_strands_and_recovers_work_with_recovery_billing() {
+        let fleet = small_fleet();
+        let schedule = ChaosSchedule::scripted(
+            4,
+            2,
+            SimDuration::from_secs(10_000),
+            vec![
+                ChaosEvent {
+                    at: at(5_000.0),
+                    kind: ChaosEventKind::MachineCrash { machine: 0 },
+                },
+                ChaosEvent {
+                    at: at(5_600.0),
+                    kind: ChaosEventKind::MachineUp { machine: 0 },
+                },
+            ],
+        );
+        let policy = ChaosPolicy {
+            placement: PlacementPolicy::Spread,
+            ..ChaosPolicy::default()
+        };
+        let r = run_chaos(&fleet, &schedule, 150.0, &policy, &mut Tracer::off()).expect("valid");
+        check_conservation(&r);
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.restarts, 1);
+        assert!(r.stranded > 0.0, "machine 0 carried load when it died");
+        assert!(
+            (r.stranded - r.recovered).abs() < 1e-9,
+            "survivors recover it"
+        );
+        assert_eq!(r.failed, 0.0);
+        assert!(r.redispatches >= 1);
+        assert!(
+            r.recovery_energy().joules() > 0.0,
+            "replay energy is billed to Recovery"
+        );
+        // Recovery is re-attribution: it still sums into the total.
+        let by_kind: f64 = [ComponentKind::Base, ComponentKind::Recovery]
+            .iter()
+            .map(|k| r.ledger.kind_total(*k).joules())
+            .sum();
+        assert!((by_kind - r.total_energy().joules()).abs() < 1e-6);
+        // Availability dips only by the brief capacity loss, if at all.
+        assert!(r.availability() > 0.99, "{}", r.availability());
+    }
+
+    #[test]
+    fn fleet_blackout_sheds_then_fails_inflight_work() {
+        let fleet = small_fleet();
+        let schedule = ChaosSchedule::scripted(
+            4,
+            2,
+            SimDuration::from_secs(2_000),
+            vec![
+                ChaosEvent {
+                    at: at(1_000.0),
+                    kind: ChaosEventKind::DomainDown { domain: 0 },
+                },
+                ChaosEvent {
+                    at: at(1_000.0),
+                    kind: ChaosEventKind::DomainDown { domain: 1 },
+                },
+            ],
+        );
+        let r = run_chaos(
+            &fleet,
+            &schedule,
+            100.0,
+            &ChaosPolicy::default(),
+            &mut Tracer::off(),
+        )
+        .expect("valid");
+        check_conservation(&r);
+        assert_eq!(r.domain_outages, 2);
+        // Second half of the run is fully shed.
+        assert!((r.shed - 100.0 * 1_000.0).abs() < 1.0, "shed {}", r.shed);
+        // In-flight work at the blackout has nowhere to go: failed.
+        assert!(r.failed > 0.0);
+        assert!(r.stranded > 0.0);
+        assert_eq!(r.recovered, 0.0);
+        assert!(r.availability() < 0.51);
+    }
+
+    #[test]
+    fn degradation_drops_replicas_before_shedding() {
+        let fleet = small_fleet();
+        // Lose domain 1 entirely: only one domain left, so r_eff must
+        // fall to 1 — but demand 100 still fits domain 0's 200 capacity,
+        // so nothing is shed.
+        let schedule = ChaosSchedule::scripted(
+            4,
+            2,
+            SimDuration::from_secs(2_000),
+            vec![ChaosEvent {
+                at: at(1_000.0),
+                kind: ChaosEventKind::DomainDown { domain: 1 },
+            }],
+        );
+        let r = run_chaos(
+            &fleet,
+            &schedule,
+            100.0,
+            &ChaosPolicy::default(),
+            &mut Tracer::off(),
+        )
+        .expect("valid");
+        check_conservation(&r);
+        assert!(r.shed < 1e-6, "replica sacrifice avoids shedding");
+        let last = r.placements.last().expect("placements recorded");
+        assert_eq!(last.replicas, 1);
+        assert!((r.redundancy_degraded_secs - 1_000.0).abs() < 1e-6);
+        assert!(r.availability() > 0.999);
+    }
+
+    #[test]
+    fn brownout_caps_power_and_capacity() {
+        let fleet = small_fleet();
+        // cap_frac 0.5 on a 50/150 W curve: usable load fraction is
+        // (75 - 50) / 100 = 0.25 → 25 work/s per machine, 100 fleetwide.
+        let schedule = ChaosSchedule::scripted(
+            4,
+            2,
+            SimDuration::from_secs(2_000),
+            vec![ChaosEvent {
+                at: at(1_000.0),
+                kind: ChaosEventKind::BrownoutStart { cap_frac: 0.5 },
+            }],
+        );
+        let r = run_chaos(
+            &fleet,
+            &schedule,
+            150.0,
+            &ChaosPolicy {
+                replicas: 1,
+                ..ChaosPolicy::default()
+            },
+            &mut Tracer::off(),
+        )
+        .expect("valid");
+        check_conservation(&r);
+        assert_eq!(r.brownouts, 1);
+        // First 1000 s serve 150; the brownout halves fleet capability
+        // to 100, shedding 50 work/s for the remaining 1000 s.
+        assert!((r.shed - 50.0 * 1_000.0).abs() < 1.0, "shed {}", r.shed);
+        let last = r.placements.last().expect("placements recorded");
+        assert!((last.served_rate - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn surge_raises_offered_demand() {
+        let fleet = small_fleet();
+        let schedule = ChaosSchedule::scripted(
+            4,
+            2,
+            SimDuration::from_secs(2_000),
+            vec![ChaosEvent {
+                at: at(1_000.0),
+                kind: ChaosEventKind::SurgeStart { factor: 2.0 },
+            }],
+        );
+        let r = run_chaos(
+            &fleet,
+            &schedule,
+            100.0,
+            &ChaosPolicy::default(),
+            &mut Tracer::off(),
+        )
+        .expect("valid");
+        check_conservation(&r);
+        assert_eq!(r.surges, 1);
+        assert!((r.offered - (100.0 * 1_000.0 + 200.0 * 1_000.0)).abs() < 1e-6);
+        // 200 work/s × 2 replicas = 400 = exactly fleet capacity: served.
+        assert!(r.shed < 1e-6, "shed {}", r.shed);
+    }
+
+    #[test]
+    fn breaker_quarantines_flapping_machine() {
+        let fleet = small_fleet();
+        let mk = |t: f64, kind| ChaosEvent { at: at(t), kind };
+        let schedule = ChaosSchedule::scripted(
+            4,
+            2,
+            SimDuration::from_secs(10_000),
+            vec![
+                mk(1_000.0, ChaosEventKind::MachineCrash { machine: 0 }),
+                mk(1_100.0, ChaosEventKind::MachineUp { machine: 0 }),
+                mk(1_200.0, ChaosEventKind::MachineCrash { machine: 0 }),
+                mk(1_300.0, ChaosEventKind::MachineUp { machine: 0 }),
+            ],
+        );
+        let policy = ChaosPolicy {
+            placement: PlacementPolicy::Spread,
+            breaker: BreakerPolicy {
+                base_quarantine: SimDuration::from_secs(500),
+                multiplier: 2,
+                reset_window: SimDuration::from_secs(3_600),
+            },
+            ..ChaosPolicy::default()
+        };
+        let r = run_chaos(&fleet, &schedule, 100.0, &policy, &mut Tracer::off()).expect("valid");
+        check_conservation(&r);
+        assert_eq!(r.crashes, 2);
+        assert_eq!(r.restarts, 2);
+        assert_eq!(r.breaker_trips, 1, "second restart is quarantined");
+        // The quarantined machine rejoins 500 s after its restart: the
+        // placement sequence must include a decision at t = 1800.
+        assert!(
+            r.placements.iter().any(|p| p.at == at(1_800.0)),
+            "rejoin decision recorded"
+        );
+    }
+
+    #[test]
+    fn breaker_policy_quarantine_saturates() {
+        let b = BreakerPolicy::default();
+        assert_eq!(b.quarantine(0), SimDuration::ZERO);
+        assert_eq!(b.quarantine(1), SimDuration::ZERO);
+        assert_eq!(b.quarantine(2), SimDuration::from_secs(300));
+        assert_eq!(b.quarantine(3), SimDuration::from_secs(600));
+        assert_eq!(b.quarantine(u32::MAX), b.quarantine(18));
+        let worst = BreakerPolicy {
+            base_quarantine: SimDuration::from_secs(3600),
+            multiplier: u32::MAX,
+            reset_window: SimDuration::MAX,
+        };
+        assert_eq!(worst.quarantine(u32::MAX), SimDuration::MAX);
+    }
+
+    #[test]
+    fn same_inputs_identical_reports_and_traces() {
+        let (fleet, schedule, demand, policy) = reference_storm();
+        let run = || {
+            let mut tracer = Tracer::on(Recorder::new(1 << 16));
+            let r = run_chaos(&fleet, &schedule, demand, &policy, &mut tracer).expect("valid");
+            let rec = tracer.take().expect("tracer on");
+            (r, grail_trace::to_jsonl(&rec))
+        };
+        let (ra, ta) = run();
+        let (rb, tb) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(ta, tb);
+        assert!(!ta.is_empty());
+    }
+
+    #[test]
+    fn reference_storm_is_stormy_but_survivable() {
+        let (fleet, schedule, demand, policy) = reference_storm();
+        let r = run_chaos(&fleet, &schedule, demand, &policy, &mut Tracer::off()).expect("valid");
+        check_conservation(&r);
+        assert!(r.crashes > 0, "a two-day storm must crash something");
+        assert!(r.availability() >= DOCUMENTED_AVAILABILITY_FLOOR);
+        assert!(r.recovery_energy().joules() > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let fleet = small_fleet();
+        let p = ChaosPolicy::default();
+        let mut t = Tracer::off();
+        assert!(matches!(
+            run_chaos(&[], &calm(10), 1.0, &p, &mut t),
+            Err(ClusterError::EmptyFleet)
+        ));
+        let wrong_machines = ChaosSchedule::scripted(3, 2, SimDuration::from_secs(10), vec![]);
+        assert!(matches!(
+            run_chaos(&fleet, &wrong_machines, 1.0, &p, &mut t),
+            Err(ClusterError::BadSchedule(_))
+        ));
+        let wrong_domains = ChaosSchedule::scripted(4, 1, SimDuration::from_secs(10), vec![]);
+        assert!(matches!(
+            run_chaos(&fleet, &wrong_domains, 1.0, &p, &mut t),
+            Err(ClusterError::BadSchedule(_))
+        ));
+        assert!(matches!(
+            run_chaos(&fleet, &calm(10), f64::NAN, &p, &mut t),
+            Err(ClusterError::BadSchedule(_))
+        ));
+        let zero_replicas = ChaosPolicy {
+            replicas: 0,
+            ..ChaosPolicy::default()
+        };
+        assert!(matches!(
+            run_chaos(&fleet, &calm(10), 1.0, &zero_replicas, &mut t),
+            Err(ClusterError::BadSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn max_replica_rate_walks_breakpoints() {
+        // Two domains 100 and 1, r = 2: S* solves min(100,S)+min(1,S) = 2S.
+        assert!((max_replica_rate(&[100.0, 1.0], 2) - 1.0).abs() < 1e-12);
+        // r = 1: everything fits up to total capacity.
+        assert!((max_replica_rate(&[100.0, 1.0], 1) - 101.0).abs() < 1e-12);
+        // r equal to live domains: bounded by the smallest domain.
+        assert!((max_replica_rate(&[40.0, 60.0, 80.0], 3) - 40.0).abs() < 1e-12);
+        // More replicas than live domains: nothing placeable.
+        assert_eq!(max_replica_rate(&[40.0, 60.0], 3), 0.0);
+        assert_eq!(max_replica_rate(&[], 1), 0.0);
+        // Dead domains are ignored.
+        assert!((max_replica_rate(&[0.0, 50.0, 50.0], 2) - 50.0).abs() < 1e-12);
+    }
+}

@@ -27,6 +27,9 @@ pub struct Machine {
     pub boot_latency: SimDuration,
     /// Energy burned by one cold boot (drawn before any work is served).
     pub boot_energy: Joules,
+    /// Fault domain (rack / PDU group): machines sharing a domain fail
+    /// together under correlated outages. Defaults to 0.
+    pub domain: u32,
 }
 
 /// Default cold-boot latency: two minutes of POST + OS + service start.
@@ -48,11 +51,13 @@ impl Machine {
             peak,
             boot_latency: DEFAULT_BOOT_LATENCY,
             boot_energy: peak * DEFAULT_BOOT_LATENCY,
+            domain: 0,
         }
     }
 
     /// A machine description, rejecting bad geometry instead of
-    /// panicking.
+    /// panicking. The whole description — including the default boot
+    /// cost — passes [`Machine::validate`].
     ///
     /// # Errors
     /// [`ClusterError::BadMachine`] on non-positive (or non-finite)
@@ -63,28 +68,86 @@ impl Machine {
         idle: Watts,
         peak: Watts,
     ) -> Result<Self, ClusterError> {
-        if !capacity.is_finite() || capacity <= 0.0 {
+        let m = Machine {
+            name: name.to_string(),
+            capacity,
+            idle,
+            peak,
+            boot_latency: DEFAULT_BOOT_LATENCY,
+            // Placeholder until the power curve is known valid; the real
+            // default (peak × latency) is derived below.
+            boot_energy: Joules::ZERO,
+            domain: 0,
+        };
+        m.validate()?;
+        let boot_energy = m.peak * DEFAULT_BOOT_LATENCY;
+        m.try_with_boot(DEFAULT_BOOT_LATENCY, boot_energy)
+    }
+
+    /// Check every field of a (possibly hand-assembled, builder-mutated,
+    /// or deserialized) machine description.
+    ///
+    /// # Errors
+    /// [`ClusterError::BadMachine`] on non-positive or non-finite
+    /// capacity, non-finite or negative power, idle above peak, or a
+    /// non-finite boot energy (arithmetic on `Joules` can overflow to
+    /// infinity even though its constructor rejects it).
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let name = &self.name;
+        if !self.capacity.is_finite() || self.capacity <= 0.0 {
             return Err(ClusterError::BadMachine(format!(
-                "{name}: capacity must be positive, got {capacity}"
+                "{name}: capacity must be positive, got {}",
+                self.capacity
             )));
         }
-        if idle.get() < 0.0 || !idle.get().is_finite() || !peak.get().is_finite() {
+        if self.idle.get() < 0.0 || !self.idle.get().is_finite() || !self.peak.get().is_finite() {
             return Err(ClusterError::BadMachine(format!(
                 "{name}: power draws must be finite and non-negative"
             )));
         }
-        if idle.get() > peak.get() {
+        if self.idle.get() > self.peak.get() {
             return Err(ClusterError::BadMachine(format!(
-                "{name}: idle {idle} above peak {peak}"
+                "{name}: idle {} above peak {}",
+                self.idle, self.peak
             )));
         }
-        Ok(Machine::new(name, capacity, idle, peak))
+        if !self.boot_energy.joules().is_finite() || self.boot_energy.joules() < 0.0 {
+            return Err(ClusterError::BadMachine(format!(
+                "{name}: boot energy must be finite and non-negative, got {} J",
+                self.boot_energy.joules()
+            )));
+        }
+        Ok(())
     }
 
     /// Override the cold-boot cost (builder style).
     pub fn with_boot(mut self, latency: SimDuration, energy: Joules) -> Self {
         self.boot_latency = latency;
         self.boot_energy = energy;
+        self
+    }
+
+    /// Override the cold-boot cost, rejecting bad geometry (a non-finite
+    /// energy from overflowed `Joules` arithmetic) instead of letting it
+    /// poison recovery billing.
+    ///
+    /// # Errors
+    /// [`ClusterError::BadMachine`] if the resulting description fails
+    /// [`Machine::validate`].
+    pub fn try_with_boot(
+        mut self,
+        latency: SimDuration,
+        energy: Joules,
+    ) -> Result<Self, ClusterError> {
+        self.boot_latency = latency;
+        self.boot_energy = energy;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Assign this machine to a fault domain (builder style).
+    pub fn with_domain(mut self, domain: u32) -> Self {
+        self.domain = domain;
         self
     }
 
@@ -132,6 +195,9 @@ pub enum ClusterError {
     BadMachine(String),
     /// A machine index is out of range for the fleet.
     UnknownMachine(usize),
+    /// A chaos schedule (or its run parameters) does not fit the fleet:
+    /// wrong machine/domain shape, or non-finite demand/policy inputs.
+    BadSchedule(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -141,6 +207,7 @@ impl fmt::Display for ClusterError {
             ClusterError::EmptyFleet => f.write_str("empty fleet"),
             ClusterError::BadMachine(why) => write!(f, "bad machine: {why}"),
             ClusterError::UnknownMachine(i) => write!(f, "unknown machine index {i}"),
+            ClusterError::BadSchedule(why) => write!(f, "bad chaos schedule: {why}"),
         }
     }
 }
@@ -321,6 +388,121 @@ pub fn fail_over(
     })
 }
 
+/// The outcome of failing *several* machines out of a running placement
+/// at once — a correlated failure (rack loss, PDU trip).
+///
+/// Unlike [`fail_over`], insufficient surviving capacity is not an
+/// error: demand the survivors cannot absorb is **shed** and reported,
+/// never silently dropped. `served + shed == offered` always holds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiFailover {
+    /// The new placement over the full fleet; failed machines carry zero
+    /// load and are not powered.
+    pub placement: Placement,
+    /// Indices of machines that had to be powered on (cold-booted) to
+    /// absorb the displaced load.
+    pub booted: Vec<usize>,
+    /// Total cold-boot energy across `booted`.
+    pub boot_energy: Joules,
+    /// Worst-case boot latency across `booted`.
+    pub boot_latency: SimDuration,
+    /// Work/s that had to move off the failed machines.
+    pub displaced: f64,
+    /// Work/s the survivors actually serve.
+    pub served: f64,
+    /// Work/s shed because surviving capacity was insufficient.
+    pub shed: f64,
+}
+
+/// Re-place a running placement after every machine in `failed` dies at
+/// once.
+///
+/// The offered demand (the sum of `before.loads`) is re-placed on the
+/// surviving machines under `policy`; demand beyond their total capacity
+/// is shed and reported in [`MultiFailover::shed`] (`served + shed ==
+/// offered`). Losing the whole fleet sheds everything rather than
+/// erroring — graceful degradation, not collapse.
+///
+/// # Errors
+/// [`ClusterError::UnknownMachine`] if any index in `failed` is out of
+/// range.
+pub fn fail_over_multi(
+    fleet: &[Machine],
+    before: &Placement,
+    failed: &[usize],
+    policy: PlacementPolicy,
+) -> Result<MultiFailover, ClusterError> {
+    let mut dead = vec![false; fleet.len()];
+    for &f in failed {
+        if f >= fleet.len() {
+            return Err(ClusterError::UnknownMachine(f));
+        }
+        dead[f] = true;
+    }
+    let offered: f64 = before.loads.iter().sum();
+    let displaced: f64 = before
+        .loads
+        .iter()
+        .zip(&dead)
+        .filter(|(_, d)| **d)
+        .map(|(l, _)| *l)
+        .sum();
+    let survivors: Vec<Machine> = fleet
+        .iter()
+        .zip(&dead)
+        .filter(|(_, d)| !**d)
+        .map(|(m, _)| m.clone())
+        .collect();
+    if survivors.is_empty() {
+        // The whole fleet is dark: everything is shed, nothing served.
+        return Ok(MultiFailover {
+            placement: Placement {
+                loads: vec![0.0; fleet.len()],
+                powered: vec![false; fleet.len()],
+            },
+            booted: Vec::new(),
+            boot_energy: Joules::ZERO,
+            boot_latency: SimDuration::ZERO,
+            displaced,
+            served: 0.0,
+            shed: offered,
+        });
+    }
+    let survivor_cap: f64 = survivors.iter().map(|m| m.capacity).sum();
+    let served = offered.min(survivor_cap);
+    let shed = (offered - served).max(0.0);
+    let sub = place(&survivors, served, policy)?;
+    let mut loads = vec![0.0; fleet.len()];
+    let mut powered = vec![false; fleet.len()];
+    let mut booted = Vec::new();
+    let mut boot_energy = Joules::ZERO;
+    let mut boot_latency = SimDuration::ZERO;
+    let mut sub_idx = 0;
+    for i in 0..fleet.len() {
+        if dead[i] {
+            continue;
+        }
+        loads[i] = sub.loads[sub_idx];
+        powered[i] = sub.powered[sub_idx];
+        sub_idx += 1;
+        let was_on = before.powered.get(i).copied().unwrap_or(false);
+        if powered[i] && !was_on {
+            booted.push(i);
+            boot_energy += fleet[i].boot_energy;
+            boot_latency = boot_latency.max(fleet[i].boot_latency);
+        }
+    }
+    Ok(MultiFailover {
+        placement: Placement { loads, powered },
+        booted,
+        boot_energy,
+        boot_latency,
+        displaced,
+        served,
+        shed,
+    })
+}
+
 /// A mixed-generation fleet for experiments: two old brawny boxes, two
 /// newer mid-range, two efficient recent ones (the refresh-cycle
 /// heterogeneity of Sec. 2.4).
@@ -333,6 +515,39 @@ pub fn refresh_cycle_fleet() -> Vec<Machine> {
         Machine::new("new-a", 2000.0, Watts::new(180.0), Watts::new(350.0)),
         Machine::new("new-b", 2000.0, Watts::new(180.0), Watts::new(350.0)),
     ]
+}
+
+/// A fleet for chaos experiments: `domains` racks of `per_domain`
+/// machines each, cycling the three refresh-cycle machine classes so
+/// every domain holds a heterogeneous mix. Machine `i` lands in domain
+/// `i / per_domain` and is named `d{domain}-m{slot}-{class}`.
+pub fn chaos_fleet(domains: u32, per_domain: u32) -> Vec<Machine> {
+    let classes = [
+        ("old", 1000.0, 300.0, 400.0),
+        ("mid", 1500.0, 250.0, 380.0),
+        ("new", 2000.0, 180.0, 350.0),
+    ];
+    let mut fleet = Vec::with_capacity((domains * per_domain) as usize);
+    for d in 0..domains {
+        for s in 0..per_domain {
+            let (class, cap, idle, peak) = classes[(d * per_domain + s) as usize % classes.len()];
+            fleet.push(
+                Machine::new(
+                    &format!("d{d}-m{s}-{class}"),
+                    cap,
+                    Watts::new(idle),
+                    Watts::new(peak),
+                )
+                .with_domain(d),
+            );
+        }
+    }
+    fleet
+}
+
+/// Number of fault domains a fleet spans (highest domain index + 1).
+pub fn domain_count(fleet: &[Machine]) -> u32 {
+    fleet.iter().map(|m| m.domain + 1).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -508,6 +723,109 @@ mod tests {
         assert_eq!(
             fail_over(&solo, &p, 0, PlacementPolicy::Spread).unwrap_err(),
             ClusterError::EmptyFleet
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_boot_geometry() {
+        // Joules arithmetic saturates Sub at zero but overflows Mul to
+        // infinity — exactly what try_with_boot must catch.
+        let inf = Watts::new(f64::MAX) * SimDuration::from_secs(10);
+        assert!(!inf.joules().is_finite());
+        let m = Machine::new("x", 1.0, Watts::new(1.0), Watts::new(2.0));
+        assert!(matches!(
+            m.clone().try_with_boot(SimDuration::from_secs(30), inf),
+            Err(ClusterError::BadMachine(_))
+        ));
+        assert!(m.validate().is_ok());
+        assert!(m.with_boot(SimDuration::ZERO, inf).validate().is_err());
+        // The happy path still sets the fields.
+        let ok = Machine::new("x", 1.0, Watts::new(1.0), Watts::new(2.0))
+            .try_with_boot(SimDuration::from_secs(30), Joules::new(500.0))
+            .expect("valid boot geometry");
+        assert_eq!(ok.boot_energy, Joules::new(500.0));
+        // try_new validates the derived default boot cost too.
+        assert!(Machine::try_new("x", 1.0, Watts::new(1.0), Watts::new(f64::MAX)).is_err());
+    }
+
+    #[test]
+    fn chaos_fleet_spans_domains() {
+        let fleet = chaos_fleet(4, 6);
+        assert_eq!(fleet.len(), 24);
+        assert_eq!(domain_count(&fleet), 4);
+        for (i, m) in fleet.iter().enumerate() {
+            assert_eq!(m.domain, i as u32 / 6);
+            assert!(m.validate().is_ok());
+        }
+        // Every domain holds all three classes (heterogeneous racks).
+        for d in 0..4u32 {
+            let caps: Vec<f64> = fleet
+                .iter()
+                .filter(|m| m.domain == d)
+                .map(|m| m.capacity)
+                .collect();
+            for class_cap in [1000.0, 1500.0, 2000.0] {
+                assert!(caps.contains(&class_cap), "domain {d} missing {class_cap}");
+            }
+        }
+        assert_eq!(domain_count(&[]), 0);
+        assert_eq!(domain_count(&refresh_cycle_fleet()), 1);
+    }
+
+    #[test]
+    fn multi_failover_matches_single_when_survivable() {
+        let fleet = refresh_cycle_fleet();
+        let before = place(&fleet, 4000.0, PlacementPolicy::Consolidate).expect("fits");
+        let single = fail_over(&fleet, &before, 4, PlacementPolicy::Consolidate).expect("ok");
+        let multi =
+            fail_over_multi(&fleet, &before, &[4], PlacementPolicy::Consolidate).expect("in range");
+        assert_eq!(multi.placement, single.placement);
+        assert_eq!(multi.booted, single.booted);
+        assert_eq!(multi.boot_energy, single.boot_energy);
+        assert_eq!(multi.boot_latency, single.boot_latency);
+        assert_eq!(multi.shed, 0.0);
+        assert!((multi.served - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_failover_sheds_instead_of_erroring() {
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let before = place(&fleet, total, PlacementPolicy::Consolidate).expect("fits");
+        // Lose both new machines (4000 of 9000 capacity): survivors hold
+        // 5000, so 4000 must be shed — and reported, not dropped.
+        let mf = fail_over_multi(&fleet, &before, &[4, 5], PlacementPolicy::Consolidate)
+            .expect("in range");
+        assert!((mf.served - 5000.0).abs() < 1e-9);
+        assert!((mf.shed - 4000.0).abs() < 1e-9);
+        assert!((mf.served + mf.shed - total).abs() < 1e-9, "no demand lost");
+        assert!((mf.displaced - 4000.0).abs() < 1e-9);
+        let placed: f64 = mf.placement.loads.iter().sum();
+        assert!((placed - mf.served).abs() < 1e-6);
+        assert_eq!(mf.placement.loads[4], 0.0);
+        assert_eq!(mf.placement.loads[5], 0.0);
+    }
+
+    #[test]
+    fn multi_failover_total_fleet_loss_sheds_everything() {
+        let fleet = refresh_cycle_fleet();
+        let before = place(&fleet, 4000.0, PlacementPolicy::Spread).expect("fits");
+        let mf = fail_over_multi(
+            &fleet,
+            &before,
+            &[0, 1, 2, 3, 4, 5],
+            PlacementPolicy::Spread,
+        )
+        .expect("in range");
+        assert_eq!(mf.served, 0.0);
+        assert!((mf.shed - 4000.0).abs() < 1e-9);
+        assert_eq!(mf.placement.powered_count(), 0);
+        assert_eq!(mf.boot_energy, Joules::ZERO);
+        // Duplicate indices are tolerated; out-of-range ones are not.
+        assert!(fail_over_multi(&fleet, &before, &[0, 0], PlacementPolicy::Spread).is_ok());
+        assert_eq!(
+            fail_over_multi(&fleet, &before, &[99], PlacementPolicy::Spread).unwrap_err(),
+            ClusterError::UnknownMachine(99)
         );
     }
 

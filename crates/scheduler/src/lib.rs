@@ -18,6 +18,13 @@
 //!   cluster energy-proportional even when no machine is; includes
 //!   machine-failure re-placement ([`cluster::fail_over`]) that charges
 //!   cold-boot energy when displaced load lands on dark machines.
+//! * [`chaos`] — the cluster chaos engine: drives a fleet through a
+//!   seeded [`grail_sim::fault::ChaosSchedule`] (correlated fault-domain
+//!   outages, crash/restart cycles, brownouts, surges) with
+//!   fault-domain-aware replica placement, SLA-visible load shedding,
+//!   per-machine circuit breakers, and hedged re-dispatch — billing all
+//!   recovery work to the ledger's Recovery category so the energy cost
+//!   of resilience is a first-class output.
 //! * [`observe`] — bridges scheduler decisions into `grail-trace`
 //!   events for callers that carry a tracer.
 
@@ -26,11 +33,19 @@
 #![warn(clippy::all)]
 
 pub mod admission;
+pub mod chaos;
 pub mod cluster;
 pub mod governor;
 pub mod observe;
 pub mod sharing;
 
 pub use admission::{AdmissionPolicy, BatchWindow};
-pub use cluster::{fail_over, ClusterError, Failover, Machine, Placement, PlacementPolicy};
+pub use chaos::{
+    run_chaos, BreakerPolicy, ChaosPolicy, ChaosReport, PlacementChange,
+    DOCUMENTED_AVAILABILITY_FLOOR,
+};
+pub use cluster::{
+    chaos_fleet, domain_count, fail_over, fail_over_multi, ClusterError, Failover, Machine,
+    MultiFailover, Placement, PlacementPolicy,
+};
 pub use governor::{IdleGovernor, OracleGovernor, TimeoutGovernor};

@@ -2,9 +2,15 @@
 
 use grail_power::units::{SimDuration, SimInstant};
 use grail_scheduler::admission::{AdmissionPolicy, BatchWindow};
-use grail_scheduler::cluster::{place, refresh_cycle_fleet, PlacementPolicy};
+use grail_scheduler::chaos::{run_chaos, ChaosPolicy};
+use grail_scheduler::cluster::{
+    chaos_fleet, fail_over, fail_over_multi, place, refresh_cycle_fleet, ClusterError,
+    PlacementPolicy,
+};
 use grail_scheduler::governor::{gap_energy, IdleGovernor, OracleGovernor, ParkCosts};
 use grail_scheduler::sharing::share_scans;
+use grail_sim::fault::{ChaosEvent, ChaosEventKind, ChaosSchedule};
+use grail_trace::Tracer;
 use proptest::prelude::*;
 
 fn sorted_arrivals() -> impl Strategy<Value = Vec<SimInstant>> {
@@ -87,5 +93,114 @@ proptest! {
         prop_assert!(
             packed.power(&fleet).get() <= spread.power(&fleet).get() + 1e-9
         );
+    }
+
+    /// Multi-machine fail-over: work is conserved (`served + shed ==
+    /// offered`), dead machines carry nothing, capacities hold, cold
+    /// boots only hit previously-dark machines, and the recovery bill is
+    /// exactly the sum of the booted machines' boot energies.
+    #[test]
+    fn multi_failover_invariants(
+        frac in 0.0f64..1.0,
+        dead_mask in 0u16..512,
+    ) {
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let demand = total * frac;
+        let before = place(&fleet, demand, PlacementPolicy::Consolidate).expect("fits");
+        let failed: Vec<usize> =
+            (0..fleet.len()).filter(|i| dead_mask & (1 << i) != 0).collect();
+        let fo = fail_over_multi(&fleet, &before, &failed, PlacementPolicy::Consolidate)
+            .expect("valid indices never error");
+        let offered: f64 = before.loads.iter().sum();
+        prop_assert!(
+            (fo.served + fo.shed - offered).abs() < 1e-6 * offered.max(1.0),
+            "served {} + shed {} != offered {offered}", fo.served, fo.shed
+        );
+        prop_assert!(fo.shed >= 0.0 && fo.served >= 0.0);
+        for &i in &failed {
+            prop_assert_eq!(fo.placement.loads[i], 0.0);
+            prop_assert!(!fo.placement.powered[i]);
+        }
+        for (m, l) in fleet.iter().zip(&fo.placement.loads) {
+            prop_assert!(*l >= 0.0 && *l <= m.capacity + 1e-9);
+        }
+        let mut boot_sum = 0.0;
+        for &b in &fo.booted {
+            prop_assert!(!before.powered[b], "cold boot on an already-hot machine");
+            prop_assert!(!failed.contains(&b), "booted a dead machine");
+            boot_sum += fleet[b].boot_energy.joules();
+        }
+        prop_assert!((fo.boot_energy.joules() - boot_sum).abs() < 1e-9);
+    }
+
+    /// On a single survivable failure, `fail_over_multi(&[f])` agrees
+    /// with the original `fail_over(f)`; when `fail_over` reports
+    /// `Overloaded`, the multi path serves what it can and sheds the
+    /// rest instead of erroring.
+    #[test]
+    fn multi_failover_matches_single(frac in 0.05f64..1.0, failed in 0usize..9) {
+        let fleet = refresh_cycle_fleet();
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let demand = total * frac;
+        let before = place(&fleet, demand, PlacementPolicy::Consolidate).expect("fits");
+        let multi = fail_over_multi(&fleet, &before, &[failed], PlacementPolicy::Consolidate)
+            .expect("valid index");
+        match fail_over(&fleet, &before, failed, PlacementPolicy::Consolidate) {
+            Ok(single) => {
+                prop_assert_eq!(&multi.placement.loads, &single.placement.loads);
+                prop_assert_eq!(&multi.booted, &single.booted);
+                prop_assert_eq!(multi.boot_energy, single.boot_energy);
+                prop_assert!((multi.displaced - single.displaced).abs() < 1e-9);
+                prop_assert!(multi.shed < 1e-6);
+            }
+            Err(ClusterError::Overloaded) => {
+                prop_assert!(multi.shed > 0.0, "overload must shed, not vanish");
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// The chaos engine conserves work (`served + shed + failed ==
+    /// offered`) and is deterministic for any scripted crash/restart
+    /// sequence.
+    #[test]
+    fn chaos_conservation_and_determinism(
+        frac in 0.0f64..1.0,
+        crashes in proptest::collection::vec((0u32..8, 1u64..40_000, 1u64..5_000), 0..6),
+    ) {
+        let fleet = chaos_fleet(4, 2);
+        let total: f64 = fleet.iter().map(|m| m.capacity).sum();
+        let mut events = Vec::new();
+        for &(m, at_s, down_s) in &crashes {
+            let down = SimInstant::EPOCH + SimDuration::from_secs(at_s);
+            events.push(ChaosEvent {
+                at: down,
+                kind: ChaosEventKind::MachineCrash { machine: m },
+            });
+            events.push(ChaosEvent {
+                at: down + SimDuration::from_secs(down_s),
+                kind: ChaosEventKind::MachineUp { machine: m },
+            });
+        }
+        let schedule = ChaosSchedule::scripted(
+            fleet.len() as u32,
+            4,
+            SimDuration::from_secs(50_000),
+            events,
+        );
+        let policy = ChaosPolicy::default();
+        let r1 = run_chaos(&fleet, &schedule, total * frac, &policy, &mut Tracer::off())
+            .expect("valid run");
+        let r2 = run_chaos(&fleet, &schedule, total * frac, &policy, &mut Tracer::off())
+            .expect("valid run");
+        prop_assert!(
+            r1.conservation_error() <= 1e-6 * r1.offered.max(1.0),
+            "served {} + shed {} + failed {} != offered {}",
+            r1.served, r1.shed, r1.failed, r1.offered
+        );
+        prop_assert!(r1.availability() >= 0.0 && r1.availability() <= 1.0 + 1e-9);
+        prop_assert!(r1.recovery_energy().joules() <= r1.total_energy().joules() + 1e-9);
+        prop_assert_eq!(r1, r2);
     }
 }

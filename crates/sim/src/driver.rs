@@ -159,7 +159,7 @@ pub struct DriveOutcome {
 /// ([`SimError::TransientIo`], [`SimError::LatentSector`]): reissue the
 /// failed demand after an exponential backoff, give up after a budget of
 /// consecutive failures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RetryPolicy {
     /// Consecutive failures of one IO demand before the run errors with
     /// [`SimError::RetriesExhausted`]. Zero means fail on first fault.
@@ -193,13 +193,16 @@ impl RetryPolicy {
 
     /// The backoff delay before attempt number `attempt` (1-based count
     /// of consecutive failures so far): `base · multiplier^(attempt-1)`,
-    /// exponent capped to keep the arithmetic finite.
+    /// exponent capped and every multiplication saturating, so even
+    /// `attempt = u32::MAX` with a huge multiplier yields
+    /// [`SimDuration::MAX`] instead of overflowing.
     pub fn backoff(&self, attempt: u32) -> SimDuration {
         if attempt == 0 {
             return SimDuration::ZERO;
         }
         let exp = (attempt - 1).min(16);
-        self.base_backoff * (self.multiplier as u64).saturating_pow(exp)
+        self.base_backoff
+            .saturating_mul((self.multiplier as u64).saturating_pow(exp))
     }
 }
 
@@ -588,6 +591,24 @@ mod tests {
         assert_eq!(p.backoff(4), SimDuration::from_millis(80));
         // Deep attempts cap the exponent instead of overflowing.
         assert_eq!(p.backoff(40), p.backoff(17));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // The worst constructible policy at the worst attempt count must
+        // clamp to SimDuration::MAX, not panic or wrap.
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: SimDuration::from_secs(3600),
+            multiplier: u32::MAX,
+        };
+        assert_eq!(p.backoff(u32::MAX), SimDuration::MAX);
+        // Past the exponent cap every attempt maps to the same delay.
+        assert_eq!(p.backoff(u32::MAX), p.backoff(17));
+        // A sane policy stays finite and monotone at the extreme too.
+        let d = RetryPolicy::default();
+        assert_eq!(d.backoff(u32::MAX), d.backoff(17));
+        assert!(d.backoff(u32::MAX) < SimDuration::MAX);
     }
 
     #[test]

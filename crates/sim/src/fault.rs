@@ -132,10 +132,15 @@ pub struct FaultPlan {
     disks: Vec<DeviceFaults>,
     ssds: Vec<DeviceFaults>,
     stats: FaultStats,
+    chaos: Option<ChaosSchedule>,
 }
 
 const DISK_SALT: u64 = 0xD15C_FA17;
 const SSD_SALT: u64 = 0x55D0_FA17;
+const CHAOS_MACHINE_SALT: u64 = 0xC4A0_50C1;
+const CHAOS_DOMAIN_SALT: u64 = 0xC4A0_50D0;
+const CHAOS_BROWNOUT_SALT: u64 = 0xC4A0_50B0;
+const CHAOS_SURGE_SALT: u64 = 0xC4A0_505E;
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -177,7 +182,21 @@ impl FaultPlan {
             disks: Vec::new(),
             ssds: Vec::new(),
             stats: FaultStats::default(),
+            chaos: None,
         }
+    }
+
+    /// Attach a fleet-level [`ChaosSchedule`] (builder style). Device
+    /// draws are untouched — the schedule is carried for cluster-layer
+    /// consumers.
+    pub fn with_chaos(mut self, schedule: ChaosSchedule) -> Self {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    /// The attached fleet-level chaos schedule, if any.
+    pub fn chaos(&self) -> Option<&ChaosSchedule> {
+        self.chaos.as_ref()
     }
 
     /// The configured rates.
@@ -318,6 +337,330 @@ impl FaultPlan {
     }
 }
 
+/// Rates and shapes of fleet-level chaos. All fields default to "never
+/// happens"; every `Option<SimDuration>` is a mean time between events
+/// (exponentially distributed), `None` meaning that event class is off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Mean time between crashes per machine, or `None` for no crashes.
+    pub machine_mtbf: Option<SimDuration>,
+    /// Downtime of a crashed machine before its restart event.
+    pub machine_restart: SimDuration,
+    /// Mean time between outages per fault domain (rack / PDU group),
+    /// or `None` for no domain outages.
+    pub domain_mtbf: Option<SimDuration>,
+    /// Duration of one domain outage.
+    pub domain_outage: SimDuration,
+    /// Mean time between fleet-wide brownouts, or `None` for none.
+    pub brownout_mtbf: Option<SimDuration>,
+    /// Duration of one brownout.
+    pub brownout: SimDuration,
+    /// Fraction of each machine's peak power available during a
+    /// brownout, in `(0, 1]`.
+    pub brownout_cap_frac: f64,
+    /// Mean time between demand surges, or `None` for none.
+    pub surge_mtbf: Option<SimDuration>,
+    /// Duration of one demand surge.
+    pub surge: SimDuration,
+    /// Offered-demand multiplier while a surge is active, `> 0`.
+    pub surge_factor: f64,
+}
+
+impl ChaosConfig {
+    /// No chaos at all.
+    pub const NONE: ChaosConfig = ChaosConfig {
+        machine_mtbf: None,
+        machine_restart: SimDuration::ZERO,
+        domain_mtbf: None,
+        domain_outage: SimDuration::ZERO,
+        brownout_mtbf: None,
+        brownout: SimDuration::ZERO,
+        brownout_cap_frac: 1.0,
+        surge_mtbf: None,
+        surge: SimDuration::ZERO,
+        surge_factor: 1.0,
+    };
+
+    /// True when no event class is enabled.
+    pub fn is_zero(&self) -> bool {
+        self.machine_mtbf.is_none()
+            && self.domain_mtbf.is_none()
+            && self.brownout_mtbf.is_none()
+            && self.surge_mtbf.is_none()
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::NONE
+    }
+}
+
+/// One kind of fleet-level chaos event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChaosEventKind {
+    /// Machine `machine` crashes: its in-flight work is stranded.
+    MachineCrash {
+        /// Fleet index of the crashed machine.
+        machine: u32,
+    },
+    /// Machine `machine` finishes restarting and may rejoin.
+    MachineUp {
+        /// Fleet index of the restarted machine.
+        machine: u32,
+    },
+    /// Fault domain `domain` (rack / PDU group) loses power entirely.
+    DomainDown {
+        /// Index of the failed domain.
+        domain: u32,
+    },
+    /// Fault domain `domain` is restored.
+    DomainUp {
+        /// Index of the restored domain.
+        domain: u32,
+    },
+    /// Fleet-wide brownout begins: every machine's usable power is
+    /// capped at `cap_frac` of its peak.
+    BrownoutStart {
+        /// Fraction of peak power still available, in `(0, 1]`.
+        cap_frac: f64,
+    },
+    /// The brownout ends.
+    BrownoutEnd,
+    /// A demand surge begins: offered load multiplies by `factor`.
+    SurgeStart {
+        /// Offered-demand multiplier, `> 0`.
+        factor: f64,
+    },
+    /// The surge ends.
+    SurgeEnd,
+}
+
+impl ChaosEventKind {
+    /// Stable event name for traces and reports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            ChaosEventKind::MachineCrash { .. } => "chaos.machine_crash",
+            ChaosEventKind::MachineUp { .. } => "chaos.machine_up",
+            ChaosEventKind::DomainDown { .. } => "chaos.domain_down",
+            ChaosEventKind::DomainUp { .. } => "chaos.domain_up",
+            ChaosEventKind::BrownoutStart { .. } => "chaos.brownout_start",
+            ChaosEventKind::BrownoutEnd => "chaos.brownout_end",
+            ChaosEventKind::SurgeStart { .. } => "chaos.surge_start",
+            ChaosEventKind::SurgeEnd => "chaos.surge_end",
+        }
+    }
+
+    /// Same-instant ordering: recoveries before failures (so a machine
+    /// that restarts exactly when another crashes is available to absorb
+    /// the displaced load), then by actor index. Purely a deterministic
+    /// tie-break; distinct instants dominate.
+    const fn sort_rank(&self) -> (u8, u32) {
+        match *self {
+            ChaosEventKind::MachineUp { machine } => (0, machine),
+            ChaosEventKind::DomainUp { domain } => (1, domain),
+            ChaosEventKind::BrownoutEnd => (2, 0),
+            ChaosEventKind::SurgeEnd => (3, 0),
+            ChaosEventKind::MachineCrash { machine } => (4, machine),
+            ChaosEventKind::DomainDown { domain } => (5, domain),
+            ChaosEventKind::BrownoutStart { .. } => (6, 0),
+            ChaosEventKind::SurgeStart { .. } => (7, 0),
+        }
+    }
+}
+
+/// One timestamped chaos event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosEvent {
+    /// When the event strikes.
+    pub at: SimInstant,
+    /// What happens.
+    pub kind: ChaosEventKind,
+}
+
+/// A seeded, pre-generated schedule of fleet-level chaos over a fixed
+/// horizon: the cluster-layer analogue of [`FaultPlan`]'s device draws.
+///
+/// Generation is a pure function of `(config, seed, machines, domains,
+/// horizon)`: each machine, each domain, and each global event class
+/// gets its own splitmix64-salted ChaCha stream, so the schedule for one
+/// actor never shifts when another's rate changes. Same seed ⇒
+/// byte-identical event list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSchedule {
+    cfg: ChaosConfig,
+    seed: u64,
+    machines: u32,
+    domains: u32,
+    horizon: SimDuration,
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// Generate the schedule for a fleet of `machines` machines spread
+    /// over `domains` fault domains, covering `[EPOCH, EPOCH + horizon)`.
+    ///
+    /// Down/up events alternate per actor; a recovery that would land
+    /// past the horizon is omitted (the run ends degraded). Events are
+    /// sorted by time with a deterministic same-instant tie-break
+    /// (recoveries first, then failures, then by actor index).
+    pub fn generate(
+        cfg: ChaosConfig,
+        seed: u64,
+        machines: u32,
+        domains: u32,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(
+            cfg.brownout_cap_frac.is_finite()
+                && cfg.brownout_cap_frac > 0.0
+                && cfg.brownout_cap_frac <= 1.0,
+            "brownout_cap_frac must be in (0, 1]"
+        );
+        assert!(
+            cfg.surge_factor.is_finite() && cfg.surge_factor > 0.0,
+            "surge_factor must be finite and positive"
+        );
+        let end = SimInstant::EPOCH + horizon;
+        let mut events = Vec::new();
+        let mut alternate = |salt: u64,
+                             index: u64,
+                             mtbf: Option<SimDuration>,
+                             hold: SimDuration,
+                             down: ChaosEventKind,
+                             up: ChaosEventKind| {
+            let Some(mtbf) = mtbf else { return };
+            if mtbf.is_zero() {
+                return;
+            }
+            let mut rng = ChaCha12Rng::seed_from_u64(device_seed(seed, salt, index));
+            let mut t = SimInstant::EPOCH;
+            loop {
+                t = t + exp_sample(&mut rng, mtbf);
+                if t >= end {
+                    break;
+                }
+                events.push(ChaosEvent { at: t, kind: down });
+                let recover = t + hold;
+                if recover >= end {
+                    break;
+                }
+                events.push(ChaosEvent {
+                    at: recover,
+                    kind: up,
+                });
+                t = recover;
+            }
+        };
+        for m in 0..machines {
+            alternate(
+                CHAOS_MACHINE_SALT,
+                m as u64,
+                cfg.machine_mtbf,
+                cfg.machine_restart,
+                ChaosEventKind::MachineCrash { machine: m },
+                ChaosEventKind::MachineUp { machine: m },
+            );
+        }
+        for d in 0..domains {
+            alternate(
+                CHAOS_DOMAIN_SALT,
+                d as u64,
+                cfg.domain_mtbf,
+                cfg.domain_outage,
+                ChaosEventKind::DomainDown { domain: d },
+                ChaosEventKind::DomainUp { domain: d },
+            );
+        }
+        alternate(
+            CHAOS_BROWNOUT_SALT,
+            0,
+            cfg.brownout_mtbf,
+            cfg.brownout,
+            ChaosEventKind::BrownoutStart {
+                cap_frac: cfg.brownout_cap_frac,
+            },
+            ChaosEventKind::BrownoutEnd,
+        );
+        alternate(
+            CHAOS_SURGE_SALT,
+            0,
+            cfg.surge_mtbf,
+            cfg.surge,
+            ChaosEventKind::SurgeStart {
+                factor: cfg.surge_factor,
+            },
+            ChaosEventKind::SurgeEnd,
+        );
+        events.sort_by_key(|e| (e.at, e.kind.sort_rank()));
+        ChaosSchedule {
+            cfg,
+            seed,
+            machines,
+            domains,
+            horizon,
+            events,
+        }
+    }
+
+    /// A hand-built schedule for tests and scripted scenarios: the given
+    /// events, sorted with the same deterministic tie-break as
+    /// [`ChaosSchedule::generate`]. `cfg` is recorded as
+    /// [`ChaosConfig::NONE`] and `seed` as 0.
+    pub fn scripted(
+        machines: u32,
+        domains: u32,
+        horizon: SimDuration,
+        mut events: Vec<ChaosEvent>,
+    ) -> Self {
+        events.sort_by_key(|e| (e.at, e.kind.sort_rank()));
+        ChaosSchedule {
+            cfg: ChaosConfig::NONE,
+            seed: 0,
+            machines,
+            domains,
+            horizon,
+            events,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// The driving seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of machines the schedule addresses.
+    pub fn machines(&self) -> u32 {
+        self.machines
+    }
+
+    /// Number of fault domains the schedule addresses.
+    pub fn domains(&self) -> u32 {
+        self.domains
+    }
+
+    /// The covered horizon (events all land strictly before
+    /// `EPOCH + horizon`).
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// The time-ordered event list.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// True when the schedule holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +787,145 @@ mod tests {
         assert!(p.disk_failed(DiskId(0), at(1e12)));
         assert!(p.disk_failed(DiskId(0), at(1e12)));
         assert_eq!(p.stats().disk_failures, 1);
+    }
+
+    fn storm_cfg() -> ChaosConfig {
+        ChaosConfig {
+            machine_mtbf: Some(SimDuration::from_secs(40_000)),
+            machine_restart: SimDuration::from_secs(600),
+            domain_mtbf: Some(SimDuration::from_secs(80_000)),
+            domain_outage: SimDuration::from_secs(1_800),
+            brownout_mtbf: Some(SimDuration::from_secs(50_000)),
+            brownout: SimDuration::from_secs(3_600),
+            brownout_cap_frac: 0.7,
+            surge_mtbf: Some(SimDuration::from_secs(30_000)),
+            surge: SimDuration::from_secs(2_400),
+            surge_factor: 1.5,
+        }
+    }
+
+    #[test]
+    fn chaos_zero_config_is_empty() {
+        let s = ChaosSchedule::generate(
+            ChaosConfig::NONE,
+            99,
+            16,
+            4,
+            SimDuration::from_secs(1_000_000),
+        );
+        assert!(s.is_empty());
+        assert!(ChaosConfig::NONE.is_zero());
+        assert!(!storm_cfg().is_zero());
+    }
+
+    #[test]
+    fn chaos_same_seed_byte_identical() {
+        let gen =
+            || ChaosSchedule::generate(storm_cfg(), 1009, 24, 4, SimDuration::from_secs(200_000));
+        let (a, b) = (gen(), gen());
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!a.is_empty(), "a storm over 200ks must produce events");
+    }
+
+    #[test]
+    fn chaos_different_seeds_differ() {
+        let gen = |seed| {
+            ChaosSchedule::generate(storm_cfg(), seed, 24, 4, SimDuration::from_secs(200_000))
+        };
+        assert_ne!(gen(1).events(), gen(2).events());
+    }
+
+    #[test]
+    fn chaos_events_sorted_and_within_horizon() {
+        let horizon = SimDuration::from_secs(200_000);
+        let s = ChaosSchedule::generate(storm_cfg(), 7, 24, 4, horizon);
+        let end = SimInstant::EPOCH + horizon;
+        for w in s.events().windows(2) {
+            assert!(w[0].at <= w[1].at, "events out of order: {w:?}");
+        }
+        assert!(s.events().iter().all(|e| e.at < end));
+    }
+
+    #[test]
+    fn chaos_machine_events_alternate_per_machine() {
+        let s = ChaosSchedule::generate(storm_cfg(), 11, 8, 2, SimDuration::from_secs(400_000));
+        for m in 0..8u32 {
+            let mut down = false;
+            for e in s.events() {
+                match e.kind {
+                    ChaosEventKind::MachineCrash { machine } if machine == m => {
+                        assert!(!down, "machine {m} crashed while already down");
+                        down = true;
+                    }
+                    ChaosEventKind::MachineUp { machine } if machine == m => {
+                        assert!(down, "machine {m} restarted while up");
+                        down = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_actor_streams_are_independent() {
+        // Turning domain outages off must not shift machine crash times.
+        let horizon = SimDuration::from_secs(200_000);
+        let full = ChaosSchedule::generate(storm_cfg(), 13, 8, 2, horizon);
+        let quiet = ChaosSchedule::generate(
+            ChaosConfig {
+                domain_mtbf: None,
+                brownout_mtbf: None,
+                surge_mtbf: None,
+                ..storm_cfg()
+            },
+            13,
+            8,
+            2,
+            horizon,
+        );
+        let crashes = |s: &ChaosSchedule| {
+            s.events()
+                .iter()
+                .filter(|e| matches!(e.kind, ChaosEventKind::MachineCrash { .. }))
+                .map(|e| (e.at, e.kind.name(), e.kind.sort_rank()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(crashes(&full), crashes(&quiet));
+    }
+
+    #[test]
+    fn chaos_scripted_sorts_with_recoveries_first() {
+        let t = at(100.0);
+        let s = ChaosSchedule::scripted(
+            2,
+            1,
+            SimDuration::from_secs(1_000),
+            vec![
+                ChaosEvent {
+                    at: t,
+                    kind: ChaosEventKind::MachineCrash { machine: 1 },
+                },
+                ChaosEvent {
+                    at: t,
+                    kind: ChaosEventKind::MachineUp { machine: 0 },
+                },
+            ],
+        );
+        assert_eq!(s.events()[0].kind, ChaosEventKind::MachineUp { machine: 0 });
+        assert_eq!(
+            s.events()[1].kind,
+            ChaosEventKind::MachineCrash { machine: 1 }
+        );
+    }
+
+    #[test]
+    fn chaos_schedule_rides_along_on_fault_plan() {
+        let s = ChaosSchedule::generate(storm_cfg(), 5, 4, 2, SimDuration::from_secs(100_000));
+        let p = FaultPlan::new(FaultConfig::NONE, 5).with_chaos(s.clone());
+        assert_eq!(p.chaos(), Some(&s));
+        assert_eq!(FaultPlan::new(FaultConfig::NONE, 5).chaos(), None);
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub mod trace;
 
 pub use attr::{AttributionRow, AttributionTable, OperatorShare};
 pub use error::SimError;
-pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats};
+pub use fault::{
+    ChaosConfig, ChaosEvent, ChaosEventKind, ChaosSchedule, FaultConfig, FaultKind, FaultPlan,
+    FaultStats,
+};
 pub use ids::{ArrayId, CpuId, DiskId, SsdId, StorageTarget};
 pub use perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
 pub use sim::{Reservation, SimReport, Simulation};

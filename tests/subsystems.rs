@@ -178,3 +178,59 @@ fn index_descent_is_three_pages_at_scale() {
     assert!(l1 > 1, "needs a second inner level");
     assert!(l1 <= fanout as u64, "root fits one page ⇒ height 3");
 }
+
+/// EXT-CHAOS's claim: under the reference two-day storm (correlated
+/// fault-domain outages, crash/restart cycles, brownouts, surges), the
+/// default replicated-consolidation policy keeps availability at or
+/// above the documented floor, sheds rather than silently drops what it
+/// cannot serve, and bills every cold boot and hedged re-dispatch to a
+/// Recovery ledger line that sums exactly into the wall-socket total.
+#[test]
+fn chaos_reference_storm_degrades_gracefully() {
+    use grail::power::ComponentKind;
+    use grail::scheduler::chaos::{reference_storm, run_chaos, DOCUMENTED_AVAILABILITY_FLOOR};
+    use grail::trace::Tracer;
+
+    let (fleet, schedule, demand, policy) = reference_storm();
+    let r = run_chaos(&fleet, &schedule, demand, &policy, &mut Tracer::off()).expect("storm runs");
+    // A storm, not a breeze: machines actually crash and recovery is paid.
+    assert!(r.crashes > 0, "the reference storm must crash machines");
+    assert!(r.recovery_energy().joules() > 0.0);
+    // Graceful degradation: availability holds the documented floor.
+    let avail = r.availability();
+    assert!(
+        avail >= DOCUMENTED_AVAILABILITY_FLOOR,
+        "availability {avail} below documented floor {DOCUMENTED_AVAILABILITY_FLOOR}"
+    );
+    // Nothing vanishes: served + shed + failed == offered.
+    assert!(
+        r.conservation_error() <= 1e-6 * r.offered.max(1.0),
+        "served {} + shed {} + failed {} != offered {}",
+        r.served,
+        r.shed,
+        r.failed,
+        r.offered
+    );
+    // The Recovery line is re-attribution, not double counting: summing
+    // every component kind reproduces the wall-socket total exactly.
+    let kinds = [
+        ComponentKind::Cpu,
+        ComponentKind::Disk,
+        ComponentKind::Ssd,
+        ComponentKind::Dram,
+        ComponentKind::Nic,
+        ComponentKind::Base,
+        ComponentKind::Recovery,
+        ComponentKind::Other,
+    ];
+    let by_kind: f64 = kinds.iter().map(|k| r.ledger.kind_total(*k).joules()).sum();
+    let total = r.total_energy().joules();
+    assert!(
+        (by_kind - total).abs() <= 1e-6 * total.max(1.0),
+        "kind sum {by_kind} != wall-socket {total}"
+    );
+    assert!(
+        r.recovery_energy().joules() < total,
+        "recovery is a share, not the whole bill"
+    );
+}
