@@ -1,0 +1,513 @@
+//! Incremental per-file analysis cache.
+//!
+//! Stage 1 of the engine (scan → graph extraction → token rules) is a
+//! pure function of one file's `(rel, source)` pair, so its result can
+//! be memoized on disk and reused across lint runs — CI re-analyzes
+//! only the files a commit actually touched. Stage 2 (workspace graph,
+//! taint, dataflow, suppression) always recomputes: it is cross-file by
+//! nature and cheap relative to stage 1.
+//!
+//! Correctness is carried by the cache key, never by trust in the
+//! entry:
+//!
+//! - the key hashes the file's *content* (FNV-1a over rel + source), so
+//!   any edit misses;
+//! - the key folds in a **fingerprint** of the analyzer itself —
+//!   [`crate::scan::TOKENIZER_VERSION`], this module's
+//!   [`CACHE_SCHEMA_VERSION`], and every registered rule id + summary —
+//!   so upgrading the linter orphans all prior entries wholesale;
+//! - a corrupt, truncated, or hand-edited entry fails deserialization
+//!   closed and the file is re-analyzed from source.
+//!
+//! The warm/cold byte-identity guarantee (`tests/cache.rs`) follows:
+//! a hit returns exactly the `FileAnalysis` a miss would compute.
+
+use crate::graph::{Call, FileGraph, FnDef, ModDecl, UseRef};
+use crate::scan::{Pragma, PragmaError, PragmaScope, ScannedFile, TOKENIZER_VERSION};
+use crate::{Diagnostic, FileAnalysis, FileKind, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the on-disk entry format changes.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// A directory-backed cache of stage-1 analyses.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Field separator so `("ab","c")` and `("a","bc")` differ.
+    *h ^= 0xff;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// Fingerprint of the analyzer configuration: tokenizer + schema
+/// versions and the full rule registry. Any drift invalidates every
+/// cached entry (the keys simply stop matching).
+fn analyzer_fingerprint() -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut h, b"grail-lint-cache");
+    fnv1a(&mut h, TOKENIZER_VERSION.to_string().as_bytes());
+    fnv1a(&mut h, CACHE_SCHEMA_VERSION.to_string().as_bytes());
+    for r in crate::rules::RULES {
+        fnv1a(&mut h, r.id.as_bytes());
+        fnv1a(&mut h, r.summary.as_bytes());
+    }
+    h
+}
+
+impl Store {
+    /// Open (creating if needed) a cache directory.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        fs::create_dir_all(dir)?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            fingerprint: analyzer_fingerprint(),
+        })
+    }
+
+    fn entry_path(&self, file: &SourceFile) -> PathBuf {
+        let mut h = self.fingerprint;
+        fnv1a(&mut h, file.rel.as_bytes());
+        fnv1a(&mut h, file.source.as_bytes());
+        let mut name = String::new();
+        for part in file.rel.chars() {
+            name.push(if part == '/' { '_' } else { part });
+        }
+        self.dir
+            .join(format!("{name}-{h:016x}.v{CACHE_SCHEMA_VERSION}"))
+    }
+
+    /// Stage-1 analysis through the cache: return the memoized
+    /// [`FileAnalysis`] on a hit, else analyze and (best-effort) write
+    /// the entry back. Semantically identical to
+    /// [`crate::analyze_file`].
+    pub(crate) fn analyze(&self, file: &SourceFile) -> Option<FileAnalysis> {
+        let path = self.entry_path(file);
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Some(a) = deserialize(&text) {
+                if a.rel == file.rel {
+                    return Some(a);
+                }
+            }
+        }
+        let a = crate::analyze_file(file)?;
+        let _ = fs::write(&path, serialize(&a));
+        Some(a)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry format: one record per line, tab-separated fields, `%`-escaped
+// strings. Human-inspectable on purpose.
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let (a, b) = (chars.next()?, chars.next()?);
+        match (a, b) {
+            ('2', '5') => out.push('%'),
+            ('0', '9') => out.push('\t'),
+            ('0', 'A') => out.push('\n'),
+            ('0', 'D') => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn opt(v: &Option<String>) -> String {
+    match v {
+        Some(s) => format!("={}", esc(s)),
+        None => "-".to_string(),
+    }
+}
+
+fn unopt(s: &str) -> Option<Option<String>> {
+    match s.strip_prefix('=') {
+        Some(rest) => Some(Some(unesc(rest)?)),
+        None if s == "-" => Some(None),
+        None => None,
+    }
+}
+
+fn kind_str(k: FileKind) -> &'static str {
+    match k {
+        FileKind::Library => "lib",
+        FileKind::TestLike => "test",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<FileKind> {
+    match s {
+        "lib" => Some(FileKind::Library),
+        "test" => Some(FileKind::TestLike),
+        _ => None,
+    }
+}
+
+/// Re-intern a cached rule id against the live registry; an id the
+/// registry no longer knows fails the whole entry (the fingerprint
+/// should prevent this, but never trust the disk).
+fn intern_rule(id: &str) -> Option<&'static str> {
+    crate::rules::RULES.iter().map(|r| r.id).find(|r| *r == id)
+}
+
+fn serialize(a: &FileAnalysis) -> String {
+    let mut o = String::new();
+    o.push_str(&format!("grail-lint-cache v{CACHE_SCHEMA_VERSION}\n"));
+    o.push_str(&format!("rel\t{}\n", esc(&a.rel)));
+    o.push_str(&format!("crate\t{}\n", esc(&a.crate_name)));
+    o.push_str(&format!("kind\t{}\n", kind_str(a.kind)));
+    for (code, in_test) in a.scanned.code.iter().zip(&a.scanned.in_test) {
+        o.push_str(&format!("L\t{}\t{}\n", u8::from(*in_test), esc(code)));
+    }
+    for p in &a.scanned.pragmas {
+        let scope = match p.scope {
+            PragmaScope::File => "file".to_string(),
+            PragmaScope::Line(n) => n.to_string(),
+        };
+        o.push_str(&format!(
+            "P\t{}\t{}\t{}\t{}\n",
+            esc(&p.rule),
+            scope,
+            p.at,
+            esc(&p.reason)
+        ));
+    }
+    for e in &a.scanned.pragma_errors {
+        o.push_str(&format!("E\t{}\t{}\n", e.at, esc(&e.message)));
+    }
+    for f in &a.graph.fns {
+        o.push_str(&format!(
+            "F\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            esc(&f.name),
+            opt(&f.impl_type),
+            opt(&f.impl_trait),
+            esc(&f.module),
+            esc(&f.file),
+            esc(&f.crate_name),
+            kind_str(f.kind),
+            f.line,
+            f.end_line,
+            u8::from(f.in_test),
+            u8::from(f.mut_self),
+            opt(&f.ret),
+        ));
+        for (name, ty) in &f.params {
+            o.push_str(&format!("p\t{}\t{}\n", esc(name), esc(ty)));
+        }
+        for c in &f.calls {
+            o.push_str(&format!("C\t{}\t{}\n", esc(&c.name), c.line));
+        }
+    }
+    for u in &a.graph.uses {
+        o.push_str(&format!("U\t{}\t{}\n", esc(&u.path), u.line));
+    }
+    for m in &a.graph.mods {
+        o.push_str(&format!("M\t{}\t{}\n", esc(&m.name), m.line));
+    }
+    for d in &a.raw {
+        o.push_str(&format!(
+            "D\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            esc(d.rule),
+            d.line,
+            d.col,
+            d.end_col,
+            esc(&d.file),
+            esc(&d.message)
+        ));
+    }
+    o.push_str("end\n");
+    o
+}
+
+fn deserialize(text: &str) -> Option<FileAnalysis> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("grail-lint-cache v{CACHE_SCHEMA_VERSION}") {
+        return None;
+    }
+    let rel = unesc(lines.next()?.strip_prefix("rel\t")?)?;
+    let crate_name = unesc(lines.next()?.strip_prefix("crate\t")?)?;
+    let kind = parse_kind(lines.next()?.strip_prefix("kind\t")?)?;
+    let mut scanned = ScannedFile {
+        code: Vec::new(),
+        in_test: Vec::new(),
+        pragmas: Vec::new(),
+        pragma_errors: Vec::new(),
+    };
+    let mut graph = FileGraph::default();
+    let mut raw = Vec::new();
+    let mut finished = false;
+    for line in lines {
+        let (tag, rest) = line.split_once('\t').unwrap_or((line, ""));
+        match tag {
+            "L" => {
+                let (t, code) = rest.split_once('\t')?;
+                scanned.in_test.push(t == "1");
+                scanned.code.push(unesc(code)?);
+            }
+            "P" => {
+                let f: Vec<&str> = rest.split('\t').collect();
+                let [rule, scope, at, reason] = f.as_slice() else {
+                    return None;
+                };
+                scanned.pragmas.push(Pragma {
+                    rule: unesc(rule)?,
+                    reason: unesc(reason)?,
+                    scope: match *scope {
+                        "file" => PragmaScope::File,
+                        n => PragmaScope::Line(n.parse().ok()?),
+                    },
+                    at: at.parse().ok()?,
+                });
+            }
+            "E" => {
+                let (at, msg) = rest.split_once('\t')?;
+                scanned.pragma_errors.push(PragmaError {
+                    at: at.parse().ok()?,
+                    message: unesc(msg)?,
+                });
+            }
+            "F" => {
+                let f: Vec<&str> = rest.split('\t').collect();
+                let [name, impl_type, impl_trait, module, file, crate_n, k, line_n, end, in_test, mut_self, ret] =
+                    f.as_slice()
+                else {
+                    return None;
+                };
+                graph.fns.push(FnDef {
+                    name: unesc(name)?,
+                    impl_type: unopt(impl_type)?,
+                    impl_trait: unopt(impl_trait)?,
+                    module: unesc(module)?,
+                    file: unesc(file)?,
+                    crate_name: unesc(crate_n)?,
+                    kind: parse_kind(k)?,
+                    line: line_n.parse().ok()?,
+                    end_line: end.parse().ok()?,
+                    in_test: *in_test == "1",
+                    mut_self: *mut_self == "1",
+                    ret: unopt(ret)?,
+                    params: Vec::new(),
+                    calls: Vec::new(),
+                });
+            }
+            "p" => {
+                let (name, ty) = rest.split_once('\t')?;
+                graph
+                    .fns
+                    .last_mut()?
+                    .params
+                    .push((unesc(name)?, unesc(ty)?));
+            }
+            "C" => {
+                let (name, line_n) = rest.split_once('\t')?;
+                graph.fns.last_mut()?.calls.push(Call {
+                    name: unesc(name)?,
+                    line: line_n.parse().ok()?,
+                });
+            }
+            "U" => {
+                let (path, line_n) = rest.split_once('\t')?;
+                graph.uses.push(UseRef {
+                    path: unesc(path)?,
+                    line: line_n.parse().ok()?,
+                });
+            }
+            "M" => {
+                let (name, line_n) = rest.split_once('\t')?;
+                graph.mods.push(ModDecl {
+                    name: unesc(name)?,
+                    line: line_n.parse().ok()?,
+                });
+            }
+            "D" => {
+                let f: Vec<&str> = rest.split('\t').collect();
+                let [rule, line_n, col, end_col, file, msg] = f.as_slice() else {
+                    return None;
+                };
+                raw.push(
+                    Diagnostic::new(
+                        unesc(file)?,
+                        line_n.parse().ok()?,
+                        intern_rule(&unesc(rule)?)?,
+                        unesc(msg)?,
+                    )
+                    .with_span(col.parse().ok()?, end_col.parse().ok()?),
+                );
+            }
+            "end" => {
+                finished = true;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    if !finished {
+        return None;
+    }
+    Some(FileAnalysis {
+        rel,
+        crate_name,
+        kind,
+        scanned,
+        graph,
+        raw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SourceFile {
+        SourceFile {
+            rel: "crates/sim/src/dev.rs".into(),
+            source: "\
+// grail-lint: allow(float-eq, fixture tolerance)
+pub struct Dev;
+impl Dev {
+    pub fn serve(&mut self, at: SimInstant) -> Joules {
+        let e = self.rate * at.elapsed();
+        helper(e);
+        e
+    }
+}
+fn helper(e: Joules) {
+    let _t = std::time::Instant::now();
+}
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+"
+            .into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let a = crate::analyze_file(&sample()).unwrap();
+        let b = deserialize(&serialize(&a)).expect("roundtrip");
+        assert_eq!(a.rel, b.rel);
+        assert_eq!(a.crate_name, b.crate_name);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.scanned.code, b.scanned.code);
+        assert_eq!(a.scanned.in_test, b.scanned.in_test);
+        assert_eq!(a.scanned.pragmas.len(), b.scanned.pragmas.len());
+        assert_eq!(a.graph.fns.len(), b.graph.fns.len());
+        for (x, y) in a.graph.fns.iter().zip(&b.graph.fns) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.impl_type, y.impl_type);
+            assert_eq!(x.ret, y.ret);
+            assert_eq!(x.params, y.params);
+            assert_eq!(x.mut_self, y.mut_self);
+            assert_eq!(x.in_test, y.in_test);
+            assert_eq!(
+                x.calls
+                    .iter()
+                    .map(|c| (&c.name, c.line))
+                    .collect::<Vec<_>>(),
+                y.calls
+                    .iter()
+                    .map(|c| (&c.name, c.line))
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(a.raw.len(), b.raw.len());
+        for (x, y) in a.raw.iter().zip(&b.raw) {
+            assert_eq!(
+                (x.line, x.col, x.end_col, x.rule),
+                (y.line, y.col, y.end_col, y.rule)
+            );
+            assert_eq!(x.message, y.message);
+            // Rule ids must come back interned against the registry.
+            assert!(crate::rules::RULES.iter().any(|r| r.id == y.rule));
+        }
+    }
+
+    #[test]
+    fn corrupt_entries_fail_closed() {
+        let a = crate::analyze_file(&sample()).unwrap();
+        let good = serialize(&a);
+        assert!(deserialize(&good).is_some());
+        // Truncation (no `end` marker).
+        let cut = &good[..good.len() - 5];
+        assert!(deserialize(cut).is_none());
+        // Unknown record tag.
+        assert!(deserialize(&good.replace("\nL\t", "\nZ\t")).is_none());
+        // Unknown rule id.
+        assert!(deserialize(&good.replace("\nD\twall-clock", "\nD\tno-such-rule")).is_none());
+        // Bad escape.
+        assert!(unesc("broken %zz escape").is_none());
+        // Version drift.
+        assert!(deserialize(&good.replace("cache v1", "cache v0")).is_none());
+    }
+
+    #[test]
+    fn store_hits_after_write_and_misses_on_edit() {
+        let dir =
+            std::env::temp_dir().join(format!("grail-lint-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let f = sample();
+        let cold = store.analyze(&f).unwrap();
+        let entry = store.entry_path(&f);
+        assert!(entry.exists(), "entry written on miss");
+        let warm = store.analyze(&f).unwrap();
+        assert_eq!(cold.raw.len(), warm.raw.len());
+        assert_eq!(cold.scanned.code, warm.scanned.code);
+        // An edited file maps to a different key: no stale hit.
+        let edited = SourceFile {
+            rel: f.rel.clone(),
+            source: f.source.replace("rate", "idle_rate"),
+        };
+        assert_ne!(store.entry_path(&edited), entry);
+        // A corrupt entry falls back to fresh analysis.
+        fs::write(&entry, "garbage").unwrap();
+        let recovered = store.analyze(&f).unwrap();
+        assert_eq!(recovered.scanned.code, cold.scanned.code);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(analyzer_fingerprint(), analyzer_fingerprint());
+        let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h1, b"ab");
+        fnv1a(&mut h1, b"c");
+        let mut h2 = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h2, b"a");
+        fnv1a(&mut h2, b"bc");
+        assert_ne!(h1, h2, "field separator keeps boundaries distinct");
+    }
+}

@@ -1,0 +1,1217 @@
+//! Intraprocedural abstract interpretation over the token stream.
+//!
+//! This is the engine behind the `unit-mix` and `raw-energy` rules and
+//! the workspace-level `ledger-flow` balance check. It is *not* a Rust
+//! parser: it lexes the comment/string-stripped lines of one function
+//! body ([`crate::scan`] guarantees column fidelity), splits them into
+//! statement fragments at top-level `;`/`{`/`}`/`,`, and evaluates each
+//! fragment with a tolerant precedence-climbing expression walker. Any
+//! construct the walker does not understand evaluates to
+//! [`Kind::Unknown`] and is skipped — the engine is engineered to stay
+//! silent rather than guess, because every diagnostic it emits must
+//! survive on a clean workspace.
+//!
+//! Environments are per-function maps from binding name to [`Kind`],
+//! seeded from the declared parameter types and updated at `let`
+//! bindings and assignments. Tuple/struct patterns bind their names to
+//! `Unknown` (sound: `Unknown` never flags). The transfer functions for
+//! arithmetic live in [`crate::units::combine`].
+
+use crate::graph::WorkspaceGraph;
+use crate::rules::{LEDGER_FILE, LEDGER_FLOW, SINK_METHODS, UNIT_MIX};
+use crate::units::{self, Kind};
+use crate::{Diagnostic, FileKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finding: `(line, col, end_col, rule, message)` — collected in a
+/// set so re-walks of the same tokens (loops, resyncs) dedup naturally.
+pub(crate) type Findings = BTreeSet<(usize, usize, usize, &'static str, String)>;
+
+/// Shared evaluation context for one function walk.
+pub(crate) struct Ctx<'a> {
+    /// Workspace call graph, for return-kind fallback lookups.
+    pub wg: &'a WorkspaceGraph,
+    /// Accumulated findings.
+    pub out: &'a mut Findings,
+}
+
+impl Ctx<'_> {
+    fn violation(&mut self, sp: &Sp, rule: &'static str, msg: String) {
+        self.out
+            .insert((sp.line, sp.col, sp.col + sp.len, rule, msg));
+    }
+}
+
+/// Binding environment: name → kind.
+pub(crate) type Env = BTreeMap<String, Kind>;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num,
+    Str,
+    Life,
+    Op(&'static str),
+    Ch(char),
+}
+
+#[derive(Debug, Clone)]
+struct Sp {
+    tok: Tok,
+    line: usize,
+    /// 1-based column (byte offset into the stripped line + 1, which
+    /// equals the original column thanks to the length-preserving
+    /// strip).
+    col: usize,
+    len: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// Multi-character operators, longest first.
+const OPS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "<<", ">>", "..",
+];
+
+fn lex(lines: &[(usize, &str)]) -> Vec<Sp> {
+    let mut out = Vec::new();
+    for &(line, text) in lines {
+        let b: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            if is_ident_start(c) {
+                while i < b.len() && crate::scan::is_ident_char(b[i]) {
+                    i += 1;
+                }
+                let s: String = b[start..i].iter().collect();
+                out.push(Sp {
+                    tok: Tok::Ident(s),
+                    line,
+                    col: start + 1,
+                    len: i - start,
+                });
+            } else if c.is_ascii_digit() {
+                // `1.5` continues the number; `1..n` and `1.joules()`
+                // do not.
+                while i < b.len()
+                    && (crate::scan::is_ident_char(b[i])
+                        || (b[i] == '.'
+                            && !matches!(b.get(i + 1), Some(&n) if n == '.' || is_ident_start(n))))
+                {
+                    i += 1;
+                }
+                out.push(Sp {
+                    tok: Tok::Num,
+                    line,
+                    col: start + 1,
+                    len: i - start,
+                });
+            } else if c == '"' {
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                out.push(Sp {
+                    tok: Tok::Str,
+                    line,
+                    col: start + 1,
+                    len: i - start,
+                });
+            } else if c == '\'' {
+                let mut j = i + 1;
+                while j < b.len() && crate::scan::is_ident_char(b[j]) {
+                    j += 1;
+                }
+                if j > i + 1 && b.get(j) != Some(&'\'') {
+                    // Lifetime.
+                    out.push(Sp {
+                        tok: Tok::Life,
+                        line,
+                        col: start + 1,
+                        len: j - i,
+                    });
+                    i = j;
+                } else {
+                    // (Blanked) char literal.
+                    i += 1;
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    out.push(Sp {
+                        tok: Tok::Str,
+                        line,
+                        col: start + 1,
+                        len: i - start,
+                    });
+                }
+            } else {
+                let rest: String = b[i..b.len().min(i + 3)].iter().collect();
+                if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
+                    out.push(Sp {
+                        tok: Tok::Op(op),
+                        line,
+                        col: start + 1,
+                        len: op.len(),
+                    });
+                    i += op.len();
+                } else {
+                    out.push(Sp {
+                        tok: Tok::Ch(c),
+                        line,
+                        col: start + 1,
+                        len: 1,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Statement walker
+// ---------------------------------------------------------------------------
+
+/// Walk one function body (pre-stripped `(line_no, text)` pairs) with
+/// the given parameter environment, recording findings into `ctx`.
+pub(crate) fn run(lines: &[(usize, &str)], env: &mut Env, ctx: &mut Ctx) {
+    eval_stmts(&lex(lines), env, ctx);
+}
+
+/// Split a token run into statement fragments at top-level (outside
+/// `()`/`[]`) `;`, `{`, `}`, and `,`, and process each. Also used for
+/// closure/block bodies discovered mid-expression.
+fn eval_stmts(toks: &[Sp], env: &mut Env, ctx: &mut Ctx) {
+    let mut frag_start = 0;
+    let mut paren = 0usize;
+    for (i, sp) in toks.iter().enumerate() {
+        match sp.tok {
+            Tok::Ch('(') | Tok::Ch('[') => paren += 1,
+            Tok::Ch(')') | Tok::Ch(']') => paren = paren.saturating_sub(1),
+            Tok::Ch(';') | Tok::Ch('{') | Tok::Ch('}') | Tok::Ch(',') if paren == 0 => {
+                fragment(&toks[frag_start..i], env, ctx);
+                frag_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fragment(&toks[frag_start..], env, ctx);
+}
+
+/// Tokens plausible inside a closure parameter list (`|a, (b, c): &T|`).
+fn is_param_tok(t: &Tok) -> bool {
+    matches!(
+        t,
+        Tok::Ident(_)
+            | Tok::Life
+            | Tok::Op("::")
+            | Tok::Ch(',')
+            | Tok::Ch(':')
+            | Tok::Ch('&')
+            | Tok::Ch('(')
+            | Tok::Ch(')')
+            | Tok::Ch('<')
+            | Tok::Ch('>')
+            | Tok::Ch('[')
+            | Tok::Ch(']')
+            | Tok::Ch('*')
+            | Tok::Ch('_')
+    )
+}
+
+fn ident(sp: &Sp) -> Option<&str> {
+    match &sp.tok {
+        Tok::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Index of the first top-level (outside `()`/`[]`) token matching.
+fn find_top(toks: &[Sp], pred: impl Fn(&Tok) -> bool) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, sp) in toks.iter().enumerate() {
+        match sp.tok {
+            Tok::Ch('(') | Tok::Ch('[') => depth += 1,
+            Tok::Ch(')') | Tok::Ch(']') => depth = depth.saturating_sub(1),
+            _ if depth == 0 && pred(&sp.tok) => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn bind_pattern_unknown(toks: &[Sp], env: &mut Env) {
+    for sp in toks {
+        if let Some(name) = ident(sp) {
+            if name != "mut" && name != "ref" && !name.starts_with(char::is_uppercase) {
+                env.insert(name.to_string(), Kind::Unknown);
+            }
+        }
+    }
+}
+
+fn fragment(toks: &[Sp], env: &mut Env, ctx: &mut Ctx) {
+    let mut toks = toks;
+    // Leading statement keywords carry no kind of their own.
+    while let Some(first) = toks.first().and_then(ident) {
+        match first {
+            "return" | "if" | "else" | "while" | "loop" | "match" | "break" | "continue"
+            | "unsafe" | "move" | "yield" | "in" | "pub" => toks = &toks[1..],
+            "for" => {
+                // `for pat in iter` — bind the pattern, walk the iter.
+                let Some(pos) = find_top(&toks[1..], |t| matches!(t, Tok::Ident(s) if s == "in"))
+                else {
+                    return;
+                };
+                bind_pattern_unknown(&toks[1..1 + pos], env);
+                toks = &toks[1 + pos + 1..];
+            }
+            _ => break,
+        }
+    }
+    if toks.is_empty() {
+        return;
+    }
+    // Match arm: `pat => expr` — bind the pattern, walk the body.
+    if let Some(pos) = find_top(toks, |t| t == &Tok::Op("=>")) {
+        bind_pattern_unknown(&toks[..pos], env);
+        eval_all(&toks[pos + 1..], env, ctx);
+        return;
+    }
+    if ident(&toks[0]) == Some("let") {
+        let pat_and_rhs = &toks[1..];
+        let Some(eq) = find_top(pat_and_rhs, |t| t == &Tok::Ch('=')) else {
+            bind_pattern_unknown(pat_and_rhs, env);
+            return;
+        };
+        let (pat, rhs) = (&pat_and_rhs[..eq], &pat_and_rhs[eq + 1..]);
+        let rhs_kind = eval_all(rhs, env, ctx);
+        let (names, declared) = match find_top(pat, |t| t == &Tok::Ch(':')) {
+            Some(c) => (&pat[..c], declared_kind(&pat[c + 1..])),
+            None => (pat, Kind::Unknown),
+        };
+        let bound: Vec<&str> = names
+            .iter()
+            .filter_map(ident)
+            .filter(|n| *n != "mut" && *n != "ref")
+            .collect();
+        if bound.len() == 1 {
+            let kind = if declared.dimensioned() {
+                declared
+            } else if rhs_kind != Kind::Unknown {
+                rhs_kind
+            } else {
+                declared
+            };
+            env.insert(bound[0].to_string(), kind);
+        } else {
+            bind_pattern_unknown(names, env);
+        }
+        return;
+    }
+    // Assignment / compound assignment.
+    if let Some(eq) = find_top(toks, |t| t == &Tok::Ch('=')) {
+        let (lhs, rhs) = (&toks[..eq], &toks[eq + 1..]);
+        let rhs_kind = eval_all(rhs, env, ctx);
+        if let [sp] = lhs {
+            if let Some(name) = ident(sp) {
+                env.insert(name.to_string(), rhs_kind);
+            }
+        }
+        return;
+    }
+    if let Some(eq) = find_top(toks, |t| {
+        matches!(
+            t,
+            Tok::Op("+=") | Tok::Op("-=") | Tok::Op("*=") | Tok::Op("/=") | Tok::Op("%=")
+        )
+    }) {
+        let (lhs, rhs) = (&toks[..eq], &toks[eq + 1..]);
+        let lhs_kind = eval_all(lhs, env, ctx);
+        let rhs_kind = eval_all(rhs, env, ctx);
+        let op = match &toks[eq].tok {
+            Tok::Op(o) => o.chars().next().unwrap_or('+'),
+            _ => '+',
+        };
+        let combined = match units::combine(op, lhs_kind, rhs_kind) {
+            Ok(k) => k,
+            Err(msg) => {
+                ctx.violation(&toks[eq], UNIT_MIX, msg);
+                Kind::Unknown
+            }
+        };
+        if let [sp] = lhs {
+            if let Some(name) = ident(sp) {
+                if combined != Kind::Unknown {
+                    env.insert(name.to_string(), combined);
+                }
+            }
+        }
+        return;
+    }
+    eval_all(toks, env, ctx);
+}
+
+/// Kind declared by the type half of a `let` pattern: a (possibly
+/// referenced) bare unit-type name seeds; anything structured stays
+/// `Unknown` except when the first path segment is itself a unit type.
+fn declared_kind(toks: &[Sp]) -> Kind {
+    let names: Vec<&str> = toks.iter().filter_map(ident).collect();
+    match names.as_slice() {
+        [one] => units::type_kind(one),
+        [first, ..] => match units::type_kind(first) {
+            Kind::Scalar | Kind::Bool => Kind::Unknown,
+            k => k,
+        },
+        [] => Kind::Unknown,
+    }
+}
+
+/// Evaluate a token run as one expression; extra trailing tokens are
+/// re-walked for violation coverage but poison the returned kind.
+fn eval_all(toks: &[Sp], env: &Env, ctx: &mut Ctx) -> Kind {
+    if toks.is_empty() {
+        return Kind::Unknown;
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        env,
+        ctx,
+    };
+    let k = p.expr();
+    let clean = p.pos >= toks.len();
+    while p.pos < toks.len() {
+        let before = p.pos;
+        p.expr();
+        if p.pos == before {
+            p.pos += 1;
+        }
+    }
+    if clean {
+        k
+    } else {
+        Kind::Unknown
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a, 'b> {
+    toks: &'a [Sp],
+    pos: usize,
+    env: &'a Env,
+    ctx: &'a mut Ctx<'b>,
+}
+
+impl Parser<'_, '_> {
+    fn peek(&self) -> Option<&Sp> {
+        self.toks.get(self.pos)
+    }
+
+    fn take(&mut self) -> Option<Sp> {
+        let sp = self.toks.get(self.pos).cloned();
+        if sp.is_some() {
+            self.pos += 1;
+        }
+        sp
+    }
+
+    fn expr(&mut self) -> Kind {
+        let k = self.cmp();
+        // Ranges yield iterators, not quantities.
+        let mut ranged = false;
+        while matches!(
+            self.peek().map(|s| &s.tok),
+            Some(Tok::Op("..") | Tok::Op("..="))
+        ) {
+            self.pos += 1;
+            self.cmp();
+            ranged = true;
+        }
+        if ranged {
+            Kind::Unknown
+        } else {
+            k
+        }
+    }
+
+    fn cmp(&mut self) -> Kind {
+        let k = self.addsub();
+        let mut compared = false;
+        while matches!(
+            self.peek().map(|s| &s.tok),
+            Some(
+                Tok::Op("==")
+                    | Tok::Op("!=")
+                    | Tok::Op("<=")
+                    | Tok::Op(">=")
+                    | Tok::Op("&&")
+                    | Tok::Op("||")
+                    | Tok::Ch('<')
+                    | Tok::Ch('>')
+            )
+        ) {
+            self.pos += 1;
+            self.addsub();
+            compared = true;
+        }
+        if compared {
+            Kind::Bool
+        } else {
+            k
+        }
+    }
+
+    fn addsub(&mut self) -> Kind {
+        let mut k = self.muldiv();
+        while matches!(
+            self.peek().map(|s| &s.tok),
+            Some(Tok::Ch('+') | Tok::Ch('-'))
+        ) {
+            let op_sp = self.take().unwrap();
+            let op = match op_sp.tok {
+                Tok::Ch(c) => c,
+                _ => '+',
+            };
+            let r = self.muldiv();
+            k = self.combine(&op_sp, op, k, r);
+        }
+        k
+    }
+
+    fn muldiv(&mut self) -> Kind {
+        let mut k = self.unary();
+        while matches!(
+            self.peek().map(|s| &s.tok),
+            Some(Tok::Ch('*') | Tok::Ch('/') | Tok::Ch('%'))
+        ) {
+            let op_sp = self.take().unwrap();
+            let op = match op_sp.tok {
+                Tok::Ch(c) => c,
+                _ => '*',
+            };
+            let r = self.unary();
+            k = self.combine(&op_sp, op, k, r);
+        }
+        k
+    }
+
+    fn combine(&mut self, sp: &Sp, op: char, a: Kind, b: Kind) -> Kind {
+        match units::combine(op, a, b) {
+            Ok(k) => k,
+            Err(msg) => {
+                self.ctx.violation(sp, UNIT_MIX, msg);
+                Kind::Unknown
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Kind {
+        while matches!(
+            self.peek().map(|s| &s.tok),
+            Some(Tok::Ch('-') | Tok::Ch('!') | Tok::Ch('&') | Tok::Ch('*'))
+        ) || self.peek().and_then(ident) == Some("mut")
+        {
+            self.pos += 1;
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Kind {
+        let mut k = self.primary();
+        loop {
+            match self.peek().map(|s| s.tok.clone()) {
+                Some(Tok::Ch('.')) => {
+                    self.pos += 1;
+                    match self.take() {
+                        Some(sp) => match &sp.tok {
+                            Tok::Ident(name) if name == "await" => {}
+                            Tok::Ident(name) => {
+                                if self.peek().map(|s| &s.tok) == Some(&Tok::Ch('(')) {
+                                    let name = name.clone();
+                                    let args = self.call_args();
+                                    k = self.method(k, &sp, &name, &args);
+                                } else {
+                                    // Plain field access: untracked.
+                                    k = Kind::Unknown;
+                                }
+                            }
+                            // Tuple index `.0`.
+                            Tok::Num => k = Kind::Unknown,
+                            _ => return Kind::Unknown,
+                        },
+                        None => return Kind::Unknown,
+                    }
+                }
+                Some(Tok::Ident(w)) if w == "as" => {
+                    self.pos += 1;
+                    // Consume the target type path.
+                    while matches!(
+                        self.peek().map(|s| &s.tok),
+                        Some(Tok::Ident(_) | Tok::Op("::"))
+                    ) {
+                        self.pos += 1;
+                    }
+                    if !k.dimensioned() {
+                        k = Kind::Scalar;
+                    }
+                }
+                Some(Tok::Ch('?')) => self.pos += 1,
+                Some(Tok::Ch('[')) => {
+                    self.skip_balanced('[', ']');
+                    k = Kind::Unknown;
+                }
+                _ => break,
+            }
+        }
+        k
+    }
+
+    fn skip_balanced(&mut self, open: char, close: char) {
+        debug_assert_eq!(self.peek().map(|s| &s.tok), Some(&Tok::Ch(open)));
+        let mut depth = 0usize;
+        while let Some(sp) = self.take() {
+            match sp.tok {
+                Tok::Ch(c) if c == open => depth += 1,
+                Tok::Ch(c) if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a turbofish `<...>` if present (depth-balanced; `>>`
+    /// closes two).
+    fn skip_turbofish(&mut self) {
+        if self.peek().map(|s| &s.tok) != Some(&Tok::Ch('<')) {
+            return;
+        }
+        let mut depth = 0isize;
+        while let Some(sp) = self.take() {
+            match sp.tok {
+                Tok::Ch('<') => depth += 1,
+                Tok::Op("<<") => depth += 2,
+                Tok::Ch('>') => depth -= 1,
+                Tok::Op(">>") => depth -= 2,
+                _ => {}
+            }
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Parse a parenthesized argument list; returns `(kind, span)` per
+    /// argument. Caller guarantees `peek` is `(`.
+    fn call_args(&mut self) -> Vec<(Kind, Sp)> {
+        let open = self.pos;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, sp) in self.toks[open..].iter().enumerate() {
+            match sp.tok {
+                Tok::Ch('(') | Tok::Ch('[') => depth += 1,
+                Tok::Ch(')') | Tok::Ch(']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            // Unbalanced (fragment split inside the list); consume all.
+            self.pos = self.toks.len();
+            return Vec::new();
+        };
+        let inner = &self.toks[open + 1..close];
+        self.pos = close + 1;
+        let mut ranges = Vec::new();
+        let mut depth = 0usize;
+        let mut start = 0;
+        // A `|` at the start of an argument (or right after `move`)
+        // opens a closure's parameter list; commas before the matching
+        // `|` separate closure params, not call arguments. A `|`
+        // elsewhere is bitwise-or and ignored.
+        let mut in_closure_params = false;
+        for (i, sp) in inner.iter().enumerate() {
+            match sp.tok {
+                Tok::Ch('(') | Tok::Ch('[') => depth += 1,
+                Tok::Ch(')') | Tok::Ch(']') => depth = depth.saturating_sub(1),
+                Tok::Ch('|') if depth == 0 => {
+                    if in_closure_params {
+                        in_closure_params = false;
+                    } else if i == start
+                        || matches!(inner[i - 1].tok, Tok::Ident(ref w) if w == "move")
+                    {
+                        in_closure_params = true;
+                    }
+                }
+                Tok::Ch(',') if depth == 0 && !in_closure_params => {
+                    ranges.push((start, i));
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        ranges.push((start, inner.len()));
+        let mut args = Vec::new();
+        for (a, b) in ranges {
+            let frag = &inner[a..b];
+            if let Some(first) = frag.first() {
+                let kind = eval_all(frag, self.env, self.ctx);
+                args.push((kind, first.clone()));
+            }
+        }
+        args
+    }
+
+    /// Method-call transfer: sink checks first, then the kind tables,
+    /// then the workspace return-type fallback.
+    fn method(&mut self, recv: Kind, _sp: &Sp, name: &str, args: &[(Kind, Sp)]) -> Kind {
+        if let Some(expect) = units::sink_expectations(name) {
+            for (i, want) in expect.iter().enumerate() {
+                let (Some(want), Some((got, at))) = (want, args.get(i)) else {
+                    continue;
+                };
+                if let Some((rule, msg)) = units::judge_sink_arg(name, *want, *got) {
+                    self.ctx.violation(at, rule, msg);
+                }
+            }
+        }
+        match units::method_kind(recv, name) {
+            Kind::Unknown => call_ret_kind(self.ctx.wg, name),
+            k => k,
+        }
+    }
+
+    /// Walk a closure body: a braced block is split into statement
+    /// fragments under a scoped copy of the environment (closure params
+    /// are unknown, outer bindings stay visible); a bare expression is
+    /// parsed in place.
+    fn closure_body(&mut self) {
+        if self.peek().map(|s| &s.tok) != Some(&Tok::Ch('{')) {
+            self.expr();
+            return;
+        }
+        let open = self.pos;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, sp) in self.toks[open..].iter().enumerate() {
+            match sp.tok {
+                Tok::Ch('{') => depth += 1,
+                Tok::Ch('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            self.pos = self.toks.len();
+            return;
+        };
+        let mut scoped = self.env.clone();
+        eval_stmts(&self.toks[open + 1..close], &mut scoped, self.ctx);
+        self.pos = close + 1;
+    }
+
+    fn primary(&mut self) -> Kind {
+        let Some(sp) = self.peek().cloned() else {
+            return Kind::Unknown;
+        };
+        match &sp.tok {
+            Tok::Num => {
+                self.pos += 1;
+                Kind::Scalar
+            }
+            Tok::Str | Tok::Life => {
+                self.pos += 1;
+                Kind::Unknown
+            }
+            Tok::Ch('(') => {
+                let args = self.call_args();
+                match args.as_slice() {
+                    [(k, _)] => *k,
+                    _ => Kind::Unknown,
+                }
+            }
+            Tok::Ch('[') => {
+                self.skip_balanced('[', ']');
+                Kind::Unknown
+            }
+            Tok::Ch('|') => {
+                // Closure: skip the parameter list (bounded to tokens
+                // plausible in one — a `|` used as bitwise-or bails out
+                // here instead of swallowing the rest of the stream),
+                // then walk the body.
+                self.pos += 1;
+                loop {
+                    match self.peek() {
+                        None => return Kind::Unknown,
+                        Some(sp) if sp.tok == Tok::Ch('|') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(sp) if is_param_tok(&sp.tok) => self.pos += 1,
+                        Some(_) => return Kind::Unknown,
+                    }
+                }
+                self.closure_body();
+                Kind::Unknown
+            }
+            Tok::Op("||") => {
+                self.pos += 1;
+                self.closure_body();
+                Kind::Unknown
+            }
+            Tok::Ident(first) => {
+                self.pos += 1;
+                let mut segs = vec![first.clone()];
+                while self.peek().map(|s| &s.tok) == Some(&Tok::Op("::")) {
+                    self.pos += 1;
+                    self.skip_turbofish();
+                    match self.peek().map(|s| s.tok.clone()) {
+                        Some(Tok::Ident(seg)) => {
+                            self.pos += 1;
+                            segs.push(seg);
+                        }
+                        _ => break,
+                    }
+                }
+                if self.peek().map(|s| &s.tok) == Some(&Tok::Ch('!')) {
+                    // Macro invocation: walk the payload for coverage.
+                    self.pos += 1;
+                    match self.peek().map(|s| s.tok.clone()) {
+                        Some(Tok::Ch('(') | Tok::Ch('[')) => {
+                            self.call_args();
+                        }
+                        _ => {}
+                    }
+                    return Kind::Unknown;
+                }
+                if self.peek().map(|s| &s.tok) == Some(&Tok::Ch('(')) {
+                    let args = self.call_args();
+                    if segs.len() >= 2 {
+                        let (ty, assoc) = (&segs[segs.len() - 2], &segs[segs.len() - 1]);
+                        return self.assoc_call(&sp, ty, assoc, &args);
+                    }
+                    return call_ret_kind(self.ctx.wg, &segs[0]);
+                }
+                if segs.len() >= 2 {
+                    // Path constant: `Joules::ZERO`, `f64::MAX`, enum
+                    // variants.
+                    let ty = &segs[segs.len() - 2];
+                    return match units::type_kind(ty) {
+                        Kind::Unknown => Kind::Unknown,
+                        k => k,
+                    };
+                }
+                match segs[0].as_str() {
+                    "true" | "false" => Kind::Bool,
+                    name => self.env.get(name).copied().unwrap_or(Kind::Unknown),
+                }
+            }
+            _ => Kind::Unknown,
+        }
+    }
+
+    /// Associated call `Type::assoc(args)`: constructors of unit types
+    /// yield the type's kind and reject wrong-dimension arguments.
+    fn assoc_call(&mut self, sp: &Sp, ty: &str, assoc: &str, args: &[(Kind, Sp)]) -> Kind {
+        let k = units::assoc_kind(ty, assoc);
+        if k.dimensioned() && k != Kind::Instant {
+            if let [(got, at)] = args {
+                if got.dimensioned() && got.dim() != k.dim() {
+                    self.ctx.violation(
+                        at,
+                        UNIT_MIX,
+                        format!(
+                            "`{ty}::{assoc}` is constructed from a {} — wrong dimension for \
+                             a `{ty}`",
+                            got.label()
+                        ),
+                    );
+                }
+            }
+        }
+        if k == Kind::Unknown {
+            // Not a unit type; fall back to workspace return kinds
+            // keyed by the function name (covers `Self::helper(...)`).
+            let _ = sp;
+            return call_ret_kind(self.ctx.wg, assoc);
+        }
+        k
+    }
+}
+
+/// Return kind of a named function per the workspace graph: the mapped
+/// kind if every function with that name agrees, else `Unknown`.
+fn call_ret_kind(wg: &WorkspaceGraph, name: &str) -> Kind {
+    let mut k: Option<Kind> = None;
+    for &i in wg.resolve(name) {
+        let rk = wg.fns[i]
+            .ret
+            .as_deref()
+            .map(units::ret_kind)
+            .unwrap_or(Kind::Unknown);
+        match k {
+            None => k = Some(rk),
+            Some(p) if p == rk => {}
+            _ => return Kind::Unknown,
+        }
+    }
+    k.unwrap_or(Kind::Unknown)
+}
+
+// ---------------------------------------------------------------------------
+// Ledger-flow balance
+// ---------------------------------------------------------------------------
+
+/// Is this function a settlement anchor — a place where accumulated
+/// charges are folded into a report the caller can audit?
+fn is_settlement_anchor(d: &crate::graph::FnDef) -> bool {
+    if d.in_test || d.kind != FileKind::Library {
+        return false;
+    }
+    d.name == "finish"
+        || d.ret.as_deref().is_some_and(|r| {
+            let mut word = String::new();
+            let mut found = false;
+            for c in r.chars().chain(std::iter::once(' ')) {
+                if crate::scan::is_ident_char(c) {
+                    word.push(c);
+                } else {
+                    if word.ends_with("Report") {
+                        found = true;
+                    }
+                    word.clear();
+                }
+            }
+            found
+        })
+}
+
+/// The `ledger-flow` balance rule: every `charge`/`charge_interval`/
+/// `transfer` call site outside the ledger itself must sit in a
+/// function from which a settlement anchor is reachable *backwards* —
+/// i.e. some anchor reaches the charging function through the call
+/// graph, so the booked Joules are folded into a report instead of
+/// accumulating invisibly. Stays silent when the corpus has no ledger
+/// sinks in scope (partial corpora prove nothing).
+pub fn ledger_flow(graph: &WorkspaceGraph) -> Vec<Diagnostic> {
+    let has_sinks = graph
+        .fns
+        .iter()
+        .any(|d| d.file == LEDGER_FILE && SINK_METHODS.contains(&d.name.as_str()));
+    if !has_sinks {
+        return Vec::new();
+    }
+    let anchors: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| is_settlement_anchor(&graph.fns[i]))
+        .collect();
+    let settled = graph.reachable_from(&anchors);
+    let mut out = Vec::new();
+    for (i, d) in graph.fns.iter().enumerate() {
+        if d.in_test || d.kind != FileKind::Library || d.file == LEDGER_FILE {
+            continue;
+        }
+        for c in &d.calls {
+            if !SINK_METHODS.contains(&c.name.as_str()) {
+                continue;
+            }
+            if !settled[i] {
+                out.push(Diagnostic::new(
+                    d.file.clone(),
+                    c.line,
+                    LEDGER_FLOW,
+                    format!(
+                        "`{}` books energy via `{}` but no settlement anchor (a `finish` \
+                         or report-producing function) reaches it; the charged Joules \
+                         can never be folded into an auditable report",
+                        d.qualified(),
+                        c.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RAW_ENERGY;
+    use crate::units::Kind;
+
+    fn walk(body: &str, params: &[(&str, &str)]) -> (Env, Vec<(usize, usize, usize, String)>) {
+        let wg = WorkspaceGraph::build(Vec::new());
+        let mut out = Findings::new();
+        let mut env: Env = params
+            .iter()
+            .map(|(n, t)| (n.to_string(), units::param_kind(t)))
+            .collect();
+        {
+            let mut ctx = Ctx {
+                wg: &wg,
+                out: &mut out,
+            };
+            let lines: Vec<(usize, &str)> =
+                body.lines().enumerate().map(|(i, l)| (i + 1, l)).collect();
+            run(&lines, &mut env, &mut ctx);
+        }
+        let v = out
+            .into_iter()
+            .map(|(l, c, e, r, m)| (l, c, e, format!("{r}: {m}")))
+            .collect();
+        (env, v)
+    }
+
+    #[test]
+    fn bindings_track_kinds_through_arithmetic() {
+        let (env, v) = walk(
+            "let idle = Watts::new(2.0);\n\
+             let dt = b - a;\n\
+             let e = idle * dt;\n\
+             let ratio = e / e;",
+            &[("a", "SimInstant"), ("b", "SimInstant")],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(env.get("idle"), Some(&Kind::Power));
+        assert_eq!(env.get("dt"), Some(&Kind::Duration));
+        assert_eq!(env.get("e"), Some(&Kind::Energy));
+        assert_eq!(env.get("ratio"), Some(&Kind::Scalar));
+    }
+
+    #[test]
+    fn unit_mixing_is_flagged_at_the_operator() {
+        let (_, v) = walk("let bad = e + p;", &[("e", "Joules"), ("p", "Watts")]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].3.contains("unit-mix"), "{v:?}");
+        // Operator column: `let bad = e + p;` → '+' at col 13.
+        assert_eq!((v[0].0, v[0].1), (1, 13));
+    }
+
+    #[test]
+    fn raw_edp_products_suggest_delay_product() {
+        let (_, v) = walk(
+            "let edp = e.joules() * d.as_secs_f64();",
+            &[("e", "Joules"), ("d", "SimDuration")],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].3.contains("delay_product"), "{v:?}");
+    }
+
+    #[test]
+    fn violations_inside_closure_arguments_are_caught() {
+        // A two-parameter closure passed as a call argument: the `,`
+        // between closure params must not be mistaken for an argument
+        // separator, and the braced body must be walked statement by
+        // statement.
+        let (_, v) = walk(
+            "let edp = rows.iter().min_by(|a, b| {\n\
+             let ea = a.1.energy.joules() * a.1.elapsed.as_secs_f64();\n\
+             let eb = b.1.energy.joules() * b.1.elapsed.as_secs_f64();\n\
+             ea.partial_cmp(&eb)\n\
+             });",
+            &[],
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].3.contains("delay_product"), "{v:?}");
+        assert_eq!((v[0].0, v[1].0), (2, 3), "one finding per body line");
+    }
+
+    #[test]
+    fn closure_bodies_scope_their_bindings() {
+        // Bindings made inside a closure body must not leak into (or
+        // clobber) the enclosing environment.
+        let (env, v) = walk(
+            "let e = Joules::new(1.0);\n\
+             let f = xs.map(|x| { let e = x.as_secs_f64(); e });\n\
+             let total = e + Joules::new(2.0);",
+            &[],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(env.get("e"), Some(&Kind::Energy));
+    }
+
+    #[test]
+    fn bitwise_or_in_arguments_does_not_swallow_the_stream() {
+        // `|` as an operator (not a closure head) must bail out of the
+        // closure parse without consuming the rest of the fragment.
+        let (_, v) = walk(
+            "let m = pack(flags | mask, e.joules() + d.as_secs_f64());",
+            &[("e", "Joules"), ("d", "SimDuration")],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].3.contains("unit-mix"), "{v:?}");
+    }
+
+    #[test]
+    fn typed_delay_product_is_clean() {
+        let (env, v) = walk(
+            "let edp = e.delay_product(d);",
+            &[("e", "Joules"), ("d", "SimDuration")],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(env.get("edp"), Some(&Kind::Edp));
+    }
+
+    #[test]
+    fn bare_f64_into_charge_is_flagged() {
+        let (_, v) = walk("ledger.charge(id, 3.5);", &[("id", "u32")]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].3.contains("raw-energy"), "{v:?}");
+        assert!(v[0].3.contains("Joules::new"), "{v:?}");
+    }
+
+    #[test]
+    fn raw_roundtrip_into_charge_is_flagged() {
+        let (_, v) = walk("ledger.charge(id, e.joules());", &[("e", "Joules")]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].3.starts_with(RAW_ENERGY), "{v:?}");
+        assert!(v[0].3.contains("round-trips"), "{v:?}");
+    }
+
+    #[test]
+    fn typed_charge_and_unknown_args_stay_silent() {
+        let (_, v) = walk(
+            "ledger.charge(id, e);\n\
+             ledger.charge_interval(id, w, d);\n\
+             ledger.transfer(src, dst, mystery());",
+            &[("e", "Joules"), ("w", "Watts"), ("d", "SimDuration")],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_dimension_constructor_is_flagged() {
+        let (_, v) = walk(
+            "let w = Watts::new(d.as_secs_f64());",
+            &[("d", "SimDuration")],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].3.contains("wrong dimension"), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_absorbs_without_noise() {
+        let (_, v) = walk(
+            "let x = helper(a) + other.field;\n\
+             let y = x * 2.0;\n\
+             for ev in queue { handle(ev); }\n\
+             match st { Some(s) => s + 1.0, None => 0.0 };",
+            &[("a", "Joules")],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn shadowing_and_tuple_patterns_reset_kinds() {
+        let (env, v) = walk(
+            "let e = Joules::new(1.0);\n\
+             let (e, t) = split();\n\
+             let z = e + q;",
+            &[("q", "Watts")],
+        );
+        // After the tuple rebind `e` is Unknown, so `e + q` is silent.
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(env.get("e"), Some(&Kind::Unknown));
+    }
+
+    #[test]
+    fn ledger_flow_flags_unanchored_charges() {
+        let ledger = "\
+impl EnergyLedger {
+    pub fn charge(&mut self, id: ComponentId, e: Joules) {}
+    pub fn transfer(&mut self, from: ComponentId, to: ComponentId, e: Joules) {}
+}
+";
+        let stray = "\
+impl Heater {
+    pub fn burn(&mut self, l: &mut EnergyLedger) {
+        l.charge(self.id, self.pending);
+    }
+}
+";
+        let files = [
+            crate::SourceFile {
+                rel: "crates/power/src/ledger.rs".into(),
+                source: ledger.into(),
+            },
+            crate::SourceFile {
+                rel: "crates/power/src/heater.rs".into(),
+                source: stray.into(),
+            },
+        ];
+        let analyses: Vec<_> = files.iter().filter_map(crate::analyze_file).collect();
+        let wg = WorkspaceGraph::build(analyses.iter().map(|a| a.graph.clone()).collect());
+        let out = ledger_flow(&wg);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, LEDGER_FLOW);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("Heater::burn"), "{out:?}");
+    }
+
+    #[test]
+    fn ledger_flow_accepts_report_anchored_charges() {
+        let ledger = "\
+impl EnergyLedger {
+    pub fn charge(&mut self, id: ComponentId, e: Joules) {}
+}
+";
+        let anchored = "\
+impl Engine {
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        self.settle();
+        Ok(RunReport::default())
+    }
+    fn settle(&mut self) {
+        self.ledger.charge(self.id, self.pending);
+    }
+}
+";
+        let files = [
+            crate::SourceFile {
+                rel: "crates/power/src/ledger.rs".into(),
+                source: ledger.into(),
+            },
+            crate::SourceFile {
+                rel: "crates/sim/src/engine.rs".into(),
+                source: anchored.into(),
+            },
+        ];
+        let analyses: Vec<_> = files.iter().filter_map(crate::analyze_file).collect();
+        let wg = WorkspaceGraph::build(analyses.iter().map(|a| a.graph.clone()).collect());
+        let out = ledger_flow(&wg);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -22,7 +22,7 @@
 
 use crate::scan::{is_ident_char, ScannedFile};
 use crate::{FileInfo, FileKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One outgoing call site inside a function body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +56,15 @@ pub struct FnDef {
     pub end_line: usize,
     /// True when the fn sits inside a `#[cfg(test)]` region.
     pub in_test: bool,
+    /// Declared return type, whitespace-normalized (`Joules`,
+    /// `Result<ChaosReport, ClusterError>`); `None` for `()`.
+    pub ret: Option<String>,
+    /// Named value parameters as `(name, type-text)`; `self` receivers
+    /// and destructuring patterns are omitted.
+    pub params: Vec<(String, String)>,
+    /// True when the receiver is `&mut self` or `mut self` — the
+    /// signature-level signal that the method mutates its state.
+    pub mut_self: bool,
     /// Outgoing call sites, in source order.
     pub calls: Vec<Call>,
 }
@@ -142,8 +151,13 @@ struct Ctx {
 
 #[derive(Debug)]
 enum Pending {
-    /// Saw `fn name`, waiting for the body `{` or a decl-ending `;`.
-    Fn { name: String, line: usize },
+    /// Saw `fn name`, waiting for the body `{` or a decl-ending `;`,
+    /// accumulating the signature text in between.
+    Fn {
+        name: String,
+        line: usize,
+        header: String,
+    },
     /// Saw line-initial `impl`, accumulating the header until `{`.
     Impl { text: String },
     /// Saw `mod name`, waiting for `{` (inline) or `;` (child file).
@@ -208,6 +222,13 @@ pub fn extract(info: &FileInfo, f: &ScannedFile) -> FileGraph {
         let chars: Vec<char> = line.chars().collect();
         let n = chars.len();
         let mut i = 0usize;
+        // A pending header spanning lines needs a separator so idents on
+        // either side of the break do not fuse.
+        match pending.as_mut() {
+            Some(Pending::Fn { header, .. }) => header.push(' '),
+            Some(Pending::Impl { text }) => text.push(' '),
+            _ => {}
+        }
         while i < n {
             let c = chars[i];
             if let Some(p) = pending.as_mut() {
@@ -240,18 +261,21 @@ pub fn extract(info: &FileInfo, f: &ScannedFile) -> FileGraph {
                         i += 1;
                         continue;
                     }
-                    Pending::Fn { name, line } => match c {
+                    Pending::Fn { name, line, header } => match c {
                         '(' | '[' => {
                             pending_nest += 1;
+                            header.push(c);
                             i += 1;
                             continue;
                         }
                         ')' | ']' => {
                             pending_nest = pending_nest.saturating_sub(1);
+                            header.push(c);
                             i += 1;
                             continue;
                         }
                         '{' => {
+                            let sig = parse_fn_header(header);
                             let def = FnDef {
                                 name: std::mem::take(name),
                                 impl_type: current_impl_type(&stack),
@@ -263,6 +287,9 @@ pub fn extract(info: &FileInfo, f: &ScannedFile) -> FileGraph {
                                 line: *line,
                                 end_line: *line,
                                 in_test: f.is_test_line(*line),
+                                ret: sig.ret,
+                                params: sig.params,
+                                mut_self: sig.mut_self,
                                 calls: Vec::new(),
                             };
                             out.fns.push(def);
@@ -284,7 +311,8 @@ pub fn extract(info: &FileInfo, f: &ScannedFile) -> FileGraph {
                             i += 1;
                             continue;
                         }
-                        _ => {
+                        other => {
+                            header.push(other);
                             i += 1;
                             continue;
                         }
@@ -372,6 +400,7 @@ pub fn extract(info: &FileInfo, f: &ScannedFile) -> FileGraph {
                             pending = Some(Pending::Fn {
                                 name: chars[j..k].iter().collect(),
                                 line: lineno,
+                                header: String::new(),
                             });
                             pending_nest = 0;
                             i = k;
@@ -514,6 +543,126 @@ fn parse_impl_header(text: &str) -> (Option<String>, Option<String>) {
     (last, trait_side)
 }
 
+/// Parsed pieces of a fn signature (the text between the name and `{`).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FnSig {
+    /// Named value parameters as `(name, type-text)`.
+    pub params: Vec<(String, String)>,
+    /// Whitespace-normalized return type, `None` for `()`.
+    pub ret: Option<String>,
+    /// True for `&mut self` / `mut self` receivers.
+    pub mut_self: bool,
+}
+
+/// Parse a fn header: generics are skipped, the first top-level paren
+/// group yields the parameters, a following `->` yields the return type
+/// (cut at `where`). Tolerant by construction — anything unparseable
+/// just produces fewer facts, never an error.
+fn parse_fn_header(text: &str) -> FnSig {
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut angle = 0usize;
+    let mut open = None;
+    for (i, &c) in chars.iter().enumerate() {
+        match c {
+            '<' => angle += 1,
+            '>' => {
+                // Ignore `->`: an arrow before the params cannot occur.
+                if i == 0 || chars[i - 1] != '-' {
+                    angle = angle.saturating_sub(1);
+                }
+            }
+            '(' if angle == 0 => {
+                open = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return FnSig::default();
+    };
+    let mut depth = 1usize;
+    let mut close = n;
+    for (i, &c) in chars.iter().enumerate().skip(open + 1) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner: String = chars[open + 1..close.min(n)].iter().collect();
+    let mut sig = FnSig::default();
+    for piece in split_top_level(&inner) {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let head: String = piece.split_whitespace().collect::<Vec<_>>().join(" ");
+        if head == "self"
+            || head.starts_with("self:")
+            || head.starts_with("&self")
+            || head.starts_with("& self")
+            || head.contains("mut self")
+            || head.starts_with("&'") && head.ends_with("self")
+        {
+            sig.mut_self = head.contains("mut self");
+            continue;
+        }
+        if let Some((name, ty)) = piece.split_once(':') {
+            let name = name.trim().trim_start_matches("mut ").trim();
+            if !name.is_empty() && name.chars().all(is_ident_char) {
+                let ty = ty.split_whitespace().collect::<Vec<_>>().join(" ");
+                sig.params.push((name.to_string(), ty));
+            }
+        }
+    }
+    let rest: String = chars[(close + 1).min(n)..].iter().collect();
+    if let Some(arrow) = rest.find("->") {
+        let ret = rest[arrow + 2..].trim();
+        let ret = match ret.find("where") {
+            Some(p) if ret[..p].ends_with(' ') || p == 0 => ret[..p].trim(),
+            _ => ret,
+        };
+        let ret = ret.split_whitespace().collect::<Vec<_>>().join(" ");
+        if !ret.is_empty() && ret != "()" {
+            sig.ret = Some(ret);
+        }
+    }
+    sig
+}
+
+/// Split a parameter list at commas outside `<>`, `()`, `[]`.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0isize;
+    let chars: Vec<char> = s.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' if i == 0 || chars[i - 1] != '-' => depth -= 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth <= 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Workspace graph
 // ---------------------------------------------------------------------------
@@ -610,6 +759,32 @@ impl WorkspaceGraph {
             }
         }
         false
+    }
+
+    /// Multi-source forward reachability: `out[i]` is true when any of
+    /// `starts` reaches function `i` (inclusive) over call edges. Used
+    /// by the ledger-flow rule to prove every charge site sits under a
+    /// settlement anchor.
+    pub fn reachable_from(&self, starts: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = VecDeque::new();
+        for &s in starts {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for call in &self.fns[cur].calls {
+                for &next in self.resolve(&call.name) {
+                    if !seen[next] {
+                        seen[next] = true;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        seen
     }
 
     /// The module graph: one node per file-hosted module, with declared
@@ -770,6 +945,89 @@ mod tests {
         let wg = WorkspaceGraph::build(vec![g]);
         assert_eq!(wg.resolve("lib_fn").len(), 1);
         assert!(wg.resolve("helper").is_empty());
+    }
+
+    #[test]
+    fn fn_signatures_yield_params_ret_and_receiver() {
+        let src = "\
+impl DiskDevice {
+    pub fn serve(&mut self, at: SimInstant, bytes: u64) -> Joules {
+        body()
+    }
+    pub fn peek(&self) -> Option<SimInstant> {
+        None
+    }
+}
+pub fn run_chaos(
+    fleet: &mut [Machine],
+    schedule: &ChaosSchedule,
+) -> Result<ChaosReport, ClusterError>
+where
+    ChaosSchedule: Sized,
+{
+    body()
+}
+";
+        let g = graph_of("crates/sim/src/disk.rs", src);
+        let serve = &g.fns[0];
+        assert!(serve.mut_self);
+        assert_eq!(
+            serve.params,
+            vec![
+                ("at".to_string(), "SimInstant".to_string()),
+                ("bytes".to_string(), "u64".to_string()),
+            ]
+        );
+        assert_eq!(serve.ret.as_deref(), Some("Joules"));
+        let peek = &g.fns[1];
+        assert!(!peek.mut_self);
+        assert_eq!(peek.ret.as_deref(), Some("Option<SimInstant>"));
+        let chaos = &g.fns[2];
+        assert!(!chaos.mut_self);
+        assert_eq!(
+            chaos.ret.as_deref(),
+            Some("Result<ChaosReport, ClusterError>")
+        );
+        assert_eq!(chaos.params[0].0, "fleet");
+        assert_eq!(chaos.params[1].1, "&ChaosSchedule");
+    }
+
+    #[test]
+    fn generic_fn_headers_find_the_param_list() {
+        let src = "\
+pub fn run<C: Sync, R, F>(items: &[C], f: F) -> Vec<R> {
+    body()
+}
+fn plain() {
+    body()
+}
+";
+        let g = graph_of("crates/sim/src/x.rs", src);
+        assert_eq!(g.fns[0].params[0].0, "items");
+        assert_eq!(g.fns[0].ret.as_deref(), Some("Vec<R>"));
+        assert_eq!(g.fns[1].ret, None);
+        assert!(g.fns[1].params.is_empty());
+    }
+
+    #[test]
+    fn reachable_from_walks_call_edges_forward() {
+        let src = "\
+pub fn finish() {
+    settle();
+}
+fn settle() {
+    book();
+}
+fn book() {}
+fn orphan() {}
+";
+        let g = graph_of("crates/sim/src/x.rs", src);
+        let wg = WorkspaceGraph::build(vec![g]);
+        let start = wg.find(|d| d.name == "finish");
+        let seen = wg.reachable_from(&start);
+        let idx = |n: &str| wg.find(|d| d.name == n)[0];
+        assert!(seen[idx("finish")] && seen[idx("settle")] && seen[idx("book")]);
+        assert!(!seen[idx("orphan")]);
     }
 
     #[test]

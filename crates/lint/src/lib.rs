@@ -34,11 +34,15 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cache;
+pub mod dataflow;
 pub mod graph;
+pub mod parready;
 pub mod rules;
 pub mod sarif;
 pub mod scan;
 pub mod taint;
+pub mod units;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -54,10 +58,43 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based start column of the offending token (0 = unknown — the
+    /// rule reasons about a whole line or a cross-file property).
+    pub col: usize,
+    /// 1-based exclusive end column (0 = unknown).
+    pub end_col: usize,
     /// Stable rule id (see [`rules::RULES`]).
     pub rule: &'static str,
     /// Human explanation and suggested fix.
     pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no column information.
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            col: 0,
+            end_col: 0,
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Attach a 1-based `[col, end_col)` span (columns are offsets into
+    /// the stripped line, which the column-preserving scanner keeps
+    /// identical to the original).
+    pub fn with_span(mut self, col: usize, end_col: usize) -> Self {
+        self.col = col;
+        self.end_col = end_col;
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -130,16 +167,16 @@ pub struct ManifestFile {
 }
 
 /// Everything the workspace stage needs from one analyzed file.
-struct FileAnalysis {
-    rel: String,
-    crate_name: String,
-    kind: FileKind,
-    scanned: scan::ScannedFile,
-    graph: graph::FileGraph,
-    raw: Vec<Diagnostic>,
+pub(crate) struct FileAnalysis {
+    pub(crate) rel: String,
+    pub(crate) crate_name: String,
+    pub(crate) kind: FileKind,
+    pub(crate) scanned: scan::ScannedFile,
+    pub(crate) graph: graph::FileGraph,
+    pub(crate) raw: Vec<Diagnostic>,
 }
 
-fn analyze_file(file: &SourceFile) -> Option<FileAnalysis> {
+pub(crate) fn analyze_file(file: &SourceFile) -> Option<FileAnalysis> {
     let (crate_name, kind) = classify(&file.rel)?;
     let info = FileInfo {
         rel: &file.rel,
@@ -171,18 +208,51 @@ pub fn analyze(
     manifests: &[ManifestFile],
     threads: usize,
 ) -> Vec<Diagnostic> {
+    let analyses = stage1(files, threads, None);
+    stage2(&analyses, manifests)
+}
+
+/// [`analyze`] with a per-file result cache under `cache_dir`.
+///
+/// Stage 1 results (scan, skeleton, token diagnostics) are stored per
+/// file, keyed on content hash plus the engine fingerprint (tokenizer
+/// and rule registry versions) — see [`cache`]. Stage 2 (the workspace
+/// rules) always recomputes, so a warm run is byte-identical to a cold
+/// one by construction *and* by the test in `tests/cache.rs`.
+pub fn analyze_with_cache(
+    files: &[SourceFile],
+    manifests: &[ManifestFile],
+    threads: usize,
+    cache_dir: &Path,
+) -> io::Result<Vec<Diagnostic>> {
+    let store = cache::Store::open(cache_dir)?;
+    let analyses = stage1(files, threads, Some(&store));
+    Ok(stage2(&analyses, manifests))
+}
+
+/// Stage 1: fan the per-file analysis across `threads`, consulting the
+/// cache when one is supplied. Results come back in stable `rel` order.
+fn stage1(files: &[SourceFile], threads: usize, store: Option<&cache::Store>) -> Vec<FileAnalysis> {
     let runner = if threads <= 1 {
         grail_par::Runner::sequential()
     } else {
         grail_par::Runner::with_threads(threads)
     };
     let mut analyses: Vec<FileAnalysis> = runner
-        .run(files, |_, f| analyze_file(f))
+        .run(files, |_, f| match store {
+            Some(store) => store.analyze(f),
+            None => analyze_file(f),
+        })
         .into_iter()
         .flatten()
         .collect();
     analyses.sort_by(|a, b| a.rel.cmp(&b.rel));
+    analyses
+}
 
+/// Stage 2: workspace-level rules over the assembled graph, then
+/// suppression and the canonical sort + dedup.
+fn stage2(analyses: &[FileAnalysis], manifests: &[ManifestFile]) -> Vec<Diagnostic> {
     let wg = graph::WorkspaceGraph::build(analyses.iter().map(|a| a.graph.clone()).collect());
     let scanned_by_rel: BTreeMap<String, &scan::ScannedFile> = analyses
         .iter()
@@ -198,13 +268,15 @@ pub fn analyze(
         .collect();
     raw.extend(taint::check(&wg, &scanned_by_rel));
     raw.extend(rules::charge_reachability(&wg));
-    for a in &analyses {
+    raw.extend(dataflow::ledger_flow(&wg));
+    for a in analyses {
         let info = FileInfo {
             rel: &a.rel,
             crate_name: &a.crate_name,
             kind: a.kind,
         };
         raw.extend(rules::layering_source(&info, &a.scanned));
+        raw.extend(units::check_file(&info, &a.scanned, &a.graph, &wg));
     }
     for m in manifests {
         raw.extend(rules::layering_manifest(&m.rel, &m.source));
@@ -218,7 +290,7 @@ pub fn analyze(
         })
         .cloned()
         .collect();
-    for a in &analyses {
+    for a in analyses {
         out.extend(rules::pragma_hygiene(&a.rel, &a.scanned));
         out.extend(rules::stale_pragmas(&a.rel, &a.scanned, &raw));
     }
@@ -265,6 +337,17 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 pub fn check_workspace_threads(root: &Path, threads: usize) -> io::Result<Vec<Diagnostic>> {
     let (files, manifests) = workspace_sources(root)?;
     Ok(analyze(&files, &manifests, threads))
+}
+
+/// Lint the workspace under `root` through the per-file cache at
+/// `cache_dir` — see [`analyze_with_cache`].
+pub fn check_workspace_cached(
+    root: &Path,
+    threads: usize,
+    cache_dir: &Path,
+) -> io::Result<Vec<Diagnostic>> {
+    let (files, manifests) = workspace_sources(root)?;
+    analyze_with_cache(&files, &manifests, threads, cache_dir)
 }
 
 /// Read every audited source file and manifest under `root` — the same
@@ -388,16 +471,15 @@ mod tests {
 
     #[test]
     fn diagnostic_renders_rustc_style() {
-        let d = Diagnostic {
-            file: "crates/sim/src/cpu.rs".to_string(),
-            line: 42,
-            rule: "error-hygiene",
-            message: "no".to_string(),
-        };
+        let d = Diagnostic::new("crates/sim/src/cpu.rs", 42, "error-hygiene", "no");
         assert_eq!(
             d.to_string(),
             "crates/sim/src/cpu.rs:42: error[error-hygiene]: no"
         );
+        // Columns ride along without changing the rendered form.
+        let spanned = d.clone().with_span(5, 12);
+        assert_eq!(spanned.to_string(), d.to_string());
+        assert_eq!((spanned.col, spanned.end_col), (5, 12));
     }
 
     #[test]

@@ -9,15 +9,26 @@
 //!   goes to stdout so it can be redirected into an artifact.
 //! * `--threads N` / `--sequential` — fan the per-file stage across N
 //!   threads; output is byte-identical at any thread count.
+//! * `--cache-dir DIR` — memoize per-file analyses under DIR so only
+//!   changed files are re-analyzed; output is byte-identical to an
+//!   uncached run.
+//! * `--par-report PATH` — also write the parallel-readiness audit for
+//!   `crates/sim` (JSON) to PATH.
+//! * `--bench-json PATH` — also write a wall-clock ledger (JSON) for
+//!   the lint run to PATH.
 //! * `--list-rules` — print the rule table and exit.
 
 #![forbid(unsafe_code)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Wall-clock here is presentation, not simulation: the lint binary
+    // reports its own cost in BENCH_lint.json, nothing replayable.
+    let started = std::time::Instant::now();
     let mut args: Vec<String> = env::args().skip(1).collect();
     let runner = grail_par::Runner::from_cli_args(&mut args);
     if args.iter().any(|a| a == "--list-rules") {
@@ -27,19 +38,47 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut format = "text".to_string();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut par_report: Option<PathBuf> = None;
+    let mut bench_json: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
+        let take_value = |it: &mut std::vec::IntoIter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v),
+            None => {
+                eprintln!("grail-lint: {flag} requires a value");
+                Err(())
+            }
+        };
         if a == "--format" {
-            match it.next() {
-                Some(f) => format = f,
-                None => {
-                    eprintln!("grail-lint: --format requires a value (text|sarif)");
-                    return ExitCode::FAILURE;
-                }
+            match take_value(&mut it, "--format") {
+                Ok(f) => format = f,
+                Err(()) => return ExitCode::FAILURE,
             }
         } else if let Some(f) = a.strip_prefix("--format=") {
             format = f.to_string();
+        } else if a == "--cache-dir" {
+            match take_value(&mut it, "--cache-dir") {
+                Ok(d) => cache_dir = Some(PathBuf::from(d)),
+                Err(()) => return ExitCode::FAILURE,
+            }
+        } else if let Some(d) = a.strip_prefix("--cache-dir=") {
+            cache_dir = Some(PathBuf::from(d));
+        } else if a == "--par-report" {
+            match take_value(&mut it, "--par-report") {
+                Ok(p) => par_report = Some(PathBuf::from(p)),
+                Err(()) => return ExitCode::FAILURE,
+            }
+        } else if let Some(p) = a.strip_prefix("--par-report=") {
+            par_report = Some(PathBuf::from(p));
+        } else if a == "--bench-json" {
+            match take_value(&mut it, "--bench-json") {
+                Ok(p) => bench_json = Some(PathBuf::from(p)),
+                Err(()) => return ExitCode::FAILURE,
+            }
+        } else if let Some(p) = a.strip_prefix("--bench-json=") {
+            bench_json = Some(PathBuf::from(p));
         } else {
             positional.push(a);
         }
@@ -61,13 +100,51 @@ fn main() -> ExitCode {
             Err(_) => PathBuf::from("."),
         },
     };
-    let diags = match grail_lint::check_workspace_threads(&root, runner.threads()) {
-        Ok(diags) => diags,
-        Err(e) => {
-            eprintln!("grail-lint: cannot walk {}: {e}", root.display());
-            return ExitCode::FAILURE;
+    let diags = {
+        let result = match &cache_dir {
+            Some(dir) => grail_lint::check_workspace_cached(&root, runner.threads(), dir),
+            None => grail_lint::check_workspace_threads(&root, runner.threads()),
+        };
+        match result {
+            Ok(diags) => diags,
+            Err(e) => {
+                eprintln!("grail-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
         }
     };
+    if let Some(path) = par_report {
+        let json = match grail_lint::workspace_sources(&root) {
+            Ok((files, _)) => grail_lint::parready::report_json(&files),
+            Err(e) => {
+                eprintln!("grail-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("grail-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "grail-lint: parallel-readiness report -> {}",
+            path.display()
+        );
+    }
+    if let Some(path) = bench_json {
+        let elapsed = started.elapsed();
+        let ledger = format!(
+            "{{\n  \"bench\": \"grail-lint\",\n  \"threads\": {},\n  \"cached\": {},\n  \
+             \"diagnostics\": {},\n  \"wall_clock_ms\": {}\n}}\n",
+            runner.threads(),
+            cache_dir.is_some(),
+            diags.len(),
+            elapsed.as_millis()
+        );
+        if let Err(e) = fs::write(&path, ledger) {
+            eprintln!("grail-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if format == "sarif" {
         print!("{}", grail_lint::sarif::to_sarif(&diags));
         return if diags.is_empty() {

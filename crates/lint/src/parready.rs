@@ -1,0 +1,439 @@
+//! Parallel-readiness audit for `crates/sim`.
+//!
+//! ROADMAP item 1 wants the simulation event loop sharded across
+//! threads, which is only tractable once every piece of shared-mutable
+//! state in `grail-sim` is known. This module is the pre-flight: a
+//! token rule (`par-readiness`) that flags thread-hostile constructs in
+//! sim library code the moment they appear, and a report builder that
+//! turns the same signals — plus `&mut self` density and the lock-order
+//! graph — into a ranked JSON blocker list CI publishes as an artifact.
+//!
+//! The rule is deliberately scoped to `crates/sim` library code: other
+//! crates may use `Rc`/`RefCell` freely (grail-core's intrusive queues
+//! do), but anything that lands in the crate we intend to shard is a
+//! blocker the refactor will have to pay down, so it surfaces now, not
+//! during the rewrite.
+
+use crate::rules::{token_positions, PAR_READINESS};
+use crate::sarif::escape;
+use crate::scan::ScannedFile;
+use crate::{Diagnostic, FileInfo, FileKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `(needle, blocker kind, severity rank, why it blocks sharding)` —
+/// lower rank = harder blocker, listed first in the report.
+const BLOCKERS: &[(&str, &str, u8, &str)] = &[
+    (
+        "static mut",
+        "global-mutable",
+        0,
+        "global mutable state races across shards by construction",
+    ),
+    (
+        "RefCell",
+        "interior-mutability",
+        1,
+        "RefCell panics on concurrent borrows; needs Mutex/RwLock or redesign",
+    ),
+    (
+        "UnsafeCell",
+        "interior-mutability",
+        1,
+        "raw interior mutability has no runtime guard at all",
+    ),
+    (
+        "Cell",
+        "interior-mutability",
+        2,
+        "Cell is !Sync; per-shard copies or atomics are required",
+    ),
+    (
+        "OnceCell",
+        "interior-mutability",
+        2,
+        "OnceCell is !Sync; use OnceLock for cross-thread init",
+    ),
+    (
+        "LazyCell",
+        "interior-mutability",
+        2,
+        "LazyCell is !Sync; use LazyLock for cross-thread init",
+    ),
+    (
+        "Rc",
+        "non-send-shared-ownership",
+        3,
+        "Rc is !Send; handles cannot migrate to worker threads (use Arc)",
+    ),
+    (
+        "Weak",
+        "non-send-shared-ownership",
+        3,
+        "rc::Weak is !Send wherever Rc is",
+    ),
+    (
+        "*mut",
+        "raw-pointer",
+        4,
+        "raw pointers opt out of Send/Sync inference; shard safety must be argued by hand",
+    ),
+    (
+        "*const",
+        "raw-pointer",
+        4,
+        "raw pointers opt out of Send/Sync inference; shard safety must be argued by hand",
+    ),
+];
+
+fn in_scope(info: &FileInfo) -> bool {
+    info.crate_name == "sim" && info.kind == FileKind::Library
+}
+
+/// The `par-readiness` token rule: flag thread-hostile constructs in
+/// `crates/sim` library code (test regions exempt — a test may fake
+/// shared state all it wants).
+pub fn par_readiness(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_scope(info) {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.in_test[i] {
+            continue;
+        }
+        for &(needle, kind, _, why) in BLOCKERS {
+            for start in token_positions(code, needle) {
+                out.push(
+                    Diagnostic::new(
+                        info.rel,
+                        i + 1,
+                        PAR_READINESS,
+                        format!(
+                            "`{needle}` blocks event-loop sharding ({kind}): {why}; \
+                             crates/sim must stay shard-ready (ROADMAP item 1)"
+                        ),
+                    )
+                    .with_span(start + 1, start + 1 + needle.len()),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report builder
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Blocker {
+    severity: u8,
+    file: String,
+    line: usize,
+    col: usize,
+    kind: &'static str,
+    token: &'static str,
+    why: &'static str,
+}
+
+/// Build the parallel-readiness report for `crates/sim` as a
+/// deterministic pretty-printed JSON document. Sections:
+///
+/// - `blockers`: ranked thread-hostile constructs (file, line, kind) —
+///   the same findings the `par-readiness` rule would flag, including
+///   test regions (marked), since test scaffolding still has to compile
+///   under a sharded API.
+/// - `shared_state`: impl types ranked by `&mut self` method count —
+///   the surface that must become shard-local or lock-guarded.
+/// - `lock_order`: observed lock-acquisition sequences workspace-wide
+///   and any cycles (deadlock risk once sim starts taking locks).
+pub fn report_json(files: &[SourceFile]) -> String {
+    let mut blockers: Vec<Blocker> = Vec::new();
+    let mut mut_methods: BTreeMap<String, (usize, Vec<String>, String)> = BTreeMap::new();
+    let mut lock_seqs: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
+    let mut analyses: Vec<_> = files.iter().filter_map(crate::analyze_file).collect();
+    analyses.sort_by(|a, b| a.rel.cmp(&b.rel));
+    for a in &analyses {
+        let sim_lib = a.crate_name == "sim" && a.kind == FileKind::Library;
+        if sim_lib {
+            for (i, code) in a.scanned.code.iter().enumerate() {
+                for &(needle, kind, sev, why) in BLOCKERS {
+                    for start in token_positions(code, needle) {
+                        blockers.push(Blocker {
+                            severity: sev,
+                            file: a.rel.clone(),
+                            line: i + 1,
+                            col: start + 1,
+                            kind,
+                            token: needle,
+                            why,
+                        });
+                    }
+                }
+            }
+            for d in &a.graph.fns {
+                if d.in_test || !d.mut_self {
+                    continue;
+                }
+                let ty = d.impl_type.clone().unwrap_or_else(|| "<free>".into());
+                let entry = mut_methods
+                    .entry(ty)
+                    .or_insert_with(|| (0, Vec::new(), format!("{}:{}", d.file, d.line)));
+                entry.0 += 1;
+                entry.1.push(d.name.clone());
+            }
+        }
+        // Lock sequences are collected workspace-wide: sim calling into
+        // a crate that locks is the same hazard as sim locking itself.
+        for d in &a.graph.fns {
+            if d.in_test {
+                continue;
+            }
+            let mut seq = Vec::new();
+            for ln in d.line..=d.end_line.min(a.scanned.code.len()) {
+                let code = &a.scanned.code[ln - 1];
+                for name in ["lock", "write", "read"] {
+                    for pos in token_positions(code, name) {
+                        // Require the method-call shape `.name(`.
+                        let bytes = code.as_bytes();
+                        if pos == 0 || bytes[pos - 1] != b'.' {
+                            continue;
+                        }
+                        if bytes.get(pos + name.len()) != Some(&b'(') {
+                            continue;
+                        }
+                        // Receiver: the ident chain before the dot.
+                        let head = &code[..pos - 1];
+                        let recv: String = head
+                            .chars()
+                            .rev()
+                            .take_while(|&c| crate::scan::is_ident_char(c) || c == '.')
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                            .rev()
+                            .collect();
+                        if recv.is_empty() {
+                            continue;
+                        }
+                        seq.push((ln, pos, recv));
+                    }
+                }
+            }
+            if seq.len() >= 2 {
+                seq.sort();
+                lock_seqs.insert(
+                    format!("{}::{}", a.crate_name, d.qualified()),
+                    seq.into_iter().map(|(_, _, r)| r).collect(),
+                );
+            }
+        }
+    }
+
+    blockers.sort_by(|a, b| {
+        (a.severity, &a.file, a.line, a.col).cmp(&(b.severity, &b.file, b.line, b.col))
+    });
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for seq in lock_seqs.values() {
+        for w in seq.windows(2) {
+            if w[0] != w[1] {
+                edges.insert((w[0].clone(), w[1].clone()));
+            }
+        }
+    }
+    let cycles: Vec<String> = edges
+        .iter()
+        .filter(|(a, b)| edges.contains(&(b.clone(), a.clone())) && a < b)
+        .map(|(a, b)| format!("{a} <-> {b}"))
+        .collect();
+
+    let verdict = if blockers.is_empty() && cycles.is_empty() {
+        "ready: no thread-hostile constructs in crates/sim library code"
+    } else {
+        "blocked: resolve the listed constructs before sharding the event loop"
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"report\": \"grail-lint parallel-readiness audit (crates/sim)\",\n");
+    out.push_str(&format!("  \"verdict\": \"{}\",\n", escape(verdict)));
+    out.push_str(&format!(
+        "  \"summary\": {{ \"blockers\": {}, \"shared_state_types\": {}, \"lock_edges\": {}, \
+         \"lock_cycles\": {} }},\n",
+        blockers.len(),
+        mut_methods.len(),
+        edges.len(),
+        cycles.len()
+    ));
+    out.push_str("  \"blockers\": [");
+    for (i, b) in blockers.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{ \"rank\": {}, \"file\": \"{}\", \"line\": {}, \"col\": {}, \"kind\": \
+             \"{}\", \"token\": \"{}\", \"why\": \"{}\" }}",
+            b.severity,
+            escape(&b.file),
+            b.line,
+            b.col,
+            escape(b.kind),
+            escape(b.token),
+            escape(b.why)
+        ));
+    }
+    out.push_str(if blockers.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"shared_state\": [");
+    let mut shared: Vec<_> = mut_methods.into_iter().collect();
+    shared
+        .sort_by(|a, b| (std::cmp::Reverse(a.1 .0), &a.0).cmp(&(std::cmp::Reverse(b.1 .0), &b.0)));
+    for (i, (ty, (count, mut names, at))) in shared.into_iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        names.sort();
+        names.dedup();
+        names.truncate(8);
+        let methods = names
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{ \"type\": \"{}\", \"mut_self_methods\": {}, \"declared_at\": \"{}\", \
+             \"methods\": [{}] }}",
+            escape(&ty),
+            count,
+            escape(&at),
+            methods
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"lock_order\": {\n    \"edges\": [");
+    for (i, (a, b)) in edges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "      {{ \"before\": \"{}\", \"after\": \"{}\" }}",
+            escape(a),
+            escape(b)
+        ));
+    }
+    out.push_str(if edges.is_empty() {
+        "],\n"
+    } else {
+        "\n    ],\n"
+    });
+    out.push_str("    \"cycles\": [");
+    for (i, c) in cycles.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("      \"{}\"", escape(c)));
+    }
+    out.push_str(if cycles.is_empty() {
+        "]\n"
+    } else {
+        "\n    ]\n"
+    });
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan;
+
+    fn info(rel: &'static str) -> FileInfo<'static> {
+        FileInfo {
+            rel,
+            crate_name: if rel.contains("/sim/") {
+                "sim"
+            } else {
+                "power"
+            },
+            kind: FileKind::Library,
+        }
+    }
+
+    #[test]
+    fn flags_thread_hostile_constructs_in_sim() {
+        let src = "\
+use std::rc::Rc;
+pub struct EventQueue {
+    inner: RefCell<Vec<Event>>,
+    shared: Rc<Config>,
+}
+";
+        let f = scan::scan(src);
+        let mut out = Vec::new();
+        par_readiness(&info("crates/sim/src/queue.rs"), &f, &mut out);
+        let kinds: Vec<&str> = out.iter().map(|d| d.rule).collect();
+        assert_eq!(kinds, vec![PAR_READINESS; 3], "{out:?}");
+        // RefCell must not double-report as Cell.
+        assert_eq!(
+            out.iter()
+                .filter(|d| d.message.contains("`RefCell`"))
+                .count(),
+            1,
+            "{out:?}"
+        );
+        assert!(out.iter().all(|d| d.col > 0 && d.end_col > d.col));
+    }
+
+    #[test]
+    fn other_crates_and_test_regions_are_exempt() {
+        let src = "pub struct Pool { cells: RefCell<u32> }\n";
+        let f = scan::scan(src);
+        let mut out = Vec::new();
+        par_readiness(&info("crates/power/src/pool.rs"), &f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::rc::Rc;\n}\n";
+        let tf = scan::scan(test_src);
+        let mut tout = Vec::new();
+        par_readiness(&info("crates/sim/src/lib.rs"), &tf, &mut tout);
+        assert!(tout.is_empty(), "{tout:?}");
+    }
+
+    #[test]
+    fn report_ranks_blockers_and_counts_shared_state() {
+        let files = [
+            SourceFile {
+                rel: "crates/sim/src/core.rs".into(),
+                source: "\
+pub struct Sim { q: RefCell<u32> }
+impl Sim {
+    pub fn step(&mut self) {}
+    pub fn rewind(&mut self) {}
+    pub fn peek(&self) -> u32 { 0 }
+}
+static mut TICKS: u64 = 0;
+"
+                .into(),
+            },
+            SourceFile {
+                rel: "crates/par/src/runner.rs".into(),
+                source: "\
+impl Runner {
+    pub fn drain(&self) {
+        let a = self.queue.lock();
+        let b = self.results.lock();
+    }
+}
+"
+                .into(),
+            },
+        ];
+        let json = report_json(&files);
+        assert!(json.contains("\"verdict\": \"blocked"), "{json}");
+        // static mut (rank 0) sorts before RefCell (rank 1).
+        let smut = json.find("global-mutable").unwrap();
+        let refc = json.find("interior-mutability").unwrap();
+        assert!(smut < refc, "{json}");
+        assert!(
+            json.contains("\"type\": \"Sim\", \"mut_self_methods\": 2"),
+            "{json}"
+        );
+        assert!(json.contains("\"before\": \"self.queue\""), "{json}");
+        assert!(json.contains("\"cycles\": []"), "{json}");
+        // Deterministic output: building twice is byte-identical.
+        assert_eq!(json, report_json(&files));
+    }
+}

@@ -79,6 +79,14 @@ pub const CHARGE_REACHABILITY: &str = "charge-reachability";
 pub const LAYERING: &str = "layering";
 /// An allow pragma that suppresses nothing is itself an error.
 pub const STALE_PRAGMA: &str = "stale-pragma";
+/// Dimensional analysis: no mixing of incompatible unit kinds.
+pub const UNIT_MIX: &str = "unit-mix";
+/// Raw f64 values must not flow into the ledger's booking sinks.
+pub const RAW_ENERGY: &str = "raw-energy";
+/// Every charge site must sit under a settlement anchor.
+pub const LEDGER_FLOW: &str = "ledger-flow";
+/// Parallel-readiness: no interior mutability / non-Send state in sim.
+pub const PAR_READINESS: &str = "par-readiness";
 
 /// A rule's identity and one-line summary.
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +147,22 @@ pub const RULES: &[Rule] = &[
         id: STALE_PRAGMA,
         summary: "an allow pragma that suppresses zero diagnostics is dead and must be deleted (not suppressible)",
     },
+    Rule {
+        id: UNIT_MIX,
+        summary: "energy/power/time values must not mix dimensions (Joules+Watts, energy*energy, raw J*s)",
+    },
+    Rule {
+        id: RAW_ENERGY,
+        summary: "EnergyLedger::charge/charge_interval/transfer take typed units, never raw f64 literals",
+    },
+    Rule {
+        id: LEDGER_FLOW,
+        summary: "every charge site must be reachable from a settlement anchor (finish / *Report-returning fn)",
+    },
+    Rule {
+        id: PAR_READINESS,
+        summary: "no RefCell/Cell/Rc/static mut/raw pointers in crates/sim (pre-flight for the parallel event loop)",
+    },
 ];
 
 /// Rules whose diagnostics a pragma can never silence. Suppressing the
@@ -153,7 +177,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &["sim", "power", "scheduler", "core"]
 /// Crates whose library code must route failures through `SimError`.
 const ERROR_HYGIENE_CRATES: &[&str] = &["sim", "power", "core", "scheduler"];
 /// The one file allowed to touch `EnergyLedger` internals.
-const LEDGER_FILE: &str = "crates/power/src/ledger.rs";
+pub(crate) const LEDGER_FILE: &str = "crates/power/src/ledger.rs";
 
 /// Run every per-file token rule over one scanned file and return the
 /// *raw* (unsuppressed) diagnostics. Suppression is applied later, at
@@ -169,6 +193,7 @@ pub fn check_tokens(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     print_hygiene(info, f, &mut raw);
     thread_confine(info, f, &mut raw);
     unsafe_forbid(info, f, &mut raw);
+    crate::parready::par_readiness(info, f, &mut raw);
     raw
 }
 
@@ -193,28 +218,23 @@ pub fn suppressed(d: &Diagnostic, f: &ScannedFile) -> bool {
 pub fn pragma_hygiene(rel: &str, f: &ScannedFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for e in &f.pragma_errors {
-        out.push(Diagnostic {
-            file: rel.to_string(),
-            line: e.at,
-            rule: PRAGMA,
-            message: e.message.clone(),
-        });
+        out.push(Diagnostic::new(rel, e.at, PRAGMA, e.message.clone()));
     }
     for p in &f.pragmas {
         if !RULES.iter().any(|r| r.id == p.rule) {
-            out.push(Diagnostic {
-                file: rel.to_string(),
-                line: p.at,
-                rule: PRAGMA,
-                message: format!("pragma suppresses unknown rule `{}`", p.rule),
-            });
+            out.push(Diagnostic::new(
+                rel,
+                p.at,
+                PRAGMA,
+                format!("pragma suppresses unknown rule `{}`", p.rule),
+            ));
         } else if UNSUPPRESSABLE.contains(&p.rule.as_str()) {
-            out.push(Diagnostic {
-                file: rel.to_string(),
-                line: p.at,
-                rule: PRAGMA,
-                message: format!("the `{}` rule cannot be suppressed", p.rule),
-            });
+            out.push(Diagnostic::new(
+                rel,
+                p.at,
+                PRAGMA,
+                format!("the `{}` rule cannot be suppressed", p.rule),
+            ));
         }
     }
     out
@@ -256,16 +276,16 @@ pub fn stale_pragmas(rel: &str, f: &ScannedFile, raw: &[Diagnostic]) -> Vec<Diag
                 .any(|(i, code)| covers(i + 1) && pats.iter().any(|pat| has_token(code, pat)))
         });
         if !earns && !earns_seed {
-            out.push(Diagnostic {
-                file: rel.to_string(),
-                line: p.at,
-                rule: STALE_PRAGMA,
-                message: format!(
+            out.push(Diagnostic::new(
+                rel,
+                p.at,
+                STALE_PRAGMA,
+                format!(
                     "allow({}) suppresses zero diagnostics; delete the pragma (a dead \
                      suppression will silently mask the next real violation here)",
                     p.rule
                 ),
-            });
+            ));
         }
     }
     out
@@ -280,7 +300,7 @@ pub fn has_token(line: &str, pat: &str) -> bool {
 }
 
 /// Byte offsets of every boundary-respecting occurrence of `pat`.
-fn token_positions(line: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn token_positions(line: &str, pat: &str) -> Vec<usize> {
     let first_ident = pat.chars().next().is_some_and(is_ident_char);
     let last_ident = pat.chars().last().is_some_and(is_ident_char);
     let mut out = Vec::new();
@@ -299,12 +319,21 @@ fn token_positions(line: &str, pat: &str) -> Vec<usize> {
 }
 
 fn push(out: &mut Vec<Diagnostic>, info: &FileInfo, line: usize, rule: &'static str, msg: String) {
-    out.push(Diagnostic {
-        file: info.rel.to_string(),
-        line,
-        rule,
-        message: msg,
-    });
+    out.push(Diagnostic::new(info.rel, line, rule, msg));
+}
+
+/// Like [`push`], carrying the `[start, start + len)` byte span of the
+/// offending token as a 1-based column range.
+fn push_tok(
+    out: &mut Vec<Diagnostic>,
+    info: &FileInfo,
+    line: usize,
+    start: usize,
+    len: usize,
+    rule: &'static str,
+    msg: String,
+) {
+    out.push(Diagnostic::new(info.rel, line, rule, msg).with_span(start + 1, start + 1 + len));
 }
 
 // ---------------------------------------------------------------------------
@@ -334,11 +363,13 @@ fn wall_clock(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
     // are themselves clock-free.
     for (i, code) in f.code.iter().enumerate() {
         for pat in WALL_CLOCK_PATTERNS {
-            if has_token(code, pat) {
-                push(
+            if let Some(&start) = token_positions(code, pat).first() {
+                push_tok(
                     out,
                     info,
                     i + 1,
+                    start,
+                    pat.len(),
                     WALL_CLOCK,
                     format!(
                         "`{pat}` is a nondeterministic time/randomness source; use the \
@@ -366,11 +397,13 @@ fn hash_order(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
             continue;
         }
         for pat in HASH_ORDER_PATTERNS {
-            if has_token(code, pat) {
-                push(
+            if let Some(&start) = token_positions(code, pat).first() {
+                push_tok(
                     out,
                     info,
                     i + 1,
+                    start,
+                    pat.len(),
                     HASH_ORDER,
                     format!(
                         "`{pat}` iteration order is nondeterministic and can leak into the \
@@ -699,7 +732,7 @@ fn unsafe_forbid(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------------------
 
 /// Sink methods on `EnergyLedger` — the only places energy is booked.
-const SINK_METHODS: &[&str] = &["charge", "charge_interval", "transfer"];
+pub(crate) const SINK_METHODS: &[&str] = &["charge", "charge_interval", "transfer"];
 
 /// Demand conduits: methods that *record* demand which a later
 /// settlement pass bills. A path ending at a conduit is considered
@@ -774,16 +807,16 @@ pub fn charge_reachability(graph: &WorkspaceGraph) -> Vec<Diagnostic> {
             } else {
                 "a device service event"
             };
-            out.push(Diagnostic {
-                file: d.file.clone(),
-                line: d.line,
-                rule: CHARGE_REACHABILITY,
-                message: format!(
+            out.push(Diagnostic::new(
+                d.file.clone(),
+                d.line,
+                CHARGE_REACHABILITY,
+                format!(
                     "`{}` is {what} that never reaches `EnergyLedger::charge`/`transfer` \
                      (directly or via a demand conduit); simulated work must never be free",
                     d.qualified()
                 ),
-            });
+            ));
         }
     }
     // The settlement function underwrites every conduit bridge above,
@@ -798,16 +831,16 @@ pub fn charge_reachability(graph: &WorkspaceGraph) -> Vec<Diagnostic> {
                 .filter(|&s| graph.fns[s].name == method)
                 .collect();
             if !wanted.is_empty() && !graph.reaches_any(id, &wanted, &BTreeMap::new()) {
-                out.push(Diagnostic {
-                    file: d.file.clone(),
-                    line: d.line,
-                    rule: CHARGE_REACHABILITY,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    d.file.clone(),
+                    d.line,
+                    CHARGE_REACHABILITY,
+                    format!(
                         "`{}` settles the demand conduits but never reaches \
                          `EnergyLedger::{method}`; the settlement promise is broken",
                         d.qualified()
                     ),
-                });
+                ));
             }
         }
     }
@@ -847,15 +880,15 @@ fn layer_of(crate_name: &str) -> Option<u32> {
 
 fn layering_diag(file: &str, line: usize, from: &str, to: &str, via: &str) -> Diagnostic {
     let (lf, lt) = (layer_of(from).unwrap_or(0), layer_of(to).unwrap_or(0));
-    Diagnostic {
-        file: file.to_string(),
+    Diagnostic::new(
+        file,
         line,
-        rule: LAYERING,
-        message: format!(
+        LAYERING,
+        format!(
             "`{from}` (layer {lf}) must not depend on `{to}` (layer {lt}) {via}; \
              dependencies point strictly downward in the DESIGN layer order"
         ),
-    }
+    )
 }
 
 /// Source-level layering: any `grail_<crate>` path in non-test library
@@ -1306,6 +1339,10 @@ impl DiskDevice {
     }
     fn bill(&mut self, at: SimInstant) {
         self.ledger.charge(id, e);
+    }
+    pub fn drain(&mut self, at: SimInstant) -> DrainReport {
+        self.bill(at);
+        DrainReport {}
     }
 }
 ";

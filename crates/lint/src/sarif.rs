@@ -14,7 +14,7 @@ use crate::Diagnostic;
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion inside a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -91,10 +91,22 @@ pub fn to_sarif(diags: &[Diagnostic]) -> String {
             "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
             escape(&d.file)
         ));
-        out.push_str(&format!(
-            "                \"region\": {{ \"startLine\": {} }}\n",
-            d.line
-        ));
+        // Region: all diagnostics are single-line, so endLine mirrors
+        // startLine; column spans are emitted when the rule recorded
+        // one (col 0 means "whole line" and stays implicit — SARIF
+        // columns are 1-based).
+        if d.col > 0 && d.end_col > d.col {
+            out.push_str(&format!(
+                "                \"region\": {{ \"startLine\": {}, \"startColumn\": {}, \
+                 \"endLine\": {}, \"endColumn\": {} }}\n",
+                d.line, d.col, d.line, d.end_col
+            ));
+        } else {
+            out.push_str(&format!(
+                "                \"region\": {{ \"startLine\": {}, \"endLine\": {} }}\n",
+                d.line, d.line
+            ));
+        }
         out.push_str("              }\n            }\n          ]\n");
         out.push_str(if i + 1 == diags.len() {
             "        }\n"
@@ -119,19 +131,27 @@ mod tests {
 
     #[test]
     fn sarif_log_contains_schema_rules_and_results() {
-        let diags = vec![Diagnostic {
-            file: "crates/sim/src/x.rs".to_string(),
-            line: 7,
-            rule: "wall-clock",
-            message: "`Instant::now` is a \"bad\" idea".to_string(),
-        }];
+        let diags = vec![Diagnostic::new(
+            "crates/sim/src/x.rs",
+            7,
+            "wall-clock",
+            "`Instant::now` is a \"bad\" idea",
+        )
+        .with_span(18, 30)];
         let s = to_sarif(&diags);
         assert!(s.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
         assert!(s.contains("\"version\": \"2.1.0\""));
         assert!(s.contains("\"name\": \"grail-lint\""));
         assert!(s.contains("\"id\": \"charge-reachability\""));
         assert!(s.contains("\"ruleId\": \"wall-clock\""));
-        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\"ruleIndex\": "));
+        assert!(s.contains(
+            "\"region\": { \"startLine\": 7, \"startColumn\": 18, \"endLine\": 7, \
+             \"endColumn\": 30 }"
+        ));
+        // A span-less diagnostic still carries endLine.
+        let plain = to_sarif(&[Diagnostic::new("a.rs", 3, "wall-clock", "m")]);
+        assert!(plain.contains("\"region\": { \"startLine\": 3, \"endLine\": 3 }"));
         // The quote inside the message must arrive escaped.
         assert!(s.contains("a \\\"bad\\\" idea"));
         // Balanced braces/brackets — a cheap structural sanity check on

@@ -62,6 +62,11 @@ impl ScannedFile {
 /// Marker every pragma comment must start with (after `//`).
 pub const PRAGMA_TAG: &str = "grail-lint:";
 
+/// Bumped whenever `strip`'s output can change for the same input, so
+/// cached per-file analyses (`crate::cache`) never survive a tokenizer
+/// change.
+pub const TOKENIZER_VERSION: u32 = 2;
+
 struct RawPragma {
     rule: String,
     reason: String,
@@ -132,7 +137,12 @@ pub fn scan(source: &str) -> ScannedFile {
     }
 }
 
-/// Blank comments and string contents, preserving line structure.
+/// Blank comments and string contents, preserving line structure *and*
+/// column positions: every blanked character becomes one space (newlines
+/// stay newlines), so byte offsets into the stripped text are byte
+/// offsets into the original line — which is what lets diagnostics carry
+/// exact column spans and keeps tokens on either side of a blanked
+/// region (`x/*c*/y`) from merging.
 /// Returns the per-line code text plus every `//` comment's text keyed
 /// by 0-based line index.
 fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
@@ -143,6 +153,16 @@ fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
     let mut i = 0usize;
     let n = chars.len();
     let at = |i: usize| if i < n { chars[i] } else { '\0' };
+    // Blank one source char: a space in place of code, a real newline so
+    // line structure survives.
+    let blank = |out: &mut String, line: &mut usize, c: char| {
+        if c == '\n' {
+            out.push('\n');
+            *line += 1;
+        } else {
+            out.push(' ');
+        }
+    };
     while i < n {
         let c = chars[i];
         if c == '\n' {
@@ -153,6 +173,7 @@ fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
             // Line comment: capture text, blank it from the code.
             let start = i;
             while i < n && chars[i] != '\n' {
+                out.push(' ');
                 i += 1;
             }
             let text: String = chars[start..i].iter().collect();
@@ -160,19 +181,19 @@ fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
         } else if c == '/' && at(i + 1) == '*' {
             // Block comment, possibly nested; newlines preserved.
             let mut depth = 1usize;
+            out.push_str("  ");
             i += 2;
             while i < n && depth > 0 {
                 if chars[i] == '/' && at(i + 1) == '*' {
                     depth += 1;
+                    out.push_str("  ");
                     i += 2;
                 } else if chars[i] == '*' && at(i + 1) == '/' {
                     depth -= 1;
+                    out.push_str("  ");
                     i += 2;
                 } else {
-                    if chars[i] == '\n' {
-                        out.push('\n');
-                        line += 1;
-                    }
+                    blank(&mut out, &mut line, chars[i]);
                     i += 1;
                 }
             }
@@ -183,33 +204,40 @@ fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
             i += 1;
             while i < n {
                 match chars[i] {
-                    '\\' => i += 2,
+                    '\\' => {
+                        out.push(' ');
+                        if i + 1 < n {
+                            blank(&mut out, &mut line, chars[i + 1]);
+                        }
+                        i += 2;
+                    }
                     '"' => {
                         out.push('"');
                         i += 1;
                         break;
                     }
-                    '\n' => {
-                        out.push('\n');
-                        line += 1;
+                    other => {
+                        blank(&mut out, &mut line, other);
                         i += 1;
                     }
-                    _ => i += 1,
                 }
             }
         } else if c == '\'' {
             // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
             if at(i + 1) == '\\' {
-                // Escaped char literal: skip to the closing quote.
+                // Escaped char literal: blank to the closing quote.
+                out.push('\'');
+                out.push(' ');
                 i += 2;
                 while i < n && chars[i] != '\'' {
+                    blank(&mut out, &mut line, chars[i]);
                     i += 1;
                 }
-                out.push('\'');
                 out.push('\'');
                 i += 1;
             } else if at(i + 2) == '\'' && at(i + 1) != '\'' {
                 out.push('\'');
+                out.push(' ');
                 out.push('\'');
                 i += 3;
             } else {
@@ -251,11 +279,14 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
 fn skip_raw_string(chars: &[char], mut i: usize, out: &mut String, line: &mut usize) -> usize {
     let n = chars.len();
     if chars[i] == 'b' {
+        out.push(' ');
         i += 1;
     }
+    out.push(' ');
     i += 1; // past `r`
     let mut hashes = 0usize;
     while i < n && chars[i] == '#' {
+        out.push(' ');
         hashes += 1;
         i += 1;
     }
@@ -269,13 +300,19 @@ fn skip_raw_string(chars: &[char], mut i: usize, out: &mut String, line: &mut us
             }
             if m == hashes {
                 out.push('"');
+                for _ in 0..hashes {
+                    out.push(' ');
+                }
                 return i + 1 + hashes;
             }
+            out.push(' ');
             i += 1;
         } else {
             if chars[i] == '\n' {
                 out.push('\n');
                 *line += 1;
+            } else {
+                out.push(' ');
             }
             i += 1;
         }
@@ -445,4 +482,116 @@ fn mark_test_regions(code: &[String]) -> Vec<bool> {
         i = end + 1;
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).code
+    }
+
+    #[test]
+    fn raw_strings_blank_but_keep_columns() {
+        let src = "let s = r#\"HashMap::new()\"#; let x = 1;\n";
+        let code = code_of(src);
+        assert!(!code[0].contains("HashMap"), "raw string content leaked");
+        // Every char of the literal became exactly one output char, so
+        // the code after it sits at its original column.
+        assert_eq!(code[0].len(), src.trim_end().len());
+        assert_eq!(code[0].find("let x"), src.find("let x"));
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_and_byte_prefix() {
+        for src in [
+            "let s = r##\"a\"# still \"##; f();\n",
+            "let s = br#\"bytes\"#; f();\n",
+            "let s = r\"plain raw\"; f();\n",
+        ] {
+            let code = code_of(src);
+            assert_eq!(code[0].len(), src.trim_end().len(), "{src:?}");
+            assert_eq!(code[0].find("f();"), src.find("f();"), "{src:?}");
+            assert!(!code[0].contains("raw") && !code[0].contains("bytes"));
+        }
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_line_count() {
+        let src = "let s = r#\"line one\nInstant::now()\nlast\"#;\nf();\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.code.len(), src.split('\n').count());
+        assert!(scanned.code.iter().all(|l| !l.contains("Instant")));
+        assert_eq!(scanned.code[3], "f();");
+    }
+
+    #[test]
+    fn nested_block_comments_blank_fully() {
+        let src = "a /* outer /* inner */ still outer */ b\n";
+        let code = code_of(src);
+        assert_eq!(code[0].len(), src.trim_end().len());
+        assert!(!code[0].contains("inner") && !code[0].contains("outer"));
+        assert_eq!(code[0].find('a'), Some(0));
+        assert_eq!(code[0].find('b'), src.find('b'));
+    }
+
+    #[test]
+    fn block_comment_no_longer_merges_tokens() {
+        // Before column preservation `x/*c*/y` stripped to `xy` — a
+        // token that exists nowhere in the source.
+        let code = code_of("let v = x/*c*/y;\n");
+        assert!(!code[0].contains("xy"));
+        assert!(code[0].contains("x     y"));
+    }
+
+    #[test]
+    fn strings_blank_to_spaces_keeping_quotes_and_columns() {
+        let src = "let s = \"Instant::now() \\\" quoted\"; g();\n";
+        let code = code_of(src);
+        assert_eq!(code[0].len(), src.trim_end().len());
+        assert!(!code[0].contains("Instant"));
+        assert_eq!(code[0].find("g();"), src.find("g();"));
+        assert_eq!(code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_keep_length() {
+        let src = "let c = 'x'; let d = '\\n'; fn f<'a>(v: &'a str) {}\n";
+        let code = code_of(src);
+        assert_eq!(code[0].len(), src.trim_end().len());
+        assert!(code[0].contains("'a"), "lifetime must survive");
+        assert!(!code[0].contains('x'));
+    }
+
+    #[test]
+    fn line_comments_blank_to_spaces_and_are_captured() {
+        let src = "let a = 1; // trailing HashMap note\n";
+        let scanned = scan(src);
+        assert!(!scanned.code[0].contains("HashMap"));
+        assert_eq!(scanned.code[0].len(), src.trim_end().len());
+    }
+
+    #[test]
+    fn pragma_on_comment_only_line_still_covers_next_code_line() {
+        let src = "// grail-lint: allow(hash-order, fixture)\nuse std::x;\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.pragmas.len(), 1);
+        assert_eq!(scanned.pragmas[0].scope, PragmaScope::Line(2));
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let src = "use std::x; // grail-lint: allow(hash-order, fixture)\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.pragmas.len(), 1);
+        assert_eq!(scanned.pragmas[0].scope, PragmaScope::Line(1));
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_all_blank() {
+        let code = code_of("a /* never closed\nsecond line\n");
+        assert!(code[0].starts_with('a'));
+        assert!(code[1].trim().is_empty());
+    }
 }

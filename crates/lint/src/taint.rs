@@ -225,18 +225,18 @@ pub fn check(
                 }) else {
                     continue;
                 };
-                out.push(Diagnostic {
-                    file: d.file.clone(),
-                    line: call.line,
-                    rule: taint.rule,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    d.file.clone(),
+                    call.line,
+                    taint.rule,
+                    format!(
                         "sim-reachable call to `{}` pulls {} into `{}`: {}",
                         graph.fns[callee].qualified(),
                         what,
                         d.qualified(),
                         taint.chain(graph, callee),
                     ),
-                });
+                ));
             }
         }
     }

@@ -1,0 +1,540 @@
+//! The dimensional lattice behind the `unit-mix` and `raw-energy`
+//! rules.
+//!
+//! Every expression the dataflow engine ([`crate::dataflow`]) evaluates
+//! carries a [`Kind`]: a typed unit from `grail-power::units` (Joules,
+//! Watts, SimDuration, …), a *raw* projection of one (the `f64` that
+//! `.joules()` / `.get()` / `.as_secs_f64()` extract), a dimensionless
+//! scalar, or ⊤ (`Unknown`). The lattice is deliberately shallow and
+//! sound-for-silence: `Unknown` absorbs everything and never produces a
+//! diagnostic, so the rules only speak when *both* operands are traced
+//! back to a unit-bearing origin — a literal, a units constructor, a
+//! typed parameter, or a workspace function whose signature names a
+//! unit type.
+//!
+//! [`combine`] is the transfer function for binary arithmetic: it
+//! encodes the legal algebra (`Watts × SimDuration = Joules`,
+//! `Joules / Joules = scalar`, instant − instant = duration, …) and
+//! rejects the mixtures the paper's accounting argument cannot survive
+//! (`Joules + Watts`, energy × energy, raw energy-delay products built
+//! by hand instead of [`Joules::delay_product`]).
+
+use crate::dataflow::{self, Ctx};
+use crate::graph::{FileGraph, WorkspaceGraph};
+use crate::rules::{RAW_ENERGY, UNIT_MIX};
+use crate::scan::ScannedFile;
+use crate::{Diagnostic, FileInfo, FileKind};
+use std::collections::BTreeMap;
+
+/// Abstract value kind tracked through let-bindings and arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// Typed `Joules`.
+    Energy,
+    /// `f64` extracted from an energy (`.joules()`, `.as_kwh()`).
+    RawEnergy,
+    /// Typed `Watts`.
+    Power,
+    /// `f64` extracted from a power (`Watts::get`).
+    RawPower,
+    /// Typed `SimDuration`.
+    Duration,
+    /// `f64`/integer seconds-or-nanos extracted from a duration.
+    RawTime,
+    /// Typed `SimInstant` (a timestamp, not a span).
+    Instant,
+    /// Typed `Hertz`.
+    Freq,
+    /// Typed `Bytes`.
+    Bytes,
+    /// Typed `Cycles`.
+    Cycles,
+    /// Typed `EnergyEfficiency` (work per Joule).
+    Eff,
+    /// Typed `JouleSeconds` (energy-delay product).
+    Edp,
+    /// Dimensionless number (literals, counts, ratios).
+    Scalar,
+    /// Boolean (comparison results).
+    Bool,
+    /// ⊤ — not traced to a unit-bearing origin; never flagged.
+    Unknown,
+}
+
+/// The physical dimension a [`Kind`] lives in (raw and typed collapse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    /// Energy (J).
+    E,
+    /// Power (W).
+    P,
+    /// Time span (s).
+    T,
+    /// Timestamp.
+    I,
+    /// Frequency (1/s).
+    F,
+    /// Byte count.
+    B,
+    /// Cycle count.
+    C,
+    /// Work per Joule.
+    Eff,
+    /// Energy-delay product (J·s).
+    Edp,
+}
+
+impl Kind {
+    /// The dimension, `None` for scalar/bool/unknown.
+    pub fn dim(self) -> Option<Dim> {
+        match self {
+            Kind::Energy | Kind::RawEnergy => Some(Dim::E),
+            Kind::Power | Kind::RawPower => Some(Dim::P),
+            Kind::Duration | Kind::RawTime => Some(Dim::T),
+            Kind::Instant => Some(Dim::I),
+            Kind::Freq => Some(Dim::F),
+            Kind::Bytes => Some(Dim::B),
+            Kind::Cycles => Some(Dim::C),
+            Kind::Eff => Some(Dim::Eff),
+            Kind::Edp => Some(Dim::Edp),
+            Kind::Scalar | Kind::Bool | Kind::Unknown => None,
+        }
+    }
+
+    /// True for the raw (`f64`-projected) kinds.
+    pub fn raw(self) -> bool {
+        matches!(self, Kind::RawEnergy | Kind::RawPower | Kind::RawTime)
+    }
+
+    /// True when the kind carries a dimension at all.
+    pub fn dimensioned(self) -> bool {
+        self.dim().is_some()
+    }
+
+    /// Human name used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Energy => "Joules",
+            Kind::RawEnergy => "raw J (f64 from .joules())",
+            Kind::Power => "Watts",
+            Kind::RawPower => "raw W (f64 from .get())",
+            Kind::Duration => "SimDuration",
+            Kind::RawTime => "raw seconds (f64 from .as_secs_f64())",
+            Kind::Instant => "SimInstant",
+            Kind::Freq => "Hertz",
+            Kind::Bytes => "Bytes",
+            Kind::Cycles => "Cycles",
+            Kind::Eff => "EnergyEfficiency",
+            Kind::Edp => "JouleSeconds (J*s)",
+            Kind::Scalar => "dimensionless f64",
+            Kind::Bool => "bool",
+            Kind::Unknown => "unknown",
+        }
+    }
+}
+
+fn raw_of(d: Dim) -> Kind {
+    match d {
+        Dim::E => Kind::RawEnergy,
+        Dim::P => Kind::RawPower,
+        Dim::T => Kind::RawTime,
+        Dim::I => Kind::Instant,
+        Dim::F => Kind::Freq,
+        Dim::B => Kind::Bytes,
+        Dim::C => Kind::Cycles,
+        Dim::Eff => Kind::Eff,
+        Dim::Edp => Kind::Edp,
+    }
+}
+
+/// Kind of a bare type name (`Joules`, `f64`, `u64`, …).
+pub fn type_kind(name: &str) -> Kind {
+    match name {
+        "Joules" => Kind::Energy,
+        "Watts" => Kind::Power,
+        "SimDuration" => Kind::Duration,
+        "SimInstant" => Kind::Instant,
+        "Hertz" => Kind::Freq,
+        "Bytes" => Kind::Bytes,
+        "Cycles" => Kind::Cycles,
+        "EnergyEfficiency" => Kind::Eff,
+        "JouleSeconds" => Kind::Edp,
+        "f64" | "f32" | "u8" | "u16" | "u32" | "u64" | "u128" | "usize" | "i8" | "i16" | "i32"
+        | "i64" | "i128" | "isize" => Kind::Scalar,
+        "bool" => Kind::Bool,
+        _ => Kind::Unknown,
+    }
+}
+
+/// Kind of a parameter from its declared type text (`&ChaosSchedule`,
+/// `SimInstant`, `f64`). Only bare (possibly referenced) type names
+/// seed — anything structured stays `Unknown`.
+pub fn param_kind(ty: &str) -> Kind {
+    let t = ty
+        .trim()
+        .trim_start_matches('&')
+        .trim()
+        .trim_start_matches("mut ")
+        .trim();
+    if t.chars().all(crate::scan::is_ident_char) {
+        type_kind(t)
+    } else {
+        Kind::Unknown
+    }
+}
+
+/// Kind of a declared return type. `Option<X>` / `Result<X, E>` peel to
+/// `X`; a bare unit type maps directly; everything else is `Unknown`
+/// (an `f64` return could be any quantity, so it deliberately does not
+/// seed).
+pub fn ret_kind(ret: &str) -> Kind {
+    let t = ret.trim();
+    let inner = ["Option<", "Result<"]
+        .iter()
+        .find_map(|w| t.strip_prefix(w))
+        .map(|rest| {
+            let mut depth = 0usize;
+            let mut end = rest.len();
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '<' => depth += 1,
+                    '>' if depth > 0 => depth -= 1,
+                    ',' | '>' if depth == 0 => {
+                        end = i;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            rest[..end].trim()
+        })
+        .unwrap_or(t);
+    if inner.chars().all(crate::scan::is_ident_char) && !inner.is_empty() {
+        match type_kind(inner) {
+            // A bare numeric return tells us nothing about dimension.
+            Kind::Scalar => Kind::Unknown,
+            k => k,
+        }
+    } else {
+        Kind::Unknown
+    }
+}
+
+/// Result kind of a method call, by receiver kind and method name.
+/// `Unknown` means "no table entry" — the engine then falls back to the
+/// workspace call graph's return types.
+pub fn method_kind(recv: Kind, name: &str) -> Kind {
+    match name {
+        "joules" | "as_kwh" => Kind::RawEnergy,
+        "as_secs_f64" | "as_nanos" | "as_micros" | "as_millis" | "as_secs" => Kind::RawTime,
+        "get" => match recv {
+            Kind::Power => Kind::RawPower,
+            Kind::Energy => Kind::RawEnergy,
+            Kind::Duration => Kind::RawTime,
+            Kind::Freq | Kind::Bytes | Kind::Cycles | Kind::Eff => Kind::Scalar,
+            _ => Kind::Unknown,
+        },
+        "delay_product" => Kind::Edp,
+        "avg_power_over" => match recv {
+            Kind::Energy => Kind::Power,
+            _ => Kind::Unknown,
+        },
+        "work_per_joule" | "gain_over" | "as_f64" | "to_bits" => Kind::Scalar,
+        "duration_since" | "saturating_duration_since" | "elapsed" => Kind::Duration,
+        "time_at_rate" | "time_at" => Kind::Duration,
+        "mul_f64" | "div_u64" | "saturating_add" | "saturating_sub" | "saturating_mul" | "min"
+        | "max" | "clamp" | "abs" | "clone" => recv,
+        _ => Kind::Unknown,
+    }
+}
+
+/// Result kind of an associated call `Type::assoc(...)` — any
+/// constructor-shaped call on a unit type yields that type's kind.
+pub fn assoc_kind(type_name: &str, _assoc: &str) -> Kind {
+    match type_kind(type_name) {
+        Kind::Unknown | Kind::Bool => Kind::Unknown,
+        k => k,
+    }
+}
+
+/// Transfer function for `a op b`. `Err` carries the diagnostic text of
+/// a dimensional violation; the engine recovers with `Unknown`.
+pub fn combine(op: char, a: Kind, b: Kind) -> Result<Kind, String> {
+    use Kind::*;
+    if matches!(a, Unknown | Bool) || matches!(b, Unknown | Bool) {
+        return Ok(Unknown);
+    }
+    match op {
+        '+' | '-' => add_sub(op, a, b),
+        '*' => mul(a, b),
+        '/' => Ok(div(a, b)),
+        _ => Ok(Unknown),
+    }
+}
+
+fn add_sub(op: char, a: Kind, b: Kind) -> Result<Kind, String> {
+    use Kind::*;
+    match (a, b) {
+        (Scalar, Scalar) => Ok(Scalar),
+        // A dimensionless addend adopts the other side's dimension
+        // (raw arithmetic like `joules + 0.5` stays legal).
+        (Scalar, k) | (k, Scalar) => Ok(k),
+        (Instant, Duration | RawTime) => Ok(Instant),
+        (Duration | RawTime, Instant) if op == '+' => Ok(Instant),
+        (Instant, Instant) if op == '-' => Ok(Duration),
+        (Instant, Instant) => Err(
+            "`SimInstant + SimInstant` adds two timestamps, which is meaningless; subtract \
+             them for a SimDuration or add a SimDuration offset"
+                .to_string(),
+        ),
+        _ => match (a.dim(), b.dim()) {
+            (Some(da), Some(db)) if da == db => Ok(if a.raw() || b.raw() { raw_of(da) } else { a }),
+            _ => Err(format!(
+                "`{} {op} {}` mixes incompatible dimensions; convert explicitly before \
+                 combining (e.g. `Watts * SimDuration` -> Joules, `Joules / SimDuration` \
+                 -> Watts)",
+                a.label(),
+                b.label()
+            )),
+        },
+    }
+}
+
+fn mul(a: Kind, b: Kind) -> Result<Kind, String> {
+    use Dim::{Eff, E, F, P, T};
+    use Kind::{Cycles, Energy, RawEnergy, Scalar, Unknown};
+    match (a, b) {
+        (Scalar, k) | (k, Scalar) => Ok(k),
+        _ => match (a.dim(), b.dim()) {
+            (Some(P), Some(T)) | (Some(T), Some(P)) => Ok(if a.raw() || b.raw() {
+                RawEnergy
+            } else {
+                Energy
+            }),
+            (Some(F), Some(T)) | (Some(T), Some(F)) => Ok(Cycles),
+            (Some(E), Some(Eff)) | (Some(Eff), Some(E)) => Ok(Scalar),
+            (Some(E), Some(E)) => Err(format!(
+                "`{} * {}` squares an energy — no GRAIL quantity is J^2; one factor is \
+                 probably meant to be a power, time, or scalar",
+                a.label(),
+                b.label()
+            )),
+            (Some(E), Some(P)) | (Some(P), Some(E)) => Err(format!(
+                "`{} * {}` multiplies energy by power (J*W has no meaning in the ledger); \
+                 divide for a duration or multiply power by time for energy",
+                a.label(),
+                b.label()
+            )),
+            (Some(P), Some(P)) => Err(format!(
+                "`{} * {}` squares a power — no GRAIL quantity is W^2",
+                a.label(),
+                b.label()
+            )),
+            (Some(E), Some(T)) | (Some(T), Some(E)) => Err(format!(
+                "`{} * {}` builds an energy-delay product as a raw f64; use \
+                 `Joules::delay_product(SimDuration)` for a typed `JouleSeconds`",
+                a.label(),
+                b.label()
+            )),
+            _ => Ok(Unknown),
+        },
+    }
+}
+
+fn div(a: Kind, b: Kind) -> Kind {
+    use Dim::{C, E, F, P, T};
+    use Kind::{Duration, Power, RawEnergy, RawPower, RawTime, Scalar, Unknown};
+    match (a, b) {
+        (k, Scalar) => k,
+        (Scalar, _) => Unknown,
+        _ => match (a.dim(), b.dim()) {
+            (Some(da), Some(db)) if da == db => Scalar,
+            (Some(E), Some(T)) => {
+                if a.raw() || b.raw() {
+                    RawPower
+                } else {
+                    Power
+                }
+            }
+            (Some(E), Some(P)) => {
+                if a.raw() || b.raw() {
+                    RawTime
+                } else {
+                    Duration
+                }
+            }
+            (Some(C), Some(F)) => RawTime,
+            (Some(Dim::Edp), Some(T)) => RawEnergy,
+            (Some(Dim::Edp), Some(E)) => RawTime,
+            _ => Unknown,
+        },
+    }
+}
+
+/// Per-sink expected dimensions for the `raw-energy` check (`None` for
+/// arguments the rule does not judge, e.g. component ids).
+pub(crate) fn sink_expectations(name: &str) -> Option<&'static [Option<Dim>]> {
+    match name {
+        "charge" => Some(&[None, Some(Dim::E)]),
+        "charge_interval" => Some(&[None, Some(Dim::P), Some(Dim::T)]),
+        "transfer" => Some(&[None, None, Some(Dim::E)]),
+        _ => None,
+    }
+}
+
+/// Judge one sink argument against its expected dimension; returns the
+/// violation `(rule, message)` if any.
+pub(crate) fn judge_sink_arg(
+    sink: &str,
+    expected: Dim,
+    got: Kind,
+) -> Option<(&'static str, String)> {
+    let want = match expected {
+        Dim::E => "Joules",
+        Dim::P => "Watts",
+        Dim::T => "SimDuration",
+        _ => "unit",
+    };
+    match got {
+        Kind::Unknown | Kind::Bool => None,
+        Kind::Scalar => Some((
+            RAW_ENERGY,
+            format!(
+                "a bare f64 value flows into `EnergyLedger::{sink}`; wrap it in a units \
+                 constructor (`{want}::new(...)`) so the ledger only ever books typed \
+                 quantities"
+            ),
+        )),
+        k if k.raw() && k.dim() == Some(expected) => Some((
+            RAW_ENERGY,
+            format!(
+                "a {} round-trips through f64 into `EnergyLedger::{sink}`; keep the typed \
+                 `{want}` value instead of re-wrapping the raw number",
+                k.label()
+            ),
+        )),
+        k if k.raw() => Some((
+            RAW_ENERGY,
+            format!(
+                "a {} flows into `EnergyLedger::{sink}` where a `{want}` is required — \
+                 wrong dimension and untyped",
+                k.label()
+            ),
+        )),
+        k if k.dim() == Some(expected) => None,
+        k => Some((
+            UNIT_MIX,
+            format!(
+                "`EnergyLedger::{sink}` requires a `{want}` here but receives a `{}`",
+                k.label()
+            ),
+        )),
+    }
+}
+
+/// The `unit-mix` / `raw-energy` driver for one file: run the dataflow
+/// engine over every non-test function body in scope (library code and
+/// `examples/`) and return the raw diagnostics.
+pub fn check_file(
+    info: &FileInfo,
+    scanned: &ScannedFile,
+    fg: &FileGraph,
+    wg: &WorkspaceGraph,
+) -> Vec<Diagnostic> {
+    let in_examples = info.rel.starts_with("examples/") || info.rel.contains("/examples/");
+    if info.kind != FileKind::Library && !in_examples {
+        return Vec::new();
+    }
+    let mut findings = std::collections::BTreeSet::new();
+    for d in &fg.fns {
+        if d.in_test {
+            continue;
+        }
+        // Lines owned by a nested fn are analyzed under that fn (with
+        // its own parameter environment), not under the enclosing one.
+        let nested: Vec<(usize, usize)> = fg
+            .fns
+            .iter()
+            .filter(|o| o.line > d.line && o.end_line <= d.end_line)
+            .map(|o| (o.line, o.end_line))
+            .collect();
+        let lines: Vec<(usize, &str)> = (d.line..=d.end_line.min(scanned.code.len()))
+            .filter(|ln| !nested.iter().any(|&(a, b)| (a..=b).contains(ln)))
+            .map(|ln| (ln, scanned.code[ln - 1].as_str()))
+            .collect();
+        let mut env: BTreeMap<String, Kind> = BTreeMap::new();
+        for (name, ty) in &d.params {
+            env.insert(name.clone(), param_kind(ty));
+        }
+        let mut ctx = Ctx {
+            wg,
+            out: &mut findings,
+        };
+        dataflow::run(&lines, &mut env, &mut ctx);
+    }
+    findings
+        .into_iter()
+        .map(|(line, col, end_col, rule, msg)| {
+            Diagnostic::new(info.rel, line, rule, msg).with_span(col, end_col)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_algebra_combines_cleanly() {
+        use Kind::*;
+        assert_eq!(combine('*', Power, Duration), Ok(Energy));
+        assert_eq!(combine('*', RawPower, RawTime), Ok(RawEnergy));
+        assert_eq!(combine('/', Energy, Energy), Ok(Scalar));
+        assert_eq!(combine('/', Energy, Duration), Ok(Power));
+        assert_eq!(combine('/', RawEnergy, RawTime), Ok(RawPower));
+        assert_eq!(combine('+', Energy, Energy), Ok(Energy));
+        assert_eq!(combine('+', RawEnergy, Scalar), Ok(RawEnergy));
+        assert_eq!(combine('-', Instant, Instant), Ok(Duration));
+        assert_eq!(combine('+', Instant, Duration), Ok(Instant));
+        assert_eq!(combine('*', Scalar, Scalar), Ok(Scalar));
+        // Unknown absorbs silently.
+        assert_eq!(combine('+', Unknown, Energy), Ok(Unknown));
+    }
+
+    #[test]
+    fn illegal_mixtures_are_rejected() {
+        use Kind::*;
+        assert!(combine('+', Energy, Power).is_err());
+        assert!(combine('+', RawEnergy, RawTime).is_err());
+        assert!(combine('*', Energy, Energy).is_err());
+        assert!(combine('*', RawEnergy, RawPower).is_err());
+        assert!(combine('*', Power, Power).is_err());
+        let edp = combine('*', RawEnergy, RawTime);
+        assert!(edp.as_ref().is_err_and(|m| m.contains("delay_product")));
+        assert!(combine('+', Instant, Instant).is_err());
+    }
+
+    #[test]
+    fn signature_seeding_maps_types() {
+        assert_eq!(param_kind("&mut SimInstant"), Kind::Instant);
+        assert_eq!(param_kind("f64"), Kind::Scalar);
+        assert_eq!(param_kind("&ChaosSchedule"), Kind::Unknown);
+        assert_eq!(ret_kind("Joules"), Kind::Energy);
+        assert_eq!(ret_kind("Result<Joules, SimError>"), Kind::Energy);
+        assert_eq!(ret_kind("Option<SimDuration>"), Kind::Duration);
+        // Bare numerics never seed — an f64 could be any quantity.
+        assert_eq!(ret_kind("f64"), Kind::Unknown);
+        assert_eq!(ret_kind("Result<ChaosReport, ClusterError>"), Kind::Unknown);
+    }
+
+    #[test]
+    fn method_table_covers_projections() {
+        assert_eq!(method_kind(Kind::Unknown, "joules"), Kind::RawEnergy);
+        assert_eq!(method_kind(Kind::Unknown, "as_secs_f64"), Kind::RawTime);
+        assert_eq!(method_kind(Kind::Power, "get"), Kind::RawPower);
+        assert_eq!(method_kind(Kind::Bytes, "get"), Kind::Scalar);
+        assert_eq!(method_kind(Kind::Unknown, "get"), Kind::Unknown);
+        assert_eq!(method_kind(Kind::Energy, "delay_product"), Kind::Edp);
+        assert_eq!(method_kind(Kind::Duration, "mul_f64"), Kind::Duration);
+    }
+}

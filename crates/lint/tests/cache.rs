@@ -1,0 +1,67 @@
+//! Incremental-cache integration tests.
+//!
+//! The cache is a pure memoization layer: a warm run must produce
+//! output byte-identical to a cold run and to an uncached run, and a
+//! poisoned cache directory must fall back to re-analysis rather than
+//! change the output or crash.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// The real workspace root (see `workspace_clean.rs`).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .canonicalize()
+        .expect("manifest dir exists")
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn warm_cache_is_byte_identical_to_cold_and_uncached() {
+    let root = workspace_root();
+    let cache = std::env::temp_dir().join(format!("grail-lint-cache-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&cache);
+
+    let cold = grail_lint::check_workspace_cached(&root, 2, &cache).expect("cold run");
+    let entries = fs::read_dir(&cache).map(|it| it.count()).unwrap_or(0);
+    assert!(entries > 0, "cold run must populate the cache directory");
+
+    let warm = grail_lint::check_workspace_cached(&root, 2, &cache).expect("warm run");
+    assert_eq!(cold, warm, "warm run diverged from cold run");
+
+    let uncached = grail_lint::check_workspace_threads(&root, 2).expect("uncached run");
+    assert_eq!(cold, uncached, "cached run diverged from uncached run");
+
+    // The full rendered artifacts must match too, not just the Vec.
+    assert_eq!(
+        grail_lint::sarif::to_sarif(&cold),
+        grail_lint::sarif::to_sarif(&warm),
+        "SARIF output diverged between cold and warm runs"
+    );
+
+    // Poison every entry: deserialization must fail closed (re-analyze)
+    // and the output must not change.
+    for e in fs::read_dir(&cache).expect("cache dir readable") {
+        let p = e.expect("entry").path();
+        fs::write(&p, "not a cache entry\n").expect("entry writable");
+    }
+    let scrambled =
+        grail_lint::check_workspace_cached(&root, 2, &cache).expect("run over poisoned cache");
+    assert_eq!(cold, scrambled, "poisoned cache changed the output");
+
+    let _ = fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn cache_results_are_thread_count_invariant() {
+    let root = workspace_root();
+    let cache = std::env::temp_dir().join(format!("grail-lint-cache-t-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&cache);
+    let seq = grail_lint::check_workspace_cached(&root, 1, &cache).expect("sequential");
+    let par = grail_lint::check_workspace_cached(&root, 8, &cache).expect("parallel");
+    assert_eq!(seq, par, "cached diagnostics differ across thread counts");
+    let _ = fs::remove_dir_all(&cache);
+}

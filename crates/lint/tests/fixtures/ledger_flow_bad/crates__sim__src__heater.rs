@@ -1,0 +1,5 @@
+impl Heater {
+    pub fn burn(&mut self, l: &mut EnergyLedger, id: ComponentId, e: Joules) {
+        l.charge(id, e);
+    }
+}

@@ -1,0 +1,4 @@
+impl EnergyLedger {
+    pub fn charge(&mut self, id: ComponentId, e: Joules) {}
+    pub fn transfer(&mut self, from: ComponentId, to: ComponentId, e: Joules) {}
+}

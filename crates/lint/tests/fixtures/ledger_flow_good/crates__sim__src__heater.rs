@@ -1,0 +1,9 @@
+impl Heater {
+    pub fn burn(&mut self, l: &mut EnergyLedger, id: ComponentId, e: Joules) {
+        l.charge(id, e);
+    }
+    pub fn finish(self, l: &mut EnergyLedger, id: ComponentId, e: Joules) -> HeatReport {
+        self.burn(l, id, e);
+        HeatReport {}
+    }
+}

@@ -1,0 +1,6 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct BlockCache {
+    inner: Rc<RefCell<Vec<u8>>>,
+}

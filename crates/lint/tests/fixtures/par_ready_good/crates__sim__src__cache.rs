@@ -1,0 +1,9 @@
+pub struct BlockCache {
+    inner: Vec<u8>,
+}
+
+impl BlockCache {
+    pub fn push(&mut self, b: u8) {
+        self.inner.push(b);
+    }
+}

@@ -1,0 +1,9 @@
+impl Meter {
+    pub fn misbill(&mut self, l: &mut EnergyLedger, id: ComponentId, e: Joules, p: Watts, d: SimDuration) {
+        let bad = e + p;
+        let edp = e.joules() * d.as_secs_f64();
+        l.charge(id, 2.5);
+        l.charge(id, e.joules());
+        let _ = (bad, edp);
+    }
+}

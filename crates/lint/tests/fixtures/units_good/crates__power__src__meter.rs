@@ -1,0 +1,8 @@
+impl Meter {
+    pub fn bill(&mut self, l: &mut EnergyLedger, id: ComponentId, e: Joules, p: Watts, d: SimDuration) {
+        let total = e + p * d;
+        let edp = e.delay_product(d);
+        l.charge(id, total);
+        let _ = edp;
+    }
+}

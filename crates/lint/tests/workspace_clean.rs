@@ -185,6 +185,21 @@ fn every_rule_is_exercised_by_the_engine() {
             "use grail_core::GrailDb;\nfn f() {}\n",
             "layering",
         ),
+        (
+            "crates/power/src/fixture.rs",
+            "fn f(a: Joules, b: Watts) -> f64 { let c = a + b; 0.0 }\n",
+            "unit-mix",
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            "impl Machine {\n    pub fn f(&mut self, l: &mut EnergyLedger, id: ComponentId) {\n        l.charge(id, 3.5);\n    }\n}\n",
+            "raw-energy",
+        ),
+        (
+            "crates/sim/src/fixture.rs",
+            "use std::cell::RefCell;\nfn f() {}\n",
+            "par-readiness",
+        ),
     ];
     for (rel, src, want) in cases {
         let diags = grail_lint::check_source(rel, src);
@@ -217,11 +232,28 @@ fn every_rule_is_exercised_by_the_engine() {
         diags.iter().any(|d| d.rule == "charge-reachability"),
         "charge-reachability fixture produced {diags:?}"
     );
+    // ledger-flow likewise needs the ledger file plus a charging
+    // function that no settlement anchor (`finish` / `*Report` return)
+    // can reach.
+    let diags = grail_lint::check_files(&[
+        sf(
+            "crates/power/src/ledger.rs",
+            "impl EnergyLedger {\n    pub fn charge(&mut self, id: ComponentId, e: Joules) {}\n}\n",
+        ),
+        sf(
+            "crates/sim/src/heater.rs",
+            "impl Heater {\n    pub fn burn(&mut self, l: &mut EnergyLedger, id: ComponentId, e: Joules) {\n        l.charge(id, e);\n    }\n}\n",
+        ),
+    ]);
+    assert!(
+        diags.iter().any(|d| d.rule == "ledger-flow"),
+        "ledger-flow fixture produced {diags:?}"
+    );
     // Every registered rule appears in at least one fixture above.
     let exercised: std::collections::BTreeSet<&str> = cases
         .iter()
         .map(|(_, _, want)| *want)
-        .chain(["charge-reachability"])
+        .chain(["charge-reachability", "ledger-flow"])
         .collect();
     for rule in grail_lint::rules::RULES {
         assert!(

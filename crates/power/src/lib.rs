@@ -38,4 +38,6 @@ pub mod units;
 pub use error::PowerError;
 pub use ledger::{ComponentId, ComponentKind, EnergyLedger, LedgerOp};
 pub use state::{PowerState, PowerStateId, PowerStateMachine, Transition};
-pub use units::{Bytes, Cycles, EnergyEfficiency, Hertz, Joules, SimDuration, SimInstant, Watts};
+pub use units::{
+    Bytes, Cycles, EnergyEfficiency, Hertz, JouleSeconds, Joules, SimDuration, SimInstant, Watts,
+};

@@ -427,6 +427,13 @@ impl Joules {
             Watts(self.0 / d.as_secs_f64())
         }
     }
+
+    /// The energy-delay product of this energy and `d` (Sec. 3.1's
+    /// balanced figure of merit): `E × T`, in Joule-seconds.
+    #[inline]
+    pub fn delay_product(self, d: SimDuration) -> JouleSeconds {
+        JouleSeconds(self.0 * d.as_secs_f64())
+    }
 }
 
 impl Add for Joules {
@@ -485,6 +492,61 @@ impl Sum for Joules {
 impl fmt::Display for Joules {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.2}J", self.0)
+    }
+}
+
+/// An energy-delay product, in Joule-seconds (`E × T`).
+///
+/// EDP is the referee metric between a performance-first and an
+/// energy-first configuration: it penalizes both wasted Joules and
+/// wasted wall-clock equally. Build one with
+/// [`Joules::delay_product`]; it is ordered so callers can `min_by`
+/// over candidate configurations without unwrapping raw `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct JouleSeconds(f64);
+
+impl JouleSeconds {
+    /// Zero energy-delay product.
+    pub const ZERO: JouleSeconds = JouleSeconds(0.0);
+
+    /// `js` Joule-seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    #[inline]
+    pub fn new(js: f64) -> Self {
+        assert!(
+            js.is_finite() && js >= 0.0,
+            "invalid energy-delay product: {js} J*s"
+        );
+        JouleSeconds(js)
+    }
+
+    /// The raw Joule-second value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Total order for ranking configurations (the payload is finite by
+    /// construction, so `partial_cmp` cannot fail).
+    #[inline]
+    pub fn total_cmp(&self, other: &JouleSeconds) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for JouleSeconds {
+    type Output = JouleSeconds;
+    #[inline]
+    fn add(self, rhs: JouleSeconds) -> JouleSeconds {
+        JouleSeconds(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for JouleSeconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}J*s", self.0)
     }
 }
 
@@ -771,6 +833,32 @@ impl fmt::Display for EnergyEfficiency {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delay_product_is_energy_times_delay() {
+        let edp = Joules::new(10.0).delay_product(SimDuration::from_secs(3));
+        assert!((edp.get() - 30.0).abs() < 1e-12);
+        assert_eq!(edp + JouleSeconds::new(2.0), JouleSeconds::new(32.0));
+        assert_eq!(format!("{edp}"), "30.00J*s");
+    }
+
+    #[test]
+    fn delay_product_orders_configurations() {
+        let fast = Joules::new(20.0).delay_product(SimDuration::from_secs(1));
+        let green = Joules::new(5.0).delay_product(SimDuration::from_secs(10));
+        assert!(fast < green);
+        assert_eq!(fast.total_cmp(&green), std::cmp::Ordering::Less);
+        assert_eq!(
+            JouleSeconds::ZERO.total_cmp(&JouleSeconds::ZERO),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid energy-delay product")]
+    fn negative_delay_product_panics() {
+        let _ = JouleSeconds::new(-1.0);
+    }
 
     #[test]
     fn duration_roundtrip_secs() {

@@ -59,9 +59,9 @@ fn main() -> Result<(), SimError> {
     let by_edp = results
         .iter()
         .min_by(|a, b| {
-            let ea = a.1.energy.joules() * a.1.elapsed.as_secs_f64();
-            let eb = b.1.energy.joules() * b.1.elapsed.as_secs_f64();
-            ea.partial_cmp(&eb).expect("finite")
+            let ea = a.1.energy.delay_product(a.1.elapsed);
+            let eb = b.1.energy.delay_product(b.1.elapsed);
+            ea.total_cmp(&eb)
         })
         .expect("ran");
 
