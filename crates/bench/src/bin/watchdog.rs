@@ -1,0 +1,556 @@
+//! grail-watchdog — the energy-regression watchdog over the metrics
+//! pipeline.
+//!
+//! The paper's closing argument is that energy efficiency only improves
+//! when it is *continuously measured and defended*. This binary is that
+//! defense: it replays three deterministic reference scenarios with the
+//! metrics registry scraping —
+//!
+//! 1. **calm** — the EXT-CHAOS calm fleet under `consolidate-r2` (no
+//!    injected faults; the energy floor of the resilient fleet),
+//! 2. **storm** — the documented reference storm from DESIGN.md §11
+//!    (crashes, a rack outage, brownouts and surges over two days),
+//! 3. **db** — a TPC-H-like throughput run on the DL785 profile with
+//!    per-query latency/energy metrics on,
+//!
+//! then distills each into a flat summary (joules-per-query,
+//! availability, shed fractions, SLO burn statistics) and compares it
+//! against the committed baseline `crates/bench/baselines/watchdog.json`.
+//! Any metric drifting beyond its tolerance fails the process with a
+//! rustc-style diff naming the key, both values, and the regeneration
+//! command. Because every input is seeded and every metric is keyed on
+//! simulated time, the summary is byte-stable: a drift is a real
+//! behavioral change, never noise.
+//!
+//! Artifacts land in `--out-dir` (default `figures/`): per-scenario
+//! scrape CSVs, Prometheus text exposition of the final registries, and
+//! the regenerated baseline. All of them are byte-identical across
+//! re-runs and `grail-par` thread counts — CI double-runs the binary
+//! and diffs the directory.
+//!
+//! Flags:
+//! * `--write-baseline` — write the measured summary to the baseline
+//!   path and exit 0 (run this after an intentional behavior change and
+//!   commit the diff).
+//! * `--baseline PATH` — compare against `PATH` instead of the
+//!   committed file.
+//! * `--inflate-joules-per-query F` — test-only knob: multiply the
+//!   measured `db.joules_per_query` by `F` before comparing. CI passes
+//!   `1.10` to prove a 10% energy regression actually trips the gate.
+//! * `--out-dir DIR` — artifact directory (default `figures`).
+//! * `--skip-overhead` — skip the wall-clock overhead measurement and
+//!   its `BENCH_metrics.json` ledger.
+//!
+//! The overhead measurement replays the storm with the tracer off and
+//! with a metrics-only recorder, seven times each interleaved, and
+//! requires the minimum instrumented time to stay within 5% of the
+//! minimum uninstrumented time — the registry must stay cheap enough
+//! to leave on everywhere.
+
+use grail_bench::points::{chaos_policy, chaos_world};
+use grail_bench::{cell_f64, Csv};
+use grail_core::db::{CompressionMode, EnergyAwareDb, ExecPolicy};
+use grail_core::profile::HardwareProfile;
+use grail_core::report::EnergyReport;
+use grail_metrics::{
+    compare, evaluate, parse_baseline, render_baseline, render_drifts, SloKind, SloReport, SloSpec,
+    Snapshot,
+};
+use grail_scheduler::chaos::{
+    reference_storm, run_chaos, ChaosPolicy, ChaosReport, DOCUMENTED_AVAILABILITY_FLOOR,
+};
+use grail_scheduler::cluster::Machine;
+use grail_sim::ChaosSchedule;
+use grail_trace::{Recorder, Tracer};
+use grail_workload::tpch::TpchScale;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Chaos scenarios scrape hourly: 48 snapshots over the two-day horizon.
+const CHAOS_SCRAPE: u64 = 3_600_000_000_000;
+/// The db run scrapes every 60 simulated seconds.
+const DB_SCRAPE: u64 = 60_000_000_000;
+/// Overhead budget: instrumented / uninstrumented wall-clock.
+const OVERHEAD_BUDGET: f64 = 1.05;
+/// Interleaved repeats for the min-of-N overhead measurement.
+const OVERHEAD_REPEATS: usize = 7;
+
+struct Args {
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    inflate_jpq: f64,
+    out_dir: PathBuf,
+    skip_overhead: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        write_baseline: false,
+        baseline: None,
+        inflate_jpq: 1.0,
+        out_dir: PathBuf::from("figures"),
+        skip_overhead: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write-baseline" => args.write_baseline = true,
+            "--skip-overhead" => args.skip_overhead = true,
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--inflate-joules-per-query" => {
+                let v = it
+                    .next()
+                    .ok_or("--inflate-joules-per-query needs a factor")?;
+                args.inflate_jpq = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad inflation factor {v:?}: {e}"))?;
+            }
+            "--out-dir" => {
+                let v = it.next().ok_or("--out-dir needs a directory")?;
+                args.out_dir = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The committed baseline location, anchored to this crate's manifest so
+/// the binary finds it from any working directory.
+fn committed_baseline() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/watchdog.json")
+}
+
+const REGEN_CMD: &str = "cargo run --release --bin grail-watchdog -- --write-baseline";
+
+/// One replayed chaos scenario: the settled report plus the recorder
+/// whose registry and scrape series described it.
+struct ChaosOutcome {
+    report: ChaosReport,
+    rec: Recorder,
+}
+
+fn run_fleet(
+    fleet: &[Machine],
+    schedule: &ChaosSchedule,
+    demand: f64,
+    policy: &ChaosPolicy,
+) -> ChaosOutcome {
+    let mut tracer = Tracer::on(Recorder::metrics_only().with_scrape_interval(CHAOS_SCRAPE));
+    let report = run_chaos(fleet, schedule, demand, policy, &mut tracer).expect("reference fleet");
+    let rec = tracer.take().expect("tracer is on");
+    ChaosOutcome { report, rec }
+}
+
+fn run_calm() -> ChaosOutcome {
+    let (fleet, schedule, demand) = chaos_world("calm");
+    let policy = chaos_policy("consolidate-r2");
+    run_fleet(&fleet, &schedule, demand, &policy)
+}
+
+fn run_storm() -> ChaosOutcome {
+    let (fleet, schedule, demand, policy) = reference_storm();
+    run_fleet(&fleet, &schedule, demand, &policy)
+}
+
+/// The db reference run: 4 closed streams × 4 queries of the TPC-H-like
+/// mix on a 4-spindle DL785, stretched 30 000× (Fig. 1's scale).
+fn run_db() -> (EnergyReport, Recorder) {
+    let mut db = EnergyAwareDb::new(HardwareProfile::server_dl785(4));
+    db.load_tpch(TpchScale::toy());
+    db.set_scrape_interval(DB_SCRAPE);
+    let traced = db
+        .try_run_throughput_test_traced(
+            4,
+            4,
+            ExecPolicy {
+                compression: CompressionMode::Plain,
+                dop: 4,
+            },
+            30_000.0,
+        )
+        .expect("reference throughput run");
+    (traced.report, traced.trace)
+}
+
+fn storm_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec {
+            name: "storm-availability",
+            kind: SloKind::RatioAtLeast {
+                good: "chaos.served_work",
+                total: "chaos.offered_work",
+                floor: DOCUMENTED_AVAILABILITY_FLOOR,
+            },
+            fast_windows: 2,
+            slow_windows: 12,
+            burn_threshold: 1.0,
+        },
+        SloSpec {
+            name: "storm-shed-ceiling",
+            kind: SloKind::RatioBelow {
+                num: "chaos.shed_work",
+                den: "chaos.offered_work",
+                ceiling: 1.0 - DOCUMENTED_AVAILABILITY_FLOOR,
+            },
+            fast_windows: 2,
+            slow_windows: 12,
+            burn_threshold: 1.0,
+        },
+    ]
+}
+
+fn db_slos() -> Vec<SloSpec> {
+    vec![SloSpec {
+        name: "db-p99-latency",
+        kind: SloKind::QuantileBelow {
+            histogram: "db.query_secs",
+            q: 0.99,
+            threshold: 120.0,
+        },
+        fast_windows: 2,
+        slow_windows: 6,
+        burn_threshold: 1.0,
+    }]
+}
+
+/// Fold an SLO report into baseline-guarded keys: the worst burn and
+/// alert count of every objective. Absolute bounds on the reference
+/// scenarios are the baseline's job; the SLO engine contributes the
+/// *shape* (how hard and how sustained the worst window burned).
+fn slo_entries(prefix: &str, report: &SloReport, out: &mut Vec<(String, f64)>) {
+    for o in &report.objectives {
+        out.push((format!("{prefix}.{}.worst_burn", o.name), o.worst_burn));
+        out.push((format!("{prefix}.{}.alerts", o.name), o.alerts.len() as f64));
+        out.push((format!("{prefix}.{}.breaches", o.name), o.breaches as f64));
+    }
+}
+
+fn chaos_entries(prefix: &str, oc: &ChaosOutcome, out: &mut Vec<(String, f64)>) {
+    let r = &oc.report;
+    let total = r.total_energy().joules();
+    out.push((format!("{prefix}.availability"), r.availability()));
+    out.push((
+        format!("{prefix}.shed_frac"),
+        if r.offered > 0.0 {
+            r.shed / r.offered
+        } else {
+            0.0
+        },
+    ));
+    out.push((
+        format!("{prefix}.joules_per_work"),
+        if r.served > 0.0 {
+            total / r.served
+        } else {
+            0.0
+        },
+    ));
+    out.push((
+        format!("{prefix}.recovery_share"),
+        if total > 0.0 {
+            r.recovery_energy().joules() / total
+        } else {
+            0.0
+        },
+    ));
+    out.push((format!("{prefix}.cold_boots"), r.cold_boots as f64));
+    out.push((format!("{prefix}.breaker_trips"), r.breaker_trips as f64));
+    out.push((
+        format!("{prefix}.events"),
+        oc.rec.metrics().counter("chaos.events") as f64,
+    ));
+}
+
+fn db_entries(rep: &EnergyReport, rec: &Recorder, inflate_jpq: f64, out: &mut Vec<(String, f64)>) {
+    let m = rec.metrics();
+    let queries = m.counter("db.queries");
+    out.push(("db.queries".to_string(), queries as f64));
+    out.push(("db.total_joules".to_string(), rep.energy.joules()));
+    let jpq = m.gauge("db.joules_per_query").unwrap_or(0.0);
+    out.push(("db.joules_per_query".to_string(), jpq * inflate_jpq));
+    if let Some(h) = m.histogram("db.query_secs") {
+        out.push(("db.p50_query_secs".to_string(), h.quantile(0.5)));
+        out.push(("db.p99_query_secs".to_string(), h.quantile(0.99)));
+    }
+    out.push(("db.elapsed_secs".to_string(), rep.elapsed.as_secs_f64()));
+}
+
+/// Per-key drift tolerance. Counters compare exactly; availability is
+/// tight; SLO shape keys get slack (worst burns amplify small shifts);
+/// everything else — the energy keys the watchdog exists for — gets 2%,
+/// so CI's deliberate 10% joules-per-query inflation trips the gate.
+fn tolerance_for(key: &str) -> f64 {
+    if key.ends_with(".alerts")
+        || key.ends_with(".breaches")
+        || key.ends_with(".cold_boots")
+        || key.ends_with(".breaker_trips")
+        || key.ends_with(".events")
+        || key.ends_with(".queries")
+    {
+        1e-9
+    } else if key.contains("availability") {
+        0.005
+    } else if key.starts_with("slo.") {
+        0.10
+    } else {
+        0.02
+    }
+}
+
+fn snapshot_rate(s: &Snapshot, name: &str) -> u64 {
+    s.rates
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn chaos_scrape_csv(series: &[Snapshot]) -> String {
+    let mut csv = Csv::new(&[
+        "t_hours",
+        "events",
+        "event_rate_h",
+        "placements",
+        "offered_work",
+        "served_work",
+        "shed_work",
+        "served_rate",
+        "shed_rate",
+        "replicas",
+        "cold_boots",
+        "breaker_trips",
+    ]);
+    for s in series {
+        csv.row(&[
+            cell_f64(s.at_nanos as f64 / 3.6e12),
+            s.counter("chaos.events").to_string(),
+            snapshot_rate(s, "chaos.event_rate").to_string(),
+            s.counter("chaos.placements").to_string(),
+            cell_f64(s.gauge("chaos.offered_work").unwrap_or(0.0)),
+            cell_f64(s.gauge("chaos.served_work").unwrap_or(0.0)),
+            cell_f64(s.gauge("chaos.shed_work").unwrap_or(0.0)),
+            cell_f64(s.gauge("chaos.served_rate").unwrap_or(0.0)),
+            cell_f64(s.gauge("chaos.shed_rate").unwrap_or(0.0)),
+            cell_f64(s.gauge("chaos.replicas").unwrap_or(0.0)),
+            s.counter("chaos.cold_boots").to_string(),
+            s.counter("chaos.breaker_trips").to_string(),
+        ]);
+    }
+    csv.finish()
+}
+
+fn db_scrape_csv(series: &[Snapshot]) -> String {
+    let mut csv = Csv::new(&[
+        "t_secs",
+        "queries",
+        "query_rate_s",
+        "p50_secs",
+        "p99_secs",
+        "io_requests",
+        "cpu_requests",
+        "driver_jobs",
+    ]);
+    for s in series {
+        let (p50, p99) = s
+            .histogram("db.query_secs")
+            .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+            .unwrap_or((0.0, 0.0));
+        csv.row(&[
+            cell_f64(s.at_nanos as f64 / 1e9),
+            s.counter("db.queries").to_string(),
+            snapshot_rate(s, "db.query_rate").to_string(),
+            cell_f64(p50),
+            cell_f64(p99),
+            s.counter("io.requests").to_string(),
+            s.counter("cpu.requests").to_string(),
+            s.counter("driver.jobs").to_string(),
+        ]);
+    }
+    csv.finish()
+}
+
+fn print_slo_table(report: &SloReport) {
+    for o in &report.objectives {
+        println!(
+            "  slo {:<24} windows={:<4} breaches={:<4} alerts={:<3} worst_burn={:.3} {}",
+            o.name,
+            o.windows,
+            o.breaches,
+            o.alerts.len(),
+            o.worst_burn,
+            if o.ok { "ok" } else { "VIOLATED" },
+        );
+    }
+}
+
+/// Min-of-N interleaved overhead measurement: storm with the tracer off
+/// versus a metrics-only scraping recorder. Returns (off, on) minima in
+/// seconds.
+fn measure_overhead() -> (f64, f64) {
+    let (fleet, schedule, demand, policy) = reference_storm();
+    let mut off_min = f64::INFINITY;
+    let mut on_min = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPEATS {
+        let t0 = Instant::now();
+        run_chaos(&fleet, &schedule, demand, &policy, &mut Tracer::off()).expect("overhead off");
+        off_min = off_min.min(t0.elapsed().as_secs_f64());
+        let mut tr = Tracer::on(Recorder::metrics_only().with_scrape_interval(CHAOS_SCRAPE));
+        let t1 = Instant::now();
+        run_chaos(&fleet, &schedule, demand, &policy, &mut tr).expect("overhead on");
+        on_min = on_min.min(t1.elapsed().as_secs_f64());
+    }
+    (off_min, on_min)
+}
+
+fn write_artifact(dir: &Path, name: &str, body: &str) {
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write artifact");
+    println!("  wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("grail-watchdog: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("GRAIL-WATCHDOG  energy-regression gate over the reference scenarios");
+
+    let calm = run_calm();
+    let storm = run_storm();
+    let (db_rep, db_rec) = run_db();
+
+    let storm_slo = evaluate(&storm_slos(), storm.rec.snapshots());
+    let db_slo = evaluate(&db_slos(), db_rec.snapshots());
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    chaos_entries("calm", &calm, &mut entries);
+    chaos_entries("storm", &storm, &mut entries);
+    db_entries(&db_rep, &db_rec, args.inflate_jpq, &mut entries);
+    slo_entries("slo", &storm_slo, &mut entries);
+    slo_entries("slo", &db_slo, &mut entries);
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    println!("\nsummary ({} metrics):", entries.len());
+    for (k, v) in &entries {
+        println!("  {k:<40} {v}");
+    }
+    println!("\nSLO report:");
+    print_slo_table(&storm_slo);
+    print_slo_table(&db_slo);
+
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    println!("\nartifacts:");
+    write_artifact(
+        &args.out_dir,
+        "watchdog_calm_scrape.csv",
+        &chaos_scrape_csv(calm.rec.snapshots()),
+    );
+    write_artifact(
+        &args.out_dir,
+        "watchdog_storm_scrape.csv",
+        &chaos_scrape_csv(storm.rec.snapshots()),
+    );
+    write_artifact(
+        &args.out_dir,
+        "watchdog_db_scrape.csv",
+        &db_scrape_csv(db_rec.snapshots()),
+    );
+    write_artifact(
+        &args.out_dir,
+        "watchdog_storm.prom",
+        &grail_metrics::to_prometheus(storm.rec.metrics()),
+    );
+    write_artifact(
+        &args.out_dir,
+        "watchdog_db.prom",
+        &grail_metrics::to_prometheus(db_rec.metrics()),
+    );
+    let rendered = render_baseline(&entries);
+    write_artifact(&args.out_dir, "watchdog_baseline.json", &rendered);
+
+    let baseline_path = args.baseline.clone().unwrap_or_else(committed_baseline);
+    if args.write_baseline {
+        std::fs::write(&baseline_path, &rendered).expect("write baseline");
+        println!("\nwrote baseline {} — commit it", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "grail-watchdog: cannot read baseline {}: {e}\n= help: bootstrap one with `{REGEN_CMD}`",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "grail-watchdog: malformed baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    if baseline.iter().any(|(k, _)| k == "bootstrap") {
+        // A fresh checkout ships a sentinel baseline ({"bootstrap": 1})
+        // until someone runs --write-baseline on the reference machine
+        // and commits real numbers; until then the gate only checks that
+        // the scenarios run and the artifacts are deterministic.
+        println!(
+            "\nbaseline is the bootstrap sentinel — skipping drift comparison\n= help: seal the gate with `{REGEN_CMD}` and commit the diff"
+        );
+    } else {
+        let drifts = compare(&baseline, &entries, tolerance_for);
+        if drifts.is_empty() {
+            println!(
+                "\nwatchdog: all {} metrics within tolerance of {}",
+                entries.len(),
+                baseline_path.display()
+            );
+        } else {
+            eprintln!(
+                "{}",
+                render_drifts(&drifts, &baseline_path.display().to_string(), REGEN_CMD)
+            );
+            failed = true;
+        }
+    }
+
+    if !args.skip_overhead {
+        let (off_s, on_s) = measure_overhead();
+        let ratio = on_s / off_s.max(1e-12);
+        let body = format!(
+            "[\n  {{\"bench\":\"watchdog-overhead\",\"uninstrumented_min_s\":{off_s},\"instrumented_min_s\":{on_s},\"ratio\":{ratio},\"budget\":{OVERHEAD_BUDGET},\"repeats\":{OVERHEAD_REPEATS}}}\n]\n"
+        );
+        std::fs::write("BENCH_metrics.json", &body).expect("write BENCH_metrics.json");
+        println!(
+            "\noverhead: instrumented {on_s:.4}s vs uninstrumented {off_s:.4}s (x{ratio:.3}, budget x{OVERHEAD_BUDGET}) — BENCH_metrics.json"
+        );
+        if ratio > OVERHEAD_BUDGET {
+            eprintln!(
+                "error[watchdog]: metrics overhead x{ratio:.3} exceeds the x{OVERHEAD_BUDGET} budget"
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

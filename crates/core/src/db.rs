@@ -7,7 +7,7 @@ use grail_query::colscan;
 use grail_query::cost_charge::CostCharge;
 use grail_query::exec::{run_collect, ExecContext, OpTally};
 use grail_query::expr::Expr;
-use grail_sim::driver::{run_streams, IoDemand, JobSpec};
+use grail_sim::driver::{run_streams, IoDemand, JobResult, JobSpec};
 use grail_sim::ids::CpuId;
 use grail_sim::sim::Simulation;
 use grail_sim::AttributionTable;
@@ -15,6 +15,7 @@ use grail_sim::DiskId;
 use grail_sim::OperatorShare;
 use grail_sim::StorageTarget;
 use grail_sim::{FaultConfig, FaultPlan, SimError};
+use grail_trace::metrics::{JOULES_BUCKETS, SECONDS_BUCKETS};
 use grail_trace::{Category, Recorder, TraceEvent, TraceSink, TraceTime, Tracer, Track};
 use grail_workload::mix::{closed_mix, job_from_tallies, scale_tally};
 use grail_workload::queries::{QueryTemplate, StoredCatalog};
@@ -141,6 +142,7 @@ pub struct EnergyAwareDb {
     tables: Option<TpchTables>,
     charge: CostCharge,
     fault: Option<(FaultConfig, u64)>,
+    scrape_interval: Option<u64>,
 }
 
 impl EnergyAwareDb {
@@ -151,7 +153,16 @@ impl EnergyAwareDb {
             tables: None,
             charge: CostCharge::default_calibrated(),
             fault: None,
+            scrape_interval: None,
         }
+    }
+
+    /// Scrape the metrics registry into snapshots every `nanos` of
+    /// simulated time during traced runs. The recorder's snapshot
+    /// series then shows how counters, latencies and rates evolved
+    /// over the run rather than only the end-of-run totals.
+    pub fn set_scrape_interval(&mut self, nanos: u64) {
+        self.scrape_interval = Some(nanos);
     }
 
     /// The active profile.
@@ -176,6 +187,17 @@ impl EnergyAwareDb {
     /// The active fault profile, if any.
     pub fn fault_profile(&self) -> Option<(FaultConfig, u64)> {
         self.fault
+    }
+
+    /// Install the flight recorder on `sim` (honoring the configured
+    /// scrape interval) and enable per-query energy attribution.
+    fn install_tracer(&self, sim: &mut Simulation) {
+        let mut rec = Recorder::new(DEFAULT_TRACE_CAPACITY);
+        if let Some(iv) = self.scrape_interval {
+            rec = rec.with_scrape_interval(iv);
+        }
+        sim.set_tracer(Tracer::on(rec));
+        sim.enable_attribution();
     }
 
     /// Build the profile's simulation, arming the fault plan when one is
@@ -283,8 +305,7 @@ impl EnergyAwareDb {
         })?;
         let (mut sim, cpu, targets) = self.build_sim();
         if traced {
-            sim.set_tracer(Tracer::on(Recorder::new(DEFAULT_TRACE_CAPACITY)));
-            sim.enable_attribution();
+            self.install_tracer(&mut sim);
         }
         let mut job = run.job.clone();
         if (scale_to - 1.0).abs() > 1e-9 {
@@ -298,6 +319,7 @@ impl EnergyAwareDb {
         }
         let job = stripe_job(&job, &targets);
         let out = run_streams(&mut sim, cpu, &[vec![job]])?;
+        record_query_metrics(sim.tracer_mut(), &out.results);
         let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
         let energy = report.total_energy();
@@ -306,6 +328,7 @@ impl EnergyAwareDb {
         let mut trace = report.trace;
         // The single scan job is every query; template 0 describes it.
         attach_operator_detail(trace.as_mut(), attribution.as_mut(), &[run.ops], |_, _| 0);
+        feed_query_energy(trace.as_mut(), attribution.as_ref());
         Ok((
             EnergyReport {
                 profile: self.profile.name,
@@ -464,12 +487,12 @@ impl EnergyAwareDb {
             .collect::<Result<_, SimError>>()?;
         let (mut sim, cpu, targets) = self.build_sim();
         if traced {
-            sim.set_tracer(Tracer::on(Recorder::new(DEFAULT_TRACE_CAPACITY)));
-            sim.enable_attribution();
+            self.install_tracer(&mut sim);
         }
         let striped: Vec<JobSpec> = prototypes.iter().map(|j| stripe_job(j, &targets)).collect();
         let mix = closed_mix(&striped, streams, queries_per_stream);
         let out = run_streams(&mut sim, cpu, &mix)?;
+        record_query_metrics(sim.tracer_mut(), &out.results);
         let cpu_busy = sim.cpu(cpu)?.stats().busy;
         let report = sim.finish(out.makespan);
         let energy = report.total_energy();
@@ -485,6 +508,7 @@ impl EnergyAwareDb {
             &template_ops,
             |s, q| (s as usize + q as usize) % n,
         );
+        feed_query_energy(trace.as_mut(), attribution.as_ref());
         Ok((
             EnergyReport {
                 profile: self.profile.name,
@@ -536,6 +560,46 @@ impl EnergyAwareDb {
             ledger: report.ledger,
             attribution: None,
         }
+    }
+}
+
+/// Record per-query completion metrics for every finished job: a query
+/// counter, a latency histogram, and a 1-second-windowed completion
+/// rate keyed on each query's finish instant. Runs *before*
+/// [`Simulation::finish`] so the horizon scrape snapshot includes them.
+fn record_query_metrics(tracer: &mut Tracer, results: &[JobResult]) {
+    for r in results {
+        tracer.count("db.queries", 1);
+        tracer.observe(
+            "db.query_secs",
+            SECONDS_BUCKETS,
+            r.end.duration_since(r.start).as_secs_f64(),
+        );
+        tracer.rate("db.query_rate", 1_000_000_000, r.end.as_nanos(), 1);
+    }
+}
+
+/// Feed per-query energy from the settled attribution table into the
+/// recorder's registry: a Joules histogram over query rows (the
+/// residual row has no stream and is skipped) and the mean
+/// joules-per-query gauge the regression watchdog guards. Attribution
+/// settles only at finish, so these land after the last scrape — they
+/// are end-of-run aggregates, not time series.
+fn feed_query_energy(trace: Option<&mut Recorder>, attribution: Option<&AttributionTable>) {
+    let (Some(rec), Some(table)) = (trace, attribution) else {
+        return;
+    };
+    let mut queries = 0u64;
+    let mut total = 0.0;
+    for row in table.rows.iter().filter(|r| r.stream.is_some()) {
+        rec.metrics_mut()
+            .observe("db.query_joules", JOULES_BUCKETS, row.energy.joules());
+        queries += 1;
+        total += row.energy.joules();
+    }
+    if queries > 0 {
+        rec.metrics_mut()
+            .set_gauge("db.joules_per_query", total / queries as f64);
     }
 }
 

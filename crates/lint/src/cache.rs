@@ -30,7 +30,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the on-disk entry format changes.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// A directory-backed cache of stage-1 analyses.
 #[derive(Debug)]
@@ -187,8 +187,19 @@ fn serialize(a: &FileAnalysis) -> String {
     o.push_str(&format!("rel\t{}\n", esc(&a.rel)));
     o.push_str(&format!("crate\t{}\n", esc(&a.crate_name)));
     o.push_str(&format!("kind\t{}\n", kind_str(a.kind)));
-    for (code, in_test) in a.scanned.code.iter().zip(&a.scanned.in_test) {
-        o.push_str(&format!("L\t{}\t{}\n", u8::from(*in_test), esc(code)));
+    for ((code, raw), in_test) in a
+        .scanned
+        .code
+        .iter()
+        .zip(&a.scanned.raw)
+        .zip(&a.scanned.in_test)
+    {
+        o.push_str(&format!(
+            "L\t{}\t{}\t{}\n",
+            u8::from(*in_test),
+            esc(code),
+            esc(raw)
+        ));
     }
     for p in &a.scanned.pragmas {
         let scope = match p.scope {
@@ -260,6 +271,7 @@ fn deserialize(text: &str) -> Option<FileAnalysis> {
     let kind = parse_kind(lines.next()?.strip_prefix("kind\t")?)?;
     let mut scanned = ScannedFile {
         code: Vec::new(),
+        raw: Vec::new(),
         in_test: Vec::new(),
         pragmas: Vec::new(),
         pragma_errors: Vec::new(),
@@ -271,9 +283,11 @@ fn deserialize(text: &str) -> Option<FileAnalysis> {
         let (tag, rest) = line.split_once('\t').unwrap_or((line, ""));
         match tag {
             "L" => {
-                let (t, code) = rest.split_once('\t')?;
+                let (t, rest) = rest.split_once('\t')?;
+                let (code, raw) = rest.split_once('\t')?;
                 scanned.in_test.push(t == "1");
                 scanned.code.push(unesc(code)?);
+                scanned.raw.push(unesc(raw)?);
             }
             "P" => {
                 let f: Vec<&str> = rest.split('\t').collect();
@@ -422,6 +436,7 @@ mod tests {
         assert_eq!(a.crate_name, b.crate_name);
         assert_eq!(a.kind, b.kind);
         assert_eq!(a.scanned.code, b.scanned.code);
+        assert_eq!(a.scanned.raw, b.scanned.raw);
         assert_eq!(a.scanned.in_test, b.scanned.in_test);
         assert_eq!(a.scanned.pragmas.len(), b.scanned.pragmas.len());
         assert_eq!(a.graph.fns.len(), b.graph.fns.len());
@@ -470,7 +485,8 @@ mod tests {
         // Bad escape.
         assert!(unesc("broken %zz escape").is_none());
         // Version drift.
-        assert!(deserialize(&good.replace("cache v1", "cache v0")).is_none());
+        let vs = format!("cache v{CACHE_SCHEMA_VERSION}");
+        assert!(deserialize(&good.replace(&vs, "cache v0")).is_none());
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   `#![forbid(unsafe_code)]`.
 //! * [`PRAGMA`] — suppression pragmas themselves must be well-formed and
 //!   carry a reason (not suppressible).
+//! * [`METRIC_HYGIENE`] — metric names handed to the recording API
+//!   (`count`/`observe`/`gauge`/`rate`) are string literals registered
+//!   in `grail_metrics::spec::CATALOG`, and each catalog entry is
+//!   declared exactly once. Runtime-built names (`format!`, locals)
+//!   would defeat the static registry that keeps exports byte-stable.
 //!
 //! On top of the per-file token rules sit the *semantic* rules, which
 //! read the whole-workspace call graph built by [`crate::graph`]:
@@ -87,6 +92,9 @@ pub const RAW_ENERGY: &str = "raw-energy";
 pub const LEDGER_FLOW: &str = "ledger-flow";
 /// Parallel-readiness: no interior mutability / non-Send state in sim.
 pub const PAR_READINESS: &str = "par-readiness";
+/// Metric names are static literals from the grail-metrics catalog,
+/// registered exactly once.
+pub const METRIC_HYGIENE: &str = "metric-hygiene";
 
 /// A rule's identity and one-line summary.
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +171,10 @@ pub const RULES: &[Rule] = &[
         id: PAR_READINESS,
         summary: "no RefCell/Cell/Rc/static mut/raw pointers in crates/sim (pre-flight for the parallel event loop)",
     },
+    Rule {
+        id: METRIC_HYGIENE,
+        summary: "metric names are string literals from grail_metrics::spec::CATALOG, each registered exactly once",
+    },
 ];
 
 /// Rules whose diagnostics a pragma can never silence. Suppressing the
@@ -193,6 +205,8 @@ pub fn check_tokens(info: &FileInfo, f: &ScannedFile) -> Vec<Diagnostic> {
     print_hygiene(info, f, &mut raw);
     thread_confine(info, f, &mut raw);
     unsafe_forbid(info, f, &mut raw);
+    metric_hygiene(info, f, &mut raw);
+    metric_registration(info, f, &mut raw);
     crate::parready::par_readiness(info, f, &mut raw);
     raw
 }
@@ -660,6 +674,148 @@ fn print_hygiene(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// metric-hygiene
+// ---------------------------------------------------------------------------
+
+/// Recording calls whose first argument is the metric name. The leading
+/// `.` keeps free functions and same-named locals out of scope.
+const METRIC_RECORD_CALLS: &[&str] = &[
+    ".count(",
+    ".observe(",
+    ".gauge(",
+    ".gauge_add(",
+    ".set_gauge(",
+    ".add_gauge(",
+    ".rate(",
+    ".rate_add(",
+];
+
+/// Crates that *implement* the metrics plumbing: they forward names
+/// through `&'static str` parameters by design, so the literal check
+/// applies only at real instrumentation sites outside them.
+const METRIC_PLUMBING_CRATES: &[&str] = &["metrics", "trace"];
+
+/// A string literal starting at byte `pos` of stripped line `i`,
+/// recovered from the raw text (the scanner blanks literal contents
+/// column-preservingly, so the offsets line up).
+fn literal_text(f: &ScannedFile, i: usize, pos: usize) -> String {
+    let (Some(code), Some(raw)) = (f.code.get(i), f.raw.get(i)) else {
+        return String::new();
+    };
+    let Some(close) = code.get(pos + 1..).and_then(|s| s.find('"')) else {
+        return String::new();
+    };
+    raw.get(pos + 1..pos + 1 + close).unwrap_or("").to_string()
+}
+
+fn metric_hygiene(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    // Binary targets (the watchdog, figure generators) read metrics back
+    // out of registries through parameterized helpers; the literal rule
+    // bites at the instrumentation sites in library code.
+    if info.kind != FileKind::Library
+        || is_binary_target(info.rel)
+        || METRIC_PLUMBING_CRATES.contains(&info.crate_name)
+    {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        for pat in METRIC_RECORD_CALLS {
+            let mut from = 0usize;
+            while let Some(at) = code[from..].find(pat) {
+                let open = from + at + pat.len();
+                from = open;
+                // The first argument sits after the `(` — or at the
+                // start of the next line when rustfmt broke the call.
+                let rest = code[open..].trim_start();
+                let (arg_line, arg_pos, arg) = if rest.is_empty() {
+                    let next = f.code.get(i + 1).map(String::as_str).unwrap_or("");
+                    let lead = next.len() - next.trim_start().len();
+                    (i + 1, lead, next.trim_start())
+                } else {
+                    (i, open + (code[open..].len() - rest.len()), rest)
+                };
+                if arg.starts_with(')') {
+                    continue; // argument-less `.count()` is Iterator::count
+                }
+                if arg.starts_with('"') {
+                    let name = literal_text(f, arg_line, arg_pos);
+                    if grail_metrics::spec::spec_for(&name).is_none() {
+                        push(
+                            out,
+                            info,
+                            i + 1,
+                            METRIC_HYGIENE,
+                            format!(
+                                "metric `{name}` is not registered in \
+                                 grail_metrics::spec::CATALOG; add a MetricSpec for it \
+                                 (exporters and the watchdog only see cataloged names)"
+                            ),
+                        );
+                    }
+                } else {
+                    push(
+                        out,
+                        info,
+                        i + 1,
+                        METRIC_HYGIENE,
+                        format!(
+                            "metric name passed to `{}...)` is not a string literal; \
+                             runtime-built names (format!, variables) create unbounded \
+                             cardinality and defeat the static catalog",
+                            pat.trim_start_matches('.')
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Each catalog name is declared exactly once: within any file that
+/// declares `MetricSpec` entries, a repeated `name: "..."` literal is a
+/// duplicate registration.
+fn metric_registration(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if info.kind != FileKind::Library || !f.code.iter().any(|l| l.contains("MetricSpec")) {
+        return;
+    }
+    const FIELD: &str = "name: \"";
+    let mut first_seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, code) in f.code.iter().enumerate() {
+        if f.is_test_line(i + 1) {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(at) = code[from..].find(FIELD) {
+            let abs = from + at;
+            from = abs + FIELD.len();
+            // `objective_name:` etc. share the suffix but not the token.
+            if code[..abs].ends_with(is_ident_char) {
+                continue;
+            }
+            let name = literal_text(f, i, abs + FIELD.len() - 1);
+            match first_seen.get(&name) {
+                Some(&line) => push(
+                    out,
+                    info,
+                    i + 1,
+                    METRIC_HYGIENE,
+                    format!(
+                        "metric `{name}` is registered more than once (first at line {line}); \
+                         the catalog must hold exactly one MetricSpec per name"
+                    ),
+                ),
+                None => {
+                    first_seen.insert(name, i + 1);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // thread-confine
 // ---------------------------------------------------------------------------
 
@@ -855,20 +1011,21 @@ pub fn charge_reachability(graph: &WorkspaceGraph) -> Vec<Diagnostic> {
 /// crates in strictly lower layers; an edge to the same or a higher
 /// layer is a back-edge.
 pub const LAYERS: &[(&str, u32)] = &[
-    ("trace", 0),
-    ("power", 0),
+    ("metrics", 0),
     ("par", 0),
+    ("power", 1),
+    ("trace", 1),
     ("lint", 1),
-    ("sim", 1),
-    ("storage", 1),
-    ("buffer", 2),
-    ("scheduler", 2),
-    ("query", 3),
-    ("workload", 4),
-    ("optimizer", 4),
-    ("core", 5),
-    ("bench", 6),
-    ("grail", 6),
+    ("sim", 2),
+    ("storage", 2),
+    ("buffer", 3),
+    ("scheduler", 3),
+    ("query", 4),
+    ("workload", 5),
+    ("optimizer", 5),
+    ("core", 6),
+    ("bench", 7),
+    ("grail", 7),
 ];
 
 fn layer_of(crate_name: &str) -> Option<u32> {
@@ -1145,6 +1302,49 @@ mod tests {
         // write!/writeln! to a caller-supplied sink are fine.
         let ok = "fn f(w: &mut impl Write) { writeln!(w, \"x\").ok(); }\n";
         assert!(rules_at("crates/query/src/x.rs", ok).is_empty());
+    }
+
+    // -- metric-hygiene -----------------------------------------------------
+
+    #[test]
+    fn metric_hygiene_triggers_on_unregistered_and_dynamic_names() {
+        let bad = "fn f(t: &mut Tracer) {\n\
+                   \x20   t.count(\"no.such.metric\", 1);\n\
+                   \x20   let name = format!(\"q.{}\", 7);\n\
+                   \x20   t.gauge(&name, 1.0);\n\
+                   }\n";
+        let got = rules_at("crates/sim/src/x.rs", bad);
+        assert!(got.contains(&(2, "metric-hygiene".into())), "{got:?}");
+        assert!(got.contains(&(4, "metric-hygiene".into())), "{got:?}");
+    }
+
+    #[test]
+    fn metric_hygiene_passes_cataloged_names_and_iterator_count() {
+        let ok = "fn f(t: &mut Tracer, xs: &[u8]) {\n\
+                  \x20   t.count(\"db.queries\", 1);\n\
+                  \x20   t.gauge(\"chaos.shed_rate\", 0.1);\n\
+                  \x20   let n = xs.iter().count();\n\
+                  }\n";
+        assert!(rules_at("crates/core/src/x.rs", ok).is_empty());
+        // Test code and binary targets are out of scope.
+        let in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn t(tr: &mut Tracer) { tr.count(\"ad.hoc\", 1); }\n}\n";
+        assert!(rules_at("crates/sim/src/x.rs", in_tests).is_empty());
+        let bin = "fn main() { reg.gauge(name); }\n";
+        assert!(rules_at("crates/bench/src/bin/fig1.rs", bin).is_empty());
+    }
+
+    #[test]
+    fn metric_hygiene_flags_duplicate_registration() {
+        let dup = "pub const CATALOG: &[MetricSpec] = &[\n\
+                   \x20   MetricSpec { name: \"a.b\", kind: MetricKind::Counter },\n\
+                   \x20   MetricSpec {\n\
+                   \x20       name: \"a.b\",\n\
+                   \x20       kind: MetricKind::Gauge,\n\
+                   \x20   },\n\
+                   ];\n";
+        let got = rules_at("crates/metrics/src/spec.rs", dup);
+        assert!(got.contains(&(4, "metric-hygiene".into())), "{got:?}");
     }
 
     // -- thread-confine -----------------------------------------------------

@@ -43,6 +43,11 @@ pub struct PragmaError {
 pub struct ScannedFile {
     /// Per-line code text, comments and string contents blanked.
     pub code: Vec<String>,
+    /// Per-line original text. Blanking is column-preserving, so a byte
+    /// offset into `code[i]` indexes the same character in `raw[i]` —
+    /// which is how rules that must *read* a string literal (e.g.
+    /// metric-hygiene) recover its contents.
+    pub raw: Vec<String>,
     /// `in_test[i]` is true when line `i+1` sits inside a
     /// `#[cfg(test)]` item.
     pub in_test: Vec<bool>,
@@ -64,8 +69,9 @@ pub const PRAGMA_TAG: &str = "grail-lint:";
 
 /// Bumped whenever `strip`'s output can change for the same input, so
 /// cached per-file analyses (`crate::cache`) never survive a tokenizer
-/// change.
-pub const TOKENIZER_VERSION: u32 = 2;
+/// change. v3: `ScannedFile` carries the raw line text alongside the
+/// blanked text.
+pub const TOKENIZER_VERSION: u32 = 3;
 
 struct RawPragma {
     rule: String,
@@ -129,8 +135,13 @@ pub fn scan(source: &str) -> ScannedFile {
             }
         })
         .collect();
+    // `lines()` drops the empty segment after a trailing newline that
+    // `strip` keeps; pad so `raw` and `code` index identically.
+    let mut raw: Vec<String> = source.lines().map(str::to_string).collect();
+    raw.resize(code.len(), String::new());
     ScannedFile {
         code,
+        raw,
         in_test,
         pragmas,
         pragma_errors,

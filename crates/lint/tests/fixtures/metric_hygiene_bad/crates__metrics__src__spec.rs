@@ -1,0 +1,10 @@
+pub const CATALOG: &[MetricSpec] = &[
+    MetricSpec {
+        name: "io.requests",
+        kind: MetricKind::Counter,
+    },
+    MetricSpec {
+        name: "io.requests",
+        kind: MetricKind::Counter,
+    },
+];

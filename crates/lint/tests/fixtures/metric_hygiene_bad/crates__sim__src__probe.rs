@@ -1,0 +1,5 @@
+pub fn record(tracer: &mut Tracer, shard: usize) {
+    tracer.count("sim.bogus_counter", 1);
+    let name = format!("shard.{shard}.events");
+    tracer.count(&name, 1);
+}

@@ -1,0 +1,18 @@
+pub fn record(tracer: &mut Tracer) {
+    tracer.count("chaos.events", 1);
+    tracer.gauge("chaos.shed_rate", 0.25);
+    tracer.rate("chaos.event_rate", 3_600_000_000_000, 0, 1);
+}
+
+pub fn tally(xs: &[u8]) -> usize {
+    // `Iterator::count` takes no name; out of the rule's scope.
+    xs.iter().count()
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may improvise names: they never reach an exporter.
+    fn t(tracer: &mut Tracer) {
+        tracer.count("ad.hoc.test.metric", 1);
+    }
+}

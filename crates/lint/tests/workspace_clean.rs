@@ -200,6 +200,11 @@ fn every_rule_is_exercised_by_the_engine() {
             "use std::cell::RefCell;\nfn f() {}\n",
             "par-readiness",
         ),
+        (
+            "crates/sim/src/fixture.rs",
+            "fn f(t: &mut Tracer) { t.count(\"not.in.catalog\", 1); }\n",
+            "metric-hygiene",
+        ),
     ];
     for (rel, src, want) in cases {
         let diags = grail_lint::check_source(rel, src);

@@ -1,0 +1,124 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Registry`].
+//!
+//! Hand-rolled on purpose: a fixed field order, `BTreeMap` iteration,
+//! and Rust's shortest-roundtrip `f64` formatting make the output a
+//! pure function of the registry contents — identical runs produce
+//! byte-identical exposition, a property CI byte-diffs.
+
+use crate::registry::Registry;
+use crate::spec::{spec_for, MetricKind};
+use std::fmt::Write as _;
+
+/// Prometheus metric name for a dotted grail name: `io.requests` →
+/// `grail_io_requests`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("grail_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn header(out: &mut String, name: &str, fallback_kind: MetricKind) {
+    let pname = prometheus_name(name);
+    match spec_for(name) {
+        Some(spec) => {
+            let _ = writeln!(out, "# HELP {pname} {} [{}]", spec.help, spec.unit);
+            let _ = writeln!(out, "# TYPE {pname} {}", spec.kind.prometheus_type());
+        }
+        None => {
+            let _ = writeln!(out, "# TYPE {pname} {}", fallback_kind.prometheus_type());
+        }
+    }
+}
+
+/// Render `reg` in Prometheus text exposition format. Families appear
+/// in a fixed order (counters, gauges, rates, histograms), each in
+/// metric-name order.
+pub fn to_prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        header(&mut out, name, MetricKind::Counter);
+        let _ = writeln!(out, "{} {v}", prometheus_name(name));
+    }
+    for (name, v) in reg.gauges() {
+        header(&mut out, name, MetricKind::Gauge);
+        let _ = writeln!(out, "{} {v}", prometheus_name(name));
+    }
+    for (name, r) in reg.rates() {
+        header(&mut out, name, MetricKind::Rate);
+        let _ = writeln!(
+            out,
+            "{}{{window_nanos=\"{}\"}} {}",
+            prometheus_name(name),
+            r.window_nanos(),
+            r.last()
+        );
+    }
+    for (name, h) in reg.histograms() {
+        header(&mut out, name, MetricKind::Histogram);
+        let pname = prometheus_name(name);
+        let mut cumulative = 0u64;
+        for (i, &bound) in h.bounds().iter().enumerate() {
+            cumulative += h.counts()[i];
+            let _ = writeln!(out, "{pname}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{pname}_sum {}", h.sum());
+        let _ = writeln!(out, "{pname}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::COUNT_BUCKETS;
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        assert_eq!(prometheus_name("io.requests"), "grail_io_requests");
+        assert_eq!(
+            prometheus_name("driver.queue_depth"),
+            "grail_driver_queue_depth"
+        );
+    }
+
+    #[test]
+    fn exposition_is_complete_and_cumulative() {
+        let mut reg = Registry::new();
+        reg.add("io.requests", 3);
+        reg.set_gauge("chaos.shed_rate", 0.25);
+        reg.rate_add("db.query_rate", 100, 5, 2);
+        reg.roll_rates(100);
+        reg.observe("driver.queue_depth", COUNT_BUCKETS, 1.0);
+        reg.observe("driver.queue_depth", COUNT_BUCKETS, 3.0);
+        let text = to_prometheus(&reg);
+        assert!(text.contains("# TYPE grail_io_requests counter"));
+        assert!(text.contains("grail_io_requests 3\n"));
+        assert!(text.contains("# TYPE grail_chaos_shed_rate gauge"));
+        assert!(text.contains("grail_chaos_shed_rate 0.25\n"));
+        assert!(text.contains("grail_db_query_rate{window_nanos=\"100\"} 2\n"));
+        // Buckets are cumulative: the (2, 4] observation adds onto the
+        // (0, 1] one.
+        assert!(text.contains("grail_driver_queue_depth_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("grail_driver_queue_depth_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("grail_driver_queue_depth_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("grail_driver_queue_depth_sum 4\n"));
+        assert!(text.contains("grail_driver_queue_depth_count 2\n"));
+        // Catalogued metrics carry HELP lines.
+        assert!(text.contains("# HELP grail_io_requests"));
+    }
+
+    #[test]
+    fn identical_registries_render_identically() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        for reg in [&mut a, &mut b] {
+            reg.add("io.requests", 1);
+            reg.observe("io.disk_service_secs", crate::SECONDS_BUCKETS, 0.004);
+        }
+        assert_eq!(to_prometheus(&a), to_prometheus(&b));
+    }
+}

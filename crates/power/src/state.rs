@@ -70,6 +70,22 @@ pub struct MachineSummary {
     pub transition_time: SimDuration,
 }
 
+impl MachineSummary {
+    /// Accumulate this machine's lifetime statistics into a metrics
+    /// registry. Counters and gauges *add* so summaries from several
+    /// machines (one per device, one per CPU core) aggregate into
+    /// fleet-wide totals.
+    pub fn feed_metrics(&self, reg: &mut grail_metrics::Registry) {
+        reg.add("power.transitions", self.transitions);
+        reg.add(
+            "power.state_entries",
+            self.per_state.iter().map(|s| s.entries).sum(),
+        );
+        reg.add_gauge("power.transition_joules", self.transition_energy.joules());
+        reg.add_gauge("power.transition_secs", self.transition_time.as_secs_f64());
+    }
+}
+
 /// A power-state machine that integrates energy as simulated time advances.
 #[derive(Debug, Clone)]
 pub struct PowerStateMachine {

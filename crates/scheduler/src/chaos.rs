@@ -334,7 +334,11 @@ impl Engine<'_> {
 
     /// Accrue energy and demand accounting over `[from, to)` under the
     /// current placement and rates.
-    fn settle(&mut self, from: SimInstant, to: SimInstant) {
+    fn settle(&mut self, from: SimInstant, to: SimInstant, tracer: &mut Tracer) {
+        // Drive the scrape clock first so boundary snapshots inside
+        // `(from, to]` capture the integrals as they stood before this
+        // settlement lands.
+        tracer.advance_time(to.as_nanos());
         let dt = to.duration_since(from);
         if dt.is_zero() {
             return;
@@ -360,6 +364,9 @@ impl Engine<'_> {
         if self.r_eff < self.policy.replicas {
             self.redundancy_degraded_secs += secs;
         }
+        tracer.gauge("chaos.offered_work", self.offered);
+        tracer.gauge("chaos.served_work", self.served_integral);
+        tracer.gauge("chaos.shed_work", self.shed);
     }
 
     /// Re-plan placement and admission for the current fleet health,
@@ -655,7 +662,7 @@ pub fn run_chaos(
             overflow.push(rt);
             continue;
         }
-        eng.settle(cur, at);
+        eng.settle(cur, at, tracer);
         cur = at;
         match rt {
             Runtime::Chaos(idx) => {
@@ -747,7 +754,7 @@ pub fn run_chaos(
             }
         }
     }
-    eng.settle(cur, end);
+    eng.settle(cur, end, tracer);
     // Work still bouncing in re-dispatch when the horizon closes gets
     // one final resolution at the end instant: recovered if anything is
     // live, failed otherwise. Late rejoins are moot.
@@ -764,6 +771,7 @@ pub fn run_chaos(
         }
     }
     eng.ledger.cover(start, end);
+    tracer.finish_time(end.as_nanos());
     Ok(ChaosReport {
         ledger: eng.ledger,
         horizon: schedule.horizon(),

@@ -114,6 +114,9 @@ pub fn record_admission(
 /// surge) as a fault instant named after the event kind.
 pub fn record_chaos_event(tracer: &mut Tracer, ev: &ChaosEvent) {
     tracer.count("chaos.events", 1);
+    // Hour-windowed event rate: storms show up as spikes in the scrape
+    // series without anyone post-processing the raw counter.
+    tracer.rate("chaos.event_rate", 3_600_000_000_000, ev.at.as_nanos(), 1);
     tracer.emit(Category::Fault, || {
         let e = TraceEvent::instant(tt(ev.at), Category::Fault, ev.kind.name(), Track::Main);
         match ev.kind {
@@ -141,6 +144,9 @@ pub fn record_chaos_placement(
     replicas: u32,
 ) {
     tracer.count("chaos.placements", 1);
+    tracer.gauge("chaos.served_rate", served_rate);
+    tracer.gauge("chaos.shed_rate", shed_rate);
+    tracer.gauge("chaos.replicas", f64::from(replicas));
     tracer.emit(Category::Scheduler, || {
         TraceEvent::instant(tt(at), Category::Scheduler, "chaos.placement", Track::Main)
             .arg("powered", powered as u64)

@@ -9,7 +9,7 @@ use crate::disk::DeviceStats;
 use crate::perf::CpuPerfProfile;
 use crate::sim::Reservation;
 use grail_power::components::{duo_states, CpuPowerProfile};
-use grail_power::state::PowerStateMachine;
+use grail_power::state::{MachineSummary, PowerStateMachine};
 use grail_power::units::{Cycles, Joules, SimDuration, SimInstant, Watts};
 
 /// One simulated CPU pool.
@@ -158,15 +158,44 @@ impl CpuDevice {
     /// Finalize at `end`: total energy = per-core machines + uncore floor
     /// over the whole span.
     pub fn finish(self, end: SimInstant) -> Joules {
+        self.finish_summary(end).total_energy
+    }
+
+    /// Finalize at `end`, returning a package-level power-state summary:
+    /// per-core machine summaries aggregated elementwise (all cores share
+    /// the same state set), with the uncore floor folded into the total.
+    pub fn finish_summary(self, end: SimInstant) -> MachineSummary {
         let end = end.max(self.all_free());
         let span = end.duration_since(SimInstant::EPOCH);
         let uncore = self.uncore_power() * span;
-        let cores: Joules = self
-            .cores
-            .into_iter()
-            .map(|c| c.machine.finish(end).expect("monotone finish").total_energy) // grail-lint: allow(error-hygiene, per-core event times are monotone by construction)
-            .sum();
-        cores + uncore
+        let mut agg: Option<MachineSummary> = None;
+        for c in self.cores {
+            let s = c.machine.finish(end).expect("monotone finish"); // grail-lint: allow(error-hygiene, per-core event times are monotone by construction)
+            agg = Some(match agg {
+                None => s,
+                Some(mut a) => {
+                    a.total_energy = a.total_energy + s.total_energy;
+                    for (dst, src) in a.per_state.iter_mut().zip(&s.per_state) {
+                        dst.time = dst.time + src.time;
+                        dst.energy = dst.energy + src.energy;
+                        dst.entries += src.entries;
+                    }
+                    a.transition_energy = a.transition_energy + s.transition_energy;
+                    a.transitions += s.transitions;
+                    a.transition_time = a.transition_time + s.transition_time;
+                    a
+                }
+            });
+        }
+        let mut out = agg.unwrap_or(MachineSummary {
+            total_energy: Joules::ZERO,
+            per_state: Vec::new(),
+            transition_energy: Joules::ZERO,
+            transitions: 0,
+            transition_time: SimDuration::ZERO,
+        });
+        out.total_energy = out.total_energy + uncore;
+        out
     }
 }
 

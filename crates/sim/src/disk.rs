@@ -8,7 +8,7 @@
 use crate::perf::{AccessPattern, DiskPerfProfile};
 use crate::sim::Reservation;
 use grail_power::components::{disk_states, DiskPowerProfile};
-use grail_power::state::PowerStateMachine;
+use grail_power::state::{MachineSummary, PowerStateMachine};
 use grail_power::units::{Bytes, Joules, SimDuration, SimInstant, Watts};
 
 /// Aggregate statistics of one device.
@@ -170,10 +170,15 @@ impl DiskDevice {
 
     /// Finalize at `end`, returning total energy consumed.
     pub fn finish(self, end: SimInstant) -> Joules {
+        self.finish_summary(end).total_energy
+    }
+
+    /// Finalize at `end`, returning the full power-state summary
+    /// (occupancies, transition counts and costs) for metrics feeds.
+    pub fn finish_summary(self, end: SimInstant) -> MachineSummary {
         self.machine
             .finish(end.max(self.next_free))
             .expect("monotone finish") // grail-lint: allow(error-hygiene, device event times are monotone by construction)
-            .total_energy
     }
 }
 

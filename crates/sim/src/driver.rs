@@ -313,6 +313,10 @@ pub fn run_streams_with(
     let mut total_retries: u64 = 0;
 
     while let Some((t, stream)) = q.pop() {
+        // Event times pop in nondecreasing order, so this drives the
+        // scrape clock: boundary snapshots capture the registry as it
+        // stood *before* this event's own metrics land.
+        sim.tracer_mut().advance_time(t.as_nanos());
         sim.tracer_mut()
             .observe("driver.queue_depth", COUNT_BUCKETS, q.len() as f64);
         let st = &mut states[stream];

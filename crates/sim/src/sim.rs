@@ -1049,20 +1049,38 @@ impl Simulation {
         let mut disk_stats = Vec::with_capacity(self.disks.len());
         for (i, d) in self.disks.into_iter().enumerate() {
             disk_stats.push(d.stats());
-            let e = d.finish(end);
-            ledger.charge(ComponentId::new(ComponentKind::Disk, i as u32), e);
+            let s = d.finish_summary(end);
+            if let Some(rec) = self.tracer.recorder_mut() {
+                s.feed_metrics(rec.metrics_mut());
+            }
+            ledger.charge(
+                ComponentId::new(ComponentKind::Disk, i as u32),
+                s.total_energy,
+            );
         }
         let mut ssd_stats = Vec::with_capacity(self.ssds.len());
         for (i, s) in self.ssds.into_iter().enumerate() {
             ssd_stats.push(s.stats());
-            let e = s.finish(end);
-            ledger.charge(ComponentId::new(ComponentKind::Ssd, i as u32), e);
+            let sum = s.finish_summary(end);
+            if let Some(rec) = self.tracer.recorder_mut() {
+                sum.feed_metrics(rec.metrics_mut());
+            }
+            ledger.charge(
+                ComponentId::new(ComponentKind::Ssd, i as u32),
+                sum.total_energy,
+            );
         }
         let mut cpu_stats = Vec::with_capacity(self.cpus.len());
         for (i, c) in self.cpus.into_iter().enumerate() {
             cpu_stats.push(c.stats());
-            let e = c.finish(end);
-            ledger.charge(ComponentId::new(ComponentKind::Cpu, i as u32), e);
+            let sum = c.finish_summary(end);
+            if let Some(rec) = self.tracer.recorder_mut() {
+                sum.feed_metrics(rec.metrics_mut());
+            }
+            ledger.charge(
+                ComponentId::new(ComponentKind::Cpu, i as u32),
+                sum.total_energy,
+            );
         }
         if self.base_power.get() > 0.0 {
             ledger.charge(
@@ -1112,6 +1130,9 @@ impl Simulation {
             .attribution
             .take()
             .map(|acc| acc.into_table(ledger.total()));
+        // Close the scrape clock before handing the recorder out: the
+        // horizon snapshot must include the device summaries fed above.
+        self.tracer.finish_time(end.as_nanos());
         let trace = self.tracer.take();
         SimReport {
             ledger,

@@ -9,7 +9,7 @@ use crate::disk::DeviceStats;
 use crate::perf::{AccessPattern, SsdPerfProfile};
 use crate::sim::Reservation;
 use grail_power::components::{duo_states, SsdPowerProfile};
-use grail_power::state::PowerStateMachine;
+use grail_power::state::{MachineSummary, PowerStateMachine};
 use grail_power::units::{Bytes, Joules, SimInstant, Watts};
 
 /// One simulated SSD.
@@ -78,10 +78,15 @@ impl SsdDevice {
 
     /// Finalize at `end`, returning total energy.
     pub fn finish(self, end: SimInstant) -> Joules {
+        self.finish_summary(end).total_energy
+    }
+
+    /// Finalize at `end`, returning the full power-state summary
+    /// (occupancies, transition counts and costs) for metrics feeds.
+    pub fn finish_summary(self, end: SimInstant) -> MachineSummary {
         self.machine
             .finish(end.max(self.next_free))
             .expect("monotone finish") // grail-lint: allow(error-hygiene, device event times are monotone by construction)
-            .total_energy
     }
 }
 

@@ -35,8 +35,10 @@
 //! * [`event`] — [`TraceTime`], [`Category`], [`Track`], [`TraceEvent`].
 //! * [`recorder`] — [`TraceSink`], the ring-buffered [`Recorder`], and
 //!   the zero-cost [`Tracer`] handle.
-//! * [`metrics`] — deterministic monotone [`Counter`s](metrics::Metrics)
-//!   and fixed-bucket [`Histogram`]s.
+//! * [`metrics`] — the deterministic [`Metrics`] registry (counters,
+//!   gauges, fixed-bucket [`Histogram`]s, windowed rates), re-exported
+//!   from the layer-0 `grail-metrics` crate; the recorder can scrape it
+//!   into snapshot series on a simulated-time interval.
 //! * [`export`] — JSONL and Chrome trace-event (Perfetto) writers.
 
 #![forbid(unsafe_code)]

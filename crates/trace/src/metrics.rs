@@ -1,192 +1,16 @@
-//! Deterministic metrics: monotone counters and fixed-bucket
-//! histograms.
+//! Re-exports of the `grail-metrics` registry types under the names
+//! this crate historically owned.
 //!
-//! Everything lives in `BTreeMap`s keyed by `&'static str`, so
-//! iteration (and therefore export) order is the lexicographic key
-//! order — stable across runs and machines. Histogram bucket bounds are
-//! `&'static [f64]`, fixed at first observation: there is no dynamic
-//! rebinning that could make output depend on observation order beyond
-//! the counts themselves.
+//! The registry grew out of this module (PR 3 shipped counters and
+//! histograms inside the recorder); PR 8 promoted it to the dedicated
+//! layer-0 `grail-metrics` crate so gauges, windowed rates, scraping,
+//! SLOs and exposition live beside it. Existing call sites keep using
+//! `grail_trace::metrics::Metrics` and the bucket constants unchanged.
 
-use std::collections::BTreeMap;
-
-/// Upper bounds (inclusive) for IO service-time histograms, in seconds.
-pub const SECONDS_BUCKETS: &[f64] = &[
-    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 10.0,
-];
-
-/// Upper bounds (inclusive) for small-count histograms (queue depths,
-/// retry counts).
-pub const COUNT_BUCKETS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
-
-/// A fixed-bucket histogram: `counts[i]` observations fell at or below
-/// `bounds[i]` (and above `bounds[i - 1]`); the final slot counts
-/// overflow beyond the last bound.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Histogram {
-    bounds: &'static [f64],
-    counts: Vec<u64>,
-    count: u64,
-    sum: f64,
-}
-
-impl Histogram {
-    /// New empty histogram over `bounds` (must be non-empty and sorted;
-    /// enforced by the static bucket constants callers pass).
-    pub fn new(bounds: &'static [f64]) -> Self {
-        Histogram {
-            bounds,
-            counts: vec![0; bounds.len() + 1],
-            count: 0,
-            sum: 0.0,
-        }
-    }
-
-    /// Record one observation.
-    pub fn observe(&mut self, value: f64) {
-        let slot = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
-        self.counts[slot] += 1;
-        self.count += 1;
-        self.sum += value;
-    }
-
-    /// Bucket upper bounds.
-    pub fn bounds(&self) -> &'static [f64] {
-        self.bounds
-    }
-
-    /// Per-bucket counts (`bounds.len() + 1` slots, last = overflow).
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all observed values.
-    pub fn sum(&self) -> f64 {
-        self.sum
-    }
-
-    /// Mean observation, or 0 when empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-}
+pub use grail_metrics::registry::{COUNT_BUCKETS, JOULES_BUCKETS, SECONDS_BUCKETS};
+pub use grail_metrics::{Histogram, RateWindow};
 
 /// The metrics registry carried by a
-/// [`Recorder`](crate::recorder::Recorder).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Metrics {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
-}
-
-impl Metrics {
-    /// New empty registry.
-    pub fn new() -> Self {
-        Metrics::default()
-    }
-
-    /// Add `delta` to the monotone counter `name` (created at zero).
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
-    }
-
-    /// Record `value` into histogram `name`, created over `bounds` on
-    /// first use. Later calls reuse the original bounds.
-    pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
-        self.histograms
-            .entry(name)
-            .or_insert_with(|| Histogram::new(bounds))
-            .observe(value);
-    }
-
-    /// Counter value, or 0 if never touched.
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
-    }
-
-    /// Histogram by name.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
-    }
-
-    /// Counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
-    }
-
-    /// Histograms in name order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(k, v)| (*k, v))
-    }
-
-    /// True when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_are_monotone_and_default_zero() {
-        let mut m = Metrics::new();
-        assert_eq!(m.counter("io.requests"), 0);
-        m.add("io.requests", 2);
-        m.add("io.requests", 3);
-        m.add("io.retries", 1);
-        assert_eq!(m.counter("io.requests"), 5);
-        assert_eq!(m.counter("io.retries"), 1);
-        let names: Vec<_> = m.counters().map(|(n, _)| n).collect();
-        assert_eq!(names, vec!["io.requests", "io.retries"]);
-    }
-
-    #[test]
-    fn histogram_buckets_observations_including_overflow() {
-        let mut h = Histogram::new(COUNT_BUCKETS);
-        h.observe(0.0); // slot 0 (<= 0.0)
-        h.observe(1.0); // slot 1
-        h.observe(3.0); // slot 3 (<= 4.0)
-        h.observe(1000.0); // overflow
-        assert_eq!(h.count(), 4);
-        assert!((h.sum() - 1004.0).abs() < 1e-9);
-        assert!((h.mean() - 251.0).abs() < 1e-9);
-        assert_eq!(h.counts()[0], 1);
-        assert_eq!(h.counts()[1], 1);
-        assert_eq!(h.counts()[3], 1);
-        assert_eq!(h.counts()[COUNT_BUCKETS.len()], 1);
-    }
-
-    #[test]
-    fn registry_fixes_bounds_at_first_use() {
-        let mut m = Metrics::new();
-        m.observe("svc", SECONDS_BUCKETS, 0.002);
-        m.observe("svc", COUNT_BUCKETS, 0.2); // bounds ignored: already created
-        let h = m.histogram("svc").unwrap();
-        assert_eq!(h.bounds(), SECONDS_BUCKETS);
-        assert_eq!(h.count(), 2);
-    }
-
-    #[test]
-    fn bucket_constants_are_sorted() {
-        for bounds in [SECONDS_BUCKETS, COUNT_BUCKETS] {
-            for w in bounds.windows(2) {
-                assert!(w[0] < w[1]);
-            }
-        }
-    }
-}
+/// [`Recorder`](crate::recorder::Recorder) — an alias for
+/// [`grail_metrics::Registry`].
+pub type Metrics = grail_metrics::Registry;

@@ -3,6 +3,7 @@
 
 use crate::event::{Category, TraceEvent};
 use crate::metrics::Metrics;
+use grail_metrics::{Scraper, Snapshot};
 use std::collections::VecDeque;
 
 /// Anything that can accept trace events. The simulator is generic over
@@ -26,6 +27,7 @@ pub struct Recorder {
     events: VecDeque<TraceEvent>,
     dropped: u64,
     metrics: Metrics,
+    scraper: Option<Scraper>,
 }
 
 impl Recorder {
@@ -45,7 +47,23 @@ impl Recorder {
             events: VecDeque::new(),
             dropped: 0,
             metrics: Metrics::new(),
+            scraper: None,
         }
+    }
+
+    /// A recorder that retains no events and filters every category —
+    /// the cheapest live tracer: `emit` closures are never invoked,
+    /// only `count`/`observe`/`gauge`/`rate` touch the registry. Used
+    /// by metrics-only runs (the watchdog, the overhead bench).
+    pub fn metrics_only() -> Self {
+        Recorder::with_categories(0, 0)
+    }
+
+    /// Enable scraping: snapshot the registry every `interval_nanos`
+    /// of simulated time (driven by [`Recorder::advance_time`]).
+    pub fn with_scrape_interval(mut self, interval_nanos: u64) -> Self {
+        self.scraper = Some(Scraper::new(interval_nanos));
+        self
     }
 
     /// Is `cat` enabled by this recorder's filter mask?
@@ -88,6 +106,30 @@ impl Recorder {
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
     }
+
+    /// Simulated time has advanced to `now_nanos`: emit any scrape
+    /// snapshots that came due. No-op without a scrape interval.
+    pub fn advance_time(&mut self, now_nanos: u64) {
+        if let Some(s) = &mut self.scraper {
+            s.advance(now_nanos, &mut self.metrics);
+        }
+    }
+
+    /// The run ended at `end_nanos`: emit due snapshots plus one final
+    /// snapshot at the horizon. No-op without a scrape interval.
+    pub fn finish_time(&mut self, end_nanos: u64) {
+        if let Some(s) = &mut self.scraper {
+            s.finish(end_nanos, &mut self.metrics);
+        }
+    }
+
+    /// Scrape snapshots collected so far (empty without a scraper).
+    pub fn snapshots(&self) -> &[Snapshot] {
+        self.scraper
+            .as_ref()
+            .map(|s| s.series().as_slice())
+            .unwrap_or(&[])
+    }
 }
 
 impl TraceSink for Recorder {
@@ -98,6 +140,9 @@ impl TraceSink for Recorder {
         if self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;
+            // Silent drops would be invisible in aggregate: surface the
+            // overflow as a metric alongside the struct counter.
+            self.metrics.add("trace.dropped", 1);
             if self.capacity == 0 {
                 return;
             }
@@ -167,6 +212,51 @@ impl Tracer {
     pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
         if let Some(r) = &mut self.0 {
             r.metrics_mut().observe(name, bounds, value);
+        }
+    }
+
+    /// Set a gauge (no-op when off; last write wins).
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(r) = &mut self.0 {
+            r.metrics_mut().set_gauge(name, value);
+        }
+    }
+
+    /// Accumulate into a gauge (no-op when off).
+    #[inline]
+    pub fn gauge_add(&mut self, name: &'static str, delta: f64) {
+        if let Some(r) = &mut self.0 {
+            r.metrics_mut().add_gauge(name, delta);
+        }
+    }
+
+    /// Credit `delta` events at simulated `now_nanos` into a
+    /// tumbling-window rate (no-op when off).
+    #[inline]
+    pub fn rate(&mut self, name: &'static str, window_nanos: u64, now_nanos: u64, delta: u64) {
+        if let Some(r) = &mut self.0 {
+            r.metrics_mut()
+                .rate_add(name, window_nanos, now_nanos, delta);
+        }
+    }
+
+    /// Simulated time advanced to `now_nanos`: run any due scrapes.
+    /// Event loops call this as each event is dispatched, *before*
+    /// recording that event's metrics, so a scrape boundary never
+    /// includes values from beyond it.
+    #[inline]
+    pub fn advance_time(&mut self, now_nanos: u64) {
+        if let Some(r) = &mut self.0 {
+            r.advance_time(now_nanos);
+        }
+    }
+
+    /// The run ended at `end_nanos`: take the final scrape snapshot.
+    #[inline]
+    pub fn finish_time(&mut self, end_nanos: u64) {
+        if let Some(r) = &mut self.0 {
+            r.finish_time(end_nanos);
         }
     }
 
@@ -264,5 +354,60 @@ mod tests {
         r.record(ev(1, Category::Io, "a"));
         assert!(r.is_empty());
         assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn drops_surface_as_a_metric() {
+        let mut r = Recorder::new(1);
+        r.record(ev(1, Category::Io, "a"));
+        assert_eq!(r.metrics().counter("trace.dropped"), 0);
+        r.record(ev(2, Category::Io, "b"));
+        r.record(ev(3, Category::Io, "c"));
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.metrics().counter("trace.dropped"), 2);
+    }
+
+    #[test]
+    fn metrics_only_recorder_filters_events_without_counting_drops() {
+        let mut t = Tracer::on(Recorder::metrics_only());
+        let mut built = 0;
+        t.emit(Category::Io, || {
+            built += 1;
+            ev(1, Category::Io, "x")
+        });
+        t.count("io.requests", 1);
+        let r = t.take().unwrap();
+        assert_eq!(built, 0, "masked categories never build events");
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.metrics().counter("trace.dropped"), 0);
+        assert_eq!(r.metrics().counter("io.requests"), 1);
+    }
+
+    #[test]
+    fn scrape_snapshots_follow_advance_time() {
+        let mut t = Tracer::on(Recorder::metrics_only().with_scrape_interval(100));
+        t.count("io.requests", 1);
+        t.advance_time(150); // crosses 100
+        t.count("io.requests", 2);
+        t.rate("db.query_rate", 100, 150, 3);
+        t.finish_time(250); // crosses 200, plus the horizon snapshot
+        let r = t.take().unwrap();
+        let ats: Vec<u64> = r.snapshots().iter().map(|s| s.at_nanos).collect();
+        assert_eq!(ats, vec![100, 200, 250]);
+        assert_eq!(r.snapshots()[0].counter("io.requests"), 1);
+        assert_eq!(r.snapshots()[1].counter("io.requests"), 3);
+        // The rate window [100, 200) closed with the 3 credited events.
+        assert_eq!(r.snapshots()[1].rates, vec![("db.query_rate", 3)]);
+    }
+
+    #[test]
+    fn tracer_off_ignores_time_and_gauges() {
+        let mut t = Tracer::off();
+        t.gauge("g", 1.0);
+        t.gauge_add("g", 1.0);
+        t.rate("r", 10, 5, 1);
+        t.advance_time(100);
+        t.finish_time(200);
+        assert!(t.take().is_none());
     }
 }

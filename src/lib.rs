@@ -10,6 +10,9 @@
 //!
 //! This crate is a thin facade that re-exports the workspace:
 //!
+//! * [`metrics`] — the deterministic metrics registry: counters, gauges,
+//!   histograms, scrape snapshots, SLO burn-rate evaluation, and the
+//!   Prometheus/CSV exporters ([`grail_metrics`]).
 //! * [`trace`] — the deterministic energy flight recorder: structured
 //!   events, metrics, JSONL/Perfetto export ([`grail_trace`]).
 //! * [`power`] — units, power-state machines, component power models, the
@@ -47,6 +50,7 @@
 
 pub use grail_buffer as buffer;
 pub use grail_core as core;
+pub use grail_metrics as metrics;
 pub use grail_optimizer as optimizer;
 pub use grail_power as power;
 pub use grail_query as query;

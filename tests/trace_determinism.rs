@@ -64,6 +64,36 @@ fn throughput_trace_is_deterministic_and_conserving() {
         .all(|r| r.energy.joules() > 0.0));
 }
 
+#[test]
+fn trace_overflow_is_counted_and_deterministic() {
+    use grail::scheduler::chaos::{reference_storm, run_chaos};
+    use grail::trace::{Recorder, Tracer};
+    let run = |cap: usize| {
+        let (fleet, schedule, demand, policy) = reference_storm();
+        let mut tracer = Tracer::on(Recorder::new(cap));
+        run_chaos(&fleet, &schedule, demand, &policy, &mut tracer).expect("reference storm");
+        tracer.take().expect("tracer is on")
+    };
+    // A storm emits far more than 8 events: the ring overflows, and the
+    // overflow surfaces both as the struct counter and as the
+    // `trace.dropped` metric (silent loss would poison any analysis
+    // done on the kept suffix).
+    let tiny = run(8);
+    assert!(tiny.dropped() > 0, "reference storm must overflow cap=8");
+    assert_eq!(tiny.metrics().counter("trace.dropped"), tiny.dropped());
+    assert_eq!(tiny.len(), 8, "ring keeps exactly its capacity");
+    // Dropping is part of the deterministic contract: same run, same
+    // drops, same surviving suffix.
+    let again = run(8);
+    assert_eq!(again.dropped(), tiny.dropped());
+    assert_eq!(to_jsonl(&again), to_jsonl(&tiny));
+    // A roomy recorder loses nothing, and the conservation law holds:
+    // emitted = kept + dropped.
+    let big = run(1 << 20);
+    assert_eq!(big.metrics().counter("trace.dropped"), 0);
+    assert_eq!(big.len() as u64, 8 + tiny.dropped());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
