@@ -83,6 +83,12 @@ struct LedgerRecord {
     sim_points: usize,
     speedup_vs_sequential: f64,
     threads: usize,
+    /// Intra-simulation speedup (one sharded simulation, 1 shard vs
+    /// `threads` shards; see `sim::parallel`). Readers treat a missing
+    /// or zero value as "not measured for this bench" — only the
+    /// `single_sim` line carries it; `par_sim` is the dedicated deep
+    /// benchmark.
+    single_sim_speedup: f64,
 }
 
 /// Records rendered exactly as `ExperimentRecord::append_to` writes
@@ -94,6 +100,52 @@ fn render(recs: &[ExperimentRecord]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// A small multi-cell scenario for the intra-simulation probe: `cells`
+/// DL785-slice cells (three 15K spindles under RAID-0), two streams of
+/// `jobs` jobs each, sizes varied deterministically by index.
+fn single_sim_scenario(cells: usize, jobs: usize) -> grail_sim::SimConfig {
+    use grail_power::components::{CpuPowerProfile, DiskPowerProfile};
+    use grail_power::units::{Bytes, Cycles, Hertz, Watts};
+    use grail_sim::driver::{IoDemand, JobSpec, PhaseSpec};
+    use grail_sim::{ArrayId, CellSpec, CpuPerfProfile, DiskPerfProfile, StorageTarget};
+
+    let specs = (0..cells)
+        .map(|c| {
+            let streams = (0..2usize)
+                .map(|s| {
+                    (0..jobs)
+                        .map(|j| {
+                            let salt = (c * 31 + s * 7 + j) as u64;
+                            JobSpec::immediate(vec![PhaseSpec::overlapped(
+                                Cycles::new(10_000_000 + (salt % 5) * 2_000_000),
+                                2,
+                                vec![IoDemand::seq_read(
+                                    StorageTarget::Array(ArrayId(0)),
+                                    Bytes::mib(2 + salt % 7),
+                                )],
+                            )])
+                        })
+                        .collect()
+                })
+                .collect();
+            CellSpec::new(
+                CpuPerfProfile {
+                    cores: 4,
+                    freq: Hertz::ghz(2.2),
+                },
+                CpuPowerProfile::opteron_socket(),
+            )
+            .with_disks(3, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k())
+            .with_raid(grail_sim::raid::RaidLevel::Raid0)
+            .with_streams(streams)
+        })
+        .collect();
+    let mut cfg = grail_sim::SimConfig::new(specs);
+    cfg.base_power = Watts::new(300.0);
+    cfg.seed = 9;
+    cfg
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -218,6 +270,59 @@ fn main() {
             sim_points: points.len(),
             speedup_vs_sequential: speedup,
             threads: runner.threads(),
+            single_sim_speedup: 0.0,
+        });
+    }
+
+    // Intra-simulation parallelism probe: ONE multi-cell simulation
+    // sharded across the same thread count (vs the sweep benches above,
+    // which parallelize across independent simulations). Byte-identity
+    // of the ledger across shard counts is asserted inside
+    // `single_sim_pass`; the dedicated `par_sim` binary is the deep
+    // version with trace/scrape diffing and the committed floor.
+    {
+        let cells = 8usize;
+        let cfg = single_sim_scenario(cells, 150);
+        let shards = runner.threads().max(1);
+        let mut reference: Option<Vec<(String, u64)>> = None;
+        let mut timed = |shards: usize| {
+            let mut walls = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let rep = grail_sim::parallel::run_parallel(&cfg, shards)
+                    .expect("single_sim scenario runs clean");
+                walls.push(t0.elapsed().as_secs_f64() * 1e3);
+                let fp: Vec<(String, u64)> = rep
+                    .report
+                    .ledger
+                    .iter()
+                    .map(|(id, e)| (id.to_string(), e.joules().to_bits()))
+                    .collect();
+                match &reference {
+                    None => reference = Some(fp),
+                    Some(want) => assert_eq!(
+                        want, &fp,
+                        "single_sim ledger must be byte-identical at any shard count"
+                    ),
+                }
+            }
+            median(walls)
+        };
+        let seq_ms = timed(1);
+        let par_ms = timed(shards);
+        let speedup = seq_ms / par_ms;
+        println!(
+            "== SWEEP single_sim: {cells} cells, 1 vs {shards} shards: \
+             {seq_ms:.1} ms vs {par_ms:.1} ms, speedup {speedup:.2}x   [ledger byte-identical]"
+        );
+        println!();
+        ledger.push(LedgerRecord {
+            bench: "single_sim".to_string(),
+            wall_ms: par_ms,
+            sim_points: cells,
+            speedup_vs_sequential: speedup,
+            threads: shards,
+            single_sim_speedup: speedup,
         });
     }
 

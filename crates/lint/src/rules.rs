@@ -217,6 +217,11 @@ pub fn suppressed(d: &Diagnostic, f: &ScannedFile) -> bool {
     if UNSUPPRESSABLE.contains(&d.rule) {
         return false;
     }
+    // `thread-confine` has a second gate: its pragmas only bind inside
+    // the sanctioned-file allowlist.
+    if d.rule == THREAD_CONFINE && !THREAD_SANCTIONED.contains(&d.file.as_str()) {
+        return false;
+    }
     f.pragmas.iter().any(|p| {
         p.rule == d.rule
             && match p.scope {
@@ -249,6 +254,18 @@ pub fn pragma_hygiene(rel: &str, f: &ScannedFile) -> Vec<Diagnostic> {
                 PRAGMA,
                 format!("the `{}` rule cannot be suppressed", p.rule),
             ));
+        } else if p.rule == THREAD_CONFINE && !THREAD_SANCTIONED.contains(&rel) {
+            out.push(Diagnostic::new(
+                rel,
+                p.at,
+                PRAGMA,
+                format!(
+                    "`thread-confine` may only be suppressed in sanctioned files ({}); \
+                     move the synchronization into crates/par (or the sanctioned module) \
+                     instead of waving it through",
+                    THREAD_SANCTIONED.join(", ")
+                ),
+            ));
         }
     }
     out
@@ -265,6 +282,12 @@ pub fn stale_pragmas(rel: &str, f: &ScannedFile, raw: &[Diagnostic]) -> Vec<Diag
         // Unknown-rule and unsuppressable-rule pragmas are already
         // errors under `pragma`; don't double-report them as stale.
         if !RULES.iter().any(|r| r.id == p.rule) || UNSUPPRESSABLE.contains(&p.rule.as_str()) {
+            continue;
+        }
+        // A thread-confine pragma outside the sanctioned files is
+        // already an error under `pragma`; don't pile a staleness
+        // report on top (it can never bind, so it is trivially stale).
+        if p.rule == THREAD_CONFINE && !THREAD_SANCTIONED.contains(&rel) {
             continue;
         }
         let covers = |line: usize| match p.scope {
@@ -822,6 +845,15 @@ fn metric_registration(info: &FileInfo, f: &ScannedFile, out: &mut Vec<Diagnosti
 /// The one crate allowed to spawn threads and hold locks.
 const THREAD_CRATE: &str = "par";
 
+/// Files outside `crates/par` sanctioned to hold synchronization
+/// primitives — currently only the intra-simulation parallel event
+/// loop, which delegates its spawning to `grail_par::shard` but still
+/// names `std::thread` (core autodetection). A `thread-confine` pragma
+/// is honored ONLY in these files (the reason stays mandatory);
+/// anywhere else the pragma is itself a `pragma` error, so a stray
+/// Mutex elsewhere in crates/sim cannot be waved through.
+pub const THREAD_SANCTIONED: &[&str] = &["crates/sim/src/parallel.rs"];
+
 const THREAD_PATTERNS: &[&str] = &[
     "std::thread",
     "thread::spawn",
@@ -1373,9 +1405,24 @@ mod tests {
         // Identifier lookalikes don't match on token boundaries.
         let ok = "fn f() { let x = MutexGuardLike; single_threaded(); }\n";
         assert!(rules_at("crates/sim/src/x.rs", ok).is_empty());
-        // A reasoned pragma can authorize an exception.
-        let allowed = "fn f() { std::thread::sleep(d); } // grail-lint: allow(thread-confine, host-side stall in a bench harness, no shared state)\n";
-        assert!(rules_at("crates/bench/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn thread_confine_pragma_binds_only_in_sanctioned_files() {
+        // In the sanctioned module a reasoned pragma authorizes the
+        // exception.
+        let allowed =
+            "// grail-lint: allow-file(thread-confine, sanctioned intra-sim parallelism home)\n\
+                       fn f() { let n = std::thread::available_parallelism(); }\n";
+        assert!(rules_at("crates/sim/src/parallel.rs", allowed).is_empty());
+        // Anywhere else the identical pragma is itself an error AND the
+        // violation still reports: no waving a stray Mutex through.
+        let waved = "fn g() { let m = std::sync::Mutex::new(0); } // grail-lint: allow(thread-confine, trust me)\n";
+        let got = rules_at("crates/sim/src/cache.rs", waved);
+        assert!(got.contains(&(1, "thread-confine".into())), "{got:?}");
+        assert!(got.contains(&(1, "pragma".into())), "{got:?}");
+        // ...and it is not double-reported as stale.
+        assert!(!got.contains(&(1, "stale-pragma".into())), "{got:?}");
     }
 
     // -- unsafe-forbid ------------------------------------------------------

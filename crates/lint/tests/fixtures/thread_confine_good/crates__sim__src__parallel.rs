@@ -1,0 +1,6 @@
+// grail-lint: allow-file(thread-confine, sanctioned intra-sim parallelism home; spawning is delegated to grail-par's shard runner)
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -117,6 +117,18 @@ impl Histogram {
         self.bounds[self.bounds.len() - 1]
     }
 
+    /// Fold `other`'s observations into this histogram. Bounds must be
+    /// the same static slice — the caller merges histograms that share a
+    /// metric name, and the registry fixes bounds at first use.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds.as_ptr(), other.bounds.as_ptr());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// The histogram of observations recorded since `earlier` (an older
     /// snapshot of the same histogram). Bounds must match.
     pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
@@ -181,6 +193,20 @@ impl RateWindow {
         self.completed += steps;
         self.window_start += steps * self.window_nanos;
         self.current = 0;
+    }
+
+    /// Fold `other` into this rate. Both sides must have the same window
+    /// length and an aligned cursor — callers `roll_to` a common instant
+    /// on both before merging (the shard-merge path does). Counts in the
+    /// matching windows add; `completed` stays the window count of the
+    /// aligned cursor, not the sum, since both sides tumbled through the
+    /// same simulated span.
+    pub fn merge_from(&mut self, other: &RateWindow) {
+        debug_assert_eq!(self.window_nanos, other.window_nanos);
+        debug_assert_eq!(self.window_start, other.window_start);
+        self.current += other.current;
+        self.last += other.last;
+        self.completed = self.completed.max(other.completed);
     }
 
     /// Window length in nanoseconds.
@@ -303,6 +329,39 @@ impl Registry {
     /// Rates in name order.
     pub fn rates(&self) -> impl Iterator<Item = (&'static str, &RateWindow)> + '_ {
         self.rates.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Fold `other` into this registry: counters and histograms sum,
+    /// gauges **add** (the fan-in semantics of [`Registry::add_gauge`] —
+    /// every gauge the simulator exports is a settlement accumulation
+    /// over devices, so addition is the meaningful combine), and rates
+    /// merge window-by-window. Callers merging rate-bearing registries
+    /// must first [`Registry::roll_rates`] both sides to a common
+    /// instant so cursors align. Merging in a fixed order is the
+    /// caller's job; float sums make gauge merges order-sensitive.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name).or_insert(0.0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge_from(h),
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+            }
+        }
+        for (name, r) in &other.rates {
+            match self.rates.get_mut(name) {
+                Some(mine) => mine.merge_from(r),
+                None => {
+                    self.rates.insert(name, r.clone());
+                }
+            }
+        }
     }
 
     /// True when nothing has been recorded.
@@ -433,6 +492,64 @@ mod tests {
         r.add(150, 1);
         r.add(120, 1); // below window cursor: still counted
         assert_eq!(r.current(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts_and_sum() {
+        let mut a = Histogram::new(COUNT_BUCKETS);
+        a.observe(1.0);
+        a.observe(1000.0);
+        let mut b = Histogram::new(COUNT_BUCKETS);
+        b.observe(3.0);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum() - 1004.0).abs() < 1e-9);
+        assert_eq!(a.counts()[1], 1);
+        assert_eq!(a.counts()[3], 1);
+        assert_eq!(a.counts()[COUNT_BUCKETS.len()], 1);
+    }
+
+    #[test]
+    fn rate_merge_adds_aligned_windows() {
+        let mut a = RateWindow::new(100);
+        let mut b = RateWindow::new(100);
+        a.add(10, 2);
+        b.add(20, 3);
+        a.roll_to(250);
+        b.roll_to(250);
+        // Both closed [0,100) (last=0 after the skip) and sit in [200,300).
+        a.add(210, 1);
+        b.add(220, 4);
+        a.roll_to(300);
+        b.roll_to(300);
+        a.merge_from(&b);
+        assert_eq!(a.last(), 5);
+        assert_eq!(a.completed(), 3);
+    }
+
+    #[test]
+    fn registry_merge_combines_all_families() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.add("c", 2);
+        b.add("c", 3);
+        b.add("only_b", 7);
+        a.add_gauge("g", 1.5);
+        b.add_gauge("g", 2.0);
+        a.observe("h", COUNT_BUCKETS, 1.0);
+        b.observe("h", COUNT_BUCKETS, 2.0);
+        b.observe("h2", SECONDS_BUCKETS, 0.5);
+        a.rate_add("r", 100, 10, 1);
+        b.rate_add("r", 100, 20, 2);
+        a.roll_rates(100);
+        b.roll_rates(100);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.gauge("g"), Some(3.5));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
+        assert_eq!(a.rate("r").unwrap().last(), 3);
     }
 
     #[test]

@@ -188,6 +188,12 @@ pub const CATALOG: &[MetricSpec] = &[
         help: "RAID rebuilds completed",
     },
     MetricSpec {
+        name: "fault.recovery_bills",
+        kind: MetricKind::Counter,
+        unit: "1",
+        help: "Direct Recovery-category bills (crash reboots, replayed work)",
+    },
+    MetricSpec {
         name: "fault.spin_up_failures",
         kind: MetricKind::Counter,
         unit: "1",

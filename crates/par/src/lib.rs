@@ -24,6 +24,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod shard;
+
+pub use shard::{HorizonProtocol, ShardStep};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How a sweep executes: on the calling thread, or fanned across a

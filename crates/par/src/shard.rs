@@ -1,0 +1,241 @@
+//! Conservative shard runner: intra-simulation parallelism.
+//!
+//! Where [`Runner`](crate::Runner) fans *independent* simulations
+//! across threads, this module shards the event loop of **one**
+//! simulation. Each shard owns a disjoint slice of the simulated
+//! machine (devices plus the client streams bound to them) and runs its
+//! own event queue; shards synchronize with the classic conservative
+//! (Chandy–Misra–Bryant-style) discipline:
+//!
+//! > a shard may process every event with `t ≤ min(neighbor horizons)
+//! > + lookahead`,
+//!
+//! where a *horizon* is the timestamp of a shard's next unprocessed
+//! event (`u64::MAX` once drained) and *lookahead* is a lower bound on
+//! how soon any shard's current work could possibly affect another —
+//! derived from device service-time floors by the caller (see
+//! `grail_sim::parallel`).
+//!
+//! The horizon exchange is **barrier-free**: one `AtomicU64` per shard,
+//! written by its owner and read by everyone else. No shard ever blocks
+//! on a lock; a shard that is not yet allowed to advance spins on
+//! [`std::thread::yield_now`] re-reading neighbor horizons. The shard
+//! holding the globally minimal horizon always satisfies its own bound,
+//! so the protocol cannot deadlock, and a drained shard parks its
+//! horizon at `u64::MAX` so it never gates the others.
+//!
+//! Determinism: the protocol only *paces* shards — it never moves an
+//! event between them — so the merged outcome is a pure function of the
+//! shard contents, not of scheduling. The commit that merges shard
+//! outputs in fixed order lives with the caller.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard of a sharded event loop.
+///
+/// Implementations own their slice of simulation state; the runner only
+/// ever asks two things: *when is your next event* and *advance through
+/// everything at or before this bound*.
+pub trait ShardStep: Send {
+    /// Timestamp (simulated nanoseconds) of the next unprocessed event,
+    /// or `u64::MAX` when the shard is drained. Must be nondecreasing
+    /// across calls.
+    fn next_at(&self) -> u64;
+
+    /// Process every local event with timestamp `≤ bound`. Must leave
+    /// `next_at() > bound` (or `u64::MAX`) on return.
+    fn advance(&mut self, bound: u64);
+}
+
+/// The conservative synchronization protocol for a set of shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HorizonProtocol {
+    /// Lookahead window in simulated nanoseconds: how far past the
+    /// minimal neighbor horizon a shard may safely run. Must be `> 0`
+    /// for the protocol to make progress in bounded rounds.
+    pub lookahead: u64,
+}
+
+impl HorizonProtocol {
+    /// A protocol with the given lookahead (clamped to at least 1 ns).
+    pub fn new(lookahead: u64) -> Self {
+        HorizonProtocol {
+            lookahead: lookahead.max(1),
+        }
+    }
+
+    /// Drive every shard to completion, one OS thread per shard, under
+    /// the conservative bound. Returns the shards in their input order
+    /// once all are drained.
+    ///
+    /// A single shard (or an empty set) runs inline on the calling
+    /// thread with an unbounded window — byte-identical to the
+    /// multi-shard run by the determinism argument above, and the
+    /// baseline the byte-equivalence tests compare against.
+    pub fn run<S: ShardStep>(&self, mut shards: Vec<S>) -> Vec<S> {
+        if shards.len() <= 1 {
+            if let Some(s) = shards.first_mut() {
+                while s.next_at() != u64::MAX {
+                    s.advance(u64::MAX);
+                }
+            }
+            return shards;
+        }
+
+        let horizons: Vec<AtomicU64> = shards.iter().map(|s| AtomicU64::new(s.next_at())).collect();
+        let lookahead = self.lookahead;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut shard)| {
+                    let horizons = &horizons;
+                    scope.spawn(move || {
+                        loop {
+                            let next = shard.next_at();
+                            // Release: neighbors reading this horizon may
+                            // use it as their safety bound, so it must not
+                            // be reordered before the work that earned it.
+                            horizons[i].store(next, Ordering::Release);
+                            if next == u64::MAX {
+                                break;
+                            }
+                            let neighbor_min = horizons
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != i)
+                                .map(|(_, h)| h.load(Ordering::Acquire))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            let bound = neighbor_min.saturating_add(lookahead);
+                            if next <= bound {
+                                shard.advance(bound);
+                            } else {
+                                // Not safe yet: someone is behind us.
+                                // Yield rather than spin hot — the
+                                // lagging shard needs the core.
+                                std::thread::yield_now();
+                            }
+                        }
+                        (i, shard)
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<S>> = handles.iter().map(|_| None).collect();
+            for h in handles {
+                match h.join() {
+                    Ok((i, s)) => slots[i] = Some(s),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| s.unwrap_or_else(|| panic!("shard {i} never returned")))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy shard: processes `events` (sorted times), records the
+    /// bound it saw for each, and can check the conservative invariant.
+    struct Toy {
+        events: Vec<u64>,
+        cursor: usize,
+        processed: Vec<(u64, u64)>, // (event time, bound in force)
+    }
+
+    impl Toy {
+        fn new(events: Vec<u64>) -> Self {
+            Toy {
+                events,
+                cursor: 0,
+                processed: Vec::new(),
+            }
+        }
+    }
+
+    impl ShardStep for Toy {
+        fn next_at(&self) -> u64 {
+            self.events.get(self.cursor).copied().unwrap_or(u64::MAX)
+        }
+        fn advance(&mut self, bound: u64) {
+            while let Some(&t) = self.events.get(self.cursor) {
+                if t > bound {
+                    break;
+                }
+                self.processed.push((t, bound));
+                self.cursor += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_runs_inline_to_completion() {
+        let out = HorizonProtocol::new(10).run(vec![Toy::new(vec![5, 9, 100])]);
+        assert_eq!(out[0].processed.len(), 3);
+    }
+
+    #[test]
+    fn all_shards_drain_at_any_count() {
+        for shards in [2usize, 3, 8] {
+            let toys: Vec<Toy> = (0..shards)
+                .map(|i| Toy::new((0..50).map(|k| (k * 97 + i as u64 * 13) % 5000).collect()))
+                .collect();
+            // Toy event lists must be sorted (next_at nondecreasing).
+            let toys: Vec<Toy> = toys
+                .into_iter()
+                .map(|mut t| {
+                    t.events.sort_unstable();
+                    t
+                })
+                .collect();
+            let out = HorizonProtocol::new(100).run(toys);
+            for (i, t) in out.iter().enumerate() {
+                assert_eq!(t.processed.len(), 50, "shard {i} of {shards}");
+                assert_eq!(t.cursor, 50);
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_bound_is_respected() {
+        // Every processed event must have satisfied t <= bound at the
+        // moment it ran — recorded by the toy itself.
+        let toys = vec![
+            Toy::new((0..40).map(|k| k * 10).collect()),
+            Toy::new((0..40).map(|k| k * 25).collect()),
+        ];
+        let out = HorizonProtocol::new(7).run(toys);
+        for t in &out {
+            for &(at, bound) in &t.processed {
+                assert!(at <= bound, "event {at} ran past its bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_shards_do_not_deadlock() {
+        // One shard drains instantly; the other has a long tail. The
+        // drained shard parks at MAX and must not gate the survivor.
+        let toys = vec![Toy::new(vec![1]), Toy::new((0..1000).collect())];
+        let out = HorizonProtocol::new(1).run(toys);
+        assert_eq!(out[0].processed.len(), 1);
+        assert_eq!(out[1].processed.len(), 1000);
+    }
+
+    #[test]
+    fn empty_shard_set_is_fine() {
+        let out: Vec<Toy> = HorizonProtocol::new(1).run(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_lookahead_is_clamped() {
+        assert_eq!(HorizonProtocol::new(0).lookahead, 1);
+    }
+}

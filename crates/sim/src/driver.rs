@@ -285,47 +285,86 @@ pub fn run_streams_with(
     streams: &[Vec<JobSpec>],
     policy: &RetryPolicy,
 ) -> Result<DriveOutcome, SimError> {
-    let mut states: Vec<StreamState> = streams
-        .iter()
-        .map(|jobs| StreamState {
-            jobs: jobs.iter().map(compile).collect(),
-            arrivals: jobs.iter().map(|j| j.arrival).collect(),
-            job_idx: 0,
-            step_idx: 0,
-            job_start: SimInstant::EPOCH,
-            io_idx: 0,
-            step_end_acc: SimInstant::EPOCH,
-            attempts: 0,
-            job_retries: 0,
-            job_retry_energy: Joules::ZERO,
-        })
-        .collect();
+    let mut engine = StreamEngine::new(cpu, streams, *policy);
+    while engine.step(sim)? {}
+    Ok(engine.into_outcome())
+}
 
-    let mut q: EventQueue<usize> = EventQueue::new();
-    for (i, st) in states.iter().enumerate() {
-        if !st.jobs.is_empty() {
-            q.push(st.arrivals[0], i);
+/// The driver's event loop, reified so it can be *stepped*.
+///
+/// [`run_streams_with`] drains it in one call; `sim::parallel` instead
+/// interleaves `step` with the conservative horizon protocol, advancing
+/// each cell's engine only while its next event time stays under the
+/// shard bound. One `step` call processes exactly one event-queue pop —
+/// the same pop the sequential loop would perform — so the sequence of
+/// simulation mutations is identical however the steps are paced.
+pub(crate) struct StreamEngine {
+    states: Vec<StreamState>,
+    q: EventQueue<usize>,
+    cpu: CpuId,
+    policy: RetryPolicy,
+    results: Vec<JobResult>,
+    makespan: SimInstant,
+    total_retries: u64,
+}
+
+impl StreamEngine {
+    pub(crate) fn new(cpu: CpuId, streams: &[Vec<JobSpec>], policy: RetryPolicy) -> Self {
+        let states: Vec<StreamState> = streams
+            .iter()
+            .map(|jobs| StreamState {
+                jobs: jobs.iter().map(compile).collect(),
+                arrivals: jobs.iter().map(|j| j.arrival).collect(),
+                job_idx: 0,
+                step_idx: 0,
+                job_start: SimInstant::EPOCH,
+                io_idx: 0,
+                step_end_acc: SimInstant::EPOCH,
+                attempts: 0,
+                job_retries: 0,
+                job_retry_energy: Joules::ZERO,
+            })
+            .collect();
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, st) in states.iter().enumerate() {
+            if !st.jobs.is_empty() {
+                q.push(st.arrivals[0], i);
+            }
+        }
+        StreamEngine {
+            states,
+            q,
+            cpu,
+            policy,
+            results: Vec::new(),
+            makespan: SimInstant::EPOCH,
+            total_retries: 0,
         }
     }
 
-    let mut results = Vec::new();
-    let mut makespan = SimInstant::EPOCH;
-    let mut total_retries: u64 = 0;
+    /// Time of the next event the engine would process, if any.
+    pub(crate) fn next_at(&self) -> Option<SimInstant> {
+        self.q.peek_time()
+    }
 
-    while let Some((t, stream)) = q.pop() {
+    /// Process one event. Returns `Ok(false)` once the queue is drained.
+    pub(crate) fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
+        let Some((t, stream)) = self.q.pop() else {
+            return Ok(false);
+        };
         // Event times pop in nondecreasing order, so this drives the
         // scrape clock: boundary snapshots capture the registry as it
         // stood *before* this event's own metrics land.
         sim.tracer_mut().advance_time(t.as_nanos());
         sim.tracer_mut()
-            .observe("driver.queue_depth", COUNT_BUCKETS, q.len() as f64);
-        let st = &mut states[stream];
+            .observe("driver.queue_depth", COUNT_BUCKETS, self.q.len() as f64);
+        let st = &mut self.states[stream];
         if st.step_idx == 0 && st.io_idx == 0 && st.attempts == 0 {
             st.job_start = t;
         }
         // Skip empty jobs outright.
         while st.job_idx < st.jobs.len() && st.jobs[st.job_idx].is_empty() {
-            results.push(JobResult {
+            self.results.push(JobResult {
                 stream,
                 index: st.job_idx,
                 start: t,
@@ -338,7 +377,7 @@ pub fn run_streams_with(
             st.job_start = t;
         }
         if st.job_idx >= st.jobs.len() {
-            continue;
+            return Ok(true);
         }
         let step = st.jobs[st.job_idx][st.step_idx].clone();
         if st.io_idx == 0 && st.attempts == 0 {
@@ -367,7 +406,7 @@ pub fn run_streams_with(
                     st.job_retries += 1;
                     let wasted = sim.drain_retry_energy();
                     st.job_retry_energy += wasted;
-                    total_retries += 1;
+                    self.total_retries += 1;
                     let (attempt, job_idx) = (st.attempts, st.job_idx);
                     sim.tracer_mut().count("io.retries", 1);
                     sim.tracer_mut().emit(Category::Query, || {
@@ -381,7 +420,7 @@ pub fn run_streams_with(
                         .arg("attempt", attempt as u64)
                         .arg("wasted_j", wasted.joules())
                     });
-                    if st.attempts > policy.max_retries {
+                    if st.attempts > self.policy.max_retries {
                         return Err(SimError::RetriesExhausted {
                             stream,
                             job: st.job_idx,
@@ -389,7 +428,7 @@ pub fn run_streams_with(
                         });
                     }
                     let until = e.retry_until().unwrap_or(t).max(t);
-                    reissue_at = Some(until + policy.backoff(st.attempts));
+                    reissue_at = Some(until + self.policy.backoff(st.attempts));
                     break;
                 }
                 Err(e) => return Err(e),
@@ -398,19 +437,19 @@ pub fn run_streams_with(
         if let Some(when) = reissue_at {
             st.step_end_acc = step_end;
             sim.clear_query_tag();
-            q.push(when, stream);
-            continue;
+            self.q.push(when, stream);
+            return Ok(true);
         }
         st.io_idx = 0;
         if step.cpu > Cycles::ZERO {
-            let r = sim.compute_parallel(cpu, t, step.cpu, step.dop)?;
+            let r = sim.compute_parallel(self.cpu, t, step.cpu, step.dop)?;
             step_end = step_end.max(r.end);
         }
         sim.clear_query_tag();
         st.step_idx += 1;
         if st.step_idx >= st.jobs[st.job_idx].len() {
             // Job complete.
-            results.push(JobResult {
+            self.results.push(JobResult {
                 stream,
                 index: st.job_idx,
                 start: st.job_start,
@@ -431,25 +470,28 @@ pub fn run_streams_with(
                 .arg("job", job_idx as u64)
                 .arg("retries", retries as u64)
             });
-            makespan = makespan.max(step_end);
+            self.makespan = self.makespan.max(step_end);
             st.job_idx += 1;
             st.step_idx = 0;
             st.job_retries = 0;
             st.job_retry_energy = Joules::ZERO;
             if st.job_idx < st.jobs.len() {
                 let next = step_end.max(st.arrivals[st.job_idx]);
-                q.push(next, stream);
+                self.q.push(next, stream);
             }
         } else {
-            q.push(step_end, stream);
+            self.q.push(step_end, stream);
         }
+        Ok(true)
     }
 
-    Ok(DriveOutcome {
-        results,
-        makespan,
-        total_retries,
-    })
+    pub(crate) fn into_outcome(self) -> DriveOutcome {
+        DriveOutcome {
+            results: self.results,
+            makespan: self.makespan,
+            total_retries: self.total_retries,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,18 @@ impl FaultStats {
     pub fn total_faults(&self) -> u64 {
         self.transient + self.latent + self.disk_failures + self.ssd_failures + self.spin_up_faults
     }
+
+    /// Fold `other`'s counters into this one — the shard merge sums
+    /// per-cell stats into the committed report.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.transient += other.transient;
+        self.latent += other.latent;
+        self.disk_failures += other.disk_failures;
+        self.ssd_failures += other.ssd_failures;
+        self.spin_up_faults += other.spin_up_faults;
+        self.degraded_reads += other.degraded_reads;
+        self.rebuilds += other.rebuilds;
+    }
 }
 
 /// Per-device fault state: an independent RNG stream plus a sampled

@@ -34,6 +34,9 @@
 //! * [`driver`] — multi-stream job driver (phases of CPU + IO demands)
 //!   with retry/backoff over transient faults.
 //! * [`event`] — deterministic priority event queue.
+//! * [`parallel`] — intra-simulation parallelism: cells sharded across
+//!   threads with conservative lookahead, byte-identical at any shard
+//!   count ([`parallel::run_parallel`]).
 //! * [`trace`] — binned power/utilization time series.
 //! * [`attr`] — per-query energy attribution tables whose rows sum to
 //!   the ledger's wall-socket total.
@@ -56,6 +59,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod ids;
+pub mod parallel;
 pub mod perf;
 pub mod raid;
 pub mod sim;
@@ -69,5 +73,6 @@ pub use fault::{
     FaultStats,
 };
 pub use ids::{ArrayId, CpuId, DiskId, SsdId, StorageTarget};
+pub use parallel::{derived_lookahead, run_parallel, CellSpec, ParReport, SimConfig};
 pub use perf::{AccessPattern, CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
 pub use sim::{Reservation, SimReport, Simulation};

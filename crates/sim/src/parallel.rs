@@ -1,0 +1,796 @@
+//! Intra-simulation parallelism: shard one simulation's event loop
+//! across threads, with bit-identical output at any shard count.
+//!
+//! `grail-par`'s [`Runner`](grail_par::Runner) parallelizes *across*
+//! independent sweep points; this module parallelizes *inside* one
+//! simulation. The unit of partition is the **cell**: a slice of the
+//! simulated machine (its own CPU pool, spindles/SSDs, arrays) together
+//! with the client streams bound to it — the shape of every
+//! cluster-scale scenario, where a fleet is hundreds of such cells and
+//! nothing crosses cell boundaries except the final energy roll-up.
+//! Each cell runs the ordinary sequential [`Simulation`] +
+//! [`driver`](crate::driver) machinery; shards are threads hosting
+//! disjoint cell subsets, paced by the conservative horizon protocol in
+//! [`grail_par::shard`]: a shard may advance to `min(neighbor horizons)
+//! + lookahead`, with lookahead derived from device service-time floors
+//! (see [`derived_lookahead`]).
+//!
+//! ## Why the output is byte-identical at any shard count
+//!
+//! Every mutation of simulation state happens inside some cell, and a
+//! cell's evolution is a pure function of its spec, its seeded fault
+//! plan, and its chaos slice — never of what other cells are doing or
+//! of which OS thread hosts it. The horizon protocol therefore only
+//! decides *when* (in wall-clock) a cell's events run, not *what* they
+//! compute. The commit then folds per-cell artifacts in **fixed cell
+//! index order**: ledger charges (float accumulation order is pinned),
+//! trace events (stable sort by timestamp keeps cell order on ties),
+//! metrics registries, attribution rows, fault counters. Nothing that
+//! depends on the shard count — not even the count itself — enters any
+//! merged artifact, so `--shards 1`, `2`, and `8` produce the same
+//! bytes. The root `par_sim_determinism` test and the CI byte-diff
+//! enforce exactly that on serialized ledgers, JSONL traces, and
+//! Prometheus scrapes.
+//!
+//! ## Why conservative (and not optimistic)
+//!
+//! Optimistic engines (Time Warp) need rollback: every device calendar,
+//! power-state machine, ledger accumulator and trace buffer would have
+//! to checkpoint, and a single float re-accumulated in a different
+//! order after rollback would break the byte-identity contract that
+//! every downstream artifact relies on. Conservative synchronization
+//! never executes an event it might retract, so the sequential code
+//! runs unchanged — the entire refactor is pacing plus a deterministic
+//! merge.
+
+// grail-lint: allow-file(thread-confine, sim::parallel is the sanctioned intra-sim parallelism home; it only queries available_parallelism and delegates spawning to grail-par's shard runner)
+
+use crate::driver::{DriveOutcome, JobResult, JobSpec, RetryPolicy, StreamEngine};
+use crate::error::SimError;
+use crate::fault::{ChaosEventKind, ChaosSchedule, FaultConfig, FaultPlan};
+use crate::perf::{CpuPerfProfile, DiskPerfProfile, SsdPerfProfile};
+use crate::raid::RaidLevel;
+use crate::sim::{SimReport, Simulation};
+use grail_par::shard::{HorizonProtocol, ShardStep};
+use grail_power::components::{CpuPowerProfile, DiskPowerProfile, SsdPowerProfile};
+use grail_power::ledger::{ComponentId, ComponentKind, EnergyLedger, LedgerOp};
+use grail_power::units::{Cycles, Joules, SimDuration, SimInstant, Watts};
+use grail_trace::{Category, Recorder, TraceEvent, TraceTime, Tracer, Track};
+
+#[inline]
+fn tt(at: SimInstant) -> TraceTime {
+    TraceTime::from_nanos(at.as_nanos())
+}
+
+/// One cell of a sharded simulation: a device slice plus the job
+/// streams bound to it. Stream job specs use **cell-local** ids
+/// (`DiskId(0)` is this cell's first disk; the cell's CPU pool is
+/// always `CpuId(0)`); the commit remaps everything to global indices.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// The cell's CPU pool.
+    pub cpu: CpuPerfProfile,
+    /// Its power model.
+    pub cpu_power: CpuPowerProfile,
+    /// Rotating disks in the cell (all share one profile pair).
+    pub disks: usize,
+    /// Disk service-time profile.
+    pub disk_perf: DiskPerfProfile,
+    /// Disk power model.
+    pub disk_power: DiskPowerProfile,
+    /// When set, all of the cell's disks form one array of this level.
+    pub raid: Option<RaidLevel>,
+    /// SSDs in the cell.
+    pub ssds: usize,
+    /// SSD service-time profile.
+    pub ssd_perf: SsdPerfProfile,
+    /// SSD power model.
+    pub ssd_power: SsdPowerProfile,
+    /// Client streams dispatched against this cell (targets are
+    /// cell-local).
+    pub streams: Vec<Vec<JobSpec>>,
+}
+
+impl CellSpec {
+    /// A cell with the given CPU pool and no storage or streams.
+    pub fn new(cpu: CpuPerfProfile, cpu_power: CpuPowerProfile) -> Self {
+        CellSpec {
+            cpu,
+            cpu_power,
+            disks: 0,
+            disk_perf: DiskPerfProfile::scsi_15k(),
+            disk_power: DiskPowerProfile::scsi_15k(),
+            raid: None,
+            ssds: 0,
+            ssd_perf: SsdPerfProfile::fig2_flash(),
+            ssd_power: SsdPowerProfile::fig2_flash(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// Add `n` disks with the given profiles.
+    pub fn with_disks(mut self, n: usize, perf: DiskPerfProfile, power: DiskPowerProfile) -> Self {
+        self.disks = n;
+        self.disk_perf = perf;
+        self.disk_power = power;
+        self
+    }
+
+    /// Stripe all of the cell's disks into one array.
+    pub fn with_raid(mut self, level: RaidLevel) -> Self {
+        self.raid = Some(level);
+        self
+    }
+
+    /// Add `n` SSDs with the given profiles.
+    pub fn with_ssds(mut self, n: usize, perf: SsdPerfProfile, power: SsdPowerProfile) -> Self {
+        self.ssds = n;
+        self.ssd_perf = perf;
+        self.ssd_power = power;
+        self
+    }
+
+    /// Set the cell's client streams (cell-local targets).
+    pub fn with_streams(mut self, streams: Vec<Vec<JobSpec>>) -> Self {
+        self.streams = streams;
+        self
+    }
+}
+
+/// Read-only configuration of one sharded simulation: the cells plus
+/// everything that used to be whole-`Simulation` mutable state, hoisted
+/// out so threads share nothing writable.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The cells, in global index order. Cell `i`'s devices get global
+    /// indices offset by the device counts of cells `0..i`; its streams
+    /// likewise.
+    pub cells: Vec<CellSpec>,
+    /// Whole-machine constant draw, charged once at commit (never
+    /// per-cell).
+    pub base_power: Watts,
+    /// Fault configuration applied to every cell.
+    pub fault: FaultConfig,
+    /// Master seed. Cell `i`'s fault plan is seeded with
+    /// `splitmix(seed, i)`, so cells draw from disjoint streams exactly
+    /// as devices do within one plan.
+    pub seed: u64,
+    /// Fleet-level chaos: `MachineCrash { machine }` events strike the
+    /// cell whose index equals `machine`. A crash bills
+    /// [`SimConfig::crash_boot_energy`] to the Recovery category,
+    /// applied *before* same-instant stream events. Other chaos kinds
+    /// (domain outages, brownouts, surges) are fleet-scheduler
+    /// concerns and are ignored at this layer.
+    pub chaos: Option<ChaosSchedule>,
+    /// Reboot surge billed per crash (cold boot + replay), directly to
+    /// the Recovery ledger line.
+    pub crash_boot_energy: Joules,
+    /// Driver retry policy, shared by every cell.
+    pub policy: RetryPolicy,
+    /// Commit granularity: the floor of the effective advance window.
+    /// Cells exchange no events, so the window is purely a pacing
+    /// knob — the derived device floor (microseconds to nanoseconds)
+    /// would serialize shards without changing any output byte.
+    pub epoch: SimDuration,
+    /// Per-cell trace buffer capacity; `None` disables tracing.
+    pub trace_capacity: Option<usize>,
+    /// Collect per-query attribution tables (merged at commit).
+    pub attribution: bool,
+}
+
+impl SimConfig {
+    /// A configuration over `cells` with no faults, no chaos, no base
+    /// draw, default retry policy, a 250 ms epoch, and tracing off.
+    pub fn new(cells: Vec<CellSpec>) -> Self {
+        SimConfig {
+            cells,
+            base_power: Watts::ZERO,
+            fault: FaultConfig::NONE,
+            seed: 0,
+            chaos: None,
+            crash_boot_energy: Joules::new(500.0),
+            policy: RetryPolicy::default(),
+            epoch: SimDuration::from_millis(250),
+            trace_capacity: None,
+            attribution: false,
+        }
+    }
+}
+
+/// The outcome of a sharded run: the merged [`SimReport`]
+/// (byte-identical at any shard count) plus driver results and the
+/// pacing parameters actually used. `shards` and `lookahead` exist for
+/// benchmarking only — they never appear in the report's artifacts.
+#[derive(Debug)]
+pub struct ParReport {
+    /// The merged settlement, indistinguishable from a single
+    /// `Simulation` hosting every cell's devices at their global
+    /// indices.
+    pub report: SimReport,
+    /// Merged driver outcome; `JobResult::stream` values are global.
+    pub outcome: DriveOutcome,
+    /// Shard (thread) count the run used.
+    pub shards: usize,
+    /// The effective advance window, `max(derived floor, epoch)`.
+    pub lookahead: SimDuration,
+}
+
+/// The service-time lower bound across every device model present: the
+/// classic lookahead of conservative simulation. Disk floor is one
+/// positioning (`avg_seek + avg_rotation`), SSD floor one request
+/// latency, CPU floor one core cycle; the minimum over the cells is a
+/// time no device could respond within, clamped to ≥ 1 ns.
+pub fn derived_lookahead(cells: &[CellSpec]) -> SimDuration {
+    let mut floor: Option<SimDuration> = None;
+    let mut fold = |d: SimDuration| match floor {
+        Some(f) if f <= d => {}
+        _ => floor = Some(d),
+    };
+    for c in cells {
+        if c.disks > 0 {
+            fold(c.disk_perf.avg_seek + c.disk_perf.avg_rotation);
+        }
+        if c.ssds > 0 {
+            fold(c.ssd_perf.request_latency);
+        }
+        fold(c.cpu.core_time(Cycles::new(1)));
+    }
+    floor
+        .unwrap_or(SimDuration::from_nanos(1))
+        .max(SimDuration::from_nanos(1))
+}
+
+/// splitmix64 — the same mix `FaultPlan` uses to give devices disjoint
+/// streams, here giving cells disjoint plan seeds.
+fn mix(seed: u64, cell: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cell.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One cell mid-run: its simulation, its driver engine, and its slice
+/// of the chaos schedule.
+struct CellRun {
+    sim: Simulation,
+    engine: StreamEngine,
+    /// Crash instants for this cell, sorted ascending.
+    crashes: Vec<SimInstant>,
+    crash_idx: usize,
+    boot_energy: Joules,
+    /// Latest simulated instant this cell has acted at (chaos bills can
+    /// land past the workload's end; the commit horizon covers them).
+    high_water: SimInstant,
+    failed: Option<SimError>,
+}
+
+impl CellRun {
+    fn build(config: &SimConfig, index: usize, spec: &CellSpec) -> Result<CellRun, SimError> {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_cpu(spec.cpu, spec.cpu_power);
+        if spec.disks > 0 {
+            let ids = sim.add_disks(spec.disks, spec.disk_perf, spec.disk_power);
+            if let Some(level) = spec.raid {
+                sim.make_array(level, ids)?;
+            }
+        }
+        if spec.ssds > 0 {
+            sim.add_ssds(spec.ssds, spec.ssd_perf, spec.ssd_power);
+        }
+        if !config.fault.is_zero() {
+            sim.set_fault_plan(FaultPlan::new(config.fault, mix(config.seed, index as u64)));
+        }
+        if let Some(cap) = config.trace_capacity {
+            // Ledger-category events are journaled at settlement with
+            // cell-LOCAL component ids; mask them out here and let the
+            // commit re-journal the merged ledger under global ids.
+            let mask = Category::ALL & !Category::Ledger.bit();
+            sim.set_tracer(Tracer::on(Recorder::with_categories(cap, mask)));
+        }
+        if config.attribution {
+            sim.enable_attribution();
+        }
+        let crashes: Vec<SimInstant> = config
+            .chaos
+            .as_ref()
+            .map(|s| {
+                s.events()
+                    .iter()
+                    .filter(|e| {
+                        matches!(e.kind, ChaosEventKind::MachineCrash { machine } if machine as usize == index)
+                    })
+                    .map(|e| e.at)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let engine = StreamEngine::new(cpu, &spec.streams, config.policy);
+        Ok(CellRun {
+            sim,
+            engine,
+            crashes,
+            crash_idx: 0,
+            boot_energy: config.crash_boot_energy,
+            high_water: SimInstant::EPOCH,
+            failed: None,
+        })
+    }
+
+    fn next_crash(&self) -> u64 {
+        self.crashes
+            .get(self.crash_idx)
+            .map(|t| t.as_nanos())
+            .unwrap_or(u64::MAX)
+    }
+
+    fn next_at(&self) -> u64 {
+        if self.failed.is_some() {
+            return u64::MAX;
+        }
+        let e = self
+            .engine
+            .next_at()
+            .map(|t| t.as_nanos())
+            .unwrap_or(u64::MAX);
+        e.min(self.next_crash())
+    }
+
+    fn advance(&mut self, bound: u64) {
+        while self.failed.is_none() {
+            let c = self.next_crash();
+            let e = self
+                .engine
+                .next_at()
+                .map(|t| t.as_nanos())
+                .unwrap_or(u64::MAX);
+            let next = c.min(e);
+            if next == u64::MAX || next > bound {
+                break;
+            }
+            self.high_water = self.high_water.max(SimInstant::from_nanos(next));
+            if c <= e {
+                // A crash strikes before (or exactly at) the next
+                // stream event: bill the reboot surge first, so
+                // same-instant stream events see the post-crash world —
+                // the tie-break `ChaosSchedule::generate` documents.
+                let at = self.crashes[self.crash_idx];
+                self.sim
+                    .bill_recovery(at, "chaos.machine_crash", self.boot_energy);
+                self.crash_idx += 1;
+            } else if let Err(err) = self.engine.step(&mut self.sim) {
+                self.failed = Some(err);
+            }
+        }
+    }
+}
+
+/// A shard: one thread's subset of the cells. `next_at`/`advance`
+/// aggregate over the hosted cells, so the horizon protocol sees one
+/// queue per shard exactly as it would for a monolithic event loop.
+struct ShardState {
+    cells: Vec<(usize, CellRun)>,
+}
+
+impl ShardStep for ShardState {
+    fn next_at(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|(_, c)| c.next_at())
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    fn advance(&mut self, bound: u64) {
+        for (_, c) in &mut self.cells {
+            c.advance(bound);
+        }
+    }
+}
+
+/// Run the configured simulation on `shards` threads (0 = one per
+/// available core) and commit the merged report.
+///
+/// Same config + seed ⇒ byte-identical [`SimReport`] artifacts at every
+/// shard count; see the module docs for the argument and the root
+/// `par_sim_determinism` test for the enforcement.
+pub fn run_parallel(config: &SimConfig, shards: usize) -> Result<ParReport, SimError> {
+    let requested = if shards == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        shards
+    };
+    let mut cells = Vec::with_capacity(config.cells.len());
+    for (i, spec) in config.cells.iter().enumerate() {
+        cells.push(CellRun::build(config, i, spec)?);
+    }
+
+    // Round-robin cells onto shards. Placement affects wall-clock only:
+    // the commit below orders everything by cell index.
+    let shard_count = requested.min(cells.len()).max(1);
+    let mut shard_states: Vec<ShardState> = (0..shard_count)
+        .map(|_| ShardState { cells: Vec::new() })
+        .collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        shard_states[i % shard_count].cells.push((i, cell));
+    }
+
+    let lookahead = derived_lookahead(&config.cells).max(config.epoch);
+    let shard_states = HorizonProtocol::new(lookahead.as_nanos()).run(shard_states);
+
+    // Re-collect cells in index order and surface the first failure by
+    // cell index (deterministic regardless of which thread hit it).
+    let mut tagged: Vec<(usize, CellRun)> =
+        shard_states.into_iter().flat_map(|s| s.cells).collect();
+    tagged.sort_by_key(|(i, _)| *i);
+    let mut cells: Vec<CellRun> = tagged.into_iter().map(|(_, c)| c).collect();
+    for c in &mut cells {
+        if let Some(err) = c.failed.take() {
+            return Err(err);
+        }
+    }
+
+    let mut report = commit(config, cells)?;
+    report.shards = shard_count;
+    report.lookahead = lookahead;
+    Ok(report)
+}
+
+/// Fold finished cells into one report, in cell index order throughout.
+fn commit(config: &SimConfig, cells: Vec<CellRun>) -> Result<ParReport, SimError> {
+    // Global index bases per cell: prefix sums over the specs.
+    let mut bases = Vec::with_capacity(config.cells.len());
+    let (mut db, mut sb, mut cb, mut strb) = (0u32, 0u32, 0u32, 0u32);
+    for spec in &config.cells {
+        bases.push((db, sb, cb, strb));
+        db += spec.disks as u32;
+        sb += spec.ssds as u32;
+        cb += 1;
+        strb += spec.streams.len() as u32;
+    }
+
+    // Pass 1: settle every cell at the common horizon.
+    let mut parts: Vec<(Simulation, DriveOutcome, SimInstant)> = cells
+        .into_iter()
+        .map(|c| {
+            let hw = c.high_water;
+            (c.sim, c.engine.into_outcome(), hw)
+        })
+        .collect();
+    let mut global_end = SimInstant::EPOCH;
+    for (sim, outcome, high_water) in &parts {
+        global_end = global_end
+            .max(outcome.makespan)
+            .max(sim.horizon())
+            .max(*high_water);
+    }
+    let end_nanos = global_end.as_nanos();
+    let span = global_end.duration_since(SimInstant::EPOCH);
+
+    let tracing = config.trace_capacity.is_some();
+    let mut ledger = EnergyLedger::new();
+    if tracing {
+        ledger.enable_journal();
+    }
+    ledger.cover(SimInstant::EPOCH, global_end);
+
+    let mut disk_stats = Vec::new();
+    let mut ssd_stats = Vec::new();
+    let mut cpu_stats = Vec::new();
+    let mut faults = crate::fault::FaultStats::default();
+    let mut results: Vec<JobResult> = Vec::new();
+    let mut makespan = SimInstant::EPOCH;
+    let mut total_retries = 0u64;
+    let mut attr: Vec<(u32, u32, f64)> = Vec::new();
+    let mut recorders: Vec<Recorder> = Vec::new();
+
+    for (cell_idx, (sim, outcome, _)) in parts.drain(..).enumerate() {
+        let (disk_base, ssd_base, cpu_base, stream_base) = bases[cell_idx];
+        let rep = sim.finish(global_end);
+        // Ledger: replay the cell's entries under global component ids.
+        // BTreeMap order within a cell and cell-major order across
+        // cells pin the float accumulation sequence.
+        for (id, e) in rep.ledger.iter() {
+            let global = match id.kind {
+                ComponentKind::Disk => ComponentId::new(id.kind, disk_base + id.index),
+                ComponentKind::Ssd => ComponentId::new(id.kind, ssd_base + id.index),
+                ComponentKind::Cpu => ComponentId::new(id.kind, cpu_base + id.index),
+                // Recovery (and anything shared) stays a singleton.
+                _ => id,
+            };
+            ledger.charge(global, e);
+        }
+        disk_stats.extend(rep.disk_stats);
+        ssd_stats.extend(rep.ssd_stats);
+        cpu_stats.extend(rep.cpu_stats);
+        faults.absorb(&rep.faults);
+        makespan = makespan.max(outcome.makespan);
+        total_retries += outcome.total_retries;
+        for r in outcome.results {
+            results.push(JobResult {
+                stream: r.stream + stream_base as usize,
+                ..r
+            });
+        }
+        if let Some(table) = rep.attribution {
+            for row in table.rows {
+                if let (Some(s), Some(i)) = (row.stream, row.index) {
+                    attr.push((stream_base + s, i, row.energy.joules()));
+                }
+                // Per-cell residuals are recomputed globally below.
+            }
+        }
+        if let Some(mut rec) = rep.trace {
+            for e in rec.events_mut() {
+                match &mut e.track {
+                    Track::Stream(s) => *s += stream_base,
+                    Track::Device { kind, index } => {
+                        *index += match *kind {
+                            "disk" => disk_base,
+                            "ssd" => ssd_base,
+                            "cpu" => cpu_base,
+                            _ => 0,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            rec.metrics_mut().roll_rates(end_nanos);
+            recorders.push(rec);
+        }
+    }
+
+    if config.base_power.get() > 0.0 {
+        ledger.charge(
+            ComponentId::new(ComponentKind::Base, 0),
+            config.base_power * span,
+        );
+    }
+
+    let attribution = if config.attribution {
+        let total = ledger.total();
+        let t = total.joules();
+        let share = |e: f64| if t > 0.0 { e / t } else { 0.0 };
+        let mut rows: Vec<crate::attr::AttributionRow> = attr
+            .iter()
+            .map(|&(stream, index, e)| crate::attr::AttributionRow {
+                label: format!("s{stream}.q{index}"),
+                stream: Some(stream),
+                index: Some(index),
+                energy: Joules::new(e),
+                share: share(e),
+                operators: Vec::new(),
+            })
+            .collect();
+        let attributed: f64 = attr.iter().map(|&(_, _, e)| e).sum();
+        let residual = t - attributed;
+        rows.push(crate::attr::AttributionRow {
+            label: crate::attr::UNATTRIBUTED.to_string(),
+            stream: None,
+            index: None,
+            energy: Joules::new(residual),
+            share: share(residual),
+            operators: Vec::new(),
+        });
+        Some(crate::attr::AttributionTable { rows })
+    } else {
+        None
+    };
+
+    let trace = if tracing {
+        // The commit's own events ride in a final part: the merged
+        // ledger's journal under GLOBAL ids, then the commit mark. They
+        // all carry the horizon timestamp, so the stable merge keeps
+        // them after every cell event.
+        let journal = ledger.take_journal();
+        let mut commit_rec = Recorder::with_categories(journal.len() + 1, Category::ALL);
+        for op in journal {
+            let ev = match op {
+                LedgerOp::Charge { component, energy } => TraceEvent::instant(
+                    tt(global_end),
+                    Category::Ledger,
+                    "ledger.charge",
+                    Track::Main,
+                )
+                .arg("component", component.to_string())
+                .arg("joules", energy.joules()),
+                LedgerOp::Transfer { from, to, moved } => TraceEvent::instant(
+                    tt(global_end),
+                    Category::Ledger,
+                    "ledger.transfer",
+                    Track::Main,
+                )
+                .arg("from", from.to_string())
+                .arg("to", to.to_string())
+                .arg("joules", moved.joules()),
+            };
+            grail_trace::TraceSink::record(&mut commit_rec, ev);
+        }
+        grail_trace::TraceSink::record(
+            &mut commit_rec,
+            TraceEvent::instant(tt(global_end), Category::Sim, "par.commit", Track::Main)
+                .arg("cells", config.cells.len() as u64)
+                .arg("total_j", ledger.total().joules())
+                .arg("elapsed_s", span.as_secs_f64()),
+        );
+        recorders.push(commit_rec);
+        Some(Recorder::merge_ordered(recorders))
+    } else {
+        None
+    };
+
+    Ok(ParReport {
+        report: SimReport {
+            ledger,
+            end: global_end,
+            elapsed: span,
+            disk_stats,
+            ssd_stats,
+            cpu_stats,
+            faults,
+            attribution,
+            trace,
+        },
+        outcome: DriveOutcome {
+            results,
+            makespan,
+            total_retries,
+        },
+        // Pacing parameters are stamped by `run_parallel`; they are
+        // observability only and never reach an artifact.
+        shards: 0,
+        lookahead: SimDuration::ZERO,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{IoDemand, PhaseSpec};
+    use crate::fault::ChaosEvent;
+    use crate::ids::StorageTarget;
+    use grail_power::units::{Bytes, Hertz};
+
+    fn scan_cell(streams: usize, jobs: usize) -> CellSpec {
+        let target = StorageTarget::Array(crate::ids::ArrayId(0));
+        let job = || {
+            JobSpec::immediate(vec![PhaseSpec::overlapped(
+                Cycles::new(50_000_000),
+                2,
+                vec![IoDemand::seq_read(target, Bytes::mib(30))],
+            )])
+        };
+        CellSpec::new(
+            CpuPerfProfile {
+                cores: 4,
+                freq: Hertz::ghz(2.0),
+            },
+            CpuPowerProfile::opteron_socket(),
+        )
+        .with_disks(3, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k())
+        .with_raid(RaidLevel::Raid0)
+        .with_streams(vec![vec![job(); jobs]; streams])
+    }
+
+    fn reference_config(cells: usize) -> SimConfig {
+        let mut cfg = SimConfig::new((0..cells).map(|_| scan_cell(2, 2)).collect());
+        cfg.base_power = Watts::new(150.0);
+        cfg.seed = 42;
+        cfg.trace_capacity = Some(4096);
+        cfg.attribution = true;
+        cfg
+    }
+
+    fn fingerprint(r: &ParReport) -> (Vec<(String, u64)>, Vec<String>, u64) {
+        let ledger: Vec<(String, u64)> = r
+            .report
+            .ledger
+            .iter()
+            .map(|(id, e)| (id.to_string(), e.joules().to_bits()))
+            .collect();
+        let events: Vec<String> = r
+            .report
+            .trace
+            .as_ref()
+            .map(|rec| {
+                rec.events()
+                    .map(|e| format!("{}:{}:{:?}", e.at.as_nanos(), e.name, e.track))
+                    .collect()
+            })
+            .unwrap_or_default();
+        (ledger, events, r.outcome.total_retries)
+    }
+
+    #[test]
+    fn shard_counts_agree_byte_for_byte() {
+        let cfg = reference_config(5);
+        let r1 = run_parallel(&cfg, 1).unwrap();
+        let r2 = run_parallel(&cfg, 2).unwrap();
+        let r8 = run_parallel(&cfg, 8).unwrap();
+        assert_eq!(fingerprint(&r1), fingerprint(&r2));
+        assert_eq!(fingerprint(&r1), fingerprint(&r8));
+        assert_eq!(r1.outcome.results.len(), 5 * 2 * 2);
+    }
+
+    #[test]
+    fn ledger_indices_are_global() {
+        let cfg = reference_config(3);
+        let r = run_parallel(&cfg, 2).unwrap();
+        // 3 cells × 3 disks → disk[0..9); 3 CPU pools; one Base entry.
+        let disks = r
+            .report
+            .ledger
+            .iter()
+            .filter(|(id, _)| id.kind == ComponentKind::Disk)
+            .count();
+        assert_eq!(disks, 9);
+        let cpus = r
+            .report
+            .ledger
+            .iter()
+            .filter(|(id, _)| id.kind == ComponentKind::Cpu)
+            .count();
+        assert_eq!(cpus, 3);
+        assert!(
+            r.report
+                .ledger
+                .component(ComponentId::new(ComponentKind::Base, 0))
+                > Joules::ZERO
+        );
+        assert_eq!(r.report.disk_stats.len(), 9);
+    }
+
+    #[test]
+    fn attribution_rows_remap_streams_and_sum_to_total() {
+        let cfg = reference_config(3);
+        let r = run_parallel(&cfg, 2).unwrap();
+        let table = r.report.attribution.as_ref().unwrap();
+        // 3 cells × 2 streams × 2 jobs + residual.
+        assert_eq!(table.rows.len(), 13);
+        assert!(table.query(5, 1).is_some(), "last cell's streams are 4..6");
+        let total = r.report.ledger.total().joules();
+        assert!((table.sum().joules() - total).abs() <= 1e-9_f64.max(total * 1e-9));
+    }
+
+    #[test]
+    fn crash_on_epoch_horizon_bills_recovery_identically() {
+        let mut cfg = reference_config(4);
+        let crash_at = SimInstant::EPOCH + cfg.epoch; // exactly one epoch in
+        cfg.chaos = Some(ChaosSchedule::scripted(
+            4,
+            1,
+            SimDuration::from_secs(10),
+            vec![ChaosEvent {
+                at: crash_at,
+                kind: ChaosEventKind::MachineCrash { machine: 2 },
+            }],
+        ));
+        let r1 = run_parallel(&cfg, 1).unwrap();
+        let r8 = run_parallel(&cfg, 8).unwrap();
+        let rec1 = r1.report.recovery_energy();
+        assert_eq!(
+            rec1.joules().to_bits(),
+            r8.report.recovery_energy().joules().to_bits()
+        );
+        assert!((rec1.joules() - cfg.crash_boot_energy.joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_config_settles_cleanly() {
+        let cfg = SimConfig::new(Vec::new());
+        let r = run_parallel(&cfg, 4).unwrap();
+        assert_eq!(r.report.ledger.total(), Joules::ZERO);
+        assert!(r.outcome.results.is_empty());
+    }
+
+    #[test]
+    fn lookahead_floor_comes_from_the_slowest_constraint() {
+        let cells = vec![scan_cell(1, 1)];
+        let floor = derived_lookahead(&cells);
+        // CPU cycle (~0.5 ns) undercuts the disk's 5.5 ms positioning
+        // floor; the derived lookahead is the MINIMUM across devices.
+        assert!(floor <= SimDuration::from_nanos(1));
+    }
+}

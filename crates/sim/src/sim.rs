@@ -177,6 +177,20 @@ impl Simulation {
             .unwrap_or_default()
     }
 
+    /// Bill `energy` to the `Recovery` ledger category at settlement —
+    /// recovery work no device machine captured (a chaos crash's reboot
+    /// surge, replay of lost work). Emits a `Fault` trace event at `at`;
+    /// the ledger movement itself happens at [`Simulation::finish`],
+    /// like every other recovery settlement.
+    pub fn bill_recovery(&mut self, at: SimInstant, reason: &'static str, energy: Joules) {
+        self.recovery.push(RecoveryCharge { from: None, energy });
+        self.tracer.count("fault.recovery_bills", 1);
+        self.tracer.emit(Category::Fault, || {
+            TraceEvent::instant(tt(at), Category::Fault, reason, Track::Main)
+                .arg("joules", energy.joules())
+        });
+    }
+
     /// Energy wasted by failed attempts since the last drain. Drivers
     /// call this after catching a retryable error to attribute retry
     /// energy to the job that paid it.

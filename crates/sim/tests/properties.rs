@@ -224,6 +224,76 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The event queue pops in time order with FIFO tie-breaking: for
+    /// any batch — duplicate timestamps included — the pop sequence is
+    /// exactly a stable sort of the pushes by time. This is the
+    /// insertion-sequence tie-break `sim::parallel`'s byte-identity
+    /// contract leans on.
+    #[test]
+    fn event_queue_pop_is_stable_sort_by_time(
+        times in proptest::collection::vec(0u64..50, 0..200),
+    ) {
+        let mut q = grail_sim::event::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimInstant::from_nanos(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, _)| t); // stable: ties keep push order
+        let mut got = Vec::new();
+        while let Some((at, p)) = q.pop() {
+            got.push((at.as_nanos(), p));
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// FIFO ties survive interleaved pushes and pops, `peek_time`
+    /// always announces the next pop, and `len` tracks the balance —
+    /// checked against a naive sorted-vector reference queue.
+    #[test]
+    fn event_queue_interleaving_matches_reference(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u64..10), 1..300),
+    ) {
+        let mut q = grail_sim::event::EventQueue::new();
+        let mut reference: Vec<(u64, u64, usize)> = Vec::new(); // (time, seq, payload)
+        let mut seq = 0u64;
+        for (i, &(push, t)) in ops.iter().enumerate() {
+            prop_assert_eq!(
+                q.peek_time().map(|at| at.as_nanos()),
+                reference.iter().map(|&(rt, ..)| rt).min()
+            );
+            if push {
+                q.push(SimInstant::from_nanos(t), i);
+                reference.push((t, seq, i));
+                seq += 1;
+            } else if let Some((at, p)) = q.pop() {
+                let best = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &(rt, rs, _))| (rt, rs))
+                    .map(|(idx, _)| idx)
+                    .unwrap();
+                let (rt, _, rp) = reference.remove(best);
+                prop_assert_eq!((at.as_nanos(), p), (rt, rp));
+            } else {
+                prop_assert!(reference.is_empty());
+            }
+            prop_assert_eq!(q.len(), reference.len());
+        }
+        // Drain the remainder: the queue and reference must agree to
+        // the very last entry.
+        reference.sort_by_key(|&(rt, rs, _)| (rt, rs));
+        for (rt, _, rp) in reference {
+            let (at, p) = q.pop().unwrap();
+            prop_assert_eq!((at.as_nanos(), p), (rt, rp));
+        }
+        prop_assert!(q.is_empty());
+    }
+}
+
 fn raid5_server(disks: usize) -> (Simulation, Vec<grail_sim::DiskId>, StorageTarget) {
     let mut sim = Simulation::new();
     let ids = sim.add_disks(

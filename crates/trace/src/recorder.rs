@@ -130,6 +130,50 @@ impl Recorder {
             .map(|s| s.series().as_slice())
             .unwrap_or(&[])
     }
+
+    /// Mutable access to retained events, oldest first. Exists for
+    /// post-run rewrites — the shard merge remaps per-cell stream and
+    /// device tracks to their global indices before concatenation.
+    pub fn events_mut(&mut self) -> impl Iterator<Item = &mut TraceEvent> + '_ {
+        self.events.iter_mut()
+    }
+
+    /// Merge recorders from a sharded run into one, deterministically.
+    ///
+    /// Events concatenate in `parts` order and are then stably sorted by
+    /// timestamp, so same-instant events from different parts keep the
+    /// part order and same-instant events within a part keep their
+    /// emission order — a pure function of the parts, independent of how
+    /// the parts were produced. Metrics registries fold in part order
+    /// (see [`grail_metrics::Registry::merge_from`] for the per-family
+    /// semantics), drop counts sum, capacities sum (nothing recorded is
+    /// evicted by the merge), and the mask is the union. Scrapers do not
+    /// survive the merge: snapshot series interleaving is the caller's
+    /// problem and the shard merge exports from the merged registry
+    /// instead.
+    pub fn merge_ordered(parts: Vec<Recorder>) -> Recorder {
+        let mut capacity = 0usize;
+        let mut mask = 0u32;
+        let mut dropped = 0u64;
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut metrics = Metrics::new();
+        for part in parts {
+            capacity = capacity.saturating_add(part.capacity);
+            mask |= part.mask;
+            dropped += part.dropped;
+            metrics.merge_from(&part.metrics);
+            events.extend(part.events);
+        }
+        events.sort_by_key(|e| e.at.as_nanos());
+        Recorder {
+            capacity,
+            mask,
+            events: events.into(),
+            dropped,
+            metrics,
+            scraper: None,
+        }
+    }
 }
 
 impl TraceSink for Recorder {
@@ -398,6 +442,42 @@ mod tests {
         assert_eq!(r.snapshots()[1].counter("io.requests"), 3);
         // The rate window [100, 200) closed with the 3 credited events.
         assert_eq!(r.snapshots()[1].rates, vec![("db.query_rate", 3)]);
+    }
+
+    #[test]
+    fn merge_ordered_interleaves_by_time_and_keeps_part_order_on_ties() {
+        let mut a = Recorder::new(8);
+        a.record(ev(10, Category::Io, "a10"));
+        a.record(ev(30, Category::Io, "a30"));
+        a.record(ev(30, Category::Io, "a30b"));
+        let mut b = Recorder::new(8);
+        b.record(ev(20, Category::Io, "b20"));
+        b.record(ev(30, Category::Io, "b30"));
+        a.metrics_mut().add("io.requests", 3);
+        b.metrics_mut().add("io.requests", 2);
+        let merged = Recorder::merge_ordered(vec![a, b]);
+        let names: Vec<_> = merged.events().map(|e| e.name).collect();
+        // Ties at t=30: part 0's events (in emission order) before part 1's.
+        assert_eq!(names, vec!["a10", "b20", "a30", "a30b", "b30"]);
+        assert_eq!(merged.metrics().counter("io.requests"), 5);
+        assert_eq!(merged.capacity(), 16);
+        assert_eq!(merged.dropped(), 0);
+    }
+
+    #[test]
+    fn merge_ordered_is_a_pure_function_of_parts() {
+        let build = || {
+            let mut a = Recorder::new(4);
+            a.record(ev(5, Category::Sim, "x"));
+            let mut b = Recorder::new(4);
+            b.record(ev(5, Category::Sim, "y"));
+            vec![a, b]
+        };
+        let m1 = Recorder::merge_ordered(build());
+        let m2 = Recorder::merge_ordered(build());
+        let n1: Vec<_> = m1.events().map(|e| e.name).collect();
+        let n2: Vec<_> = m2.events().map(|e| e.name).collect();
+        assert_eq!(n1, n2);
     }
 
     #[test]

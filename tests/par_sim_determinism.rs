@@ -1,0 +1,224 @@
+//! End-to-end determinism for intra-simulation parallelism: ONE
+//! `grail_sim::parallel` simulation sharded across threads must produce
+//! the **same bytes** as its single-shard run — the energy ledger, the
+//! JSONL trace, and the Prometheus scrape, compared as strings at shard
+//! counts 1, 2, and 8.
+//!
+//! The unit tests in `sim::parallel` prove the ledger fingerprints
+//! agree; this closes the loop through the full artifact pipeline the
+//! way the `par_sim` bench binary actually executes — every serialized
+//! artifact rendered and compared across shard counts, for a plain
+//! scenario, a fault-injected one, and a scripted-chaos one. A proptest
+//! then sweeps small random topologies, and a final test crashes a
+//! machine *exactly on an epoch-commit horizon* — the nastiest instant
+//! for a sharded event loop — and checks Recovery billing to the bit.
+
+use grail_power::components::{CpuPowerProfile, DiskPowerProfile, SsdPowerProfile};
+use grail_power::units::{Bytes, Cycles, Hertz, SimDuration, SimInstant, Watts};
+use grail_sim::driver::{IoDemand, JobSpec, PhaseSpec};
+use grail_sim::{
+    run_parallel, ArrayId, CellSpec, ChaosEvent, ChaosEventKind, ChaosSchedule, CpuPerfProfile,
+    DiskPerfProfile, FaultConfig, ParReport, SimConfig, SsdPerfProfile, StorageTarget,
+};
+use proptest::prelude::*;
+
+/// One cell: `streams` closed-loop streams of `jobs` jobs over three
+/// 15K spindles (RAID-0) plus a flash SSD, sizes salted by index so
+/// cells drift out of lockstep.
+fn cell(index: usize, streams: usize, jobs: usize) -> CellSpec {
+    let jobs = (0..streams)
+        .map(|s| {
+            (0..jobs)
+                .map(|j| {
+                    let salt = (index * 31 + s * 7 + j) as u64;
+                    JobSpec::immediate(vec![PhaseSpec::overlapped(
+                        Cycles::new(20_000_000 + (salt % 5) * 4_000_000),
+                        2,
+                        vec![IoDemand::seq_read(
+                            StorageTarget::Array(ArrayId(0)),
+                            Bytes::mib(2 + salt % 5),
+                        )],
+                    )])
+                })
+                .collect()
+        })
+        .collect();
+    CellSpec::new(
+        CpuPerfProfile {
+            cores: 4,
+            freq: Hertz::ghz(2.2),
+        },
+        CpuPowerProfile::opteron_socket(),
+    )
+    .with_disks(3, DiskPerfProfile::scsi_15k(), DiskPowerProfile::scsi_15k())
+    .with_raid(grail_sim::raid::RaidLevel::Raid0)
+    .with_ssds(
+        1,
+        SsdPerfProfile::fig2_flash(),
+        SsdPowerProfile::fig2_flash(),
+    )
+    .with_streams(jobs)
+}
+
+/// The FIG1-like baseline: healthy hardware, tracing and attribution on.
+fn plain_config(cells: usize) -> SimConfig {
+    let mut cfg = SimConfig::new((0..cells).map(|c| cell(c, 2, 3)).collect());
+    cfg.base_power = Watts::new(300.0);
+    cfg.seed = 7;
+    cfg.trace_capacity = Some(4096);
+    cfg.attribution = true;
+    cfg
+}
+
+/// The EXT-FAULT-like variant: transient IO errors and latent sector
+/// errors drawn from each cell's seeded plan, so the retry machinery
+/// (and its energy) is live on every shard.
+fn faulted_config(cells: usize) -> SimConfig {
+    let mut cfg = plain_config(cells);
+    cfg.fault = FaultConfig {
+        transient_per_io: 0.05,
+        latent_per_read: 0.02,
+        ..FaultConfig::NONE
+    };
+    cfg.seed = 11;
+    cfg
+}
+
+/// The EXT-CHAOS-like variant: two scripted machine crashes, each
+/// billing the cold-boot surge to Recovery.
+fn chaotic_config(cells: usize) -> SimConfig {
+    let mut cfg = plain_config(cells);
+    cfg.chaos = Some(ChaosSchedule::scripted(
+        cells as u32,
+        1,
+        SimDuration::from_secs(30),
+        vec![
+            ChaosEvent {
+                at: SimInstant::EPOCH + SimDuration::from_millis(40),
+                kind: ChaosEventKind::MachineCrash { machine: 0 },
+            },
+            ChaosEvent {
+                at: SimInstant::EPOCH + SimDuration::from_millis(170),
+                kind: ChaosEventKind::MachineCrash {
+                    machine: (cells as u32).saturating_sub(1),
+                },
+            },
+        ],
+    ));
+    cfg.seed = 13;
+    cfg
+}
+
+/// Every artifact the bench pipeline serializes, rendered to exact
+/// bytes: the ledger as `(id, bits)` pairs, the JSONL trace, and the
+/// Prometheus scrape of the trace's metrics registry.
+fn artifacts(r: &ParReport) -> (Vec<(String, u64)>, String, String) {
+    let ledger = r
+        .report
+        .ledger
+        .iter()
+        .map(|(id, e)| (id.to_string(), e.joules().to_bits()))
+        .collect();
+    let rec = r.report.trace.as_ref().expect("scenarios trace");
+    (
+        ledger,
+        grail_trace::to_jsonl(rec),
+        grail_metrics::to_prometheus(rec.metrics()),
+    )
+}
+
+fn assert_shards_agree(cfg: &SimConfig) {
+    let want = artifacts(&run_parallel(cfg, 1).expect("1 shard"));
+    for shards in [2usize, 8] {
+        let got = artifacts(&run_parallel(cfg, shards).expect("sharded run"));
+        assert_eq!(want.0, got.0, "ledger diverged at {shards} shards");
+        assert_eq!(want.1, got.1, "JSONL trace diverged at {shards} shards");
+        assert_eq!(
+            want.2, got.2,
+            "Prometheus scrape diverged at {shards} shards"
+        );
+    }
+    assert!(!want.1.is_empty(), "trace is non-empty");
+    assert!(want.2.contains("grail_"), "scrape rendered metrics");
+}
+
+#[test]
+fn plain_simulation_is_byte_identical_across_shard_counts() {
+    assert_shards_agree(&plain_config(5));
+}
+
+#[test]
+fn faulted_simulation_is_byte_identical_across_shard_counts() {
+    assert_shards_agree(&faulted_config(5));
+}
+
+#[test]
+fn chaotic_simulation_is_byte_identical_across_shard_counts() {
+    assert_shards_agree(&chaotic_config(4));
+}
+
+#[test]
+fn crash_exactly_on_epoch_horizon_bills_recovery_identically() {
+    // The crash lands on the first epoch-commit horizon — the instant a
+    // shard's advance window closes. A protocol that processed the
+    // horizon instant on one side of the barrier at 1 shard and the
+    // other side at 8 would double-bill or drop the cold boot here.
+    let mut cfg = plain_config(4);
+    let crash_at = SimInstant::EPOCH + cfg.epoch;
+    cfg.chaos = Some(ChaosSchedule::scripted(
+        4,
+        1,
+        SimDuration::from_secs(30),
+        vec![ChaosEvent {
+            at: crash_at,
+            kind: ChaosEventKind::MachineCrash { machine: 2 },
+        }],
+    ));
+    let r1 = run_parallel(&cfg, 1).expect("1 shard");
+    let r8 = run_parallel(&cfg, 8).expect("8 shards");
+    let rec1 = r1.report.recovery_energy().joules();
+    let rec8 = r8.report.recovery_energy().joules();
+    assert_eq!(
+        rec1.to_bits(),
+        rec8.to_bits(),
+        "Recovery billing diverged: {rec1} J at 1 shard vs {rec8} J at 8"
+    );
+    assert_eq!(
+        rec1.to_bits(),
+        cfg.crash_boot_energy.joules().to_bits(),
+        "exactly one cold boot is billed"
+    );
+    assert_eq!(artifacts(&r1), artifacts(&r8));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small topologies: whatever the cell count, stream shape,
+    /// seed, or epoch, every shard count serializes the same bytes.
+    #[test]
+    fn random_topologies_are_byte_identical_across_shard_counts(
+        cells in 1usize..5,
+        streams in 1usize..3,
+        jobs in 1usize..4,
+        seed in any::<u64>(),
+        epoch_ms in prop::sample::select(vec![1u64, 50, 250]),
+        attribution in any::<bool>(),
+    ) {
+        let mut cfg = SimConfig::new((0..cells).map(|c| cell(c, streams, jobs)).collect());
+        cfg.base_power = Watts::new(250.0);
+        cfg.seed = seed;
+        cfg.epoch = SimDuration::from_millis(epoch_ms);
+        cfg.trace_capacity = Some(4096);
+        cfg.attribution = attribution;
+        cfg.fault = FaultConfig {
+            transient_per_io: 0.03,
+            ..FaultConfig::NONE
+        };
+        let want = artifacts(&run_parallel(&cfg, 1).expect("1 shard"));
+        for shards in [2usize, 8] {
+            let got = artifacts(&run_parallel(&cfg, shards).expect("sharded run"));
+            prop_assert_eq!(&want, &got, "diverged at {} shards", shards);
+        }
+    }
+}
