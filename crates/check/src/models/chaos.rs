@@ -1,0 +1,375 @@
+//! Model of the chaos failover and admission pipeline.
+//!
+//! `grail_scheduler::chaos` reacts to crashes, restarts, and breaker
+//! rejoins by re-planning: admission control picks how many replicas
+//! and how much demand to serve, placement packs the served load under
+//! the one-replica-per-domain cap, and the circuit breaker quarantines
+//! flapping machines. This model exhausts every order of a bounded
+//! storm — crashes, restarts, rejoins, and demand ticks — driving the
+//! *real* pipeline: [`admission`], [`place_replicated`],
+//! [`max_replica_rate`], and [`BreakerPolicy::quarantine`].
+//!
+//! The instance keeps every quantity integral (capacities 100, demand
+//! 150) so all float arithmetic is exact and the conservation law can
+//! be checked bit-for-bit.
+//!
+//! Checked obligations:
+//!
+//! * **conservation** — `served + shed ≡ offered` exactly, at every
+//!   reachable state (the run-level `served + shed + failed ≡ offered`
+//!   law with the stranded-work term, which this abstraction omits,
+//!   at zero);
+//! * **breaker saturation** — the quarantine never shrinks as trips
+//!   accumulate and stays finite at every reachable trip count;
+//! * **placement discipline** — no fault domain ever carries more than
+//!   one replica's worth of load, machine loads respect capacity, and
+//!   when capacity allows, the full `served · r_eff` is placed.
+
+use crate::Model;
+use grail_power::units::Watts;
+use grail_scheduler::chaos::{admission, max_replica_rate, place_replicated, BreakerPolicy};
+use grail_scheduler::{Machine, Placement, PlacementPolicy};
+
+/// Health of one machine in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Up,
+    Down,
+    /// Restarted but still serving its breaker quarantine.
+    Quarantined,
+}
+
+/// A reachable configuration of the storm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosState {
+    health: Vec<Health>,
+    /// Breaker trip counts (crashes inside the reset window).
+    trips: Vec<u32>,
+    crashes: Vec<u32>,
+    crashes_total: u32,
+    ticks: u32,
+    // Current plan, recomputed by the real pipeline on every change.
+    r_eff: u32,
+    served_rate: f64,
+    shed_rate: f64,
+    placement: Placement,
+    // Accumulators for the conservation law.
+    offered: f64,
+    served: f64,
+    shed: f64,
+}
+
+/// One storm step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Machine `i` crashes (budgeted).
+    Crash(usize),
+    /// Machine `i` restarts; the breaker decides up vs quarantined.
+    Restart(usize),
+    /// Machine `i` leaves quarantine and takes load again.
+    Rejoin(usize),
+    /// One demand interval elapses under the current plan.
+    Tick,
+}
+
+/// The chaos pipeline model over a fixed fleet and storm budget.
+pub struct ChaosModel {
+    fleet: Vec<Machine>,
+    n_domains: usize,
+    demand: f64,
+    replicas: u32,
+    breaker: BreakerPolicy,
+    max_crashes_per_machine: u32,
+    max_crashes_total: u32,
+    max_ticks: u32,
+}
+
+impl ChaosModel {
+    /// The reference storm: four 100-work/s machines across two fault
+    /// domains, demand 150 at two replicas, up to three crashes (two
+    /// per machine) and three demand ticks.
+    pub fn reference() -> Self {
+        let fleet = vec![
+            Machine::new("m0", 100.0, Watts::new(100.0), Watts::new(200.0)).with_domain(0),
+            Machine::new("m1", 100.0, Watts::new(100.0), Watts::new(200.0)).with_domain(0),
+            Machine::new("m2", 100.0, Watts::new(100.0), Watts::new(200.0)).with_domain(1),
+            Machine::new("m3", 100.0, Watts::new(100.0), Watts::new(200.0)).with_domain(1),
+        ];
+        ChaosModel {
+            fleet,
+            n_domains: 2,
+            demand: 150.0,
+            replicas: 2,
+            breaker: BreakerPolicy::default(),
+            max_crashes_per_machine: 2,
+            max_crashes_total: 3,
+            max_ticks: 3,
+        }
+    }
+
+    /// Effective per-machine capacity under the current health map.
+    fn eff_cap(&self, health: &[Health]) -> Vec<f64> {
+        self.fleet
+            .iter()
+            .zip(health.iter())
+            .map(|(m, h)| if *h == Health::Up { m.capacity } else { 0.0 })
+            .collect()
+    }
+
+    /// Re-plan through the real admission + placement pipeline.
+    fn recompute(&self, s: &mut ChaosState) {
+        let eff_cap = self.eff_cap(&s.health);
+        let mut dom_caps = vec![0.0; self.n_domains];
+        for (m, &c) in self.fleet.iter().zip(eff_cap.iter()) {
+            dom_caps[m.domain as usize] += c;
+        }
+        let (r_eff, served_rate, shed_rate) = admission(&dom_caps, self.demand, self.replicas);
+        s.placement = place_replicated(
+            &self.fleet,
+            PlacementPolicy::Consolidate,
+            self.n_domains,
+            &eff_cap,
+            served_rate,
+            r_eff,
+        );
+        s.r_eff = r_eff;
+        s.served_rate = served_rate;
+        s.shed_rate = shed_rate;
+    }
+}
+
+impl Model for ChaosModel {
+    type State = ChaosState;
+    type Action = ChaosAction;
+
+    fn name(&self) -> &'static str {
+        "chaos-failover"
+    }
+
+    fn initial(&self) -> ChaosState {
+        let n = self.fleet.len();
+        let mut s = ChaosState {
+            health: vec![Health::Up; n],
+            trips: vec![0; n],
+            crashes: vec![0; n],
+            crashes_total: 0,
+            ticks: 0,
+            r_eff: 0,
+            served_rate: 0.0,
+            shed_rate: 0.0,
+            placement: Placement {
+                loads: vec![0.0; n],
+                powered: vec![false; n],
+            },
+            offered: 0.0,
+            served: 0.0,
+            shed: 0.0,
+        };
+        self.recompute(&mut s);
+        s
+    }
+
+    fn actions(&self, s: &ChaosState) -> Vec<ChaosAction> {
+        let mut out = Vec::new();
+        for (i, h) in s.health.iter().enumerate() {
+            match h {
+                Health::Up => {
+                    if s.crashes[i] < self.max_crashes_per_machine
+                        && s.crashes_total < self.max_crashes_total
+                    {
+                        out.push(ChaosAction::Crash(i));
+                    }
+                }
+                Health::Down => out.push(ChaosAction::Restart(i)),
+                Health::Quarantined => out.push(ChaosAction::Rejoin(i)),
+            }
+        }
+        if s.ticks < self.max_ticks {
+            out.push(ChaosAction::Tick);
+        }
+        out
+    }
+
+    fn step(&self, s: &ChaosState, a: &ChaosAction) -> ChaosState {
+        let mut t = s.clone();
+        match *a {
+            ChaosAction::Crash(i) => {
+                t.health[i] = Health::Down;
+                t.trips[i] += 1;
+                t.crashes[i] += 1;
+                t.crashes_total += 1;
+                self.recompute(&mut t);
+            }
+            ChaosAction::Restart(i) => {
+                // The real breaker decision: an isolated crash rejoins
+                // immediately, a flapper sits out its quarantine.
+                t.health[i] = if self.breaker.quarantine(t.trips[i]).is_zero() {
+                    Health::Up
+                } else {
+                    Health::Quarantined
+                };
+                self.recompute(&mut t);
+            }
+            ChaosAction::Rejoin(i) => {
+                t.health[i] = Health::Up;
+                self.recompute(&mut t);
+            }
+            ChaosAction::Tick => {
+                t.ticks += 1;
+                t.offered += self.demand;
+                t.served += t.served_rate;
+                t.shed += t.shed_rate;
+            }
+        }
+        t
+    }
+
+    fn invariant(&self, s: &ChaosState) -> Result<(), String> {
+        // Conservation, bit-exact: the instance is integral by
+        // construction, so float error is not a tolerance question.
+        let balance = s.served + s.shed;
+        if balance.to_bits() != s.offered.to_bits() {
+            return Err(format!(
+                "conservation broken: served {} + shed {} != offered {}",
+                s.served, s.shed, s.offered
+            ));
+        }
+        // Breaker saturation: quarantine is monotone in trips and
+        // finite at (and one past) every reachable trip count.
+        for (i, &trips) in s.trips.iter().enumerate() {
+            let q0 = self.breaker.quarantine(trips);
+            let q1 = self.breaker.quarantine(trips + 1);
+            if q1 < q0 {
+                return Err(format!(
+                    "breaker quarantine shrank for machine {i}: {q0:?} at {trips} trips, \
+                     {q1:?} at {}",
+                    trips + 1
+                ));
+            }
+        }
+        // Placement discipline over the real Placement.
+        let cap_total: f64 = self.eff_cap(&s.health).iter().sum();
+        let mut dom_used = vec![0.0; self.n_domains];
+        let mut placed = 0.0;
+        for (i, (&load, m)) in s.placement.loads.iter().zip(self.fleet.iter()).enumerate() {
+            if load < 0.0 || load > m.capacity + 1e-9 {
+                return Err(format!(
+                    "machine {i} load {load} outside [0, {}]",
+                    m.capacity
+                ));
+            }
+            if load > 0.0 && s.health[i] != Health::Up {
+                return Err(format!("machine {i} is not up but carries load {load}"));
+            }
+            if load > 0.0 && !s.placement.powered[i] {
+                return Err(format!("machine {i} carries load {load} while powered off"));
+            }
+            dom_used[m.domain as usize] += load;
+            placed += load;
+        }
+        for (d, &used) in dom_used.iter().enumerate() {
+            if used > s.served_rate + 1e-9 {
+                return Err(format!(
+                    "domain {d} carries {used} > one replica's worth {} — a single \
+                     domain loss could take every copy",
+                    s.served_rate
+                ));
+            }
+        }
+        let want = s.served_rate * s.r_eff as f64;
+        if want <= cap_total + 1e-9 && (placed - want).abs() > 1e-9 {
+            return Err(format!(
+                "placement left load behind with capacity to spare: placed {placed}, \
+                 wanted {want}, capacity {cap_total}"
+            ));
+        }
+        // Admission sanity: served never exceeds what one replica of
+        // the live fleet supports.
+        let eff_cap = self.eff_cap(&s.health);
+        let mut dom_caps = vec![0.0; self.n_domains];
+        for (m, &c) in self.fleet.iter().zip(eff_cap.iter()) {
+            dom_caps[m.domain as usize] += c;
+        }
+        if s.served_rate > max_replica_rate(&dom_caps, 1) + 1e-9 {
+            return Err(format!(
+                "admission served {} beyond single-replica capacity",
+                s.served_rate
+            ));
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, s: &ChaosState) -> Result<(), String> {
+        // The only deadlock-free exits: storm budget exhausted with the
+        // whole fleet healthy and every offered unit accounted for.
+        if s.ticks != self.max_ticks {
+            return Err(format!(
+                "stalled with {} of {} ticks",
+                s.ticks, self.max_ticks
+            ));
+        }
+        if s.health.iter().any(|h| *h != Health::Up) {
+            return Err("stalled with a machine not back up".to_string());
+        }
+        let expected = self.demand * self.max_ticks as f64;
+        if s.offered.to_bits() != expected.to_bits() {
+            return Err(format!(
+                "offered {} != {} at end of storm",
+                s.offered, expected
+            ));
+        }
+        Ok(())
+    }
+
+    fn encode(&self, s: &ChaosState, out: &mut Vec<u8>) {
+        for h in &s.health {
+            out.push(match h {
+                Health::Up => 0,
+                Health::Down => 1,
+                Health::Quarantined => 2,
+            });
+        }
+        for &t in &s.trips {
+            out.push(t as u8);
+        }
+        for &c in &s.crashes {
+            out.push(c as u8);
+        }
+        out.push(s.crashes_total as u8);
+        out.push(s.ticks as u8);
+        out.extend_from_slice(&s.offered.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.served.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.shed.to_bits().to_le_bytes());
+        // The plan is a pure function of health, but encoding it keeps
+        // the fingerprint honest if that ever stops being true.
+        out.extend_from_slice(&s.served_rate.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.shed_rate.to_bits().to_le_bytes());
+        out.push(s.r_eff as u8);
+    }
+
+    fn describe_action(&self, a: &ChaosAction) -> String {
+        match *a {
+            ChaosAction::Crash(i) => format!("crash {}", self.fleet[i].name),
+            ChaosAction::Restart(i) => format!("restart {}", self.fleet[i].name),
+            ChaosAction::Rejoin(i) => format!("rejoin {} from quarantine", self.fleet[i].name),
+            ChaosAction::Tick => "tick: one demand interval".to_string(),
+        }
+    }
+
+    fn describe_state(&self, s: &ChaosState) -> String {
+        let health: Vec<&str> = s
+            .health
+            .iter()
+            .map(|h| match h {
+                Health::Up => "up",
+                Health::Down => "down",
+                Health::Quarantined => "quar",
+            })
+            .collect();
+        format!(
+            "health={health:?} trips={:?} ticks={} r_eff={} served_rate={} shed_rate={} \
+             offered={} served={} shed={}",
+            s.trips, s.ticks, s.r_eff, s.served_rate, s.shed_rate, s.offered, s.served, s.shed
+        )
+    }
+}

@@ -1,0 +1,20 @@
+//! The shipped protocol models.
+//!
+//! Each submodule turns one production protocol into a [`Model`]
+//! implementation that drives the *real* transition code — the
+//! extraction refactors in `grail_par::shard`, `grail_sim::parallel`,
+//! and `grail_scheduler::chaos` exist precisely so these models and the
+//! production loops share one copy of the logic. [`broken`] is the
+//! seeded negative control for CI's must-fail leg.
+//!
+//! [`Model`]: crate::Model
+
+pub mod broken;
+pub mod chaos;
+pub mod ledger;
+pub mod shard;
+
+pub use broken::{broken_shard_model, BROKEN_TRACE_LEN};
+pub use chaos::ChaosModel;
+pub use ledger::LedgerModel;
+pub use shard::{ShardModel, ShardScript};

@@ -1,0 +1,133 @@
+//! End-to-end obligations for the shipped models and the seeded
+//! negative control.
+//!
+//! These are the acceptance criteria of the model-checking subsystem:
+//! every registered model reaches fixpoint clean inside the committed
+//! CI budget, the deliberately broken model fails with a minimized
+//! trace of known length, and the full report vector — counterexample
+//! bytes included — is identical whether the registry fans across 1, 2,
+//! or 8 runner threads.
+
+use grail_check::models::BROKEN_TRACE_LEN;
+use grail_check::registry::{find, run_all, ModelEntry, BROKEN, REGISTRY};
+use grail_check::{Budget, Report, CI_BUDGET};
+use grail_par::Runner;
+
+#[test]
+fn every_registered_model_reaches_fixpoint_clean_within_ci_budget() {
+    let reports = run_all(CI_BUDGET, &Runner::sequential());
+    assert_eq!(reports.len(), REGISTRY.len());
+    for r in &reports {
+        assert!(r.passed, "{}: {}", r.model, r.line);
+        assert!(r.line.starts_with("pass:"), "{}: {}", r.model, r.line);
+        assert!(r.jsonl.is_none() && r.diagnostic.is_none());
+    }
+}
+
+#[test]
+fn registry_covers_the_workspace_protocol_state_machines() {
+    let covered: Vec<&str> = REGISTRY
+        .iter()
+        .flat_map(|e| e.covers.iter().copied())
+        .collect();
+    for required in [
+        "sim::parallel::CellRun",
+        "sim::parallel::ShardState",
+        "scheduler::chaos::Engine",
+    ] {
+        assert!(
+            covered.contains(&required),
+            "{required} lost its model — grail-lint's model-coverage rule will fail"
+        );
+    }
+}
+
+#[test]
+fn broken_model_fails_with_a_minimized_trace_of_known_length() {
+    let entry = find("broken-shard-horizon").expect("seeded control is registered");
+    let report = (entry.run)(CI_BUDGET);
+    assert!(
+        !report.passed,
+        "the negative control passed: {}",
+        report.line
+    );
+
+    let jsonl = report.jsonl.as_deref().expect("violation carries JSONL");
+    // Header line + one line per minimized step.
+    assert_eq!(
+        jsonl.lines().count(),
+        1 + BROKEN_TRACE_LEN,
+        "trace no longer minimal?\n{jsonl}"
+    );
+    let header = jsonl.lines().next().expect("header line");
+    assert!(
+        header.contains("\"model\":\"broken-shard-horizon\""),
+        "{header}"
+    );
+    assert!(header.contains("\"kind\":\"invariant\""), "{header}");
+    assert!(
+        header.contains(&format!("\"steps\":{BROKEN_TRACE_LEN}")),
+        "{header}"
+    );
+
+    let diag = report
+        .diagnostic
+        .as_deref()
+        .expect("violation carries diagnostic");
+    assert!(diag.starts_with("error[model-check]:"), "{diag}");
+    assert!(
+        diag.contains(&format!("minimized trace, {BROKEN_TRACE_LEN} step(s)")),
+        "{diag}"
+    );
+}
+
+#[test]
+fn the_faithful_twin_of_the_broken_model_passes() {
+    // Same scripts, same lookahead, slack zero: the defect is the +1,
+    // nothing else.
+    use grail_check::models::{ShardModel, ShardScript};
+    use grail_par::HorizonProtocol;
+    let faithful = ShardModel::with_slack(
+        "broken-twin-faithful",
+        vec![
+            ShardScript {
+                events: vec![10, 20],
+                crashes: vec![],
+            },
+            ShardScript {
+                events: vec![15, 22],
+                crashes: vec![],
+            },
+        ],
+        HorizonProtocol::new(1),
+        0,
+    );
+    let report = grail_check::run_model(&faithful, CI_BUDGET);
+    assert!(report.passed, "{}", report.line);
+}
+
+#[test]
+fn reports_are_byte_identical_across_1_2_and_8_threads() {
+    let entries: Vec<&ModelEntry> = REGISTRY.iter().chain(std::iter::once(&BROKEN)).collect();
+    let baseline: Vec<Report> = Runner::sequential().run(&entries, |_, e| (e.run)(CI_BUDGET));
+    assert!(baseline.iter().any(|r| !r.passed), "control must fail");
+    for threads in [2, 8] {
+        let reports = Runner::with_threads(threads).run(&entries, |_, e| (e.run)(CI_BUDGET));
+        assert_eq!(
+            reports, baseline,
+            "reports drifted at {threads} threads — counterexample bytes must not \
+             depend on scheduling"
+        );
+    }
+}
+
+#[test]
+fn a_tight_budget_fails_loudly_instead_of_passing_vacuously() {
+    let entry = find("shard-horizon").expect("registered");
+    let report = (entry.run)(Budget {
+        max_states: 8,
+        max_depth: 4096,
+    });
+    assert!(!report.passed);
+    assert!(report.line.contains("budget"), "{}", report.line);
+}

@@ -1,0 +1,132 @@
+//! Machine-applicable fixes.
+//!
+//! A fix is offered only when applying it is *provably* safe — the
+//! repaired source must be behavior-identical and must not be able to
+//! introduce a new violation. Today exactly one rule qualifies:
+//! [`crate::rules::STALE_PRAGMA`]. A dead `allow` pragma suppresses
+//! nothing, so deleting the comment can change neither the compiled
+//! program nor the diagnostic set (beyond removing the staleness report
+//! itself). The `grail-lint --fix` flag routes stale-pragma diagnostics
+//! through [`remove_stale_pragmas`] and rewrites the files in place.
+
+use crate::scan::PRAGMA_TAG;
+use std::collections::BTreeSet;
+
+/// Remove the pragma comments at the 1-based `lines` of `source`.
+///
+/// A pragma that owns its whole line is removed line and all; a pragma
+/// trailing code is cut back to the code, with the gap's whitespace
+/// trimmed. Lines that carry no recognizable pragma comment are left
+/// untouched (the caller's line numbers come from diagnostics, so this
+/// is defensive, not expected). Returns `None` when nothing changed, so
+/// callers never rewrite a file byte-for-byte identically.
+pub fn remove_stale_pragmas(source: &str, lines: &BTreeSet<usize>) -> Option<String> {
+    let scanned = crate::scan::scan(source);
+    let mut kept: Vec<Option<String>> = source.lines().map(|l| Some(l.to_string())).collect();
+    let mut changed = false;
+    for &lineno in lines {
+        let (Some(Some(raw)), Some(code)) = (kept.get(lineno - 1), scanned.code.get(lineno - 1))
+        else {
+            continue;
+        };
+        let Some(start) = pragma_comment_start(code, raw) else {
+            continue;
+        };
+        changed = true;
+        let head: String = raw.chars().take(start).collect();
+        kept[lineno - 1] = if head.trim().is_empty() {
+            None
+        } else {
+            Some(head.trim_end().to_string())
+        };
+    }
+    if !changed {
+        return None;
+    }
+    let mut out = kept.into_iter().flatten().collect::<Vec<_>>().join("\n");
+    if source.ends_with('\n') && !out.is_empty() {
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// The char offset where a `// grail-lint:` comment starts on this
+/// line, or `None`. The scanner blanks line comments to spaces through
+/// end of line, so a real comment start is a `//` in the raw text whose
+/// suffix is all-blank in the stripped code and whose text opens with
+/// the pragma tag.
+fn pragma_comment_start(code: &str, raw: &str) -> Option<usize> {
+    let raw_chars: Vec<char> = raw.chars().collect();
+    let code_chars: Vec<char> = code.chars().collect();
+    for start in 0..raw_chars.len().saturating_sub(1) {
+        if raw_chars[start] != '/' || raw_chars[start + 1] != '/' {
+            continue;
+        }
+        let blanked = match code_chars.get(start..) {
+            Some(tail) => tail.iter().all(|&c| c == ' '),
+            None => true,
+        };
+        if !blanked {
+            continue;
+        }
+        let text: String = raw_chars[start..].iter().collect();
+        if text
+            .trim_start_matches(['/', '!'])
+            .trim_start()
+            .starts_with(PRAGMA_TAG)
+        {
+            return Some(start);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(src: &str, lines: &[usize]) -> Option<String> {
+        remove_stale_pragmas(src, &lines.iter().copied().collect())
+    }
+
+    #[test]
+    fn whole_line_pragma_is_deleted_line_and_all() {
+        let src = "fn a() {}\n// grail-lint: allow(hash-order, gone)\nfn b() {}\n";
+        assert_eq!(fix(src, &[2]).as_deref(), Some("fn a() {}\nfn b() {}\n"));
+    }
+
+    #[test]
+    fn trailing_pragma_is_cut_back_to_the_code() {
+        let src = "fn a() {} // grail-lint: allow(float-eq, gone)\n";
+        assert_eq!(fix(src, &[1]).as_deref(), Some("fn a() {}\n"));
+    }
+
+    #[test]
+    fn indented_pragma_line_disappears_entirely() {
+        let src = "fn a() {\n    // grail-lint: allow(hash-order, gone)\n    let x = 1;\n}\n";
+        assert_eq!(
+            fix(src, &[2]).as_deref(),
+            Some("fn a() {\n    let x = 1;\n}\n")
+        );
+    }
+
+    #[test]
+    fn lines_without_a_pragma_are_left_alone() {
+        let src = "fn a() {}\nfn b() {}\n";
+        assert_eq!(fix(src, &[1, 2]), None);
+    }
+
+    #[test]
+    fn a_final_line_without_newline_stays_newline_free() {
+        let src = "// grail-lint: allow(hash-order, gone)\nfn a() {}";
+        assert_eq!(fix(src, &[1]).as_deref(), Some("fn a() {}"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_tag_mid_comment_is_not_a_pragma() {
+        // The comment does not *open* with the tag, so the scanner never
+        // flagged it and the fixer must not touch it either.
+        let src = "fn a() {} // see grail-lint: allow(x, y) syntax\n";
+        assert_eq!(fix(src, &[1]), None);
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod cache;
 pub mod dataflow;
+pub mod fix;
 pub mod graph;
 pub mod parready;
 pub mod rules;
@@ -268,6 +269,7 @@ fn stage2(analyses: &[FileAnalysis], manifests: &[ManifestFile]) -> Vec<Diagnost
         .collect();
     raw.extend(taint::check(&wg, &scanned_by_rel));
     raw.extend(rules::charge_reachability(&wg));
+    raw.extend(rules::model_coverage(&wg, &scanned_by_rel));
     raw.extend(dataflow::ledger_flow(&wg));
     for a in analyses {
         let info = FileInfo {

@@ -16,14 +16,40 @@
 //!   `crates/sim` (JSON) to PATH.
 //! * `--bench-json PATH` — also write a wall-clock ledger (JSON) for
 //!   the lint run to PATH.
+//! * `--fix` — apply machine-applicable fixes in place (today: delete
+//!   dead `allow` pragmas flagged by `stale-pragma`), then re-lint and
+//!   report what remains.
 //! * `--list-rules` — print the rule table and exit.
 
 #![forbid(unsafe_code)]
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::env;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Apply every machine-applicable fix implied by `diags` to the files
+/// under `root`, returning how many pragmas were removed.
+fn apply_fixes(root: &Path, diags: &[grail_lint::Diagnostic]) -> Result<usize, String> {
+    let mut by_file: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for d in diags {
+        if d.rule == grail_lint::rules::STALE_PRAGMA {
+            by_file.entry(&d.file).or_default().insert(d.line);
+        }
+    }
+    let mut removed = 0usize;
+    for (rel, lines) in &by_file {
+        let path = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if let Some(fixed) = grail_lint::fix::remove_stale_pragmas(&source, lines) {
+            fs::write(&path, fixed).map_err(|e| format!("write {}: {e}", path.display()))?;
+            removed += lines.len();
+        }
+    }
+    Ok(removed)
+}
 
 fn main() -> ExitCode {
     // Wall-clock here is presentation, not simulation: the lint binary
@@ -41,6 +67,7 @@ fn main() -> ExitCode {
     let mut cache_dir: Option<PathBuf> = None;
     let mut par_report: Option<PathBuf> = None;
     let mut bench_json: Option<PathBuf> = None;
+    let mut fix = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -79,6 +106,8 @@ fn main() -> ExitCode {
             }
         } else if let Some(p) = a.strip_prefix("--bench-json=") {
             bench_json = Some(PathBuf::from(p));
+        } else if a == "--fix" {
+            fix = true;
         } else {
             positional.push(a);
         }
@@ -100,19 +129,38 @@ fn main() -> ExitCode {
             Err(_) => PathBuf::from("."),
         },
     };
-    let diags = {
+    let lint = |root: &PathBuf| -> Result<Vec<grail_lint::Diagnostic>, ExitCode> {
         let result = match &cache_dir {
-            Some(dir) => grail_lint::check_workspace_cached(&root, runner.threads(), dir),
-            None => grail_lint::check_workspace_threads(&root, runner.threads()),
+            Some(dir) => grail_lint::check_workspace_cached(root, runner.threads(), dir),
+            None => grail_lint::check_workspace_threads(root, runner.threads()),
         };
-        match result {
-            Ok(diags) => diags,
+        result.map_err(|e| {
+            eprintln!("grail-lint: cannot walk {}: {e}", root.display());
+            ExitCode::FAILURE
+        })
+    };
+    let mut diags = match lint(&root) {
+        Ok(diags) => diags,
+        Err(code) => return code,
+    };
+    if fix {
+        match apply_fixes(&root, &diags) {
+            Ok(0) => {}
+            Ok(n) => {
+                eprintln!("grail-lint: --fix removed {n} stale pragma(s)");
+                // Re-lint so the report (and the exit status) reflect
+                // the repaired tree, not the one we just rewrote.
+                diags = match lint(&root) {
+                    Ok(diags) => diags,
+                    Err(code) => return code,
+                };
+            }
             Err(e) => {
-                eprintln!("grail-lint: cannot walk {}: {e}", root.display());
+                eprintln!("grail-lint: --fix failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
-    };
+    }
     if let Some(path) = par_report {
         let json = match grail_lint::workspace_sources(&root) {
             Ok((files, _)) => grail_lint::parready::report_json(&files),

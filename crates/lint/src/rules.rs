@@ -50,6 +50,14 @@
 //!   diagnostics under the semantic engine is dead weight that will
 //!   silently mask the next real violation on its line; deleting it is
 //!   always safe, so keeping it is an error (not suppressible).
+//!   Because deletion is always safe, this is the one rule the binary
+//!   repairs mechanically under `--fix` (see [`crate::fix`]).
+//! * [`MODEL_COVERAGE`] — every protocol state machine (a mutating
+//!   `step`/`advance` beside ledger billing and a thread/shard
+//!   boundary in sim/par/scheduler library code) must be named in a
+//!   `covers` list of the `grail-check` model registry, so the
+//!   exhaustive checker exercises the same transition relation the
+//!   production event loops execute.
 //! * The taint layer (see [`crate::taint`]) re-reports [`WALL_CLOCK`]
 //!   and [`HASH_ORDER`] at every sim-reachable call site whose callee
 //!   chain ends in a nondeterminism source, with the full call chain
@@ -95,6 +103,8 @@ pub const PAR_READINESS: &str = "par-readiness";
 /// Metric names are static literals from the grail-metrics catalog,
 /// registered exactly once.
 pub const METRIC_HYGIENE: &str = "metric-hygiene";
+/// Every protocol state machine must be covered by a grail-check model.
+pub const MODEL_COVERAGE: &str = "model-coverage";
 
 /// A rule's identity and one-line summary.
 #[derive(Debug, Clone, Copy)]
@@ -174,6 +184,10 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: METRIC_HYGIENE,
         summary: "metric names are string literals from grail_metrics::spec::CATALOG, each registered exactly once",
+    },
+    Rule {
+        id: MODEL_COVERAGE,
+        summary: "protocol state machines (mut-self step/advance beside ledger billing and a shard/thread boundary) appear in a grail-check covers list",
     },
 ];
 
@@ -1053,6 +1067,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("buffer", 3),
     ("scheduler", 3),
     ("query", 4),
+    ("check", 4),
     ("workload", 5),
     ("optimizer", 5),
     ("core", 6),
@@ -1164,6 +1179,157 @@ fn manifest_crate_name(rel: &str) -> &str {
         (Some("crates"), Some(name), Some("Cargo.toml")) => name,
         _ => "grail",
     }
+}
+
+// ---------------------------------------------------------------------------
+// model-coverage
+// ---------------------------------------------------------------------------
+
+/// Crates whose library code can host a checkable protocol state machine.
+const MODEL_CRATES: &[&str] = &["sim", "par", "scheduler"];
+/// Evidence that a file bills the energy ledger.
+const MODEL_LEDGER_TOKENS: &[&str] = &[
+    ".charge(",
+    ".charge_interval(",
+    ".transfer(",
+    "bill_recovery",
+];
+/// Evidence that a file sits on a thread/shard protocol boundary.
+const MODEL_BOUNDARY_TOKENS: &[&str] =
+    &["ShardStep", "HorizonProtocol", "grail_par", "ChaosSchedule"];
+/// Where new covers entries belong (named in the diagnostic).
+const MODEL_REGISTRY_FILE: &str = "crates/check/src/registry.rs";
+
+/// Model-coverage: every type implementing the protocol-state-machine
+/// idiom — a `step`/`advance` method taking `&mut self`, declared in a
+/// [`MODEL_CRATES`] library file that both bills the `EnergyLedger`
+/// ([`MODEL_LEDGER_TOKENS`]) and sits on a thread/shard boundary
+/// ([`MODEL_BOUNDARY_TOKENS`]) — must be named in a `covers` list of
+/// the `grail-check` model registry. A state machine nobody
+/// model-checks is exactly the code whose next refactor reintroduces a
+/// horizon or failover bug that only shows up under rare interleavings.
+///
+/// When no `covers` declaration is in scope (a synthetic workspace with
+/// no `crates/check` sources, e.g. a fixture corpus), the rule is
+/// silent: there is no registry to hold the machines against.
+pub fn model_coverage(
+    graph: &WorkspaceGraph,
+    files: &BTreeMap<String, &ScannedFile>,
+) -> Vec<Diagnostic> {
+    let covered = check_covers(files);
+    if covered.is_empty() {
+        return Vec::new();
+    }
+    // First sighting of each machine, keyed by required covers name.
+    let mut machines: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for d in &graph.fns {
+        if d.kind != FileKind::Library
+            || d.in_test
+            || !d.mut_self
+            || !MODEL_CRATES.contains(&d.crate_name.as_str())
+            || !matches!(d.name.as_str(), "step" | "advance")
+        {
+            continue;
+        }
+        let Some(ty) = &d.impl_type else { continue };
+        let Some(f) = files.get(&d.file) else {
+            continue;
+        };
+        let has_any = |pats: &[&str]| {
+            f.code
+                .iter()
+                .any(|code| pats.iter().any(|pat| has_token(code, pat)))
+        };
+        if !has_any(MODEL_LEDGER_TOKENS) || !has_any(MODEL_BOUNDARY_TOKENS) {
+            continue;
+        }
+        let name = if d.module.is_empty() {
+            format!("{}::{}", d.crate_name, ty)
+        } else {
+            format!("{}::{}::{}", d.crate_name, d.module, ty)
+        };
+        let at = (d.file.clone(), d.line);
+        machines
+            .entry(name)
+            .and_modify(|e| {
+                if at < *e {
+                    *e = at.clone();
+                }
+            })
+            .or_insert(at);
+    }
+    machines
+        .into_iter()
+        .filter(|(name, _)| !covered.contains(name))
+        .map(|(name, (file, line))| {
+            Diagnostic::new(
+                file,
+                line,
+                MODEL_COVERAGE,
+                format!(
+                    "`{name}` is a protocol state machine (a mutating `step`/`advance` \
+                     beside ledger billing and a shard/thread boundary) that no \
+                     grail-check model covers; add it to a model's `covers` list in \
+                     {MODEL_REGISTRY_FILE} and make that model exercise it"
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Every string literal inside a `covers: [...]` block of the
+/// grail-check library sources.
+fn check_covers(files: &BTreeMap<String, &ScannedFile>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (rel, f) in files {
+        if !rel.starts_with("crates/check/src/") {
+            continue;
+        }
+        let mut in_covers = false;
+        for (i, code) in f.code.iter().enumerate() {
+            if !in_covers {
+                // `covers` immediately followed by `:` opens a block
+                // (`covers: &[...]`); `e.covers.iter()` does not.
+                in_covers = token_positions(code, "covers")
+                    .into_iter()
+                    .any(|p| code[p + "covers".len()..].trim_start().starts_with(':'));
+            }
+            if in_covers {
+                let raw = f.raw.get(i).map(String::as_str).unwrap_or("");
+                for lit in string_literals(code, raw) {
+                    out.insert(lit);
+                }
+                if code.contains(']') {
+                    in_covers = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The contents of every string literal on one line, recovered from the
+/// raw text: the scanner's column-preserving blanking keeps the quote
+/// characters in the stripped code while the contents survive only in
+/// `raw`.
+fn string_literals(code: &str, raw: &str) -> Vec<String> {
+    let raw_chars: Vec<char> = raw.chars().collect();
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, c) in code.chars().enumerate() {
+        if c != '"' {
+            continue;
+        }
+        match open.take() {
+            None => open = Some(i),
+            Some(s) => {
+                if i <= raw_chars.len() {
+                    out.push(raw_chars[s + 1..i].iter().collect());
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! Round-trip test for the stale-pragma fixer behind `--fix`.
+//!
+//! The contract: applying [`grail_lint::fix::remove_stale_pragmas`] at
+//! exactly the lines the engine flags turns the bad fixture into its
+//! good twin *byte for byte*, the repaired file lints clean of
+//! stale-pragma, and a second application is a no-op.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+const FIXTURE_REL: &str = "crates/sim/src/fixme.rs";
+
+fn fixture(case: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case)
+        .join("crates__sim__src__fixme.rs");
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn stale_lines(source: &str) -> BTreeSet<usize> {
+    grail_lint::check_source(FIXTURE_REL, source)
+        .iter()
+        .filter(|d| d.rule == grail_lint::rules::STALE_PRAGMA)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn fixing_the_bad_fixture_yields_the_good_twin_byte_for_byte() {
+    let bad = fixture("stale_pragma_fix_bad");
+    let good = fixture("stale_pragma_fix_good");
+    assert_ne!(bad, good, "the twins must start out different");
+
+    let lines = stale_lines(&bad);
+    assert_eq!(
+        lines.len(),
+        2,
+        "bad fixture must carry one whole-line and one trailing dead pragma"
+    );
+    let fixed =
+        grail_lint::fix::remove_stale_pragmas(&bad, &lines).expect("the fix changes the file");
+    assert_eq!(
+        fixed, good,
+        "fix output must be byte-identical to the good twin"
+    );
+}
+
+#[test]
+fn the_repaired_file_is_clean_and_the_fixer_is_idempotent() {
+    let bad = fixture("stale_pragma_fix_bad");
+    let fixed = grail_lint::fix::remove_stale_pragmas(&bad, &stale_lines(&bad))
+        .expect("the fix changes the file");
+    assert!(
+        stale_lines(&fixed).is_empty(),
+        "repaired source still reports stale pragmas"
+    );
+    assert_eq!(
+        grail_lint::fix::remove_stale_pragmas(&fixed, &stale_lines(&fixed)),
+        None,
+        "a second pass must be a no-op"
+    );
+}
+
+#[test]
+fn live_pragmas_survive_a_fix_pass() {
+    // A pragma that suppresses a real diagnostic is not stale, so the
+    // engine never hands its line to the fixer — and even if a caller
+    // passes every pragma line, the fixer only deletes what the
+    // diagnostics name. Here: a live hash-order suppression.
+    let src = "// grail-lint: allow(hash-order, interned keys, order never observed)\n\
+               use std::collections::HashMap;\n";
+    let lines = stale_lines(src);
+    assert!(
+        lines.is_empty(),
+        "a working suppression must not be reported stale: {lines:?}"
+    );
+    assert_eq!(
+        grail_lint::fix::remove_stale_pragmas(src, &lines),
+        None,
+        "nothing to fix, nothing rewritten"
+    );
+}

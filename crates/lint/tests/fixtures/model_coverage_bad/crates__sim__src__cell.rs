@@ -1,0 +1,16 @@
+//! Fixture: a protocol state machine no grail-check model covers.
+
+use grail_par::shard::ShardStep;
+
+impl ShardStep for CellRun {
+    fn next_at(&self) -> u64 {
+        self.queue_head
+    }
+
+    fn advance(&mut self, bound: u64) {
+        while self.queue_head <= bound {
+            self.sim.bill_recovery(self.queue_head);
+            self.queue_head += 1;
+        }
+    }
+}

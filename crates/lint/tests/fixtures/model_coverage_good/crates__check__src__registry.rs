@@ -1,0 +1,11 @@
+//! Fixture: the registry's covers list names every protocol machine.
+
+pub struct ModelEntry {
+    pub name: &'static str,
+    pub covers: &'static [&'static str],
+}
+
+pub const REGISTRY: &[ModelEntry] = &[ModelEntry {
+    name: "shard-horizon",
+    covers: &["sim::cell::CellRun", "sim::parallel::ShardState"],
+}];

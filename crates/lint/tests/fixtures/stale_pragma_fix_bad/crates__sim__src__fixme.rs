@@ -1,0 +1,10 @@
+//! Fixture for the stale-pragma fixer: every pragma here is dead.
+
+// grail-lint: allow(hash-order, the map is long gone)
+pub fn lookup(key: u32) -> u32 {
+    key.wrapping_mul(2_654_435_761)
+}
+
+pub fn count(xs: &[u32]) -> usize {
+    xs.len() // grail-lint: allow(float-eq, the epsilon compare was removed)
+}

@@ -1,0 +1,9 @@
+//! Fixture for the stale-pragma fixer: every pragma here is dead.
+
+pub fn lookup(key: u32) -> u32 {
+    key.wrapping_mul(2_654_435_761)
+}
+
+pub fn count(xs: &[u32]) -> usize {
+    xs.len()
+}

@@ -108,6 +108,20 @@ fn semantic_rules_are_live_on_this_workspace() {
             .is_empty(),
         "expected the Simulation::finish settlement function"
     );
+    // The model-coverage rule has real machines to hold against the
+    // grail-check registry: the shard cells and the chaos engine.
+    let machines = g.find(|d| {
+        matches!(d.crate_name.as_str(), "sim" | "par" | "scheduler")
+            && !d.in_test
+            && d.mut_self
+            && matches!(d.name.as_str(), "step" | "advance")
+            && d.impl_type.is_some()
+    });
+    assert!(
+        machines.len() >= 3,
+        "expected the protocol state machines (CellRun, ShardState, Engine), found {}",
+        machines.len()
+    );
 
     // Every member crate's manifest is collected and has a layer.
     assert!(
@@ -254,11 +268,27 @@ fn every_rule_is_exercised_by_the_engine() {
         diags.iter().any(|d| d.rule == "ledger-flow"),
         "ledger-flow fixture produced {diags:?}"
     );
+    // model-coverage needs the grail-check registry in scope (a
+    // `covers` list) plus a protocol state machine it fails to name.
+    let diags = grail_lint::check_files(&[
+        sf(
+            "crates/check/src/registry.rs",
+            "pub const REGISTRY: &[ModelEntry] = &[ModelEntry {\n    name: \"shard\",\n    covers: &[\"sim::parallel::SomethingElse\"],\n}];\n",
+        ),
+        sf(
+            "crates/sim/src/cell.rs",
+            "use grail_par::shard::ShardStep;\nimpl ShardStep for CellRun {\n    fn advance(&mut self, bound: u64) {\n        self.sim.bill_recovery(bound);\n    }\n}\n",
+        ),
+    ]);
+    assert!(
+        diags.iter().any(|d| d.rule == "model-coverage"),
+        "model-coverage fixture produced {diags:?}"
+    );
     // Every registered rule appears in at least one fixture above.
     let exercised: std::collections::BTreeSet<&str> = cases
         .iter()
         .map(|(_, _, want)| *want)
-        .chain(["charge-reachability", "ledger-flow"])
+        .chain(["charge-reachability", "ledger-flow", "model-coverage"])
         .collect();
     for rule in grail_lint::rules::RULES {
         assert!(

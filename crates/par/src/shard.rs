@@ -64,6 +64,24 @@ impl HorizonProtocol {
         }
     }
 
+    /// The furthest timestamp a shard may safely process given the
+    /// minimal published neighbor horizon: `neighbor_min + lookahead`,
+    /// saturating at `u64::MAX`. This is the whole safety argument of
+    /// the protocol in one expression, shared by the thread loop below
+    /// and by the `grail-check` protocol model that exhaustively
+    /// explores its interleavings.
+    pub fn advance_bound(&self, neighbor_min: u64) -> u64 {
+        neighbor_min.saturating_add(self.lookahead)
+    }
+
+    /// Whether a shard whose next event sits at `next` may advance
+    /// under `bound`. A drained shard (`u64::MAX`) never advances; an
+    /// event landing *exactly on* the bound is processed in this round
+    /// — the `<=` is what keeps epoch-horizon ties deterministic.
+    pub fn may_advance(next: u64, bound: u64) -> bool {
+        next != u64::MAX && next <= bound
+    }
+
     /// Drive every shard to completion, one OS thread per shard, under
     /// the conservative bound. Returns the shards in their input order
     /// once all are drained.
@@ -107,8 +125,8 @@ impl HorizonProtocol {
                                 .map(|(_, h)| h.load(Ordering::Acquire))
                                 .min()
                                 .unwrap_or(u64::MAX);
-                            let bound = neighbor_min.saturating_add(lookahead);
-                            if next <= bound {
+                            let bound = HorizonProtocol { lookahead }.advance_bound(neighbor_min);
+                            if HorizonProtocol::may_advance(next, bound) {
                                 shard.advance(bound);
                             } else {
                                 // Not safe yet: someone is behind us.
@@ -237,5 +255,44 @@ mod tests {
     #[test]
     fn zero_lookahead_is_clamped() {
         assert_eq!(HorizonProtocol::new(0).lookahead, 1);
+    }
+
+    #[test]
+    fn clamped_lookahead_still_drains_adjacent_timestamps() {
+        // Regression for the 1 ns clamp: with a requested lookahead of
+        // zero the effective window is 1 ns, and shards whose events
+        // interleave at adjacent nanoseconds must still leapfrog to
+        // completion instead of deadlocking on a zero-width window.
+        let toys = vec![
+            Toy::new((0..200).map(|k| 2 * k).collect()),
+            Toy::new((0..200).map(|k| 2 * k + 1).collect()),
+        ];
+        let out = HorizonProtocol::new(0).run(toys);
+        for (i, t) in out.iter().enumerate() {
+            assert_eq!(t.processed.len(), 200, "shard {i}");
+            for &(at, bound) in &t.processed {
+                assert!(at <= bound, "event {at} ran past its bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_exactly_on_the_bound_is_processed() {
+        // The decision helpers pin the tie semantics: an event landing
+        // exactly on `neighbor_min + lookahead` runs in this round.
+        let p = HorizonProtocol::new(5);
+        let bound = p.advance_bound(10);
+        assert_eq!(bound, 15);
+        assert!(HorizonProtocol::may_advance(15, bound));
+        assert!(!HorizonProtocol::may_advance(16, bound));
+        assert!(!HorizonProtocol::may_advance(u64::MAX, u64::MAX));
+        // Saturation: a parked neighbor (u64::MAX) must not wrap.
+        assert_eq!(p.advance_bound(u64::MAX), u64::MAX);
+        // End to end: shard 1's second event sits exactly one lookahead
+        // past shard 0's horizon and must drain without extra rounds.
+        let toys = vec![Toy::new(vec![10, 30]), Toy::new(vec![15, 30])];
+        let out = HorizonProtocol::new(5).run(toys);
+        assert_eq!(out[0].processed.len(), 2);
+        assert_eq!(out[1].processed.len(), 2);
     }
 }

@@ -235,7 +235,11 @@ enum Runtime {
 /// `f(S) = Σ_d min(cap_d, S) - r·S` is concave piecewise-linear with
 /// `f(0) = 0`; walk its breakpoints (the sorted domain capacities) and
 /// return the root of the first descending segment.
-fn max_replica_rate(dom_caps: &[f64], r: u32) -> f64 {
+///
+/// Public because the `grail-check` chaos model drives this exact
+/// function — the engine and the model checker share one admission
+/// core, not two copies.
+pub fn max_replica_rate(dom_caps: &[f64], r: u32) -> f64 {
     let r = r as f64;
     let mut caps: Vec<f64> = dom_caps.iter().copied().filter(|c| *c > 0.0).collect();
     caps.sort_by(f64::total_cmp);
@@ -254,6 +258,87 @@ fn max_replica_rate(dom_caps: &[f64], r: u32) -> f64 {
     }
     // Every cap binds; beyond the last breakpoint f = sum_small - r·S.
     sum_small / r
+}
+
+/// Admission control for one re-plan: given per-domain effective
+/// capacities and the effective (surge-scaled) demand, pick the
+/// response `(r_eff, served_rate, shed_rate)` with the documented
+/// graceful-degradation order — drop replicas before shedding. The
+/// largest replica count (up to `replicas`, bounded by live domains)
+/// that still serves the full demand wins; if even `r = 1` cannot,
+/// serve what `r = 1` allows and shed the rest.
+///
+/// `served_rate + shed_rate == demand_eff` exactly (up to float
+/// association), which is where the run-level conservation law
+/// `served + shed + failed == offered` comes from.
+pub fn admission(dom_caps: &[f64], demand_eff: f64, replicas: u32) -> (u32, f64, f64) {
+    let live_domains = dom_caps.iter().filter(|c| **c > 0.0).count() as u32;
+    let r_max = replicas.min(live_domains).max(1);
+    let mut r_eff = 1u32;
+    let mut served_rate = max_replica_rate(dom_caps, 1).min(demand_eff);
+    for r in (2..=r_max).rev() {
+        let s = max_replica_rate(dom_caps, r).min(demand_eff);
+        if s + 1e-9 >= demand_eff {
+            r_eff = r;
+            served_rate = s;
+            break;
+        }
+    }
+    let shed_rate = (demand_eff - served_rate).max(0.0);
+    (r_eff, served_rate, shed_rate)
+}
+
+/// Greedy domain-capped fill: place `served_rate · r_eff` total load
+/// with at most `served_rate` (one replica's worth) per domain, so no
+/// single domain loss can take every copy. Feasible by construction:
+/// [`max_replica_rate`] guaranteed `Σ_d min(cap_d, S) ≥ r·S`. Machines
+/// with zero effective capacity are never powered (except under
+/// [`PlacementPolicy::Spread`], which keeps every healthy machine on
+/// for availability).
+pub fn place_replicated(
+    fleet: &[Machine],
+    policy: PlacementPolicy,
+    n_domains: usize,
+    eff_cap: &[f64],
+    served_rate: f64,
+    r_eff: u32,
+) -> Placement {
+    let n = fleet.len();
+    let mut order: Vec<usize> = (0..n).filter(|&i| eff_cap[i] > 0.0).collect();
+    if policy == PlacementPolicy::Consolidate {
+        order.sort_by(|&a, &b| {
+            fleet[b]
+                .peak_efficiency()
+                .total_cmp(&fleet[a].peak_efficiency())
+                .then(a.cmp(&b))
+        });
+    }
+    let mut loads = vec![0.0; n];
+    let mut powered = vec![false; n];
+    if policy == PlacementPolicy::Spread {
+        // Availability-first: every healthy machine stays powered.
+        for &i in &order {
+            powered[i] = true;
+        }
+    }
+    let mut dom_used = vec![0.0; n_domains];
+    let mut rest = served_rate * r_eff as f64;
+    for &i in &order {
+        if rest <= 1e-12 {
+            break;
+        }
+        let d = fleet[i].domain as usize;
+        let room = eff_cap[i].min(served_rate - dom_used[d]);
+        if room <= 0.0 {
+            continue;
+        }
+        let take = rest.min(room);
+        loads[i] = take;
+        powered[i] = true;
+        dom_used[d] += take;
+        rest -= take;
+    }
+    Placement { loads, powered }
 }
 
 /// The engine's mutable state, split out so event handlers stay small.
@@ -387,25 +472,17 @@ impl Engine<'_> {
         for i in 0..n {
             dom_caps[self.fleet[i].domain as usize] += eff_cap[i];
         }
-        let live_domains = dom_caps.iter().filter(|c| **c > 0.0).count() as u32;
         let demand_eff = self.demand * self.surge;
-        // Graceful degradation order: drop replicas before shedding.
-        // Pick the largest replica count that still serves the full
-        // demand; if even r = 1 cannot, serve what r = 1 allows and shed
-        // the rest.
-        let r_max = self.policy.replicas.min(live_domains).max(1);
-        let mut r_eff = 1u32;
-        let mut served_rate = max_replica_rate(&dom_caps, 1).min(demand_eff);
-        for r in (2..=r_max).rev() {
-            let s = max_replica_rate(&dom_caps, r).min(demand_eff);
-            if s + 1e-9 >= demand_eff {
-                r_eff = r;
-                served_rate = s;
-                break;
-            }
-        }
-        let shed_rate = (demand_eff - served_rate).max(0.0);
-        let placement = self.place_capped(&eff_cap, served_rate, r_eff);
+        let (r_eff, served_rate, shed_rate) =
+            admission(&dom_caps, demand_eff, self.policy.replicas);
+        let placement = place_replicated(
+            self.fleet,
+            self.policy.placement,
+            self.n_domains,
+            &eff_cap,
+            served_rate,
+            r_eff,
+        );
         if bill_boots {
             for i in 0..n {
                 if placement.powered[i] && !self.placement.powered[i] {
@@ -440,50 +517,6 @@ impl Engine<'_> {
         );
     }
 
-    /// Greedy domain-capped fill: place `served_rate · r_eff` total load
-    /// with at most `served_rate` (one replica's worth) per domain, so
-    /// no single domain loss can take every copy. Feasible by
-    /// construction: `max_replica_rate` guaranteed
-    /// `Σ_d min(cap_d, S) ≥ r·S`.
-    fn place_capped(&self, eff_cap: &[f64], served_rate: f64, r_eff: u32) -> Placement {
-        let n = self.fleet.len();
-        let mut order: Vec<usize> = (0..n).filter(|&i| eff_cap[i] > 0.0).collect();
-        if self.policy.placement == PlacementPolicy::Consolidate {
-            order.sort_by(|&a, &b| {
-                self.fleet[b]
-                    .peak_efficiency()
-                    .total_cmp(&self.fleet[a].peak_efficiency())
-                    .then(a.cmp(&b))
-            });
-        }
-        let mut loads = vec![0.0; n];
-        let mut powered = vec![false; n];
-        if self.policy.placement == PlacementPolicy::Spread {
-            // Availability-first: every healthy machine stays powered.
-            for &i in &order {
-                powered[i] = true;
-            }
-        }
-        let mut dom_used = vec![0.0; self.n_domains];
-        let mut rest = served_rate * r_eff as f64;
-        for &i in &order {
-            if rest <= 1e-12 {
-                break;
-            }
-            let d = self.fleet[i].domain as usize;
-            let room = eff_cap[i].min(served_rate - dom_used[d]);
-            if room <= 0.0 {
-                continue;
-            }
-            let take = rest.min(room);
-            loads[i] = take;
-            powered[i] = true;
-            dom_used[d] += take;
-            rest -= take;
-        }
-        Placement { loads, powered }
-    }
-
     /// Work stranded in flight on `machines` when they die at `at`.
     fn stranded_work(&self, at: SimInstant, machines: &[usize]) -> f64 {
         let elapsed = at.duration_since(self.start).as_secs_f64();
@@ -506,6 +539,112 @@ impl Engine<'_> {
                     .total_cmp(&self.fleet[a].peak_efficiency())
                     .then(a.cmp(&b))
             })
+    }
+
+    /// Apply one runtime event at `at`: the single protocol transition
+    /// of the failover/admission pipeline. Every state change of the
+    /// run — fleet health, breaker trips, placement, the Recovery
+    /// ledger line — flows through here, which is what lets the
+    /// `grail-check` chaos model explore the same transition relation
+    /// the production event loop executes.
+    fn step(
+        &mut self,
+        at: SimInstant,
+        rt: Runtime,
+        schedule: &ChaosSchedule,
+        queue: &mut EventQueue<Runtime>,
+        tracer: &mut Tracer,
+    ) {
+        match rt {
+            Runtime::Chaos(idx) => {
+                let ev = &schedule.events()[idx];
+                observe::record_chaos_event(tracer, ev);
+                match ev.kind {
+                    ChaosEventKind::MachineCrash { machine } => {
+                        let m = machine as usize;
+                        self.crashes += 1;
+                        self.trips[m] = match self.last_crash[m] {
+                            Some(prev)
+                                if at.duration_since(prev) <= self.policy.breaker.reset_window =>
+                            {
+                                self.trips[m].saturating_add(1)
+                            }
+                            _ => 1,
+                        };
+                        self.last_crash[m] = Some(at);
+                        let work = self.stranded_work(at, &[m]);
+                        self.machine_up[m] = false;
+                        self.recompute(at, true, tracer);
+                        if work > 0.0 {
+                            self.stranded += work;
+                            queue.push(
+                                at + self.policy.retry.backoff(1),
+                                Runtime::Redispatch { work, attempt: 1 },
+                            );
+                        }
+                    }
+                    ChaosEventKind::MachineUp { machine } => {
+                        let m = machine as usize;
+                        self.restarts += 1;
+                        let hold = self.policy.breaker.quarantine(self.trips[m]);
+                        self.machine_up[m] = true;
+                        if hold.is_zero() {
+                            self.recompute(at, true, tracer);
+                        } else {
+                            self.breaker_trips += 1;
+                            self.quarantined[m] = true;
+                            observe::record_chaos_breaker(tracer, at, m, self.trips[m], hold);
+                            queue.push(at + hold, Runtime::Rejoin(m));
+                        }
+                    }
+                    ChaosEventKind::DomainDown { domain } => {
+                        self.domain_outages += 1;
+                        let members: Vec<usize> = (0..self.fleet.len())
+                            .filter(|&i| self.fleet[i].domain == domain)
+                            .collect();
+                        let work = self.stranded_work(at, &members);
+                        self.domain_up[domain as usize] = false;
+                        self.recompute(at, true, tracer);
+                        if work > 0.0 {
+                            self.stranded += work;
+                            queue.push(
+                                at + self.policy.retry.backoff(1),
+                                Runtime::Redispatch { work, attempt: 1 },
+                            );
+                        }
+                    }
+                    ChaosEventKind::DomainUp { domain } => {
+                        self.domain_up[domain as usize] = true;
+                        self.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::BrownoutStart { cap_frac } => {
+                        self.brownouts += 1;
+                        self.cap_frac = cap_frac;
+                        self.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::BrownoutEnd => {
+                        self.cap_frac = 1.0;
+                        self.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::SurgeStart { factor } => {
+                        self.surges += 1;
+                        self.surge = factor;
+                        self.recompute(at, true, tracer);
+                    }
+                    ChaosEventKind::SurgeEnd => {
+                        self.surge = 1.0;
+                        self.recompute(at, true, tracer);
+                    }
+                }
+            }
+            Runtime::Rejoin(m) => {
+                self.quarantined[m] = false;
+                self.recompute(at, true, tracer);
+            }
+            Runtime::Redispatch { work, attempt } => {
+                self.redispatch(at, work, attempt, queue, tracer);
+            }
+        }
     }
 
     /// Resolve one re-dispatch attempt: replay on a live machine (hedged,
@@ -664,95 +803,7 @@ pub fn run_chaos(
         }
         eng.settle(cur, at, tracer);
         cur = at;
-        match rt {
-            Runtime::Chaos(idx) => {
-                let ev = &schedule.events()[idx];
-                observe::record_chaos_event(tracer, ev);
-                match ev.kind {
-                    ChaosEventKind::MachineCrash { machine } => {
-                        let m = machine as usize;
-                        eng.crashes += 1;
-                        eng.trips[m] = match eng.last_crash[m] {
-                            Some(prev)
-                                if at.duration_since(prev) <= policy.breaker.reset_window =>
-                            {
-                                eng.trips[m].saturating_add(1)
-                            }
-                            _ => 1,
-                        };
-                        eng.last_crash[m] = Some(at);
-                        let work = eng.stranded_work(at, &[m]);
-                        eng.machine_up[m] = false;
-                        eng.recompute(at, true, tracer);
-                        if work > 0.0 {
-                            eng.stranded += work;
-                            queue.push(
-                                at + policy.retry.backoff(1),
-                                Runtime::Redispatch { work, attempt: 1 },
-                            );
-                        }
-                    }
-                    ChaosEventKind::MachineUp { machine } => {
-                        let m = machine as usize;
-                        eng.restarts += 1;
-                        let hold = policy.breaker.quarantine(eng.trips[m]);
-                        eng.machine_up[m] = true;
-                        if hold.is_zero() {
-                            eng.recompute(at, true, tracer);
-                        } else {
-                            eng.breaker_trips += 1;
-                            eng.quarantined[m] = true;
-                            observe::record_chaos_breaker(tracer, at, m, eng.trips[m], hold);
-                            queue.push(at + hold, Runtime::Rejoin(m));
-                        }
-                    }
-                    ChaosEventKind::DomainDown { domain } => {
-                        eng.domain_outages += 1;
-                        let members: Vec<usize> =
-                            (0..n).filter(|&i| fleet[i].domain == domain).collect();
-                        let work = eng.stranded_work(at, &members);
-                        eng.domain_up[domain as usize] = false;
-                        eng.recompute(at, true, tracer);
-                        if work > 0.0 {
-                            eng.stranded += work;
-                            queue.push(
-                                at + policy.retry.backoff(1),
-                                Runtime::Redispatch { work, attempt: 1 },
-                            );
-                        }
-                    }
-                    ChaosEventKind::DomainUp { domain } => {
-                        eng.domain_up[domain as usize] = true;
-                        eng.recompute(at, true, tracer);
-                    }
-                    ChaosEventKind::BrownoutStart { cap_frac } => {
-                        eng.brownouts += 1;
-                        eng.cap_frac = cap_frac;
-                        eng.recompute(at, true, tracer);
-                    }
-                    ChaosEventKind::BrownoutEnd => {
-                        eng.cap_frac = 1.0;
-                        eng.recompute(at, true, tracer);
-                    }
-                    ChaosEventKind::SurgeStart { factor } => {
-                        eng.surges += 1;
-                        eng.surge = factor;
-                        eng.recompute(at, true, tracer);
-                    }
-                    ChaosEventKind::SurgeEnd => {
-                        eng.surge = 1.0;
-                        eng.recompute(at, true, tracer);
-                    }
-                }
-            }
-            Runtime::Rejoin(m) => {
-                eng.quarantined[m] = false;
-                eng.recompute(at, true, tracer);
-            }
-            Runtime::Redispatch { work, attempt } => {
-                eng.redispatch(at, work, attempt, &mut queue, tracer);
-            }
-        }
+        eng.step(at, rt, schedule, &mut queue, tracer);
     }
     eng.settle(cur, end, tracer);
     // Work still bouncing in re-dispatch when the horizon closes gets

@@ -251,6 +251,38 @@ fn mix(seed: u64, cell: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// What a cell does next under an advance `bound`: the crash-vs-stream
+/// decision at the heart of [`CellRun::advance`], exposed as a pure
+/// function so the `grail-check` protocol model drives the *real*
+/// tie-break rather than a copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellAction {
+    /// Bill the reboot surge at the crash instant. Crashes win ties
+    /// (`crash <= event`) so same-instant stream events see the
+    /// post-crash world — the ordering `ChaosSchedule::generate`
+    /// documents.
+    Crash,
+    /// Run the next stream event.
+    Event,
+    /// Nothing at or before `bound`: the cell parks until repaced.
+    Park,
+}
+
+/// Decide the next step for a cell whose next crash sits at `crash` and
+/// next stream event at `event` (both simulated nanoseconds, `u64::MAX`
+/// when exhausted), under the conservative advance `bound`. An instant
+/// landing exactly on the bound is processed in this round.
+pub fn next_cell_action(crash: u64, event: u64, bound: u64) -> CellAction {
+    let next = crash.min(event);
+    if next == u64::MAX || next > bound {
+        CellAction::Park
+    } else if crash <= event {
+        CellAction::Crash
+    } else {
+        CellAction::Event
+    }
+}
+
 /// One cell mid-run: its simulation, its driver engine, and its slice
 /// of the chaos schedule.
 struct CellRun {
@@ -344,22 +376,21 @@ impl CellRun {
                 .next_at()
                 .map(|t| t.as_nanos())
                 .unwrap_or(u64::MAX);
-            let next = c.min(e);
-            if next == u64::MAX || next > bound {
-                break;
-            }
-            self.high_water = self.high_water.max(SimInstant::from_nanos(next));
-            if c <= e {
-                // A crash strikes before (or exactly at) the next
-                // stream event: bill the reboot surge first, so
-                // same-instant stream events see the post-crash world —
-                // the tie-break `ChaosSchedule::generate` documents.
-                let at = self.crashes[self.crash_idx];
-                self.sim
-                    .bill_recovery(at, "chaos.machine_crash", self.boot_energy);
-                self.crash_idx += 1;
-            } else if let Err(err) = self.engine.step(&mut self.sim) {
-                self.failed = Some(err);
+            match next_cell_action(c, e, bound) {
+                CellAction::Park => break,
+                CellAction::Crash => {
+                    self.high_water = self.high_water.max(SimInstant::from_nanos(c));
+                    let at = self.crashes[self.crash_idx];
+                    self.sim
+                        .bill_recovery(at, "chaos.machine_crash", self.boot_energy);
+                    self.crash_idx += 1;
+                }
+                CellAction::Event => {
+                    self.high_water = self.high_water.max(SimInstant::from_nanos(e));
+                    if let Err(err) = self.engine.step(&mut self.sim) {
+                        self.failed = Some(err);
+                    }
+                }
             }
         }
     }
@@ -783,6 +814,69 @@ mod tests {
         let r = run_parallel(&cfg, 4).unwrap();
         assert_eq!(r.report.ledger.total(), Joules::ZERO);
         assert!(r.outcome.results.is_empty());
+    }
+
+    #[test]
+    fn derived_lookahead_is_clamped_to_one_nanosecond() {
+        // A CPU-only cell at an absurd clock: one core cycle rounds to
+        // 0 ns, and without the clamp the horizon protocol would get a
+        // zero-width advance window. The floor must be exactly 1 ns —
+        // and a run paced at that degenerate window must still agree
+        // byte-for-byte with the sequential baseline.
+        let mut cells: Vec<CellSpec> = (0..2).map(|_| scan_cell(1, 1)).collect();
+        for c in &mut cells {
+            c.cpu.freq = Hertz::ghz(1000.0);
+        }
+        assert_eq!(derived_lookahead(&cells), SimDuration::from_nanos(1));
+        let mut cfg = SimConfig::new(cells);
+        cfg.epoch = SimDuration::from_nanos(1); // effective lookahead = the clamp
+        let r1 = run_parallel(&cfg, 1).unwrap();
+        let r2 = run_parallel(&cfg, 2).unwrap();
+        assert_eq!(r2.lookahead, SimDuration::from_nanos(1));
+        assert_eq!(fingerprint(&r1), fingerprint(&r2));
+        assert_eq!(r1.outcome.results.len(), 2);
+    }
+
+    #[test]
+    fn zero_duration_event_on_the_epoch_horizon_runs_exactly_once() {
+        // A zero-work job arriving exactly on the first epoch horizon:
+        // its event time equals a shard's advance bound, so the `<=`
+        // tie in the protocol decides whether it runs this round or the
+        // next. Either way it must run exactly once, at its arrival
+        // instant, with identical artifacts at every shard count.
+        let mut cfg = reference_config(2);
+        let mut zero = JobSpec::immediate(vec![PhaseSpec::cpu_only(Cycles::new(0), 1)]);
+        zero.arrival = SimInstant::EPOCH + cfg.epoch;
+        cfg.cells[1].streams.push(vec![zero]);
+        let r1 = run_parallel(&cfg, 1).unwrap();
+        let r2 = run_parallel(&cfg, 2).unwrap();
+        let r8 = run_parallel(&cfg, 8).unwrap();
+        assert_eq!(fingerprint(&r1), fingerprint(&r2));
+        assert_eq!(fingerprint(&r1), fingerprint(&r8));
+        // 2 cells × 2 streams × 2 jobs + the horizon-aligned job.
+        assert_eq!(r1.outcome.results.len(), 9);
+        let on_horizon: Vec<_> = r1
+            .outcome
+            .results
+            .iter()
+            .filter(|r| r.end == SimInstant::EPOCH + cfg.epoch)
+            .collect();
+        assert_eq!(on_horizon.len(), 1, "the zero-duration job ran once");
+        assert!(on_horizon[0].latency().is_zero());
+    }
+
+    #[test]
+    fn cell_action_tie_break_prefers_the_crash() {
+        assert_eq!(next_cell_action(100, 100, 200), CellAction::Crash);
+        assert_eq!(next_cell_action(100, 90, 200), CellAction::Event);
+        assert_eq!(next_cell_action(u64::MAX, 90, 200), CellAction::Event);
+        // Exactly on the bound still runs this round; one past parks.
+        assert_eq!(next_cell_action(u64::MAX, 200, 200), CellAction::Event);
+        assert_eq!(next_cell_action(201, u64::MAX, 200), CellAction::Park);
+        assert_eq!(
+            next_cell_action(u64::MAX, u64::MAX, u64::MAX),
+            CellAction::Park
+        );
     }
 
     #[test]

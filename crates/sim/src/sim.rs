@@ -264,7 +264,7 @@ impl Simulation {
             .filter(|d| !failed.contains(d))
             .collect();
         let mut span: Option<Reservation> = None;
-        let mut merge = |span: &mut Option<Reservation>, r: Reservation| {
+        let merge = |span: &mut Option<Reservation>, r: Reservation| {
             *span = Some(match span.take() {
                 Some(acc) => acc.span(r),
                 None => r,

@@ -5,7 +5,7 @@
 //! so output bytes are a pure function of the recorder's contents:
 //! identical runs produce identical files, which CI asserts with `cmp`.
 
-use crate::event::{ArgValue, TraceEvent, Track};
+use crate::event::{ArgValue, Track};
 use crate::recorder::Recorder;
 use std::fmt::Write as _;
 
@@ -192,7 +192,7 @@ pub fn to_chrome(recorder: &Recorder) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{Category, TraceTime};
+    use crate::event::{Category, TraceEvent, TraceTime};
     use crate::metrics::COUNT_BUCKETS;
     use crate::recorder::TraceSink;
 

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub use grail_buffer as buffer;
+pub use grail_check as check;
 pub use grail_core as core;
 pub use grail_metrics as metrics;
 pub use grail_optimizer as optimizer;
